@@ -1,0 +1,312 @@
+//! Per-acquisition overhead accounting for 802.11a DCF and 802.11n EDCA.
+
+use hack_mac::frame::{ampdu_wire_len, sizes};
+use hack_phy::{MacTimings, PhyRate};
+use hack_sim::SimDuration;
+
+/// Which protocol stack the model evaluates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Protocol {
+    /// Stock TCP: every delayed ACK costs a medium acquisition.
+    Tcp,
+    /// TCP/HACK: TCP ACKs ride the link-layer acknowledgments.
+    TcpHack,
+    /// Unidirectional UDP: the capacity baseline.
+    Udp,
+}
+
+/// The analytical capacity model.
+#[derive(Debug, Clone)]
+pub struct CapacityModel {
+    /// MAC timing parameters (802.11a DCF or 802.11n EDCA).
+    pub timings: MacTimings,
+    /// TCP maximum segment size in bytes.
+    pub mss: u32,
+    /// TCP/IP header bytes on a data segment (with timestamps: 52).
+    pub tcp_header: u32,
+    /// Data segments per TCP ACK (2 = delayed ACK).
+    pub segs_per_ack: u32,
+    /// Bytes one compressed TCP ACK adds to a link-layer ACK.
+    pub hack_seg_bytes: u32,
+    /// Extra LL ACK turnaround latency beyond SIFS (SoRa: ~37 µs;
+    /// commercial NICs: 10–13 µs; ideal: 0).
+    pub ll_ack_extra: SimDuration,
+}
+
+impl CapacityModel {
+    /// The paper's 802.11a model (DCF, single MPDUs).
+    pub fn dot11a() -> Self {
+        CapacityModel {
+            timings: MacTimings::dot11a(),
+            mss: 1460,
+            tcp_header: 52,
+            segs_per_ack: 2,
+            hack_seg_bytes: 9,
+            ll_ack_extra: SimDuration::ZERO,
+        }
+    }
+
+    /// The paper's 802.11n model (EDCA, A-MPDU aggregation).
+    pub fn dot11n() -> Self {
+        CapacityModel {
+            timings: MacTimings::dot11n(),
+            mss: 1460,
+            tcp_header: 52,
+            segs_per_ack: 2,
+            hack_seg_bytes: 9,
+            ll_ack_extra: SimDuration::ZERO,
+        }
+    }
+
+    /// Average pre-transmission idle period: AIFS/DIFS plus mean backoff.
+    fn acquisition(&self) -> SimDuration {
+        self.timings.aifs() + self.timings.mean_backoff()
+    }
+
+    /// Airtime of a control response (ACK/Block ACK) of `bytes` at the
+    /// basic rate for `rate`, plus any configured LL ACK latency.
+    fn response_time(&self, rate: PhyRate, bytes: u32) -> SimDuration {
+        self.timings.sifs
+            + self.ll_ack_extra
+            + rate.basic_response_rate().ppdu_duration(u64::from(bytes))
+    }
+
+    /// MPDU length of a TCP data segment on the wire: payload plus the
+    /// TCP/IP headers (`tcp_header` covers IP + TCP + options) plus MAC
+    /// framing.
+    fn data_mpdu_len(&self) -> u32 {
+        // IP packet = mss + tcp_header (tcp_header covers IP+TCP+options)
+        self.mss + self.tcp_header + sizes::DATA_OVERHEAD
+    }
+
+    fn tcp_ack_mpdu_len(&self) -> u32 {
+        self.tcp_header + sizes::DATA_OVERHEAD
+    }
+
+    // ------------------------------------------------------------------
+    // 802.11a (single MPDU per acquisition)
+    // ------------------------------------------------------------------
+
+    /// One full single-MPDU exchange: acquisition + data + SIFS + ACK.
+    fn dot11a_exchange(&self, rate: PhyRate, mpdu_bytes: u32) -> SimDuration {
+        self.acquisition()
+            + rate.ppdu_duration(u64::from(mpdu_bytes))
+            + self.response_time(rate, sizes::ACK)
+    }
+
+    /// Predicted application goodput (Mbps) on 802.11a.
+    pub fn goodput_dot11a(&self, rate: PhyRate, protocol: Protocol) -> f64 {
+        match protocol {
+            Protocol::Udp => {
+                // 1500-byte IP datagrams (1472 payload).
+                let t = self.dot11a_exchange(rate, 1500 + sizes::DATA_OVERHEAD);
+                mbps(1472, t)
+            }
+            Protocol::Tcp => {
+                // Per segs_per_ack data segments: that many data
+                // exchanges plus one TCP ACK exchange.
+                let data = self.dot11a_exchange(rate, self.data_mpdu_len());
+                let ack = self.dot11a_exchange(rate, self.tcp_ack_mpdu_len());
+                let total = data * u64::from(self.segs_per_ack) + ack;
+                mbps(u64::from(self.mss) * u64::from(self.segs_per_ack), total)
+            }
+            Protocol::TcpHack => {
+                // Data exchanges only; one LL ACK per segs_per_ack
+                // carries the compressed TCP ACK.
+                let plain = self.dot11a_exchange(rate, self.data_mpdu_len());
+                let augmented = self.acquisition()
+                    + rate.ppdu_duration(u64::from(self.data_mpdu_len()))
+                    + self.response_time(rate, sizes::ACK + 2 + self.hack_seg_bytes);
+                let total = plain * u64::from(self.segs_per_ack - 1) + augmented;
+                mbps(u64::from(self.mss) * u64::from(self.segs_per_ack), total)
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // 802.11n (A-MPDU per acquisition)
+    // ------------------------------------------------------------------
+
+    /// One A-MPDU exchange of `lens` MPDUs answered by a Block ACK of
+    /// `ba_bytes`.
+    fn dot11n_exchange(&self, rate: PhyRate, lens: &[u32], ba_bytes: u32) -> SimDuration {
+        self.acquisition()
+            + rate.ppdu_duration(u64::from(ampdu_wire_len(lens)))
+            + self.response_time(rate, ba_bytes)
+    }
+
+    /// Predicted application goodput (Mbps) on 802.11n with maximal
+    /// aggregation.
+    pub fn goodput_dot11n(&self, rate: PhyRate, protocol: Protocol) -> f64 {
+        match protocol {
+            Protocol::Udp => {
+                let n = ampdu_frames(rate, 1500 + sizes::DATA_OVERHEAD, &self.timings);
+                let lens = vec![1500 + sizes::DATA_OVERHEAD; n];
+                let t = self.dot11n_exchange(rate, &lens, sizes::BLOCK_ACK);
+                mbps(1472 * n as u64, t)
+            }
+            Protocol::Tcp => {
+                let n = ampdu_frames(rate, self.data_mpdu_len(), &self.timings);
+                let data_lens = vec![self.data_mpdu_len(); n];
+                let n_acks = (n as u32).div_ceil(self.segs_per_ack) as usize;
+                let ack_lens = vec![self.tcp_ack_mpdu_len(); n_acks];
+                let t = self.dot11n_exchange(rate, &data_lens, sizes::BLOCK_ACK)
+                    + self.dot11n_exchange(rate, &ack_lens, sizes::BLOCK_ACK);
+                mbps(u64::from(self.mss) * n as u64, t)
+            }
+            Protocol::TcpHack => {
+                let n = ampdu_frames(rate, self.data_mpdu_len(), &self.timings);
+                let data_lens = vec![self.data_mpdu_len(); n];
+                let n_acks = (n as u32).div_ceil(self.segs_per_ack);
+                let ba = sizes::BLOCK_ACK + 2 + n_acks * self.hack_seg_bytes;
+                let t = self.dot11n_exchange(rate, &data_lens, ba);
+                mbps(u64::from(self.mss) * n as u64, t)
+            }
+        }
+    }
+}
+
+/// The number of MPDUs of `mpdu_len` bytes that fit one A-MPDU under the
+/// 64-frame window, the 64 KB aggregate bound, and the TXOP airtime
+/// limit — the same arithmetic the MAC's batch builder applies.
+pub fn ampdu_frames(rate: PhyRate, mpdu_len: u32, timings: &MacTimings) -> usize {
+    let mut n = 0usize;
+    let mut lens = Vec::new();
+    while n < 64 {
+        lens.push(mpdu_len);
+        let agg = ampdu_wire_len(&lens);
+        let fits = agg <= 65_535
+            && rate.ppdu_duration(u64::from(agg)) <= timings.txop_limit;
+        if !fits {
+            break;
+        }
+        n += 1;
+    }
+    n.max(1)
+}
+
+fn mbps(payload_bytes: u64, t: SimDuration) -> f64 {
+    (payload_bytes * 8) as f64 / t.as_secs_f64() / 1e6
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn udp_dot11a_54_matches_paper_ballpark() {
+        // The paper: "In an ideal 802.11 MAC, UDP would achieve
+        // 30.2 Mbps" at 54 Mbps with LL ACKs enabled.
+        let m = CapacityModel::dot11a();
+        let g = m.goodput_dot11a(PhyRate::dot11a(54), Protocol::Udp);
+        assert!((28.0..31.5).contains(&g), "UDP@54 = {g:.2} Mbps");
+    }
+
+    #[test]
+    fn tcp_dot11a_54_matches_ns3_crossval() {
+        // §4.2 cross-validation: lossless-ish ns-3 TCP/802.11a at 54 Mbps
+        // ≈ 22.4 Mbps; the pure analysis (no collisions, no TCP
+        // dynamics) sits slightly above it.
+        let m = CapacityModel::dot11a();
+        let g = m.goodput_dot11a(PhyRate::dot11a(54), Protocol::Tcp);
+        assert!((21.5..24.5).contains(&g), "TCP@54 = {g:.2} Mbps");
+    }
+
+    #[test]
+    fn hack_dot11a_54_approaches_udp() {
+        let m = CapacityModel::dot11a();
+        let udp = m.goodput_dot11a(PhyRate::dot11a(54), Protocol::Udp);
+        let hack = m.goodput_dot11a(PhyRate::dot11a(54), Protocol::TcpHack);
+        let tcp = m.goodput_dot11a(PhyRate::dot11a(54), Protocol::Tcp);
+        assert!(hack > tcp);
+        assert!(hack < udp);
+        // ns-3 simulated TCP/HACK at 54 Mbps ≈ 28 Mbps.
+        assert!((26.0..30.0).contains(&hack), "HACK@54 = {hack:.2}");
+    }
+
+    #[test]
+    fn fig1a_shape_hack_gain_grows_with_rate() {
+        let m = CapacityModel::dot11a();
+        let gain = |mbps: u64| {
+            let r = PhyRate::dot11a(mbps);
+            m.goodput_dot11a(r, Protocol::TcpHack) / m.goodput_dot11a(r, Protocol::Tcp)
+        };
+        assert!(gain(54) > gain(24));
+        assert!(gain(24) > gain(6));
+        assert!(gain(6) > 1.0);
+    }
+
+    #[test]
+    fn batch_sizes_match_the_macs() {
+        let t = MacTimings::dot11n();
+        // 1512-byte IP data + 38 MAC overhead = 1550-byte MPDUs: 42 fill
+        // 64 KB at 150 Mbps.
+        assert_eq!(ampdu_frames(PhyRate::ht(150), 1550, &t), 42);
+        // At 15 Mbps the 4 ms TXOP binds: only a handful fit.
+        let n15 = ampdu_frames(PhyRate::ht(15), 1550, &t);
+        assert!((3..=5).contains(&n15), "n15 = {n15}");
+        // Tiny MPDUs: the 64-frame window binds.
+        assert_eq!(ampdu_frames(PhyRate::ht(150), 90, &t), 64);
+    }
+
+    #[test]
+    fn fig1b_anchors() {
+        let m = CapacityModel::dot11n();
+        // At 150 Mbps the paper's analysis predicts ~7% HACK gain
+        // (Figure 12 discussion).
+        let tcp = m.goodput_dot11n(PhyRate::ht(150), Protocol::Tcp);
+        let hack = m.goodput_dot11n(PhyRate::ht(150), Protocol::TcpHack);
+        let gain = hack / tcp - 1.0;
+        assert!((100.0..125.0).contains(&tcp), "TCP@150 = {tcp:.1}");
+        assert!(
+            (0.04..0.12).contains(&gain),
+            "gain@150 = {:.1}%",
+            gain * 100.0
+        );
+        // At 600 Mbps the gain approaches ~20%.
+        let tcp6 = m.goodput_dot11n(PhyRate::ht(600), Protocol::Tcp);
+        let hack6 = m.goodput_dot11n(PhyRate::ht(600), Protocol::TcpHack);
+        let gain6 = hack6 / tcp6 - 1.0;
+        assert!(
+            (0.10..0.30).contains(&gain6),
+            "gain@600 = {:.1}%",
+            gain6 * 100.0
+        );
+        assert!(gain6 > gain, "gain grows with rate");
+    }
+
+    #[test]
+    fn udp_always_upper_bounds_tcp_protocols() {
+        let m = CapacityModel::dot11n();
+        for mbps in [15u64, 30, 45, 60, 90, 120, 135, 150] {
+            let r = PhyRate::ht(mbps);
+            let udp = m.goodput_dot11n(r, Protocol::Udp);
+            let hack = m.goodput_dot11n(r, Protocol::TcpHack);
+            let tcp = m.goodput_dot11n(r, Protocol::Tcp);
+            assert!(udp > hack && hack > tcp, "at {mbps}: {udp:.1}/{hack:.1}/{tcp:.1}");
+        }
+    }
+
+    #[test]
+    fn sora_ll_ack_delay_reduces_capacity() {
+        let mut m = CapacityModel::dot11a();
+        let ideal = m.goodput_dot11a(PhyRate::dot11a(54), Protocol::Udp);
+        m.ll_ack_extra = SimDuration::from_micros(37);
+        let sora = m.goodput_dot11a(PhyRate::dot11a(54), Protocol::Udp);
+        // The paper: SoRa's LL ACK delays alone reduce attainable UDP
+        // throughput from 30.2 to 28.1 Mbps (~7%).
+        let loss = 1.0 - sora / ideal;
+        assert!((0.04..0.12).contains(&loss), "loss = {:.1}%", loss * 100.0);
+    }
+
+    #[test]
+    fn goodput_monotone_in_phy_rate() {
+        let m = CapacityModel::dot11n();
+        let mut last = 0.0;
+        for mbps in [15u64, 30, 45, 60, 90, 120, 135, 150, 300, 450, 600] {
+            let g = m.goodput_dot11n(PhyRate::ht(mbps), Protocol::TcpHack);
+            assert!(g > last, "{mbps}: {g:.1} ≤ {last:.1}");
+            last = g;
+        }
+    }
+}

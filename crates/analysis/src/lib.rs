@@ -1,0 +1,20 @@
+//! # hack-analysis — closed-form 802.11 MAC capacity models
+//!
+//! The paper's §2.1 analysis: predicted TCP goodput as a function of
+//! physical-layer bit-rate for stock 802.11a/n, TCP/HACK, and
+//! unidirectional UDP, from per-medium-acquisition overhead accounting.
+//! These models generate Figure 1(a), Figure 1(b), and the theoretical
+//! curves of Figure 12.
+//!
+//! Assumptions mirror the paper's: lossless links, no collisions or
+//! retries, delayed ACK (one TCP ACK per two data segments), senders
+//! always backlogged, the largest A-MPDU permitted by the 64 KB bound or
+//! the 4 ms transmit-opportunity limit, and mean backoff of CWmin/2
+//! slots per acquisition.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod capacity;
+
+pub use capacity::{ampdu_frames, CapacityModel, Protocol};

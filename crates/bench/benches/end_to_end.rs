@@ -1,0 +1,48 @@
+//! Macro-benchmark: whole-network simulation throughput (simulated
+//! seconds per wall-clock second) for the paper's main scenarios.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hack_core::{run, HackMode, ScenarioConfig};
+use hack_sim::SimDuration;
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut g = c.benchmark_group("end_to_end");
+    g.sample_size(10);
+
+    g.bench_function("dot11n_1client_stock_500ms", |b| {
+        b.iter(|| {
+            let mut cfg = ScenarioConfig::dot11n_download(150, 1, HackMode::Disabled);
+            cfg.duration = SimDuration::from_millis(500);
+            run(cfg).ppdus
+        });
+    });
+
+    g.bench_function("dot11n_1client_hack_500ms", |b| {
+        b.iter(|| {
+            let mut cfg = ScenarioConfig::dot11n_download(150, 1, HackMode::MoreData);
+            cfg.duration = SimDuration::from_millis(500);
+            run(cfg).ppdus
+        });
+    });
+
+    g.bench_function("dot11n_10clients_hack_500ms", |b| {
+        b.iter(|| {
+            let mut cfg = ScenarioConfig::dot11n_download(150, 10, HackMode::MoreData);
+            cfg.duration = SimDuration::from_millis(500);
+            run(cfg).ppdus
+        });
+    });
+
+    g.bench_function("sora_dot11a_hack_500ms", |b| {
+        b.iter(|| {
+            let mut cfg = ScenarioConfig::sora_testbed(1, HackMode::MoreData);
+            cfg.duration = SimDuration::from_millis(500);
+            run(cfg).ppdus
+        });
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_end_to_end);
+criterion_main!(benches);

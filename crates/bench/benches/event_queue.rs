@@ -1,0 +1,52 @@
+//! Micro-benchmark: the discrete-event queue (push/pop throughput),
+//! which bounds overall simulation speed.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use hack_sim::{EventQueue, SimRng, SimTime};
+
+fn bench_queue(c: &mut Criterion) {
+    c.bench_function("event_queue_push_pop_10k", |b| {
+        let mut rng = SimRng::new(42);
+        let times: Vec<u64> = (0..10_000).map(|_| u64::from(rng.uniform(1 << 30))).collect();
+        b.iter_batched(
+            || times.clone(),
+            |times| {
+                let mut q = EventQueue::new();
+                for (i, t) in times.into_iter().enumerate() {
+                    q.push(SimTime::from_nanos(t), i);
+                }
+                let mut n = 0usize;
+                while q.pop().is_some() {
+                    n += 1;
+                }
+                n
+            },
+            BatchSize::SmallInput,
+        );
+    });
+
+    c.bench_function("event_queue_interleaved_1k", |b| {
+        let mut rng = SimRng::new(7);
+        let deltas: Vec<u64> = (0..1_000).map(|_| u64::from(rng.uniform(10_000))).collect();
+        b.iter_batched(
+            || deltas.clone(),
+            |deltas| {
+                let mut q = EventQueue::new();
+                let mut now = SimTime::ZERO;
+                // Steady-state pattern: each pop schedules two pushes.
+                q.push(now, 0u64);
+                for d in deltas {
+                    if let Some((t, _)) = q.pop() {
+                        now = t;
+                        q.push(now + hack_sim::SimDuration::from_nanos(d), d);
+                    }
+                }
+                q.len()
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+criterion_group!(benches, bench_queue);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Micro-benchmark: MAC-layer A-MPDU batch building and Block ACK
+//! resolution — the per-exchange work at an aggregating station.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use hack_mac::{AckBitmap, DestQueue, MacConfig, Msdu, SeqNum};
+use hack_phy::{PhyRate, StationId};
+
+#[derive(Debug, Clone)]
+struct Pkt(u32);
+impl Msdu for Pkt {
+    fn wire_len(&self) -> u32 {
+        self.0
+    }
+}
+
+fn bench_mac(c: &mut Criterion) {
+    let cfg = MacConfig::dot11n(PhyRate::ht(150));
+
+    c.bench_function("build_42_mpdu_batch", |b| {
+        b.iter_batched(
+            || {
+                let mut q = DestQueue::new(StationId(1));
+                for _ in 0..100 {
+                    q.enqueue(Pkt(1512));
+                }
+                q
+            },
+            |mut q| {
+                let batch = q.build_batch(StationId(0), &cfg);
+                assert_eq!(batch.len(), 42);
+                batch.len()
+            },
+            BatchSize::SmallInput,
+        );
+    });
+
+    c.bench_function("resolve_block_ack_42", |b| {
+        b.iter_batched(
+            || {
+                let mut q = DestQueue::new(StationId(1));
+                for _ in 0..42 {
+                    q.enqueue(Pkt(1512));
+                }
+                let batch = q.build_batch(StationId(0), &cfg);
+                let mut bm = AckBitmap::new(SeqNum::new(0));
+                for m in &batch {
+                    bm.set(m.seq);
+                }
+                (q, bm)
+            },
+            |(mut q, bm)| {
+                let res = q.on_block_ack(&bm, 7);
+                assert_eq!(res.acked, 42);
+                res.acked
+            },
+            BatchSize::SmallInput,
+        );
+    });
+
+    c.bench_function("ampdu_wire_len_42", |b| {
+        let lens = vec![1550u32; 42];
+        b.iter(|| hack_mac::ampdu_wire_len(&lens));
+    });
+}
+
+criterion_group!(benches, bench_mac);
+criterion_main!(benches);

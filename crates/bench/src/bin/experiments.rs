@@ -1,0 +1,548 @@
+//! Regenerate every table and figure of the HACK paper (USENIX ATC '14).
+//!
+//! ```text
+//! experiments <subcommand> [--quick]
+//!
+//!   fig1a   theoretical goodput vs 802.11a rate (analysis)
+//!   fig1b   theoretical goodput vs 802.11n rate up to 600 Mbps
+//!   fig9    SoRa testbed goodput: UDP / HACK / TCP, 1 and 2 clients
+//!   table1  frame retry breakdown for the fig9 scenarios
+//!   table2  ACK counts/bytes and compression ratio (25 MB transfer)
+//!   table3  TCP ACK time-overhead breakdown (25 MB transfer)
+//!   xval    SoRa ↔ simulation cross-validation (§4.2)
+//!   fig10   802.11n aggregate goodput vs number of clients
+//!   fig11   goodput envelope vs SNR across 802.11n rates
+//!   fig12   theoretical vs simulated goodput vs 802.11n rate
+//!   ablate-timer | ablate-delack | ablate-sync | ablate-txop
+//!   all     everything above
+//! ```
+//!
+//! `--quick` shortens runs and seed counts (for CI); defaults follow the
+//! paper's shape (5 runs per point).
+
+use hack_analysis::{CapacityModel, Protocol};
+use hack_bench::run_seeds;
+use hack_core::{HackMode, LossConfig, ScenarioConfig};
+use hack_phy::{Channel, PhyRate, StationId, DOT11A_RATES_MBPS, DOT11N_HT40_SGI_MBPS};
+use hack_sim::SimDuration;
+
+struct Opts {
+    seeds: u64,
+    secs: u64,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let opts = if quick {
+        Opts { seeds: 2, secs: 3 }
+    } else {
+        Opts { seeds: 5, secs: 10 }
+    };
+    let cmd = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .unwrap_or("all");
+
+    match cmd {
+        "fig1a" => fig1a(),
+        "fig1b" => fig1b(),
+        "fig9" => fig9(&opts),
+        "table1" => table1(&opts),
+        "table2" => table2(&opts),
+        "table3" => table3(&opts),
+        "xval" => xval(&opts),
+        "fig10" => fig10(&opts),
+        "fig11" => fig11(&opts),
+        "fig12" => fig12(&opts),
+        "ablate-timer" => ablate_timer(&opts),
+        "ablate-delack" => ablate_delack(&opts),
+        "ablate-sync" => ablate_sync(&opts),
+        "ablate-txop" => ablate_txop(&opts),
+        "all" => {
+            fig1a();
+            fig1b();
+            fig9(&opts);
+            table1(&opts);
+            table2(&opts);
+            table3(&opts);
+            xval(&opts);
+            fig10(&opts);
+            fig11(&opts);
+            fig12(&opts);
+            ablate_timer(&opts);
+            ablate_delack(&opts);
+            ablate_sync(&opts);
+            ablate_txop(&opts);
+        }
+        other => {
+            eprintln!("unknown subcommand {other:?}; see the doc comment");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn banner(title: &str) {
+    println!("\n===== {title} =====");
+}
+
+// ----------------------------------------------------------------------
+// Figure 1: analytical capacity
+// ----------------------------------------------------------------------
+
+fn fig1a() {
+    banner("Figure 1(a): theoretical goodput, 802.11a (Mbps)");
+    let m = CapacityModel::dot11a();
+    println!("{:>6} {:>12} {:>12} {:>12} {:>8}", "rate", "TCP/802.11a", "TCP/HACK", "UDP", "gain");
+    for &mbps in &DOT11A_RATES_MBPS {
+        let r = PhyRate::dot11a(mbps);
+        let tcp = m.goodput_dot11a(r, Protocol::Tcp);
+        let hack = m.goodput_dot11a(r, Protocol::TcpHack);
+        let udp = m.goodput_dot11a(r, Protocol::Udp);
+        println!(
+            "{mbps:>6} {tcp:>12.2} {hack:>12.2} {udp:>12.2} {:>7.1}%",
+            (hack / tcp - 1.0) * 100.0
+        );
+    }
+}
+
+fn fig1b() {
+    banner("Figure 1(b): theoretical goodput, 802.11n (Mbps)");
+    let m = CapacityModel::dot11n();
+    let rates: Vec<u64> = {
+        let mut v: Vec<u64> = DOT11N_HT40_SGI_MBPS
+            .iter()
+            .flat_map(|&b| (1..=4u64).map(move |s| b * s))
+            .collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    };
+    println!("{:>6} {:>12} {:>12} {:>12} {:>8}", "rate", "TCP/802.11n", "TCP/HACK", "UDP", "gain");
+    for mbps in rates {
+        let r = PhyRate::ht(mbps);
+        let tcp = m.goodput_dot11n(r, Protocol::Tcp);
+        let hack = m.goodput_dot11n(r, Protocol::TcpHack);
+        let udp = m.goodput_dot11n(r, Protocol::Udp);
+        println!(
+            "{mbps:>6} {tcp:>12.2} {hack:>12.2} {udp:>12.2} {:>7.1}%",
+            (hack / tcp - 1.0) * 100.0
+        );
+    }
+}
+
+// ----------------------------------------------------------------------
+// Figure 9 / Table 1: the SoRa testbed
+// ----------------------------------------------------------------------
+
+fn sora_cfg(clients: &str, mode: HackMode, udp: bool, opts: &Opts) -> ScenarioConfig {
+    let mut cfg = match clients {
+        "c1" => ScenarioConfig::sora_testbed(1, mode),
+        "c2" => {
+            let mut c = ScenarioConfig::sora_testbed(1, mode);
+            c.loss = LossConfig::PerClient(vec![0.02]);
+            c
+        }
+        _ => ScenarioConfig::sora_testbed(2, mode),
+    };
+    cfg.duration = SimDuration::from_secs(opts.secs);
+    if udp {
+        cfg = cfg.with_udp();
+    }
+    cfg
+}
+
+fn fig9(opts: &Opts) {
+    banner("Figure 9: SoRa testbed mean goodput (Mbps), mean ± std over runs");
+    println!("(paper anchors at 54 Mbps: UDP ≈ 26.5, TCP/HACK ≈ 25.0, TCP/802.11a ≈ 19.4)");
+    for (label, clients) in [
+        ("One client (C1)", "c1"),
+        ("One client (C2)", "c2"),
+        ("Both clients", "both"),
+    ] {
+        println!("-- {label} --");
+        for (tag, mode, udp) in [
+            ("U", HackMode::Disabled, true),
+            ("H", HackMode::MoreData, false),
+            ("T", HackMode::Disabled, false),
+        ] {
+            let mr = run_seeds(&sora_cfg(clients, mode, udp, opts), opts.seeds);
+            if clients == "both" {
+                if udp {
+                    // UDP has per-client meters too.
+                    let c1 = mr.flow_goodput(0);
+                    let c2 = mr.flow_goodput(1);
+                    println!("  {tag}: client1 {c1}   client2 {c2}");
+                } else {
+                    let c1 = mr.flow_goodput(0);
+                    let c2 = mr.flow_goodput(1);
+                    println!("  {tag}: client1 {c1}   client2 {c2}");
+                }
+            } else {
+                println!("  {tag}: {}", mr.aggregate_goodput());
+            }
+        }
+    }
+}
+
+fn table1(opts: &Opts) {
+    banner("Table 1: % of data frames needing no retries (AP transmissions)");
+    println!("(paper: UDP 99 %, TCP/HACK 97-98 %, TCP/802.11a 86-88 %)");
+    println!(
+        "{:<18} {:>12} {:>12} {:>12}",
+        "", "UDP/802.11a", "TCP/HACK", "TCP/802.11a"
+    );
+    for (label, clients) in [
+        ("Client 1 alone", "c1"),
+        ("Client 2 alone", "c2"),
+        ("Both clients", "both"),
+    ] {
+        let mut row = format!("{label:<18}");
+        for (mode, udp) in [
+            (HackMode::Disabled, true),
+            (HackMode::MoreData, false),
+            (HackMode::Disabled, false),
+        ] {
+            let mr = run_seeds(&sora_cfg(clients, mode, udp, opts), opts.seeds);
+            let f = mr.ap_first_try();
+            row.push_str(&format!(" {:>11.1}%", f.mean() * 100.0));
+        }
+        println!("{row}");
+    }
+}
+
+// ----------------------------------------------------------------------
+// Tables 2 and 3: the 25 MB transfer
+// ----------------------------------------------------------------------
+
+fn transfer_cfg(mode: HackMode) -> ScenarioConfig {
+    let mut cfg = ScenarioConfig::sora_testbed(1, mode);
+    cfg.transfer_bytes = Some(25_000_000);
+    cfg.duration = SimDuration::from_secs(60);
+    cfg
+}
+
+fn table2(_opts: &Opts) {
+    banner("Table 2: ACK accounting over a 25 MB transfer");
+    println!("(paper: TCP 9060 ACKs / 471120 B; HACK 10 native + 9050 compressed, ratio 12)");
+    println!(
+        "{:<14} {:>10} {:>12} {:>10} {:>12} {:>8}",
+        "", "ACK count", "ACK bytes", "ACKC count", "ACKC bytes", "ratio"
+    );
+    for (label, mode) in [
+        ("TCP/802.11a", HackMode::Disabled),
+        ("TCP/HACK", HackMode::MoreData),
+    ] {
+        let mr = run_seeds(&transfer_cfg(mode), 1);
+        let r = &mr.runs[0];
+        let d = &r.driver[0];
+        let ratio = r.compressor[0].ratio();
+        println!(
+            "{label:<14} {:>10} {:>12} {:>10} {:>12} {:>8.1}",
+            d.native_acks, d.native_ack_bytes, d.hacked_acks, d.hacked_ack_bytes, ratio,
+        );
+        if let Some(t) = r.completion {
+            println!("  (transfer completed in {:.2} s)", t.as_secs_f64());
+        }
+    }
+}
+
+fn table3(_opts: &Opts) {
+    banner("Table 3: TCP ACK time overheads over a 25 MB transfer (ms)");
+    println!("(paper: TCP 70/0/1093/456; HACK 0.08/13.1/1.17/0.46)");
+    println!(
+        "{:<14} {:>10} {:>10} {:>10} {:>14}",
+        "", "TCP ACK", "ROHC", "Channel", "LL ACK ovh"
+    );
+    for (label, mode) in [
+        ("TCP/802.11a", HackMode::Disabled),
+        ("TCP/HACK", HackMode::MoreData),
+    ] {
+        let mr = run_seeds(&transfer_cfg(mode), 1);
+        let r = &mr.runs[0];
+        let client = &r.mac[1];
+        let ms = |d: hack_sim::SimDuration| d.as_nanos() as f64 / 1e6;
+        println!(
+            "{label:<14} {:>10.2} {:>10.2} {:>10.2} {:>14.2}",
+            ms(client.airtime_ack.total()),
+            ms(client.airtime_blob.total()),
+            ms(client.acquire_wait_ack.total()),
+            ms(client.ll_ack_overhead.total()),
+        );
+    }
+    let mr = run_seeds(&transfer_cfg(HackMode::MoreData), 1);
+    println!(
+        "(blob fits within AIFS on {:.1}% of augmented LL ACKs; paper: 98.5%)",
+        mr.runs[0].blob_within_aifs * 100.0
+    );
+}
+
+// ----------------------------------------------------------------------
+// §4.2 cross-validation
+// ----------------------------------------------------------------------
+
+fn xval(opts: &Opts) {
+    banner("Cross-validation (§4.2): fixed-loss 802.11a, with/without SoRa LL ACK delay");
+    println!("(paper: TCP 22.4 ideal vs 19.6 SoRa; HACK 28 ideal vs 25.5 SoRa)");
+    println!(
+        "{:<12} {:>6} {:>18} {:>18}",
+        "protocol", "loss", "ideal LL ACKs", "SoRa LL ACKs"
+    );
+    for (label, mode, loss) in [
+        ("TCP/802.11a", HackMode::Disabled, 0.12),
+        ("TCP/HACK", HackMode::MoreData, 0.02),
+    ] {
+        let mut row = format!("{label:<12} {:>5.0}%", loss * 100.0);
+        for sora in [false, true] {
+            let mut cfg = ScenarioConfig::sora_testbed(1, mode);
+            cfg.loss = LossConfig::PerClient(vec![loss]);
+            cfg.sora_quirks = sora;
+            cfg.duration = SimDuration::from_secs(opts.secs);
+            let mr = run_seeds(&cfg, opts.seeds);
+            row.push_str(&format!(" {:>18}", mr.aggregate_goodput().to_string()));
+        }
+        println!("{row}");
+    }
+}
+
+// ----------------------------------------------------------------------
+// Figure 10: clients sweep on 802.11n
+// ----------------------------------------------------------------------
+
+fn fig10(opts: &Opts) {
+    banner("Figure 10: 802.11n aggregate goodput (Mbps) vs number of clients");
+    println!("(paper: UDP ≈ flat; HACK-MoreData +15%→+22% over TCP; Opportunistic ≈ TCP)");
+    println!(
+        "{:>8} {:>16} {:>18} {:>16} {:>16}",
+        "clients", "UDP", "TCP/HACK MD", "TCP/Opp. HACK", "TCP/802.11n"
+    );
+    for n in [1usize, 2, 4, 10] {
+        let mut row = format!("{n:>8}");
+        for (mode, udp) in [
+            (HackMode::Disabled, true),
+            (HackMode::MoreData, false),
+            (HackMode::Opportunistic, false),
+            (HackMode::Disabled, false),
+        ] {
+            let mut cfg = ScenarioConfig::dot11n_download(150, n, mode);
+            // Duration = staggered starts + warmup + a full measurement
+            // window, so the steady-state window is the same length for
+            // every client count.
+            cfg.stagger = SimDuration::from_millis(200);
+            cfg.duration = cfg.stagger * (n as u64) + cfg.warmup + SimDuration::from_secs(opts.secs);
+            if udp {
+                cfg = cfg.with_udp();
+            }
+            let mr = run_seeds(&cfg, opts.seeds);
+            let w = if mode == HackMode::MoreData && !udp {
+                18
+            } else {
+                16
+            };
+            row.push_str(&format!(" {:>w$}", mr.aggregate_goodput().to_string(), w = w));
+        }
+        println!("{row}");
+    }
+}
+
+// ----------------------------------------------------------------------
+// Figures 11 and 12: SNR sweep and theory-vs-simulation
+// ----------------------------------------------------------------------
+
+fn snr_run(rate: u64, snr_db: f64, mode: HackMode, opts: &Opts) -> f64 {
+    // Skip rates hopelessly beyond their sensitivity: they deliver ~0.
+    let r = PhyRate::ht(rate);
+    if snr_db < r.min_snr_db() - 4.0 {
+        return 0.0;
+    }
+    let mut ch = Channel::indoor();
+    ch.place(StationId(0), 0.0, 0.0);
+    let d = ch.distance_for_snr(snr_db);
+    let mut cfg = ScenarioConfig::dot11n_download(rate, 1, mode);
+    cfg.loss = LossConfig::SnrDistance(d);
+    cfg.duration = SimDuration::from_secs(opts.secs.min(6));
+    let mr = run_seeds(&cfg, opts.seeds.min(3));
+    // Figure 11 averages goodput including slow start.
+    mr.flow_goodput_full(0).mean()
+}
+
+fn fig11(opts: &Opts) {
+    banner("Figure 11: goodput envelope vs SNR (802.11n rates), incl. slow start");
+    println!("(paper: HACK improves the envelope by ~12.6% on average across SNRs)");
+    let snrs: Vec<f64> = (0..=10).map(|i| f64::from(i) * 3.0).collect();
+    print!("{:>6}", "SNR");
+    for &r in &DOT11N_HT40_SGI_MBPS {
+        print!(" {r:>6}");
+    }
+    println!(" {:>9} {:>9} {:>7}", "envT", "envH", "gain");
+    let mut gains = Vec::new();
+    for &snr in &snrs {
+        let mut row = format!("{snr:>6.1}");
+        let mut env_t: f64 = 0.0;
+        let mut env_h: f64 = 0.0;
+        for &rate in &DOT11N_HT40_SGI_MBPS {
+            let h = snr_run(rate, snr, HackMode::MoreData, opts);
+            let t = snr_run(rate, snr, HackMode::Disabled, opts);
+            env_h = env_h.max(h);
+            env_t = env_t.max(t);
+            row.push_str(&format!(" {h:>6.1}"));
+        }
+        let gain = if env_t > 1.0 {
+            (env_h / env_t - 1.0) * 100.0
+        } else {
+            0.0
+        };
+        if env_t > 1.0 {
+            gains.push(gain);
+        }
+        println!("{row} {env_t:>9.1} {env_h:>9.1} {gain:>6.1}%");
+    }
+    if !gains.is_empty() {
+        println!(
+            "average envelope improvement: {:.1}%",
+            gains.iter().sum::<f64>() / gains.len() as f64
+        );
+    }
+    println!("(per-rate columns show TCP/HACK; envT/envH are the best-rate envelopes)");
+}
+
+fn fig12(opts: &Opts) {
+    banner("Figure 12: theoretical vs simulated goodput vs 802.11n rate (Mbps)");
+    println!("(paper: simulated < theoretical; simulated HACK gain 14% at 150 vs 7% predicted)");
+    let m = CapacityModel::dot11n();
+    println!(
+        "{:>6} {:>10} {:>10} {:>10} {:>10} {:>9} {:>9}",
+        "rate", "theor.TCP", "sim.TCP", "theor.HACK", "sim.HACK", "th.gain", "sim.gain"
+    );
+    for &rate in &DOT11N_HT40_SGI_MBPS {
+        let r = PhyRate::ht(rate);
+        let tt = m.goodput_dot11n(r, Protocol::Tcp);
+        let th = m.goodput_dot11n(r, Protocol::TcpHack);
+        let mut cfg_t = ScenarioConfig::dot11n_download(rate, 1, HackMode::Disabled);
+        let mut cfg_h = ScenarioConfig::dot11n_download(rate, 1, HackMode::MoreData);
+        cfg_t.duration = SimDuration::from_secs(opts.secs.min(6));
+        cfg_h.duration = SimDuration::from_secs(opts.secs.min(6));
+        let st = run_seeds(&cfg_t, opts.seeds.min(3))
+            .aggregate_goodput()
+            .mean();
+        let sh = run_seeds(&cfg_h, opts.seeds.min(3))
+            .aggregate_goodput()
+            .mean();
+        println!(
+            "{rate:>6} {tt:>10.1} {st:>10.1} {th:>10.1} {sh:>10.1} {:>8.1}% {:>8.1}%",
+            (th / tt - 1.0) * 100.0,
+            (sh / st - 1.0) * 100.0
+        );
+    }
+}
+
+// ----------------------------------------------------------------------
+// Ablations (DESIGN.md §5)
+// ----------------------------------------------------------------------
+
+fn ablate_timer(opts: &Opts) {
+    banner("Ablation: explicit-timer HACK vs MORE DATA (802.11n, 1 client)");
+    println!("(left: server behind the wired backhaul — data trickles in and every hold");
+    println!(" gets a ride, so the timer looks harmless; right: sender on the AP with a");
+    println!(" 32 KB receive window — the whole window lands in one batch, the queue drains,");
+    println!(" and held ACKs stall the ACK clock: the §3.2 pathology)");
+    for (label, mode) in [
+        ("Disabled", HackMode::Disabled),
+        (
+            "ExplicitTimer(5ms)",
+            HackMode::ExplicitTimer(SimDuration::from_millis(5)),
+        ),
+        (
+            "ExplicitTimer(20ms)",
+            HackMode::ExplicitTimer(SimDuration::from_millis(20)),
+        ),
+        (
+            "ExplicitTimer(100ms)",
+            HackMode::ExplicitTimer(SimDuration::from_millis(100)),
+        ),
+        ("MoreData", HackMode::MoreData),
+    ] {
+        let mut cfg = ScenarioConfig::dot11n_download(150, 1, mode);
+        cfg.duration = SimDuration::from_secs(opts.secs);
+        let backhaul = run_seeds(&cfg, opts.seeds.min(3));
+        let mut stall = cfg.clone();
+        stall.server_at_ap = true;
+        stall.rcv_window = 32 * 1024;
+        let local = run_seeds(&stall, opts.seeds.min(3));
+        println!(
+            "{label:<22} backhaul {:>16}   local/32KB {:>16}",
+            backhaul.aggregate_goodput().to_string(),
+            local.aggregate_goodput().to_string()
+        );
+    }
+}
+
+fn ablate_delack(opts: &Opts) {
+    banner("Ablation: TCP delayed ACK on/off (802.11n, 1 client)");
+    for (label, mode) in [
+        ("TCP/802.11n", HackMode::Disabled),
+        ("TCP/HACK", HackMode::MoreData),
+    ] {
+        for delack in [true, false] {
+            let mut cfg = ScenarioConfig::dot11n_download(150, 1, mode);
+            cfg.delayed_ack = delack;
+            cfg.duration = SimDuration::from_secs(opts.secs);
+            let mr = run_seeds(&cfg, opts.seeds.min(3));
+            println!("{label:<14} delack={delack:<5} {}", mr.aggregate_goodput());
+        }
+    }
+}
+
+fn ablate_sync(opts: &Opts) {
+    banner("Ablation: §3.4 SYNC retention on/off at marginal SNR (802.11n)");
+    println!("(SNR-driven loss hits Block ACKs too, so BAR exhaustion and SYNC engage)");
+    // Just above the 15 Mbps sensitivity: at this SNR the 12 Mbps basic
+    // rate is itself marginal, so Block ACKs (especially blob-extended
+    // ones) die often enough for the retention machinery to matter.
+    let rate = 15u64;
+    let mut ch = Channel::indoor();
+    ch.place(StationId(0), 0.0, 0.0);
+    let d = ch.distance_for_snr(PhyRate::ht(rate).min_snr_db() + 2.2);
+    for disable in [false, true] {
+        let mut cfg = ScenarioConfig::dot11n_download(rate, 1, HackMode::MoreData);
+        cfg.loss = LossConfig::SnrDistance(d);
+        cfg.disable_sync = disable;
+        // A tight retry budget makes BAR exhaustion (the SYNC trigger)
+        // reachable within a short run — with the standard limit of 7 it
+        // needs 8 consecutive control-frame losses and essentially never
+        // fires, which is itself a (reassuring) finding.
+        cfg.retry_limit = Some(1);
+        cfg.duration = SimDuration::from_secs(opts.secs);
+        let mr = run_seeds(&cfg, opts.seeds);
+        let crc: u64 = mr.runs.iter().map(|r| r.decompressor.crc_failures).sum();
+        let dups: u64 = mr.runs.iter().map(|r| r.decompressor.duplicates).sum();
+        let to: u64 = mr.runs.iter().map(|r| r.sender_tcp[0].timeouts).sum();
+        let bars: u64 = mr.runs.iter().map(|r| r.mac[0].bars_exhausted.get()).sum();
+        println!(
+            "sync={:<5} goodput {}  BAR exhaustions {}  blob dups {}  CRC failures {}  TCP timeouts {}",
+            !disable,
+            mr.aggregate_goodput(),
+            bars,
+            dups,
+            crc,
+            to
+        );
+    }
+}
+
+fn ablate_txop(opts: &Opts) {
+    banner("Ablation: TXOP limit sweep (802.11n 150 Mbps, 1 client)");
+    println!("(§5: shorter TXOPs cost efficiency; HACK claws some back)");
+    for ms in [1u64, 2, 4, 8] {
+        let mut row = format!("TXOP {ms:>2} ms ");
+        for (label, mode) in [("TCP", HackMode::Disabled), ("HACK", HackMode::MoreData)] {
+            let mut cfg = ScenarioConfig::dot11n_download(150, 1, mode);
+            cfg.txop_limit = Some(SimDuration::from_millis(ms));
+            cfg.duration = SimDuration::from_secs(opts.secs);
+            let mr = run_seeds(&cfg, opts.seeds.min(3));
+            row.push_str(&format!(" {label} {}", mr.aggregate_goodput()));
+        }
+        println!("{row}");
+    }
+}

@@ -1,0 +1,13 @@
+//! # hack-bench — experiment harness for the HACK paper reproduction
+//!
+//! Helpers shared by the `experiments` binary: multi-seed scenario
+//! execution (the paper averages five runs per data point) and small
+//! table-formatting utilities. The per-figure logic lives in
+//! `src/bin/experiments.rs`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod runner;
+
+pub use runner::{run_seeds, MultiRun};

@@ -1,0 +1,97 @@
+//! Multi-seed scenario execution.
+
+use hack_core::{run, RunResult, ScenarioConfig};
+use hack_sim::RunStats;
+
+/// Results of running one scenario under several seeds.
+#[derive(Debug)]
+pub struct MultiRun {
+    /// One result per seed, in seed order.
+    pub runs: Vec<RunResult>,
+}
+
+impl MultiRun {
+    /// Aggregate steady-state goodput across runs (mean ± std).
+    pub fn aggregate_goodput(&self) -> RunStats {
+        let mut s = RunStats::new();
+        for r in &self.runs {
+            s.push(r.aggregate_goodput_mbps);
+        }
+        s
+    }
+
+    /// Per-flow steady-state goodput for flow `i` across runs.
+    pub fn flow_goodput(&self, i: usize) -> RunStats {
+        let mut s = RunStats::new();
+        for r in &self.runs {
+            s.push(r.flow_goodput_mbps[i]);
+        }
+        s
+    }
+
+    /// Per-flow full-run goodput (including slow start) for flow `i`.
+    pub fn flow_goodput_full(&self, i: usize) -> RunStats {
+        let mut s = RunStats::new();
+        for r in &self.runs {
+            s.push(r.flow_goodput_full_mbps[i]);
+        }
+        s
+    }
+
+    /// Mean fraction of *data* MPDUs delivered without retries at the
+    /// AP (Table 1's "no retries" row), across runs.
+    pub fn ap_first_try(&self) -> RunStats {
+        let mut s = RunStats::new();
+        for r in &self.runs {
+            if let Some(f) = r.ap_first_try_fraction() {
+                s.push(f);
+            }
+        }
+        s
+    }
+}
+
+/// Run `cfg` under `n_seeds` consecutive seeds (base = `cfg.seed`),
+/// in parallel threads, preserving seed order.
+pub fn run_seeds(cfg: &ScenarioConfig, n_seeds: u64) -> MultiRun {
+    let handles: Vec<_> = (0..n_seeds)
+        .map(|i| {
+            let mut c = cfg.clone();
+            c.seed = cfg.seed + i;
+            std::thread::spawn(move || run(c))
+        })
+        .collect();
+    MultiRun {
+        runs: handles
+            .into_iter()
+            .map(|h| h.join().expect("scenario thread panicked"))
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hack_core::HackMode;
+    use hack_sim::SimDuration;
+
+    #[test]
+    fn seeds_vary_but_reproduce() {
+        let mut cfg = ScenarioConfig::dot11n_download(150, 1, HackMode::Disabled);
+        cfg.duration = SimDuration::from_secs(2);
+        let a = run_seeds(&cfg, 2);
+        let b = run_seeds(&cfg, 2);
+        assert_eq!(
+            a.runs[0].aggregate_goodput_mbps,
+            b.runs[0].aggregate_goodput_mbps
+        );
+        assert_ne!(
+            a.runs[0].aggregate_goodput_mbps,
+            a.runs[1].aggregate_goodput_mbps,
+            "different seeds should differ at least slightly"
+        );
+        let stats = a.aggregate_goodput();
+        assert_eq!(stats.samples().len(), 2);
+        assert!(stats.mean() > 0.0);
+    }
+}

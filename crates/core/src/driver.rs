@@ -1,0 +1,664 @@
+//! The TCP/HACK drivers — the paper's core contribution (§3).
+//!
+//! [`CompressSide`] is the "client driver" of §3.3.1: it decides, for
+//! every outgoing TCP ACK, whether to hold it compressed for the next
+//! link-layer acknowledgment or to send it natively; it owns the MORE
+//! DATA latch, the NIC-descriptor-ready race, and the §3.4 retention /
+//! flush / SYNC rules. [`DecompressSide`] is the "AP driver": it
+//! extracts blobs from augmented LL ACKs, reconstitutes TCP ACKs, and
+//! keeps contexts fresh from natively received ACKs.
+//!
+//! Both sides are sans-IO: methods return [`DriverAction`]s the event
+//! loop materializes (enqueue a native packet, install/clear the NIC
+//! blob after the DMA latency, arm the explicit-timer flush).
+//!
+//! The design is symmetric — an AP doing a wireless *upload* from a
+//! client runs a `CompressSide` toward that client, and the client runs
+//! a `DecompressSide`.
+
+use hack_mac::RxDataInfo;
+use hack_rohc::{build_blob, CompressStats, Compressor, DecompressStats, Decompressor};
+use hack_sim::{SimDuration, SimTime};
+use hack_tcp::Ipv4Packet;
+
+use crate::packet::NetPacket;
+
+/// Which HACK variant a station runs (§3.2 "To HACK or not to HACK?").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HackMode {
+    /// Stock 802.11: every TCP ACK is a normal transmission.
+    Disabled,
+    /// Opportunistic: ACKs are enqueued natively *and* staged on the
+    /// NIC; whichever path wins the race delivers them.
+    Opportunistic,
+    /// The MORE DATA design: hold ACKs compressed whenever the peer has
+    /// signalled more data is coming; fall back to native otherwise.
+    MoreData,
+    /// The naive explicit-timer fallback (evaluated as an ablation): hold
+    /// every ACK and flush natively after a fixed delay.
+    ExplicitTimer(SimDuration),
+}
+
+/// What the driver asks the event loop to do.
+#[derive(Debug, Clone)]
+pub enum DriverAction {
+    /// Enqueue this packet on the MAC queue toward the peer as a normal
+    /// transmission.
+    SendNative(Ipv4Packet),
+    /// (Re)build the NIC blob from the driver's held segments after the
+    /// DMA latency; `generation` guards against stale installs.
+    InstallBlob {
+        /// Blob bytes to install once DMA completes.
+        bytes: Vec<u8>,
+        /// Driver blob generation at scheduling time.
+        generation: u64,
+    },
+    /// Clear the NIC blob slot immediately.
+    ClearBlob,
+    /// Arm the explicit-timer flush at the given time.
+    SetFlushTimer(SimTime),
+}
+
+/// One TCP ACK held compressed on the NIC.
+#[derive(Debug, Clone)]
+struct HeldAck {
+    /// Compressed segment bytes.
+    segment: Vec<u8>,
+    /// The original packet, for native re-enqueue on HACK failure.
+    original: Ipv4Packet,
+    /// Whether this segment has ridden at least one transmitted LL ACK.
+    rode_ll_ack: bool,
+}
+
+/// Driver-level statistics (Table 2's ACK accounting).
+#[derive(Debug, Default, Clone)]
+pub struct CompressSideStats {
+    /// TCP ACKs sent natively.
+    pub native_acks: u64,
+    /// Bytes of natively sent TCP ACKs.
+    pub native_ack_bytes: u64,
+    /// TCP ACKs delivered compressed on LL ACKs (counted when first
+    /// attached, i.e. when they rode an LL ACK).
+    pub hacked_acks: u64,
+    /// Compressed bytes of those ACKs.
+    pub hacked_ack_bytes: u64,
+    /// Held ACKs re-enqueued natively after a HACK failure (the ready
+    /// race or a flush with unsent segments).
+    pub reenqueued: u64,
+    /// Held-and-sent ACKs dropped on flush (cumulative ACKs cover them).
+    pub dropped_on_flush: u64,
+    /// Explicit-timer flushes fired.
+    pub timer_flushes: u64,
+}
+
+/// The compress-side (client) HACK driver toward one peer.
+#[derive(Debug)]
+pub struct CompressSide {
+    mode: HackMode,
+    compressor: Compressor,
+    /// The MORE DATA latch (§3.2): set while the peer has promised more
+    /// data, meaning held ACKs will get a ride.
+    latched: bool,
+    held: Vec<HeldAck>,
+    /// Bumped on every rebuild; stale InstallBlob events are ignored.
+    generation: u64,
+    /// Clear (and flush) after the response that is about to go out.
+    clear_after_response: bool,
+    /// Whether a flush timer is currently armed (ExplicitTimer mode).
+    flush_armed: bool,
+    stats: CompressSideStats,
+}
+
+impl CompressSide {
+    /// A driver in the given mode.
+    pub fn new(mode: HackMode) -> Self {
+        CompressSide {
+            mode,
+            compressor: Compressor::new(),
+            latched: false,
+            held: Vec::new(),
+            generation: 0,
+            clear_after_response: false,
+            flush_armed: false,
+            stats: CompressSideStats::default(),
+        }
+    }
+
+    /// The configured mode.
+    pub fn mode(&self) -> HackMode {
+        self.mode
+    }
+
+    /// Driver statistics.
+    pub fn stats(&self) -> &CompressSideStats {
+        &self.stats
+    }
+
+    /// Compressor statistics (compression ratio etc.).
+    pub fn compressor_stats(&self) -> &CompressStats {
+        self.compressor.stats()
+    }
+
+    /// Number of ACKs currently held on the NIC.
+    pub fn held_count(&self) -> usize {
+        self.held.len()
+    }
+
+    /// Current blob generation (used by the event loop to validate
+    /// InstallBlob events).
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Whether the MORE DATA latch is set.
+    pub fn latched(&self) -> bool {
+        self.latched
+    }
+
+    fn rebuild_blob(&mut self) -> DriverAction {
+        self.generation += 1;
+        if self.held.is_empty() {
+            DriverAction::ClearBlob
+        } else {
+            let segs: Vec<Vec<u8>> = self.held.iter().map(|h| h.segment.clone()).collect();
+            DriverAction::InstallBlob {
+                bytes: build_blob(&segs),
+                generation: self.generation,
+            }
+        }
+    }
+
+    fn send_native(&mut self, pkt: Ipv4Packet, out: &mut Vec<DriverAction>) {
+        self.compressor.observe_native(&pkt);
+        self.stats.native_acks += 1;
+        self.stats.native_ack_bytes += u64::from(pkt.wire_len());
+        out.push(DriverAction::SendNative(pkt));
+    }
+
+    /// The local TCP stack produced an ACK toward the peer. Decide its
+    /// path.
+    pub fn on_ack_out(&mut self, pkt: Ipv4Packet, now: SimTime) -> Vec<DriverAction> {
+        let mut out = Vec::new();
+        match self.mode {
+            HackMode::Disabled => {
+                self.stats.native_acks += 1;
+                self.stats.native_ack_bytes += u64::from(pkt.wire_len());
+                out.push(DriverAction::SendNative(pkt));
+            }
+            HackMode::MoreData => {
+                if self.latched {
+                    match self.compressor.compress(&pkt) {
+                        Some(segment) => {
+                            self.held.push(HeldAck {
+                                segment,
+                                original: pkt,
+                                rode_ll_ack: false,
+                            });
+                            out.push(self.rebuild_blob());
+                        }
+                        None => self.send_native(pkt, &mut out),
+                    }
+                } else {
+                    self.send_native(pkt, &mut out);
+                }
+            }
+            HackMode::ExplicitTimer(delay) => {
+                match self.compressor.compress(&pkt) {
+                    Some(segment) => {
+                        self.held.push(HeldAck {
+                            segment,
+                            original: pkt,
+                            rode_ll_ack: false,
+                        });
+                        out.push(self.rebuild_blob());
+                        if !self.flush_armed {
+                            self.flush_armed = true;
+                            out.push(DriverAction::SetFlushTimer(now + delay));
+                        }
+                    }
+                    None => self.send_native(pkt, &mut out),
+                }
+            }
+            HackMode::Opportunistic => {
+                // Dual path: stage compressed on the NIC *and* enqueue
+                // natively; the race decides (§3.2).
+                match self.compressor.compress(&pkt) {
+                    Some(segment) => {
+                        self.held.push(HeldAck {
+                            segment,
+                            original: pkt.clone(),
+                            rode_ll_ack: false,
+                        });
+                        out.push(self.rebuild_blob());
+                        // Native twin goes out without `observe_native`:
+                        // the compressor already advanced past this ACK.
+                        self.stats.native_acks += 1;
+                        self.stats.native_ack_bytes += u64::from(pkt.wire_len());
+                        out.push(DriverAction::SendNative(pkt));
+                    }
+                    None => self.send_native(pkt, &mut out),
+                }
+            }
+        }
+        out
+    }
+
+    /// A data PPDU arrived from the peer (the MAC's `DataReceived`
+    /// indication). Updates the latch and applies the §3.4 confirmation
+    /// rules.
+    pub fn on_data_received(&mut self, info: &RxDataInfo, _now: SimTime) -> Vec<DriverAction> {
+        let mut out = Vec::new();
+        if self.mode == HackMode::Disabled {
+            return out;
+        }
+
+        // §3.4 confirmation: receipt of data (not SYNC-marked) confirms
+        // that our previous LL ACK — and the blob on it — reached the
+        // peer. In single-MPDU mode only a *new* sequence number
+        // confirms (Figure 5(b)); a same-seq retransmission means our
+        // ACK was lost and the blob must ride again.
+        let confirms = !info.sync && (info.is_aggregate || info.advances_seq);
+        if confirms && self.held.iter().any(|h| h.rode_ll_ack) {
+            for h in &self.held {
+                if h.rode_ll_ack {
+                    // Advance the compressor floor: the peer holds this.
+                    self.compressor.confirm(&h.original);
+                }
+            }
+            self.held.retain(|h| !h.rode_ll_ack);
+            out.push(self.rebuild_blob());
+        }
+
+        if self.mode == HackMode::MoreData {
+            self.latched = info.more_data;
+            if !info.more_data {
+                // Fig 2 / Fig 7: the response to *this* batch is the last
+                // ride; afterwards everything flushes.
+                self.clear_after_response = true;
+            }
+        }
+        out
+    }
+
+    /// The MAC transmitted a response to the peer; `attached` reports
+    /// whether our blob rode on it (the NIC's interrupt status, §3.3.1).
+    pub fn on_response_sent(&mut self, attached: bool, _now: SimTime) -> Vec<DriverAction> {
+        let mut out = Vec::new();
+        if self.mode == HackMode::Disabled {
+            return out;
+        }
+        if attached {
+            for h in &mut self.held {
+                if !h.rode_ll_ack {
+                    h.rode_ll_ack = true;
+                    self.stats.hacked_acks += 1;
+                    self.stats.hacked_ack_bytes += h.segment.len() as u64;
+                }
+            }
+        }
+        if self.clear_after_response {
+            self.clear_after_response = false;
+            out.extend(self.flush(FlushCause::NoMoreData));
+        }
+        out
+    }
+
+    /// Some of our natively transmitted ACKs were just acknowledged by
+    /// the peer's link layer: advance the compressor floor (every mode),
+    /// and in Opportunistic mode drop the corresponding held copies
+    /// (identified by IP ident) so they don't ride future LL ACKs.
+    pub fn on_natives_delivered(&mut self, pkts: &[NetPacket]) -> Vec<DriverAction> {
+        if self.mode == HackMode::Disabled {
+            return Vec::new();
+        }
+        for p in pkts {
+            self.compressor.confirm(p.ip());
+        }
+        if self.mode != HackMode::Opportunistic || self.held.is_empty() {
+            return Vec::new();
+        }
+        let before = self.held.len();
+        self.held.retain(|h| {
+            !pkts.iter().any(|p| {
+                p.ip().ident == h.original.ident && p.ip().src == h.original.src
+            })
+        });
+        if self.held.len() != before {
+            vec![self.rebuild_blob()]
+        } else {
+            Vec::new()
+        }
+    }
+
+    /// Opportunistic mode: our blob rode an LL ACK; the native twins of
+    /// the ridden ACKs should be withdrawn from the MAC queue. Returns
+    /// the idents to withdraw.
+    pub fn ridden_idents(&self) -> Vec<u16> {
+        self.held
+            .iter()
+            .filter(|h| h.rode_ll_ack)
+            .map(|h| h.original.ident)
+            .collect()
+    }
+
+    /// The explicit flush timer fired.
+    pub fn on_flush_timer(&mut self, _now: SimTime) -> Vec<DriverAction> {
+        self.flush_armed = false;
+        if self.held.is_empty() {
+            return Vec::new();
+        }
+        self.stats.timer_flushes += 1;
+        self.flush(FlushCause::Timer)
+    }
+
+    fn flush(&mut self, _cause: FlushCause) -> Vec<DriverAction> {
+        let mut out = Vec::new();
+        for h in std::mem::take(&mut self.held) {
+            if h.rode_ll_ack {
+                // Rode at least one LL ACK: if that ACK was lost, a later
+                // cumulative TCP ACK covers it (Figure 7).
+                self.stats.dropped_on_flush += 1;
+            } else {
+                // Never rode anything (the ready race, §3.3.1): the
+                // driver "re-enqueues the TCP ACKs on the transmit queue
+                // for normal transmission".
+                self.stats.reenqueued += 1;
+                self.compressor.observe_native(&h.original);
+                self.stats.native_acks += 1;
+                self.stats.native_ack_bytes += u64::from(h.original.wire_len());
+                out.push(DriverAction::SendNative(h.original));
+            }
+        }
+        self.generation += 1;
+        out.push(DriverAction::ClearBlob);
+        self.latched = false;
+        out
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum FlushCause {
+    NoMoreData,
+    Timer,
+}
+
+/// The decompress-side (AP) HACK driver.
+#[derive(Debug, Default)]
+pub struct DecompressSide {
+    decompressor: Decompressor,
+    /// TCP ACKs reconstituted from blobs and forwarded upstream.
+    pub forwarded: u64,
+}
+
+impl DecompressSide {
+    /// A fresh decompress side.
+    pub fn new() -> Self {
+        DecompressSide::default()
+    }
+
+    /// Decompressor statistics.
+    pub fn stats(&self) -> &DecompressStats {
+        self.decompressor.stats()
+    }
+
+    /// A native TCP ACK arrived from the wireless side: refresh contexts.
+    pub fn on_native_ack(&mut self, pkt: &Ipv4Packet) {
+        self.decompressor.observe_native(pkt);
+    }
+
+    /// An augmented LL ACK carried this blob: reconstitute the TCP ACKs
+    /// to forward upstream. Duplicates and CRC failures are absorbed
+    /// (counted in stats).
+    pub fn on_blob(&mut self, blob: &[u8]) -> Vec<Ipv4Packet> {
+        let res = self.decompressor.decompress_blob(blob);
+        self.forwarded += res.packets.len() as u64;
+        res.packets
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hack_tcp::{flags as tf, Ipv4Addr, TcpOption, TcpSegment, TcpSeq, Transport};
+
+    fn ack(ackno: u32, ident: u16) -> Ipv4Packet {
+        Ipv4Packet {
+            src: Ipv4Addr::new(192, 168, 0, 2),
+            dst: Ipv4Addr::new(10, 0, 0, 1),
+            ident,
+            ttl: 64,
+            transport: Transport::Tcp(TcpSegment {
+                src_port: 40000,
+                dst_port: 5001,
+                seq: TcpSeq(1),
+                ack: TcpSeq(ackno),
+                flags: tf::ACK,
+                window: 1024,
+                options: vec![TcpOption::Timestamps {
+                    tsval: 5,
+                    tsecr: 2,
+                }],
+                payload_len: 0,
+            }),
+        }
+    }
+
+    fn info(more_data: bool, sync: bool) -> RxDataInfo {
+        RxDataInfo {
+            from: hack_phy::StationId(0),
+            mpdus_ok: 2,
+            more_data,
+            sync,
+            advances_seq: true,
+            is_aggregate: true,
+        }
+    }
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    #[test]
+    fn disabled_mode_is_always_native() {
+        let mut d = CompressSide::new(HackMode::Disabled);
+        let acts = d.on_ack_out(ack(1000, 1), t(1));
+        assert!(matches!(acts[0], DriverAction::SendNative(_)));
+        assert_eq!(d.stats().native_acks, 1);
+        // Latch inputs are ignored.
+        d.on_data_received(&info(true, false), t(1));
+        let acts = d.on_ack_out(ack(2000, 2), t(2));
+        assert!(matches!(acts[0], DriverAction::SendNative(_)));
+    }
+
+    #[test]
+    fn more_data_unlatched_sends_native() {
+        let mut d = CompressSide::new(HackMode::MoreData);
+        let acts = d.on_ack_out(ack(1000, 1), t(1));
+        assert!(matches!(acts[0], DriverAction::SendNative(_)));
+        assert_eq!(d.held_count(), 0);
+    }
+
+    #[test]
+    fn more_data_latched_holds_compressed() {
+        let mut d = CompressSide::new(HackMode::MoreData);
+        // Seed the context with a native ACK first.
+        d.on_ack_out(ack(1000, 1), t(1));
+        // Peer promises more data.
+        d.on_data_received(&info(true, false), t(2));
+        assert!(d.latched());
+        let acts = d.on_ack_out(ack(2000, 2), t(2));
+        assert!(
+            matches!(acts[0], DriverAction::InstallBlob { .. }),
+            "{acts:?}"
+        );
+        assert_eq!(d.held_count(), 1);
+        // Another ACK extends the blob.
+        let acts = d.on_ack_out(ack(3000, 3), t(2));
+        assert!(matches!(acts[0], DriverAction::InstallBlob { .. }));
+        assert_eq!(d.held_count(), 2);
+    }
+
+    #[test]
+    fn uncompressible_ack_goes_native_even_when_latched() {
+        let mut d = CompressSide::new(HackMode::MoreData);
+        d.on_data_received(&info(true, false), t(1));
+        // No context yet: the first ACK cannot compress.
+        let acts = d.on_ack_out(ack(1000, 1), t(1));
+        assert!(matches!(acts[0], DriverAction::SendNative(_)));
+        // But it seeded the context, so the next one compresses.
+        let acts = d.on_ack_out(ack(2000, 2), t(2));
+        assert!(matches!(acts[0], DriverAction::InstallBlob { .. }));
+    }
+
+    #[test]
+    fn response_ride_marks_and_confirmation_clears() {
+        let mut d = CompressSide::new(HackMode::MoreData);
+        d.on_ack_out(ack(1000, 1), t(1));
+        d.on_data_received(&info(true, false), t(2));
+        d.on_ack_out(ack(2000, 2), t(2));
+        // Blob rides a Block ACK.
+        d.on_response_sent(true, t(3));
+        assert_eq!(d.stats().hacked_acks, 1);
+        assert_eq!(d.held_count(), 1, "retained until confirmed");
+        // Next data arrival (no SYNC) confirms: held cleared.
+        let acts = d.on_data_received(&info(true, false), t(4));
+        assert_eq!(d.held_count(), 0);
+        assert!(matches!(acts[0], DriverAction::ClearBlob));
+    }
+
+    #[test]
+    fn sync_bit_preserves_held_state() {
+        let mut d = CompressSide::new(HackMode::MoreData);
+        d.on_ack_out(ack(1000, 1), t(1));
+        d.on_data_received(&info(true, false), t(2));
+        d.on_ack_out(ack(2000, 2), t(2));
+        d.on_response_sent(true, t(3));
+        // SYNC-marked batch: the peer never got our Block ACK (Fig 8).
+        let acts = d.on_data_received(&info(true, true), t(4));
+        assert_eq!(d.held_count(), 1, "SYNC forbids discarding");
+        assert!(acts.is_empty());
+        // The blob rides again on the next response.
+        d.on_response_sent(true, t(5));
+        // A clean batch finally confirms.
+        d.on_data_received(&info(true, false), t(6));
+        assert_eq!(d.held_count(), 0);
+    }
+
+    #[test]
+    fn no_more_data_flushes_after_response() {
+        let mut d = CompressSide::new(HackMode::MoreData);
+        d.on_ack_out(ack(1000, 1), t(1));
+        d.on_data_received(&info(true, false), t(2));
+        d.on_ack_out(ack(2000, 2), t(2));
+        // Final batch: MORE DATA off.
+        d.on_data_received(&info(false, false), t(3));
+        assert!(!d.latched());
+        // The response still carries the blob (Fig 2's last ride)…
+        let acts = d.on_response_sent(true, t(3));
+        // …and afterwards held state clears; the ridden ACK is dropped
+        // (cumulative ACKs cover it), nothing re-enqueues.
+        assert_eq!(d.held_count(), 0);
+        assert!(acts.iter().any(|a| matches!(a, DriverAction::ClearBlob)));
+        assert!(!acts.iter().any(|a| matches!(a, DriverAction::SendNative(_))));
+        assert_eq!(d.stats().dropped_on_flush, 1);
+        // Subsequent ACKs go native again.
+        let acts = d.on_ack_out(ack(3000, 3), t(4));
+        assert!(matches!(acts[0], DriverAction::SendNative(_)));
+    }
+
+    #[test]
+    fn ready_race_reenqueues_unsent_acks() {
+        let mut d = CompressSide::new(HackMode::MoreData);
+        d.on_ack_out(ack(1000, 1), t(1));
+        d.on_data_received(&info(true, false), t(2));
+        d.on_ack_out(ack(2000, 2), t(2));
+        // Data arrives without MORE DATA and the response goes out
+        // *before* the blob was DMA'd: attached = false.
+        d.on_data_received(&info(false, false), t(3));
+        let acts = d.on_response_sent(false, t(3));
+        // The held ACK never rode: it must be re-enqueued natively.
+        let natives: Vec<_> = acts
+            .iter()
+            .filter(|a| matches!(a, DriverAction::SendNative(_)))
+            .collect();
+        assert_eq!(natives.len(), 1);
+        assert_eq!(d.stats().reenqueued, 1);
+        assert_eq!(d.held_count(), 0);
+    }
+
+    #[test]
+    fn explicit_timer_flushes_natively() {
+        let mut d = CompressSide::new(HackMode::ExplicitTimer(SimDuration::from_millis(10)));
+        d.on_ack_out(ack(1000, 1), t(1)); // native (seeds context)
+        let acts = d.on_ack_out(ack(2000, 2), t(2));
+        assert!(matches!(acts[0], DriverAction::InstallBlob { .. }));
+        assert!(acts
+            .iter()
+            .any(|a| matches!(a, DriverAction::SetFlushTimer(at) if *at == t(12))));
+        // Timer fires with the ACK never having ridden: re-enqueue.
+        let acts = d.on_flush_timer(t(12));
+        assert!(acts.iter().any(|a| matches!(a, DriverAction::SendNative(_))));
+        assert_eq!(d.stats().timer_flushes, 1);
+        assert_eq!(d.held_count(), 0);
+    }
+
+    #[test]
+    fn opportunistic_dual_path_and_withdrawal() {
+        let mut d = CompressSide::new(HackMode::Opportunistic);
+        d.on_ack_out(ack(1000, 1), t(1)); // native only (no context yet)
+        let acts = d.on_ack_out(ack(2000, 2), t(2));
+        // Both a blob install and a native enqueue.
+        assert!(acts.iter().any(|a| matches!(a, DriverAction::InstallBlob { .. })));
+        assert!(acts.iter().any(|a| matches!(a, DriverAction::SendNative(_))));
+        assert_eq!(d.held_count(), 1);
+        // Blob rides an LL ACK: the native twin's ident is reported for
+        // withdrawal from the MAC queue.
+        d.on_response_sent(true, t(3));
+        assert_eq!(d.ridden_idents(), vec![2]);
+        // Natives delivered first instead: held copy dropped.
+        let mut d2 = CompressSide::new(HackMode::Opportunistic);
+        d2.on_ack_out(ack(1000, 1), t(1));
+        d2.on_ack_out(ack(2000, 2), t(2));
+        let acts = d2.on_natives_delivered(&[NetPacket(ack(2000, 2))]);
+        assert_eq!(d2.held_count(), 0);
+        assert!(matches!(acts[0], DriverAction::ClearBlob));
+    }
+
+    #[test]
+    fn roundtrip_through_decompress_side() {
+        let mut c = CompressSide::new(HackMode::MoreData);
+        let mut ap = DecompressSide::new();
+        // Native ACK seeds both ends.
+        let first = ack(1000, 1);
+        c.on_ack_out(first.clone(), t(1));
+        ap.on_native_ack(&first);
+        // Latch, hold, ride.
+        c.on_data_received(&info(true, false), t(2));
+        let acts = c.on_ack_out(ack(2000, 2), t(2));
+        let DriverAction::InstallBlob { bytes, .. } = &acts[0] else {
+            panic!("expected blob install, got {acts:?}");
+        };
+        let pkts = ap.on_blob(bytes);
+        assert_eq!(pkts.len(), 1);
+        assert_eq!(pkts[0], ack(2000, 2), "byte-exact reconstitution");
+        assert_eq!(ap.forwarded, 1);
+    }
+
+    #[test]
+    fn decompress_side_absorbs_duplicate_blobs() {
+        let mut c = CompressSide::new(HackMode::MoreData);
+        let mut ap = DecompressSide::new();
+        let first = ack(1000, 1);
+        c.on_ack_out(first.clone(), t(1));
+        ap.on_native_ack(&first);
+        c.on_data_received(&info(true, false), t(2));
+        let acts = c.on_ack_out(ack(2000, 2), t(2));
+        let DriverAction::InstallBlob { bytes, .. } = &acts[0] else {
+            panic!()
+        };
+        assert_eq!(ap.on_blob(bytes).len(), 1);
+        // Retained blob arrives again (our BA was retransmitted).
+        assert_eq!(ap.on_blob(bytes).len(), 0);
+        assert_eq!(ap.stats().duplicates, 1);
+    }
+}

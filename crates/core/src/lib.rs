@@ -1,0 +1,41 @@
+//! # hack-core — TCP/HACK: Hierarchical ACKnowledgments
+//!
+//! The paper's primary contribution, assembled over the substrate
+//! crates: TCP ACKs ride inside 802.11 link-layer acknowledgments,
+//! eliminating the medium acquisitions (and collisions) that TCP's
+//! reverse path otherwise costs.
+//!
+//! * [`driver`] — the HACK client and AP drivers: the MORE DATA latch,
+//!   compress-and-hold, the NIC ready race, §3.4's retention / flush /
+//!   SYNC rules, plus the Opportunistic and explicit-timer variants.
+//! * [`packet`] — the IPv4 packet as an 802.11 MSDU.
+//! * [`wired`] — the 500 Mbps / 1 ms backhaul between server and AP.
+//! * [`sim`] — the whole-network event loop (stations + medium + wired +
+//!   TCP endpoints + drivers).
+//! * [`scenario`] — experiment-facing configuration and results.
+//!
+//! ```no_run
+//! use hack_core::{run, HackMode, ScenarioConfig};
+//!
+//! let stock = run(ScenarioConfig::dot11n_download(150, 1, HackMode::Disabled));
+//! let hack = run(ScenarioConfig::dot11n_download(150, 1, HackMode::MoreData));
+//! println!(
+//!     "TCP/802.11n: {:.1} Mbps, TCP/HACK: {:.1} Mbps",
+//!     stock.aggregate_goodput_mbps, hack.aggregate_goodput_mbps
+//! );
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod driver;
+pub mod packet;
+pub mod scenario;
+pub mod sim;
+pub mod wired;
+
+pub use driver::{CompressSide, CompressSideStats, DecompressSide, DriverAction, HackMode};
+pub use packet::NetPacket;
+pub use scenario::{LossConfig, RunResult, ScenarioConfig, Standard, TrafficKind};
+pub use sim::{run, World};
+pub use wired::WiredLink;

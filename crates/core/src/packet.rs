@@ -1,0 +1,92 @@
+//! The MSDU type carried through the simulated network: an IPv4 packet.
+
+use hack_mac::Msdu;
+use hack_tcp::{Ipv4Packet, Transport};
+
+/// A network packet as the MAC sees it (an MSDU).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetPacket(pub Ipv4Packet);
+
+impl NetPacket {
+    /// The wrapped IPv4 packet.
+    pub fn ip(&self) -> &Ipv4Packet {
+        &self.0
+    }
+
+    /// Payload bytes carried for the application (TCP payload or UDP
+    /// payload), for goodput accounting.
+    pub fn app_payload_len(&self) -> u32 {
+        match &self.0.transport {
+            Transport::Tcp(t) => t.payload_len,
+            Transport::Udp { payload_len, .. } => *payload_len,
+        }
+    }
+
+    /// Is this a pure TCP acknowledgment?
+    pub fn is_pure_tcp_ack(&self) -> bool {
+        matches!(&self.0.transport, Transport::Tcp(t) if t.is_pure_ack())
+    }
+}
+
+impl Msdu for NetPacket {
+    fn wire_len(&self) -> u32 {
+        self.0.wire_len()
+    }
+
+    fn is_transport_ack(&self) -> bool {
+        self.is_pure_tcp_ack()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hack_tcp::{flags, Ipv4Addr, TcpSegment, TcpSeq};
+
+    fn tcp_pkt(payload: u32, fl: u8) -> NetPacket {
+        NetPacket(Ipv4Packet {
+            src: Ipv4Addr::new(10, 0, 0, 1),
+            dst: Ipv4Addr::new(192, 168, 0, 2),
+            ident: 1,
+            ttl: 64,
+            transport: Transport::Tcp(TcpSegment {
+                src_port: 80,
+                dst_port: 5000,
+                seq: TcpSeq(0),
+                ack: TcpSeq(0),
+                flags: fl,
+                window: 1000,
+                options: vec![],
+                payload_len: payload,
+            }),
+        })
+    }
+
+    #[test]
+    fn msdu_len_is_ip_len() {
+        let p = tcp_pkt(1460, flags::ACK | flags::PSH);
+        assert_eq!(p.wire_len(), 20 + 20 + 1460);
+        assert_eq!(p.app_payload_len(), 1460);
+    }
+
+    #[test]
+    fn transport_ack_detection() {
+        assert!(tcp_pkt(0, flags::ACK).is_transport_ack());
+        assert!(!tcp_pkt(100, flags::ACK).is_transport_ack());
+        assert!(!tcp_pkt(0, flags::ACK | flags::SYN).is_transport_ack());
+        let udp = NetPacket(Ipv4Packet {
+            src: Ipv4Addr::new(1, 1, 1, 1),
+            dst: Ipv4Addr::new(2, 2, 2, 2),
+            ident: 0,
+            ttl: 64,
+            transport: Transport::Udp {
+                src_port: 1,
+                dst_port: 2,
+                payload_len: 1472,
+            },
+        });
+        assert!(!udp.is_transport_ack());
+        assert_eq!(udp.wire_len(), 1500);
+        assert_eq!(udp.app_payload_len(), 1472);
+    }
+}

@@ -1,0 +1,214 @@
+//! Scenario configuration and results — the experiment-facing API.
+
+use hack_mac::MacStats;
+use hack_rohc::{CompressStats, DecompressStats};
+use hack_sim::{SimDuration, SimTime};
+use hack_tcp::TcpStats;
+
+use crate::driver::{CompressSideStats, HackMode};
+
+/// Which 802.11 flavour the cell runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Standard {
+    /// 802.11a DCF, single MPDUs + ACKs.
+    Dot11a {
+        /// PHY rate in Mbps (6–54).
+        rate_mbps: u64,
+    },
+    /// 802.11n EDCA with A-MPDU aggregation + Block ACKs.
+    Dot11n {
+        /// PHY rate in Mbps (HT40/SGI grid).
+        rate_mbps: u64,
+    },
+}
+
+/// The offered traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrafficKind {
+    /// Bulk TCP download (server/AP → clients) — the paper's main case.
+    TcpDownload,
+    /// Bulk TCP upload (clients → server) — the "wireless backup"
+    /// scenario; HACK runs symmetrically at the AP.
+    TcpUpload,
+    /// Saturating unidirectional UDP download (the capacity baseline).
+    UdpDownload,
+}
+
+/// Stochastic loss environment.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LossConfig {
+    /// Lossless links (collisions still occur).
+    Ideal,
+    /// Fixed per-client MPDU loss probability, indexed by client.
+    PerClient(Vec<f64>),
+    /// SNR-driven loss with every client at the given distance from the
+    /// AP (the Figure 11 sweep).
+    SnrDistance(f64),
+}
+
+/// Full description of one simulation run.
+#[derive(Debug, Clone)]
+pub struct ScenarioConfig {
+    /// MAC/PHY flavour and rate.
+    pub standard: Standard,
+    /// Number of wireless clients.
+    pub n_clients: usize,
+    /// HACK variant at every compress side.
+    pub hack_mode: HackMode,
+    /// Traffic pattern.
+    pub traffic: TrafficKind,
+    /// TCP delayed ACK at receivers.
+    pub delayed_ack: bool,
+    /// TCP sender lives on the AP itself (the SoRa testbed) instead of
+    /// behind the wired backhaul (the §4.3 simulations).
+    pub server_at_ap: bool,
+    /// Per-client AP transmit-queue capacity in packets (§4.3 sizes this
+    /// at 126 = three 42-packet batches).
+    pub ap_queue_cap: usize,
+    /// Loss environment.
+    pub loss: LossConfig,
+    /// Host network-stack turnaround (data in → ACK out). Must exceed
+    /// SIFS — that gap is the premise of the whole design (§2.2).
+    pub stack_delay: SimDuration,
+    /// Driver→NIC DMA latency for compressed-ACK descriptors (§3.3.1).
+    pub dma_delay: SimDuration,
+    /// Wall-clock length of the run.
+    pub duration: SimDuration,
+    /// Per-flow transfer size; `None` = saturating flow for the whole
+    /// run.
+    pub transfer_bytes: Option<u64>,
+    /// Gap between successive clients' flow starts (mitigates phase
+    /// effects, §4.3).
+    pub stagger: SimDuration,
+    /// Steady-state measurement starts this long after the *last* flow
+    /// start.
+    pub warmup: SimDuration,
+    /// RNG seed (equal seeds ⇒ identical runs).
+    pub seed: u64,
+    /// Apply the SoRa radio quirks (late LL ACKs + stretched timeout).
+    pub sora_quirks: bool,
+    /// Receiver-advertised TCP window in bytes. The testbed-era default
+    /// (128 KB) keeps a single flow from bloating the AP queue past the
+    /// minimum RTO; the ns-3 experiments use a 1 MB window with the
+    /// 126-packet AP queue doing the limiting.
+    pub rcv_window: u32,
+    /// Disable the §3.4 SYNC-bit retention machinery (ablation only).
+    pub disable_sync: bool,
+    /// Override the TXOP limit (ablation; `None` = the standard 4 ms).
+    pub txop_limit: Option<SimDuration>,
+    /// Override the MAC retry limit (ablation; `None` = the standard 7).
+    pub retry_limit: Option<u32>,
+}
+
+impl ScenarioConfig {
+    /// The paper's §4.3 802.11n download setup: wired server, MORE DATA
+    /// HACK off by default (set `hack_mode`), 126-packet per-client AP
+    /// queue.
+    pub fn dot11n_download(rate_mbps: u64, n_clients: usize, hack_mode: HackMode) -> Self {
+        ScenarioConfig {
+            standard: Standard::Dot11n { rate_mbps },
+            n_clients,
+            hack_mode,
+            traffic: TrafficKind::TcpDownload,
+            delayed_ack: true,
+            server_at_ap: false,
+            ap_queue_cap: 126,
+            loss: LossConfig::Ideal,
+            stack_delay: SimDuration::from_micros(30),
+            dma_delay: SimDuration::from_micros(15),
+            duration: SimDuration::from_secs(10),
+            transfer_bytes: None,
+            stagger: SimDuration::from_millis(500),
+            warmup: SimDuration::from_secs(1),
+            seed: 1,
+            sora_quirks: false,
+            rcv_window: 1 << 20,
+            disable_sync: false,
+            txop_limit: None,
+            retry_limit: None,
+        }
+    }
+
+    /// The SoRa testbed setup (§4.1–4.2): 802.11a at 54 Mbps, sender on
+    /// the AP, SoRa's late LL ACKs, client 1 lossier than client 2.
+    pub fn sora_testbed(n_clients: usize, hack_mode: HackMode) -> Self {
+        let per: Vec<f64> = (0..n_clients)
+            .map(|i| if i == 0 { 0.025 } else { 0.02 })
+            .collect();
+        ScenarioConfig {
+            standard: Standard::Dot11a { rate_mbps: 54 },
+            n_clients,
+            hack_mode,
+            traffic: TrafficKind::TcpDownload,
+            delayed_ack: true,
+            server_at_ap: true,
+            // The testbed's sender runs on the AP with an ordinary driver
+            // queue ("Linux drivers usually use buffer sizes of 1000
+            // packets", §4.3) — flows end up receive-window-limited, not
+            // tail-drop-limited.
+            ap_queue_cap: 1000,
+            loss: LossConfig::PerClient(per),
+            stack_delay: SimDuration::from_micros(30),
+            dma_delay: SimDuration::from_micros(15),
+            duration: SimDuration::from_secs(10),
+            transfer_bytes: None,
+            stagger: SimDuration::from_millis(200),
+            warmup: SimDuration::from_secs(1),
+            seed: 1,
+            sora_quirks: true,
+            rcv_window: 128 * 1024,
+            disable_sync: false,
+            txop_limit: None,
+            retry_limit: None,
+        }
+    }
+
+    /// Saturating UDP baseline over the same cell.
+    pub fn with_udp(mut self) -> Self {
+        self.traffic = TrafficKind::UdpDownload;
+        self
+    }
+}
+
+/// Everything measured in one run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Per-flow goodput (Mbps) over the steady-state window.
+    pub flow_goodput_mbps: Vec<f64>,
+    /// Aggregate steady-state goodput (Mbps).
+    pub aggregate_goodput_mbps: f64,
+    /// Per-flow goodput (Mbps) over the whole run including slow start
+    /// (what Figure 11 averages).
+    pub flow_goodput_full_mbps: Vec<f64>,
+    /// Time at which every byte-budgeted flow completed, if applicable.
+    pub completion: Option<SimTime>,
+    /// Per-station MAC statistics (index 0 = AP, then clients).
+    pub mac: Vec<MacStats>,
+    /// Per-client compress-side driver statistics.
+    pub driver: Vec<CompressSideStats>,
+    /// Per-client compressor statistics.
+    pub compressor: Vec<CompressStats>,
+    /// Decompressor statistics at the AP.
+    pub decompressor: DecompressStats,
+    /// Completed PPDUs on the medium.
+    pub ppdus: u64,
+    /// PPDUs corrupted by collisions.
+    pub collisions: u64,
+    /// Packets tail-dropped at the AP queue.
+    pub ap_queue_drops: u64,
+    /// TCP statistics of the data senders (per flow).
+    pub sender_tcp: Vec<TcpStats>,
+    /// TCP statistics of the data receivers (per flow).
+    pub receiver_tcp: Vec<TcpStats>,
+    /// Fraction of blob-carrying LL ACKs whose blob extension fits
+    /// within AIFS (the paper's 98.5 % claim, §3.3.2 fn 7).
+    pub blob_within_aifs: f64,
+}
+
+impl RunResult {
+    /// Table 1's row: fraction of data MPDUs needing no retries, over
+    /// the AP's transmissions (the AP sends the data in downloads).
+    pub fn ap_first_try_fraction(&self) -> Option<f64> {
+        self.mac.first().and_then(MacStats::first_try_fraction)
+    }
+}

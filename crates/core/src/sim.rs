@@ -1,0 +1,906 @@
+//! The whole-network event loop: stations, medium, wired backhaul, TCP
+//! endpoints, and the HACK drivers, wired together.
+//!
+//! ## Event ordering contract
+//!
+//! * When a PPDU ends, receptions are dispatched **before** channel-idle
+//!   edges, so NAV is always set before anyone resumes contention, and
+//!   the transmitter's `on_tx_end` runs last.
+//! * A station beginning a transmission notifies every other station's
+//!   carrier sense synchronously — a `TxStart` timer armed for the same
+//!   instant still fires (both stations transmit: that *is* a
+//!   collision).
+//! * Host-stack traversals (MAC → TCP and TCP → MAC) cost
+//!   `stack_delay`; blob installs cost `dma_delay`. Both exceed SIFS,
+//!   which is why TCP ACKs must ride a *later* frame's LL ACK (§2.2).
+
+use std::collections::HashMap;
+
+use hack_mac::{
+    Action, Frame, HackBlob, MacConfig, Station, TimerKind, TxDescriptor,
+};
+use hack_phy::{Channel, LossModel, Medium, PhyRate, PpduMeta, StationId, TxId};
+use hack_sim::{Scheduler, SimRng, SimTime, ThroughputMeter, TimerTable, TimerToken};
+use hack_tcp::{
+    Connection, FiveTuple, Ipv4Addr, Ipv4Packet, SendBudget, TcpConfig, Transport,
+};
+
+use crate::driver::{CompressSide, DecompressSide, DriverAction, HackMode};
+use crate::packet::NetPacket;
+use crate::scenario::{LossConfig, RunResult, ScenarioConfig, Standard, TrafficKind};
+use crate::wired::WiredLink;
+
+const AP: StationId = StationId(0);
+const SERVER_IP: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
+
+fn client_sid(i: usize) -> StationId {
+    StationId(1 + i as u32)
+}
+
+fn client_ip(i: usize) -> Ipv4Addr {
+    Ipv4Addr::new(192, 168, 0, 10 + i as u8)
+}
+
+/// One TCP endpoint living somewhere in the network.
+struct Endpoint {
+    conn: Option<Connection>,
+    /// `None` = behind the wired backhaul; `Some(sid)` = on a wireless
+    /// station (client, or the AP when `server_at_ap`).
+    station: Option<StationId>,
+    tuple: FiveTuple,
+    flow: usize,
+    /// Role: the flow's data sender?
+    is_sender: bool,
+    budget: SendBudget,
+    tcp_cfg: TcpConfig,
+    iss: u32,
+    delivered_recorded: u64,
+}
+
+enum Event {
+    FlowStart(usize),
+    MacTimer(StationId, TimerKind, TimerToken<(u32, TimerKind)>),
+    TxEnd(TxId),
+    HostRx {
+        station: StationId,
+        pkt: Ipv4Packet,
+        native: bool,
+    },
+    WiredDeliver {
+        to_ap: bool,
+        pkt: Ipv4Packet,
+    },
+    TcpTimer(usize, TimerToken<u32>),
+    InstallBlob {
+        station: StationId,
+        peer: StationId,
+        bytes: Vec<u8>,
+        generation: u64,
+    },
+    HackFlush(StationId, StationId, TimerToken<(u32, u32)>),
+}
+
+/// The assembled simulation.
+pub struct World {
+    cfg: ScenarioConfig,
+    sched: Scheduler<Event>,
+    mac_timers: TimerTable<(u32, TimerKind)>,
+    tcp_timers: TimerTable<u32>,
+    flush_timers: TimerTable<(u32, u32)>,
+    medium: Medium,
+    stations: Vec<Station<NetPacket>>,
+    compress: HashMap<(u32, u32), CompressSide>,
+    decompress: Vec<DecompressSide>,
+    tx_payloads: HashMap<TxId, (Vec<Frame<NetPacket>>, bool, StationId)>,
+    wired: WiredLink,
+    endpoints: Vec<Endpoint>,
+    ep_by_tuple: HashMap<FiveTuple, usize>,
+    meters: Vec<ThroughputMeter>,
+    flow_start_at: Vec<SimTime>,
+    rng: SimRng,
+    end: SimTime,
+    ap_queue_drops: u64,
+    udp_ident: u16,
+    completion: Option<SimTime>,
+}
+
+impl World {
+    /// Build the network described by `cfg`.
+    pub fn new(cfg: ScenarioConfig) -> Self {
+        let n = cfg.n_clients;
+        assert!(n >= 1, "need at least one client");
+        let rng = SimRng::new(cfg.seed);
+
+        // --- PHY rate and MAC configs ---
+        let (_rate, base_mac): (PhyRate, MacConfig) = match cfg.standard {
+            Standard::Dot11a { rate_mbps } => {
+                let r = PhyRate::dot11a(rate_mbps);
+                (r, MacConfig::dot11a(r))
+            }
+            Standard::Dot11n { rate_mbps } => {
+                let r = PhyRate::ht(rate_mbps);
+                (r, MacConfig::dot11n(r))
+            }
+        };
+        let hack_on = cfg.hack_mode != HackMode::Disabled;
+        let mut mac_cfg = base_mac;
+        if hack_on && cfg.hack_mode != HackMode::Opportunistic {
+            // MORE DATA marking and SYNC are the MAC-visible HACK bits;
+            // Opportunistic deliberately runs without them (§3.2).
+            mac_cfg = mac_cfg.with_hack_bits();
+        }
+        if hack_on {
+            // SYNC-based retention is part of every HACK build (unless
+            // ablated away to demonstrate why §3.4 needs it).
+            mac_cfg.use_sync = !cfg.disable_sync;
+        }
+        if cfg.sora_quirks {
+            mac_cfg = mac_cfg.with_sora_quirks();
+        }
+        if let Some(txop) = cfg.txop_limit {
+            mac_cfg.timings.txop_limit = txop;
+        }
+        if let Some(limit) = cfg.retry_limit {
+            mac_cfg.timings.retry_limit = limit;
+        }
+
+        // --- stations & medium ---
+        let station_ids: Vec<StationId> =
+            std::iter::once(AP).chain((0..n).map(client_sid)).collect();
+        let mut channel = Channel::indoor();
+        channel.place(AP, 0.0, 0.0);
+        let mut place_rng = rng.fork(0xC1AC);
+        for i in 0..n {
+            let (x, y) = match cfg.loss {
+                LossConfig::SnrDistance(d) => (d, 0.0),
+                _ => place_rng.point_in_disc(10.0),
+            };
+            channel.place(client_sid(i), x, y);
+        }
+        let loss = match &cfg.loss {
+            LossConfig::Ideal => LossModel::Ideal,
+            LossConfig::PerClient(per) => LossModel::fixed(
+                per.iter()
+                    .enumerate()
+                    .map(|(i, &p)| (client_sid(i), p)),
+            ),
+            LossConfig::SnrDistance(_) => LossModel::Snr,
+        };
+        let medium = Medium::new(station_ids.clone(), loss, Some(channel));
+
+        let stations: Vec<Station<NetPacket>> = station_ids
+            .iter()
+            .map(|&sid| Station::new(sid, mac_cfg.clone(), rng.fork(u64::from(sid.0) + 1)))
+            .collect();
+
+        // --- HACK drivers ---
+        let mut compress = HashMap::new();
+        let decompress = station_ids.iter().map(|_| DecompressSide::new()).collect();
+        for i in 0..n {
+            let c = client_sid(i);
+            // Client compresses toward the AP (downloads)…
+            compress.insert((c.0, AP.0), CompressSide::new(cfg.hack_mode));
+            // …and the AP toward each client (uploads) — symmetric design.
+            compress.insert((AP.0, c.0), CompressSide::new(cfg.hack_mode));
+        }
+
+        // --- endpoints ---
+        let mut endpoints = Vec::new();
+        let mut ep_by_tuple = HashMap::new();
+        let mut meters = Vec::new();
+        let mut flow_start_at = Vec::new();
+        let base_start = SimTime::from_millis(10);
+        let tcp_cfg = TcpConfig {
+            delayed_ack: cfg.delayed_ack,
+            rcv_window: cfg.rcv_window,
+            ..TcpConfig::default()
+        };
+        if cfg.traffic != TrafficKind::UdpDownload {
+            for i in 0..n {
+                let client_tuple = FiveTuple {
+                    src_ip: client_ip(i),
+                    dst_ip: SERVER_IP,
+                    src_port: 40_000 + i as u16,
+                    dst_port: 5_001 + i as u16,
+                    protocol: 6,
+                };
+                let upload = cfg.traffic == TrafficKind::TcpUpload;
+                let budget = match cfg.transfer_bytes {
+                    Some(b) => SendBudget::Bytes(b),
+                    None => SendBudget::Unlimited,
+                };
+                // Wireless-client endpoint (always the TCP initiator).
+                let ep_client = Endpoint {
+                    conn: None,
+                    station: Some(client_sid(i)),
+                    tuple: client_tuple,
+                    flow: i,
+                    is_sender: upload,
+                    budget: if upload { budget } else { SendBudget::None },
+                    tcp_cfg: tcp_cfg.clone(),
+                    iss: 10_000 + i as u32 * 101,
+                    delivered_recorded: 0,
+                };
+                // Server endpoint (wired, or on the AP itself).
+                let mut server_conn = Connection::server(
+                    tcp_cfg.clone(),
+                    client_tuple.reversed(),
+                    90_000 + i as u32 * 103,
+                );
+                server_conn.set_budget(if upload { SendBudget::None } else { budget });
+                let ep_server = Endpoint {
+                    conn: Some(server_conn),
+                    station: cfg.server_at_ap.then_some(AP),
+                    tuple: client_tuple.reversed(),
+                    flow: i,
+                    is_sender: !upload,
+                    budget: SendBudget::None, // already set on conn
+                    tcp_cfg: tcp_cfg.clone(),
+                    iss: 0,
+                    delivered_recorded: 0,
+                };
+                let ci = endpoints.len();
+                ep_by_tuple.insert(ep_client.tuple, ci);
+                endpoints.push(ep_client);
+                let si = endpoints.len();
+                ep_by_tuple.insert(ep_server.tuple, si);
+                endpoints.push(ep_server);
+                meters.push(ThroughputMeter::new());
+                flow_start_at.push(base_start + cfg.stagger * i as u64);
+            }
+        } else {
+            for i in 0..n {
+                meters.push(ThroughputMeter::new());
+                flow_start_at.push(base_start + cfg.stagger * i as u64);
+            }
+        }
+
+        let end = SimTime::ZERO + cfg.duration;
+        let mut world = World {
+            sched: Scheduler::new(),
+            mac_timers: TimerTable::new(),
+            tcp_timers: TimerTable::new(),
+            flush_timers: TimerTable::new(),
+            medium,
+            stations,
+            compress,
+            decompress,
+            tx_payloads: HashMap::new(),
+            wired: WiredLink::paper_backhaul(),
+            endpoints,
+            ep_by_tuple,
+            meters,
+            flow_start_at: flow_start_at.clone(),
+            rng: rng.fork(0xF00D),
+            end,
+            ap_queue_drops: 0,
+            udp_ident: 0,
+            completion: None,
+            cfg,
+        };
+        for (i, &at) in flow_start_at.iter().enumerate() {
+            world.sched.schedule_at(at, Event::FlowStart(i));
+        }
+        world
+    }
+
+    /// Run to completion and collect results.
+    pub fn run(mut self) -> RunResult {
+        while let Some(at) = self.sched.peek_time() {
+            if at > self.end {
+                break;
+            }
+            let (now, ev) = self.sched.pop().expect("peeked");
+            self.handle(ev, now);
+            if self.completion.is_some() {
+                break;
+            }
+        }
+        self.collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Event handling
+    // ------------------------------------------------------------------
+
+    fn handle(&mut self, ev: Event, now: SimTime) {
+        match ev {
+            Event::FlowStart(flow) => self.start_flow(flow, now),
+            Event::MacTimer(sid, kind, token) => {
+                if self.mac_timers.fire(token) {
+                    let acts = self.stations[sid.0 as usize].on_timer(kind, now);
+                    self.apply(sid, acts, now);
+                }
+            }
+            Event::TxEnd(id) => self.on_tx_end(id, now),
+            Event::HostRx {
+                station,
+                pkt,
+                native,
+            } => self.on_host_rx(station, pkt, native, now),
+            Event::WiredDeliver { to_ap, pkt } => {
+                if to_ap {
+                    self.ap_downstream(pkt, now);
+                } else {
+                    self.deliver_to_endpoint(pkt, now);
+                }
+            }
+            Event::TcpTimer(ep, token) => {
+                if self.tcp_timers.fire(token) {
+                    let outputs = {
+                        let conn = self.endpoints[ep].conn.as_mut().expect("timer on live conn");
+                        conn.on_timer(now)
+                    };
+                    self.route_out(ep, outputs, now);
+                    self.record_delivery(ep, now);
+                    self.resched_tcp(ep, now);
+                }
+            }
+            Event::InstallBlob {
+                station,
+                peer,
+                bytes,
+                generation,
+            } => {
+                let side = self
+                    .compress
+                    .get(&(station.0, peer.0))
+                    .expect("driver exists");
+                if side.generation() == generation {
+                    self.stations[station.0 as usize]
+                        .set_hack_blob(peer, HackBlob { bytes });
+                }
+            }
+            Event::HackFlush(station, peer, token) => {
+                if self.flush_timers.fire(token) {
+                    let dacts = self
+                        .compress
+                        .get_mut(&(station.0, peer.0))
+                        .expect("driver exists")
+                        .on_flush_timer(now);
+                    self.apply_driver(station, peer, dacts, now);
+                }
+            }
+        }
+    }
+
+    fn start_flow(&mut self, flow: usize, now: SimTime) {
+        if self.cfg.traffic == TrafficKind::UdpDownload {
+            self.top_up_udp(flow, now);
+            return;
+        }
+        let ep = flow * 2; // client endpoint index
+        let (conn, pkts) = Connection::client(
+            self.endpoints[ep].tcp_cfg.clone(),
+            self.endpoints[ep].tuple,
+            self.endpoints[ep].iss,
+            now,
+        );
+        let mut conn = conn;
+        conn.set_budget(self.endpoints[ep].budget);
+        self.endpoints[ep].conn = Some(conn);
+        self.route_out(ep, pkts, now);
+        self.resched_tcp(ep, now);
+    }
+
+    fn on_tx_end(&mut self, id: TxId, now: SimTime) {
+        let (frames, aggregated, src) = self.tx_payloads.remove(&id).expect("tx payload");
+        let outcome = self.medium.end_tx(id, now, &mut self.rng);
+
+        // 1) Receptions (before idle edges: NAV first).
+        for rec in &outcome.receptions {
+            let sid = rec.station;
+            if rec.detected {
+                let decoded: Vec<Frame<NetPacket>> = frames
+                    .iter()
+                    .enumerate()
+                    .filter(|&(i, _)| rec.mpdu_ok.get(i).copied().unwrap_or(false))
+                    .map(|(_, f)| f.clone())
+                    .collect();
+                if decoded.is_empty() {
+                    let acts = self.stations[sid.0 as usize].on_rx_garbage(now);
+                    self.apply(sid, acts, now);
+                } else {
+                    let acts =
+                        self.stations[sid.0 as usize].on_rx_ppdu(decoded, aggregated, now);
+                    self.apply(sid, acts, now);
+                }
+            } else {
+                let acts = self.stations[sid.0 as usize].on_rx_garbage(now);
+                self.apply(sid, acts, now);
+            }
+        }
+
+        // 2) Idle edges once the medium is quiet.
+        if !self.medium.busy() {
+            for i in 0..self.stations.len() {
+                let sid = StationId(i as u32);
+                let acts = self.stations[i].on_channel_idle(now);
+                self.apply(sid, acts, now);
+            }
+        }
+
+        // 3) Transmitter bookkeeping.
+        let acts = self.stations[src.0 as usize].on_tx_end(now);
+        self.apply(src, acts, now);
+    }
+
+    /// Materialize MAC actions for station `sid`.
+    fn apply(&mut self, sid: StationId, actions: Vec<Action<NetPacket>>, now: SimTime) {
+        for act in actions {
+            match act {
+                Action::StartTx(desc) => self.start_tx(sid, desc, now),
+                Action::SetTimer { kind, at } => {
+                    let token = self.mac_timers.arm((sid.0, kind));
+                    self.sched
+                        .schedule_at(at.max(now), Event::MacTimer(sid, kind, token));
+                }
+                Action::CancelTimer { kind } => {
+                    self.mac_timers.cancel((sid.0, kind));
+                }
+                Action::Deliver { src: _, msdu } => {
+                    self.sched.schedule_at(
+                        now + self.cfg.stack_delay,
+                        Event::HostRx {
+                            station: sid,
+                            pkt: msdu.0,
+                            native: true,
+                        },
+                    );
+                }
+                Action::DataReceived(info) => {
+                    let key = (sid.0, info.from.0);
+                    if let Some(side) = self.compress.get_mut(&key) {
+                        let dacts = side.on_data_received(&info, now);
+                        self.apply_driver(sid, info.from, dacts, now);
+                    }
+                }
+                Action::ResponseSent {
+                    to,
+                    kind: _,
+                    attached_blob,
+                } => {
+                    let key = (sid.0, to.0);
+                    if let Some(side) = self.compress.get_mut(&key) {
+                        let dacts = side.on_response_sent(attached_blob, now);
+                        // Opportunistic: withdraw native twins that rode.
+                        if side.mode() == HackMode::Opportunistic && attached_blob {
+                            let idents = side.ridden_idents();
+                            if !idents.is_empty() {
+                                self.stations[sid.0 as usize].withdraw_unsent(to, |m| {
+                                    m.is_pure_tcp_ack() && idents.contains(&m.ip().ident)
+                                });
+                            }
+                        }
+                        self.apply_driver(sid, to, dacts, now);
+                    }
+                }
+                Action::ResponseReceived {
+                    from,
+                    blob,
+                    acked: _,
+                    acked_msdus,
+                } => {
+                    if let Some(blob) = blob {
+                        let pkts = self.decompress[sid.0 as usize].on_blob(&blob.bytes);
+                        for pkt in pkts {
+                            self.sched.schedule_at(
+                                now + self.cfg.stack_delay,
+                                Event::HostRx {
+                                    station: sid,
+                                    pkt,
+                                    native: false,
+                                },
+                            );
+                        }
+                    }
+                    // Delivered natives advance the compressor floor (and
+                    // in Opportunistic mode cancel held twins).
+                    let key = (sid.0, from.0);
+                    if let Some(side) = self.compress.get_mut(&key) {
+                        let acked: Vec<NetPacket> = acked_msdus
+                            .iter()
+                            .filter(|m| m.is_pure_tcp_ack())
+                            .cloned()
+                            .collect();
+                        if !acked.is_empty() {
+                            let dacts = side.on_natives_delivered(&acked);
+                            self.apply_driver(sid, from, dacts, now);
+                        }
+                    }
+                    // UDP source refill.
+                    if sid == AP && self.cfg.traffic == TrafficKind::UdpDownload {
+                        if let Some(flow) = self.flow_of_client(from) {
+                            self.top_up_udp(flow, now);
+                        }
+                    }
+                }
+                Action::BarReceived { .. } => {}
+                Action::MsduDropped { dst, .. } => {
+                    if sid == AP && self.cfg.traffic == TrafficKind::UdpDownload {
+                        if let Some(flow) = self.flow_of_client(dst) {
+                            self.top_up_udp(flow, now);
+                        }
+                    }
+                }
+                Action::BarExhausted { .. } => {}
+            }
+        }
+    }
+
+    fn start_tx(&mut self, sid: StationId, desc: TxDescriptor<NetPacket>, now: SimTime) {
+        let mpdu_lens: Vec<u32> = desc.frames.iter().map(Frame::wire_len).collect();
+        let dst = desc.frames.first().map(Frame::dst);
+        let control = desc.is_response
+            || matches!(desc.frames.first(), Some(Frame::BlockAckReq { .. }));
+        let meta = PpduMeta {
+            src: sid,
+            dst,
+            rate: desc.rate,
+            mpdu_lens,
+            control,
+            duration: desc.duration,
+        };
+        let id = self.medium.begin_tx(meta, now);
+        self.tx_payloads
+            .insert(id, (desc.frames, desc.aggregated, sid));
+        self.sched.schedule_at(now + desc.duration, Event::TxEnd(id));
+        // Carrier sense: everyone else hears the medium go busy.
+        for i in 0..self.stations.len() {
+            let other = StationId(i as u32);
+            if other != sid {
+                let acts = self.stations[i].on_channel_busy(now);
+                self.apply(other, acts, now);
+            }
+        }
+    }
+
+    fn apply_driver(
+        &mut self,
+        sid: StationId,
+        peer: StationId,
+        dacts: Vec<DriverAction>,
+        now: SimTime,
+    ) {
+        for d in dacts {
+            match d {
+                DriverAction::SendNative(pkt) => {
+                    let acts =
+                        self.stations[sid.0 as usize].enqueue(peer, NetPacket(pkt), now);
+                    self.apply(sid, acts, now);
+                }
+                DriverAction::InstallBlob { bytes, generation } => {
+                    self.sched.schedule_at(
+                        now + self.cfg.dma_delay,
+                        Event::InstallBlob {
+                            station: sid,
+                            peer,
+                            bytes,
+                            generation,
+                        },
+                    );
+                }
+                DriverAction::ClearBlob => {
+                    self.stations[sid.0 as usize].clear_hack_blob(peer);
+                }
+                DriverAction::SetFlushTimer(at) => {
+                    let token = self.flush_timers.arm((sid.0, peer.0));
+                    self.sched
+                        .schedule_at(at.max(now), Event::HackFlush(sid, peer, token));
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Host / routing
+    // ------------------------------------------------------------------
+
+    /// A packet surfaced at a wireless node's host stack.
+    fn on_host_rx(&mut self, station: StationId, pkt: Ipv4Packet, native: bool, now: SimTime) {
+        if station == AP && !self.endpoint_at(&pkt, station) {
+            // Bridge upstream: native pure ACKs refresh the AP contexts.
+            if native {
+                if let Transport::Tcp(t) = &pkt.transport {
+                    if t.is_pure_ack() {
+                        self.decompress[AP.0 as usize].on_native_ack(&pkt);
+                    }
+                }
+            }
+            let arrive = self.wired.send(false, &pkt, now);
+            self.sched
+                .schedule_at(arrive, Event::WiredDeliver { to_ap: false, pkt });
+            return;
+        }
+        if station == AP && native {
+            // Server on the AP: contexts still need refreshing.
+            if let Transport::Tcp(t) = &pkt.transport {
+                if t.is_pure_ack() {
+                    self.decompress[AP.0 as usize].on_native_ack(&pkt);
+                }
+            }
+        }
+        self.deliver_to_endpoint(pkt, now);
+    }
+
+    /// Is there a local endpoint at `station` for this packet?
+    fn endpoint_at(&self, pkt: &Ipv4Packet, station: StationId) -> bool {
+        match self.ep_for(pkt) {
+            Some(ep) => self.endpoints[ep].station == Some(station),
+            None => false,
+        }
+    }
+
+    fn ep_for(&self, pkt: &Ipv4Packet) -> Option<usize> {
+        self.ep_by_tuple.get(&pkt.five_tuple().reversed()).copied()
+    }
+
+    /// Hand `pkt` to its destination endpoint (server or local stack).
+    fn deliver_to_endpoint(&mut self, pkt: Ipv4Packet, now: SimTime) {
+        if self.cfg.traffic == TrafficKind::UdpDownload {
+            // UDP sink: record goodput directly.
+            if let Transport::Udp { payload_len, .. } = pkt.transport {
+                if let Some(flow) = self.flow_of_client_ip(pkt.dst) {
+                    self.meters[flow].record(now, u64::from(payload_len));
+                }
+            }
+            return;
+        }
+        let Some(ep) = self.ep_for(&pkt) else {
+            return; // e.g. stray retransmission after teardown
+        };
+        if self.endpoints[ep].conn.is_none() {
+            return; // packet for a flow that has not started
+        }
+        let outputs = {
+            let conn = self.endpoints[ep].conn.as_mut().expect("checked");
+            conn.on_packet(&pkt, now)
+        };
+        self.route_out(ep, outputs, now);
+        self.record_delivery(ep, now);
+        self.resched_tcp(ep, now);
+        self.check_completion(now);
+    }
+
+    /// Send an endpoint's outbound packets toward the peer.
+    fn route_out(&mut self, ep: usize, pkts: Vec<Ipv4Packet>, now: SimTime) {
+        let station = self.endpoints[ep].station;
+        for pkt in pkts {
+            match station {
+                None => {
+                    // Wired server → AP.
+                    let arrive = self.wired.send(true, &pkt, now);
+                    self.sched
+                        .schedule_at(arrive, Event::WiredDeliver { to_ap: true, pkt });
+                }
+                Some(sid) if sid == AP => {
+                    // Server on the AP: straight into the downstream path.
+                    self.ap_downstream(pkt, now);
+                }
+                Some(sid) => {
+                    // Client → AP over the air; pure ACKs go through the
+                    // HACK driver.
+                    self.wireless_out(sid, AP, pkt, now);
+                }
+            }
+        }
+    }
+
+    /// Transmit from a wireless node, routing pure TCP ACKs through the
+    /// node's compress-side driver.
+    fn wireless_out(&mut self, sid: StationId, peer: StationId, pkt: Ipv4Packet, now: SimTime) {
+        let is_ack = matches!(&pkt.transport, Transport::Tcp(t) if t.is_pure_ack());
+        let key = (sid.0, peer.0);
+        if is_ack && self.compress.contains_key(&key) {
+            let dacts = self
+                .compress
+                .get_mut(&key)
+                .expect("checked")
+                .on_ack_out(pkt, now);
+            self.apply_driver(sid, peer, dacts, now);
+        } else {
+            let acts = self.stations[sid.0 as usize].enqueue(peer, NetPacket(pkt), now);
+            self.apply(sid, acts, now);
+        }
+    }
+
+    /// The AP forwards a packet toward its wireless client (tail-drop
+    /// queue for data; ACKs ride the HACK driver).
+    fn ap_downstream(&mut self, pkt: Ipv4Packet, now: SimTime) {
+        let Some(client) = self.client_by_ip(pkt.dst) else {
+            return;
+        };
+        let is_ack = matches!(&pkt.transport, Transport::Tcp(t) if t.is_pure_ack());
+        if is_ack {
+            self.wireless_out(AP, client, pkt, now);
+            return;
+        }
+        if self.stations[AP.0 as usize].backlog(client) >= self.cfg.ap_queue_cap {
+            self.ap_queue_drops += 1;
+            return;
+        }
+        let acts = self.stations[AP.0 as usize].enqueue(client, NetPacket(pkt), now);
+        self.apply(AP, acts, now);
+    }
+
+    // ------------------------------------------------------------------
+    // Helpers
+    // ------------------------------------------------------------------
+
+    fn client_by_ip(&self, ip: Ipv4Addr) -> Option<StationId> {
+        (0..self.cfg.n_clients)
+            .find(|&i| client_ip(i) == ip)
+            .map(client_sid)
+    }
+
+    fn flow_of_client(&self, sid: StationId) -> Option<usize> {
+        (sid.0 >= 1 && (sid.0 as usize) <= self.cfg.n_clients).then(|| sid.0 as usize - 1)
+    }
+
+    fn flow_of_client_ip(&self, ip: Ipv4Addr) -> Option<usize> {
+        (0..self.cfg.n_clients).find(|&i| client_ip(i) == ip)
+    }
+
+    fn top_up_udp(&mut self, flow: usize, now: SimTime) {
+        let client = client_sid(flow);
+        while self.stations[AP.0 as usize].backlog(client) < self.cfg.ap_queue_cap {
+            self.udp_ident = self.udp_ident.wrapping_add(1);
+            let pkt = Ipv4Packet {
+                src: SERVER_IP,
+                dst: client_ip(flow),
+                ident: self.udp_ident,
+                ttl: 64,
+                transport: Transport::Udp {
+                    src_port: 5001,
+                    dst_port: 40_000 + flow as u16,
+                    payload_len: 1472,
+                },
+            };
+            let acts = self.stations[AP.0 as usize].enqueue(client, NetPacket(pkt), now);
+            self.apply(AP, acts, now);
+        }
+    }
+
+    fn record_delivery(&mut self, ep: usize, now: SimTime) {
+        let e = &mut self.endpoints[ep];
+        let Some(conn) = &e.conn else { return };
+        if e.is_sender {
+            return;
+        }
+        let delivered = conn.bytes_delivered();
+        if delivered > e.delivered_recorded {
+            let delta = delivered - e.delivered_recorded;
+            e.delivered_recorded = delivered;
+            let flow = e.flow;
+            self.meters[flow].record(now, delta);
+        }
+    }
+
+    fn resched_tcp(&mut self, ep: usize, now: SimTime) {
+        let next = self.endpoints[ep]
+            .conn
+            .as_ref()
+            .and_then(Connection::next_timer);
+        match next {
+            Some(at) => {
+                let token = self.tcp_timers.arm(ep as u32);
+                self.sched
+                    .schedule_at(at.max(now), Event::TcpTimer(ep, token));
+            }
+            None => self.tcp_timers.cancel(ep as u32),
+        }
+    }
+
+    fn check_completion(&mut self, now: SimTime) {
+        let Some(target) = self.cfg.transfer_bytes else {
+            return;
+        };
+        let done = (0..self.cfg.n_clients).all(|flow| {
+            let receiver = if self.cfg.traffic == TrafficKind::TcpUpload {
+                flow * 2 + 1
+            } else {
+                flow * 2
+            };
+            self.endpoints[receiver]
+                .conn
+                .as_ref()
+                .is_some_and(|c| c.bytes_delivered() >= target)
+        });
+        if done {
+            self.completion = Some(now);
+        }
+    }
+
+    fn collect(self) -> RunResult {
+        let n = self.cfg.n_clients;
+        let last_start = self
+            .flow_start_at
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(SimTime::ZERO);
+        let measure_from = last_start + self.cfg.warmup;
+        let end = self.completion.unwrap_or(self.end);
+        let first_start = self
+            .flow_start_at
+            .first()
+            .copied()
+            .unwrap_or(SimTime::ZERO);
+
+        let flow_goodput_mbps: Vec<f64> = self
+            .meters
+            .iter()
+            .map(|m| m.mbps_between(measure_from, end))
+            .collect();
+        let flow_goodput_full_mbps: Vec<f64> = self
+            .meters
+            .iter()
+            .map(|m| m.mbps_between(first_start, end))
+            .collect();
+
+        let mac: Vec<_> = self.stations.iter().map(|s| s.stats().clone()).collect();
+        let mut driver = Vec::new();
+        let mut compressor = Vec::new();
+        for i in 0..n {
+            let key = (client_sid(i).0, AP.0);
+            let side = &self.compress[&key];
+            driver.push(side.stats().clone());
+            compressor.push(side.compressor_stats().clone());
+        }
+        let within: u64 = mac.iter().map(|m| m.blob_within_aifs.get()).sum();
+        let beyond: u64 = mac.iter().map(|m| m.blob_beyond_aifs.get()).sum();
+        let blob_within_aifs = if within + beyond == 0 {
+            1.0
+        } else {
+            within as f64 / (within + beyond) as f64
+        };
+
+        let mut sender_tcp = Vec::new();
+        let mut receiver_tcp = Vec::new();
+        if self.cfg.traffic != TrafficKind::UdpDownload {
+            for flow in 0..n {
+                let (s, r) = if self.cfg.traffic == TrafficKind::TcpUpload {
+                    (flow * 2, flow * 2 + 1)
+                } else {
+                    (flow * 2 + 1, flow * 2)
+                };
+                sender_tcp.push(
+                    self.endpoints[s]
+                        .conn
+                        .as_ref()
+                        .map(|c| c.stats().clone())
+                        .unwrap_or_default(),
+                );
+                receiver_tcp.push(
+                    self.endpoints[r]
+                        .conn
+                        .as_ref()
+                        .map(|c| c.stats().clone())
+                        .unwrap_or_default(),
+                );
+            }
+        }
+
+        RunResult {
+            aggregate_goodput_mbps: flow_goodput_mbps.iter().sum(),
+            flow_goodput_mbps,
+            flow_goodput_full_mbps,
+            completion: self.completion,
+            mac,
+            driver,
+            compressor,
+            decompressor: self.decompress[AP.0 as usize].stats().clone(),
+            ppdus: self.medium.completed(),
+            collisions: self.medium.collisions(),
+            ap_queue_drops: self.ap_queue_drops,
+            sender_tcp,
+            receiver_tcp,
+            blob_within_aifs,
+        }
+    }
+}
+
+/// Run one scenario to completion.
+pub fn run(cfg: ScenarioConfig) -> RunResult {
+    World::new(cfg).run()
+}

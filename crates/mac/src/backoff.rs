@@ -1,0 +1,308 @@
+//! DCF/EDCA contention: interframe spacing plus binary-exponential
+//! backoff, computed analytically instead of slot-by-slot.
+//!
+//! Rather than scheduling an event per 9 µs slot, [`Contention`] computes
+//! the absolute instant at which the backoff counter reaches zero given
+//! the time the medium became (and stayed) idle. When the medium goes
+//! busy before that instant, [`Contention::pause`] credits the whole
+//! slots that elapsed and freezes the remainder — exactly the 802.11
+//! decrement-per-idle-slot rule, at a fraction of the event count.
+
+use hack_phy::MacTimings;
+use hack_sim::{SimRng, SimTime};
+
+/// Contention state for one station.
+#[derive(Debug, Clone)]
+pub struct Contention {
+    timings: MacTimings,
+    /// Contention window for the next draw.
+    cw: u32,
+    /// Consecutive failed exchanges for the current head-of-line work.
+    retries: u32,
+    /// Frozen backoff slots remaining; `None` means a fresh draw is due.
+    remaining: Option<u32>,
+    /// When the current countdown started (anchor for pause accounting);
+    /// `Some` only while a countdown is armed.
+    anchor: Option<SimTime>,
+    /// Use EIFS instead of AIFS for the next countdown (after a reception
+    /// error, per 802.11).
+    use_eifs: bool,
+}
+
+impl Contention {
+    /// Fresh contention state at CWmin.
+    pub fn new(timings: MacTimings) -> Self {
+        Contention {
+            cw: timings.cw_min,
+            timings,
+            retries: 0,
+            remaining: None,
+            anchor: None,
+            use_eifs: false,
+        }
+    }
+
+    /// Current contention window.
+    pub fn cw(&self) -> u32 {
+        self.cw
+    }
+
+    /// Consecutive failures for the current exchange.
+    pub fn retries(&self) -> u32 {
+        self.retries
+    }
+
+    /// Frozen slots remaining, if a draw exists.
+    pub fn remaining(&self) -> Option<u32> {
+        self.remaining
+    }
+
+    /// Flag the next countdown to use EIFS (called after garbage rx).
+    pub fn set_eifs(&mut self) {
+        self.use_eifs = true;
+    }
+
+    /// Clear the EIFS condition (called after a correct rx).
+    pub fn clear_eifs(&mut self) {
+        self.use_eifs = false;
+    }
+
+    /// The interframe space the next countdown will wait.
+    fn ifs(&self) -> hack_sim::SimDuration {
+        if self.use_eifs {
+            self.timings.eifs()
+        } else {
+            self.timings.aifs()
+        }
+    }
+
+    /// Begin (or resume) the countdown given that the medium has been and
+    /// remains idle since `idle_since` and the station has had pending
+    /// work since `work_since`. Draws a fresh backoff if none is frozen.
+    /// Returns the absolute time at which transmission may start.
+    pub fn start_countdown(
+        &mut self,
+        idle_since: SimTime,
+        work_since: SimTime,
+        rng: &mut SimRng,
+    ) -> SimTime {
+        let remaining = match self.remaining {
+            Some(r) => r,
+            None => {
+                let r = rng.uniform(self.cw + 1);
+                self.remaining = Some(r);
+                r
+            }
+        };
+        let anchor = idle_since.max(work_since);
+        self.anchor = Some(anchor);
+        anchor + self.ifs() + self.timings.slot * u64::from(remaining)
+    }
+
+    /// The medium went busy at `busy_at` before the countdown finished:
+    /// credit fully elapsed slots and freeze the rest. No-op if no
+    /// countdown was armed.
+    pub fn pause(&mut self, busy_at: SimTime) {
+        let (Some(anchor), Some(remaining)) = (self.anchor.take(), self.remaining) else {
+            return;
+        };
+        let countdown_start = anchor + self.ifs();
+        if busy_at <= countdown_start {
+            return; // Still inside the IFS: no slots elapsed.
+        }
+        let elapsed_ns = busy_at.duration_since(countdown_start).as_nanos();
+        let slots = (elapsed_ns / self.timings.slot.as_nanos()) as u32;
+        self.remaining = Some(remaining.saturating_sub(slots));
+    }
+
+    /// The armed countdown completed and the frame was sent: clear the
+    /// draw (a fresh post-transmission backoff will be drawn next time).
+    pub fn consume(&mut self) {
+        self.remaining = None;
+        self.anchor = None;
+    }
+
+    /// The exchange succeeded: reset CW and the retry count.
+    pub fn on_success(&mut self) {
+        self.cw = self.timings.cw_min;
+        self.retries = 0;
+    }
+
+    /// The exchange failed (no response): double CW, count a retry, force
+    /// a fresh draw. Returns `false` once the retry limit is exceeded —
+    /// the caller must abandon the frame and then call
+    /// [`Contention::on_abandon`].
+    pub fn on_failure(&mut self) -> bool {
+        self.retries += 1;
+        self.cw = ((self.cw + 1) * 2 - 1).min(self.timings.cw_max);
+        self.remaining = None;
+        self.anchor = None;
+        self.retries <= self.timings.retry_limit
+    }
+
+    /// The frame was abandoned after exhausting retries: reset for the
+    /// next head-of-line frame.
+    pub fn on_abandon(&mut self) {
+        self.cw = self.timings.cw_min;
+        self.retries = 0;
+        self.remaining = None;
+        self.anchor = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hack_phy::MacTimings;
+    use hack_sim::SimDuration;
+
+    fn rng() -> SimRng {
+        SimRng::new(42)
+    }
+
+    #[test]
+    fn countdown_is_ifs_plus_slots() {
+        let mut c = Contention::new(MacTimings::dot11a());
+        let mut r = rng();
+        let t0 = SimTime::from_micros(100);
+        let tx_at = c.start_countdown(t0, t0, &mut r);
+        let slots = c.remaining().unwrap();
+        assert!(slots <= 15);
+        assert_eq!(
+            tx_at,
+            t0 + SimDuration::from_micros(34) + SimDuration::from_micros(9) * u64::from(slots)
+        );
+    }
+
+    #[test]
+    fn anchor_is_later_of_idle_and_work() {
+        let mut c = Contention::new(MacTimings::dot11a());
+        let mut r = rng();
+        let idle = SimTime::from_micros(100);
+        let work = SimTime::from_micros(250);
+        let tx_at = c.start_countdown(idle, work, &mut r);
+        assert!(tx_at >= work + SimDuration::from_micros(34));
+    }
+
+    #[test]
+    fn pause_credits_whole_slots_only() {
+        let t = MacTimings::dot11a();
+        let mut c = Contention::new(t);
+        let mut r = rng();
+        // Force a known draw by retrying until we get >= 3 slots.
+        let t0 = SimTime::from_micros(0);
+        loop {
+            c.remaining = None;
+            c.start_countdown(t0, t0, &mut r);
+            if c.remaining().unwrap() >= 3 {
+                break;
+            }
+        }
+        let before = c.remaining().unwrap();
+        // Busy arrives 2.5 slots into the countdown: 2 slots credited.
+        let busy = t0 + t.aifs() + SimDuration::from_nanos(t.slot.as_nanos() * 5 / 2);
+        c.pause(busy);
+        assert_eq!(c.remaining().unwrap(), before - 2);
+    }
+
+    #[test]
+    fn pause_within_ifs_credits_nothing() {
+        let t = MacTimings::dot11a();
+        let mut c = Contention::new(t);
+        let mut r = rng();
+        let t0 = SimTime::from_micros(0);
+        c.start_countdown(t0, t0, &mut r);
+        let before = c.remaining().unwrap();
+        c.pause(t0 + SimDuration::from_micros(10)); // inside DIFS
+        assert_eq!(c.remaining().unwrap(), before);
+    }
+
+    #[test]
+    fn frozen_slots_survive_resume() {
+        let t = MacTimings::dot11a();
+        let mut c = Contention::new(t);
+        let mut r = rng();
+        let t0 = SimTime::from_micros(0);
+        loop {
+            c.remaining = None;
+            c.start_countdown(t0, t0, &mut r);
+            if c.remaining().unwrap() >= 2 {
+                break;
+            }
+        }
+        let drawn = c.remaining().unwrap();
+        c.pause(t0 + t.aifs() + t.slot); // one slot elapses
+        let frozen = c.remaining().unwrap();
+        assert_eq!(frozen, drawn - 1);
+        // Resume: same frozen count is used, no redraw.
+        let t1 = SimTime::from_micros(500);
+        let tx_at = c.start_countdown(t1, t1, &mut r);
+        assert_eq!(tx_at, t1 + t.aifs() + t.slot * u64::from(frozen));
+    }
+
+    #[test]
+    fn failure_doubles_cw_until_limit() {
+        let t = MacTimings::dot11a();
+        let mut c = Contention::new(t);
+        assert_eq!(c.cw(), 15);
+        assert!(c.on_failure());
+        assert_eq!(c.cw(), 31);
+        assert!(c.on_failure());
+        assert_eq!(c.cw(), 63);
+        for _ in 0..10 {
+            c.on_failure();
+        }
+        assert_eq!(c.cw(), 1023);
+        // Retry limit (7) long exceeded.
+        assert!(!c.on_failure());
+        c.on_abandon();
+        assert_eq!(c.cw(), 15);
+        assert_eq!(c.retries(), 0);
+    }
+
+    #[test]
+    fn success_resets_cw() {
+        let mut c = Contention::new(MacTimings::dot11a());
+        c.on_failure();
+        c.on_failure();
+        assert_eq!(c.cw(), 63);
+        c.on_success();
+        assert_eq!(c.cw(), 15);
+        assert_eq!(c.retries(), 0);
+    }
+
+    #[test]
+    fn eifs_lengthens_wait() {
+        let t = MacTimings::dot11a();
+        let mut c = Contention::new(t);
+        let mut r = rng();
+        let t0 = SimTime::from_micros(0);
+        let normal = c.start_countdown(t0, t0, &mut r);
+        let slots = c.remaining().unwrap();
+        c.set_eifs();
+        // Re-anchor with the same frozen slots.
+        let eifs_at = c.start_countdown(t0, t0, &mut r);
+        assert_eq!(c.remaining().unwrap(), slots, "EIFS must not redraw");
+        assert!(eifs_at > normal);
+        c.clear_eifs();
+        assert_eq!(c.start_countdown(t0, t0, &mut r), normal);
+    }
+
+    #[test]
+    fn draws_are_uniform_over_cw() {
+        let t = MacTimings::dot11a();
+        let mut counts = [0u32; 16];
+        let mut r = SimRng::new(7);
+        for _ in 0..16_000 {
+            let mut c = Contention::new(t);
+            c.start_countdown(SimTime::ZERO, SimTime::ZERO, &mut r);
+            counts[c.remaining().unwrap() as usize] += 1;
+        }
+        for (slot, &n) in counts.iter().enumerate() {
+            assert!(
+                (700..1300).contains(&n),
+                "slot {slot} drawn {n} times of 16000"
+            );
+        }
+    }
+}

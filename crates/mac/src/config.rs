@@ -1,0 +1,127 @@
+//! Per-station MAC configuration.
+
+use hack_phy::{MacTimings, PhyRate};
+use hack_sim::SimDuration;
+
+/// Configuration of one station's MAC.
+#[derive(Debug, Clone)]
+pub struct MacConfig {
+    /// Interframe spaces, contention window bounds, retry limit, TXOP.
+    pub timings: MacTimings,
+    /// Rate used for data PPDUs.
+    pub data_rate: PhyRate,
+    /// Whether to aggregate MPDUs into A-MPDUs with Block ACKs (802.11n)
+    /// or send single MPDUs with plain ACKs (802.11a).
+    pub aggregation: bool,
+    /// A-MPDU byte ceiling (64 KB per 802.11n).
+    pub max_ampdu_bytes: u32,
+    /// A-MPDU frame ceiling (Block ACK window of 64).
+    pub max_ampdu_frames: usize,
+    /// Set the MORE DATA bit on data batches when further frames remain
+    /// queued for the same receiver (the HACK AP behaviour, §3.2). Stock
+    /// APs leave this off outside power-save, so it is configurable.
+    pub set_more_data: bool,
+    /// Set the SYNC bit on the next batch to a receiver after exhausting
+    /// Block-ACK-Request retries toward it (§3.4, Figure 8).
+    pub use_sync: bool,
+    /// Extra delay added before transmitting a response (ACK/Block ACK)
+    /// beyond SIFS. Models SoRa's late LL ACKs (~37 µs) and, with small
+    /// values, commercial NICs' 10.4–13.4 µs (§4.2, Table 3).
+    pub response_extra_delay: SimDuration,
+    /// Extra allowance added to the ACK timeout. The paper raises the
+    /// timeout on SoRa so its late LL ACKs do not cause spurious
+    /// retransmissions.
+    pub ack_timeout_extra: SimDuration,
+}
+
+impl MacConfig {
+    /// A stock 802.11a station at the given rate.
+    pub fn dot11a(data_rate: PhyRate) -> Self {
+        MacConfig {
+            timings: MacTimings::dot11a(),
+            data_rate,
+            aggregation: false,
+            max_ampdu_bytes: 65_535,
+            max_ampdu_frames: 64,
+            set_more_data: false,
+            use_sync: false,
+            response_extra_delay: SimDuration::ZERO,
+            ack_timeout_extra: SimDuration::ZERO,
+        }
+    }
+
+    /// A stock 802.11n station at the given HT rate, with aggregation.
+    pub fn dot11n(data_rate: PhyRate) -> Self {
+        MacConfig {
+            timings: MacTimings::dot11n(),
+            data_rate,
+            aggregation: true,
+            max_ampdu_bytes: 65_535,
+            max_ampdu_frames: 64,
+            set_more_data: false,
+            use_sync: false,
+            response_extra_delay: SimDuration::ZERO,
+            ack_timeout_extra: SimDuration::ZERO,
+        }
+    }
+
+    /// Enable the HACK MAC extensions (MORE DATA marking + SYNC).
+    pub fn with_hack_bits(mut self) -> Self {
+        self.set_more_data = true;
+        self.use_sync = true;
+        self
+    }
+
+    /// Apply the SoRa testbed quirks: late LL ACKs and a stretched ACK
+    /// timeout to absorb them (§4.1).
+    pub fn with_sora_quirks(mut self) -> Self {
+        self.response_extra_delay = SimDuration::from_micros(37);
+        self.ack_timeout_extra = SimDuration::from_micros(60);
+        self
+    }
+
+    /// The ACK timeout this station applies after its transmissions.
+    pub fn ack_timeout(&self) -> SimDuration {
+        self.timings.ack_timeout() + self.ack_timeout_extra
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot11a_profile() {
+        let c = MacConfig::dot11a(PhyRate::dot11a(54));
+        assert!(!c.aggregation);
+        assert!(!c.set_more_data);
+        assert_eq!(c.timings.aifsn, 2);
+    }
+
+    #[test]
+    fn dot11n_profile() {
+        let c = MacConfig::dot11n(PhyRate::ht(150));
+        assert!(c.aggregation);
+        assert_eq!(c.timings.aifsn, 3);
+        assert_eq!(c.max_ampdu_bytes, 65_535);
+    }
+
+    #[test]
+    fn sora_quirks_stretch_timeout() {
+        let stock = MacConfig::dot11a(PhyRate::dot11a(54));
+        let sora = MacConfig::dot11a(PhyRate::dot11a(54)).with_sora_quirks();
+        assert!(sora.ack_timeout() > stock.ack_timeout());
+        // The stretched timeout must cover the late response: SIFS + extra
+        // delay + ACK airtime start.
+        assert!(
+            sora.ack_timeout()
+                > sora.timings.sifs + sora.response_extra_delay
+        );
+    }
+
+    #[test]
+    fn hack_bits_toggle() {
+        let c = MacConfig::dot11n(PhyRate::ht(150)).with_hack_bits();
+        assert!(c.set_more_data && c.use_sync);
+    }
+}

@@ -1,0 +1,787 @@
+//! The sans-IO 802.11 station state machine.
+//!
+//! One [`Station`] is a complete EDCA/DCF MAC: it contends for the
+//! medium, transmits single MPDUs or A-MPDUs, answers with ACKs / Block
+//! ACKs after SIFS, solicits lost Block ACKs with BARs, retransmits,
+//! reorders and deduplicates receptions, and maintains the HACK blob
+//! slot that lets the driver above ride compressed TCP ACKs on outgoing
+//! link-layer acknowledgments.
+//!
+//! Every handler takes `now` and returns [`Action`]s; the event loop in
+//! `hack-core` owns the clock, timers and medium. Invariants:
+//!
+//! * at most one of {armed `TxStart`, in-flight PPDU, awaited response}
+//!   exists at a time — the MAC runs one exchange at a time;
+//! * SIFS responses bypass contention and may even be emitted while the
+//!   medium is busy (as real responders do — the resulting collision is
+//!   the medium's to adjudicate);
+//! * receptions are processed *before* channel-idle edges at the same
+//!   instant (the event loop guarantees this), so NAV is always set
+//!   before contention resumes.
+
+use std::collections::HashMap;
+
+use hack_phy::StationId;
+use hack_sim::{SimDuration, SimRng, SimTime};
+
+use crate::actions::{Action, RespKind, RxDataInfo, TimerKind, TxDescriptor};
+use crate::backoff::Contention;
+use crate::config::MacConfig;
+use crate::frame::{ampdu_wire_len, Frame, HackBlob, Msdu, SeqNum};
+use crate::queue::DestQueue;
+use crate::scoreboard::RxReorder;
+use crate::stats::{MacStats, TrafficClass};
+
+/// What our in-flight (or awaited) transmission was.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TxKind {
+    /// A data batch of `n` MPDUs (aggregated iff `n > 1` or config says).
+    Data {
+        /// MPDUs in the batch.
+        n: usize,
+        /// Whether it went out as an A-MPDU expecting a Block ACK.
+        aggregated: bool,
+    },
+    /// A Block ACK Request.
+    Bar,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Exchange {
+    dst: StationId,
+    kind: TxKind,
+    /// When the PPDU ended (for LL-ACK-overhead accounting).
+    ended_at: Option<SimTime>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct RespPlan {
+    to: StationId,
+    kind: RespKind,
+}
+
+/// A complete 802.11 station MAC.
+#[derive(Debug)]
+pub struct Station<M: Msdu> {
+    id: StationId,
+    cfg: MacConfig,
+    rng: SimRng,
+
+    // ---- transmit pipeline ----
+    queues: Vec<DestQueue<M>>,
+    by_dst: HashMap<StationId, usize>,
+    rr_cursor: usize,
+    contention: Contention,
+    /// When the current head-of-line work became pending.
+    work_since: Option<SimTime>,
+    /// Armed TxStart target, if contending.
+    tx_at: Option<SimTime>,
+    /// Our non-response PPDU currently on the air.
+    in_flight: Option<Exchange>,
+    /// Exchange awaiting its ACK / Block ACK.
+    wait_response: Option<Exchange>,
+
+    // ---- receive / respond ----
+    reorder: HashMap<StationId, RxReorder<M>>,
+    pending_response: Option<RespPlan>,
+    response_in_flight: bool,
+
+    // ---- carrier state ----
+    phys_busy: bool,
+    idle_since: SimTime,
+    nav_until: SimTime,
+
+    // ---- HACK NIC slots ----
+    /// The compressed-TCP-ACK frames the driver has made "ready", one
+    /// descriptor chain per destination address (§3.3.1, Figure 3).
+    hack_blobs: HashMap<StationId, HackBlob>,
+
+    stats: MacStats,
+}
+
+impl<M: Msdu> Station<M> {
+    /// A new station with the given identity and configuration. `rng`
+    /// drives backoff draws and must be forked per station for
+    /// determinism.
+    pub fn new(id: StationId, cfg: MacConfig, rng: SimRng) -> Self {
+        Station {
+            id,
+            contention: Contention::new(cfg.timings),
+            cfg,
+            rng,
+            queues: Vec::new(),
+            by_dst: HashMap::new(),
+            rr_cursor: 0,
+            work_since: None,
+            tx_at: None,
+            in_flight: None,
+            wait_response: None,
+            reorder: HashMap::new(),
+            pending_response: None,
+            response_in_flight: false,
+            phys_busy: false,
+            idle_since: SimTime::ZERO,
+            nav_until: SimTime::ZERO,
+            hack_blobs: HashMap::new(),
+            stats: MacStats::default(),
+        }
+    }
+
+    /// This station's address.
+    pub fn id(&self) -> StationId {
+        self.id
+    }
+
+    /// The station's configuration.
+    pub fn config(&self) -> &MacConfig {
+        &self.cfg
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &MacStats {
+        &self.stats
+    }
+
+    /// MSDUs queued toward `dst` (new + retransmit backlog).
+    pub fn backlog(&self, dst: StationId) -> usize {
+        self.by_dst
+            .get(&dst)
+            .map_or(0, |&i| self.queues[i].backlog())
+    }
+
+    /// Total backlog across destinations.
+    pub fn total_backlog(&self) -> usize {
+        self.queues.iter().map(DestQueue::backlog).sum()
+    }
+
+    /// Install (replace) the HACK blob for `peer`: the driver's
+    /// "TCP/HACK ready" flag plus descriptor contents (§3.3.1, Figure 3).
+    /// The blob will be attached to every LL ACK sent to `peer` until
+    /// replaced or cleared.
+    pub fn set_hack_blob(&mut self, peer: StationId, blob: HackBlob) {
+        self.hack_blobs.insert(peer, blob);
+    }
+
+    /// Clear `peer`'s HACK slot (driver confirmed delivery or gave up).
+    pub fn clear_hack_blob(&mut self, peer: StationId) {
+        self.hack_blobs.remove(&peer);
+    }
+
+    /// The blob currently installed for `peer`, if any.
+    pub fn hack_blob(&self, peer: StationId) -> Option<&HackBlob> {
+        self.hack_blobs.get(&peer)
+    }
+
+    fn queue_mut(&mut self, dst: StationId) -> &mut DestQueue<M> {
+        let idx = *self.by_dst.entry(dst).or_insert_with(|| {
+            self.queues.push(DestQueue::new(dst));
+            self.queues.len() - 1
+        });
+        &mut self.queues[idx]
+    }
+
+    fn has_work(&self) -> bool {
+        self.queues.iter().any(DestQueue::has_work)
+    }
+
+    /// Remove and return not-yet-transmitted MSDUs toward `dst` matching
+    /// `pred` (Opportunistic HACK's queue grab, §3.2).
+    pub fn withdraw_unsent<F: FnMut(&M) -> bool>(
+        &mut self,
+        dst: StationId,
+        pred: F,
+    ) -> Vec<M> {
+        match self.by_dst.get(&dst) {
+            Some(&i) => self.queues[i].withdraw_unsent(pred),
+            None => Vec::new(),
+        }
+    }
+
+    /// Enqueue an MSDU for transmission to `dst`.
+    pub fn enqueue(&mut self, dst: StationId, msdu: M, now: SimTime) -> Vec<Action<M>> {
+        self.queue_mut(dst).enqueue(msdu);
+        if self.work_since.is_none() {
+            self.work_since = Some(now);
+        }
+        self.maybe_contend(now)
+    }
+
+    // ------------------------------------------------------------------
+    // Carrier events
+    // ------------------------------------------------------------------
+
+    /// The medium went busy at `now` (some station began transmitting;
+    /// includes our own transmissions).
+    pub fn on_channel_busy(&mut self, now: SimTime) -> Vec<Action<M>> {
+        self.phys_busy = true;
+        let mut actions = Vec::new();
+        if let Some(tx_at) = self.tx_at {
+            if tx_at > now {
+                // Freeze the countdown; we lost this round.
+                self.contention.pause(now);
+                self.tx_at = None;
+                actions.push(Action::CancelTimer {
+                    kind: TimerKind::TxStart,
+                });
+            }
+            // tx_at == now: our slot boundary coincides with the other
+            // station's start — both transmit (that *is* a collision).
+        }
+        if self.wait_response.is_some() {
+            // PHY-RXSTART while awaiting a response: a real MAC holds its
+            // ACK timeout once it detects the response's preamble (the
+            // timeout only bounds the *start* of the response, not its
+            // full airtime — a Block ACK at a low basic rate, possibly
+            // HACK-extended, can far outlast SIFS+slot+preamble). Extend
+            // the deadline past any plausible response airtime; if the
+            // frame turns out not to be our response, the pushed-out
+            // timeout still fires and recovery proceeds.
+            actions.push(Action::SetTimer {
+                kind: TimerKind::AckTimeout,
+                at: now + SimDuration::from_millis(1),
+            });
+        }
+        actions
+    }
+
+    /// The medium went idle at `now`.
+    pub fn on_channel_idle(&mut self, now: SimTime) -> Vec<Action<M>> {
+        self.phys_busy = false;
+        self.idle_since = now;
+        self.maybe_contend(now)
+    }
+
+    // ------------------------------------------------------------------
+    // Reception
+    // ------------------------------------------------------------------
+
+    /// A PPDU ended at `now` and this station decoded `frames` from it
+    /// (non-empty). `aggregated` says whether the PPDU was an A-MPDU
+    /// (expects a Block ACK) or a single MPDU (expects an ACK).
+    pub fn on_rx_ppdu(
+        &mut self,
+        frames: Vec<Frame<M>>,
+        aggregated: bool,
+        now: SimTime,
+    ) -> Vec<Action<M>> {
+        debug_assert!(!frames.is_empty());
+        self.contention.clear_eifs();
+        let mut actions = Vec::new();
+
+        let src = frames[0].src();
+        let for_me = frames[0].dst() == self.id;
+        debug_assert!(
+            frames.iter().all(|f| f.src() == src && (f.dst() == self.id) == for_me),
+            "one PPDU, one transmitter, one receiver"
+        );
+
+        if !for_me {
+            self.overheard(&frames, aggregated, now, &mut actions);
+            return actions;
+        }
+
+        let mut data_frames = Vec::new();
+        for frame in frames {
+            match frame {
+                Frame::Data(d) => data_frames.push(d),
+                Frame::Ack { hack, .. } => {
+                    self.on_response(src, None, hack, now, &mut actions);
+                }
+                Frame::BlockAck { bitmap, hack, .. } => {
+                    self.on_response(src, Some(bitmap), hack, now, &mut actions);
+                }
+                Frame::BlockAckReq { start, .. } => {
+                    self.on_bar(src, start, now, &mut actions);
+                }
+            }
+        }
+        if !data_frames.is_empty() {
+            self.on_data(src, data_frames, aggregated, now, &mut actions);
+        }
+        actions
+    }
+
+    /// Energy was detected but nothing decoded (collision or deep fade):
+    /// the station must use EIFS before its next contention round.
+    pub fn on_rx_garbage(&mut self, _now: SimTime) -> Vec<Action<M>> {
+        self.stats.rx_garbage.incr();
+        self.contention.set_eifs();
+        Vec::new()
+    }
+
+    fn on_data(
+        &mut self,
+        src: StationId,
+        frames: Vec<crate::frame::DataMpdu<M>>,
+        aggregated: bool,
+        now: SimTime,
+        actions: &mut Vec<Action<M>>,
+    ) {
+        let ordered = self.cfg.aggregation;
+        let reorder = self
+            .reorder
+            .entry(src)
+            .or_insert_with(|| RxReorder::new(src, ordered));
+        let prev_highest = reorder.highest();
+
+        let more_data = frames.iter().any(|f| f.more_data);
+        let sync = frames.iter().any(|f| f.sync);
+        let mpdus_ok = frames.len();
+        let mut advances_seq = false;
+
+        for f in frames {
+            let newer = match prev_highest {
+                None => true,
+                Some(h) => f.seq.is_newer_than(h),
+            };
+            advances_seq |= newer;
+            let accept = reorder.on_mpdu(f.seq, f.payload);
+            for (s, msdu) in accept.deliver {
+                actions.push(Action::Deliver { src: s, msdu });
+            }
+        }
+
+        actions.push(Action::DataReceived(RxDataInfo {
+            from: src,
+            mpdus_ok,
+            more_data,
+            sync,
+            advances_seq,
+            is_aggregate: aggregated,
+        }));
+
+        // Queue the SIFS response. A newer data PPDU supersedes any
+        // response still pending (its sender will time out and recover).
+        self.pending_response = Some(RespPlan {
+            to: src,
+            kind: if aggregated {
+                RespKind::BlockAck
+            } else {
+                RespKind::Ack
+            },
+        });
+        actions.push(Action::SetTimer {
+            kind: TimerKind::SendResponse,
+            at: now + self.cfg.timings.sifs + self.cfg.response_extra_delay,
+        });
+    }
+
+    fn on_bar(
+        &mut self,
+        src: StationId,
+        start: SeqNum,
+        now: SimTime,
+        actions: &mut Vec<Action<M>>,
+    ) {
+        let ordered = self.cfg.aggregation;
+        let reorder = self
+            .reorder
+            .entry(src)
+            .or_insert_with(|| RxReorder::new(src, ordered));
+        for (s, msdu) in reorder.on_bar(start) {
+            actions.push(Action::Deliver { src: s, msdu });
+        }
+        actions.push(Action::BarReceived { from: src, start });
+        self.pending_response = Some(RespPlan {
+            to: src,
+            kind: RespKind::BlockAck,
+        });
+        actions.push(Action::SetTimer {
+            kind: TimerKind::SendResponse,
+            at: now + self.cfg.timings.sifs + self.cfg.response_extra_delay,
+        });
+    }
+
+    fn on_response(
+        &mut self,
+        src: StationId,
+        bitmap: Option<crate::frame::AckBitmap>,
+        blob: Option<HackBlob>,
+        now: SimTime,
+        actions: &mut Vec<Action<M>>,
+    ) {
+        let expected = self
+            .wait_response
+            .is_some_and(|ex| ex.dst == src);
+        let retry_limit = self.cfg.timings.retry_limit;
+        let aggregation = self.cfg.aggregation;
+
+        // Account LL ACK latency beyond SIFS for responses we awaited.
+        if expected {
+            let ex = self.wait_response.take().expect("checked");
+            if let Some(ended) = ex.ended_at {
+                // Response ended at `now`; its nominal end would have been
+                // ended + SIFS + airtime. Overhead = actual − nominal,
+                // clamped at zero.
+                let nominal = ended + self.cfg.timings.sifs;
+                let actual_start_offset = now.saturating_duration_since(nominal);
+                // Subtract the response airtime we cannot observe
+                // directly here; response_extra_delay is the true knob,
+                // use it when configured on the peer — we instead record
+                // the measured slack which includes it.
+                let resp_air = self
+                    .cfg
+                    .data_rate
+                    .basic_response_rate()
+                    .ppdu_duration(u64::from(crate::frame::sizes::BLOCK_ACK));
+                self.stats
+                    .ll_ack_overhead
+                    .add(actual_start_offset.saturating_sub(resp_air));
+            }
+            actions.push(Action::CancelTimer {
+                kind: TimerKind::AckTimeout,
+            });
+            self.contention.on_success();
+        }
+
+        // Resolve the queue regardless of whether we were still waiting —
+        // a late Block ACK is still valid feedback.
+        let res = {
+            let q = self.queue_mut(src);
+            match bitmap {
+                Some(bm) => q.on_block_ack(&bm, retry_limit),
+                None => q.on_ack(),
+            }
+        };
+        self.stats.mpdus_first_try.add(u64::from(res.acked_first_try));
+        self.stats
+            .mpdus_retried
+            .add(u64::from(res.acked - res.acked_first_try));
+        for msdu in res.dropped {
+            self.stats.mpdus_dropped.incr();
+            actions.push(Action::MsduDropped { dst: src, msdu });
+        }
+        let _ = aggregation;
+
+        actions.push(Action::ResponseReceived {
+            from: src,
+            blob,
+            acked: res.acked,
+            acked_msdus: res.acked_msdus,
+        });
+
+        if expected {
+            self.work_since = self.has_work().then_some(now);
+            actions.extend(self.maybe_contend(now));
+        }
+    }
+
+    fn overheard(
+        &mut self,
+        frames: &[Frame<M>],
+        aggregated: bool,
+        now: SimTime,
+        actions: &mut Vec<Action<M>>,
+    ) {
+        // Virtual carrier sense: data and BAR frames reserve the medium
+        // for their SIFS + response tail.
+        let resp_bytes = if aggregated || matches!(frames[0], Frame::BlockAckReq { .. }) {
+            crate::frame::sizes::BLOCK_ACK
+        } else {
+            crate::frame::sizes::ACK
+        };
+        let needs_nav = frames
+            .iter()
+            .any(|f| matches!(f, Frame::Data(_) | Frame::BlockAckReq { .. }));
+        if !needs_nav {
+            return;
+        }
+        let resp_air = self
+            .cfg
+            .data_rate
+            .basic_response_rate()
+            .ppdu_duration(u64::from(resp_bytes));
+        let until = now + self.cfg.timings.sifs + resp_air + SimDuration::from_micros(8);
+        if until > self.nav_until {
+            self.nav_until = until;
+            actions.push(Action::SetTimer {
+                kind: TimerKind::NavExpire,
+                at: until,
+            });
+            if let Some(tx_at) = self.tx_at {
+                if tx_at > now {
+                    self.contention.pause(now);
+                    self.tx_at = None;
+                    actions.push(Action::CancelTimer {
+                        kind: TimerKind::TxStart,
+                    });
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Our transmissions
+    // ------------------------------------------------------------------
+
+    /// Our PPDU (data, BAR, or response) finished its airtime at `now`.
+    pub fn on_tx_end(&mut self, now: SimTime) -> Vec<Action<M>> {
+        if self.response_in_flight {
+            self.response_in_flight = false;
+            return self.maybe_contend(now);
+        }
+        let mut ex = self
+            .in_flight
+            .take()
+            .expect("on_tx_end with nothing in flight");
+        ex.ended_at = Some(now);
+        self.wait_response = Some(ex);
+        vec![Action::SetTimer {
+            kind: TimerKind::AckTimeout,
+            at: now + self.cfg.ack_timeout(),
+        }]
+    }
+
+    /// Timer dispatch.
+    pub fn on_timer(&mut self, kind: TimerKind, now: SimTime) -> Vec<Action<M>> {
+        match kind {
+            TimerKind::TxStart => self.on_tx_start(now),
+            TimerKind::AckTimeout => self.on_ack_timeout(now),
+            TimerKind::SendResponse => self.on_send_response(now),
+            TimerKind::NavExpire => self.maybe_contend(now),
+        }
+    }
+
+    fn on_tx_start(&mut self, now: SimTime) -> Vec<Action<M>> {
+        debug_assert_eq!(self.tx_at, Some(now), "stale TxStart must be filtered");
+        self.tx_at = None;
+        self.contention.consume();
+
+        // Round-robin over destinations with work.
+        let n = self.queues.len();
+        let mut picked = None;
+        for step in 0..n {
+            let idx = (self.rr_cursor + step) % n;
+            if self.queues[idx].has_work() {
+                picked = Some(idx);
+                self.rr_cursor = (idx + 1) % n;
+                break;
+            }
+        }
+        let Some(idx) = picked else {
+            self.work_since = None;
+            return Vec::new();
+        };
+
+        let wait = self
+            .work_since
+            .map(|w| now.saturating_duration_since(w))
+            .unwrap_or(SimDuration::ZERO);
+
+        let dst = self.queues[idx].dst();
+        if self.queues[idx].bar_pending() {
+            // Solicit the missing Block ACK.
+            let start = self.queues[idx].window_start();
+            let frame = Frame::BlockAckReq {
+                src: self.id,
+                dst,
+                start,
+            };
+            let rate = self.cfg.data_rate.basic_response_rate();
+            let duration = rate.ppdu_duration(u64::from(frame.wire_len()));
+            self.in_flight = Some(Exchange {
+                dst,
+                kind: TxKind::Bar,
+                ended_at: None,
+            });
+            self.stats.tx_attempts.incr();
+            self.stats.bars_sent.incr();
+            self.stats.acquire_wait_data.add(wait);
+            self.stats.airtime_data.add(duration);
+            return vec![Action::StartTx(TxDescriptor {
+                frames: vec![frame],
+                rate,
+                duration,
+                is_response: false,
+                aggregated: false,
+            })];
+        }
+
+        let cfg = self.cfg.clone();
+        let batch = self.queues[idx].build_batch(self.id, &cfg);
+        if batch.is_empty() {
+            self.work_since = self.has_work().then_some(now);
+            return self.maybe_contend(now);
+        }
+
+        let aggregated = cfg.aggregation;
+        let class = if batch.iter().all(|m| m.payload.is_transport_ack()) {
+            TrafficClass::TransportAck
+        } else {
+            TrafficClass::Data
+        };
+        let lens: Vec<u32> = batch.iter().map(|m| m.wire_len()).collect();
+        let psdu_len = if aggregated {
+            u64::from(ampdu_wire_len(&lens))
+        } else {
+            u64::from(lens[0])
+        };
+        let duration = cfg.data_rate.ppdu_duration(psdu_len);
+        let n_mpdus = batch.len();
+        let frames: Vec<Frame<M>> = batch.into_iter().map(Frame::Data).collect();
+
+        self.in_flight = Some(Exchange {
+            dst,
+            kind: TxKind::Data {
+                n: n_mpdus,
+                aggregated,
+            },
+            ended_at: None,
+        });
+        self.stats.tx_attempts.incr();
+        match class {
+            TrafficClass::Data => {
+                self.stats.acquire_wait_data.add(wait);
+                self.stats.airtime_data.add(duration);
+            }
+            TrafficClass::TransportAck => {
+                self.stats.acquire_wait_ack.add(wait);
+                self.stats.airtime_ack.add(duration);
+            }
+        }
+        vec![Action::StartTx(TxDescriptor {
+            frames,
+            rate: cfg.data_rate,
+            duration,
+            is_response: false,
+            aggregated,
+        })]
+    }
+
+    fn on_ack_timeout(&mut self, now: SimTime) -> Vec<Action<M>> {
+        let Some(ex) = self.wait_response.take() else {
+            return Vec::new();
+        };
+        self.stats.ack_timeouts.incr();
+        let mut actions = Vec::new();
+        let within_budget = self.contention.on_failure();
+        let aggregation = self.cfg.aggregation;
+        let retry_limit = self.cfg.timings.retry_limit;
+
+        match ex.kind {
+            TxKind::Data { .. } => {
+                let dropped = {
+                    let q = self.queue_mut(ex.dst);
+                    q.on_no_response(aggregation, retry_limit)
+                };
+                for msdu in dropped {
+                    self.stats.mpdus_dropped.incr();
+                    actions.push(Action::MsduDropped { dst: ex.dst, msdu });
+                }
+            }
+            TxKind::Bar => {
+                if !within_budget {
+                    self.stats.bars_exhausted.incr();
+                    self.queue_mut(ex.dst).on_bar_exhausted();
+                    self.contention.on_abandon();
+                    actions.push(Action::BarExhausted { dst: ex.dst });
+                }
+                // Within budget: bar_pending remains set; we re-contend
+                // and send another BAR.
+            }
+        }
+
+        self.work_since = self.has_work().then_some(now);
+        actions.extend(self.maybe_contend(now));
+        actions
+    }
+
+    fn on_send_response(&mut self, _now: SimTime) -> Vec<Action<M>> {
+        let Some(plan) = self.pending_response.take() else {
+            return Vec::new();
+        };
+        // Attach the HACK blob installed for this peer, if any. The blob
+        // is *retained* (cloned): the driver clears it only on the §3.4
+        // confirmation signals.
+        let blob = self.hack_blobs.get(&plan.to).cloned();
+        let attached = blob.is_some();
+        let blob_wire = blob.as_ref().map_or(0, HackBlob::wire_len);
+
+        let frame = match plan.kind {
+            RespKind::Ack => Frame::Ack {
+                src: self.id,
+                dst: plan.to,
+                hack: blob,
+            },
+            RespKind::BlockAck => {
+                let bitmap = self
+                    .reorder
+                    .get(&plan.to)
+                    .map(|r| r.ba_bitmap())
+                    .unwrap_or_else(|| crate::frame::AckBitmap::new(SeqNum::new(0)));
+                Frame::BlockAck {
+                    src: self.id,
+                    dst: plan.to,
+                    bitmap,
+                    hack: blob,
+                }
+            }
+        };
+        let rate = self.cfg.data_rate.basic_response_rate();
+        let duration = rate.ppdu_duration(u64::from(frame.wire_len()));
+        self.response_in_flight = true;
+        self.stats.responses_sent.incr();
+        if attached {
+            self.stats.responses_with_blob.incr();
+            // Extra airtime caused by the blob (Table 3's "ROHC" column):
+            // the difference against the same response without the blob.
+            let plain = rate.ppdu_duration(u64::from(frame.wire_len() - blob_wire));
+            self.stats.airtime_blob.add(duration - plain);
+            if duration - plain <= self.cfg.timings.aifs() {
+                self.stats.blob_within_aifs.incr();
+            } else {
+                self.stats.blob_beyond_aifs.incr();
+            }
+        }
+        self.stats.airtime_response.add(duration);
+        vec![
+            Action::ResponseSent {
+                to: plan.to,
+                kind: plan.kind,
+                attached_blob: attached,
+            },
+            Action::StartTx(TxDescriptor {
+                frames: vec![frame],
+                rate,
+                duration,
+                is_response: true,
+                aggregated: false,
+            }),
+        ]
+    }
+
+    // ------------------------------------------------------------------
+    // Contention driver
+    // ------------------------------------------------------------------
+
+    fn maybe_contend(&mut self, now: SimTime) -> Vec<Action<M>> {
+        if self.tx_at.is_some()
+            || self.in_flight.is_some()
+            || self.wait_response.is_some()
+            || self.pending_response.is_some()
+            || self.response_in_flight
+            || self.phys_busy
+            || now < self.nav_until
+        {
+            return Vec::new();
+        }
+        if !self.has_work() {
+            self.work_since = None;
+            return Vec::new();
+        }
+        let work_since = *self.work_since.get_or_insert(now);
+        let idle_since = self.idle_since.max(self.nav_until);
+        let tx_at = self
+            .contention
+            .start_countdown(idle_since, work_since, &mut self.rng);
+        // The countdown can resolve into the past when the medium has
+        // long been idle; clamp to now.
+        let tx_at = tx_at.max(now);
+        self.tx_at = Some(tx_at);
+        vec![Action::SetTimer {
+            kind: TimerKind::TxStart,
+            at: tx_at,
+        }]
+    }
+}
+

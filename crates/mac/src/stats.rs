@@ -1,0 +1,85 @@
+//! Per-station MAC statistics feeding Tables 1 and 3 of the paper.
+
+use hack_sim::{Counter, TimeAccumulator};
+
+/// Traffic classes the MAC accounts separately. The paper's Table 3
+/// breaks down time spent on *TCP ACK* transmissions vs everything else;
+/// the upper layer tags MSDUs via [`crate::frame::Msdu::is_transport_ack`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrafficClass {
+    /// Bulk data (TCP data segments, UDP datagrams, …).
+    Data,
+    /// Transport-layer acknowledgment packets sent natively.
+    TransportAck,
+}
+
+/// Counters and accumulators maintained by one station's MAC.
+#[derive(Debug, Default, Clone)]
+pub struct MacStats {
+    /// Data MPDUs acknowledged on their first transmission attempt.
+    pub mpdus_first_try: Counter,
+    /// Data MPDUs acknowledged after one or more retransmissions.
+    pub mpdus_retried: Counter,
+    /// Data MPDUs abandoned after the retry budget.
+    pub mpdus_dropped: Counter,
+    /// PPDU transmissions started (data or BAR, not responses).
+    pub tx_attempts: Counter,
+    /// Response PPDUs (ACK / Block ACK) transmitted.
+    pub responses_sent: Counter,
+    /// Responses that carried a HACK blob.
+    pub responses_with_blob: Counter,
+    /// ACK-timeout events (missing responses).
+    pub ack_timeouts: Counter,
+    /// BAR solicitations transmitted.
+    pub bars_sent: Counter,
+    /// BAR retry budgets exhausted.
+    pub bars_exhausted: Counter,
+    /// Garbage receptions (energy without a decodable frame).
+    pub rx_garbage: Counter,
+    /// Time spent waiting to acquire the channel for bulk-data batches.
+    pub acquire_wait_data: TimeAccumulator,
+    /// Time spent waiting to acquire the channel for native
+    /// transport-ACK batches (Table 3's "Channel" column).
+    pub acquire_wait_ack: TimeAccumulator,
+    /// Airtime of bulk-data PPDUs.
+    pub airtime_data: TimeAccumulator,
+    /// Airtime of native transport-ACK PPDUs (Table 3's "TCP ACK").
+    pub airtime_ack: TimeAccumulator,
+    /// Airtime of our response frames (ACK/Block ACK), including any
+    /// HACK payload riding on them.
+    pub airtime_response: TimeAccumulator,
+    /// Extra response airtime attributable to attached HACK blobs
+    /// (Table 3's "ROHC" column).
+    pub airtime_blob: TimeAccumulator,
+    /// Blob-carrying responses whose blob extension fits within AIFS
+    /// (protected from collision, §3.3.2 footnote 7).
+    pub blob_within_aifs: Counter,
+    /// Blob-carrying responses whose extension exceeds AIFS.
+    pub blob_beyond_aifs: Counter,
+    /// Extra response latency beyond SIFS (Table 3's "LL ACK overhead"):
+    /// accumulated for responses *we waited for*.
+    pub ll_ack_overhead: TimeAccumulator,
+}
+
+impl MacStats {
+    /// Fraction of acknowledged data MPDUs that needed no retry
+    /// (Table 1's "no retries" row). `None` when nothing was acked.
+    pub fn first_try_fraction(&self) -> Option<f64> {
+        let total = self.mpdus_first_try.get() + self.mpdus_retried.get();
+        (total > 0).then(|| self.mpdus_first_try.get() as f64 / total as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_try_fraction() {
+        let mut s = MacStats::default();
+        assert_eq!(s.first_try_fraction(), None);
+        s.mpdus_first_try.add(87);
+        s.mpdus_retried.add(13);
+        assert!((s.first_try_fraction().unwrap() - 0.87).abs() < 1e-12);
+    }
+}

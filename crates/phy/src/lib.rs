@@ -1,0 +1,38 @@
+//! # hack-phy — 802.11a/n physical-layer model
+//!
+//! Everything below the MAC: bit-rates and airtime arithmetic
+//! ([`rates`]), interframe-space/contention parameter sets ([`timing`]),
+//! propagation and SNR ([`channel`]), frame-error models ([`error`]), and
+//! the shared broadcast medium with its collision model ([`medium`]).
+//!
+//! The paper evaluates on ns-3's WiFi PHY and on SoRa radios; this crate
+//! is the from-scratch substitute (see DESIGN.md §1). It is entirely
+//! passive — pure computation plus a [`Medium`] state container — and is
+//! driven by `hack-core`'s event loop.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod channel;
+pub mod error;
+pub mod medium;
+pub mod rates;
+pub mod timing;
+
+pub use channel::Channel;
+pub use error::LossModel;
+pub use medium::{Medium, PpduMeta, Reception, TxId, TxOutcome};
+pub use rates::{PhyKind, PhyRate, BASIC_RATES_MBPS, DOT11A_RATES_MBPS, DOT11N_HT40_SGI_MBPS};
+pub use timing::MacTimings;
+
+/// Identifies one station (AP or client) on the medium. Also used as the
+/// MAC address in frames — the simulation has no need for 48-bit
+/// addresses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StationId(pub u32);
+
+impl std::fmt::Display for StationId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "sta{}", self.0)
+    }
+}

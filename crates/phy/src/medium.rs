@@ -1,0 +1,443 @@
+//! The shared broadcast medium: who is transmitting, who collides, what
+//! each receiver decodes.
+//!
+//! The medium is payload-agnostic — it deals only in [`PpduMeta`]
+//! (source, destination, rate, per-MPDU lengths, airtime). The event loop
+//! in `hack-core` stores the actual frames keyed by the returned [`TxId`]
+//! and calls [`Medium::end_tx`] when the scheduled airtime elapses.
+//!
+//! ## Collision model
+//!
+//! Every station is within carrier-sense range of every other (the
+//! paper's scenarios are a single 10 m cell with no hidden terminals), so
+//! any two transmissions that overlap in time corrupt each other
+//! completely — no capture effect, no spatial reuse. This is the
+//! conservative model; it is what makes vanilla TCP's ACK/data collisions
+//! visible, the effect TCP/HACK exploits (§4.2, Table 1).
+//!
+//! ## Loss model
+//!
+//! For non-collided PPDUs, the preamble may be missed (SNR mode only) and
+//! then each MPDU inside the aggregate is lost independently per
+//! [`LossModel::mpdu_loss_prob`], matching per-MPDU CRCs in 802.11n.
+
+use hack_sim::{SimRng, SimTime};
+
+use crate::channel::Channel;
+use crate::error::LossModel;
+use crate::rates::PhyRate;
+use crate::StationId;
+use hack_sim::SimDuration;
+
+/// Identifies one in-flight transmission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TxId(u64);
+
+/// Payload-agnostic description of a PPDU on the air.
+#[derive(Debug, Clone)]
+pub struct PpduMeta {
+    /// Transmitting station.
+    pub src: StationId,
+    /// Intended receiver (`None` = broadcast; every station decodes).
+    pub dst: Option<StationId>,
+    /// Data rate of the PSDU.
+    pub rate: PhyRate,
+    /// Length in bytes of each MPDU in the (possibly singleton) aggregate.
+    pub mpdu_lens: Vec<u32>,
+    /// Whether this PPDU is a control response (ACK / Block ACK / BAR).
+    /// The fixed-loss model exempts control frames: measured
+    /// "packet loss rates" (the paper's 12 % / 2 %) describe data
+    /// frames, and short basic-rate control frames are far more robust.
+    /// The SNR model still applies to them (at their own rate).
+    pub control: bool,
+    /// Total airtime including preamble.
+    pub duration: SimDuration,
+}
+
+/// What one station heard of one PPDU.
+#[derive(Debug, Clone)]
+pub struct Reception {
+    /// The listening station.
+    pub station: StationId,
+    /// Whether the preamble was detected and the PPDU did not collide.
+    /// When false, the station saw only energy (it still defers).
+    pub detected: bool,
+    /// Per-MPDU decode results (empty when `detected` is false).
+    pub mpdu_ok: Vec<bool>,
+    /// Link SNR in dB (`f64::INFINITY` when no channel model is active).
+    pub snr_db: f64,
+}
+
+/// The result of a completed transmission.
+#[derive(Debug, Clone)]
+pub struct TxOutcome {
+    /// The transmission's metadata, returned to the caller.
+    pub meta: PpduMeta,
+    /// Whether another transmission overlapped this one.
+    pub collided: bool,
+    /// One entry per station other than the source.
+    pub receptions: Vec<Reception>,
+}
+
+#[derive(Debug)]
+struct ActiveTx {
+    id: TxId,
+    meta: PpduMeta,
+    start: SimTime,
+    end: SimTime,
+    collided: bool,
+}
+
+/// The broadcast medium.
+#[derive(Debug)]
+pub struct Medium {
+    stations: Vec<StationId>,
+    loss: LossModel,
+    channel: Option<Channel>,
+    active: Vec<ActiveTx>,
+    next_id: u64,
+    /// Number of transmissions that ended collided.
+    collisions: u64,
+    /// Total transmissions completed.
+    completed: u64,
+}
+
+impl Medium {
+    /// Create a medium over the given stations with a loss model and an
+    /// optional propagation channel (required for [`LossModel::Snr`]).
+    ///
+    /// # Panics
+    /// Panics if `loss` is SNR-driven but no channel is supplied.
+    pub fn new(stations: Vec<StationId>, loss: LossModel, channel: Option<Channel>) -> Self {
+        if matches!(loss, LossModel::Snr) {
+            assert!(
+                channel.is_some(),
+                "SNR loss model requires a propagation channel"
+            );
+        }
+        Medium {
+            stations,
+            loss,
+            channel,
+            active: Vec::new(),
+            next_id: 0,
+            collisions: 0,
+            completed: 0,
+        }
+    }
+
+    /// The stations on this medium.
+    pub fn stations(&self) -> &[StationId] {
+        &self.stations
+    }
+
+    /// Whether any transmission is currently on the air.
+    pub fn busy(&self) -> bool {
+        !self.active.is_empty()
+    }
+
+    /// Number of concurrent transmissions (>1 implies a collision in
+    /// progress).
+    pub fn active_count(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Completed transmissions so far.
+    pub fn completed(&self) -> u64 {
+        self.completed
+    }
+
+    /// Completed transmissions that were corrupted by overlap.
+    pub fn collisions(&self) -> u64 {
+        self.collisions
+    }
+
+    /// Link SNR for `tx → rx` under the configured channel, or +∞ when no
+    /// channel is modelled.
+    pub fn snr_db(&self, tx: StationId, rx: StationId) -> f64 {
+        self.channel
+            .as_ref()
+            .map_or(f64::INFINITY, |c| c.snr_db(tx, rx))
+    }
+
+    /// Begin a transmission at `now`. Any overlap with an in-flight
+    /// transmission corrupts both.
+    ///
+    /// # Panics
+    /// Panics if `src` is already transmitting (a MAC bug) or is not a
+    /// registered station.
+    pub fn begin_tx(&mut self, meta: PpduMeta, now: SimTime) -> TxId {
+        assert!(
+            self.stations.contains(&meta.src),
+            "unknown station {:?}",
+            meta.src
+        );
+        assert!(
+            self.active.iter().all(|t| t.meta.src != meta.src),
+            "station {:?} started a second concurrent transmission",
+            meta.src
+        );
+        let id = TxId(self.next_id);
+        self.next_id += 1;
+        let collided = !self.active.is_empty();
+        if collided {
+            for t in &mut self.active {
+                t.collided = true;
+            }
+        }
+        self.active.push(ActiveTx {
+            id,
+            end: now + meta.duration,
+            meta,
+            start: now,
+            collided,
+        });
+        id
+    }
+
+    /// Complete transmission `id` at `now` (which must equal its scheduled
+    /// end) and compute what every other station received.
+    ///
+    /// # Panics
+    /// Panics if `id` is unknown or `now` differs from the scheduled end.
+    pub fn end_tx(&mut self, id: TxId, now: SimTime, rng: &mut SimRng) -> TxOutcome {
+        let idx = self
+            .active
+            .iter()
+            .position(|t| t.id == id)
+            .expect("end_tx for unknown or already-ended transmission");
+        let tx = self.active.swap_remove(idx);
+        assert_eq!(tx.end, now, "end_tx at wrong time");
+        debug_assert!(tx.start <= now);
+        self.completed += 1;
+        if tx.collided {
+            self.collisions += 1;
+        }
+
+        let receptions = self
+            .stations
+            .iter()
+            .filter(|&&s| s != tx.meta.src)
+            .map(|&station| self.receive_at(station, &tx, rng))
+            .collect();
+
+        TxOutcome {
+            collided: tx.collided,
+            meta: tx.meta,
+            receptions,
+        }
+    }
+
+    fn receive_at(&self, station: StationId, tx: &ActiveTx, rng: &mut SimRng) -> Reception {
+        let snr_db = self.snr_db(tx.meta.src, station);
+        if tx.collided {
+            return Reception {
+                station,
+                detected: false,
+                mpdu_ok: Vec::new(),
+                snr_db,
+            };
+        }
+        if rng.chance(self.loss.preamble_loss_prob(snr_db)) {
+            return Reception {
+                station,
+                detected: false,
+                mpdu_ok: Vec::new(),
+                snr_db,
+            };
+        }
+        let exempt = tx.meta.control && matches!(self.loss, LossModel::FixedPer(_));
+        let mpdu_ok = tx
+            .meta
+            .mpdu_lens
+            .iter()
+            .map(|&len| {
+                if exempt {
+                    return true;
+                }
+                let p = self
+                    .loss
+                    .mpdu_loss_prob(tx.meta.src, station, tx.meta.rate, len, snr_db);
+                !rng.chance(p)
+            })
+            .collect();
+        Reception {
+            station,
+            detected: true,
+            mpdu_ok,
+            snr_db,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hack_sim::SimDuration;
+
+    const AP: StationId = StationId(0);
+    const C1: StationId = StationId(1);
+    const C2: StationId = StationId(2);
+
+    fn meta(src: StationId, dst: StationId, n_mpdus: usize) -> PpduMeta {
+        PpduMeta {
+            src,
+            dst: Some(dst),
+            rate: PhyRate::dot11a(54),
+            mpdu_lens: vec![1500; n_mpdus],
+            control: false,
+            duration: SimDuration::from_micros(244),
+        }
+    }
+
+    fn ideal_medium() -> Medium {
+        Medium::new(vec![AP, C1, C2], LossModel::Ideal, None)
+    }
+
+    #[test]
+    fn clean_tx_delivers_to_all_listeners() {
+        let mut m = ideal_medium();
+        let mut rng = SimRng::new(1);
+        let t0 = SimTime::ZERO;
+        let id = m.begin_tx(meta(AP, C1, 3), t0);
+        assert!(m.busy());
+        let out = m.end_tx(id, t0 + SimDuration::from_micros(244), &mut rng);
+        assert!(!m.busy());
+        assert!(!out.collided);
+        assert_eq!(out.receptions.len(), 2); // C1 and C2, not AP
+        for r in &out.receptions {
+            assert!(r.detected);
+            assert_eq!(r.mpdu_ok, vec![true, true, true]);
+        }
+        assert_eq!(m.completed(), 1);
+        assert_eq!(m.collisions(), 0);
+    }
+
+    #[test]
+    fn overlapping_txs_both_collide() {
+        let mut m = ideal_medium();
+        let mut rng = SimRng::new(1);
+        let t0 = SimTime::ZERO;
+        let a = m.begin_tx(meta(AP, C1, 1), t0);
+        // C2 starts while AP is still on the air.
+        let later = t0 + SimDuration::from_micros(100);
+        let b = m.begin_tx(meta(C2, AP, 1), later);
+        assert_eq!(m.active_count(), 2);
+
+        let out_a = m.end_tx(a, t0 + SimDuration::from_micros(244), &mut rng);
+        assert!(out_a.collided);
+        assert!(out_a.receptions.iter().all(|r| !r.detected));
+
+        let out_b = m.end_tx(b, later + SimDuration::from_micros(244), &mut rng);
+        assert!(out_b.collided);
+        assert_eq!(m.collisions(), 2);
+    }
+
+    #[test]
+    fn back_to_back_txs_do_not_collide() {
+        let mut m = ideal_medium();
+        let mut rng = SimRng::new(1);
+        let t0 = SimTime::ZERO;
+        let d = SimDuration::from_micros(244);
+        let a = m.begin_tx(meta(AP, C1, 1), t0);
+        let out = m.end_tx(a, t0 + d, &mut rng);
+        assert!(!out.collided);
+        // Next transmission starts exactly when the first ended: clean.
+        let b = m.begin_tx(meta(C1, AP, 1), t0 + d);
+        let out = m.end_tx(b, t0 + d + d, &mut rng);
+        assert!(!out.collided);
+        assert_eq!(m.collisions(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "second concurrent transmission")]
+    fn double_tx_from_same_station_panics() {
+        let mut m = ideal_medium();
+        let t0 = SimTime::ZERO;
+        m.begin_tx(meta(AP, C1, 1), t0);
+        m.begin_tx(meta(AP, C2, 1), t0);
+    }
+
+    #[test]
+    fn fixed_per_loss_applies_per_mpdu() {
+        let loss = LossModel::fixed([(C1, 0.5)]);
+        let mut m = Medium::new(vec![AP, C1], loss, None);
+        let mut rng = SimRng::new(7);
+        let mut lost = 0u32;
+        let mut total = 0u32;
+        let d = SimDuration::from_micros(244);
+        let mut now = SimTime::ZERO;
+        for _ in 0..200 {
+            let id = m.begin_tx(meta(AP, C1, 8), now);
+            now += d;
+            let out = m.end_tx(id, now, &mut rng);
+            let r = &out.receptions[0];
+            assert!(r.detected, "fixed-loss mode never loses preambles");
+            for &ok in &r.mpdu_ok {
+                total += 1;
+                if !ok {
+                    lost += 1;
+                }
+            }
+            now += SimDuration::from_micros(50);
+        }
+        let frac = f64::from(lost) / f64::from(total);
+        assert!((frac - 0.5).abs() < 0.05, "loss fraction {frac}");
+    }
+
+    #[test]
+    fn snr_mode_needs_channel() {
+        let mut ch = Channel::indoor();
+        ch.place(AP, 0.0, 0.0);
+        ch.place(C1, 2.0, 0.0);
+        let m = Medium::new(vec![AP, C1], LossModel::Snr, Some(ch));
+        assert!(m.snr_db(AP, C1) > 24.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a propagation channel")]
+    fn snr_mode_without_channel_panics() {
+        let _ = Medium::new(vec![AP, C1], LossModel::Snr, None);
+    }
+
+    #[test]
+    fn snr_mode_close_link_is_clean_far_link_is_dead() {
+        let mut ch = Channel::indoor();
+        ch.place(AP, 0.0, 0.0);
+        ch.place(C1, 2.0, 0.0);
+        // Far beyond any 802.11a sensitivity.
+        ch.place(C2, 2000.0, 0.0);
+        let mut m = Medium::new(vec![AP, C1, C2], LossModel::Snr, Some(ch));
+        let mut rng = SimRng::new(5);
+        let mut now = SimTime::ZERO;
+        let d = SimDuration::from_micros(244);
+        let mut c1_ok = 0;
+        let mut c2_ok = 0;
+        for _ in 0..100 {
+            let id = m.begin_tx(meta(AP, C1, 1), now);
+            now += d;
+            let out = m.end_tx(id, now, &mut rng);
+            for r in &out.receptions {
+                let ok = r.detected && r.mpdu_ok.iter().all(|&b| b);
+                if r.station == C1 && ok {
+                    c1_ok += 1;
+                }
+                if r.station == C2 && ok {
+                    c2_ok += 1;
+                }
+            }
+            now += SimDuration::from_micros(50);
+        }
+        assert!(c1_ok >= 99, "close link should be clean, got {c1_ok}/100");
+        assert_eq!(c2_ok, 0, "2 km link must be dead");
+    }
+
+    #[test]
+    #[should_panic(expected = "end_tx at wrong time")]
+    fn end_tx_at_wrong_time_panics() {
+        let mut m = ideal_medium();
+        let mut rng = SimRng::new(1);
+        let id = m.begin_tx(meta(AP, C1, 1), SimTime::ZERO);
+        let _ = m.end_tx(id, SimTime::from_micros(1), &mut rng);
+    }
+}

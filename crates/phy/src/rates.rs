@@ -1,0 +1,322 @@
+//! Physical-layer bit-rates for 802.11a (legacy OFDM) and 802.11n (HT).
+//!
+//! The paper's experiments use:
+//!
+//! * the full **802.11a** rate set 6–54 Mbps (Figure 1(a), the SoRa
+//!   testbed at 54 Mbps),
+//! * the **802.11n HT** rates achievable with a 40 MHz channel, 400 ns
+//!   short guard interval and one spatial stream — MCS 0–7 ⇒
+//!   15/30/45/60/90/120/135/150 Mbps (Figures 10–12), extended up to
+//!   600 Mbps with four spatial streams for Figure 1(b),
+//! * LL ACKs and Block ACKs at the **basic rates** 6/12/24 Mbps, selected
+//!   per the 802.11 rule: the highest basic rate not exceeding the data
+//!   frame's rate.
+//!
+//! OFDM symbol arithmetic is exact in integers: a legacy symbol is 4 µs,
+//! an HT short-GI symbol is 3.6 µs, and every supported rate yields an
+//! integral number of data bits per symbol.
+
+use std::fmt;
+
+use hack_sim::SimDuration;
+
+/// Which PHY encoding a transmission uses. Determines preamble length and
+/// symbol duration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PhyKind {
+    /// Legacy 802.11a OFDM: 20 µs preamble+SIGNAL, 4 µs symbols.
+    LegacyOfdm,
+    /// 802.11n HT mixed format, 40 MHz, short GI: 36 µs preamble,
+    /// 3.6 µs symbols.
+    HtMixed,
+}
+
+impl PhyKind {
+    /// PLCP preamble + header airtime before the first data symbol.
+    pub fn preamble(self) -> SimDuration {
+        match self {
+            // 16 µs preamble + 4 µs SIGNAL field.
+            PhyKind::LegacyOfdm => SimDuration::from_micros(20),
+            // L-STF+L-LTF+L-SIG (20) + HT-SIG (8) + HT-STF (4) + HT-LTF (4).
+            PhyKind::HtMixed => SimDuration::from_micros(36),
+        }
+    }
+
+    /// OFDM symbol duration.
+    pub fn symbol(self) -> SimDuration {
+        match self {
+            PhyKind::LegacyOfdm => SimDuration::from_nanos(4_000),
+            PhyKind::HtMixed => SimDuration::from_nanos(3_600),
+        }
+    }
+
+    /// SERVICE + tail bits added around the PSDU by the PHY.
+    pub fn service_and_tail_bits(self) -> u64 {
+        16 + 6
+    }
+}
+
+/// A physical-layer rate: bits per second plus the encoding it runs over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PhyRate {
+    bps: u64,
+    kind: PhyKind,
+}
+
+/// All 802.11a rates, ascending (Mbps: 6, 9, 12, 18, 24, 36, 48, 54).
+pub const DOT11A_RATES_MBPS: [u64; 8] = [6, 9, 12, 18, 24, 36, 48, 54];
+
+/// The paper's 802.11n HT rate set: MCS 0–7, 40 MHz, short GI, one
+/// antenna (Mbps).
+pub const DOT11N_HT40_SGI_MBPS: [u64; 8] = [15, 30, 45, 60, 90, 120, 135, 150];
+
+/// OFDM basic rates used for control responses (Mbps).
+pub const BASIC_RATES_MBPS: [u64; 3] = [6, 12, 24];
+
+impl PhyRate {
+    /// A legacy 802.11a rate in Mbps.
+    ///
+    /// # Panics
+    /// Panics unless `mbps` is one of the eight 802.11a rates.
+    pub fn dot11a(mbps: u64) -> Self {
+        assert!(
+            DOT11A_RATES_MBPS.contains(&mbps),
+            "{mbps} Mbps is not an 802.11a rate"
+        );
+        PhyRate {
+            bps: mbps * 1_000_000,
+            kind: PhyKind::LegacyOfdm,
+        }
+    }
+
+    /// An 802.11n HT rate in Mbps (40 MHz / short GI grid).
+    ///
+    /// Accepts the single-antenna set 15–150 and its multi-stream
+    /// multiples up to 600 Mbps (used by the Figure 1(b) analysis).
+    ///
+    /// # Panics
+    /// Panics if `mbps` is not a multiple of one of the single-stream
+    /// rates by 1–4 streams, i.e. if it would not give an integral number
+    /// of bits per 3.6 µs symbol.
+    pub fn ht(mbps: u64) -> Self {
+        let valid = (1..=4u64).any(|streams| {
+            DOT11N_HT40_SGI_MBPS
+                .iter()
+                .any(|&base| base * streams == mbps)
+        });
+        assert!(valid, "{mbps} Mbps is not an HT40/SGI rate (1-4 streams)");
+        PhyRate {
+            bps: mbps * 1_000_000,
+            kind: PhyKind::HtMixed,
+        }
+    }
+
+    /// The rate in bits per second.
+    pub fn bps(self) -> u64 {
+        self.bps
+    }
+
+    /// The rate in Mbps.
+    pub fn mbps(self) -> u64 {
+        self.bps / 1_000_000
+    }
+
+    /// The PHY encoding.
+    pub fn kind(self) -> PhyKind {
+        self.kind
+    }
+
+    /// Data bits carried by one OFDM symbol at this rate. Exact for every
+    /// supported rate.
+    pub fn bits_per_symbol(self) -> u64 {
+        let sym_ns = self.kind.symbol().as_nanos();
+        // bps * symbol_ns / 1e9; exact for all supported combinations.
+        let bits = self.bps * sym_ns / 1_000_000_000;
+        debug_assert_eq!(
+            bits * 1_000_000_000,
+            self.bps * sym_ns,
+            "non-integral bits per symbol for {self}"
+        );
+        bits
+    }
+
+    /// Airtime of a PPDU whose PSDU is `psdu_bytes` long: preamble plus a
+    /// whole number of OFDM symbols covering SERVICE + PSDU + tail bits.
+    pub fn ppdu_duration(self, psdu_bytes: u64) -> SimDuration {
+        let bits = self.kind.service_and_tail_bits() + 8 * psdu_bytes;
+        let symbols = bits.div_ceil(self.bits_per_symbol());
+        self.kind.preamble() + self.kind.symbol() * symbols
+    }
+
+    /// The basic (control-response) rate matching this data rate: the
+    /// highest of 6/12/24 Mbps not exceeding it. Control frames are always
+    /// legacy OFDM, even in an HT network.
+    pub fn basic_response_rate(self) -> PhyRate {
+        let mbps = self.mbps();
+        let basic = BASIC_RATES_MBPS
+            .iter()
+            .rev()
+            .copied()
+            .find(|&b| b <= mbps)
+            .unwrap_or(6);
+        PhyRate {
+            bps: basic * 1_000_000,
+            kind: PhyKind::LegacyOfdm,
+        }
+    }
+
+    /// Minimum SNR (dB) at which this rate is usable, per the 802.11
+    /// receiver-sensitivity ladder. Drives the [`crate::error`] model and
+    /// the Figure 11 envelope.
+    pub fn min_snr_db(self) -> f64 {
+        // Legacy OFDM sensitivities (dB above noise floor), then HT40
+        // equivalents per MCS. Values follow the usual minstrel/ns-3
+        // ladder; exactness is not required, monotonicity is.
+        match (self.kind, self.mbps()) {
+            (PhyKind::LegacyOfdm, 6) => 5.0,
+            (PhyKind::LegacyOfdm, 9) => 6.0,
+            (PhyKind::LegacyOfdm, 12) => 7.0,
+            (PhyKind::LegacyOfdm, 18) => 9.0,
+            (PhyKind::LegacyOfdm, 24) => 12.0,
+            (PhyKind::LegacyOfdm, 36) => 16.0,
+            (PhyKind::LegacyOfdm, 48) => 20.0,
+            (PhyKind::LegacyOfdm, 54) => 21.0,
+            (PhyKind::HtMixed, m) => {
+                // Map the single-stream HT40 ladder; multi-stream rates
+                // reuse the per-stream requirement of their base MCS.
+                let per_stream = (1..=4)
+                    .find_map(|s| {
+                        let base = m / s;
+                        (base * s == m && DOT11N_HT40_SGI_MBPS.contains(&base)).then_some(base)
+                    })
+                    .expect("validated at construction");
+                match per_stream {
+                    15 => 5.0,
+                    30 => 8.0,
+                    45 => 10.0,
+                    60 => 13.0,
+                    90 => 17.0,
+                    120 => 21.0,
+                    135 => 22.0,
+                    150 => 24.0,
+                    _ => unreachable!("validated at construction"),
+                }
+            }
+            _ => unreachable!("validated at construction"),
+        }
+    }
+}
+
+impl fmt::Display for PhyRate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let tag = match self.kind {
+            PhyKind::LegacyOfdm => "11a",
+            PhyKind::HtMixed => "HT",
+        };
+        write!(f, "{}Mbps/{tag}", self.mbps())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot11a_bits_per_symbol() {
+        let expected = [24, 36, 48, 72, 96, 144, 192, 216];
+        for (&mbps, &bits) in DOT11A_RATES_MBPS.iter().zip(&expected) {
+            assert_eq!(PhyRate::dot11a(mbps).bits_per_symbol(), bits);
+        }
+    }
+
+    #[test]
+    fn ht_bits_per_symbol() {
+        let expected = [54, 108, 162, 216, 324, 432, 486, 540];
+        for (&mbps, &bits) in DOT11N_HT40_SGI_MBPS.iter().zip(&expected) {
+            assert_eq!(PhyRate::ht(mbps).bits_per_symbol(), bits);
+        }
+        assert_eq!(PhyRate::ht(600).bits_per_symbol(), 2160);
+    }
+
+    #[test]
+    #[should_panic(expected = "not an 802.11a rate")]
+    fn dot11a_rejects_bogus_rate() {
+        let _ = PhyRate::dot11a(11);
+    }
+
+    #[test]
+    #[should_panic(expected = "not an HT40/SGI rate")]
+    fn ht_rejects_bogus_rate() {
+        let _ = PhyRate::ht(100);
+    }
+
+    #[test]
+    fn ppdu_duration_known_values() {
+        // 1500-byte PSDU at 54 Mbps: (16+12000+6)/216 = 55.66 -> 56 symbols
+        // => 20 + 224 = 244 µs.
+        assert_eq!(
+            PhyRate::dot11a(54).ppdu_duration(1500),
+            SimDuration::from_micros(244)
+        );
+        // ACK (14 bytes) at 24 Mbps: (16+112+6)/96 = 1.39 -> 2 symbols
+        // => 20 + 8 = 28 µs.
+        assert_eq!(
+            PhyRate::dot11a(24).ppdu_duration(14),
+            SimDuration::from_micros(28)
+        );
+        // 1500-byte PSDU at HT 150: (16+12000+6)/540 = 22.26 -> 23 symbols
+        // => 36 µs + 23*3.6 = 36 + 82.8 = 118.8 µs.
+        assert_eq!(
+            PhyRate::ht(150).ppdu_duration(1500),
+            SimDuration::from_nanos(118_800)
+        );
+    }
+
+    #[test]
+    fn ppdu_duration_monotone_in_length() {
+        let r = PhyRate::ht(150);
+        let mut last = SimDuration::ZERO;
+        for len in (0..4000).step_by(37) {
+            let d = r.ppdu_duration(len);
+            assert!(d >= last);
+            last = d;
+        }
+    }
+
+    #[test]
+    fn basic_response_rate_rule() {
+        assert_eq!(PhyRate::dot11a(54).basic_response_rate().mbps(), 24);
+        assert_eq!(PhyRate::dot11a(24).basic_response_rate().mbps(), 24);
+        assert_eq!(PhyRate::dot11a(18).basic_response_rate().mbps(), 12);
+        assert_eq!(PhyRate::dot11a(9).basic_response_rate().mbps(), 6);
+        assert_eq!(PhyRate::dot11a(6).basic_response_rate().mbps(), 6);
+        // HT 150 answers at 24 Mbps legacy, as in the paper's simulations.
+        let resp = PhyRate::ht(150).basic_response_rate();
+        assert_eq!(resp.mbps(), 24);
+        assert_eq!(resp.kind(), PhyKind::LegacyOfdm);
+        // Low HT rates answer at correspondingly low basic rates.
+        assert_eq!(PhyRate::ht(15).basic_response_rate().mbps(), 12);
+    }
+
+    #[test]
+    fn min_snr_monotone_within_family() {
+        let mut last = f64::NEG_INFINITY;
+        for &m in &DOT11A_RATES_MBPS {
+            let s = PhyRate::dot11a(m).min_snr_db();
+            assert!(s >= last);
+            last = s;
+        }
+        let mut last = f64::NEG_INFINITY;
+        for &m in &DOT11N_HT40_SGI_MBPS {
+            let s = PhyRate::ht(m).min_snr_db();
+            assert!(s >= last);
+            last = s;
+        }
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(PhyRate::dot11a(54).to_string(), "54Mbps/11a");
+        assert_eq!(PhyRate::ht(150).to_string(), "150Mbps/HT");
+    }
+}

@@ -1,0 +1,151 @@
+//! MAC-layer timing parameter sets for 802.11a DCF and 802.11n EDCA.
+//!
+//! These numbers drive both the simulator and the analytical model, so
+//! they are defined once here. Sanity anchor from the paper's
+//! introduction: *"EDCA in 802.11n enforces an average idle period of
+//! 110.5 µs before a frame's transmission"* — that is
+//! AIFS(BE) = SIFS + 3·slot = 43 µs plus a mean backoff of
+//! (CWmin/2)·slot = 7.5·9 = 67.5 µs. A unit test pins this.
+
+use hack_sim::SimDuration;
+
+use crate::rates::PhyKind;
+
+/// Contention and interframe-space parameters for one MAC flavour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MacTimings {
+    /// Slot time (9 µs for OFDM PHYs).
+    pub slot: SimDuration,
+    /// Short interframe space (16 µs).
+    pub sifs: SimDuration,
+    /// AIFSN: the number of slots added to SIFS before contention.
+    /// 2 for classic DCF (giving DIFS), 3 for EDCA best-effort (AIFS).
+    pub aifsn: u32,
+    /// Minimum contention window (15).
+    pub cw_min: u32,
+    /// Maximum contention window (1023).
+    pub cw_max: u32,
+    /// Retry limit before a frame (or A-MPDU recovery) is abandoned.
+    pub retry_limit: u32,
+    /// TXOP limit: the maximum time one medium acquisition may occupy.
+    /// The paper applies the 802.11e 4 ms limit to all transmissions.
+    pub txop_limit: SimDuration,
+    /// The PHY encoding data frames use (controls preamble/symbol times).
+    pub data_phy: PhyKind,
+}
+
+impl MacTimings {
+    /// 802.11a DCF parameters (DIFS = SIFS + 2·slot = 34 µs).
+    pub fn dot11a() -> Self {
+        MacTimings {
+            slot: SimDuration::from_micros(9),
+            sifs: SimDuration::from_micros(16),
+            aifsn: 2,
+            cw_min: 15,
+            cw_max: 1023,
+            retry_limit: 7,
+            txop_limit: SimDuration::from_millis(4),
+            data_phy: PhyKind::LegacyOfdm,
+        }
+    }
+
+    /// 802.11n EDCA best-effort parameters (AIFS = SIFS + 3·slot = 43 µs).
+    pub fn dot11n() -> Self {
+        MacTimings {
+            slot: SimDuration::from_micros(9),
+            sifs: SimDuration::from_micros(16),
+            aifsn: 3,
+            cw_min: 15,
+            cw_max: 1023,
+            retry_limit: 7,
+            txop_limit: SimDuration::from_millis(4),
+            data_phy: PhyKind::HtMixed,
+        }
+    }
+
+    /// The interframe space before contention may begin:
+    /// DIFS (802.11a) or AIFS (802.11n BE).
+    pub fn aifs(&self) -> SimDuration {
+        self.sifs + self.slot * u64::from(self.aifsn)
+    }
+
+    /// Mean backoff duration from a fresh contention window:
+    /// (CWmin / 2) slots. Used by the analytical model.
+    pub fn mean_backoff(&self) -> SimDuration {
+        // Mean of uniform [0, cw_min] is cw_min/2 = 7.5 slots; keep exact
+        // by halving the nanosecond product.
+        SimDuration::from_nanos(self.slot.as_nanos() * u64::from(self.cw_min) / 2)
+    }
+
+    /// The contention window after `retries` failed attempts:
+    /// CW doubles from CWmin, capped at CWmax.
+    pub fn cw_for_retry(&self, retries: u32) -> u32 {
+        let mut cw = self.cw_min;
+        for _ in 0..retries {
+            cw = ((cw + 1) * 2 - 1).min(self.cw_max);
+        }
+        cw
+    }
+
+    /// How long a transmitter waits for the start of an expected response
+    /// (ACK/Block ACK) before declaring it lost: SIFS + slot + the legacy
+    /// preamble detection time, per the 802.11 ACKTimeout definition.
+    pub fn ack_timeout(&self) -> SimDuration {
+        self.sifs + self.slot + PhyKind::LegacyOfdm.preamble()
+    }
+
+    /// EIFS-style penalty after a reception error — we use AIFS + the
+    /// airtime of an ACK at the lowest basic rate, a simplified EIFS.
+    pub fn eifs(&self) -> SimDuration {
+        self.aifs() + crate::rates::PhyRate::dot11a(6).ppdu_duration(14) + self.sifs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot11a_difs_is_34us() {
+        assert_eq!(MacTimings::dot11a().aifs(), SimDuration::from_micros(34));
+    }
+
+    #[test]
+    fn dot11n_aifs_is_43us() {
+        assert_eq!(MacTimings::dot11n().aifs(), SimDuration::from_micros(43));
+    }
+
+    /// The paper's 110.5 µs average idle period before an EDCA
+    /// transmission: AIFS (43 µs) + mean backoff (67.5 µs).
+    #[test]
+    fn paper_anchor_mean_idle_110_5us() {
+        let t = MacTimings::dot11n();
+        let idle = t.aifs() + t.mean_backoff();
+        assert_eq!(idle, SimDuration::from_nanos(110_500));
+    }
+
+    #[test]
+    fn cw_doubles_and_caps() {
+        let t = MacTimings::dot11a();
+        assert_eq!(t.cw_for_retry(0), 15);
+        assert_eq!(t.cw_for_retry(1), 31);
+        assert_eq!(t.cw_for_retry(2), 63);
+        assert_eq!(t.cw_for_retry(3), 127);
+        assert_eq!(t.cw_for_retry(6), 1023);
+        assert_eq!(t.cw_for_retry(10), 1023);
+    }
+
+    #[test]
+    fn ack_timeout_exceeds_sifs() {
+        let t = MacTimings::dot11a();
+        assert!(t.ack_timeout() > t.sifs);
+        // SIFS 16 + slot 9 + preamble 20 = 45 µs.
+        assert_eq!(t.ack_timeout(), SimDuration::from_micros(45));
+    }
+
+    #[test]
+    fn eifs_exceeds_aifs() {
+        let t = MacTimings::dot11n();
+        assert!(t.eifs() > t.aifs());
+    }
+}

@@ -1,0 +1,80 @@
+//! Property-based tests for PHY airtime arithmetic and loss models.
+
+use hack_phy::{LossModel, PhyRate, StationId, DOT11A_RATES_MBPS, DOT11N_HT40_SGI_MBPS};
+use proptest::prelude::*;
+
+fn any_rate() -> impl Strategy<Value = PhyRate> {
+    prop_oneof![
+        (0usize..DOT11A_RATES_MBPS.len()).prop_map(|i| PhyRate::dot11a(DOT11A_RATES_MBPS[i])),
+        (0usize..DOT11N_HT40_SGI_MBPS.len()).prop_map(|i| PhyRate::ht(DOT11N_HT40_SGI_MBPS[i])),
+    ]
+}
+
+proptest! {
+    /// Airtime grows monotonically with PSDU length at any rate.
+    #[test]
+    fn duration_monotone(rate in any_rate(), a in 0u64..65_536, b in 0u64..65_536) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(rate.ppdu_duration(lo) <= rate.ppdu_duration(hi));
+    }
+
+    /// Faster rates never take longer for the same PSDU (within a PHY
+    /// family, where preamble and symbol duration are fixed).
+    #[test]
+    fn faster_is_never_slower_11a(len in 0u64..65_536, i in 0usize..7) {
+        let slow = PhyRate::dot11a(DOT11A_RATES_MBPS[i]);
+        let fast = PhyRate::dot11a(DOT11A_RATES_MBPS[i + 1]);
+        prop_assert!(fast.ppdu_duration(len) <= slow.ppdu_duration(len));
+    }
+
+    /// Airtime is at least the ideal serialization time plus preamble.
+    #[test]
+    fn duration_lower_bound(rate in any_rate(), len in 1u64..65_536) {
+        let d = rate.ppdu_duration(len);
+        let ideal_ns = (8 * len) * 1_000_000_000 / rate.bps();
+        prop_assert!(d.as_nanos() >= rate.kind().preamble().as_nanos() + ideal_ns);
+        // …and within one symbol + service/tail of it.
+        let slack = rate.kind().symbol().as_nanos()
+            + rate.kind().service_and_tail_bits() * 1_000_000_000 / rate.bps()
+            + rate.kind().symbol().as_nanos();
+        prop_assert!(d.as_nanos() <= rate.kind().preamble().as_nanos() + ideal_ns + slack);
+    }
+
+    /// Loss probabilities are always valid probabilities.
+    #[test]
+    fn loss_prob_in_unit_interval(
+        rate in any_rate(),
+        len in 1u32..65_536,
+        snr in -30.0f64..60.0,
+        per in 0.0f64..1.0,
+    ) {
+        let a = StationId(0);
+        let b = StationId(1);
+        for model in [LossModel::Ideal, LossModel::fixed([(b, per)]), LossModel::Snr] {
+            let p = model.mpdu_loss_prob(a, b, rate, len, snr);
+            prop_assert!((0.0..=1.0).contains(&p), "{model:?} gave {p}");
+            let q = model.preamble_loss_prob(snr);
+            prop_assert!((0.0..=1.0).contains(&q));
+        }
+    }
+
+    /// In SNR mode, loss is monotone non-increasing in SNR.
+    #[test]
+    fn snr_loss_monotone(rate in any_rate(), len in 1u32..4096, lo in -20.0f64..40.0, delta in 0.0f64..20.0) {
+        let a = StationId(0);
+        let b = StationId(1);
+        let m = LossModel::Snr;
+        let p_lo = m.mpdu_loss_prob(a, b, rate, len, lo);
+        let p_hi = m.mpdu_loss_prob(a, b, rate, len, lo + delta);
+        prop_assert!(p_hi <= p_lo + 1e-12);
+    }
+
+    /// The basic response rate is always a legacy basic rate ≤ data rate
+    /// (or the 6 Mbps floor).
+    #[test]
+    fn basic_rate_rule(rate in any_rate()) {
+        let b = rate.basic_response_rate();
+        prop_assert!([6, 12, 24].contains(&b.mbps()));
+        prop_assert!(b.mbps() <= rate.mbps().max(6));
+    }
+}

@@ -1,0 +1,390 @@
+//! Compression contexts: the per-flow state shared (by construction,
+//! never by communication) between compressor and decompressor.
+//!
+//! ## Why W-LSB and not delta chains
+//!
+//! Compressed ACKs ride link-layer acknowledgments, which can *overtake*
+//! native ACKs still queued at the MAC — and blobs or natives can be
+//! lost independently. The decompressor's reference for each field is
+//! therefore only known to lie somewhere between the compressor's
+//! **floor** (the oldest value that could still be the peer's reference)
+//! and its newest emission. ROHC's window-based LSB encoding handles
+//! exactly this: transmit enough low-order bits of the *value* that any
+//! reference in the window decodes it unambiguously. All the dynamic
+//! fields HACK compresses (ACK number, timestamps, IP ident) are
+//! monotone non-decreasing, so decoding is forward-only:
+//! `v = ref + ((lsbs − ref) mod 2^k)`.
+//!
+//! The compressor maintains the floor from the driver's confirmation
+//! signals: a native ACK is outstanding from enqueue until the MAC
+//! reports it delivered; a compressed ACK is outstanding until a §3.4
+//! confirmation. The floor is the oldest outstanding snapshot.
+
+use std::collections::VecDeque;
+
+use hack_tcp::{FiveTuple, Ipv4Packet, TcpSegment, TcpSeq, Transport};
+
+use crate::md5::cid_for_tuple;
+
+/// A snapshot of the dynamic header fields of one ACK.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FieldRefs {
+    /// TCP acknowledgment number.
+    pub ack: TcpSeq,
+    /// TCP sequence number (effectively static for a pure receiver).
+    pub seq: TcpSeq,
+    /// On-wire window field.
+    pub window: u16,
+    /// Timestamp value (0 when the flow has no timestamps).
+    pub tsval: u32,
+    /// Timestamp echo.
+    pub tsecr: u32,
+    /// IP identification.
+    pub ident: u16,
+}
+
+impl FieldRefs {
+    /// Extract from a pure-ACK packet.
+    pub fn of(pkt: &Ipv4Packet, seg: &TcpSegment) -> FieldRefs {
+        let (tsval, tsecr) = seg.timestamps().unwrap_or((0, 0));
+        FieldRefs {
+            ack: seg.ack,
+            seq: seg.seq,
+            window: seg.window,
+            tsval,
+            tsecr,
+            ident: pkt.ident,
+        }
+    }
+
+    /// Component-wise forward max (fields are monotone, so this is the
+    /// newer snapshot per field).
+    pub fn max_with(&mut self, other: &FieldRefs) {
+        if other.ack.ge(self.ack) {
+            self.ack = other.ack;
+        }
+        if other.seq.ge(self.seq) {
+            self.seq = other.seq;
+        }
+        if other.tsval.wrapping_sub(self.tsval) < 0x8000_0000 {
+            self.tsval = other.tsval;
+        }
+        if other.tsecr.wrapping_sub(self.tsecr) < 0x8000_0000 {
+            self.tsecr = other.tsecr;
+        }
+        if other.ident.wrapping_sub(self.ident) < 0x8000 {
+            self.ident = other.ident;
+        }
+        self.window = other.window;
+    }
+}
+
+/// Shared static context plus the compressor-side window state.
+#[derive(Debug, Clone)]
+pub struct CompContext {
+    /// The flow (ACK direction).
+    pub tuple: FiveTuple,
+    /// Cached TTL (static chain).
+    pub ttl: u8,
+    /// Whether the flow carries the timestamps option.
+    pub has_ts: bool,
+    /// Oldest reference the decompressor could still hold.
+    pub floor: FieldRefs,
+    /// Snapshots of natives enqueued but not yet confirmed delivered.
+    pub outstanding: VecDeque<FieldRefs>,
+    /// Window value of the most recent compressed emission (unlike the
+    /// other fields, the window is not monotone, so omitting it is only
+    /// safe when every reference the peer could hold equals the current
+    /// value).
+    pub last_emitted_window: Option<u16>,
+    /// Master sequence number of the last compressed packet.
+    pub msn: u8,
+}
+
+/// Cap on tracked outstanding natives; beyond this the oldest are folded
+/// into the floor (conservatively assuming delivery — a wrong assumption
+/// surfaces as a CRC failure and heals on the next native).
+const OUTSTANDING_CAP: usize = 64;
+
+impl CompContext {
+    /// Seed a context from a natively transmitted pure ACK.
+    pub fn from_native(pkt: &Ipv4Packet) -> Option<CompContext> {
+        let Transport::Tcp(seg) = &pkt.transport else {
+            return None;
+        };
+        if !seg.is_pure_ack() {
+            return None;
+        }
+        Some(CompContext {
+            tuple: pkt.five_tuple(),
+            ttl: pkt.ttl,
+            has_ts: seg.timestamps().is_some(),
+            floor: FieldRefs::of(pkt, seg),
+            outstanding: VecDeque::new(),
+            last_emitted_window: None,
+            msn: 0,
+        })
+    }
+
+    /// Is it safe to omit the explicit window field for `window`? Only
+    /// when every reference the decompressor could hold carries the same
+    /// value.
+    pub fn window_omittable(&self, window: u16) -> bool {
+        self.floor.window == window
+            && self.outstanding.iter().all(|o| o.window == window)
+            && self.last_emitted_window.is_none_or(|w| w == window)
+    }
+
+    /// The flow's CID (lowest byte of MD5 over the 5-tuple, §3.3.2).
+    pub fn cid(&self) -> u8 {
+        cid_for_tuple(&self.tuple.bytes())
+    }
+
+    /// A native ACK was enqueued for transmission: it becomes an
+    /// outstanding (unconfirmed) reference.
+    pub fn native_enqueued(&mut self, pkt: &Ipv4Packet, seg: &TcpSegment) {
+        if self.outstanding.len() == OUTSTANDING_CAP {
+            if let Some(old) = self.outstanding.pop_front() {
+                self.floor.max_with(&old);
+            }
+        }
+        self.outstanding.push_back(FieldRefs::of(pkt, seg));
+        if let Some((_, _)) = seg.timestamps() {
+            self.has_ts = true;
+        }
+    }
+
+    /// A previously enqueued native (or a compressed ACK, per §3.4
+    /// confirmation) is now known to have reached the peer: advance the
+    /// floor and drop confirmed outstanding entries.
+    pub fn confirmed(&mut self, refs: &FieldRefs) {
+        self.floor.max_with(refs);
+        // Outstanding entries are FIFO in transmission order; everything
+        // sent up to (and including) the confirmed packet is no longer a
+        // possible stale reference. IP ident is the per-packet serial.
+        while let Some(front) = self.outstanding.front() {
+            let sent_no_later = refs.ident.wrapping_sub(front.ident) < 0x8000;
+            if sent_no_later {
+                self.outstanding.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// The oldest reference the peer might still hold — the window base
+    /// for k-selection.
+    pub fn effective_floor(&self) -> FieldRefs {
+        self.outstanding.front().copied().unwrap_or(self.floor)
+    }
+}
+
+/// Decompressor-side context: the current reference values.
+#[derive(Debug, Clone)]
+pub struct DecompContext {
+    /// The flow.
+    pub tuple: FiveTuple,
+    /// Cached TTL.
+    pub ttl: u8,
+    /// Whether the flow carries timestamps.
+    pub has_ts: bool,
+    /// Current reference values.
+    pub refs: FieldRefs,
+    /// Master sequence number of the last accepted packet.
+    pub msn: u8,
+}
+
+impl DecompContext {
+    /// The flow's CID.
+    pub fn cid(&self) -> u8 {
+        cid_for_tuple(&self.tuple.bytes())
+    }
+
+    /// Seed from a natively received pure ACK.
+    pub fn from_native(pkt: &Ipv4Packet) -> Option<DecompContext> {
+        let Transport::Tcp(seg) = &pkt.transport else {
+            return None;
+        };
+        if !seg.is_pure_ack() {
+            return None;
+        }
+        Some(DecompContext {
+            tuple: pkt.five_tuple(),
+            ttl: pkt.ttl,
+            has_ts: seg.timestamps().is_some(),
+            refs: FieldRefs::of(pkt, seg),
+            msn: 0,
+        })
+    }
+
+    /// Refresh from a natively received ACK (arrival order is the
+    /// decompressor's reality; regression is fine — W-LSB windows cover
+    /// it).
+    pub fn refresh_native(&mut self, pkt: &Ipv4Packet, seg: &TcpSegment) {
+        self.refs = FieldRefs::of(pkt, seg);
+        self.ttl = pkt.ttl;
+        if seg.timestamps().is_some() {
+            self.has_ts = true;
+        }
+    }
+}
+
+/// Extract the TCP segment from a packet, if it is a compressible pure
+/// ACK.
+pub fn compressible_ack(pkt: &Ipv4Packet) -> Option<&TcpSegment> {
+    match &pkt.transport {
+        Transport::Tcp(t) if t.is_pure_ack() => Some(t),
+        _ => None,
+    }
+}
+
+/// Forward-only W-LSB decode: the smallest `v ≥ ref` whose low `k` bits
+/// equal `lsbs`.
+pub fn wlsb_decode(reference: u64, lsbs: u64, k: u32) -> u64 {
+    debug_assert!(k <= 64);
+    if k == 64 {
+        return lsbs;
+    }
+    let modulus = 1u64 << k;
+    let delta = lsbs.wrapping_sub(reference) & (modulus - 1);
+    reference.wrapping_add(delta)
+}
+
+/// The number of bits needed so any reference in `[floor, value]`
+/// decodes `value`: `value − floor < 2^k`.
+pub fn wlsb_k(value: u64, floor: u64, choices: &[u32]) -> Option<u32> {
+    let dist = value.wrapping_sub(floor);
+    choices
+        .iter()
+        .copied()
+        .find(|&k| k == 64 || dist < (1u64 << k))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hack_tcp::{flags, Ipv4Addr, TcpOption};
+
+    fn ack_packet(ack: u32, ident: u16, tsval: u32) -> Ipv4Packet {
+        Ipv4Packet {
+            src: Ipv4Addr::new(192, 168, 0, 2),
+            dst: Ipv4Addr::new(10, 0, 0, 1),
+            ident,
+            ttl: 64,
+            transport: Transport::Tcp(TcpSegment {
+                src_port: 40000,
+                dst_port: 5001,
+                seq: TcpSeq(7777),
+                ack: TcpSeq(ack),
+                flags: flags::ACK,
+                window: 1024,
+                options: vec![TcpOption::Timestamps {
+                    tsval,
+                    tsecr: tsval.wrapping_sub(3),
+                }],
+                payload_len: 0,
+            }),
+        }
+    }
+
+    #[test]
+    fn wlsb_decode_exact_when_in_window() {
+        for (reference, value, k) in [
+            (100u64, 100u64, 8u32),
+            (100, 355, 8),
+            (100, 100 + 255, 8),
+            (0, 65_535, 16),
+            (1_000_000, 1_093_440, 24),
+            (u64::from(u32::MAX) - 5, u64::from(u32::MAX) + 10, 8),
+        ] {
+            let lsbs = value & ((1u64 << k) - 1);
+            assert_eq!(wlsb_decode(reference, lsbs, k), value, "ref={reference} v={value} k={k}");
+        }
+    }
+
+    #[test]
+    fn wlsb_decode_any_ref_in_window() {
+        // Every reference in [floor, value] must decode correctly when k
+        // covers value − floor.
+        let value = 1_234_567u64;
+        let floor = value - 60_000;
+        let k = wlsb_k(value, floor, &[8, 16, 24, 32]).unwrap();
+        assert_eq!(k, 16);
+        for reference in (floor..=value).step_by(777) {
+            let lsbs = value & ((1u64 << k) - 1);
+            assert_eq!(wlsb_decode(reference, lsbs, k), value);
+        }
+    }
+
+    #[test]
+    fn wlsb_k_picks_minimal() {
+        assert_eq!(wlsb_k(100, 100, &[8, 16, 24, 32]), Some(8));
+        assert_eq!(wlsb_k(400, 100, &[8, 16, 24, 32]), Some(16));
+        assert_eq!(wlsb_k(100_000, 100, &[8, 16, 24, 32]), Some(24));
+        assert_eq!(wlsb_k(u64::from(u32::MAX), 0, &[8, 16, 24, 32]), Some(32));
+        assert_eq!(wlsb_k(1 << 40, 0, &[8, 16]), None);
+    }
+
+    #[test]
+    fn context_floor_tracks_outstanding() {
+        let p0 = ack_packet(1000, 1, 10);
+        let mut ctx = CompContext::from_native(&p0).unwrap();
+        assert_eq!(ctx.effective_floor().ack, TcpSeq(1000));
+
+        // Two natives enqueued: the floor is the oldest outstanding.
+        let p1 = ack_packet(2000, 2, 11);
+        let p2 = ack_packet(3000, 3, 12);
+        let (s1, s2) = (
+            compressible_ack(&p1).unwrap().clone(),
+            compressible_ack(&p2).unwrap().clone(),
+        );
+        ctx.native_enqueued(&p1, &s1);
+        ctx.native_enqueued(&p2, &s2);
+        assert_eq!(ctx.effective_floor().ack, TcpSeq(2000));
+
+        // Confirming the first advances the floor to it and drops it.
+        ctx.confirmed(&FieldRefs::of(&p1, &s1));
+        assert_eq!(ctx.effective_floor().ack, TcpSeq(3000));
+        ctx.confirmed(&FieldRefs::of(&p2, &s2));
+        assert_eq!(ctx.effective_floor().ack, TcpSeq(3000));
+        assert!(ctx.outstanding.is_empty());
+    }
+
+    #[test]
+    fn overflow_folds_into_floor() {
+        let p0 = ack_packet(0, 0, 0);
+        let mut ctx = CompContext::from_native(&p0).unwrap();
+        for i in 0..80u32 {
+            let p = ack_packet(1000 + i * 10, 1 + i as u16, i);
+            let s = compressible_ack(&p).unwrap().clone();
+            ctx.native_enqueued(&p, &s);
+        }
+        assert_eq!(ctx.outstanding.len(), OUTSTANDING_CAP);
+        assert!(ctx.floor.ack.gt(TcpSeq(0)), "floor advanced by folding");
+    }
+
+    #[test]
+    fn field_refs_max_is_forward() {
+        let p1 = ack_packet(1000, 5, 10);
+        let p2 = ack_packet(3000, 7, 12);
+        let s1 = compressible_ack(&p1).unwrap().clone();
+        let s2 = compressible_ack(&p2).unwrap().clone();
+        let mut a = FieldRefs::of(&p1, &s1);
+        let b = FieldRefs::of(&p2, &s2);
+        a.max_with(&b);
+        assert_eq!(a.ack, TcpSeq(3000));
+        assert_eq!(a.ident, 7);
+        // Maxing with an older snapshot is a no-op for monotone fields.
+        let c = FieldRefs::of(&p1, &s1);
+        a.max_with(&c);
+        assert_eq!(a.ack, TcpSeq(3000));
+        assert_eq!(a.ident, 7);
+    }
+
+    #[test]
+    fn cid_is_stable() {
+        let p = ack_packet(1, 1, 1);
+        let ctx = CompContext::from_native(&p).unwrap();
+        assert_eq!(ctx.cid(), cid_for_tuple(&p.five_tuple().bytes()));
+    }
+}

@@ -1,0 +1,125 @@
+//! ROHC CRCs (RFC 3095 §5.9.1–5.9.2): CRC-3, CRC-7 and CRC-8 over
+//! arbitrary byte strings.
+//!
+//! ROHC validates decompressed headers with small CRCs computed over the
+//! *original* uncompressed header: CRC-8 for IR packets, CRC-7/CRC-3 for
+//! compressed (CO) packets. Our HACK profile uses CRC-3 per compressed
+//! ACK (folded into the flags octet) exactly as ROHC CO packets do.
+//!
+//! Polynomials (RFC 3095):
+//! * CRC-3: x³ + x + 1, initial value 0b111
+//! * CRC-7: x⁷ + x⁶ + x³ + x² + x + 1, initial value 0x7F
+//! * CRC-8: x⁸ + x² + x + 1, initial value 0xFF
+//!
+//! Bits are processed LSB-first, as specified.
+
+fn crc_generic(data: &[u8], width: u8, poly: u8, init: u8) -> u8 {
+    let mask = (1u16 << width) - 1;
+    let mut crc = u16::from(init) & mask;
+    for &byte in data {
+        let mut b = byte;
+        for _ in 0..8 {
+            let bit = (crc ^ u16::from(b)) & 1;
+            crc >>= 1;
+            if bit != 0 {
+                crc ^= u16::from(poly);
+            }
+            b >>= 1;
+        }
+    }
+    (crc & mask) as u8
+}
+
+/// ROHC CRC-3 (values 0–7).
+pub fn crc3(data: &[u8]) -> u8 {
+    // x³+x+1 => reversed representation 0b110 for a 3-bit LSB-first CRC.
+    crc_generic(data, 3, 0b110, 0b111)
+}
+
+/// ROHC CRC-7 (values 0–127).
+pub fn crc7(data: &[u8]) -> u8 {
+    // x⁷+x⁶+x³+x²+x+1 => reversed representation 0x79.
+    crc_generic(data, 7, 0x79, 0x7F)
+}
+
+/// ROHC CRC-8 (values 0–255).
+pub fn crc8(data: &[u8]) -> u8 {
+    // x⁸+x²+x+1 => reversed representation 0xE0.
+    crc_generic(data, 8, 0xE0, 0xFF)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_input_yields_init() {
+        assert_eq!(crc3(&[]), 0b111);
+        assert_eq!(crc7(&[]), 0x7F);
+        assert_eq!(crc8(&[]), 0xFF);
+    }
+
+    #[test]
+    fn deterministic_and_length_sensitive() {
+        let a = b"hierarchical acks";
+        assert_eq!(crc8(a), crc8(a));
+        assert_ne!(crc8(a), crc8(&a[..a.len() - 1]));
+        assert_eq!(crc7(a), crc7(a));
+        assert_eq!(crc3(a), crc3(a));
+    }
+
+    #[test]
+    fn values_fit_width() {
+        for i in 0..=255u8 {
+            let d = [i, i.wrapping_mul(31), 0x5A];
+            assert!(crc3(&d) < 8);
+            assert!(crc7(&d) < 128);
+        }
+    }
+
+    #[test]
+    fn single_bit_flips_detected_by_crc8() {
+        let data = vec![0xA5u8; 52];
+        let base = crc8(&data);
+        for byte in 0..data.len() {
+            for bit in 0..8 {
+                let mut d = data.clone();
+                d[byte] ^= 1 << bit;
+                assert_ne!(crc8(&d), base, "flip at {byte}.{bit} undetected");
+            }
+        }
+    }
+
+    #[test]
+    fn crc3_catches_most_flips() {
+        // CRC-3 detects any single-bit error (it has x+1 as a factor...
+        // actually it detects all odd-weight errors); verify single-bit
+        // coverage empirically on a 52-byte header-sized buffer.
+        let data = vec![0x3Cu8; 52];
+        let base = crc3(&data);
+        let mut caught = 0;
+        let mut total = 0;
+        for byte in 0..data.len() {
+            for bit in 0..8 {
+                let mut d = data.clone();
+                d[byte] ^= 1 << bit;
+                total += 1;
+                if crc3(&d) != base {
+                    caught += 1;
+                }
+            }
+        }
+        assert_eq!(caught, total, "CRC-3 must catch all single-bit errors");
+    }
+
+    #[test]
+    fn distribution_is_roughly_uniform() {
+        let mut counts3 = [0u32; 8];
+        for i in 0..4096u32 {
+            counts3[usize::from(crc3(&i.to_be_bytes()))] += 1;
+        }
+        for &c in &counts3 {
+            assert!((312..712).contains(&c), "skewed CRC-3 bucket: {c}");
+        }
+    }
+}

@@ -1,0 +1,536 @@
+//! The HACK-profile decompressor (AP-side driver component).
+//!
+//! Parses the blob extracted from an augmented LL ACK, reconstitutes
+//! full IP+TCP ACK packets byte-exactly via forward W-LSB decoding,
+//! validates them with the ROHC CRC-3 carried in the flags octet, and
+//! discards duplicates by master sequence number — the mechanism that
+//! makes the client's blob retention (§3.4, Figure 6) safe.
+//!
+//! Because every segment is encoded against the compressor's floor (a
+//! value guaranteed not to be newer than any reference this side could
+//! hold), blobs that overtake queued native ACKs, arrive duplicated, or
+//! skip lost predecessors all decode correctly. A genuine
+//! desynchronization (e.g. a dropped native the compressor folded into
+//! its floor) surfaces as a CRC failure and heals on the next native
+//! ACK, satisfying the paper's "must not be persistent" requirement.
+
+use std::collections::HashMap;
+
+use hack_tcp::{flags as tcpflags, Ipv4Packet, TcpOption, TcpSegment, TcpSeq, Transport};
+
+use crate::compress::flagbits;
+use crate::context::{compressible_ack, wlsb_decode, DecompContext, FieldRefs};
+use crate::crc::crc3;
+use crate::varint::{read_ivarint, read_uvarint};
+
+/// Why one segment failed to decompress.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecompressError {
+    /// Byte-level parse failure (truncated field, bad count).
+    Malformed,
+    /// No context for the CID.
+    NoContext,
+    /// The reconstructed header failed CRC validation (context desync).
+    BadCrc,
+}
+
+/// Result of decompressing one blob.
+#[derive(Debug, Default)]
+pub struct BlobResult {
+    /// Successfully reconstituted ACK packets, in blob order.
+    pub packets: Vec<Ipv4Packet>,
+    /// Segments discarded as duplicates by master sequence number.
+    pub duplicates: u32,
+    /// Segments that failed (see [`DecompressError`]).
+    pub errors: Vec<DecompressError>,
+}
+
+/// Decompressor statistics.
+#[derive(Debug, Default, Clone)]
+pub struct DecompressStats {
+    /// Packets reconstituted.
+    pub decompressed: u64,
+    /// Duplicate segments discarded (retention + MSN working as designed).
+    pub duplicates: u64,
+    /// CRC failures observed.
+    pub crc_failures: u64,
+    /// Segments with no matching context.
+    pub no_context: u64,
+    /// Malformed segments.
+    pub malformed: u64,
+}
+
+/// The AP-side decompressor.
+#[derive(Debug, Default)]
+pub struct Decompressor {
+    contexts: HashMap<u8, DecompContext>,
+    stats: DecompressStats,
+}
+
+impl Decompressor {
+    /// A decompressor with no contexts.
+    pub fn new() -> Self {
+        Decompressor::default()
+    }
+
+    /// Statistics.
+    pub fn stats(&self) -> &DecompressStats {
+        &self.stats
+    }
+
+    /// Number of live contexts.
+    pub fn context_count(&self) -> usize {
+        self.contexts.len()
+    }
+
+    /// A native TCP ACK arrived from the client: create or refresh its
+    /// context (the AP "stores the necessary state for the new context
+    /// and assigns it the correct CID", §3.3.2).
+    pub fn observe_native(&mut self, pkt: &Ipv4Packet) {
+        let Some(seg) = compressible_ack(pkt) else {
+            return;
+        };
+        let Some(fresh) = DecompContext::from_native(pkt) else {
+            return;
+        };
+        let cid = fresh.cid();
+        match self.contexts.get_mut(&cid) {
+            Some(ctx) if ctx.tuple == pkt.five_tuple() => ctx.refresh_native(pkt, seg),
+            Some(_) => {}
+            None => {
+                self.contexts.insert(cid, fresh);
+            }
+        }
+    }
+
+    /// Decompress a full blob (`count` + segments).
+    pub fn decompress_blob(&mut self, blob: &[u8]) -> BlobResult {
+        let mut res = BlobResult::default();
+        let Some((&count, mut rest)) = blob.split_first() else {
+            self.stats.malformed += 1;
+            res.errors.push(DecompressError::Malformed);
+            return res;
+        };
+        for _ in 0..count {
+            if rest.is_empty() {
+                self.stats.malformed += 1;
+                res.errors.push(DecompressError::Malformed);
+                break;
+            }
+            match self.decompress_one(rest) {
+                Ok((pkt, used)) => {
+                    rest = &rest[used..];
+                    match pkt {
+                        Some(p) => res.packets.push(p),
+                        None => res.duplicates += 1,
+                    }
+                }
+                Err((e, used)) => {
+                    res.errors.push(e);
+                    if used == 0 {
+                        break; // cannot even skip: stop parsing the blob
+                    }
+                    rest = &rest[used..];
+                }
+            }
+        }
+        res
+    }
+
+    /// Decompress one segment. `Ok((None, n))` = duplicate (skipped).
+    fn decompress_one(
+        &mut self,
+        data: &[u8],
+    ) -> Result<(Option<Ipv4Packet>, usize), (DecompressError, usize)> {
+        // Structural parse first — we need TS presence, which is context
+        // state, so look the context up before the variable-length tail.
+        if data.len() < 5 {
+            self.stats.malformed += 1;
+            return Err((DecompressError::Malformed, 0));
+        }
+        let cid = data[0];
+        let Some(ctx) = self.contexts.get(&cid) else {
+            // Without the context we cannot even size the segment
+            // (timestamp presence is per-flow), so the rest of the blob
+            // is unparseable.
+            self.stats.no_context += 1;
+            return Err((DecompressError::NoContext, 0));
+        };
+        let has_ts = ctx.has_ts;
+        let parsed = match parse_segment(data, has_ts) {
+            Some(p) => p,
+            None => {
+                self.stats.malformed += 1;
+                return Err((DecompressError::Malformed, 0));
+            }
+        };
+
+        // Duplicate discard by master sequence number.
+        let ctx = self.contexts.get_mut(&cid).expect("looked up above");
+        let msn_dist = parsed.msn.wrapping_sub(ctx.msn);
+        if msn_dist == 0 || msn_dist > 128 {
+            self.stats.duplicates += 1;
+            return Ok((None, parsed.consumed));
+        }
+
+        // Forward W-LSB reconstruction against our current references.
+        let refs = ctx.refs;
+        let ack = TcpSeq(wlsb_decode(
+            u64::from(refs.ack.0),
+            u64::from(parsed.ack_lsbs),
+            parsed.ack_k,
+        ) as u32);
+        let ident = wlsb_decode(u64::from(refs.ident), u64::from(parsed.ident_lsb), 8) as u16;
+        let window = parsed.window.unwrap_or(refs.window);
+        let ts = if has_ts {
+            let (v_lsb, e_lsb, k) = parsed.ts.expect("parsed with has_ts");
+            Some((
+                wlsb_decode(u64::from(refs.tsval), u64::from(v_lsb), k) as u32,
+                wlsb_decode(u64::from(refs.tsecr), u64::from(e_lsb), k) as u32,
+            ))
+        } else {
+            None
+        };
+
+        let mut options = Vec::new();
+        if let Some((tsval, tsecr)) = ts {
+            options.push(TcpOption::Timestamps { tsval, tsecr });
+        }
+        if let Some(blocks) = &parsed.sack {
+            options.push(TcpOption::Sack(
+                blocks
+                    .iter()
+                    .map(|&(start_rel, len)| {
+                        let start = ack + (start_rel as u32);
+                        (start, start + len)
+                    })
+                    .collect(),
+            ));
+        }
+
+        let pkt = Ipv4Packet {
+            src: ctx.tuple.src_ip,
+            dst: ctx.tuple.dst_ip,
+            ident,
+            ttl: ctx.ttl,
+            transport: Transport::Tcp(TcpSegment {
+                src_port: ctx.tuple.src_port,
+                dst_port: ctx.tuple.dst_port,
+                seq: refs.seq,
+                ack,
+                flags: tcpflags::ACK,
+                window,
+                options,
+                payload_len: 0,
+            }),
+        };
+
+        // CRC validation over the reconstructed original header.
+        if crc3(&pkt.header_bytes()) & flagbits::CRC_MASK != parsed.crc {
+            self.stats.crc_failures += 1;
+            return Err((DecompressError::BadCrc, parsed.consumed));
+        }
+
+        // Commit: our references move to the decoded packet.
+        let seg = compressible_ack(&pkt).expect("constructed as pure ACK");
+        ctx.refs = FieldRefs::of(&pkt, seg);
+        ctx.msn = parsed.msn;
+        self.stats.decompressed += 1;
+        Ok((Some(pkt), parsed.consumed))
+    }
+}
+
+struct ParsedSegment {
+    msn: u8,
+    crc: u8,
+    ident_lsb: u8,
+    ack_lsbs: u32,
+    ack_k: u32,
+    window: Option<u16>,
+    /// (tsval LSBs, tsecr LSBs, k)
+    ts: Option<(u32, u32, u32)>,
+    sack: Option<Vec<(i64, u32)>>,
+    consumed: usize,
+}
+
+/// Structurally parse one segment given the flow's timestamp presence.
+fn parse_segment(data: &[u8], has_ts: bool) -> Option<ParsedSegment> {
+    if data.len() < 5 {
+        return None;
+    }
+    let flags = data[1];
+    let msn = data[2];
+    let ident_lsb = data[3];
+    let mut off = 4;
+    let ack_k = match (flags & flagbits::ACK_K_MASK) >> flagbits::ACK_K_SHIFT {
+        0 => 8u32,
+        1 => 16,
+        2 => 24,
+        _ => 32,
+    };
+    let ack_bytes = (ack_k / 8) as usize;
+    if data.len() < off + ack_bytes {
+        return None;
+    }
+    let mut ack_lsbs = 0u32;
+    for &b in &data[off..off + ack_bytes] {
+        ack_lsbs = (ack_lsbs << 8) | u32::from(b);
+    }
+    off += ack_bytes;
+
+    let window = if flags & flagbits::W != 0 {
+        if data.len() < off + 2 {
+            return None;
+        }
+        let w = u16::from_be_bytes([data[off], data[off + 1]]);
+        off += 2;
+        Some(w)
+    } else {
+        None
+    };
+
+    let ts = if has_ts {
+        let k = if flags & flagbits::TS_K != 0 { 16u32 } else { 8 };
+        let n = (k / 8) as usize;
+        if data.len() < off + 2 * n {
+            return None;
+        }
+        let mut v = 0u32;
+        for &b in &data[off..off + n] {
+            v = (v << 8) | u32::from(b);
+        }
+        off += n;
+        let mut e = 0u32;
+        for &b in &data[off..off + n] {
+            e = (e << 8) | u32::from(b);
+        }
+        off += n;
+        Some((v, e, k))
+    } else {
+        None
+    };
+
+    let sack = if flags & flagbits::S != 0 {
+        let &count = data.get(off)?;
+        off += 1;
+        if count > 4 {
+            return None;
+        }
+        let mut blocks = Vec::with_capacity(usize::from(count));
+        for _ in 0..count {
+            let (start_rel, n1) = read_ivarint(&data[off..])?;
+            off += n1;
+            let (len, n2) = read_uvarint(&data[off..])?;
+            off += n2;
+            blocks.push((start_rel, u32::try_from(len).ok()?));
+        }
+        Some(blocks)
+    } else {
+        None
+    };
+
+    Some(ParsedSegment {
+        msn,
+        crc: flags & flagbits::CRC_MASK,
+        ident_lsb,
+        ack_lsbs,
+        ack_k,
+        window,
+        ts,
+        sack,
+        consumed: off,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compress::{build_blob, Compressor};
+    use hack_tcp::{flags as tf, Ipv4Addr, TcpOption};
+
+    fn ack(ackno: u32, ident: u16, ts: u32) -> Ipv4Packet {
+        Ipv4Packet {
+            src: Ipv4Addr::new(192, 168, 0, 2),
+            dst: Ipv4Addr::new(10, 0, 0, 1),
+            ident,
+            ttl: 64,
+            transport: Transport::Tcp(TcpSegment {
+                src_port: 40000,
+                dst_port: 5001,
+                seq: TcpSeq(7777),
+                ack: TcpSeq(ackno),
+                flags: tf::ACK,
+                window: 1024,
+                options: vec![TcpOption::Timestamps {
+                    tsval: ts,
+                    tsecr: ts.wrapping_sub(3),
+                }],
+                payload_len: 0,
+            }),
+        }
+    }
+
+    fn pair() -> (Compressor, Decompressor) {
+        let mut c = Compressor::new();
+        let mut d = Decompressor::new();
+        let seed = ack(1000, 1, 10);
+        c.observe_native(&seed);
+        d.observe_native(&seed);
+        (c, d)
+    }
+
+    #[test]
+    fn roundtrip_chain_is_byte_exact() {
+        let (mut c, mut d) = pair();
+        for i in 1..=50u32 {
+            let p = ack(1000 + i * 2920, 1 + i as u16, 10 + i);
+            let seg = c.compress(&p).expect("compressible");
+            let blob = build_blob(&[seg]);
+            let res = d.decompress_blob(&blob);
+            assert!(res.errors.is_empty(), "i={i}: {:?}", res.errors);
+            assert_eq!(res.packets.len(), 1);
+            assert_eq!(&res.packets[0], &p, "byte-exact reconstruction");
+            assert_eq!(res.packets[0].header_bytes(), p.header_bytes());
+        }
+        assert_eq!(d.stats().decompressed, 50);
+        assert_eq!(d.stats().crc_failures, 0);
+    }
+
+    #[test]
+    fn multi_ack_blob() {
+        let (mut c, mut d) = pair();
+        let p1 = ack(3920, 2, 11);
+        let p2 = ack(6840, 3, 12);
+        let s1 = c.compress(&p1).unwrap();
+        let s2 = c.compress(&p2).unwrap();
+        let blob = build_blob(&[s1, s2]);
+        let res = d.decompress_blob(&blob);
+        assert_eq!(res.packets, vec![p1, p2]);
+    }
+
+    #[test]
+    fn retained_blob_duplicates_are_discarded() {
+        // The client re-attaches the same compressed ACKs to several LL
+        // ACKs (retention, Figure 6). The AP must apply them once.
+        let (mut c, mut d) = pair();
+        let p1 = ack(3920, 2, 11);
+        let s1 = c.compress(&p1).unwrap();
+        let blob = build_blob(&[s1.clone()]);
+        let res = d.decompress_blob(&blob);
+        assert_eq!(res.packets.len(), 1);
+        // Same blob again, now extended with a new ACK.
+        let p2 = ack(6840, 3, 12);
+        let s2 = c.compress(&p2).unwrap();
+        let blob2 = build_blob(&[s1, s2]);
+        let res2 = d.decompress_blob(&blob2);
+        assert_eq!(res2.duplicates, 1, "first segment already applied");
+        assert_eq!(res2.packets, vec![p2]);
+        assert!(res2.errors.is_empty());
+    }
+
+    #[test]
+    fn blob_overtaking_queued_natives_still_decodes() {
+        // The core robustness property that forced W-LSB: native ACKs
+        // N2, N3 are *enqueued* (compressor outstanding) but have not
+        // reached the AP when a compressed ACK rides a Block ACK past
+        // them.
+        let (mut c, mut d) = pair();
+        let n2 = ack(3920, 2, 11);
+        let n3 = ack(6840, 3, 12);
+        c.observe_native(&n2);
+        c.observe_native(&n3);
+        // AP has seen neither native. The compressed ACK must still
+        // decode against the AP's older reference (the seed).
+        let p4 = ack(9760, 4, 13);
+        let seg = c.compress(&p4).expect("floor covers the seed");
+        let res = d.decompress_blob(&build_blob(&[seg]));
+        assert!(res.errors.is_empty(), "{:?}", res.errors);
+        assert_eq!(res.packets, vec![p4.clone()]);
+        // The stale natives now arrive late: refs regress harmlessly…
+        d.observe_native(&n2);
+        d.observe_native(&n3);
+        // …and the next compressed ACK still decodes (floor still the
+        // seed until confirmations).
+        let p5 = ack(12680, 5, 14);
+        let seg = c.compress(&p5).unwrap();
+        let res = d.decompress_blob(&build_blob(&[seg]));
+        assert!(res.errors.is_empty(), "{:?}", res.errors);
+        assert_eq!(res.packets, vec![p5]);
+    }
+
+    #[test]
+    fn lost_segments_do_not_poison_the_chain() {
+        // Segments are floor-relative, not chained: dropping any prefix
+        // leaves the rest decodable.
+        let (mut c, mut d) = pair();
+        let p1 = ack(3920, 2, 11);
+        let p2 = ack(6840, 3, 12);
+        let p3 = ack(9760, 4, 13);
+        let _lost1 = c.compress(&p1).unwrap();
+        let _lost2 = c.compress(&p2).unwrap();
+        let s3 = c.compress(&p3).unwrap();
+        let res = d.decompress_blob(&build_blob(&[s3]));
+        assert!(res.errors.is_empty(), "{:?}", res.errors);
+        assert_eq!(res.packets, vec![p3]);
+    }
+
+    #[test]
+    fn unknown_cid_reports_no_context() {
+        let mut d = Decompressor::new();
+        let (mut c, _) = pair();
+        let seg = c.compress(&ack(3920, 2, 11)).unwrap();
+        let res = d.decompress_blob(&build_blob(&[seg]));
+        assert_eq!(res.errors, vec![DecompressError::NoContext]);
+        assert_eq!(d.stats().no_context, 1);
+    }
+
+    #[test]
+    fn malformed_blob_reports_error() {
+        let mut d = Decompressor::new();
+        let res = d.decompress_blob(&[]);
+        assert_eq!(res.errors, vec![DecompressError::Malformed]);
+        let res = d.decompress_blob(&[3, 0x01]);
+        assert!(
+            res.errors.contains(&DecompressError::Malformed)
+                || res.errors.contains(&DecompressError::NoContext)
+        );
+    }
+
+    #[test]
+    fn window_change_roundtrips() {
+        let (mut c, mut d) = pair();
+        let mut p = ack(3920, 2, 11);
+        if let Transport::Tcp(t) = &mut p.transport {
+            t.window = 4096;
+        }
+        let seg = c.compress(&p).unwrap();
+        let res = d.decompress_blob(&build_blob(&[seg]));
+        assert_eq!(res.packets, vec![p]);
+    }
+
+    #[test]
+    fn sack_blocks_roundtrip() {
+        let (mut c, mut d) = pair();
+        let mut p = ack(1000, 2, 11); // dup ACK
+        if let Transport::Tcp(t) = &mut p.transport {
+            t.options.push(TcpOption::Sack(vec![
+                (TcpSeq(2460), TcpSeq(3920)),
+                (TcpSeq(6840), TcpSeq(8300)),
+            ]));
+        }
+        let seg = c.compress(&p).unwrap();
+        let res = d.decompress_blob(&build_blob(&[seg]));
+        assert!(res.errors.is_empty(), "{:?}", res.errors);
+        assert_eq!(res.packets, vec![p]);
+    }
+
+    #[test]
+    fn large_timestamp_gap_uses_wide_field_and_roundtrips() {
+        let (mut c, mut d) = pair();
+        // 40 s of timestamp progress (e.g. an idle period): 16-bit TS.
+        let p = ack(3920, 2, 40_000);
+        let seg = c.compress(&p).unwrap();
+        let res = d.decompress_blob(&build_blob(&[seg]));
+        assert_eq!(res.packets, vec![p]);
+    }
+}

@@ -1,0 +1,160 @@
+//! MD5 (RFC 1321), implemented from scratch.
+//!
+//! HACK uses MD5 only to derive context identifiers: *"The client's
+//! driver on receiving a TCP ACK for a new flow computes the MD5 hash
+//! over the ACK's 5-tuple and selects the lowest byte as the CID"*
+//! (§3.3.2). Collision resistance is irrelevant here — only stable,
+//! well-distributed byte values — but the implementation is spec-exact
+//! and validated against the RFC 1321 test suite.
+
+const S: [u32; 64] = [
+    7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, //
+    5, 9, 14, 20, 5, 9, 14, 20, 5, 9, 14, 20, 5, 9, 14, 20, //
+    4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, //
+    6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21,
+];
+
+const K: [u32; 64] = [
+    0xd76aa478, 0xe8c7b756, 0x242070db, 0xc1bdceee, 0xf57c0faf, 0x4787c62a, 0xa8304613,
+    0xfd469501, 0x698098d8, 0x8b44f7af, 0xffff5bb1, 0x895cd7be, 0x6b901122, 0xfd987193,
+    0xa679438e, 0x49b40821, 0xf61e2562, 0xc040b340, 0x265e5a51, 0xe9b6c7aa, 0xd62f105d,
+    0x02441453, 0xd8a1e681, 0xe7d3fbc8, 0x21e1cde6, 0xc33707d6, 0xf4d50d87, 0x455a14ed,
+    0xa9e3e905, 0xfcefa3f8, 0x676f02d9, 0x8d2a4c8a, 0xfffa3942, 0x8771f681, 0x6d9d6122,
+    0xfde5380c, 0xa4beea44, 0x4bdecfa9, 0xf6bb4b60, 0xbebfbc70, 0x289b7ec6, 0xeaa127fa,
+    0xd4ef3085, 0x04881d05, 0xd9d4d039, 0xe6db99e5, 0x1fa27cf8, 0xc4ac5665, 0xf4292244,
+    0x432aff97, 0xab9423a7, 0xfc93a039, 0x655b59c3, 0x8f0ccc92, 0xffeff47d, 0x85845dd1,
+    0x6fa87e4f, 0xfe2ce6e0, 0xa3014314, 0x4e0811a1, 0xf7537e82, 0xbd3af235, 0x2ad7d2bb,
+    0xeb86d391,
+];
+
+/// Compute the MD5 digest of `data`.
+pub fn md5(data: &[u8]) -> [u8; 16] {
+    let mut a0: u32 = 0x67452301;
+    let mut b0: u32 = 0xefcdab89;
+    let mut c0: u32 = 0x98badcfe;
+    let mut d0: u32 = 0x10325476;
+
+    // Padding: 0x80, zeros, then the 64-bit little-endian bit length.
+    let bit_len = (data.len() as u64).wrapping_mul(8);
+    let mut msg = data.to_vec();
+    msg.push(0x80);
+    while msg.len() % 64 != 56 {
+        msg.push(0);
+    }
+    msg.extend_from_slice(&bit_len.to_le_bytes());
+
+    for chunk in msg.chunks_exact(64) {
+        let mut m = [0u32; 16];
+        for (i, w) in chunk.chunks_exact(4).enumerate() {
+            m[i] = u32::from_le_bytes([w[0], w[1], w[2], w[3]]);
+        }
+        let (mut a, mut b, mut c, mut d) = (a0, b0, c0, d0);
+        for i in 0..64 {
+            let (f, g) = match i / 16 {
+                0 => ((b & c) | (!b & d), i),
+                1 => ((d & b) | (!d & c), (5 * i + 1) % 16),
+                2 => (b ^ c ^ d, (3 * i + 5) % 16),
+                _ => (c ^ (b | !d), (7 * i) % 16),
+            };
+            let tmp = d;
+            d = c;
+            c = b;
+            let sum = a
+                .wrapping_add(f)
+                .wrapping_add(K[i])
+                .wrapping_add(m[g]);
+            b = b.wrapping_add(sum.rotate_left(S[i]));
+            a = tmp;
+        }
+        a0 = a0.wrapping_add(a);
+        b0 = b0.wrapping_add(b);
+        c0 = c0.wrapping_add(c);
+        d0 = d0.wrapping_add(d);
+    }
+
+    let mut out = [0u8; 16];
+    out[0..4].copy_from_slice(&a0.to_le_bytes());
+    out[4..8].copy_from_slice(&b0.to_le_bytes());
+    out[8..12].copy_from_slice(&c0.to_le_bytes());
+    out[12..16].copy_from_slice(&d0.to_le_bytes());
+    out
+}
+
+/// HACK's context identifier: the lowest byte of the MD5 digest over the
+/// flow 5-tuple (§3.3.2 item 2). "Lowest" = least-significant byte of
+/// the digest interpreted per RFC 1321's output order, i.e. the first
+/// output byte of the final word — we take `digest[15]`, the last byte,
+/// matching the little-endian low byte of the trailing word `d0`.
+pub fn cid_for_tuple(tuple_bytes: &[u8]) -> u8 {
+    md5(tuple_bytes)[15]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(d: [u8; 16]) -> String {
+        d.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    /// RFC 1321 appendix A.5 test suite.
+    #[test]
+    fn rfc1321_vectors() {
+        let cases: [(&str, &str); 7] = [
+            ("", "d41d8cd98f00b204e9800998ecf8427e"),
+            ("a", "0cc175b9c0f1b6a831c399e269772661"),
+            ("abc", "900150983cd24fb0d6963f7d28e17f72"),
+            ("message digest", "f96b697d7cb7938d525a2f31aaf161d0"),
+            (
+                "abcdefghijklmnopqrstuvwxyz",
+                "c3fcd3d76192e4007dfb496cca67e13b",
+            ),
+            (
+                "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789",
+                "d174ab98d277d9f5a5611c2c9f419d9f",
+            ),
+            (
+                "12345678901234567890123456789012345678901234567890123456789012345678901234567890",
+                "57edf4a22be3c955ac49da2e2107b67a",
+            ),
+        ];
+        for (input, want) in cases {
+            assert_eq!(hex(md5(input.as_bytes())), want, "md5({input:?})");
+        }
+    }
+
+    #[test]
+    fn multi_block_input() {
+        // 200 bytes spans multiple 64-byte blocks including padding edge.
+        let data = vec![0x42u8; 200];
+        let d = md5(&data);
+        // Self-consistency: stable and length-sensitive.
+        assert_eq!(d, md5(&[0x42u8; 200]));
+        assert_ne!(d, md5(&vec![0x42u8; 201]));
+    }
+
+    #[test]
+    fn padding_boundary_lengths() {
+        // Lengths around the 56-byte padding boundary all hash distinctly.
+        let mut seen = std::collections::HashSet::new();
+        for len in 54..=66 {
+            assert!(seen.insert(md5(&vec![7u8; len])));
+        }
+    }
+
+    #[test]
+    fn cid_is_deterministic_and_spread() {
+        let mut counts = [0u32; 256];
+        for i in 0..2000u32 {
+            let mut t = [0u8; 13];
+            t[..4].copy_from_slice(&i.to_be_bytes());
+            counts[usize::from(cid_for_tuple(&t))] += 1;
+        }
+        // Determinism.
+        assert_eq!(cid_for_tuple(&[1; 13]), cid_for_tuple(&[1; 13]));
+        // Spread: no bucket grossly overloaded (expected ~7.8).
+        assert!(counts.iter().all(|&c| c < 30));
+        // Most buckets touched.
+        assert!(counts.iter().filter(|&&c| c > 0).count() > 200);
+    }
+}

@@ -1,0 +1,123 @@
+//! Zigzag + LEB128 variable-length integers for delta fields.
+//!
+//! Small signed deltas (the common case: an ACK advancing by one stride,
+//! a timestamp ticking a few milliseconds) encode in one byte.
+
+/// Zigzag-map a signed value to unsigned.
+#[inline]
+pub fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse zigzag.
+#[inline]
+pub fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Append the LEB128 encoding of `v` to `out`.
+pub fn write_uvarint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Append a zigzag-varint-encoded signed value.
+pub fn write_ivarint(out: &mut Vec<u8>, v: i64) {
+    write_uvarint(out, zigzag(v));
+}
+
+/// Decode a LEB128 value from `data`, returning `(value, bytes_read)`.
+/// `None` on truncation or overlong (>10 byte) encodings.
+pub fn read_uvarint(data: &[u8]) -> Option<(u64, usize)> {
+    let mut v: u64 = 0;
+    for (i, &byte) in data.iter().enumerate().take(10) {
+        v |= u64::from(byte & 0x7F) << (7 * i);
+        if byte & 0x80 == 0 {
+            return Some((v, i + 1));
+        }
+    }
+    None
+}
+
+/// Decode a zigzag varint, returning `(value, bytes_read)`.
+pub fn read_ivarint(data: &[u8]) -> Option<(i64, usize)> {
+    read_uvarint(data).map(|(v, n)| (unzigzag(v), n))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zigzag_roundtrip_edges() {
+        for v in [0i64, 1, -1, 63, -63, 64, -64, i64::MAX, i64::MIN] {
+            assert_eq!(unzigzag(zigzag(v)), v, "v={v}");
+        }
+        assert_eq!(zigzag(0), 0);
+        assert_eq!(zigzag(-1), 1);
+        assert_eq!(zigzag(1), 2);
+    }
+
+    #[test]
+    fn small_deltas_are_one_byte() {
+        for v in -63i64..=63 {
+            let mut out = Vec::new();
+            write_ivarint(&mut out, v);
+            assert_eq!(out.len(), 1, "v={v}");
+        }
+    }
+
+    #[test]
+    fn varint_roundtrip() {
+        for v in [
+            0u64,
+            1,
+            127,
+            128,
+            300,
+            5840,
+            1 << 20,
+            u64::from(u32::MAX),
+            u64::MAX,
+        ] {
+            let mut out = Vec::new();
+            write_uvarint(&mut out, v);
+            let (got, n) = read_uvarint(&out).unwrap();
+            assert_eq!(got, v);
+            assert_eq!(n, out.len());
+        }
+    }
+
+    #[test]
+    fn truncated_input_rejected() {
+        let mut out = Vec::new();
+        write_uvarint(&mut out, 1 << 40);
+        assert!(read_uvarint(&out[..out.len() - 1]).is_none());
+        assert!(read_uvarint(&[]).is_none());
+    }
+
+    #[test]
+    fn overlong_rejected() {
+        let bytes = [0x80u8; 11];
+        assert!(read_uvarint(&bytes).is_none());
+    }
+
+    #[test]
+    fn decode_consumes_exact_bytes() {
+        let mut out = Vec::new();
+        write_ivarint(&mut out, -5840);
+        write_ivarint(&mut out, 7);
+        let (a, n) = read_ivarint(&out).unwrap();
+        assert_eq!(a, -5840);
+        let (b, m) = read_ivarint(&out[n..]).unwrap();
+        assert_eq!(b, 7);
+        assert_eq!(n + m, out.len());
+    }
+}

@@ -1,0 +1,141 @@
+//! Property-based tests: compression roundtrips over arbitrary ACK
+//! streams, duplicate discard, and CRC coverage.
+
+use hack_rohc::{build_blob, Compressor, Decompressor};
+use hack_tcp::{flags as tf, Ipv4Addr, Ipv4Packet, TcpOption, TcpSegment, TcpSeq, Transport};
+use proptest::prelude::*;
+
+fn ack_pkt(ackno: u32, ident: u16, tsval: u32, window: u16) -> Ipv4Packet {
+    Ipv4Packet {
+        src: Ipv4Addr::new(192, 168, 0, 2),
+        dst: Ipv4Addr::new(10, 0, 0, 1),
+        ident,
+        ttl: 64,
+        transport: Transport::Tcp(TcpSegment {
+            src_port: 40000,
+            dst_port: 5001,
+            seq: TcpSeq(7777),
+            ack: TcpSeq(ackno),
+            flags: tf::ACK,
+            window,
+            options: vec![TcpOption::Timestamps {
+                tsval,
+                tsecr: tsval.wrapping_sub(3),
+            }],
+            payload_len: 0,
+        }),
+    }
+}
+
+proptest! {
+    /// Any monotone ACK stream (arbitrary deltas, windows, timestamps)
+    /// compresses and reconstitutes byte-exactly when no losses occur.
+    #[test]
+    fn lossless_chain_roundtrips(
+        start in any::<u32>(),
+        deltas in proptest::collection::vec((0u32..100_000, 0u32..50, any::<u16>()), 1..60),
+    ) {
+        let mut c = Compressor::new();
+        let mut d = Decompressor::new();
+        let seed = ack_pkt(start, 1, 100, 1024);
+        c.observe_native(&seed);
+        d.observe_native(&seed);
+
+        let mut ackno = start;
+        let mut ts = 100u32;
+        let mut ident = 1u16;
+        for (i, &(da, dt, w)) in deltas.iter().enumerate() {
+            ackno = ackno.wrapping_add(da);
+            ts = ts.wrapping_add(dt);
+            ident = ident.wrapping_add(1);
+            let p = ack_pkt(ackno, ident, ts, w);
+            let seg = c.compress(&p).expect("in-profile packet");
+            let res = d.decompress_blob(&build_blob(&[seg]));
+            prop_assert!(res.errors.is_empty(), "i={i}: {:?}", res.errors);
+            prop_assert_eq!(res.packets.len(), 1);
+            prop_assert_eq!(&res.packets[0], &p, "i={}", i);
+        }
+    }
+
+    /// Re-delivering any prefix of already-applied segments (blob
+    /// retention) never duplicates packets upstream.
+    #[test]
+    fn retention_replay_is_idempotent(
+        n in 2usize..20,
+        replay_at in 0usize..18,
+    ) {
+        let replay_at = replay_at.min(n - 1);
+        let mut c = Compressor::new();
+        let mut d = Decompressor::new();
+        let seed = ack_pkt(1000, 1, 100, 1024);
+        c.observe_native(&seed);
+        d.observe_native(&seed);
+        let mut segs = Vec::new();
+        for i in 0..n {
+            let p = ack_pkt(1000 + (i as u32 + 1) * 2920, 2 + i as u16, 100 + i as u32, 1024);
+            segs.push(c.compress(&p).unwrap());
+        }
+        // Deliver everything once.
+        let res = d.decompress_blob(&build_blob(&segs));
+        prop_assert_eq!(res.packets.len(), n);
+        // Replay a suffix (what retention does): all duplicates.
+        let replay = &segs[replay_at..];
+        let res2 = d.decompress_blob(&build_blob(replay));
+        prop_assert_eq!(res2.packets.len(), 0);
+        prop_assert_eq!(res2.duplicates as usize, replay.len());
+        prop_assert!(res2.errors.is_empty());
+    }
+
+    /// Single-bit corruption of a compressed segment is overwhelmingly
+    /// either rejected (parse error, duplicate-MSN discard, CRC-3) or
+    /// decodes to the identical packet (an MSN-only flip). Undetected
+    /// *wrong* packets are bounded by CRC-3's residual (≈1/8 of the
+    /// corrupted field space).
+    #[test]
+    fn corruption_rarely_yields_wrong_packets(ackno in 2000u32..1_000_000) {
+        let mut base_c = Compressor::new();
+        let seed = ack_pkt(1000, 1, 100, 1024);
+        base_c.observe_native(&seed);
+        let p = ack_pkt(ackno, 2, 101, 1024);
+        let seg = base_c.compress(&p).unwrap();
+
+        let mut wrong = 0u32;
+        let mut total = 0u32;
+        for idx in 0..seg.len() {
+            for bit in 0..8 {
+                let mut d = Decompressor::new();
+                d.observe_native(&seed);
+                let mut bad = seg.clone();
+                bad[idx] ^= 1 << bit;
+                total += 1;
+                let res = d.decompress_blob(&build_blob(&[bad]));
+                if res.packets.iter().any(|got| got != &p) {
+                    wrong += 1;
+                }
+            }
+        }
+        // CRC-3 residual bound with margin: well under a quarter of all
+        // single-bit flips may slip through as wrong packets.
+        prop_assert!(
+            f64::from(wrong) / f64::from(total) < 0.25,
+            "{wrong}/{total} undetected wrong decodes"
+        );
+    }
+
+    /// Compression always shrinks a pure ACK substantially.
+    #[test]
+    fn always_smaller_than_original(deltas in proptest::collection::vec(0u32..10_000, 1..30)) {
+        let mut c = Compressor::new();
+        let seed = ack_pkt(5, 1, 100, 1024);
+        c.observe_native(&seed);
+        let mut ackno = 5u32;
+        for (i, &da) in deltas.iter().enumerate() {
+            ackno = ackno.wrapping_add(da);
+            let p = ack_pkt(ackno, 2 + i as u16, 100 + i as u32, 1024);
+            let seg = c.compress(&p).unwrap();
+            prop_assert!(seg.len() as u32 <= p.wire_len() / 4,
+                "segment {} bytes vs original {}", seg.len(), p.wire_len());
+        }
+        prop_assert!(c.stats().ratio() >= 4.0);
+    }
+}

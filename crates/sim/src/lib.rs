@@ -1,0 +1,37 @@
+//! # hack-sim — discrete-event simulation kernel
+//!
+//! The substrate underneath the TCP/HACK reproduction: a deterministic
+//! discrete-event engine in the style of ns-3's core, but deliberately
+//! minimal. It provides
+//!
+//! * integer-nanosecond [`SimTime`] / [`SimDuration`] ([`time`]),
+//! * a FIFO-tiebroken [`EventQueue`] and clock-advancing [`Scheduler`]
+//!   ([`queue`]),
+//! * lazily-cancellable timers ([`timer`]),
+//! * a seeded, forkable RNG ([`rng`]), and
+//! * measurement primitives for the paper's metrics ([`stats`]) plus a
+//!   zero-cost-when-off tracer ([`mod@trace`]).
+//!
+//! The protocol crates (`hack-mac`, `hack-tcp`, `hack-core`) are written
+//! sans-IO: they never talk to this engine directly, they merely return
+//! actions and timer requests that `hack-core`'s event loop materializes
+//! through these types. That keeps every protocol state machine unit-
+//! testable with hand-fed events and keeps whole-simulation runs exactly
+//! reproducible from a seed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod queue;
+pub mod rng;
+pub mod stats;
+pub mod time;
+pub mod timer;
+pub mod trace;
+
+pub use queue::{EventQueue, Scheduler};
+pub use rng::SimRng;
+pub use stats::{Counter, Histogram, RunStats, RunningStats, ThroughputMeter, TimeAccumulator};
+pub use time::{SimDuration, SimTime};
+pub use timer::{TimerTable, TimerToken};
+pub use trace::{Level, Tracer};

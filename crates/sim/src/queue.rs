@@ -1,0 +1,246 @@
+//! The pending-event queue at the heart of the discrete-event engine.
+//!
+//! A binary min-heap ordered by firing time, with a monotonically increasing
+//! sequence number as a tiebreak so that events scheduled for the same
+//! instant fire in **FIFO order**. Deterministic tie-breaking matters: the
+//! 802.11 MAC schedules many same-instant events (e.g. several stations'
+//! backoff slot boundaries), and run-to-run reproducibility of the whole
+//! simulation depends on their dispatch order being a pure function of
+//! insertion order.
+
+use std::cmp::{Ordering, Reverse};
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// An event queue holding payloads of type `E`, ordered by firing time then
+/// insertion order.
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+    next_seq: u64,
+}
+
+#[derive(Debug)]
+struct Entry<E> {
+    at: SimTime,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.at.cmp(&other.at).then(self.seq.cmp(&other.seq))
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Create an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedule `payload` to fire at absolute time `at`.
+    pub fn push(&mut self, at: SimTime, payload: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse(Entry { at, seq, payload }));
+    }
+
+    /// The firing time of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse(e)| e.at)
+    }
+
+    /// Remove and return the earliest pending event.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.heap.pop().map(|Reverse(e)| (e.at, e.payload))
+    }
+
+    /// Drop all pending events.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+/// A simulation clock plus event queue: the minimal driver loop.
+///
+/// [`Scheduler::pop`] advances the clock to each event's firing time, which
+/// guarantees the global event-ordering invariant: the clock never moves
+/// backwards, and every handler observes `now` equal to its event's
+/// scheduled time.
+#[derive(Debug)]
+pub struct Scheduler<E> {
+    now: SimTime,
+    queue: EventQueue<E>,
+    dispatched: u64,
+}
+
+impl<E> Default for Scheduler<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Scheduler<E> {
+    /// Create a scheduler with the clock at t=0 and an empty queue.
+    pub fn new() -> Self {
+        Scheduler {
+            now: SimTime::ZERO,
+            queue: EventQueue::new(),
+            dispatched: 0,
+        }
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Total number of events dispatched so far.
+    pub fn dispatched(&self) -> u64 {
+        self.dispatched
+    }
+
+    /// Number of pending events.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedule an event at an absolute instant.
+    ///
+    /// # Panics
+    /// Panics if `at` is in the past — scheduling into the past would break
+    /// causality and silently reorder the run.
+    pub fn schedule_at(&mut self, at: SimTime, payload: E) {
+        assert!(
+            at >= self.now,
+            "scheduling into the past: at={at}, now={}",
+            self.now
+        );
+        self.queue.push(at, payload);
+    }
+
+    /// Schedule an event `delay` from now.
+    pub fn schedule_in(&mut self, delay: crate::time::SimDuration, payload: E) {
+        self.queue.push(self.now + delay, payload);
+    }
+
+    /// Firing time of the next event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.queue.peek_time()
+    }
+
+    /// Pop the next event, advancing the clock to its firing time.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let (at, payload) = self.queue.pop()?;
+        debug_assert!(at >= self.now, "event queue returned a past event");
+        self.now = at;
+        self.dispatched += 1;
+        Some((at, payload))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_micros(30), "c");
+        q.push(SimTime::from_micros(10), "a");
+        q.push(SimTime::from_micros(20), "b");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn same_time_is_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_micros(5);
+        for i in 0..100 {
+            q.push(t, i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn fifo_tiebreak_interleaved_with_earlier_events() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_micros(5);
+        q.push(t, 1);
+        q.push(SimTime::from_micros(1), 0);
+        q.push(t, 2);
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn scheduler_advances_clock() {
+        let mut s = Scheduler::new();
+        s.schedule_in(SimDuration::from_micros(10), ());
+        s.schedule_in(SimDuration::from_micros(5), ());
+        assert_eq!(s.peek_time(), Some(SimTime::from_micros(5)));
+        s.pop().unwrap();
+        assert_eq!(s.now(), SimTime::from_micros(5));
+        s.pop().unwrap();
+        assert_eq!(s.now(), SimTime::from_micros(10));
+        assert!(s.pop().is_none());
+        // Clock stays at the last event after the queue drains.
+        assert_eq!(s.now(), SimTime::from_micros(10));
+        assert_eq!(s.dispatched(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduling into the past")]
+    fn scheduling_into_past_panics() {
+        let mut s = Scheduler::new();
+        s.schedule_in(SimDuration::from_micros(10), ());
+        s.pop();
+        s.schedule_at(SimTime::from_micros(3), ());
+    }
+
+    #[test]
+    fn clear_empties_queue() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::ZERO, 1);
+        q.push(SimTime::ZERO, 2);
+        assert_eq!(q.len(), 2);
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+    }
+}

@@ -1,0 +1,430 @@
+//! Measurement primitives used by the experiment harness.
+//!
+//! The paper reports means and standard deviations over five runs
+//! ([`RunStats`]), goodput over steady-state windows ([`ThroughputMeter`]),
+//! retry-rate breakdowns (plain [`Counter`]s), and time-overhead breakdowns
+//! (accumulated [`SimDuration`]s). Everything here is plain-old-data with
+//! no interior mutability, so results are deterministic and `Send`.
+
+use std::fmt;
+
+use crate::time::{SimDuration, SimTime};
+
+/// A monotonically increasing event counter.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// Create a zeroed counter.
+    pub fn new() -> Self {
+        Counter(0)
+    }
+
+    /// Add one.
+    pub fn incr(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Add `n`.
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Current value.
+    pub fn get(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+/// Online mean / variance over a stream of samples (Welford's algorithm).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RunningStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl RunningStats {
+    /// Create an empty accumulator.
+    pub fn new() -> Self {
+        RunningStats {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Record one sample.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (0 with fewer than two samples).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Sample standard deviation (Bessel-corrected; 0 with <2 samples).
+    pub fn std_dev(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            (self.m2 / (self.n - 1) as f64).sqrt()
+        }
+    }
+
+    /// Smallest sample (NaN if empty).
+    pub fn min(&self) -> f64 {
+        if self.n == 0 {
+            f64::NAN
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample (NaN if empty).
+    pub fn max(&self) -> f64 {
+        if self.n == 0 {
+            f64::NAN
+        } else {
+            self.max
+        }
+    }
+}
+
+/// Mean ± std-dev over independent runs — the paper's error bars.
+#[derive(Debug, Default, Clone)]
+pub struct RunStats {
+    samples: Vec<f64>,
+}
+
+impl RunStats {
+    /// Create an empty collection.
+    pub fn new() -> Self {
+        RunStats {
+            samples: Vec::new(),
+        }
+    }
+
+    /// Record one run's result.
+    pub fn push(&mut self, x: f64) {
+        self.samples.push(x);
+    }
+
+    /// All recorded samples in insertion order.
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+
+    /// Mean over runs (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().sum::<f64>() / self.samples.len() as f64
+    }
+
+    /// Sample standard deviation over runs (0 with <2 runs).
+    pub fn std_dev(&self) -> f64 {
+        let n = self.samples.len();
+        if n < 2 {
+            return 0.0;
+        }
+        let m = self.mean();
+        (self.samples.iter().map(|x| (x - m).powi(2)).sum::<f64>() / (n - 1) as f64).sqrt()
+    }
+}
+
+impl fmt::Display for RunStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2} ± {:.2}", self.mean(), self.std_dev())
+    }
+}
+
+/// Goodput measurement over an arbitrary window.
+///
+/// Records (time, bytes) deliveries; [`ThroughputMeter::mbps_between`]
+/// integrates over a window, which is how the paper computes "aggregate
+/// goodput over the steady-state portion of the runs".
+#[derive(Debug, Default, Clone)]
+pub struct ThroughputMeter {
+    deliveries: Vec<(SimTime, u64)>,
+    total_bytes: u64,
+}
+
+impl ThroughputMeter {
+    /// Create an empty meter.
+    pub fn new() -> Self {
+        ThroughputMeter::default()
+    }
+
+    /// Record `bytes` delivered at `now`.
+    pub fn record(&mut self, now: SimTime, bytes: u64) {
+        debug_assert!(
+            self.deliveries.last().is_none_or(|&(t, _)| t <= now),
+            "deliveries must be recorded in time order"
+        );
+        self.deliveries.push((now, bytes));
+        self.total_bytes += bytes;
+    }
+
+    /// Total bytes delivered over the whole run.
+    pub fn total_bytes(&self) -> u64 {
+        self.total_bytes
+    }
+
+    /// Time of the first delivery.
+    pub fn first_delivery(&self) -> Option<SimTime> {
+        self.deliveries.first().map(|&(t, _)| t)
+    }
+
+    /// Time of the last delivery.
+    pub fn last_delivery(&self) -> Option<SimTime> {
+        self.deliveries.last().map(|&(t, _)| t)
+    }
+
+    /// Bytes delivered in `[from, to)`.
+    pub fn bytes_between(&self, from: SimTime, to: SimTime) -> u64 {
+        self.deliveries
+            .iter()
+            .filter(|&&(t, _)| t >= from && t < to)
+            .map(|&(_, b)| b)
+            .sum()
+    }
+
+    /// Goodput in Mbps over `[from, to)`; 0 for an empty window.
+    pub fn mbps_between(&self, from: SimTime, to: SimTime) -> f64 {
+        if to <= from {
+            return 0.0;
+        }
+        let bytes = self.bytes_between(from, to);
+        let secs = to.duration_since(from).as_secs_f64();
+        (bytes as f64 * 8.0) / secs / 1e6
+    }
+}
+
+/// A duration accumulator for time-overhead breakdowns (Table 3).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct TimeAccumulator {
+    total: SimDuration,
+    events: u64,
+}
+
+impl TimeAccumulator {
+    /// Create a zeroed accumulator.
+    pub fn new() -> Self {
+        TimeAccumulator::default()
+    }
+
+    /// Add one span.
+    pub fn add(&mut self, d: SimDuration) {
+        self.total += d;
+        self.events += 1;
+    }
+
+    /// Total accumulated time.
+    pub fn total(&self) -> SimDuration {
+        self.total
+    }
+
+    /// Number of spans recorded.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// Mean span (zero if empty).
+    pub fn mean(&self) -> SimDuration {
+        if self.events == 0 {
+            SimDuration::ZERO
+        } else {
+            self.total / self.events
+        }
+    }
+}
+
+/// Fixed-boundary histogram for latency-style distributions.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    /// Upper bounds (exclusive) of each bucket; a final overflow bucket
+    /// catches everything else.
+    bounds: Vec<f64>,
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// Create a histogram with the given ascending bucket upper bounds.
+    ///
+    /// # Panics
+    /// Panics if `bounds` is empty or not strictly ascending.
+    pub fn new(bounds: Vec<f64>) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly ascending"
+        );
+        let n = bounds.len();
+        Histogram {
+            bounds,
+            counts: vec![0; n + 1],
+            total: 0,
+        }
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, x: f64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| x < b)
+            .unwrap_or(self.bounds.len());
+        self.counts[idx] += 1;
+        self.total += 1;
+    }
+
+    /// Total samples recorded.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Per-bucket counts; the last entry is the overflow bucket.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Fraction of samples strictly below `bound`, where `bound` must be
+    /// one of the constructed bucket bounds.
+    pub fn fraction_below(&self, bound: f64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| b == bound)
+            .expect("bound must match a constructed bucket bound");
+        let below: u64 = self.counts[..=idx].iter().sum();
+        below as f64 / self.total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_counts() {
+        let mut c = Counter::new();
+        c.incr();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+    }
+
+    #[test]
+    fn running_stats_mean_var() {
+        let mut s = RunningStats::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.push(x);
+        }
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.variance() - 4.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+        assert_eq!(s.count(), 8);
+    }
+
+    #[test]
+    fn running_stats_empty() {
+        let s = RunningStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert!(s.min().is_nan());
+    }
+
+    #[test]
+    fn run_stats_mean_std() {
+        let mut r = RunStats::new();
+        for x in [10.0, 12.0, 14.0] {
+            r.push(x);
+        }
+        assert!((r.mean() - 12.0).abs() < 1e-12);
+        assert!((r.std_dev() - 2.0).abs() < 1e-12);
+        assert_eq!(format!("{r}"), "12.00 ± 2.00");
+    }
+
+    #[test]
+    fn throughput_meter_windows() {
+        let mut m = ThroughputMeter::new();
+        m.record(SimTime::from_secs(1), 1_000_000);
+        m.record(SimTime::from_secs(2), 1_000_000);
+        m.record(SimTime::from_secs(3), 1_000_000);
+        assert_eq!(m.total_bytes(), 3_000_000);
+        // Window [1s, 3s): two deliveries over 2 seconds = 8 Mbps.
+        let mbps = m.mbps_between(SimTime::from_secs(1), SimTime::from_secs(3));
+        assert!((mbps - 8.0).abs() < 1e-9);
+        assert_eq!(m.mbps_between(SimTime::from_secs(3), SimTime::from_secs(3)), 0.0);
+        assert_eq!(m.first_delivery(), Some(SimTime::from_secs(1)));
+        assert_eq!(m.last_delivery(), Some(SimTime::from_secs(3)));
+    }
+
+    #[test]
+    fn time_accumulator() {
+        let mut t = TimeAccumulator::new();
+        t.add(SimDuration::from_micros(10));
+        t.add(SimDuration::from_micros(30));
+        assert_eq!(t.total(), SimDuration::from_micros(40));
+        assert_eq!(t.mean(), SimDuration::from_micros(20));
+        assert_eq!(t.events(), 2);
+    }
+
+    #[test]
+    fn histogram_buckets_and_fraction() {
+        let mut h = Histogram::new(vec![10.0, 20.0, 30.0]);
+        for x in [5.0, 15.0, 25.0, 35.0, 9.9, 29.9] {
+            h.record(x);
+        }
+        assert_eq!(h.counts(), &[2, 1, 2, 1]);
+        assert_eq!(h.total(), 6);
+        assert!((h.fraction_below(10.0) - 2.0 / 6.0).abs() < 1e-12);
+        assert!((h.fraction_below(30.0) - 5.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn histogram_rejects_unsorted_bounds() {
+        let _ = Histogram::new(vec![10.0, 5.0]);
+    }
+}

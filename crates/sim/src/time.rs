@@ -1,0 +1,390 @@
+//! Simulation time primitives.
+//!
+//! All simulation time is kept in integer **nanoseconds** since the start of
+//! the run. A `u64` nanosecond clock wraps after ~584 years of simulated
+//! time, far beyond any experiment in this repository, so arithmetic is
+//! plain (debug-checked) addition rather than wrapping arithmetic.
+//!
+//! Two newtypes keep instants and spans from being confused:
+//!
+//! * [`SimTime`] — an absolute instant on the simulation clock.
+//! * [`SimDuration`] — a span between two instants.
+//!
+//! The PHY layer works in microsecond-granularity quantities (OFDM symbols
+//! are 4 µs), TCP works in milliseconds, and the wired backhaul in
+//! sub-millisecond serialization times; nanoseconds give integer-exact
+//! representations of all of them.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// An absolute instant on the simulation clock, in nanoseconds since t=0.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+/// A span of simulation time, in nanoseconds.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// The start of the simulation (t = 0).
+    pub const ZERO: SimTime = SimTime(0);
+    /// The largest representable instant; useful as an "infinitely far"
+    /// sentinel for timer comparisons.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Construct an instant from raw nanoseconds since t=0.
+    #[inline]
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimTime(ns)
+    }
+
+    /// Construct an instant from microseconds since t=0.
+    #[inline]
+    pub const fn from_micros(us: u64) -> Self {
+        SimTime(us * 1_000)
+    }
+
+    /// Construct an instant from milliseconds since t=0.
+    #[inline]
+    pub const fn from_millis(ms: u64) -> Self {
+        SimTime(ms * 1_000_000)
+    }
+
+    /// Construct an instant from whole seconds since t=0.
+    #[inline]
+    pub const fn from_secs(s: u64) -> Self {
+        SimTime(s * 1_000_000_000)
+    }
+
+    /// Nanoseconds since t=0.
+    #[inline]
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds since t=0 as a float (for reporting; never feed back into
+    /// scheduling decisions, which must stay integer-exact).
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// The span from `earlier` to `self`.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if `earlier` is later than `self`.
+    #[inline]
+    pub fn duration_since(self, earlier: SimTime) -> SimDuration {
+        debug_assert!(
+            earlier.0 <= self.0,
+            "duration_since: earlier ({earlier}) is after self ({self})"
+        );
+        SimDuration(self.0 - earlier.0)
+    }
+
+    /// The span from `earlier` to `self`, clamped to zero if `earlier` is
+    /// actually later.
+    #[inline]
+    pub fn saturating_duration_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Saturating addition of a span.
+    #[inline]
+    pub fn saturating_add(self, d: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(d.0))
+    }
+}
+
+impl SimDuration {
+    /// The zero-length span.
+    pub const ZERO: SimDuration = SimDuration(0);
+    /// The largest representable span.
+    pub const MAX: SimDuration = SimDuration(u64::MAX);
+
+    /// Construct from raw nanoseconds.
+    #[inline]
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimDuration(ns)
+    }
+
+    /// Construct from microseconds.
+    #[inline]
+    pub const fn from_micros(us: u64) -> Self {
+        SimDuration(us * 1_000)
+    }
+
+    /// Construct from milliseconds.
+    #[inline]
+    pub const fn from_millis(ms: u64) -> Self {
+        SimDuration(ms * 1_000_000)
+    }
+
+    /// Construct from whole seconds.
+    #[inline]
+    pub const fn from_secs(s: u64) -> Self {
+        SimDuration(s * 1_000_000_000)
+    }
+
+    /// Construct from fractional seconds, rounding to the nearest
+    /// nanosecond.
+    ///
+    /// # Panics
+    /// Panics if `s` is negative, NaN, or too large to represent.
+    pub fn from_secs_f64(s: f64) -> Self {
+        assert!(s.is_finite() && s >= 0.0, "invalid duration seconds: {s}");
+        let ns = s * 1e9;
+        assert!(ns <= u64::MAX as f64, "duration overflow: {s} s");
+        SimDuration(ns.round() as u64)
+    }
+
+    /// Raw nanoseconds.
+    #[inline]
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Whole microseconds (truncating).
+    #[inline]
+    pub const fn as_micros(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Seconds as a float (reporting only).
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// True if this is the zero-length span.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Saturating subtraction.
+    #[inline]
+    pub fn saturating_sub(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(other.0))
+    }
+
+    /// Checked multiplication by an integer factor.
+    #[inline]
+    pub fn checked_mul(self, k: u64) -> Option<SimDuration> {
+        self.0.checked_mul(k).map(SimDuration)
+    }
+
+    /// The time it takes to serialize `bits` at `rate_bps` bits per second,
+    /// rounded **up** to the next nanosecond (a transmission never finishes
+    /// early).
+    ///
+    /// # Panics
+    /// Panics if `rate_bps` is zero.
+    pub fn for_bits(bits: u64, rate_bps: u64) -> SimDuration {
+        assert!(rate_bps > 0, "zero transmission rate");
+        // ceil(bits * 1e9 / rate) without overflow for realistic inputs:
+        // bits < 2^40 and 1e9 < 2^30 keeps the product within u128.
+        let ns = ((bits as u128) * 1_000_000_000u128).div_ceil(rate_bps as u128);
+        SimDuration(u64::try_from(ns).expect("transmission duration overflow"))
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, d: SimDuration) -> SimTime {
+        SimTime(self.0 + d.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    #[inline]
+    fn add_assign(&mut self, d: SimDuration) {
+        self.0 += d.0;
+    }
+}
+
+impl Sub<SimDuration> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn sub(self, d: SimDuration) -> SimTime {
+        SimTime(self.0 - d.0)
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    #[inline]
+    fn sub(self, other: SimTime) -> SimDuration {
+        self.duration_since(other)
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn add(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0 + other.0)
+    }
+}
+
+impl AddAssign for SimDuration {
+    #[inline]
+    fn add_assign(&mut self, other: SimDuration) {
+        self.0 += other.0;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn sub(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0 - other.0)
+    }
+}
+
+impl SubAssign for SimDuration {
+    #[inline]
+    fn sub_assign(&mut self, other: SimDuration) {
+        self.0 -= other.0;
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn mul(self, k: u64) -> SimDuration {
+        SimDuration(self.0 * k)
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn div(self, k: u64) -> SimDuration {
+        SimDuration(self.0 / k)
+    }
+}
+
+impl Sum for SimDuration {
+    fn sum<I: Iterator<Item = SimDuration>>(iter: I) -> Self {
+        iter.fold(SimDuration::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SimTime({self})")
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_ns(self.0, f)
+    }
+}
+
+impl fmt::Debug for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SimDuration({self})")
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_ns(self.0, f)
+    }
+}
+
+/// Human-friendly rendering: picks s / ms / µs / ns by magnitude.
+fn fmt_ns(ns: u64, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    if ns >= 1_000_000_000 {
+        write!(f, "{:.6}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        write!(f, "{:.3}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        write!(f, "{:.3}us", ns as f64 / 1e3)
+    } else {
+        write!(f, "{ns}ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_agree() {
+        assert_eq!(SimTime::from_secs(1), SimTime::from_millis(1_000));
+        assert_eq!(SimTime::from_millis(1), SimTime::from_micros(1_000));
+        assert_eq!(SimTime::from_micros(1), SimTime::from_nanos(1_000));
+        assert_eq!(SimDuration::from_secs(2).as_nanos(), 2_000_000_000);
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let t = SimTime::from_micros(100);
+        let d = SimDuration::from_micros(16);
+        assert_eq!((t + d) - d, t);
+        assert_eq!((t + d).duration_since(t), d);
+    }
+
+    #[test]
+    fn saturating_duration_since_clamps() {
+        let a = SimTime::from_micros(5);
+        let b = SimTime::from_micros(9);
+        assert_eq!(a.saturating_duration_since(b), SimDuration::ZERO);
+        assert_eq!(b.saturating_duration_since(a), SimDuration::from_micros(4));
+    }
+
+    #[test]
+    fn for_bits_rounds_up() {
+        // 12000 bits at 54 Mbps = 222.22.. us => must round up to the next ns.
+        let d = SimDuration::for_bits(12_000, 54_000_000);
+        assert_eq!(d.as_nanos(), 222_223);
+        // Exact division stays exact: 6000 bits at 6 Mbps = 1 ms.
+        assert_eq!(
+            SimDuration::for_bits(6_000, 6_000_000),
+            SimDuration::from_millis(1)
+        );
+    }
+
+    #[test]
+    fn for_bits_zero_bits_is_zero() {
+        assert_eq!(SimDuration::for_bits(0, 1), SimDuration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero transmission rate")]
+    fn for_bits_zero_rate_panics() {
+        let _ = SimDuration::for_bits(1, 0);
+    }
+
+    #[test]
+    fn from_secs_f64_rounds() {
+        assert_eq!(
+            SimDuration::from_secs_f64(0.000_016),
+            SimDuration::from_micros(16)
+        );
+        assert_eq!(SimDuration::from_secs_f64(0.0), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn display_picks_unit() {
+        assert_eq!(format!("{}", SimDuration::from_nanos(17)), "17ns");
+        assert_eq!(format!("{}", SimDuration::from_micros(16)), "16.000us");
+        assert_eq!(format!("{}", SimDuration::from_millis(4)), "4.000ms");
+        assert_eq!(format!("{}", SimDuration::from_secs(2)), "2.000000s");
+    }
+
+    #[test]
+    fn scalar_ops() {
+        let d = SimDuration::from_micros(9);
+        assert_eq!(d * 4, SimDuration::from_micros(36));
+        assert_eq!(d / 3, SimDuration::from_micros(3));
+        let total: SimDuration = vec![d, d, d].into_iter().sum();
+        assert_eq!(total, SimDuration::from_micros(27));
+    }
+}

@@ -1,0 +1,232 @@
+//! Reno/NewReno congestion control (RFC 5681 + RFC 6582), byte-counted.
+//!
+//! The paper's flows are classic loss-based TCP on a shallow-buffered AP:
+//! slow start overshoot fills the AP queue, losses halve cwnd, and the
+//! ACK clock (which HACK piggybacks) drives everything. NewReno's partial
+//! ACK handling matters because an A-MPDU loss burst drops several
+//! segments from one window.
+
+/// Congestion-control phases.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Exponential growth below ssthresh.
+    SlowStart,
+    /// Additive increase above ssthresh.
+    CongestionAvoidance,
+    /// NewReno fast recovery, until `recover` is cumulatively ACKed.
+    FastRecovery,
+}
+
+/// Byte-based NewReno state.
+#[derive(Debug, Clone)]
+pub struct NewReno {
+    mss: u32,
+    cwnd: u64,
+    ssthresh: u64,
+    /// Bytes acked since the last cwnd increment (CA byte counting).
+    acked_in_ca: u64,
+    phase: Phase,
+}
+
+impl NewReno {
+    /// Initial state: IW = `init_segs` segments, ssthresh unbounded.
+    pub fn new(mss: u32, init_segs: u32) -> Self {
+        NewReno {
+            mss,
+            cwnd: u64::from(mss) * u64::from(init_segs),
+            ssthresh: u64::MAX,
+            acked_in_ca: 0,
+            phase: Phase::SlowStart,
+        }
+    }
+
+    /// Current congestion window in bytes.
+    pub fn cwnd(&self) -> u64 {
+        self.cwnd
+    }
+
+    /// Current slow-start threshold in bytes.
+    pub fn ssthresh(&self) -> u64 {
+        self.ssthresh
+    }
+
+    /// Current phase.
+    pub fn phase(&self) -> Phase {
+        self.phase
+    }
+
+    /// In fast recovery?
+    pub fn in_recovery(&self) -> bool {
+        self.phase == Phase::FastRecovery
+    }
+
+    /// A new cumulative ACK advanced snd.una by `acked_bytes` (recovery
+    /// exits are handled by [`NewReno::on_full_ack`] /
+    /// [`NewReno::on_partial_ack`]).
+    pub fn on_ack(&mut self, acked_bytes: u64) {
+        match self.phase {
+            Phase::SlowStart => {
+                self.cwnd += acked_bytes.min(u64::from(self.mss));
+                if self.cwnd >= self.ssthresh {
+                    self.phase = Phase::CongestionAvoidance;
+                    self.acked_in_ca = 0;
+                }
+            }
+            Phase::CongestionAvoidance => {
+                // cwnd += MSS per cwnd of acked bytes.
+                self.acked_in_ca += acked_bytes;
+                if self.acked_in_ca >= self.cwnd {
+                    self.acked_in_ca -= self.cwnd;
+                    self.cwnd += u64::from(self.mss);
+                }
+            }
+            Phase::FastRecovery => {
+                // Window inflation handled via on_dupack/partial ack.
+            }
+        }
+    }
+
+    /// Third duplicate ACK: enter fast recovery. `flight` is the current
+    /// FlightSize in bytes. Returns the new ssthresh.
+    pub fn on_triple_dupack(&mut self, flight: u64) -> u64 {
+        self.ssthresh = (flight / 2).max(2 * u64::from(self.mss));
+        self.cwnd = self.ssthresh + 3 * u64::from(self.mss);
+        self.phase = Phase::FastRecovery;
+        self.ssthresh
+    }
+
+    /// A further duplicate ACK during recovery inflates the window.
+    pub fn on_recovery_dupack(&mut self) {
+        if self.phase == Phase::FastRecovery {
+            self.cwnd += u64::from(self.mss);
+        }
+    }
+
+    /// A partial ACK during recovery (NewReno): deflate by the bytes
+    /// acked, add back one MSS, stay in recovery.
+    pub fn on_partial_ack(&mut self, acked_bytes: u64) {
+        if self.phase == Phase::FastRecovery {
+            self.cwnd = self
+                .cwnd
+                .saturating_sub(acked_bytes)
+                .max(u64::from(self.mss))
+                + u64::from(self.mss);
+        }
+    }
+
+    /// The recovery point was cumulatively ACKed: exit recovery with
+    /// cwnd = ssthresh.
+    pub fn on_full_ack(&mut self) {
+        if self.phase == Phase::FastRecovery {
+            self.cwnd = self.ssthresh.max(2 * u64::from(self.mss));
+            self.phase = Phase::CongestionAvoidance;
+            self.acked_in_ca = 0;
+        }
+    }
+
+    /// Retransmission timeout: collapse to one segment, halve ssthresh
+    /// from FlightSize, restart slow start.
+    pub fn on_timeout(&mut self, flight: u64) {
+        self.ssthresh = (flight / 2).max(2 * u64::from(self.mss));
+        self.cwnd = u64::from(self.mss);
+        self.phase = Phase::SlowStart;
+        self.acked_in_ca = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MSS: u32 = 1460;
+
+    #[test]
+    fn slow_start_doubles_per_rtt() {
+        let mut cc = NewReno::new(MSS, 2);
+        assert_eq!(cc.cwnd(), 2920);
+        assert_eq!(cc.phase(), Phase::SlowStart);
+        // Acking a full window in MSS chunks doubles cwnd.
+        let w = cc.cwnd();
+        for _ in 0..(w / u64::from(MSS)) {
+            cc.on_ack(u64::from(MSS));
+        }
+        assert_eq!(cc.cwnd(), 2 * w);
+    }
+
+    #[test]
+    fn ca_adds_one_mss_per_rtt() {
+        let mut cc = NewReno::new(MSS, 2);
+        cc.on_triple_dupack(100 * u64::from(MSS));
+        cc.on_full_ack(); // now in CA with cwnd = ssthresh = 50 MSS
+        let w = cc.cwnd();
+        assert_eq!(cc.phase(), Phase::CongestionAvoidance);
+        // One window's worth of ACKs adds exactly one MSS.
+        let mut acked = 0;
+        while acked < w {
+            cc.on_ack(u64::from(MSS));
+            acked += u64::from(MSS);
+        }
+        assert!(cc.cwnd() >= w + u64::from(MSS));
+        assert!(cc.cwnd() <= w + 2 * u64::from(MSS));
+    }
+
+    #[test]
+    fn triple_dupack_halves() {
+        let mut cc = NewReno::new(MSS, 2);
+        let flight = 64 * u64::from(MSS);
+        let ss = cc.on_triple_dupack(flight);
+        assert_eq!(ss, 32 * u64::from(MSS));
+        assert_eq!(cc.cwnd(), 32 * u64::from(MSS) + 3 * u64::from(MSS));
+        assert!(cc.in_recovery());
+    }
+
+    #[test]
+    fn ssthresh_floor_is_two_mss() {
+        let mut cc = NewReno::new(MSS, 2);
+        let ss = cc.on_triple_dupack(u64::from(MSS));
+        assert_eq!(ss, 2 * u64::from(MSS));
+    }
+
+    #[test]
+    fn recovery_inflation_and_exit() {
+        let mut cc = NewReno::new(MSS, 2);
+        cc.on_triple_dupack(10 * u64::from(MSS));
+        let w = cc.cwnd();
+        cc.on_recovery_dupack();
+        assert_eq!(cc.cwnd(), w + u64::from(MSS));
+        cc.on_full_ack();
+        assert_eq!(cc.cwnd(), cc.ssthresh());
+        assert_eq!(cc.phase(), Phase::CongestionAvoidance);
+    }
+
+    #[test]
+    fn partial_ack_deflates_and_stays_in_recovery() {
+        let mut cc = NewReno::new(MSS, 2);
+        cc.on_triple_dupack(20 * u64::from(MSS));
+        let w = cc.cwnd();
+        cc.on_partial_ack(2 * u64::from(MSS));
+        assert!(cc.in_recovery());
+        assert_eq!(cc.cwnd(), w - 2 * u64::from(MSS) + u64::from(MSS));
+    }
+
+    #[test]
+    fn timeout_collapses_to_one_mss() {
+        let mut cc = NewReno::new(MSS, 10);
+        cc.on_ack(u64::from(MSS) * 5);
+        cc.on_timeout(40 * u64::from(MSS));
+        assert_eq!(cc.cwnd(), u64::from(MSS));
+        assert_eq!(cc.ssthresh(), 20 * u64::from(MSS));
+        assert_eq!(cc.phase(), Phase::SlowStart);
+    }
+
+    #[test]
+    fn slow_start_transitions_to_ca_at_ssthresh() {
+        let mut cc = NewReno::new(MSS, 2);
+        cc.on_timeout(16 * u64::from(MSS)); // ssthresh = 8 MSS, cwnd = 1
+        for _ in 0..20 {
+            cc.on_ack(u64::from(MSS));
+        }
+        assert_eq!(cc.phase(), Phase::CongestionAvoidance);
+        assert!(cc.cwnd() >= cc.ssthresh());
+    }
+}

@@ -1,0 +1,151 @@
+//! Retransmission-timeout estimation per RFC 6298.
+
+use hack_sim::SimDuration;
+
+/// SRTT/RTTVAR estimator with exponential backoff.
+#[derive(Debug, Clone)]
+pub struct RtoEstimator {
+    srtt: Option<SimDuration>,
+    rttvar: SimDuration,
+    rto: SimDuration,
+    backoff_shift: u32,
+    min_rto: SimDuration,
+    max_rto: SimDuration,
+}
+
+impl RtoEstimator {
+    /// A fresh estimator: RTO starts at 1 s (RFC 6298 §2.1), clamped to
+    /// `[min_rto, max_rto]`.
+    pub fn new(min_rto: SimDuration, max_rto: SimDuration) -> Self {
+        RtoEstimator {
+            srtt: None,
+            rttvar: SimDuration::ZERO,
+            rto: SimDuration::from_secs(1).max(min_rto).min(max_rto),
+            backoff_shift: 0,
+            min_rto,
+            max_rto,
+        }
+    }
+
+    /// Smoothed RTT, once at least one sample exists.
+    pub fn srtt(&self) -> Option<SimDuration> {
+        self.srtt
+    }
+
+    /// The current retransmission timeout (with any backoff applied).
+    pub fn rto(&self) -> SimDuration {
+        let backed = self
+            .rto
+            .checked_mul(1u64 << self.backoff_shift.min(16))
+            .unwrap_or(self.max_rto);
+        backed.min(self.max_rto).max(self.min_rto)
+    }
+
+    /// Incorporate a new RTT measurement (RFC 6298 §2.2–2.3) and clear
+    /// any backoff.
+    pub fn on_measurement(&mut self, rtt: SimDuration) {
+        match self.srtt {
+            None => {
+                self.srtt = Some(rtt);
+                self.rttvar = rtt / 2;
+            }
+            Some(srtt) => {
+                let delta = if srtt > rtt { srtt - rtt } else { rtt - srtt };
+                // RTTVAR = 3/4 RTTVAR + 1/4 |SRTT − R|
+                self.rttvar = (self.rttvar * 3 + delta) / 4;
+                // SRTT = 7/8 SRTT + 1/8 R
+                self.srtt = Some((srtt * 7 + rtt) / 8);
+            }
+        }
+        let srtt = self.srtt.expect("just set");
+        // RTO = SRTT + max(G, 4·RTTVAR); granularity G folded into min_rto.
+        self.rto = (srtt + self.rttvar * 4).max(self.min_rto).min(self.max_rto);
+        self.backoff_shift = 0;
+    }
+
+    /// The retransmission timer fired: double the RTO (Karn).
+    pub fn on_timeout(&mut self) {
+        self.backoff_shift = (self.backoff_shift + 1).min(16);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn est() -> RtoEstimator {
+        RtoEstimator::new(SimDuration::from_millis(200), SimDuration::from_secs(60))
+    }
+
+    #[test]
+    fn initial_rto_is_one_second() {
+        assert_eq!(est().rto(), SimDuration::from_secs(1));
+    }
+
+    #[test]
+    fn first_sample_initializes() {
+        let mut e = est();
+        e.on_measurement(SimDuration::from_millis(100));
+        assert_eq!(e.srtt(), Some(SimDuration::from_millis(100)));
+        // RTO = 100 + 4*50 = 300 ms.
+        assert_eq!(e.rto(), SimDuration::from_millis(300));
+    }
+
+    #[test]
+    fn min_rto_floor_applies() {
+        let mut e = est();
+        // Sub-millisecond LAN RTTs: RTO clamps to 200 ms.
+        for _ in 0..50 {
+            e.on_measurement(SimDuration::from_micros(500));
+        }
+        assert_eq!(e.rto(), SimDuration::from_millis(200));
+    }
+
+    #[test]
+    fn smoothing_converges() {
+        let mut e = est();
+        for _ in 0..100 {
+            e.on_measurement(SimDuration::from_millis(80));
+        }
+        let srtt = e.srtt().unwrap();
+        assert!(
+            (srtt.as_nanos() as i64 - 80_000_000).abs() < 2_000_000,
+            "srtt {srtt}"
+        );
+    }
+
+    #[test]
+    fn backoff_doubles_and_measurement_resets() {
+        let mut e = est();
+        e.on_measurement(SimDuration::from_millis(100)); // RTO 300 ms
+        e.on_timeout();
+        assert_eq!(e.rto(), SimDuration::from_millis(600));
+        e.on_timeout();
+        assert_eq!(e.rto(), SimDuration::from_millis(1200));
+        // A fresh measurement clears the backoff; with a second identical
+        // sample RTTVAR decays (3/4 · 50 ms), so RTO = 100 + 4·37.5 = 250.
+        e.on_measurement(SimDuration::from_millis(100));
+        assert_eq!(e.rto(), SimDuration::from_millis(250));
+    }
+
+    #[test]
+    fn backoff_caps_at_max() {
+        let mut e = est();
+        for _ in 0..40 {
+            e.on_timeout();
+        }
+        assert_eq!(e.rto(), SimDuration::from_secs(60));
+    }
+
+    #[test]
+    fn variance_raises_rto() {
+        let mut stable = est();
+        let mut jittery = est();
+        for i in 0..50 {
+            stable.on_measurement(SimDuration::from_millis(100));
+            let rtt = if i % 2 == 0 { 50 } else { 150 };
+            jittery.on_measurement(SimDuration::from_millis(rtt));
+        }
+        assert!(jittery.rto() > stable.rto());
+    }
+}

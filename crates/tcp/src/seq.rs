@@ -1,0 +1,129 @@
+//! 32-bit wrapping TCP sequence-number arithmetic (RFC 793 / RFC 1982
+//! serial-number comparison).
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A TCP sequence (or acknowledgment) number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct TcpSeq(pub u32);
+
+impl TcpSeq {
+    /// Wrapping distance from `other` to `self` (how many bytes ahead).
+    #[inline]
+    pub fn dist_from(self, other: TcpSeq) -> u32 {
+        self.0.wrapping_sub(other.0)
+    }
+
+    /// Serial-number "less than": `self` precedes `other`.
+    #[inline]
+    pub fn lt(self, other: TcpSeq) -> bool {
+        (self.0.wrapping_sub(other.0) as i32) < 0
+    }
+
+    /// Serial-number "less than or equal".
+    #[inline]
+    pub fn le(self, other: TcpSeq) -> bool {
+        self == other || self.lt(other)
+    }
+
+    /// Serial-number "greater than".
+    #[inline]
+    pub fn gt(self, other: TcpSeq) -> bool {
+        other.lt(self)
+    }
+
+    /// Serial-number "greater than or equal".
+    #[inline]
+    pub fn ge(self, other: TcpSeq) -> bool {
+        self == other || self.gt(other)
+    }
+
+    /// Is `self` in the half-open window `[lo, hi)` under wrapping order?
+    #[inline]
+    pub fn in_window(self, lo: TcpSeq, hi: TcpSeq) -> bool {
+        self.dist_from(lo) < hi.dist_from(lo)
+    }
+}
+
+impl Add<u32> for TcpSeq {
+    type Output = TcpSeq;
+    #[inline]
+    fn add(self, n: u32) -> TcpSeq {
+        TcpSeq(self.0.wrapping_add(n))
+    }
+}
+
+impl AddAssign<u32> for TcpSeq {
+    #[inline]
+    fn add_assign(&mut self, n: u32) {
+        self.0 = self.0.wrapping_add(n);
+    }
+}
+
+impl Sub<TcpSeq> for TcpSeq {
+    type Output = u32;
+    #[inline]
+    fn sub(self, other: TcpSeq) -> u32 {
+        self.dist_from(other)
+    }
+}
+
+impl fmt::Display for TcpSeq {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_simple() {
+        assert!(TcpSeq(1).lt(TcpSeq(2)));
+        assert!(TcpSeq(2).gt(TcpSeq(1)));
+        assert!(TcpSeq(5).le(TcpSeq(5)));
+        assert!(TcpSeq(5).ge(TcpSeq(5)));
+        assert!(!TcpSeq(5).lt(TcpSeq(5)));
+    }
+
+    #[test]
+    fn ordering_across_wrap() {
+        let hi = TcpSeq(u32::MAX - 10);
+        let lo = TcpSeq(5);
+        assert!(hi.lt(lo), "wrapped value is ahead");
+        assert!(lo.gt(hi));
+        assert_eq!(lo.dist_from(hi), 16);
+    }
+
+    #[test]
+    fn add_wraps() {
+        assert_eq!(TcpSeq(u32::MAX) + 2, TcpSeq(1));
+        let mut s = TcpSeq(u32::MAX);
+        s += 1;
+        assert_eq!(s, TcpSeq(0));
+    }
+
+    #[test]
+    fn window_membership() {
+        let lo = TcpSeq(100);
+        let hi = TcpSeq(200);
+        assert!(TcpSeq(100).in_window(lo, hi));
+        assert!(TcpSeq(199).in_window(lo, hi));
+        assert!(!TcpSeq(200).in_window(lo, hi));
+        assert!(!TcpSeq(99).in_window(lo, hi));
+        // Window straddling the wrap point.
+        let lo = TcpSeq(u32::MAX - 5);
+        let hi = TcpSeq(10);
+        assert!(TcpSeq(u32::MAX).in_window(lo, hi));
+        assert!(TcpSeq(3).in_window(lo, hi));
+        assert!(!TcpSeq(10).in_window(lo, hi));
+    }
+
+    #[test]
+    fn sub_gives_distance() {
+        assert_eq!(TcpSeq(150) - TcpSeq(100), 50);
+        assert_eq!(TcpSeq(3) - TcpSeq(u32::MAX), 4);
+    }
+}

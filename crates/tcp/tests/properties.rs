@@ -1,0 +1,127 @@
+//! Property-based tests: wire-format roundtrips and sequence arithmetic.
+
+use hack_tcp::{flags, Ipv4Addr, Ipv4Packet, TcpOption, TcpSegment, TcpSeq, Transport};
+use proptest::prelude::*;
+
+fn arb_options() -> impl Strategy<Value = Vec<TcpOption>> {
+    (
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+        proptest::option::of((any::<u32>(), any::<u32>())),
+        proptest::collection::vec((any::<u32>(), 1u32..100_000), 0..3),
+    )
+        .prop_map(|(mss, ws, sackp, ts, sacks)| {
+            let mut o = Vec::new();
+            if mss {
+                o.push(TcpOption::Mss(1460));
+            }
+            if ws {
+                o.push(TcpOption::WindowScale(6));
+            }
+            if sackp {
+                o.push(TcpOption::SackPermitted);
+            }
+            if let Some((v, e)) = ts {
+                o.push(TcpOption::Timestamps { tsval: v, tsecr: e });
+            }
+            if !sacks.is_empty() {
+                o.push(TcpOption::Sack(
+                    sacks
+                        .into_iter()
+                        .map(|(s, l)| (TcpSeq(s), TcpSeq(s.wrapping_add(l))))
+                        .collect(),
+                ));
+            }
+            o
+        })
+}
+
+fn arb_packet() -> impl Strategy<Value = Ipv4Packet> {
+    (
+        any::<u32>(),
+        any::<u32>(),
+        any::<u16>(),
+        any::<u16>(),
+        any::<u16>(),
+        any::<u32>(),
+        any::<u32>(),
+        0u32..20_000,
+        any::<u16>(),
+        arb_options(),
+        prop_oneof![
+            Just(flags::ACK),
+            Just(flags::ACK | flags::PSH),
+            Just(flags::SYN),
+            Just(flags::SYN | flags::ACK),
+            Just(flags::ACK | flags::FIN),
+        ],
+    )
+        .prop_map(
+            |(src, dst, ident, sp, dp, seq, ack, plen, window, options, fl)| Ipv4Packet {
+                src: Ipv4Addr(src),
+                dst: Ipv4Addr(dst),
+                ident,
+                ttl: 64,
+                transport: Transport::Tcp(TcpSegment {
+                    src_port: sp,
+                    dst_port: dp,
+                    seq: TcpSeq(seq),
+                    ack: TcpSeq(ack),
+                    flags: fl,
+                    window,
+                    options,
+                    payload_len: plen,
+                }),
+            },
+        )
+}
+
+proptest! {
+    /// Serialization roundtrips exactly for any packet shape.
+    #[test]
+    fn header_roundtrip(p in arb_packet()) {
+        let bytes = p.header_bytes();
+        let q = Ipv4Packet::from_header_bytes(&bytes).unwrap();
+        prop_assert_eq!(p, q);
+    }
+
+    /// Any single-bit corruption of the header is caught by a checksum.
+    #[test]
+    fn bitflip_detected(p in arb_packet(), byte_frac in 0.0f64..1.0, bit in 0u8..8) {
+        let bytes = p.header_bytes();
+        let idx = ((bytes.len() - 1) as f64 * byte_frac) as usize;
+        let mut corrupted = bytes.clone();
+        corrupted[idx] ^= 1 << bit;
+        // Either a checksum error or (for length/offset bytes) a
+        // structural error; never a silent wrong parse equal to nothing.
+        match Ipv4Packet::from_header_bytes(&corrupted) {
+            Err(_) => {}
+            Ok(q) => {
+                // A flip in the payload-length region of a data-offset
+                // nibble can still parse; it must at least differ.
+                prop_assert_ne!(p, q);
+            }
+        }
+    }
+
+    /// Sequence comparison is a strict total order on any window < 2^31.
+    #[test]
+    fn seq_order_antisymmetric(a in any::<u32>(), d in 1u32..0x7FFF_FFFF) {
+        let x = TcpSeq(a);
+        let y = x + d;
+        prop_assert!(x.lt(y));
+        prop_assert!(!y.lt(x));
+        prop_assert!(y.gt(x));
+        prop_assert_eq!(y - x, d);
+    }
+
+    /// in_window agrees with distance arithmetic.
+    #[test]
+    fn window_membership(lo in any::<u32>(), len in 1u32..1_000_000, off in 0u32..2_000_000) {
+        let lo = TcpSeq(lo);
+        let hi = lo + len;
+        let x = lo + off;
+        prop_assert_eq!(x.in_window(lo, hi), off < len);
+    }
+}
