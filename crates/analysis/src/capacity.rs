@@ -175,8 +175,7 @@ pub fn ampdu_frames(rate: PhyRate, mpdu_len: u32, timings: &MacTimings) -> usize
     while n < 64 {
         lens.push(mpdu_len);
         let agg = ampdu_wire_len(&lens);
-        let fits = agg <= 65_535
-            && rate.ppdu_duration(u64::from(agg)) <= timings.txop_limit;
+        let fits = agg <= 65_535 && rate.ppdu_duration(u64::from(agg)) <= timings.txop_limit;
         if !fits {
             break;
         }
@@ -283,7 +282,10 @@ mod tests {
             let udp = m.goodput_dot11n(r, Protocol::Udp);
             let hack = m.goodput_dot11n(r, Protocol::TcpHack);
             let tcp = m.goodput_dot11n(r, Protocol::Tcp);
-            assert!(udp > hack && hack > tcp, "at {mbps}: {udp:.1}/{hack:.1}/{tcp:.1}");
+            assert!(
+                udp > hack && hack > tcp,
+                "at {mbps}: {udp:.1}/{hack:.1}/{tcp:.1}"
+            );
         }
     }
 

@@ -7,7 +7,9 @@ use hack_sim::{EventQueue, SimRng, SimTime};
 fn bench_queue(c: &mut Criterion) {
     c.bench_function("event_queue_push_pop_10k", |b| {
         let mut rng = SimRng::new(42);
-        let times: Vec<u64> = (0..10_000).map(|_| u64::from(rng.uniform(1 << 30))).collect();
+        let times: Vec<u64> = (0..10_000)
+            .map(|_| u64::from(rng.uniform(1 << 30)))
+            .collect();
         b.iter_batched(
             || times.clone(),
             |times| {

@@ -55,7 +55,10 @@ fn bench_rohc(c: &mut Criterion) {
         comp.observe_native(&seed);
         dec_template.observe_native(&seed);
         let segs: Vec<Vec<u8>> = (1..=21u32)
-            .map(|i| comp.compress(&ack(1000 + i * 2920, 1 + i as u16, 10 + i)).unwrap())
+            .map(|i| {
+                comp.compress(&ack(1000 + i * 2920, 1 + i as u16, 10 + i))
+                    .unwrap()
+            })
             .collect();
         let blob = build_blob(&segs);
         b.iter(|| {

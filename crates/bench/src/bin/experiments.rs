@@ -19,9 +19,14 @@
 //!
 //! `--quick` shortens runs and seed counts (for CI); defaults follow the
 //! paper's shape (5 runs per point).
+//!
+//! `--trace <path>` captures a structured cross-layer event trace for
+//! every simulated run: `<path>.runR.seedS.jsonl` holds the events,
+//! `<path>.runR.seedS.digest` the binary digest (byte-identical for the
+//! same seed — the determinism contract).
 
 use hack_analysis::{CapacityModel, Protocol};
-use hack_bench::run_seeds;
+use hack_bench::{run_seeds, set_trace_base};
 use hack_core::{HackMode, LossConfig, ScenarioConfig};
 use hack_phy::{Channel, PhyRate, StationId, DOT11A_RATES_MBPS, DOT11N_HT40_SGI_MBPS};
 use hack_sim::SimDuration;
@@ -39,11 +44,32 @@ fn main() {
     } else {
         Opts { seeds: 5, secs: 10 }
     };
-    let cmd = args
-        .iter()
-        .find(|a| !a.starts_with("--"))
-        .map(String::as_str)
-        .unwrap_or("all");
+    let mut trace_path = None;
+    let mut positional = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--trace" => match it.next() {
+                Some(p) => trace_path = Some(std::path::PathBuf::from(p)),
+                None => {
+                    eprintln!("--trace requires a path prefix");
+                    std::process::exit(2);
+                }
+            },
+            "--quick" => {}
+            other if !other.starts_with("--") => {
+                positional.get_or_insert(other);
+            }
+            other => {
+                eprintln!("unknown flag {other:?}; see the doc comment");
+                std::process::exit(2);
+            }
+        }
+    }
+    if let Some(p) = trace_path {
+        set_trace_base(p);
+    }
+    let cmd = positional.unwrap_or("all");
 
     match cmd {
         "fig1a" => fig1a(),
@@ -94,7 +120,10 @@ fn banner(title: &str) {
 fn fig1a() {
     banner("Figure 1(a): theoretical goodput, 802.11a (Mbps)");
     let m = CapacityModel::dot11a();
-    println!("{:>6} {:>12} {:>12} {:>12} {:>8}", "rate", "TCP/802.11a", "TCP/HACK", "UDP", "gain");
+    println!(
+        "{:>6} {:>12} {:>12} {:>12} {:>8}",
+        "rate", "TCP/802.11a", "TCP/HACK", "UDP", "gain"
+    );
     for &mbps in &DOT11A_RATES_MBPS {
         let r = PhyRate::dot11a(mbps);
         let tcp = m.goodput_dot11a(r, Protocol::Tcp);
@@ -119,7 +148,10 @@ fn fig1b() {
         v.dedup();
         v
     };
-    println!("{:>6} {:>12} {:>12} {:>12} {:>8}", "rate", "TCP/802.11n", "TCP/HACK", "UDP", "gain");
+    println!(
+        "{:>6} {:>12} {:>12} {:>12} {:>8}",
+        "rate", "TCP/802.11n", "TCP/HACK", "UDP", "gain"
+    );
     for mbps in rates {
         let r = PhyRate::ht(mbps);
         let tcp = m.goodput_dot11n(r, Protocol::Tcp);
@@ -330,7 +362,8 @@ fn fig10(opts: &Opts) {
             // window, so the steady-state window is the same length for
             // every client count.
             cfg.stagger = SimDuration::from_millis(200);
-            cfg.duration = cfg.stagger * (n as u64) + cfg.warmup + SimDuration::from_secs(opts.secs);
+            cfg.duration =
+                cfg.stagger * (n as u64) + cfg.warmup + SimDuration::from_secs(opts.secs);
             if udp {
                 cfg = cfg.with_udp();
             }
@@ -340,7 +373,11 @@ fn fig10(opts: &Opts) {
             } else {
                 16
             };
-            row.push_str(&format!(" {:>w$}", mr.aggregate_goodput().to_string(), w = w));
+            row.push_str(&format!(
+                " {:>w$}",
+                mr.aggregate_goodput().to_string(),
+                w = w
+            ));
         }
         println!("{row}");
     }

@@ -10,4 +10,4 @@
 
 pub mod runner;
 
-pub use runner::{run_seeds, MultiRun};
+pub use runner::{run_seeds, set_trace_base, MultiRun};

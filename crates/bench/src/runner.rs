@@ -1,7 +1,29 @@
 //! Multi-seed scenario execution.
 
-use hack_core::{run, RunResult, ScenarioConfig};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+use hack_core::{run, run_traced, RunResult, ScenarioConfig};
 use hack_sim::RunStats;
+use hack_trace::{write_jsonl, TraceHandle};
+
+/// Where per-run trace output goes (set once by `--trace <path>`).
+static TRACE_BASE: OnceLock<PathBuf> = OnceLock::new();
+/// Distinguishes successive `run_seeds` calls in trace filenames.
+static TRACE_RUN_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// Ring capacity for `--trace` captures: large enough that short CI runs
+/// keep every event; long runs keep the tail (`overwritten` says so).
+const TRACE_RING_CAPACITY: usize = 1 << 20;
+
+/// Enable structured-event tracing for all subsequent [`run_seeds`]
+/// calls. Each simulated run writes `<base>.runR.seedS.jsonl` (the
+/// captured events) and `<base>.runR.seedS.digest` (the binary
+/// [`hack_trace::Digest`], byte-identical across same-seed runs).
+pub fn set_trace_base(base: PathBuf) {
+    let _ = TRACE_BASE.set(base);
+}
 
 /// Results of running one scenario under several seeds.
 #[derive(Debug)]
@@ -54,11 +76,19 @@ impl MultiRun {
 /// Run `cfg` under `n_seeds` consecutive seeds (base = `cfg.seed`),
 /// in parallel threads, preserving seed order.
 pub fn run_seeds(cfg: &ScenarioConfig, n_seeds: u64) -> MultiRun {
+    let trace_base = TRACE_BASE.get().cloned();
+    let run_no = trace_base
+        .is_some()
+        .then(|| TRACE_RUN_COUNTER.fetch_add(1, Ordering::Relaxed));
     let handles: Vec<_> = (0..n_seeds)
         .map(|i| {
             let mut c = cfg.clone();
             c.seed = cfg.seed + i;
-            std::thread::spawn(move || run(c))
+            let base = trace_base.clone();
+            std::thread::spawn(move || match (base, run_no) {
+                (Some(base), Some(r)) => run_one_traced(c, &base, r, i),
+                _ => run(c),
+            })
         })
         .collect();
     MultiRun {
@@ -67,6 +97,37 @@ pub fn run_seeds(cfg: &ScenarioConfig, n_seeds: u64) -> MultiRun {
             .map(|h| h.join().expect("scenario thread panicked"))
             .collect(),
     }
+}
+
+/// Run one traced scenario and write its event log + digest files.
+fn run_one_traced(
+    cfg: ScenarioConfig,
+    base: &std::path::Path,
+    run_no: u64,
+    seed_no: u64,
+) -> RunResult {
+    let (handle, ring) = TraceHandle::ring(TRACE_RING_CAPACITY);
+    let result = run_traced(cfg, handle);
+    let stem = format!("{}.run{run_no}.seed{seed_no}", base.display());
+    let records = ring.drain();
+    let digest = ring.digest();
+    if let Err(e) = std::fs::File::create(format!("{stem}.jsonl"))
+        .and_then(|mut f| write_jsonl(&mut f, &records))
+    {
+        eprintln!("trace: cannot write {stem}.jsonl: {e}");
+    }
+    if let Err(e) = std::fs::write(format!("{stem}.digest"), digest.to_bytes()) {
+        eprintln!("trace: cannot write {stem}.digest: {e}");
+    }
+    if ring.overwritten() > 0 {
+        eprintln!(
+            "trace: {stem}: ring wrapped, {} oldest events not in the .jsonl \
+             (digest still covers all {})",
+            ring.overwritten(),
+            ring.emitted()
+        );
+    }
+    result
 }
 
 #[cfg(test)]
@@ -86,8 +147,7 @@ mod tests {
             b.runs[0].aggregate_goodput_mbps
         );
         assert_ne!(
-            a.runs[0].aggregate_goodput_mbps,
-            a.runs[1].aggregate_goodput_mbps,
+            a.runs[0].aggregate_goodput_mbps, a.runs[1].aggregate_goodput_mbps,
             "different seeds should differ at least slightly"
         );
         let stats = a.aggregate_goodput();

@@ -20,6 +20,7 @@ use hack_mac::RxDataInfo;
 use hack_rohc::{build_blob, CompressStats, Compressor, DecompressStats, Decompressor};
 use hack_sim::{SimDuration, SimTime};
 use hack_tcp::Ipv4Packet;
+use hack_trace::TraceHandle;
 
 use crate::packet::NetPacket;
 
@@ -129,6 +130,12 @@ impl CompressSide {
         self.mode
     }
 
+    /// Install the structured-event trace handle on the embedded
+    /// compressor; `node` is the station this driver runs on.
+    pub fn set_trace(&mut self, trace: TraceHandle, node: u32) {
+        self.compressor.set_trace(trace, node);
+    }
+
     /// Driver statistics.
     pub fn stats(&self) -> &CompressSideStats {
         &self.stats
@@ -178,6 +185,7 @@ impl CompressSide {
     /// The local TCP stack produced an ACK toward the peer. Decide its
     /// path.
     pub fn on_ack_out(&mut self, pkt: Ipv4Packet, now: SimTime) -> Vec<DriverAction> {
+        self.compressor.set_trace_clock(now.as_nanos());
         let mut out = Vec::new();
         match self.mode {
             HackMode::Disabled => {
@@ -202,23 +210,21 @@ impl CompressSide {
                     self.send_native(pkt, &mut out);
                 }
             }
-            HackMode::ExplicitTimer(delay) => {
-                match self.compressor.compress(&pkt) {
-                    Some(segment) => {
-                        self.held.push(HeldAck {
-                            segment,
-                            original: pkt,
-                            rode_ll_ack: false,
-                        });
-                        out.push(self.rebuild_blob());
-                        if !self.flush_armed {
-                            self.flush_armed = true;
-                            out.push(DriverAction::SetFlushTimer(now + delay));
-                        }
+            HackMode::ExplicitTimer(delay) => match self.compressor.compress(&pkt) {
+                Some(segment) => {
+                    self.held.push(HeldAck {
+                        segment,
+                        original: pkt,
+                        rode_ll_ack: false,
+                    });
+                    out.push(self.rebuild_blob());
+                    if !self.flush_armed {
+                        self.flush_armed = true;
+                        out.push(DriverAction::SetFlushTimer(now + delay));
                     }
-                    None => self.send_native(pkt, &mut out),
                 }
-            }
+                None => self.send_native(pkt, &mut out),
+            },
             HackMode::Opportunistic => {
                 // Dual path: stage compressed on the NIC *and* enqueue
                 // natively; the race decides (§3.2).
@@ -246,7 +252,8 @@ impl CompressSide {
     /// A data PPDU arrived from the peer (the MAC's `DataReceived`
     /// indication). Updates the latch and applies the §3.4 confirmation
     /// rules.
-    pub fn on_data_received(&mut self, info: &RxDataInfo, _now: SimTime) -> Vec<DriverAction> {
+    pub fn on_data_received(&mut self, info: &RxDataInfo, now: SimTime) -> Vec<DriverAction> {
+        self.compressor.set_trace_clock(now.as_nanos());
         let mut out = Vec::new();
         if self.mode == HackMode::Disabled {
             return out;
@@ -319,9 +326,9 @@ impl CompressSide {
         }
         let before = self.held.len();
         self.held.retain(|h| {
-            !pkts.iter().any(|p| {
-                p.ip().ident == h.original.ident && p.ip().src == h.original.src
-            })
+            !pkts
+                .iter()
+                .any(|p| p.ip().ident == h.original.ident && p.ip().src == h.original.src)
         });
         if self.held.len() != before {
             vec![self.rebuild_blob()]
@@ -342,7 +349,8 @@ impl CompressSide {
     }
 
     /// The explicit flush timer fired.
-    pub fn on_flush_timer(&mut self, _now: SimTime) -> Vec<DriverAction> {
+    pub fn on_flush_timer(&mut self, now: SimTime) -> Vec<DriverAction> {
+        self.compressor.set_trace_clock(now.as_nanos());
         self.flush_armed = false;
         if self.held.is_empty() {
             return Vec::new();
@@ -396,20 +404,28 @@ impl DecompressSide {
         DecompressSide::default()
     }
 
+    /// Install the structured-event trace handle on the embedded
+    /// decompressor; `node` is the station this driver runs on.
+    pub fn set_trace(&mut self, trace: TraceHandle, node: u32) {
+        self.decompressor.set_trace(trace, node);
+    }
+
     /// Decompressor statistics.
     pub fn stats(&self) -> &DecompressStats {
         self.decompressor.stats()
     }
 
     /// A native TCP ACK arrived from the wireless side: refresh contexts.
-    pub fn on_native_ack(&mut self, pkt: &Ipv4Packet) {
+    pub fn on_native_ack(&mut self, pkt: &Ipv4Packet, now: SimTime) {
+        self.decompressor.set_trace_clock(now.as_nanos());
         self.decompressor.observe_native(pkt);
     }
 
     /// An augmented LL ACK carried this blob: reconstitute the TCP ACKs
     /// to forward upstream. Duplicates and CRC failures are absorbed
     /// (counted in stats).
-    pub fn on_blob(&mut self, blob: &[u8]) -> Vec<Ipv4Packet> {
+    pub fn on_blob(&mut self, blob: &[u8], now: SimTime) -> Vec<Ipv4Packet> {
+        self.decompressor.set_trace_clock(now.as_nanos());
         let res = self.decompressor.decompress_blob(blob);
         self.forwarded += res.packets.len() as u64;
         res.packets
@@ -434,10 +450,7 @@ mod tests {
                 ack: TcpSeq(ackno),
                 flags: tf::ACK,
                 window: 1024,
-                options: vec![TcpOption::Timestamps {
-                    tsval: 5,
-                    tsecr: 2,
-                }],
+                options: vec![TcpOption::Timestamps { tsval: 5, tsecr: 2 }],
                 payload_len: 0,
             }),
         }
@@ -559,7 +572,9 @@ mod tests {
         // (cumulative ACKs cover it), nothing re-enqueues.
         assert_eq!(d.held_count(), 0);
         assert!(acts.iter().any(|a| matches!(a, DriverAction::ClearBlob)));
-        assert!(!acts.iter().any(|a| matches!(a, DriverAction::SendNative(_))));
+        assert!(!acts
+            .iter()
+            .any(|a| matches!(a, DriverAction::SendNative(_))));
         assert_eq!(d.stats().dropped_on_flush, 1);
         // Subsequent ACKs go native again.
         let acts = d.on_ack_out(ack(3000, 3), t(4));
@@ -597,7 +612,9 @@ mod tests {
             .any(|a| matches!(a, DriverAction::SetFlushTimer(at) if *at == t(12))));
         // Timer fires with the ACK never having ridden: re-enqueue.
         let acts = d.on_flush_timer(t(12));
-        assert!(acts.iter().any(|a| matches!(a, DriverAction::SendNative(_))));
+        assert!(acts
+            .iter()
+            .any(|a| matches!(a, DriverAction::SendNative(_))));
         assert_eq!(d.stats().timer_flushes, 1);
         assert_eq!(d.held_count(), 0);
     }
@@ -608,8 +625,12 @@ mod tests {
         d.on_ack_out(ack(1000, 1), t(1)); // native only (no context yet)
         let acts = d.on_ack_out(ack(2000, 2), t(2));
         // Both a blob install and a native enqueue.
-        assert!(acts.iter().any(|a| matches!(a, DriverAction::InstallBlob { .. })));
-        assert!(acts.iter().any(|a| matches!(a, DriverAction::SendNative(_))));
+        assert!(acts
+            .iter()
+            .any(|a| matches!(a, DriverAction::InstallBlob { .. })));
+        assert!(acts
+            .iter()
+            .any(|a| matches!(a, DriverAction::SendNative(_))));
         assert_eq!(d.held_count(), 1);
         // Blob rides an LL ACK: the native twin's ident is reported for
         // withdrawal from the MAC queue.
@@ -631,14 +652,14 @@ mod tests {
         // Native ACK seeds both ends.
         let first = ack(1000, 1);
         c.on_ack_out(first.clone(), t(1));
-        ap.on_native_ack(&first);
+        ap.on_native_ack(&first, t(1));
         // Latch, hold, ride.
         c.on_data_received(&info(true, false), t(2));
         let acts = c.on_ack_out(ack(2000, 2), t(2));
         let DriverAction::InstallBlob { bytes, .. } = &acts[0] else {
             panic!("expected blob install, got {acts:?}");
         };
-        let pkts = ap.on_blob(bytes);
+        let pkts = ap.on_blob(bytes, t(3));
         assert_eq!(pkts.len(), 1);
         assert_eq!(pkts[0], ack(2000, 2), "byte-exact reconstitution");
         assert_eq!(ap.forwarded, 1);
@@ -650,15 +671,15 @@ mod tests {
         let mut ap = DecompressSide::new();
         let first = ack(1000, 1);
         c.on_ack_out(first.clone(), t(1));
-        ap.on_native_ack(&first);
+        ap.on_native_ack(&first, t(1));
         c.on_data_received(&info(true, false), t(2));
         let acts = c.on_ack_out(ack(2000, 2), t(2));
         let DriverAction::InstallBlob { bytes, .. } = &acts[0] else {
             panic!()
         };
-        assert_eq!(ap.on_blob(bytes).len(), 1);
+        assert_eq!(ap.on_blob(bytes, t(3)).len(), 1);
         // Retained blob arrives again (our BA was retransmitted).
-        assert_eq!(ap.on_blob(bytes).len(), 0);
+        assert_eq!(ap.on_blob(bytes, t(4)).len(), 0);
         assert_eq!(ap.stats().duplicates, 1);
     }
 }

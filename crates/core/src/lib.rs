@@ -37,5 +37,5 @@ pub mod wired;
 pub use driver::{CompressSide, CompressSideStats, DecompressSide, DriverAction, HackMode};
 pub use packet::NetPacket;
 pub use scenario::{LossConfig, RunResult, ScenarioConfig, Standard, TrafficKind};
-pub use sim::{run, World};
+pub use sim::{run, run_traced, World};
 pub use wired::WiredLink;

@@ -16,14 +16,11 @@
 
 use std::collections::HashMap;
 
-use hack_mac::{
-    Action, Frame, HackBlob, MacConfig, Station, TimerKind, TxDescriptor,
-};
+use hack_mac::{Action, Frame, HackBlob, MacConfig, Station, TimerKind, TxDescriptor};
 use hack_phy::{Channel, LossModel, Medium, PhyRate, PpduMeta, StationId, TxId};
 use hack_sim::{Scheduler, SimRng, SimTime, ThroughputMeter, TimerTable, TimerToken};
-use hack_tcp::{
-    Connection, FiveTuple, Ipv4Addr, Ipv4Packet, SendBudget, TcpConfig, Transport,
-};
+use hack_tcp::{Connection, FiveTuple, Ipv4Addr, Ipv4Packet, SendBudget, TcpConfig, Transport};
+use hack_trace::TraceHandle;
 
 use crate::driver::{CompressSide, DecompressSide, DriverAction, HackMode};
 use crate::packet::NetPacket;
@@ -102,11 +99,18 @@ pub struct World {
     ap_queue_drops: u64,
     udp_ident: u16,
     completion: Option<SimTime>,
+    trace: TraceHandle,
 }
 
 impl World {
-    /// Build the network described by `cfg`.
+    /// Build the network described by `cfg` without tracing.
     pub fn new(cfg: ScenarioConfig) -> Self {
+        World::new_traced(cfg, TraceHandle::off())
+    }
+
+    /// Build the network described by `cfg`, wiring `trace` through every
+    /// layer (PHY medium, MAC stations, TCP endpoints, ROHC drivers).
+    pub fn new_traced(cfg: ScenarioConfig, trace: TraceHandle) -> Self {
         let n = cfg.n_clients;
         assert!(n >= 1, "need at least one client");
         let rng = SimRng::new(cfg.seed);
@@ -159,29 +163,43 @@ impl World {
         }
         let loss = match &cfg.loss {
             LossConfig::Ideal => LossModel::Ideal,
-            LossConfig::PerClient(per) => LossModel::fixed(
-                per.iter()
-                    .enumerate()
-                    .map(|(i, &p)| (client_sid(i), p)),
-            ),
+            LossConfig::PerClient(per) => {
+                LossModel::fixed(per.iter().enumerate().map(|(i, &p)| (client_sid(i), p)))
+            }
             LossConfig::SnrDistance(_) => LossModel::Snr,
         };
-        let medium = Medium::new(station_ids.clone(), loss, Some(channel));
+        let mut medium = Medium::new(station_ids.clone(), loss, Some(channel));
+        medium.set_trace(trace.clone());
 
         let stations: Vec<Station<NetPacket>> = station_ids
             .iter()
-            .map(|&sid| Station::new(sid, mac_cfg.clone(), rng.fork(u64::from(sid.0) + 1)))
+            .map(|&sid| {
+                let mut s = Station::new(sid, mac_cfg.clone(), rng.fork(u64::from(sid.0) + 1));
+                s.set_trace(trace.clone());
+                s
+            })
             .collect();
 
         // --- HACK drivers ---
         let mut compress = HashMap::new();
-        let decompress = station_ids.iter().map(|_| DecompressSide::new()).collect();
+        let decompress: Vec<DecompressSide> = station_ids
+            .iter()
+            .map(|&sid| {
+                let mut d = DecompressSide::new();
+                d.set_trace(trace.clone(), sid.0);
+                d
+            })
+            .collect();
         for i in 0..n {
             let c = client_sid(i);
             // Client compresses toward the AP (downloads)…
-            compress.insert((c.0, AP.0), CompressSide::new(cfg.hack_mode));
+            let mut cs = CompressSide::new(cfg.hack_mode);
+            cs.set_trace(trace.clone(), c.0);
+            compress.insert((c.0, AP.0), cs);
             // …and the AP toward each client (uploads) — symmetric design.
-            compress.insert((AP.0, c.0), CompressSide::new(cfg.hack_mode));
+            let mut cs = CompressSide::new(cfg.hack_mode);
+            cs.set_trace(trace.clone(), AP.0);
+            compress.insert((AP.0, c.0), cs);
         }
 
         // --- endpoints ---
@@ -228,6 +246,10 @@ impl World {
                     90_000 + i as u32 * 103,
                 );
                 server_conn.set_budget(if upload { SendBudget::None } else { budget });
+                server_conn.set_trace(
+                    trace.clone(),
+                    if cfg.server_at_ap { AP.0 } else { u32::MAX },
+                );
                 let ep_server = Endpoint {
                     conn: Some(server_conn),
                     station: cfg.server_at_ap.then_some(AP),
@@ -276,6 +298,7 @@ impl World {
             ap_queue_drops: 0,
             udp_ident: 0,
             completion: None,
+            trace,
             cfg,
         };
         for (i, &at) in flow_start_at.iter().enumerate() {
@@ -328,7 +351,10 @@ impl World {
             Event::TcpTimer(ep, token) => {
                 if self.tcp_timers.fire(token) {
                     let outputs = {
-                        let conn = self.endpoints[ep].conn.as_mut().expect("timer on live conn");
+                        let conn = self.endpoints[ep]
+                            .conn
+                            .as_mut()
+                            .expect("timer on live conn");
                         conn.on_timer(now)
                     };
                     self.route_out(ep, outputs, now);
@@ -347,8 +373,16 @@ impl World {
                     .get(&(station.0, peer.0))
                     .expect("driver exists");
                 if side.generation() == generation {
-                    self.stations[station.0 as usize]
-                        .set_hack_blob(peer, HackBlob { bytes });
+                    hack_trace::trace_ev!(
+                        self.trace,
+                        now.as_nanos(),
+                        station.0,
+                        hack_trace::Event::MacBlobInstall {
+                            peer: peer.0,
+                            bytes: bytes.len() as u32
+                        }
+                    );
+                    self.stations[station.0 as usize].set_hack_blob(peer, HackBlob { bytes });
                 }
             }
             Event::HackFlush(station, peer, token) => {
@@ -365,6 +399,12 @@ impl World {
     }
 
     fn start_flow(&mut self, flow: usize, now: SimTime) {
+        hack_trace::trace_ev!(
+            self.trace,
+            now.as_nanos(),
+            client_sid(flow).0,
+            hack_trace::Event::SimFlowStart { flow: flow as u32 }
+        );
         if self.cfg.traffic == TrafficKind::UdpDownload {
             self.top_up_udp(flow, now);
             return;
@@ -378,6 +418,7 @@ impl World {
         );
         let mut conn = conn;
         conn.set_budget(self.endpoints[ep].budget);
+        conn.set_trace(self.trace.clone(), client_sid(flow).0);
         self.endpoints[ep].conn = Some(conn);
         self.route_out(ep, pkts, now);
         self.resched_tcp(ep, now);
@@ -401,8 +442,7 @@ impl World {
                     let acts = self.stations[sid.0 as usize].on_rx_garbage(now);
                     self.apply(sid, acts, now);
                 } else {
-                    let acts =
-                        self.stations[sid.0 as usize].on_rx_ppdu(decoded, aggregated, now);
+                    let acts = self.stations[sid.0 as usize].on_rx_ppdu(decoded, aggregated, now);
                     self.apply(sid, acts, now);
                 }
             } else {
@@ -482,7 +522,7 @@ impl World {
                     acked_msdus,
                 } => {
                     if let Some(blob) = blob {
-                        let pkts = self.decompress[sid.0 as usize].on_blob(&blob.bytes);
+                        let pkts = self.decompress[sid.0 as usize].on_blob(&blob.bytes, now);
                         for pkt in pkts {
                             self.sched.schedule_at(
                                 now + self.cfg.stack_delay,
@@ -531,8 +571,8 @@ impl World {
     fn start_tx(&mut self, sid: StationId, desc: TxDescriptor<NetPacket>, now: SimTime) {
         let mpdu_lens: Vec<u32> = desc.frames.iter().map(Frame::wire_len).collect();
         let dst = desc.frames.first().map(Frame::dst);
-        let control = desc.is_response
-            || matches!(desc.frames.first(), Some(Frame::BlockAckReq { .. }));
+        let control =
+            desc.is_response || matches!(desc.frames.first(), Some(Frame::BlockAckReq { .. }));
         let meta = PpduMeta {
             src: sid,
             dst,
@@ -544,7 +584,8 @@ impl World {
         let id = self.medium.begin_tx(meta, now);
         self.tx_payloads
             .insert(id, (desc.frames, desc.aggregated, sid));
-        self.sched.schedule_at(now + desc.duration, Event::TxEnd(id));
+        self.sched
+            .schedule_at(now + desc.duration, Event::TxEnd(id));
         // Carrier sense: everyone else hears the medium go busy.
         for i in 0..self.stations.len() {
             let other = StationId(i as u32);
@@ -565,8 +606,7 @@ impl World {
         for d in dacts {
             match d {
                 DriverAction::SendNative(pkt) => {
-                    let acts =
-                        self.stations[sid.0 as usize].enqueue(peer, NetPacket(pkt), now);
+                    let acts = self.stations[sid.0 as usize].enqueue(peer, NetPacket(pkt), now);
                     self.apply(sid, acts, now);
                 }
                 DriverAction::InstallBlob { bytes, generation } => {
@@ -603,7 +643,7 @@ impl World {
             if native {
                 if let Transport::Tcp(t) = &pkt.transport {
                     if t.is_pure_ack() {
-                        self.decompress[AP.0 as usize].on_native_ack(&pkt);
+                        self.decompress[AP.0 as usize].on_native_ack(&pkt, now);
                     }
                 }
             }
@@ -616,7 +656,7 @@ impl World {
             // Server on the AP: contexts still need refreshing.
             if let Transport::Tcp(t) = &pkt.transport {
                 if t.is_pure_ack() {
-                    self.decompress[AP.0 as usize].on_native_ack(&pkt);
+                    self.decompress[AP.0 as usize].on_native_ack(&pkt, now);
                 }
             }
         }
@@ -821,11 +861,7 @@ impl World {
             .unwrap_or(SimTime::ZERO);
         let measure_from = last_start + self.cfg.warmup;
         let end = self.completion.unwrap_or(self.end);
-        let first_start = self
-            .flow_start_at
-            .first()
-            .copied()
-            .unwrap_or(SimTime::ZERO);
+        let first_start = self.flow_start_at.first().copied().unwrap_or(SimTime::ZERO);
 
         let flow_goodput_mbps: Vec<f64> = self
             .meters
@@ -903,4 +939,10 @@ impl World {
 /// Run one scenario to completion.
 pub fn run(cfg: ScenarioConfig) -> RunResult {
     World::new(cfg).run()
+}
+
+/// Run one scenario to completion with a structured-event trace sink
+/// attached to every layer.
+pub fn run_traced(cfg: ScenarioConfig, trace: TraceHandle) -> RunResult {
+    World::new_traced(cfg, trace).run()
 }

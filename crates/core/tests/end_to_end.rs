@@ -119,7 +119,10 @@ fn byte_limited_transfer_completes() {
     let res = run(cfg);
     assert!(res.completion.is_some(), "2 MB transfer must complete");
     let t = res.completion.unwrap().as_secs_f64();
-    assert!(t < 2.0, "2 MB at >70 Mbps should take well under 2 s, took {t:.2}");
+    assert!(
+        t < 2.0,
+        "2 MB at >70 Mbps should take well under 2 s, took {t:.2}"
+    );
 }
 
 #[test]
@@ -141,7 +144,11 @@ fn lossy_environment_recovers() {
 
 #[test]
 fn opportunistic_mode_rides_some_acks_without_regressing() {
-    let stock = run(short(ScenarioConfig::dot11n_download(150, 1, HackMode::Disabled)));
+    let stock = run(short(ScenarioConfig::dot11n_download(
+        150,
+        1,
+        HackMode::Disabled,
+    )));
     let opp = run(short(ScenarioConfig::dot11n_download(
         150,
         1,
@@ -150,7 +157,11 @@ fn opportunistic_mode_rides_some_acks_without_regressing() {
     // The paper's observation: Opportunistic HACK is NOT a big win, but
     // it must not be a loss either, and it does ride some ACKs.
     assert!(opp.aggregate_goodput_mbps > stock.aggregate_goodput_mbps * 0.97);
-    assert!(opp.driver[0].hacked_acks > 50, "{}", opp.driver[0].hacked_acks);
+    assert!(
+        opp.driver[0].hacked_acks > 50,
+        "{}",
+        opp.driver[0].hacked_acks
+    );
     // Dual-path bookkeeping: the AP never forwards more ACKs than the
     // receiver generated plus duplicates it could detect.
     assert!(opp.decompressor.decompressed <= opp.receiver_tcp[0].acks_sent);

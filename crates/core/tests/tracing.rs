@@ -1,0 +1,95 @@
+//! Trace-layer integration tests: the determinism contract ("same seed
+//! ⇒ byte-identical trace digest") and the paper's headline comparison
+//! (Figure 9 / Table 1 direction) measured through traced runs.
+
+use hack_core::{run_traced, HackMode, LossConfig, RunResult, ScenarioConfig};
+use hack_sim::SimDuration;
+use hack_trace::{Digest, Layer, TraceHandle};
+
+fn cfg(mode: HackMode, seed: u64) -> ScenarioConfig {
+    let mut c = ScenarioConfig::sora_testbed(1, mode);
+    c.duration = SimDuration::from_secs(2);
+    c.seed = seed;
+    c
+}
+
+fn traced(c: ScenarioConfig) -> (RunResult, Digest) {
+    let (handle, ring) = TraceHandle::ring(1 << 20);
+    let res = run_traced(c, handle);
+    let digest = ring.digest();
+    (res, digest)
+}
+
+#[test]
+fn same_seed_gives_byte_identical_digest() {
+    let (ra, da) = traced(cfg(HackMode::MoreData, 7));
+    let (rb, db) = traced(cfg(HackMode::MoreData, 7));
+    assert!(da.events > 1000, "trace suspiciously small: {}", da.events);
+    assert_eq!(
+        da.to_bytes(),
+        db.to_bytes(),
+        "same seed must replay exactly"
+    );
+    assert_eq!(
+        ra.aggregate_goodput_mbps, rb.aggregate_goodput_mbps,
+        "digests match but results differ: the digest misses state"
+    );
+}
+
+#[test]
+fn different_seed_gives_different_digest() {
+    let (_, da) = traced(cfg(HackMode::MoreData, 7));
+    let (_, db) = traced(cfg(HackMode::MoreData, 8));
+    assert_ne!(
+        da.to_bytes(),
+        db.to_bytes(),
+        "different seeds should diverge somewhere in the event stream"
+    );
+}
+
+#[test]
+fn tracing_does_not_perturb_the_simulation() {
+    let plain = hack_core::run(cfg(HackMode::MoreData, 11));
+    let (traced_res, d) = traced(cfg(HackMode::MoreData, 11));
+    assert!(d.events > 0);
+    assert_eq!(
+        plain.aggregate_goodput_mbps, traced_res.aggregate_goodput_mbps,
+        "attaching a sink must not change behavior"
+    );
+}
+
+#[test]
+fn traced_run_covers_every_layer() {
+    let (_, d) = traced(cfg(HackMode::MoreData, 3));
+    for layer in [Layer::Phy, Layer::Mac, Layer::Tcp, Layer::Rohc, Layer::Sim] {
+        assert!(
+            d.per_layer[layer as usize] > 0,
+            "no events from layer {layer:?}"
+        );
+    }
+}
+
+/// Table 1 / Figure 9 direction: HACK must match-or-beat stock TCP on
+/// both goodput and the fraction of AP data frames needing no retries.
+#[test]
+fn hack_matches_or_beats_stock_tcp_on_goodput_and_retries() {
+    let mut stock = cfg(HackMode::Disabled, 5);
+    stock.loss = LossConfig::PerClient(vec![0.02]);
+    let mut hack = stock.clone();
+    hack.hack_mode = HackMode::MoreData;
+
+    let (rs, _) = traced(stock);
+    let (rh, _) = traced(hack);
+    assert!(
+        rh.aggregate_goodput_mbps >= rs.aggregate_goodput_mbps,
+        "HACK goodput {:.2} < stock {:.2}",
+        rh.aggregate_goodput_mbps,
+        rs.aggregate_goodput_mbps
+    );
+    let fs = rs.ap_first_try_fraction().expect("stock AP sent data");
+    let fh = rh.ap_first_try_fraction().expect("hack AP sent data");
+    assert!(
+        fh >= fs,
+        "HACK retry-free fraction {fh:.3} < stock {fs:.3} (Table 1 inverts)"
+    );
+}

@@ -1,0 +1,182 @@
+//! A minimal, dependency-free stand-in for the `criterion` crate.
+//!
+//! This workspace must build without registry access, so the benches
+//! link against this shim. It implements the subset of the API the
+//! benches use — `Criterion::bench_function`, `benchmark_group` with
+//! `sample_size`/`finish`, `Bencher::iter`/`iter_batched`, `BatchSize`,
+//! `black_box`, and the `criterion_group!`/`criterion_main!` macros —
+//! reporting min/median/mean wall-clock time per iteration. There is no
+//! statistical analysis, HTML report, or baseline comparison.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target measurement time per benchmark.
+const TARGET: Duration = Duration::from_millis(800);
+/// Measurement samples per benchmark (before `sample_size` override).
+const DEFAULT_SAMPLES: usize = 20;
+
+/// How per-iteration setup cost is amortized in `iter_batched`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: many iterations per setup batch.
+    SmallInput,
+    /// Large inputs: few iterations per setup batch.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Collects timing samples for one benchmark.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    target_samples: usize,
+}
+
+impl Bencher {
+    fn new(target_samples: usize) -> Self {
+        Bencher {
+            samples: Vec::new(),
+            target_samples,
+        }
+    }
+
+    /// Time `routine` repeatedly until the time budget is spent.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate: how many iterations fit in one sample's share?
+        let share = TARGET / self.target_samples as u32;
+        let t0 = Instant::now();
+        black_box(routine());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let per_sample = (share.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+        for _ in 0..self.target_samples {
+            let t = Instant::now();
+            for _ in 0..per_sample {
+                black_box(routine());
+            }
+            self.samples.push(t.elapsed() / per_sample as u32);
+        }
+    }
+
+    /// Time `routine` on fresh inputs built by `setup` (setup excluded
+    /// from the measurement).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..self.target_samples {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            self.samples.push(t.elapsed());
+        }
+    }
+
+    fn report(&self, name: &str) {
+        if self.samples.is_empty() {
+            println!("{name:<40} (no samples)");
+            return;
+        }
+        let mut s = self.samples.clone();
+        s.sort_unstable();
+        let min = s[0];
+        let median = s[s.len() / 2];
+        let mean = s.iter().sum::<Duration>() / s.len() as u32;
+        println!(
+            "{name:<40} min {:>12?}  median {:>12?}  mean {:>12?}  ({} samples)",
+            min,
+            median,
+            mean,
+            s.len()
+        );
+    }
+}
+
+/// The top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: DEFAULT_SAMPLES,
+        }
+    }
+}
+
+impl Criterion {
+    /// Run and report one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        b.report(name);
+        self
+    }
+
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup {
+            c: self,
+            sample_size: None,
+        }
+    }
+}
+
+/// A group of related benchmarks (shared sample-size override).
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Override the number of samples for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Run and report one named benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new(self.sample_size.unwrap_or(self.c.sample_size));
+        f(&mut b);
+        b.report(name);
+        self
+    }
+
+    /// Finish the group (reporting happens eagerly; this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// Bundle benchmark functions under one entry point, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emit `main` for a bench binary built with `harness = false`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // Bench binaries are also built by `cargo test --benches`
+            // with harness arguments; only time things under `bench`.
+            let bench_mode = std::env::args().any(|a| a == "--bench");
+            if !bench_mode {
+                println!("(criterion shim: pass --bench to run measurements)");
+                return;
+            }
+            $($group();)+
+        }
+    };
+}

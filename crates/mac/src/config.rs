@@ -113,10 +113,7 @@ mod tests {
         assert!(sora.ack_timeout() > stock.ack_timeout());
         // The stretched timeout must cover the late response: SIFS + extra
         // delay + ACK airtime start.
-        assert!(
-            sora.ack_timeout()
-                > sora.timings.sifs + sora.response_extra_delay
-        );
+        assert!(sora.ack_timeout() > sora.timings.sifs + sora.response_extra_delay);
     }
 
     #[test]

@@ -42,6 +42,10 @@ impl SeqNum {
     }
 
     /// Advance by `n`, wrapping.
+    ///
+    /// Deliberately an inherent method, not `ops::Add`: MAC sequence
+    /// arithmetic is modulo 4096 and should look like a method call.
+    #[allow(clippy::should_implement_trait)]
     pub fn add(self, n: u16) -> SeqNum {
         SeqNum((self.0 + n % SEQ_SPACE) % SEQ_SPACE)
     }
@@ -171,7 +175,9 @@ impl AckBitmap {
 
     /// Iterate over the received sequence numbers.
     pub fn iter(&self) -> impl Iterator<Item = SeqNum> + '_ {
-        (0u16..64).filter(|&i| (self.bits >> i) & 1 == 1).map(move |i| self.start.add(i))
+        (0u16..64)
+            .filter(|&i| (self.bits >> i) & 1 == 1)
+            .map(move |i| self.start.add(i))
     }
 
     /// Number of received MPDUs recorded.
@@ -243,9 +249,7 @@ impl<M: Msdu> Frame<M> {
     pub fn wire_len(&self) -> u32 {
         match self {
             Frame::Data(d) => d.wire_len(),
-            Frame::Ack { hack, .. } => {
-                sizes::ACK + hack.as_ref().map_or(0, HackBlob::wire_len)
-            }
+            Frame::Ack { hack, .. } => sizes::ACK + hack.as_ref().map_or(0, HackBlob::wire_len),
             Frame::BlockAck { hack, .. } => {
                 sizes::BLOCK_ACK + hack.as_ref().map_or(0, HackBlob::wire_len)
             }

@@ -267,9 +267,7 @@ impl<M: Msdu> DestQueue<M> {
                 self.retx.push_back(m);
             }
         }
-        self.retx
-            .make_contiguous()
-            .sort_by_key(|m| m.seq.value());
+        self.retx.make_contiguous().sort_by_key(|m| m.seq.value());
         res
     }
 

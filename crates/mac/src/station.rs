@@ -23,6 +23,7 @@ use std::collections::HashMap;
 
 use hack_phy::StationId;
 use hack_sim::{SimDuration, SimRng, SimTime};
+use hack_trace::{trace_ev, Event, TraceHandle};
 
 use crate::actions::{Action, RespKind, RxDataInfo, TimerKind, TxDescriptor};
 use crate::backoff::Contention;
@@ -97,6 +98,7 @@ pub struct Station<M: Msdu> {
     hack_blobs: HashMap<StationId, HackBlob>,
 
     stats: MacStats,
+    trace: TraceHandle,
 }
 
 impl<M: Msdu> Station<M> {
@@ -124,7 +126,13 @@ impl<M: Msdu> Station<M> {
             nav_until: SimTime::ZERO,
             hack_blobs: HashMap::new(),
             stats: MacStats::default(),
+            trace: TraceHandle::off(),
         }
+    }
+
+    /// Install the structured-event trace handle (off by default).
+    pub fn set_trace(&mut self, trace: TraceHandle) {
+        self.trace = trace;
     }
 
     /// This station's address.
@@ -186,11 +194,7 @@ impl<M: Msdu> Station<M> {
 
     /// Remove and return not-yet-transmitted MSDUs toward `dst` matching
     /// `pred` (Opportunistic HACK's queue grab, §3.2).
-    pub fn withdraw_unsent<F: FnMut(&M) -> bool>(
-        &mut self,
-        dst: StationId,
-        pred: F,
-    ) -> Vec<M> {
+    pub fn withdraw_unsent<F: FnMut(&M) -> bool>(&mut self, dst: StationId, pred: F) -> Vec<M> {
         match self.by_dst.get(&dst) {
             Some(&i) => self.queues[i].withdraw_unsent(pred),
             None => Vec::new(),
@@ -271,7 +275,9 @@ impl<M: Msdu> Station<M> {
         let src = frames[0].src();
         let for_me = frames[0].dst() == self.id;
         debug_assert!(
-            frames.iter().all(|f| f.src() == src && (f.dst() == self.id) == for_me),
+            frames
+                .iter()
+                .all(|f| f.src() == src && (f.dst() == self.id) == for_me),
             "one PPDU, one transmitter, one receiver"
         );
 
@@ -400,9 +406,7 @@ impl<M: Msdu> Station<M> {
         now: SimTime,
         actions: &mut Vec<Action<M>>,
     ) {
-        let expected = self
-            .wait_response
-            .is_some_and(|ex| ex.dst == src);
+        let expected = self.wait_response.is_some_and(|ex| ex.dst == src);
         let retry_limit = self.cfg.timings.retry_limit;
         let aggregation = self.cfg.aggregation;
 
@@ -436,6 +440,7 @@ impl<M: Msdu> Station<M> {
 
         // Resolve the queue regardless of whether we were still waiting —
         // a late Block ACK is still valid feedback.
+        let block = bitmap.is_some();
         let res = {
             let q = self.queue_mut(src);
             match bitmap {
@@ -443,7 +448,19 @@ impl<M: Msdu> Station<M> {
                 None => q.on_ack(),
             }
         };
-        self.stats.mpdus_first_try.add(u64::from(res.acked_first_try));
+        trace_ev!(
+            self.trace,
+            now.as_nanos(),
+            self.id.0,
+            Event::MacLlAck {
+                peer: src.0,
+                block,
+                acked: res.acked,
+            }
+        );
+        self.stats
+            .mpdus_first_try
+            .add(u64::from(res.acked_first_try));
         self.stats
             .mpdus_retried
             .add(u64::from(res.acked - res.acked_first_try));
@@ -588,6 +605,12 @@ impl<M: Msdu> Station<M> {
             self.stats.bars_sent.incr();
             self.stats.acquire_wait_data.add(wait);
             self.stats.airtime_data.add(duration);
+            trace_ev!(
+                self.trace,
+                now.as_nanos(),
+                self.id.0,
+                Event::MacBar { peer: dst.0 }
+            );
             return vec![Action::StartTx(TxDescriptor {
                 frames: vec![frame],
                 rate,
@@ -628,6 +651,16 @@ impl<M: Msdu> Station<M> {
             },
             ended_at: None,
         });
+        trace_ev!(
+            self.trace,
+            now.as_nanos(),
+            self.id.0,
+            Event::MacAmpdu {
+                dst: dst.0,
+                mpdus: n_mpdus as u32,
+                bytes: psdu_len,
+            }
+        );
         self.stats.tx_attempts.incr();
         match class {
             TrafficClass::Data => {
@@ -659,11 +692,31 @@ impl<M: Msdu> Station<M> {
         let retry_limit = self.cfg.timings.retry_limit;
 
         match ex.kind {
-            TxKind::Data { .. } => {
+            TxKind::Data { n, .. } => {
                 let dropped = {
                     let q = self.queue_mut(ex.dst);
                     q.on_no_response(aggregation, retry_limit)
                 };
+                trace_ev!(
+                    self.trace,
+                    now.as_nanos(),
+                    self.id.0,
+                    Event::MacRetry {
+                        dst: ex.dst.0,
+                        mpdus: n as u32,
+                    }
+                );
+                if !dropped.is_empty() {
+                    trace_ev!(
+                        self.trace,
+                        now.as_nanos(),
+                        self.id.0,
+                        Event::MacDrop {
+                            dst: ex.dst.0,
+                            mpdus: dropped.len() as u32,
+                        }
+                    );
+                }
                 for msdu in dropped {
                     self.stats.mpdus_dropped.incr();
                     actions.push(Action::MsduDropped { dst: ex.dst, msdu });
@@ -686,7 +739,7 @@ impl<M: Msdu> Station<M> {
         actions
     }
 
-    fn on_send_response(&mut self, _now: SimTime) -> Vec<Action<M>> {
+    fn on_send_response(&mut self, now: SimTime) -> Vec<Action<M>> {
         let Some(plan) = self.pending_response.take() else {
             return Vec::new();
         };
@@ -722,6 +775,15 @@ impl<M: Msdu> Station<M> {
         self.response_in_flight = true;
         self.stats.responses_sent.incr();
         if attached {
+            trace_ev!(
+                self.trace,
+                now.as_nanos(),
+                self.id.0,
+                Event::MacBlobAttach {
+                    peer: plan.to.0,
+                    bytes: blob_wire,
+                }
+            );
             self.stats.responses_with_blob.incr();
             // Extra airtime caused by the blob (Table 3's "ROHC" column):
             // the difference against the same response without the blob.
@@ -774,6 +836,15 @@ impl<M: Msdu> Station<M> {
         let tx_at = self
             .contention
             .start_countdown(idle_since, work_since, &mut self.rng);
+        trace_ev!(
+            self.trace,
+            now.as_nanos(),
+            self.id.0,
+            Event::MacBackoff {
+                slots: self.contention.remaining().unwrap_or(0),
+                cw: self.contention.cw(),
+            }
+        );
         // The countdown can resolve into the past when the medium has
         // long been idle; clamp to now.
         let tx_at = tx_at.max(now);
@@ -784,4 +855,3 @@ impl<M: Msdu> Station<M> {
         }]
     }
 }
-

@@ -3,9 +3,7 @@
 //! by the test harness. These tests pin the protocol behaviours the HACK
 //! design depends on (§3 of the paper).
 
-use hack_mac::{
-    Action, Frame, HackBlob, MacConfig, Msdu, RespKind, SeqNum, Station, TimerKind,
-};
+use hack_mac::{Action, Frame, HackBlob, MacConfig, Msdu, RespKind, SeqNum, Station, TimerKind};
 use hack_phy::{PhyRate, StationId};
 use hack_sim::{SimDuration, SimRng, SimTime};
 
@@ -133,9 +131,12 @@ fn dot11a_single_frame_exchange_with_ack() {
     let ack_rx = resp_at + resp.duration;
     assert!(ack_rx < ack_to, "ACK arrives before the timeout");
     let acts_done = ap.on_rx_ppdu(resp.frames.clone(), false, ack_rx);
-    assert!(acts_done
-        .iter()
-        .any(|a| matches!(a, Action::CancelTimer { kind: TimerKind::AckTimeout })));
+    assert!(acts_done.iter().any(|a| matches!(
+        a,
+        Action::CancelTimer {
+            kind: TimerKind::AckTimeout
+        }
+    )));
     assert!(acts_done.iter().any(|a| matches!(
         a,
         Action::ResponseReceived { from, acked: 1, blob: None, .. } if *from == C1
@@ -219,10 +220,9 @@ fn dot11n_ampdu_block_ack_roundtrip() {
     // seqs 5 and 9 and the client then delivers the rest in order.
     let ba_rx = resp_at + resp.duration;
     let acts = ap.on_rx_ppdu(resp.frames.clone(), false, ba_rx);
-    assert!(acts.iter().any(|a| matches!(
-        a,
-        Action::ResponseReceived { acked: 40, .. }
-    )));
+    assert!(acts
+        .iter()
+        .any(|a| matches!(a, Action::ResponseReceived { acked: 40, .. })));
     let tx2_at = timer_at(&acts, TimerKind::TxStart).unwrap();
     let acts = ap.on_timer(TimerKind::TxStart, tx2_at);
     let desc2 = start_tx(&acts).unwrap().clone();
@@ -246,7 +246,11 @@ fn dot11n_ampdu_block_ack_roundtrip() {
             _ => None,
         })
         .collect();
-    assert_eq!(delivered, (5..50).collect::<Vec<u32>>(), "gap filled, all flushed");
+    assert_eq!(
+        delivered,
+        (5..50).collect::<Vec<u32>>(),
+        "gap filled, all flushed"
+    );
 }
 
 #[test]
@@ -304,8 +308,8 @@ fn bar_exhaustion_emits_sync_batch() {
 
     // The exhaustion path re-arms contention; the next data batch carries
     // SYNC and retransmits everything.
-    let tx_at = timer_at(&exhausted_acts, TimerKind::TxStart)
-        .expect("contention armed after exhaustion");
+    let tx_at =
+        timer_at(&exhausted_acts, TimerKind::TxStart).expect("contention armed after exhaustion");
     let acts = ap.on_timer(TimerKind::TxStart, tx_at);
     let d = start_tx(&acts).unwrap();
     match &d.frames[0] {
@@ -324,7 +328,12 @@ fn hack_blob_rides_block_ack_and_is_retained() {
     let t0 = SimTime::from_millis(1);
 
     // Driver installs a compressed-ACK blob for the AP.
-    c1.set_hack_blob(AP, HackBlob { bytes: vec![1, 2, 3, 4] });
+    c1.set_hack_blob(
+        AP,
+        HackBlob {
+            bytes: vec![1, 2, 3, 4],
+        },
+    );
 
     // Data arrives from the AP; the Block ACK must carry the blob.
     let data = Frame::Data(hack_mac::DataMpdu {
@@ -344,7 +353,10 @@ fn hack_blob_rides_block_ack_and_is_retained() {
         Action::ResponseSent { to, kind: RespKind::BlockAck, attached_blob: true } if *to == AP
     )));
     let resp = start_tx(&acts).unwrap();
-    let Frame::BlockAck { hack: Some(blob), .. } = &resp.frames[0] else {
+    let Frame::BlockAck {
+        hack: Some(blob), ..
+    } = &resp.frames[0]
+    else {
         panic!("Block ACK must carry the HACK blob");
     };
     assert_eq!(blob.bytes, vec![1, 2, 3, 4]);
@@ -390,7 +402,10 @@ fn hack_blob_rides_block_ack_and_is_retained() {
     let acts = c1.on_timer(TimerKind::SendResponse, resp_at);
     assert!(acts.iter().any(|a| matches!(
         a,
-        Action::ResponseSent { attached_blob: false, .. }
+        Action::ResponseSent {
+            attached_blob: false,
+            ..
+        }
     )));
 }
 
@@ -414,7 +429,10 @@ fn blob_only_attaches_to_the_hack_peer() {
     let acts = c1.on_timer(TimerKind::SendResponse, resp_at);
     assert!(acts.iter().any(|a| matches!(
         a,
-        Action::ResponseSent { attached_blob: false, .. }
+        Action::ResponseSent {
+            attached_blob: false,
+            ..
+        }
     )));
 }
 
@@ -430,9 +448,12 @@ fn busy_channel_pauses_and_resumes_backoff() {
     let busy_at = t0 + SimDuration::from_micros(20);
     assert!(busy_at < tx_at);
     let acts = ap.on_channel_busy(busy_at);
-    assert!(acts
-        .iter()
-        .any(|a| matches!(a, Action::CancelTimer { kind: TimerKind::TxStart })));
+    assert!(acts.iter().any(|a| matches!(
+        a,
+        Action::CancelTimer {
+            kind: TimerKind::TxStart
+        }
+    )));
 
     // Idle again: contention resumes and eventually transmits.
     let idle_at = busy_at + SimDuration::from_micros(300);
@@ -466,7 +487,10 @@ fn overheard_data_sets_nav_and_blocks_contention() {
     });
     let acts = c1.on_rx_ppdu(vec![overheard], false, rx_t);
     let nav_at = timer_at(&acts, TimerKind::NavExpire).expect("NAV armed");
-    assert!(nav_at > rx_t + SimDuration::from_micros(16), "covers SIFS+ACK");
+    assert!(
+        nav_at > rx_t + SimDuration::from_micros(16),
+        "covers SIFS+ACK"
+    );
 
     // Channel idle at frame end, but NAV blocks contention.
     let acts = c1.on_channel_idle(rx_t);

@@ -137,7 +137,10 @@ mod tests {
         assert!(at(r.min_snr_db() + 6.0) < 0.01);
         assert!(at(r.min_snr_db() - 6.0) > 0.99);
         let mid = at(r.min_snr_db());
-        assert!((mid - 0.5).abs() < 0.05, "PER at threshold ≈ 0.5, got {mid}");
+        assert!(
+            (mid - 0.5).abs() < 0.05,
+            "PER at threshold ≈ 0.5, got {mid}"
+        );
     }
 
     #[test]

@@ -22,6 +22,7 @@
 //! [`LossModel::mpdu_loss_prob`], matching per-MPDU CRCs in 802.11n.
 
 use hack_sim::{SimRng, SimTime};
+use hack_trace::{Event, TraceHandle};
 
 use crate::channel::Channel;
 use crate::error::LossModel;
@@ -100,6 +101,7 @@ pub struct Medium {
     collisions: u64,
     /// Total transmissions completed.
     completed: u64,
+    trace: TraceHandle,
 }
 
 impl Medium {
@@ -123,7 +125,13 @@ impl Medium {
             next_id: 0,
             collisions: 0,
             completed: 0,
+            trace: TraceHandle::off(),
         }
+    }
+
+    /// Install the structured-event trace handle (off by default).
+    pub fn set_trace(&mut self, trace: TraceHandle) {
+        self.trace = trace;
     }
 
     /// The stations on this medium.
@@ -179,6 +187,16 @@ impl Medium {
         );
         let id = TxId(self.next_id);
         self.next_id += 1;
+        hack_trace::trace_ev!(
+            self.trace,
+            now.as_nanos(),
+            meta.src.0,
+            Event::PhyTxStart {
+                tx: id.0,
+                dst: meta.dst.map_or(u32::MAX, |d| d.0),
+                mpdus: meta.mpdu_lens.len() as u32,
+            }
+        );
         let collided = !self.active.is_empty();
         if collided {
             for t in &mut self.active {
@@ -214,18 +232,71 @@ impl Medium {
             self.collisions += 1;
         }
 
-        let receptions = self
+        let receptions: Vec<Reception> = self
             .stations
             .iter()
             .filter(|&&s| s != tx.meta.src)
             .map(|&station| self.receive_at(station, &tx, rng))
             .collect();
 
+        if self.trace.enabled() {
+            self.trace_tx_outcome(&tx, &receptions, now);
+        }
+
         TxOutcome {
             collided: tx.collided,
             meta: tx.meta,
             receptions,
         }
+    }
+
+    /// Emit the PHY trace events describing one completed transmission,
+    /// judged at the intended receiver (or across every listener for
+    /// broadcast PPDUs).
+    fn trace_tx_outcome(&self, tx: &ActiveTx, receptions: &[Reception], now: SimTime) {
+        let t = now.as_nanos();
+        let src = tx.meta.src.0;
+        if tx.collided {
+            self.trace.emit(t, src, Event::PhyCollision { tx: tx.id.0 });
+        }
+        let judged: Vec<&Reception> = receptions
+            .iter()
+            .filter(|r| tx.meta.dst.is_none_or(|d| d == r.station))
+            .collect();
+        let mut delivered = 0u32;
+        for r in &judged {
+            if !r.detected {
+                if !tx.collided {
+                    self.trace
+                        .emit(t, r.station.0, Event::PhyPreambleMiss { tx: tx.id.0 });
+                }
+                continue;
+            }
+            for (i, &ok) in r.mpdu_ok.iter().enumerate() {
+                if ok {
+                    delivered += 1;
+                } else {
+                    self.trace.emit(
+                        t,
+                        r.station.0,
+                        Event::PhyPerDrop {
+                            tx: tx.id.0,
+                            mpdu: i as u32,
+                        },
+                    );
+                }
+            }
+        }
+        let offered = (judged.len() * tx.meta.mpdu_lens.len()) as u32;
+        self.trace.emit(
+            t,
+            src,
+            Event::PhyTxEnd {
+                tx: tx.id.0,
+                delivered,
+                lost: offered.saturating_sub(delivered),
+            },
+        );
     }
 
     fn receive_at(&self, station: StationId, tx: &ActiveTx, rng: &mut SimRng) -> Reception {

@@ -1,0 +1,25 @@
+//! `Option` strategies (`of`).
+
+use crate::runner::TestRng;
+use crate::strategy::Strategy;
+
+/// The strategy returned by [`of`].
+#[derive(Debug, Clone)]
+pub struct OptionStrategy<S>(S);
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+        // 3:1 Some:None, matching proptest's default weighting.
+        if rng.below(4) < 3 {
+            Some(self.0.generate(rng))
+        } else {
+            None
+        }
+    }
+}
+
+/// `Some` of the inner strategy three times out of four, else `None`.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy(inner)
+}

@@ -32,6 +32,7 @@
 use std::collections::HashMap;
 
 use hack_tcp::Ipv4Packet;
+use hack_trace::{Event, TraceHandle};
 
 use crate::context::{compressible_ack, wlsb_k, CompContext, FieldRefs};
 use crate::crc::crc3;
@@ -86,12 +87,29 @@ impl CompressStats {
 pub struct Compressor {
     contexts: HashMap<u8, CompContext>,
     stats: CompressStats,
+    trace: TraceHandle,
+    trace_node: u32,
+    trace_now: u64,
 }
 
 impl Compressor {
     /// A compressor with no contexts.
     pub fn new() -> Self {
         Compressor::default()
+    }
+
+    /// Install the structured-event trace handle; `node` is the station
+    /// this compressor runs on.
+    pub fn set_trace(&mut self, trace: TraceHandle, node: u32) {
+        self.trace = trace;
+        self.trace_node = node;
+    }
+
+    /// Stamp the simulation time (nanoseconds) used for subsequent trace
+    /// events. The compressor is sans-IO and has no clock of its own;
+    /// the owning driver calls this on entry to each of its handlers.
+    pub fn set_trace_clock(&mut self, now_nanos: u64) {
+        self.trace_now = now_nanos;
     }
 
     /// Statistics.
@@ -123,6 +141,22 @@ impl Compressor {
             }
             None => {
                 self.contexts.insert(cid, fresh);
+                hack_trace::trace_ev!(
+                    self.trace,
+                    self.trace_now,
+                    self.trace_node,
+                    Event::RohcCidAlloc {
+                        cid: u64::from(cid)
+                    }
+                );
+                hack_trace::trace_ev!(
+                    self.trace,
+                    self.trace_now,
+                    self.trace_node,
+                    Event::RohcContextInit {
+                        cid: u64::from(cid)
+                    }
+                );
             }
         }
     }
@@ -217,6 +251,15 @@ impl Compressor {
 
         let msn = ctx.msn.wrapping_add(1);
         ctx.msn = msn;
+        hack_trace::trace_ev!(
+            self.trace,
+            self.trace_now,
+            self.trace_node,
+            Event::RohcContextUpdate {
+                cid: u64::from(cid),
+                msn: u32::from(msn),
+            }
+        );
 
         let mut out = Vec::with_capacity(12);
         out.push(cid);
@@ -406,7 +449,8 @@ mod tests {
         c.observe_native(&ack(1000, 1, 10));
         let mut p = ack(1000, 2, 11); // delta 0: duplicate ACK
         if let Transport::Tcp(t) = &mut p.transport {
-            t.options.push(TcpOption::Sack(vec![(TcpSeq(2460), TcpSeq(3920))]));
+            t.options
+                .push(TcpOption::Sack(vec![(TcpSeq(2460), TcpSeq(3920))]));
         }
         let s = c.compress(&p).expect("dup ACKs must be expressible");
         assert!(s[1] & flagbits::S != 0);

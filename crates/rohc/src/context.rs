@@ -298,7 +298,11 @@ mod tests {
             (u64::from(u32::MAX) - 5, u64::from(u32::MAX) + 10, 8),
         ] {
             let lsbs = value & ((1u64 << k) - 1);
-            assert_eq!(wlsb_decode(reference, lsbs, k), value, "ref={reference} v={value} k={k}");
+            assert_eq!(
+                wlsb_decode(reference, lsbs, k),
+                value,
+                "ref={reference} v={value} k={k}"
+            );
         }
     }
 

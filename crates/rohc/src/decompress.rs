@@ -17,6 +17,7 @@
 use std::collections::HashMap;
 
 use hack_tcp::{flags as tcpflags, Ipv4Packet, TcpOption, TcpSegment, TcpSeq, Transport};
+use hack_trace::{Event, TraceHandle};
 
 use crate::compress::flagbits;
 use crate::context::{compressible_ack, wlsb_decode, DecompContext, FieldRefs};
@@ -65,12 +66,38 @@ pub struct DecompressStats {
 pub struct Decompressor {
     contexts: HashMap<u8, DecompContext>,
     stats: DecompressStats,
+    trace: TraceHandle,
+    trace_node: u32,
+    trace_now: u64,
+}
+
+/// Stable wire code for a failure class (the `reason` payload of
+/// [`Event::RohcDecompressFail`]).
+pub fn decompress_error_code(e: DecompressError) -> u32 {
+    match e {
+        DecompressError::Malformed => 0,
+        DecompressError::NoContext => 1,
+        DecompressError::BadCrc => 2,
+    }
 }
 
 impl Decompressor {
     /// A decompressor with no contexts.
     pub fn new() -> Self {
         Decompressor::default()
+    }
+
+    /// Install the structured-event trace handle; `node` is the station
+    /// this decompressor runs on.
+    pub fn set_trace(&mut self, trace: TraceHandle, node: u32) {
+        self.trace = trace;
+        self.trace_node = node;
+    }
+
+    /// Stamp the simulation time (nanoseconds) used for subsequent trace
+    /// events (the decompressor is sans-IO; the driver owns the clock).
+    pub fn set_trace_clock(&mut self, now_nanos: u64) {
+        self.trace_now = now_nanos;
     }
 
     /// Statistics.
@@ -99,6 +126,14 @@ impl Decompressor {
             Some(_) => {}
             None => {
                 self.contexts.insert(cid, fresh);
+                hack_trace::trace_ev!(
+                    self.trace,
+                    self.trace_now,
+                    self.trace_node,
+                    Event::RohcContextInit {
+                        cid: u64::from(cid)
+                    }
+                );
             }
         }
     }
@@ -109,12 +144,14 @@ impl Decompressor {
         let Some((&count, mut rest)) = blob.split_first() else {
             self.stats.malformed += 1;
             res.errors.push(DecompressError::Malformed);
+            self.trace_fail(DecompressError::Malformed);
             return res;
         };
         for _ in 0..count {
             if rest.is_empty() {
                 self.stats.malformed += 1;
                 res.errors.push(DecompressError::Malformed);
+                self.trace_fail(DecompressError::Malformed);
                 break;
             }
             match self.decompress_one(rest) {
@@ -127,6 +164,7 @@ impl Decompressor {
                 }
                 Err((e, used)) => {
                     res.errors.push(e);
+                    self.trace_fail(e);
                     if used == 0 {
                         break; // cannot even skip: stop parsing the blob
                     }
@@ -135,6 +173,17 @@ impl Decompressor {
             }
         }
         res
+    }
+
+    fn trace_fail(&self, e: DecompressError) {
+        hack_trace::trace_ev!(
+            self.trace,
+            self.trace_now,
+            self.trace_node,
+            Event::RohcDecompressFail {
+                reason: decompress_error_code(e)
+            }
+        );
     }
 
     /// Decompress one segment. `Ok((None, n))` = duplicate (skipped).
@@ -236,6 +285,15 @@ impl Decompressor {
         ctx.refs = FieldRefs::of(&pkt, seg);
         ctx.msn = parsed.msn;
         self.stats.decompressed += 1;
+        hack_trace::trace_ev!(
+            self.trace,
+            self.trace_now,
+            self.trace_node,
+            Event::RohcContextUpdate {
+                cid: u64::from(cid),
+                msn: u32::from(parsed.msn)
+            }
+        );
         Ok((Some(pkt), parsed.consumed))
     }
 }
@@ -290,7 +348,11 @@ fn parse_segment(data: &[u8], has_ts: bool) -> Option<ParsedSegment> {
     };
 
     let ts = if has_ts {
-        let k = if flags & flagbits::TS_K != 0 { 16u32 } else { 8 };
+        let k = if flags & flagbits::TS_K != 0 {
+            16u32
+        } else {
+            8
+        };
         let n = (k / 8) as usize;
         if data.len() < off + 2 * n {
             return None;
@@ -415,7 +477,7 @@ mod tests {
         let (mut c, mut d) = pair();
         let p1 = ack(3920, 2, 11);
         let s1 = c.compress(&p1).unwrap();
-        let blob = build_blob(&[s1.clone()]);
+        let blob = build_blob(std::slice::from_ref(&s1));
         let res = d.decompress_blob(&blob);
         assert_eq!(res.packets.len(), 1);
         // Same blob again, now extended with a new ACK.

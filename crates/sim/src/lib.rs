@@ -35,3 +35,7 @@ pub use stats::{Counter, Histogram, RunStats, RunningStats, ThroughputMeter, Tim
 pub use time::{SimDuration, SimTime};
 pub use timer::{TimerTable, TimerToken};
 pub use trace::{Level, Tracer};
+
+/// The structured cross-layer event-tracing layer (re-exported so
+/// simulation drivers need only depend on `hack-sim`).
+pub use hack_trace as events;

@@ -2,17 +2,60 @@
 //!
 //! Every run is driven by a single seed; the paper's experiments average
 //! over five runs, which we reproduce by running seeds `base..base+5`.
-//! [`SimRng`] wraps `rand`'s `SmallRng` (xoshiro-family, fast and
-//! statistically adequate for backoff slots and loss draws) and exposes the
-//! handful of draw shapes the simulator needs.
+//! [`SimRng`] is a self-contained xoshiro256++ generator (the same family
+//! `rand`'s `SmallRng` uses — fast and statistically adequate for backoff
+//! slots and loss draws), seeded through SplitMix64 so that even adjacent
+//! integer seeds start from decorrelated states. Keeping the generator
+//! in-tree pins the stream bit-for-bit across platforms and toolchains,
+//! which the trace-digest determinism tests rely on.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+/// xoshiro256++ state (Blackman & Vigna). Period 2^256 − 1.
+#[derive(Debug, Clone)]
+struct Xoshiro256pp {
+    s: [u64; 4],
+}
+
+/// One step of the SplitMix64 sequence, used for state initialization.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl Xoshiro256pp {
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        Xoshiro256pp { s }
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let [s0, s1, s2, s3] = self.s;
+        let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+        let t = s1 << 17;
+        let mut s2 = s2 ^ s0;
+        let mut s3 = s3 ^ s1;
+        let s1 = s1 ^ s2;
+        let s0 = s0 ^ s3;
+        s2 ^= t;
+        s3 = s3.rotate_left(45);
+        self.s = [s0, s1, s2, s3];
+        result
+    }
+}
 
 /// A seeded simulation RNG.
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: SmallRng,
+    inner: Xoshiro256pp,
     seed: u64,
 }
 
@@ -21,7 +64,7 @@ impl SimRng {
     /// streams across runs and platforms.
     pub fn new(seed: u64) -> Self {
         SimRng {
-            inner: SmallRng::seed_from_u64(seed),
+            inner: Xoshiro256pp::seed_from_u64(seed),
             seed,
         }
     }
@@ -50,12 +93,22 @@ impl SimRng {
     /// Panics if `n == 0`.
     pub fn uniform(&mut self, n: u32) -> u32 {
         assert!(n > 0, "uniform(0) is meaningless");
-        self.inner.gen_range(0..n)
+        // Lemire's unbiased multiply-shift rejection method.
+        let n64 = u64::from(n);
+        loop {
+            let x = self.inner.next_u64() & 0xFFFF_FFFF;
+            let m = x * n64;
+            let low = m & 0xFFFF_FFFF;
+            if low >= u64::from(n.wrapping_neg() % n) {
+                return (m >> 32) as u32;
+            }
+        }
     }
 
     /// Uniform float in `[0, 1)`.
     pub fn unit(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        // 53 random mantissa bits, the standard 2^-53 construction.
+        (self.inner.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Bernoulli draw: `true` with probability `p` (clamped to `[0, 1]`).
@@ -65,14 +118,14 @@ impl SimRng {
         } else if p >= 1.0 {
             true
         } else {
-            self.inner.gen::<f64>() < p
+            self.unit() < p
         }
     }
 
     /// Uniform float in `[lo, hi)`.
     pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
         assert!(lo <= hi, "inverted range");
-        lo + (hi - lo) * self.inner.gen::<f64>()
+        lo + (hi - lo) * self.unit()
     }
 
     /// A uniformly random point in a disc of radius `r` centred on the
@@ -80,7 +133,7 @@ impl SimRng {
     /// "scattered randomly within a circle of 10-meter radius").
     pub fn point_in_disc(&mut self, r: f64) -> (f64, f64) {
         // Radius must be sqrt-distributed for area uniformity.
-        let radius = r * self.inner.gen::<f64>().sqrt();
+        let radius = r * self.unit().sqrt();
         let theta = self.range_f64(0.0, std::f64::consts::TAU);
         (radius * theta.cos(), radius * theta.sin())
     }
@@ -103,7 +156,9 @@ mod tests {
     fn different_seeds_differ() {
         let mut a = SimRng::new(1);
         let mut b = SimRng::new(2);
-        let same = (0..100).filter(|_| a.uniform(1 << 30) == b.uniform(1 << 30)).count();
+        let same = (0..100)
+            .filter(|_| a.uniform(1 << 30) == b.uniform(1 << 30))
+            .count();
         assert!(same < 3, "streams should be essentially uncorrelated");
     }
 

@@ -395,7 +395,10 @@ mod tests {
         // Window [1s, 3s): two deliveries over 2 seconds = 8 Mbps.
         let mbps = m.mbps_between(SimTime::from_secs(1), SimTime::from_secs(3));
         assert!((mbps - 8.0).abs() < 1e-9);
-        assert_eq!(m.mbps_between(SimTime::from_secs(3), SimTime::from_secs(3)), 0.0);
+        assert_eq!(
+            m.mbps_between(SimTime::from_secs(3), SimTime::from_secs(3)),
+            0.0
+        );
         assert_eq!(m.first_delivery(), Some(SimTime::from_secs(1)));
         assert_eq!(m.last_delivery(), Some(SimTime::from_secs(3)));
     }

@@ -148,6 +148,8 @@ pub struct Connection {
     peer_sack: bool,
 
     stats: TcpStats,
+    trace: hack_trace::TraceHandle,
+    trace_node: u32,
 }
 
 fn now_ms(now: SimTime) -> u32 {
@@ -156,7 +158,12 @@ fn now_ms(now: SimTime) -> u32 {
 
 impl Connection {
     /// An active opener: returns the endpoint and the SYN to transmit.
-    pub fn client(cfg: TcpConfig, tuple: FiveTuple, iss: u32, now: SimTime) -> (Self, Vec<Ipv4Packet>) {
+    pub fn client(
+        cfg: TcpConfig,
+        tuple: FiveTuple,
+        iss: u32,
+        now: SimTime,
+    ) -> (Self, Vec<Ipv4Packet>) {
         let mut c = Connection::new(cfg, tuple, iss);
         c.state = TcpState::SynSent;
         let syn = c.make_syn(false, now);
@@ -203,6 +210,34 @@ impl Connection {
             peer_ts: false,
             peer_sack: false,
             stats: TcpStats::default(),
+            trace: hack_trace::TraceHandle::off(),
+            trace_node: u32::MAX,
+        }
+    }
+
+    /// Install the structured-event trace handle; `node` identifies this
+    /// endpoint in the trace (station id for wireless hosts, `u32::MAX`
+    /// for wired ones).
+    pub fn set_trace(&mut self, trace: hack_trace::TraceHandle, node: u32) {
+        self.trace = trace;
+        self.trace_node = node;
+    }
+
+    /// Emit a cwnd/ssthresh sample if congestion state moved since
+    /// `prev = (cwnd, ssthresh)`.
+    fn trace_cc(&self, prev: (u64, u64), now: SimTime) {
+        if self.trace.enabled() {
+            let cur = (self.cc.cwnd(), self.cc.ssthresh());
+            if cur != prev {
+                self.trace.emit(
+                    now.as_nanos(),
+                    self.trace_node,
+                    hack_trace::Event::TcpCwnd {
+                        cwnd: cur.0,
+                        ssthresh: cur.1,
+                    },
+                );
+            }
         }
     }
 
@@ -406,7 +441,9 @@ impl Connection {
             if available == 0 {
                 break;
             }
-            let len = available.min(room).min(u64::from(self.cfg.mss.min(self.peer_mss))) as u32;
+            let len = available
+                .min(room)
+                .min(u64::from(self.cfg.mss.min(self.peer_mss))) as u32;
             if len == 0 {
                 break;
             }
@@ -537,8 +574,7 @@ impl Connection {
             let s = if s.lt(self.snd_una) { self.snd_una } else { s };
             self.sacked.push((s, e));
         }
-        self.sacked
-            .sort_by_key(|&(s, _)| s.dist_from(self.snd_una));
+        self.sacked.sort_by_key(|&(s, _)| s.dist_from(self.snd_una));
         let mut merged: Vec<(TcpSeq, TcpSeq)> = Vec::with_capacity(self.sacked.len());
         for &(s, e) in &self.sacked {
             if let Some(last) = merged.last_mut() {
@@ -650,6 +686,7 @@ impl Connection {
                 }
             }
 
+            let cc_prev = (self.cc.cwnd(), self.cc.ssthresh());
             if self.cc.in_recovery() {
                 if ack.ge(self.recover) {
                     self.cc.on_full_ack();
@@ -680,6 +717,7 @@ impl Connection {
                 self.dupacks = 0;
                 self.cc.on_ack(acked);
             }
+            self.trace_cc(cc_prev, now);
 
             // Re-arm or clear the RTO.
             self.rto_deadline = if self.snd_una.lt(self.snd_max) {
@@ -695,6 +733,7 @@ impl Connection {
             // Duplicate ACK.
             self.stats.dupacks_received += 1;
             self.dupacks += 1;
+            let cc_prev = (self.cc.cwnd(), self.cc.ssthresh());
             if self.cc.in_recovery() {
                 self.cc.on_recovery_dupack();
                 // SACK recovery: keep filling holes as the window
@@ -709,9 +748,19 @@ impl Connection {
                     .mss
                     .min(u32::try_from(u64::from(self.snd_max - self.snd_una)).unwrap_or(u32::MAX));
                 let seq = self.snd_una;
+                if self.trace.enabled() {
+                    self.trace.emit(
+                        now.as_nanos(),
+                        self.trace_node,
+                        hack_trace::Event::TcpFastRetransmit {
+                            seq: u64::from(seq.0),
+                        },
+                    );
+                }
                 out.push(self.make_data(seq, len, now));
                 self.rtx_next = seq + len;
             }
+            self.trace_cc(cc_prev, now);
         } else {
             // Window update or stale ACK.
             self.snd_wnd = new_wnd;
@@ -812,6 +861,15 @@ impl Connection {
 
         if let Some(dl) = self.delack_deadline {
             if dl <= now && self.delack_segments > 0 {
+                if self.trace.enabled() {
+                    self.trace.emit(
+                        now.as_nanos(),
+                        self.trace_node,
+                        hack_trace::Event::TcpDelayedAck {
+                            ack: u64::from(self.rcv_nxt.0),
+                        },
+                    );
+                }
                 out.push(self.make_ack(now));
             }
         }
@@ -837,7 +895,18 @@ impl Connection {
                         if self.snd_una.lt(self.snd_max) {
                             self.stats.timeouts += 1;
                             self.rto.on_timeout();
+                            let cc_prev = (self.cc.cwnd(), self.cc.ssthresh());
                             self.cc.on_timeout(self.flight());
+                            if self.trace.enabled() {
+                                self.trace.emit(
+                                    now.as_nanos(),
+                                    self.trace_node,
+                                    hack_trace::Event::TcpRto {
+                                        seq: u64::from(self.snd_una.0),
+                                    },
+                                );
+                            }
+                            self.trace_cc(cc_prev, now);
                             self.dupacks = 0;
                             self.sacked.clear();
                             self.rtx_next = self.snd_una;
@@ -1007,8 +1076,8 @@ mod tests {
         let (mut c, mut s) = connected(TcpConfig::default(), TcpConfig::default(), t0);
         c.set_budget(SendBudget::Unlimited);
         let data = c.poll_send(t0); // 3 segments
-        // Deliver 0 then 2 (1 lost): the gap forces an immediate dup ACK
-        // with a SACK block.
+                                    // Deliver 0 then 2 (1 lost): the gap forces an immediate dup ACK
+                                    // with a SACK block.
         let a0 = deliver(&mut s, &data[0..1], t0);
         assert!(a0.is_empty(), "first in-order segment is delack'd");
         let a2 = deliver(&mut s, &data[2..3], t0);
@@ -1037,7 +1106,11 @@ mod tests {
             let acks = deliver(&mut s, &data, now);
             data = deliver(&mut c, &acks, now);
         }
-        assert!(data.len() >= 6, "window should have grown, got {}", data.len());
+        assert!(
+            data.len() >= 6,
+            "window should have grown, got {}",
+            data.len()
+        );
 
         // Lose the first segment of the burst; deliver the rest.
         now += SimDuration::from_millis(2);
@@ -1054,7 +1127,9 @@ mod tests {
         assert!(c.cc.ssthresh() <= cwnd_before / 2 + 1460);
         assert!(c.cc.in_recovery());
         // The fast retransmission of the lost segment leads the response.
-        assert!(resp.iter().any(|p| seg(p).seq == lost_seq && seg(p).payload_len > 0));
+        assert!(resp
+            .iter()
+            .any(|p| seg(p).seq == lost_seq && seg(p).payload_len > 0));
 
         // Delivering the retransmission heals the receiver and the
         // cumulative ACK jumps past the whole burst.
@@ -1226,11 +1301,7 @@ mod tests {
         deliver(&mut c, &heal_acks, now);
         assert_eq!(c.stats().timeouts, 0);
         assert!(!c.cc.in_recovery());
-        assert_eq!(
-            s.bytes_delivered() % 1460,
-            0,
-            "receiver must be gap-free"
-        );
+        assert_eq!(s.bytes_delivered() % 1460, 0, "receiver must be gap-free");
     }
 
     #[test]

@@ -391,8 +391,12 @@ impl Ipv4Packet {
         if protocol != 6 {
             return Err(ParseError::UnsupportedProtocol(protocol));
         }
-        let src = Ipv4Addr(u32::from_be_bytes([bytes[12], bytes[13], bytes[14], bytes[15]]));
-        let dst = Ipv4Addr(u32::from_be_bytes([bytes[16], bytes[17], bytes[18], bytes[19]]));
+        let src = Ipv4Addr(u32::from_be_bytes([
+            bytes[12], bytes[13], bytes[14], bytes[15],
+        ]));
+        let dst = Ipv4Addr(u32::from_be_bytes([
+            bytes[16], bytes[17], bytes[18], bytes[19],
+        ]));
 
         let t = &bytes[20..];
         if t.len() < 20 {

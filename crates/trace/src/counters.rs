@@ -1,0 +1,76 @@
+//! A registry of per-event-kind counters.
+//!
+//! Counters are the always-cheap aggregate view of a trace: one atomic
+//! increment per event, readable at any point during or after a run
+//! without touching the ring buffer.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::event::{meta_by_kind, EVENT_META};
+
+/// Dense per-kind counters (indexed by wire kind id).
+pub struct Counters {
+    counts: Vec<AtomicU64>,
+}
+
+impl Default for Counters {
+    fn default() -> Self {
+        Counters::new()
+    }
+}
+
+impl Counters {
+    /// A zeroed registry covering every known event kind.
+    pub fn new() -> Self {
+        let max_kind = EVENT_META.iter().map(|m| m.kind).max().unwrap_or(0);
+        Counters {
+            counts: (0..=max_kind).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Increment the counter for `kind` (unknown kinds are ignored).
+    #[inline]
+    pub fn bump(&self, kind: u8) {
+        if let Some(c) = self.counts.get(kind as usize) {
+            c.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Current count for `kind`.
+    pub fn get(&self, kind: u8) -> u64 {
+        self.counts
+            .get(kind as usize)
+            .map_or(0, |c| c.load(Ordering::Relaxed))
+    }
+
+    /// Snapshot of every *named* kind with a nonzero count, as
+    /// `(event name, count)` in wire-id order.
+    pub fn snapshot(&self) -> Vec<(&'static str, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter_map(|(kind, c)| {
+                let n = c.load(Ordering::Relaxed);
+                let meta = meta_by_kind(kind as u8)?;
+                (n > 0).then_some((meta.name, n))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Event;
+
+    #[test]
+    fn bump_and_snapshot() {
+        let c = Counters::new();
+        let kind = Event::SimFlowStart { flow: 0 }.kind();
+        c.bump(kind);
+        c.bump(kind);
+        assert_eq!(c.get(kind), 2);
+        assert_eq!(c.snapshot(), vec![("flow_start", 2)]);
+        c.bump(255); // unknown: ignored, not a panic
+    }
+}

@@ -1,0 +1,527 @@
+//! The typed event vocabulary and its two serializations.
+//!
+//! Every event is stamped into a [`Record`] with the simulation time (in
+//! integer nanoseconds) and the emitting node, and carries up to three
+//! `u64` payload words. That fixed shape gives every record an exact
+//! 40-byte binary encoding ([`Record::encode`]) — the unit both the
+//! lock-free ring buffer and the run digest operate on — and a
+//! line-oriented JSONL encoding ([`Record::to_json_line`]) for humans
+//! and external tools. Both encodings round-trip losslessly.
+
+/// The protocol layer an event belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum Layer {
+    /// Radio: PPDUs on the medium, collisions, per-MPDU loss draws.
+    Phy = 0,
+    /// 802.11 MAC: contention, aggregation, link-layer ACKs, HACK bits.
+    Mac = 1,
+    /// TCP endpoints: congestion control, timers, retransmissions.
+    Tcp = 2,
+    /// ROHC-style ACK compression contexts.
+    Rohc = 3,
+    /// Scenario-level events from the simulation driver.
+    Sim = 4,
+}
+
+impl Layer {
+    /// All layers, in `repr` order.
+    pub const ALL: [Layer; 5] = [Layer::Phy, Layer::Mac, Layer::Tcp, Layer::Rohc, Layer::Sim];
+
+    /// Lower-case name used in JSONL.
+    pub fn name(self) -> &'static str {
+        match self {
+            Layer::Phy => "phy",
+            Layer::Mac => "mac",
+            Layer::Tcp => "tcp",
+            Layer::Rohc => "rohc",
+            Layer::Sim => "sim",
+        }
+    }
+
+    fn from_u8(v: u8) -> Option<Layer> {
+        Layer::ALL.get(v as usize).copied()
+    }
+}
+
+/// Field ↔ payload-word conversion for the types events may carry.
+trait FieldCode {
+    fn to_u64(self) -> u64;
+    fn from_u64(v: u64) -> Self;
+}
+
+impl FieldCode for u64 {
+    fn to_u64(self) -> u64 {
+        self
+    }
+    fn from_u64(v: u64) -> u64 {
+        v
+    }
+}
+
+impl FieldCode for u32 {
+    fn to_u64(self) -> u64 {
+        u64::from(self)
+    }
+    fn from_u64(v: u64) -> u32 {
+        v as u32
+    }
+}
+
+impl FieldCode for bool {
+    fn to_u64(self) -> u64 {
+        u64::from(self)
+    }
+    fn from_u64(v: u64) -> bool {
+        v != 0
+    }
+}
+
+/// Static description of one event kind.
+#[derive(Debug, Clone, Copy)]
+pub struct EventMeta {
+    /// Stable wire id (never renumber a released kind).
+    pub kind: u8,
+    /// JSONL event name.
+    pub name: &'static str,
+    /// Owning layer.
+    pub layer: Layer,
+    /// Payload field names, in payload-word order.
+    pub fields: &'static [&'static str],
+}
+
+macro_rules! define_events {
+    ($(
+        $(#[$vmeta:meta])*
+        $variant:ident = $kind:literal, $layer:ident, $jname:literal,
+        { $( $(#[$fmeta:meta])* $field:ident : $fty:ty ),* $(,)? }
+    );* $(;)?) => {
+        /// A structured cross-layer trace event.
+        ///
+        /// Payloads are limited to three words; identifiers that need
+        /// correlation (transmissions, contexts) carry explicit ids.
+        #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+        pub enum Event {
+            $( $(#[$vmeta])* $variant { $( $(#[$fmeta])* $field: $fty ),* } ),*
+        }
+
+        /// Every event kind, in wire-id order.
+        pub const EVENT_META: &[EventMeta] = &[
+            $(EventMeta {
+                kind: $kind,
+                name: $jname,
+                layer: Layer::$layer,
+                fields: &[$(stringify!($field)),*],
+            }),*
+        ];
+
+        impl Event {
+            /// Stable wire kind id.
+            pub fn kind(&self) -> u8 {
+                match self { $( Event::$variant { .. } => $kind ),* }
+            }
+
+            /// Payload words (unused trailing words are zero).
+            pub fn payload(&self) -> [u64; 3] {
+                match *self {
+                    $( Event::$variant { $($field),* } => {
+                        let mut _w = [0u64; 3];
+                        let mut _i = 0usize;
+                        $( _w[_i] = FieldCode::to_u64($field); _i += 1; )*
+                        _w
+                    } ),*
+                }
+            }
+
+            /// Rebuild an event from its kind id and payload words.
+            /// Unknown kinds yield `None`; unused words are ignored.
+            pub fn from_payload(kind: u8, w: [u64; 3]) -> Option<Event> {
+                match kind {
+                    $( $kind => {
+                        let mut _i = 0usize;
+                        Some(Event::$variant {
+                            $( $field: {
+                                let v = FieldCode::from_u64(w[_i]);
+                                _i += 1;
+                                v
+                            } ),*
+                        })
+                    } ),*
+                    _ => None,
+                }
+            }
+        }
+    };
+}
+
+define_events! {
+    /// A PPDU begins on the air. Node = transmitter.
+    PhyTxStart = 0, Phy, "tx_start", {
+        /// Medium-assigned transmission id (correlates with `tx_end`).
+        tx: u64,
+        /// Destination station (`u32::MAX` for broadcast/unknown).
+        dst: u32,
+        /// MPDUs in the (possibly aggregated) PPDU.
+        mpdus: u32,
+    };
+    /// A PPDU ends. Node = transmitter.
+    PhyTxEnd = 1, Phy, "tx_end", {
+        /// Transmission id from the matching `tx_start`.
+        tx: u64,
+        /// MPDUs decoded by at least one receiver.
+        delivered: u32,
+        /// MPDUs lost everywhere (collision or channel error).
+        lost: u32,
+    };
+    /// The PPDU overlapped another transmission. Node = transmitter.
+    PhyCollision = 2, Phy, "collision", {
+        /// Transmission id of the corrupted PPDU.
+        tx: u64,
+    };
+    /// A channel-error (PER) draw killed one MPDU. Node = receiver.
+    PhyPerDrop = 3, Phy, "per_drop", {
+        /// Transmission id carrying the MPDU.
+        tx: u64,
+        /// Index of the lost MPDU within the A-MPDU.
+        mpdu: u32,
+    };
+    /// The preamble itself was not detected. Node = receiver.
+    PhyPreambleMiss = 4, Phy, "preamble_miss", {
+        /// Transmission id whose preamble was missed.
+        tx: u64,
+    };
+
+    /// A backoff counter was (re)drawn. Node = contender.
+    MacBackoff = 16, Mac, "backoff", {
+        /// Slots drawn.
+        slots: u32,
+        /// Contention window the draw came from.
+        cw: u32,
+    };
+    /// An A-MPDU batch was assembled for transmission. Node = sender.
+    MacAmpdu = 17, Mac, "ampdu", {
+        /// Destination station.
+        dst: u32,
+        /// MPDUs in the batch.
+        mpdus: u32,
+        /// Total MAC-layer bytes.
+        bytes: u64,
+    };
+    /// A link-layer ACK or Block ACK was sent. Node = responder.
+    MacLlAck = 18, Mac, "ll_ack", {
+        /// Peer being acknowledged.
+        peer: u32,
+        /// Block ACK (`true`) or plain ACK (`false`).
+        block: bool,
+        /// MPDUs acknowledged.
+        acked: u32,
+    };
+    /// A Block ACK Request was sent. Node = requester.
+    MacBar = 19, Mac, "bar", {
+        /// Peer the BAR is aimed at.
+        peer: u32,
+    };
+    /// MPDUs are being retransmitted. Node = sender.
+    MacRetry = 20, Mac, "retry", {
+        /// Destination station.
+        dst: u32,
+        /// MPDUs scheduled for retry.
+        mpdus: u32,
+    };
+    /// MPDUs exhausted the retry limit and were dropped. Node = sender.
+    MacDrop = 21, Mac, "mac_drop", {
+        /// Destination station.
+        dst: u32,
+        /// MPDUs dropped.
+        mpdus: u32,
+    };
+    /// A HACK blob rode a link-layer response. Node = responder.
+    MacBlobAttach = 22, Mac, "blob_attach", {
+        /// Peer receiving the augmented response.
+        peer: u32,
+        /// Blob size in bytes.
+        bytes: u32,
+    };
+    /// A compressed-ACK blob finished its DMA into the NIC. Node = owner.
+    MacBlobInstall = 23, Mac, "blob_install", {
+        /// Peer the blob will be sent toward.
+        peer: u32,
+        /// Blob size in bytes.
+        bytes: u32,
+    };
+
+    /// Congestion window or slow-start threshold changed. Node = endpoint.
+    TcpCwnd = 32, Tcp, "cwnd", {
+        /// New congestion window (bytes).
+        cwnd: u64,
+        /// New slow-start threshold (bytes).
+        ssthresh: u64,
+    };
+    /// The retransmission timeout fired. Node = endpoint.
+    TcpRto = 33, Tcp, "rto", {
+        /// Sequence number being recovered.
+        seq: u64,
+    };
+    /// Fast retransmit triggered by duplicate ACKs. Node = endpoint.
+    TcpFastRetransmit = 34, Tcp, "fast_retx", {
+        /// Sequence number being retransmitted.
+        seq: u64,
+    };
+    /// The delayed-ACK timer fired. Node = endpoint.
+    TcpDelayedAck = 35, Tcp, "delayed_ack", {
+        /// Cumulative ACK number sent.
+        ack: u64,
+    };
+
+    /// A compression context was initialized from a native packet.
+    RohcContextInit = 48, Rohc, "ctx_init", {
+        /// Context id.
+        cid: u64,
+    };
+    /// A context advanced (one ACK compressed or decompressed).
+    RohcContextUpdate = 49, Rohc, "ctx_update", {
+        /// Context id.
+        cid: u64,
+        /// Master sequence number after the update.
+        msn: u32,
+    };
+    /// A fresh CID was derived for a five-tuple.
+    RohcCidAlloc = 50, Rohc, "cid_alloc", {
+        /// The allocated context id.
+        cid: u64,
+    };
+    /// Decompression rejected a segment.
+    RohcDecompressFail = 51, Rohc, "decomp_fail", {
+        /// Failure class (see `hack-rohc`'s error taxonomy).
+        reason: u32,
+    };
+
+    /// A flow's traffic started. Node = the flow's wireless client.
+    SimFlowStart = 64, Sim, "flow_start", {
+        /// Flow index.
+        flow: u32,
+    };
+}
+
+/// Look up the static metadata for a kind id.
+pub fn meta_by_kind(kind: u8) -> Option<&'static EventMeta> {
+    EVENT_META.iter().find(|m| m.kind == kind)
+}
+
+/// Look up a kind id by its JSONL event name.
+pub fn kind_by_name(name: &str) -> Option<u8> {
+    EVENT_META.iter().find(|m| m.name == name).map(|m| m.kind)
+}
+
+impl Event {
+    /// The layer this event belongs to.
+    pub fn layer(&self) -> Layer {
+        self.meta().layer
+    }
+
+    /// Short JSONL event name.
+    pub fn name(&self) -> &'static str {
+        self.meta().name
+    }
+
+    /// Static metadata for this event's kind.
+    pub fn meta(&self) -> &'static EventMeta {
+        meta_by_kind(self.kind()).expect("every variant has meta")
+    }
+}
+
+/// One stamped event: what happened, when, and at which node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Record {
+    /// Simulation time in nanoseconds since t = 0.
+    pub t: u64,
+    /// Emitting node (station id, endpoint id, …; layer-scoped).
+    pub node: u32,
+    /// The event itself.
+    pub event: Event,
+}
+
+impl Record {
+    /// Fixed-width binary encoding: five little-endian words
+    /// `[time, node/layer/kind, payload0, payload1, payload2]`.
+    pub fn encode(&self) -> [u64; 5] {
+        let tag = (u64::from(self.node) << 32)
+            | (u64::from(self.event.layer() as u8) << 8)
+            | u64::from(self.event.kind());
+        let p = self.event.payload();
+        [self.t, tag, p[0], p[1], p[2]]
+    }
+
+    /// Decode the five-word form. Returns `None` for unknown kinds or a
+    /// layer byte inconsistent with the kind (torn/corrupt slot).
+    pub fn decode(w: [u64; 5]) -> Option<Record> {
+        let node = (w[1] >> 32) as u32;
+        let layer = ((w[1] >> 8) & 0xFF) as u8;
+        let kind = (w[1] & 0xFF) as u8;
+        let event = Event::from_payload(kind, [w[2], w[3], w[4]])?;
+        if Layer::from_u8(layer) != Some(event.layer()) {
+            return None;
+        }
+        Some(Record {
+            t: w[0],
+            node,
+            event,
+        })
+    }
+
+    /// The 40-byte little-endian byte image (digest input).
+    pub fn to_bytes(&self) -> [u8; 40] {
+        let mut out = [0u8; 40];
+        for (i, w) in self.encode().iter().enumerate() {
+            out[i * 8..(i + 1) * 8].copy_from_slice(&w.to_le_bytes());
+        }
+        out
+    }
+
+    /// One JSONL line (no trailing newline): stamp fields, then the
+    /// event's named payload fields. Booleans appear as 0/1.
+    pub fn to_json_line(&self) -> String {
+        use std::fmt::Write;
+        let meta = self.event.meta();
+        let payload = self.event.payload();
+        let mut s = String::with_capacity(96);
+        let _ = write!(
+            s,
+            "{{\"t\":{},\"node\":{},\"layer\":\"{}\",\"event\":\"{}\"",
+            self.t,
+            self.node,
+            meta.layer.name(),
+            meta.name
+        );
+        for (name, value) in meta.fields.iter().zip(payload) {
+            let _ = write!(s, ",\"{name}\":{value}");
+        }
+        s.push('}');
+        s
+    }
+
+    /// Parse a line produced by [`Record::to_json_line`].
+    pub fn from_json_line(line: &str) -> Option<Record> {
+        let mut t = None;
+        let mut node = None;
+        let mut event_name = None;
+        let mut fields: Vec<(&str, u64)> = Vec::new();
+        for (key, val) in scan_json_object(line)? {
+            match (key, val) {
+                ("t", JsonVal::Num(v)) => t = Some(v),
+                ("node", JsonVal::Num(v)) => node = Some(v as u32),
+                ("event", JsonVal::Str(s)) => event_name = Some(s),
+                ("layer", JsonVal::Str(_)) => {} // redundant, checked below
+                (k, JsonVal::Num(v)) => fields.push((k, v)),
+                _ => return None,
+            }
+        }
+        let meta = meta_by_kind(kind_by_name(event_name?)?)?;
+        let mut w = [0u64; 3];
+        for (i, fname) in meta.fields.iter().enumerate() {
+            w[i] = fields.iter().find(|(k, _)| k == fname)?.1;
+        }
+        let event = Event::from_payload(meta.kind, w)?;
+        Some(Record {
+            t: t?,
+            node: node?,
+            event,
+        })
+    }
+}
+
+enum JsonVal<'a> {
+    Num(u64),
+    Str(&'a str),
+}
+
+/// Scan a flat JSON object of string keys and unsigned-integer or plain
+/// string values — exactly the subset [`Record::to_json_line`] emits.
+fn scan_json_object(line: &str) -> Option<Vec<(&str, JsonVal<'_>)>> {
+    let body = line.trim().strip_prefix('{')?.strip_suffix('}')?;
+    let mut out = Vec::new();
+    let mut rest = body;
+    while !rest.is_empty() {
+        rest = rest.trim_start_matches([',', ' ']);
+        if rest.is_empty() {
+            break;
+        }
+        rest = rest.strip_prefix('"')?;
+        let kend = rest.find('"')?;
+        let (key, after) = rest.split_at(kend);
+        rest = after.strip_prefix('"')?.strip_prefix(':')?;
+        if let Some(s) = rest.strip_prefix('"') {
+            let vend = s.find('"')?;
+            out.push((key, JsonVal::Str(&s[..vend])));
+            rest = &s[vend + 1..];
+        } else {
+            let vend = rest
+                .find(|c: char| !c.is_ascii_digit())
+                .unwrap_or(rest.len());
+            if vend == 0 {
+                return None;
+            }
+            out.push((key, JsonVal::Num(rest[..vend].parse().ok()?)));
+            rest = &rest[vend..];
+        }
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_are_unique_and_meta_consistent() {
+        for (i, a) in EVENT_META.iter().enumerate() {
+            for b in &EVENT_META[i + 1..] {
+                assert_ne!(a.kind, b.kind, "{} vs {}", a.name, b.name);
+                assert_ne!(a.name, b.name);
+            }
+            assert!(a.fields.len() <= 3);
+        }
+    }
+
+    #[test]
+    fn binary_roundtrip() {
+        let rec = Record {
+            t: 123_456_789,
+            node: 3,
+            event: Event::MacAmpdu {
+                dst: 1,
+                mpdus: 42,
+                bytes: 63_504,
+            },
+        };
+        assert_eq!(Record::decode(rec.encode()), Some(rec));
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let rec = Record {
+            t: 42,
+            node: 0,
+            event: Event::MacLlAck {
+                peer: 7,
+                block: true,
+                acked: 21,
+            },
+        };
+        let line = rec.to_json_line();
+        assert_eq!(Record::from_json_line(&line), Some(rec));
+    }
+
+    #[test]
+    fn unknown_kind_rejected() {
+        assert_eq!(Event::from_payload(255, [0, 0, 0]), None);
+        let mut w = Record {
+            t: 0,
+            node: 0,
+            event: Event::SimFlowStart { flow: 0 },
+        }
+        .encode();
+        w[1] |= 0xFF; // clobber the kind byte
+        assert_eq!(Record::decode(w), None);
+    }
+}

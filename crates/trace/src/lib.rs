@@ -1,0 +1,39 @@
+//! `hack-trace`: deterministic cross-layer structured event tracing.
+//!
+//! Every layer of the simulated stack (PHY, MAC, TCP, ROHC, and the
+//! simulation driver) can emit typed [`Event`]s stamped with simulation
+//! time and node id through a cloneable [`TraceHandle`]. When tracing is
+//! disabled the handle is a `None` and each emit costs one branch, so
+//! the hot path stays untouched for large experiment sweeps.
+//!
+//! The production sink is [`RingSink`]: a bounded lock-free ring that
+//! retains the most recent records, plus whole-run aggregates that are
+//! immune to wrap-around — per-kind [`Counters`] and a running
+//! [`Digest`] (an FNV-1a fold of every record's fixed 40-byte image, in
+//! emission order). The digest turns the repo's determinism claim into
+//! a byte-comparable artifact: same seed ⇒ byte-identical digest.
+//!
+//! Records export as JSONL (one flat object per event) or as the
+//! compact binary digest; both round-trip losslessly.
+//!
+//! ```
+//! use hack_trace::{Event, TraceHandle};
+//!
+//! let (handle, sink) = TraceHandle::ring(1024);
+//! handle.emit(42, 0, Event::MacBackoff { slots: 7, cw: 15 });
+//! assert_eq!(sink.digest().events, 1);
+//! assert_eq!(sink.counters().snapshot(), vec![("backoff", 1)]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod counters;
+pub mod event;
+pub mod export;
+pub mod sink;
+
+pub use counters::Counters;
+pub use event::{kind_by_name, meta_by_kind, Event, EventMeta, Layer, Record, EVENT_META};
+pub use export::{read_jsonl, write_jsonl, Digest, DIGEST_LEN, FNV_OFFSET};
+pub use sink::{RingSink, TraceHandle, TraceSink, VecSink};

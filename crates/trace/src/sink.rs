@@ -1,0 +1,289 @@
+//! Sinks and the cheap cloneable handle the protocol crates carry.
+//!
+//! The design constraint is the one stated in `hack-sim`'s tracer:
+//! experiments run millions of events, so tracing must cost nothing
+//! when off. [`TraceHandle`] is an `Option<Arc<dyn TraceSink>>`; a
+//! disabled handle is `None` and every emit is a single branch. The
+//! production sink is [`RingSink`]: a bounded lock-free ring buffer of
+//! fixed-width encoded records that also folds every record into a
+//! running [`Digest`] and per-kind [`Counters`], so the digest and
+//! counters cover the *whole* run even when the ring has wrapped.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::sync::Mutex;
+
+use crate::counters::Counters;
+use crate::event::{Event, Record};
+use crate::export::{fnv1a_words, Digest, FNV_OFFSET};
+
+/// Where records go. Implementations must be callable through `&self`
+/// from the simulation hot path.
+pub trait TraceSink: Send + Sync {
+    /// Consume one stamped event.
+    fn record(&self, rec: Record);
+}
+
+/// A cheap, cloneable capability to emit trace events.
+///
+/// Cloned into every layer of the stack; the default/`off` handle makes
+/// every emit a single `is_some` branch with no allocation.
+#[derive(Clone, Default)]
+pub struct TraceHandle {
+    sink: Option<Arc<dyn TraceSink>>,
+}
+
+impl std::fmt::Debug for TraceHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceHandle")
+            .field("enabled", &self.enabled())
+            .finish()
+    }
+}
+
+impl TraceHandle {
+    /// The disabled handle (records nothing, costs one branch).
+    pub fn off() -> Self {
+        TraceHandle::default()
+    }
+
+    /// A handle forwarding to `sink`.
+    pub fn to(sink: Arc<dyn TraceSink>) -> Self {
+        TraceHandle { sink: Some(sink) }
+    }
+
+    /// A handle plus its ring sink, ready to drain after the run.
+    pub fn ring(capacity: usize) -> (TraceHandle, Arc<RingSink>) {
+        let sink = Arc::new(RingSink::new(capacity));
+        (TraceHandle::to(sink.clone()), sink)
+    }
+
+    /// Whether events are being recorded — guard any costly argument
+    /// computation with this (or use [`crate::trace_ev!`]).
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// Record `event` at simulation time `t_nanos` on `node`.
+    #[inline]
+    pub fn emit(&self, t_nanos: u64, node: u32, event: Event) {
+        if let Some(sink) = &self.sink {
+            sink.record(Record {
+                t: t_nanos,
+                node,
+                event,
+            });
+        }
+    }
+}
+
+/// Emit an event without evaluating its arguments when tracing is off.
+#[macro_export]
+macro_rules! trace_ev {
+    ($handle:expr, $t:expr, $node:expr, $event:expr) => {
+        if $handle.enabled() {
+            $handle.emit($t, $node, $event);
+        }
+    };
+}
+
+const SLOT_WORDS: usize = 5;
+
+/// One ring slot: a sequence word plus the encoded record.
+///
+/// The sequence word is `index + 1` once the slot's words are fully
+/// written, so a reader can detect slots that are empty or mid-write.
+struct Slot {
+    seq: AtomicU64,
+    w: [AtomicU64; SLOT_WORDS],
+}
+
+impl Slot {
+    fn empty() -> Slot {
+        Slot {
+            seq: AtomicU64::new(0),
+            w: Default::default(),
+        }
+    }
+}
+
+/// A bounded, lock-free ring buffer of trace records.
+///
+/// Writers claim a slot with one `fetch_add` and never block; when the
+/// ring is full the oldest records are overwritten (the digest and
+/// counters still cover every record ever emitted). The simulator emits
+/// from a single thread per run, which makes the running digest
+/// well-defined; concurrent emitters remain memory-safe but interleave
+/// the digest fold in a nondeterministic order.
+pub struct RingSink {
+    slots: Vec<Slot>,
+    mask: u64,
+    head: AtomicU64,
+    digest_hash: AtomicU64,
+    per_layer: [AtomicU64; 5],
+    counters: Counters,
+    // Serializes drain() against itself only; emitters never touch it.
+    drain_guard: Mutex<()>,
+}
+
+impl RingSink {
+    /// A ring holding up to `capacity` records (rounded up to a power of
+    /// two, minimum 64).
+    pub fn new(capacity: usize) -> Self {
+        let cap = capacity.next_power_of_two().max(64);
+        RingSink {
+            slots: (0..cap).map(|_| Slot::empty()).collect(),
+            mask: cap as u64 - 1,
+            head: AtomicU64::new(0),
+            digest_hash: AtomicU64::new(FNV_OFFSET),
+            per_layer: Default::default(),
+            counters: Counters::new(),
+            drain_guard: Mutex::new(()),
+        }
+    }
+
+    /// Records emitted so far (including any overwritten in the ring).
+    pub fn emitted(&self) -> u64 {
+        self.head.load(Ordering::Acquire)
+    }
+
+    /// Records that fell off the ring (emitted − retained).
+    pub fn overwritten(&self) -> u64 {
+        self.emitted().saturating_sub(self.slots.len() as u64)
+    }
+
+    /// The per-kind counters registry.
+    pub fn counters(&self) -> &Counters {
+        &self.counters
+    }
+
+    /// The whole-run digest: event count, per-layer counts, and the
+    /// FNV-1a fold of every record's 40-byte image, in emission order.
+    pub fn digest(&self) -> Digest {
+        Digest {
+            events: self.emitted(),
+            hash: self.digest_hash.load(Ordering::Acquire),
+            per_layer: [
+                self.per_layer[0].load(Ordering::Acquire),
+                self.per_layer[1].load(Ordering::Acquire),
+                self.per_layer[2].load(Ordering::Acquire),
+                self.per_layer[3].load(Ordering::Acquire),
+                self.per_layer[4].load(Ordering::Acquire),
+            ],
+        }
+    }
+
+    /// Snapshot the retained records, oldest first. Slots currently
+    /// mid-write (possible only with concurrent emitters) are skipped.
+    pub fn drain(&self) -> Vec<Record> {
+        let _g = self.drain_guard.lock().expect("drain poisoned");
+        let head = self.head.load(Ordering::Acquire);
+        let start = head.saturating_sub(self.slots.len() as u64);
+        let mut out = Vec::with_capacity((head - start) as usize);
+        for i in start..head {
+            let slot = &self.slots[(i & self.mask) as usize];
+            if slot.seq.load(Ordering::Acquire) != i + 1 {
+                continue; // empty or torn
+            }
+            let w = [
+                slot.w[0].load(Ordering::Relaxed),
+                slot.w[1].load(Ordering::Relaxed),
+                slot.w[2].load(Ordering::Relaxed),
+                slot.w[3].load(Ordering::Relaxed),
+                slot.w[4].load(Ordering::Relaxed),
+            ];
+            if let Some(rec) = Record::decode(w) {
+                out.push(rec);
+            }
+        }
+        out
+    }
+}
+
+impl TraceSink for RingSink {
+    fn record(&self, rec: Record) {
+        let words = rec.encode();
+        let i = self.head.fetch_add(1, Ordering::AcqRel);
+        let slot = &self.slots[(i & self.mask) as usize];
+        slot.seq.store(0, Ordering::Release); // invalidate while writing
+        for (a, w) in slot.w.iter().zip(words) {
+            a.store(w, Ordering::Relaxed);
+        }
+        slot.seq.store(i + 1, Ordering::Release);
+
+        // Whole-run accounting (not subject to ring wrap-around).
+        let h = self.digest_hash.load(Ordering::Acquire);
+        self.digest_hash
+            .store(fnv1a_words(h, &words), Ordering::Release);
+        self.per_layer[rec.event.layer() as usize].fetch_add(1, Ordering::Relaxed);
+        self.counters.bump(rec.event.kind());
+    }
+}
+
+/// An unbounded in-memory sink for tests (mutex-protected).
+#[derive(Default)]
+pub struct VecSink {
+    records: Mutex<Vec<Record>>,
+}
+
+impl VecSink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        VecSink::default()
+    }
+
+    /// All records seen so far, in order.
+    pub fn records(&self) -> Vec<Record> {
+        self.records.lock().expect("poisoned").clone()
+    }
+}
+
+impl TraceSink for VecSink {
+    fn record(&self, rec: Record) {
+        self.records.lock().expect("poisoned").push(rec);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(i: u32) -> Event {
+        Event::MacBackoff { slots: i, cw: 15 }
+    }
+
+    #[test]
+    fn off_handle_is_inert() {
+        let h = TraceHandle::off();
+        assert!(!h.enabled());
+        h.emit(1, 2, ev(3)); // must not panic or allocate
+    }
+
+    #[test]
+    fn ring_retains_latest_and_counts_all() {
+        let (h, sink) = TraceHandle::ring(64);
+        for i in 0..200u32 {
+            h.emit(u64::from(i), 0, ev(i));
+        }
+        assert_eq!(sink.emitted(), 200);
+        assert_eq!(sink.overwritten(), 200 - 64);
+        let recs = sink.drain();
+        assert_eq!(recs.len(), 64);
+        assert_eq!(recs.first().map(|r| r.t), Some(136));
+        assert_eq!(recs.last().map(|r| r.t), Some(199));
+        assert_eq!(sink.digest().per_layer[1], 200);
+    }
+
+    #[test]
+    fn digest_is_order_sensitive() {
+        let (ha, sa) = TraceHandle::ring(64);
+        let (hb, sb) = TraceHandle::ring(64);
+        ha.emit(1, 0, ev(1));
+        ha.emit(2, 0, ev(2));
+        hb.emit(2, 0, ev(2));
+        hb.emit(1, 0, ev(1));
+        assert_ne!(sa.digest().hash, sb.digest().hash);
+        assert_eq!(sa.digest().events, sb.digest().events);
+    }
+}

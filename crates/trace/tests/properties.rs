@@ -1,0 +1,81 @@
+//! Property-based tests for the trace serialization formats: any event
+//! must survive both the compact binary word encoding and the JSONL
+//! text form byte-exactly, and the digest must be order- and
+//! content-sensitive.
+
+use hack_trace::{read_jsonl, write_jsonl, Digest, Event, Record, EVENT_META};
+use proptest::prelude::*;
+
+/// An arbitrary well-formed record: any known kind, any payload. The
+/// payload words pass through `Event::from_payload`, which narrows each
+/// word to its field's width — so the resulting event is canonical and
+/// every serialization round-trip must reproduce it exactly.
+fn arb_record() -> impl Strategy<Value = Record> {
+    (
+        any::<u64>(),
+        any::<u32>(),
+        0usize..EVENT_META.len(),
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+    )
+        .prop_map(|(t, node, ki, w0, w1, w2)| Record {
+            t,
+            node,
+            event: Event::from_payload(EVENT_META[ki].kind, [w0, w1, w2])
+                .expect("every EVENT_META kind decodes"),
+        })
+}
+
+proptest! {
+    /// Binary: encode → decode is the identity on well-formed records.
+    #[test]
+    fn binary_words_roundtrip(rec in arb_record()) {
+        prop_assert_eq!(Record::decode(rec.encode()), Some(rec));
+    }
+
+    /// The 40-byte image is exactly the little-endian word encoding.
+    #[test]
+    fn byte_image_matches_words(rec in arb_record()) {
+        let bytes = rec.to_bytes();
+        for (i, w) in rec.encode().iter().enumerate() {
+            prop_assert_eq!(&bytes[i * 8..(i + 1) * 8], &w.to_le_bytes());
+        }
+    }
+
+    /// JSONL: to_json_line → from_json_line is the identity.
+    #[test]
+    fn json_line_roundtrips(rec in arb_record()) {
+        let line = rec.to_json_line();
+        prop_assert_eq!(Record::from_json_line(&line), Some(rec), "line: {line}");
+    }
+
+    /// Whole-stream JSONL round-trips through a writer/reader pair.
+    #[test]
+    fn jsonl_stream_roundtrips(recs in proptest::collection::vec(arb_record(), 0..64)) {
+        let mut buf = Vec::new();
+        write_jsonl(&mut buf, &recs).expect("infallible vec writer");
+        let back = read_jsonl(buf.as_slice()).expect("parse own output");
+        prop_assert_eq!(back, recs);
+    }
+
+    /// Digest serialization round-trips, and the digest distinguishes
+    /// any reordering or record change (for these generated streams).
+    #[test]
+    fn digest_roundtrips_and_is_sensitive(
+        recs in proptest::collection::vec(arb_record(), 1..48),
+        flip in any::<u64>(),
+    ) {
+        let d = Digest::of_records(&recs);
+        prop_assert_eq!(Digest::from_bytes(&d.to_bytes()), Some(d));
+
+        // Same stream → same digest.
+        prop_assert_eq!(Digest::of_records(&recs), d);
+
+        // A one-bit timestamp perturbation must change the hash.
+        let mut mutated = recs.clone();
+        let i = (flip as usize) % mutated.len();
+        mutated[i].t ^= 1;
+        prop_assert_ne!(Digest::of_records(&mutated).hash, d.hash);
+    }
+}

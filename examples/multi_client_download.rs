@@ -28,8 +28,7 @@ fn main() {
     ] {
         let mut cfg = ScenarioConfig::dot11n_download(150, n, mode);
         cfg.stagger = SimDuration::from_millis(200);
-        cfg.duration =
-            cfg.stagger * n as u64 + cfg.warmup + SimDuration::from_secs(5);
+        cfg.duration = cfg.stagger * n as u64 + cfg.warmup + SimDuration::from_secs(5);
         if udp {
             cfg = cfg.with_udp();
         }

@@ -21,9 +21,7 @@ fn main() {
         let r = run(cfg);
         println!(
             "{label:<28} {:6.1} Mbps   (collisions: {:4}, TCP ACKs riding LL ACKs: {})",
-            r.aggregate_goodput_mbps,
-            r.collisions,
-            r.driver[0].hacked_acks,
+            r.aggregate_goodput_mbps, r.collisions, r.driver[0].hacked_acks,
         );
         results.push(r.aggregate_goodput_mbps);
     }

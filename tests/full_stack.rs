@@ -81,8 +81,14 @@ fn sora_ordering() {
         ScenarioConfig::sora_testbed(1, HackMode::Disabled).with_udp(),
         4,
     ));
-    let hack = run(short(ScenarioConfig::sora_testbed(1, HackMode::MoreData), 4));
-    let tcp = run(short(ScenarioConfig::sora_testbed(1, HackMode::Disabled), 4));
+    let hack = run(short(
+        ScenarioConfig::sora_testbed(1, HackMode::MoreData),
+        4,
+    ));
+    let tcp = run(short(
+        ScenarioConfig::sora_testbed(1, HackMode::Disabled),
+        4,
+    ));
     assert!(udp.aggregate_goodput_mbps > hack.aggregate_goodput_mbps);
     assert!(hack.aggregate_goodput_mbps > tcp.aggregate_goodput_mbps * 1.15);
     // HACK within ~5% of the UDP ceiling, per the paper.
@@ -93,8 +99,14 @@ fn sora_ordering() {
 /// HACK and UDP avoid.
 #[test]
 fn retry_breakdown_shape() {
-    let tcp = run(short(ScenarioConfig::sora_testbed(2, HackMode::Disabled), 4));
-    let hack = run(short(ScenarioConfig::sora_testbed(2, HackMode::MoreData), 4));
+    let tcp = run(short(
+        ScenarioConfig::sora_testbed(2, HackMode::Disabled),
+        4,
+    ));
+    let hack = run(short(
+        ScenarioConfig::sora_testbed(2, HackMode::MoreData),
+        4,
+    ));
     let f_tcp = tcp.ap_first_try_fraction().unwrap();
     let f_hack = hack.ap_first_try_fraction().unwrap();
     assert!(
@@ -164,7 +176,10 @@ fn whole_stack_determinism() {
 /// these no-hidden-terminal cells. EXPERIMENTS.md discusses the gap.
 #[test]
 fn blobs_fit_within_aifs_on_dot11a() {
-    let r = run(short(ScenarioConfig::sora_testbed(1, HackMode::MoreData), 4));
+    let r = run(short(
+        ScenarioConfig::sora_testbed(1, HackMode::MoreData),
+        4,
+    ));
     assert!(
         r.blob_within_aifs > 0.95,
         "only {:.1}% of 802.11a blobs fit within AIFS",
