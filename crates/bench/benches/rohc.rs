@@ -21,7 +21,8 @@ fn ack(ackno: u32, ident: u16, ts: u32) -> Ipv4Packet {
             options: vec![TcpOption::Timestamps {
                 tsval: ts,
                 tsecr: ts.wrapping_sub(3),
-            }],
+            }]
+            .into(),
             payload_len: 0,
         }),
     }
@@ -54,7 +55,7 @@ fn bench_rohc(c: &mut Criterion) {
         let seed = ack(1000, 1, 10);
         comp.observe_native(&seed);
         dec_template.observe_native(&seed);
-        let segs: Vec<Vec<u8>> = (1..=21u32)
+        let segs: Vec<_> = (1..=21u32)
             .map(|i| {
                 comp.compress(&ack(1000 + i * 2920, 1 + i as u16, 10 + i))
                     .unwrap()

@@ -1,0 +1,37 @@
+//! A/B-compare the two event-queue implementations on the same
+//! end-to-end scenario:
+//!
+//! ```sh
+//! cargo run --release -p hack-bench --example queue_compare
+//! ```
+//!
+//! Both kinds must produce the same goodput (the run is deterministic
+//! by seed, independent of queue implementation); only events/sec may
+//! differ. Useful when touching `hack-sim::queue` to see whether the
+//! calendar queue still beats the reference heap on the real workload.
+
+use hack_core::{run, HackMode, ScenarioConfig};
+use hack_sim::{QueueKind, SimDuration};
+use std::time::Instant;
+
+fn main() {
+    for kind in [QueueKind::Heap, QueueKind::Calendar] {
+        for rep in 0..2u64 {
+            let mut cfg = ScenarioConfig::dot11n_download(150, 1, HackMode::MoreData);
+            cfg.duration = SimDuration::from_millis(1000);
+            cfg.warmup = SimDuration::from_millis(200);
+            cfg.seed = 1 + rep;
+            cfg.queue = kind;
+            let t0 = Instant::now();
+            let r = run(cfg);
+            let wall = t0.elapsed();
+            println!(
+                "{kind:?} seed{}: {:.0} ev/s ({} events, {:.1} Mbps)",
+                1 + rep,
+                r.events_dispatched as f64 / wall.as_secs_f64(),
+                r.events_dispatched,
+                r.aggregate_goodput_mbps
+            );
+        }
+    }
+}

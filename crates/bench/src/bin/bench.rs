@@ -1,0 +1,439 @@
+//! Hot-path performance harness (`bench`).
+//!
+//! ```text
+//! bench [--json <path>] [--quick]
+//! ```
+//!
+//! Measures the simulation hot paths end to end and per stage:
+//!
+//! * **end-to-end events/sec** — a full 802.11n TCP/HACK download run,
+//!   reporting scheduler events dispatched per wall-clock second (the
+//!   number every perf PR must move),
+//! * **per-stage timings** — event-queue push/pop, ROHC
+//!   compress+confirm, blob decompression, driver blob rebuild, MD5 CID
+//!   derivation, and header serialization,
+//! * **allocation counters** — a counting global allocator reports
+//!   heap allocations per event / per operation (the
+//!   allocations-proxy; `realloc` counts too).
+//!
+//! With `--json <path>` the results are written as a JSON document. If
+//! the file already exists its `"baseline"` object is preserved (or,
+//! failing that, its previous `"current"` object becomes the baseline),
+//! so the file accumulates a before/after trajectory across PRs:
+//! `speedup_events_per_sec` compares the fresh run against the recorded
+//! baseline.
+//!
+//! `--quick` shortens the end-to-end run for CI smoke coverage.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use hack_core::{run, CompressSide, DriverAction, HackMode, ScenarioConfig};
+use hack_mac::RxDataInfo;
+use hack_phy::StationId;
+use hack_rohc::{build_blob, Compressor, Decompressor};
+use hack_sim::{EventQueue, SimDuration, SimTime};
+use hack_tcp::{flags, Ipv4Addr, Ipv4Packet, TcpOption, TcpSegment, TcpSeq, Transport};
+
+// ---------------------------------------------------------------------
+// Counting allocator: the allocations-proxy counter.
+// ---------------------------------------------------------------------
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates directly to `System`; the counter is a relaxed
+// atomic with no effect on allocation behaviour.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocs_now() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+// ---------------------------------------------------------------------
+// Measurement plumbing.
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy)]
+struct Stage {
+    ns_per_op: f64,
+    allocs_per_op: f64,
+}
+
+/// Time `op` over `iters` iterations (after one warmup batch),
+/// returning mean ns/op and allocations/op.
+fn time_stage<F: FnMut()>(iters: u64, mut op: F) -> Stage {
+    for _ in 0..iters / 10 + 1 {
+        op();
+    }
+    let a0 = allocs_now();
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        op();
+    }
+    let wall = t0.elapsed();
+    let allocs = allocs_now() - a0;
+    Stage {
+        ns_per_op: wall.as_nanos() as f64 / iters as f64,
+        allocs_per_op: allocs as f64 / iters as f64,
+    }
+}
+
+fn ack(ackno: u32, ident: u16, ts: u32) -> Ipv4Packet {
+    Ipv4Packet {
+        src: Ipv4Addr::new(192, 168, 0, 2),
+        dst: Ipv4Addr::new(10, 0, 0, 1),
+        ident,
+        ttl: 64,
+        transport: Transport::Tcp(TcpSegment {
+            src_port: 40000,
+            dst_port: 5001,
+            seq: TcpSeq(7777),
+            ack: TcpSeq(ackno),
+            flags: flags::ACK,
+            window: 1024,
+            options: vec![TcpOption::Timestamps {
+                tsval: ts,
+                tsecr: ts.wrapping_sub(3),
+            }]
+            .into(),
+            payload_len: 0,
+        }),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Stages.
+// ---------------------------------------------------------------------
+
+fn stage_queue_push_pop() -> Stage {
+    // Steady-state scheduler pattern: each pop reschedules, queue depth
+    // stays around 64 pending events (the whole-network regime).
+    let mut q = EventQueue::new();
+    let mut now = 0u64;
+    for i in 0..64u64 {
+        q.push(SimTime::from_nanos(i * 531), i);
+    }
+    let mut step = 0u64;
+    time_stage(200_000, || {
+        let (t, v) = q.pop().expect("queue never drains");
+        now = t.as_nanos();
+        step = step.wrapping_add(1);
+        q.push(
+            SimTime::from_nanos(now + 200 + (v.wrapping_mul(2654435761) % 5000)),
+            step,
+        );
+    })
+}
+
+fn stage_compress_confirm() -> Stage {
+    let mut comp = Compressor::new();
+    comp.observe_native(&ack(1000, 1, 10));
+    let mut i = 0u32;
+    time_stage(100_000, || {
+        i = i.wrapping_add(1);
+        let p = ack(
+            1000u32.wrapping_add(i.wrapping_mul(2920)),
+            1u16.wrapping_add(i as u16),
+            10u32.wrapping_add(i),
+        );
+        let seg = comp.compress(&p).expect("compressible");
+        std::hint::black_box(&seg);
+        comp.confirm(&p);
+    })
+}
+
+fn stage_decompress_blob() -> Stage {
+    // One blob of 21 delayed ACKs (a 42-MPDU A-MPDU batch), the paper's
+    // steady-state shape. Reported per *blob*.
+    let mut comp = Compressor::new();
+    let seed = ack(1000, 1, 10);
+    comp.observe_native(&seed);
+    let segs: Vec<_> = (1..=21u32)
+        .map(|i| {
+            comp.compress(&ack(1000 + i * 2920, 1 + i as u16, 10 + i))
+                .unwrap()
+        })
+        .collect();
+    let seg_slices: Vec<Vec<u8>> = segs.iter().map(|s| s[..].to_vec()).collect();
+    let blob = build_blob(&seg_slices);
+    time_stage(20_000, || {
+        let mut d = Decompressor::new();
+        d.observe_native(&seed);
+        let res = d.decompress_blob(&blob);
+        assert_eq!(res.packets.len(), 21);
+        std::hint::black_box(&res);
+    })
+}
+
+fn stage_blob_rebuild() -> Stage {
+    // The driver's hold-and-rebuild loop: 8 held ACKs, rebuild per ACK
+    // (the InstallBlob path). Measures `rebuild_blob` serialization.
+    let info = RxDataInfo {
+        from: StationId(0),
+        mpdus_ok: 2,
+        more_data: true,
+        sync: false,
+        advances_seq: true,
+        is_aggregate: true,
+    };
+    let mut i = 0u32;
+    time_stage(50_000, || {
+        let mut d = CompressSide::new(HackMode::MoreData);
+        i = i.wrapping_add(1);
+        d.on_ack_out(ack(1000, 1, 10 + i), SimTime::from_millis(1));
+        d.on_data_received(&info, SimTime::from_millis(2));
+        for k in 1..=8u32 {
+            let acts = d.on_ack_out(
+                ack(1000 + k * 2920, 1 + k as u16, 10 + i + k),
+                SimTime::from_millis(2),
+            );
+            assert!(acts
+                .iter()
+                .any(|a| matches!(a, DriverAction::InstallBlob { .. })));
+            std::hint::black_box(&acts);
+        }
+    })
+}
+
+fn stage_md5_cid() -> Stage {
+    let t = ack(1, 1, 1).five_tuple();
+    let bytes = t.bytes();
+    time_stage(200_000, || {
+        std::hint::black_box(hack_rohc::cid_for_tuple(&bytes));
+    })
+}
+
+fn stage_header_serialize() -> Stage {
+    let p = ack(123_456, 7, 99);
+    time_stage(200_000, || {
+        std::hint::black_box(p.header_bytes());
+    })
+}
+
+// ---------------------------------------------------------------------
+// End-to-end events/sec.
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy)]
+struct EndToEnd {
+    events: u64,
+    wall_ns: u64,
+    events_per_sec: f64,
+    ns_per_event: f64,
+    allocs: u64,
+    allocs_per_event: f64,
+    goodput_mbps: f64,
+}
+
+fn end_to_end(quick: bool) -> EndToEnd {
+    let (sim_ms, reps) = if quick { (300, 2) } else { (3000, 3) };
+    let mut best: Option<EndToEnd> = None;
+    for rep in 0..reps {
+        let mut cfg = ScenarioConfig::dot11n_download(150, 1, HackMode::MoreData);
+        cfg.duration = SimDuration::from_millis(sim_ms);
+        cfg.warmup = SimDuration::from_millis(sim_ms / 5);
+        cfg.seed = 1 + rep; // identical work profile, fresh RNG stream
+        let a0 = allocs_now();
+        let t0 = Instant::now();
+        let r = run(cfg);
+        let wall = t0.elapsed();
+        let allocs = allocs_now() - a0;
+        let e = EndToEnd {
+            events: r.events_dispatched,
+            wall_ns: wall.as_nanos() as u64,
+            events_per_sec: r.events_dispatched as f64 / wall.as_secs_f64(),
+            ns_per_event: wall.as_nanos() as f64 / r.events_dispatched as f64,
+            allocs,
+            allocs_per_event: allocs as f64 / r.events_dispatched as f64,
+            goodput_mbps: r.aggregate_goodput_mbps,
+        };
+        if best.is_none_or(|b| e.events_per_sec > b.events_per_sec) {
+            best = Some(e);
+        }
+    }
+    best.expect("at least one rep")
+}
+
+// ---------------------------------------------------------------------
+// JSON output (hand-rolled: no serde offline).
+// ---------------------------------------------------------------------
+
+fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.3}")
+    } else {
+        "null".into()
+    }
+}
+
+fn current_json(e2e: &EndToEnd, stages: &[(&str, Stage)]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(
+        s,
+        "    \"events_per_sec\": {},",
+        fmt_f64(e2e.events_per_sec)
+    );
+    let _ = writeln!(s, "    \"ns_per_event\": {},", fmt_f64(e2e.ns_per_event));
+    let _ = writeln!(s, "    \"events_dispatched\": {},", e2e.events);
+    let _ = writeln!(s, "    \"wall_ns\": {},", e2e.wall_ns);
+    let _ = writeln!(s, "    \"allocs\": {},", e2e.allocs);
+    let _ = writeln!(
+        s,
+        "    \"allocs_per_event\": {},",
+        fmt_f64(e2e.allocs_per_event)
+    );
+    let _ = writeln!(s, "    \"goodput_mbps\": {},", fmt_f64(e2e.goodput_mbps));
+    s.push_str("    \"stages\": {\n");
+    for (i, (name, st)) in stages.iter().enumerate() {
+        let comma = if i + 1 == stages.len() { "" } else { "," };
+        let _ = writeln!(
+            s,
+            "      \"{name}\": {{ \"ns_per_op\": {}, \"allocs_per_op\": {} }}{comma}",
+            fmt_f64(st.ns_per_op),
+            fmt_f64(st.allocs_per_op)
+        );
+    }
+    s.push_str("    }\n  }");
+    s
+}
+
+/// Extract the brace-matched object value of top-level `"key"` from a
+/// JSON document previously written by this tool.
+fn extract_object(text: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\": {{");
+    let start = text.find(&pat)? + pat.len() - 1;
+    let bytes = text.as_bytes();
+    let mut depth = 0usize;
+    for (i, &b) in bytes.iter().enumerate().skip(start) {
+        match b {
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(text[start..=i].to_string());
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+fn extract_number(obj: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\": ");
+    let start = obj.find(&pat)? + pat.len();
+    let rest = &obj[start..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let mut json_path = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => match it.next() {
+                Some(p) => json_path = Some(std::path::PathBuf::from(p)),
+                None => {
+                    eprintln!("--json requires a path");
+                    std::process::exit(2);
+                }
+            },
+            "--quick" => {}
+            other => {
+                eprintln!("unknown flag {other:?}; usage: bench [--json <path>] [--quick]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    println!("== hot-path stages (ns/op, allocs/op) ==");
+    let stages: Vec<(&str, Stage)> = vec![
+        ("queue_push_pop", stage_queue_push_pop()),
+        ("rohc_compress_confirm", stage_compress_confirm()),
+        ("rohc_decompress_blob21", stage_decompress_blob()),
+        ("driver_blob_rebuild_x8", stage_blob_rebuild()),
+        ("md5_cid", stage_md5_cid()),
+        ("header_serialize", stage_header_serialize()),
+    ];
+    for (name, st) in &stages {
+        println!(
+            "{name:<26} {:>12.1} ns/op {:>8.2} allocs/op",
+            st.ns_per_op, st.allocs_per_op
+        );
+    }
+
+    println!("\n== end-to-end: 802.11n 150 Mbps, 1 client, TCP/HACK ==");
+    let e2e = end_to_end(quick);
+    println!(
+        "{:.0} events/sec  ({:.0} ns/event, {} events, {:.2} allocs/event, {:.1} Mbps goodput)",
+        e2e.events_per_sec, e2e.ns_per_event, e2e.events, e2e.allocs_per_event, e2e.goodput_mbps
+    );
+
+    let Some(path) = json_path else { return };
+
+    // Preserve a previously recorded baseline so the file carries a
+    // before/after trajectory; the first ever run seeds the baseline
+    // from its own "current" on the *next* run.
+    let previous = std::fs::read_to_string(&path).ok();
+    let baseline = previous
+        .as_deref()
+        .and_then(|t| extract_object(t, "baseline").or_else(|| extract_object(t, "current")));
+    let current = current_json(&e2e, &stages);
+    let speedup = baseline
+        .as_deref()
+        .and_then(|b| extract_number(b, "events_per_sec"))
+        .map(|b| e2e.events_per_sec / b);
+
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": 1,\n");
+    out.push_str("  \"benchmark\": \"hack hot path: calendar queue + ACK pipeline\",\n");
+    let _ = writeln!(out, "  \"quick\": {quick},");
+    match &baseline {
+        Some(b) => {
+            let _ = writeln!(out, "  \"baseline\": {b},");
+        }
+        None => out.push_str("  \"baseline\": null,\n"),
+    }
+    let _ = writeln!(out, "  \"current\": {current},");
+    match speedup {
+        Some(sp) => {
+            let _ = writeln!(out, "  \"speedup_events_per_sec\": {}", fmt_f64(sp));
+        }
+        None => out.push_str("  \"speedup_events_per_sec\": null\n"),
+    }
+    out.push_str("}\n");
+    if let Err(e) = std::fs::write(&path, out) {
+        eprintln!("bench: cannot write {}: {e}", path.display());
+        std::process::exit(1);
+    }
+    println!("\nwrote {}", path.display());
+    if let Some(sp) = speedup {
+        println!("speedup vs recorded baseline: {sp:.2}x");
+    }
+}

@@ -75,28 +75,42 @@ impl MultiRun {
 
 /// Run `cfg` under `n_seeds` consecutive seeds (base = `cfg.seed`),
 /// in parallel threads, preserving seed order.
+///
+/// Concurrency is bounded by [`std::thread::available_parallelism`]:
+/// seeds are dispatched in chunks of at most that many worker threads,
+/// so a 100-seed sweep on a 8-way box never holds 100 simulations'
+/// event queues in memory at once. Results come back in seed order
+/// regardless of which worker finishes first.
 pub fn run_seeds(cfg: &ScenarioConfig, n_seeds: u64) -> MultiRun {
     let trace_base = TRACE_BASE.get().cloned();
     let run_no = trace_base
         .is_some()
         .then(|| TRACE_RUN_COUNTER.fetch_add(1, Ordering::Relaxed));
-    let handles: Vec<_> = (0..n_seeds)
-        .map(|i| {
-            let mut c = cfg.clone();
-            c.seed = cfg.seed + i;
-            let base = trace_base.clone();
-            std::thread::spawn(move || match (base, run_no) {
-                (Some(base), Some(r)) => run_one_traced(c, &base, r, i),
-                _ => run(c),
+    let workers = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let seeds: Vec<u64> = (0..n_seeds).collect();
+    let mut runs = Vec::with_capacity(seeds.len());
+    for chunk in seeds.chunks(workers) {
+        let handles: Vec<_> = chunk
+            .iter()
+            .map(|&i| {
+                let mut c = cfg.clone();
+                c.seed = cfg.seed + i;
+                let base = trace_base.clone();
+                std::thread::spawn(move || match (base, run_no) {
+                    (Some(base), Some(r)) => run_one_traced(c, &base, r, i),
+                    _ => run(c),
+                })
             })
-        })
-        .collect();
-    MultiRun {
-        runs: handles
-            .into_iter()
-            .map(|h| h.join().expect("scenario thread panicked"))
-            .collect(),
+            .collect();
+        // Joining the whole chunk before starting the next one keeps the
+        // chunk's results contiguous and in seed order.
+        runs.extend(
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("scenario thread panicked")),
+        );
     }
+    MultiRun { runs }
 }
 
 /// Run one traced scenario and write its event log + digest files.
@@ -153,5 +167,23 @@ mod tests {
         let stats = a.aggregate_goodput();
         assert_eq!(stats.samples().len(), 2);
         assert!(stats.mean() > 0.0);
+    }
+
+    #[test]
+    fn results_stay_in_seed_order() {
+        let mut cfg = ScenarioConfig::dot11n_download(150, 1, HackMode::Disabled);
+        cfg.duration = SimDuration::from_millis(1500);
+        let multi = run_seeds(&cfg, 3);
+        assert_eq!(multi.runs.len(), 3);
+        for (i, r) in multi.runs.iter().enumerate() {
+            let mut c = cfg.clone();
+            c.seed = cfg.seed + i as u64;
+            assert_eq!(
+                r.aggregate_goodput_mbps,
+                run(c).aggregate_goodput_mbps,
+                "slot {i} must hold seed {}",
+                cfg.seed + i as u64
+            );
+        }
     }
 }

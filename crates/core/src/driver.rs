@@ -16,8 +16,9 @@
 //! client runs a `CompressSide` toward that client, and the client runs
 //! a `DecompressSide`.
 
+use hack_inline::BufPool;
 use hack_mac::RxDataInfo;
-use hack_rohc::{build_blob, CompressStats, Compressor, DecompressStats, Decompressor};
+use hack_rohc::{CompressStats, Compressor, DecompressStats, Decompressor, RohcSegment};
 use hack_sim::{SimDuration, SimTime};
 use hack_tcp::Ipv4Packet;
 use hack_trace::TraceHandle;
@@ -63,8 +64,8 @@ pub enum DriverAction {
 /// One TCP ACK held compressed on the NIC.
 #[derive(Debug, Clone)]
 struct HeldAck {
-    /// Compressed segment bytes.
-    segment: Vec<u8>,
+    /// Compressed segment bytes (inline — no per-ACK heap allocation).
+    segment: RohcSegment,
     /// The original packet, for native re-enqueue on HACK failure.
     original: Ipv4Packet,
     /// Whether this segment has ridden at least one transmitted LL ACK.
@@ -107,6 +108,10 @@ pub struct CompressSide {
     clear_after_response: bool,
     /// Whether a flush timer is currently armed (ExplicitTimer mode).
     flush_armed: bool,
+    /// Scratch-buffer pool for blob bytes: rebuilds draw from here and
+    /// the event loop returns displaced NIC blobs via
+    /// [`CompressSide::recycle_blob`].
+    pool: BufPool,
     stats: CompressSideStats,
 }
 
@@ -121,6 +126,7 @@ impl CompressSide {
             generation: 0,
             clear_after_response: false,
             flush_armed: false,
+            pool: BufPool::new(),
             stats: CompressSideStats::default(),
         }
     }
@@ -167,12 +173,33 @@ impl CompressSide {
         if self.held.is_empty() {
             DriverAction::ClearBlob
         } else {
-            let segs: Vec<Vec<u8>> = self.held.iter().map(|h| h.segment.clone()).collect();
+            // Serialize straight from `held` into a pooled buffer — no
+            // intermediate Vec<Vec<u8>> and, in steady state, no
+            // allocation at all.
+            let mut bytes = self.pool.take();
+            bytes.reserve(1 + self.held.iter().map(|h| h.segment.len()).sum::<usize>());
+            bytes.push(u8::try_from(self.held.len()).expect("≤255 held ACKs"));
+            for h in &self.held {
+                bytes.extend_from_slice(&h.segment);
+            }
             DriverAction::InstallBlob {
-                bytes: build_blob(&segs),
+                bytes,
                 generation: self.generation,
             }
         }
+    }
+
+    /// Return a displaced NIC blob's byte buffer to the scratch pool.
+    /// The event loop calls this when an InstallBlob replaces an older
+    /// blob or a ClearBlob removes one.
+    pub fn recycle_blob(&mut self, bytes: Vec<u8>) {
+        self.pool.put(bytes);
+    }
+
+    /// Blob scratch-pool counters `(hits, misses)` — the bench harness's
+    /// recycling-efficiency proxy.
+    pub fn pool_stats(&self) -> (u64, u64) {
+        (self.pool.hits(), self.pool.misses())
     }
 
     fn send_native(&mut self, pkt: Ipv4Packet, out: &mut Vec<DriverAction>) {
@@ -450,7 +477,7 @@ mod tests {
                 ack: TcpSeq(ackno),
                 flags: tf::ACK,
                 window: 1024,
-                options: vec![TcpOption::Timestamps { tsval: 5, tsecr: 2 }],
+                options: vec![TcpOption::Timestamps { tsval: 5, tsecr: 2 }].into(),
                 payload_len: 0,
             }),
         }

@@ -56,7 +56,7 @@ mod tests {
                 ack: TcpSeq(0),
                 flags: fl,
                 window: 1000,
-                options: vec![],
+                options: Default::default(),
                 payload_len: payload,
             }),
         })

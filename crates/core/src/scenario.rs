@@ -2,7 +2,7 @@
 
 use hack_mac::MacStats;
 use hack_rohc::{CompressStats, DecompressStats};
-use hack_sim::{SimDuration, SimTime};
+use hack_sim::{QueueKind, SimDuration, SimTime};
 use hack_tcp::TcpStats;
 
 use crate::driver::{CompressSideStats, HackMode};
@@ -98,6 +98,10 @@ pub struct ScenarioConfig {
     pub txop_limit: Option<SimDuration>,
     /// Override the MAC retry limit (ablation; `None` = the standard 7).
     pub retry_limit: Option<u32>,
+    /// Event-queue implementation for the run. Both kinds produce the
+    /// identical event order (same seed ⇒ byte-identical trace digest);
+    /// the calendar queue is the fast default, the heap the reference.
+    pub queue: QueueKind,
 }
 
 impl ScenarioConfig {
@@ -126,6 +130,7 @@ impl ScenarioConfig {
             disable_sync: false,
             txop_limit: None,
             retry_limit: None,
+            queue: QueueKind::Calendar,
         }
     }
 
@@ -160,6 +165,7 @@ impl ScenarioConfig {
             disable_sync: false,
             txop_limit: None,
             retry_limit: None,
+            queue: QueueKind::Calendar,
         }
     }
 
@@ -192,6 +198,9 @@ pub struct RunResult {
     pub decompressor: DecompressStats,
     /// Completed PPDUs on the medium.
     pub ppdus: u64,
+    /// Total discrete events dispatched by the scheduler (the
+    /// denominator of the hot-path events/sec benchmark).
+    pub events_dispatched: u64,
     /// PPDUs corrupted by collisions.
     pub collisions: u64,
     /// Packets tail-dropped at the AP queue.

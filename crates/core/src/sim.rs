@@ -279,7 +279,7 @@ impl World {
 
         let end = SimTime::ZERO + cfg.duration;
         let mut world = World {
-            sched: Scheduler::new(),
+            sched: Scheduler::with_kind(cfg.queue),
             mac_timers: TimerTable::new(),
             tcp_timers: TimerTable::new(),
             flush_timers: TimerTable::new(),
@@ -370,7 +370,7 @@ impl World {
             } => {
                 let side = self
                     .compress
-                    .get(&(station.0, peer.0))
+                    .get_mut(&(station.0, peer.0))
                     .expect("driver exists");
                 if side.generation() == generation {
                     hack_trace::trace_ev!(
@@ -382,7 +382,19 @@ impl World {
                             bytes: bytes.len() as u32
                         }
                     );
-                    self.stations[station.0 as usize].set_hack_blob(peer, HackBlob { bytes });
+                    let displaced =
+                        self.stations[station.0 as usize].set_hack_blob(peer, HackBlob { bytes });
+                    if let Some(old) = displaced {
+                        self.compress
+                            .get_mut(&(station.0, peer.0))
+                            .expect("driver exists")
+                            .recycle_blob(old.bytes);
+                    }
+                } else {
+                    // Stale install (a newer rebuild superseded it while
+                    // this one waited out the DMA delay): recycle the
+                    // bytes instead of dropping them.
+                    side.recycle_blob(bytes);
                 }
             }
             Event::HackFlush(station, peer, token) => {
@@ -621,7 +633,12 @@ impl World {
                     );
                 }
                 DriverAction::ClearBlob => {
-                    self.stations[sid.0 as usize].clear_hack_blob(peer);
+                    let removed = self.stations[sid.0 as usize].clear_hack_blob(peer);
+                    if let Some(old) = removed {
+                        if let Some(side) = self.compress.get_mut(&(sid.0, peer.0)) {
+                            side.recycle_blob(old.bytes);
+                        }
+                    }
                 }
                 DriverAction::SetFlushTimer(at) => {
                     let token = self.flush_timers.arm((sid.0, peer.0));
@@ -918,6 +935,7 @@ impl World {
         }
 
         RunResult {
+            events_dispatched: self.sched.dispatched(),
             aggregate_goodput_mbps: flow_goodput_mbps.iter().sum(),
             flow_goodput_mbps,
             flow_goodput_full_mbps,

@@ -165,14 +165,16 @@ impl<M: Msdu> Station<M> {
     /// Install (replace) the HACK blob for `peer`: the driver's
     /// "TCP/HACK ready" flag plus descriptor contents (§3.3.1, Figure 3).
     /// The blob will be attached to every LL ACK sent to `peer` until
-    /// replaced or cleared.
-    pub fn set_hack_blob(&mut self, peer: StationId, blob: HackBlob) {
-        self.hack_blobs.insert(peer, blob);
+    /// replaced or cleared. Returns the displaced blob, if any, so the
+    /// driver can recycle its byte buffer.
+    pub fn set_hack_blob(&mut self, peer: StationId, blob: HackBlob) -> Option<HackBlob> {
+        self.hack_blobs.insert(peer, blob)
     }
 
     /// Clear `peer`'s HACK slot (driver confirmed delivery or gave up).
-    pub fn clear_hack_blob(&mut self, peer: StationId) {
-        self.hack_blobs.remove(&peer);
+    /// Returns the removed blob, if any, for buffer recycling.
+    pub fn clear_hack_blob(&mut self, peer: StationId) -> Option<HackBlob> {
+        self.hack_blobs.remove(&peer)
     }
 
     /// The blob currently installed for `peer`, if any.

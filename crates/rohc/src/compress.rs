@@ -31,12 +31,19 @@
 
 use std::collections::HashMap;
 
-use hack_tcp::Ipv4Packet;
+use hack_inline::InlineVec;
+use hack_tcp::{FiveTuple, Ipv4Packet};
 use hack_trace::{Event, TraceHandle};
 
 use crate::context::{compressible_ack, wlsb_k, CompContext, FieldRefs};
 use crate::crc::crc3;
 use crate::varint::{write_ivarint, write_uvarint};
+
+/// One compressed ACK segment. Inline capacity of 16 bytes covers every
+/// SACK-free encoding (worst case 4 fixed + 4 ACK + 2 window + 4
+/// timestamp LSBs = 14 bytes); only SACK-laden dup-ACKs spill to the
+/// heap.
+pub type RohcSegment = InlineVec<u8, 16>;
 
 /// Flag bit layout of the FLAGS octet.
 pub(crate) mod flagbits {
@@ -86,6 +93,13 @@ impl CompressStats {
 #[derive(Debug, Default)]
 pub struct Compressor {
     contexts: HashMap<u8, CompContext>,
+    /// Per-flow CID cache: MD5 over the 5-tuple runs once per flow
+    /// (at first sight), not once per ACK. A linear scan beats hashing
+    /// here — a compressor sees a handful of flows at most.
+    cid_cache: Vec<(FiveTuple, u8)>,
+    /// Reused header-serialization buffer for the CRC-3 computation:
+    /// one warm buffer per compressor instead of a fresh `Vec` per ACK.
+    scratch: Vec<u8>,
     stats: CompressStats,
     trace: TraceHandle,
     trace_node: u32,
@@ -122,6 +136,17 @@ impl Compressor {
         self.contexts.len()
     }
 
+    /// The flow's CID, computing the MD5 only on first sight of the
+    /// 5-tuple.
+    fn cid_of(&mut self, tuple: &FiveTuple) -> u8 {
+        if let Some(&(_, cid)) = self.cid_cache.iter().find(|(t, _)| t == tuple) {
+            return cid;
+        }
+        let cid = crate::md5::cid_for_tuple(&tuple.bytes());
+        self.cid_cache.push((*tuple, cid));
+        cid
+    }
+
     /// A native ACK was *enqueued* for transmission: create the flow's
     /// context if needed, or register the packet as an outstanding
     /// (unconfirmed) reference.
@@ -132,7 +157,7 @@ impl Compressor {
         let Some(fresh) = CompContext::from_native(pkt) else {
             return;
         };
-        let cid = fresh.cid();
+        let cid = self.cid_of(&fresh.tuple);
         match self.contexts.get_mut(&cid) {
             Some(ctx) if ctx.tuple == pkt.five_tuple() => ctx.native_enqueued(pkt, seg),
             Some(_) => {
@@ -167,9 +192,10 @@ impl Compressor {
         let Some(seg) = compressible_ack(pkt) else {
             return;
         };
-        let cid = crate::md5::cid_for_tuple(&pkt.five_tuple().bytes());
+        let tuple = pkt.five_tuple();
+        let cid = self.cid_of(&tuple);
         if let Some(ctx) = self.contexts.get_mut(&cid) {
-            if ctx.tuple == pkt.five_tuple() {
+            if ctx.tuple == tuple {
                 ctx.confirmed(&FieldRefs::of(pkt, seg));
             }
         }
@@ -177,13 +203,13 @@ impl Compressor {
 
     /// Try to compress `pkt`. Returns the encoded segment, or `None`
     /// when the packet must be sent natively.
-    pub fn compress(&mut self, pkt: &Ipv4Packet) -> Option<Vec<u8>> {
+    pub fn compress(&mut self, pkt: &Ipv4Packet) -> Option<RohcSegment> {
         let Some(seg) = compressible_ack(pkt) else {
             self.stats.declined += 1;
             return None;
         };
         let tuple = pkt.five_tuple();
-        let cid = crate::md5::cid_for_tuple(&tuple.bytes());
+        let cid = self.cid_of(&tuple);
         let Some(ctx) = self.contexts.get_mut(&cid) else {
             self.stats.declined += 1;
             return None;
@@ -246,8 +272,8 @@ impl Compressor {
         if ts_k == 16 {
             flags |= flagbits::TS_K;
         }
-        let header = pkt.header_bytes();
-        flags |= crc3(&header) & flagbits::CRC_MASK;
+        pkt.header_bytes_into(&mut self.scratch);
+        flags |= crc3(&self.scratch) & flagbits::CRC_MASK;
 
         let msn = ctx.msn.wrapping_add(1);
         ctx.msn = msn;
@@ -261,7 +287,7 @@ impl Compressor {
             }
         );
 
-        let mut out = Vec::with_capacity(12);
+        let mut out = RohcSegment::new();
         out.push(cid);
         out.push(flags);
         out.push(msn);
@@ -294,14 +320,23 @@ impl Compressor {
 
 /// Assemble compressed segments into a blob: `count` followed by the
 /// concatenated segments (the frame the NIC appends to an LL ACK).
-pub fn build_blob(segments: &[Vec<u8>]) -> Vec<u8> {
+/// Generic over the segment representation so both `Vec<u8>` and
+/// [`RohcSegment`] slices work.
+pub fn build_blob<S: AsRef<[u8]>>(segments: &[S]) -> Vec<u8> {
+    let mut out = Vec::new();
+    build_blob_into(&mut out, segments);
+    out
+}
+
+/// [`build_blob`] into a caller-provided (typically pooled) buffer.
+pub fn build_blob_into<S: AsRef<[u8]>>(out: &mut Vec<u8>, segments: &[S]) {
     assert!(segments.len() <= 255, "blob segment count overflow");
-    let mut out = Vec::with_capacity(1 + segments.iter().map(Vec::len).sum::<usize>());
+    out.clear();
+    out.reserve(1 + segments.iter().map(|s| s.as_ref().len()).sum::<usize>());
     out.push(segments.len() as u8);
     for s in segments {
-        out.extend_from_slice(s);
+        out.extend_from_slice(s.as_ref());
     }
-    out
 }
 
 #[cfg(test)]
@@ -325,7 +360,8 @@ mod tests {
                 options: vec![TcpOption::Timestamps {
                     tsval: ts,
                     tsecr: ts.wrapping_sub(3),
-                }],
+                }]
+                .into(),
                 payload_len: 0,
             }),
         }
@@ -460,6 +496,9 @@ mod tests {
     fn blob_assembly() {
         let blob = build_blob(&[vec![1, 2], vec![3]]);
         assert_eq!(blob, vec![2, 1, 2, 3]);
-        assert_eq!(build_blob(&[]), vec![0]);
+        assert_eq!(build_blob::<Vec<u8>>(&[]), vec![0]);
+        let mut pooled = Vec::with_capacity(64);
+        build_blob_into(&mut pooled, &[vec![9u8, 8], vec![7]]);
+        assert_eq!(pooled, vec![2, 9, 8, 7]);
     }
 }

@@ -281,7 +281,8 @@ mod tests {
                 options: vec![TcpOption::Timestamps {
                     tsval,
                     tsecr: tsval.wrapping_sub(3),
-                }],
+                }]
+                .into(),
                 payload_len: 0,
             }),
         }

@@ -65,6 +65,9 @@ pub struct DecompressStats {
 #[derive(Debug, Default)]
 pub struct Decompressor {
     contexts: HashMap<u8, DecompContext>,
+    /// Per-flow CID cache — MD5 once per flow, not per native ACK (the
+    /// compressed path carries the CID on the wire already).
+    cid_cache: Vec<(hack_tcp::FiveTuple, u8)>,
     stats: DecompressStats,
     trace: TraceHandle,
     trace_node: u32,
@@ -120,7 +123,13 @@ impl Decompressor {
         let Some(fresh) = DecompContext::from_native(pkt) else {
             return;
         };
-        let cid = fresh.cid();
+        let cid = if let Some(&(_, cid)) = self.cid_cache.iter().find(|(t, _)| t == &fresh.tuple) {
+            cid
+        } else {
+            let cid = fresh.cid();
+            self.cid_cache.push((fresh.tuple, cid));
+            cid
+        };
         match self.contexts.get_mut(&cid) {
             Some(ctx) if ctx.tuple == pkt.five_tuple() => ctx.refresh_native(pkt, seg),
             Some(_) => {}
@@ -241,7 +250,7 @@ impl Decompressor {
             None
         };
 
-        let mut options = Vec::new();
+        let mut options = hack_tcp::TcpOptions::new();
         if let Some((tsval, tsecr)) = ts {
             options.push(TcpOption::Timestamps { tsval, tsecr });
         }
@@ -426,7 +435,8 @@ mod tests {
                 options: vec![TcpOption::Timestamps {
                     tsval: ts,
                     tsecr: ts.wrapping_sub(3),
-                }],
+                }]
+                .into(),
                 payload_len: 0,
             }),
         }

@@ -38,7 +38,7 @@ pub mod decompress;
 pub mod md5;
 pub mod varint;
 
-pub use compress::{build_blob, CompressStats, Compressor};
+pub use compress::{build_blob, build_blob_into, CompressStats, Compressor, RohcSegment};
 pub use context::{CompContext, DecompContext, FieldRefs};
 pub use decompress::{BlobResult, DecompressError, DecompressStats, Decompressor};
 pub use md5::{cid_for_tuple, md5};

@@ -15,21 +15,22 @@ pub fn unzigzag(v: u64) -> i64 {
     ((v >> 1) as i64) ^ -((v & 1) as i64)
 }
 
-/// Append the LEB128 encoding of `v` to `out`.
-pub fn write_uvarint(out: &mut Vec<u8>, mut v: u64) {
+/// Append the LEB128 encoding of `v` to `out`. Generic over the sink
+/// so both `Vec<u8>` and the inline segment buffer work.
+pub fn write_uvarint<B: Extend<u8>>(out: &mut B, mut v: u64) {
     loop {
         let byte = (v & 0x7F) as u8;
         v >>= 7;
         if v == 0 {
-            out.push(byte);
+            out.extend([byte]);
             return;
         }
-        out.push(byte | 0x80);
+        out.extend([byte | 0x80]);
     }
 }
 
 /// Append a zigzag-varint-encoded signed value.
-pub fn write_ivarint(out: &mut Vec<u8>, v: i64) {
+pub fn write_ivarint<B: Extend<u8>>(out: &mut B, v: i64) {
     write_uvarint(out, zigzag(v));
 }
 

@@ -21,7 +21,8 @@ fn ack_pkt(ackno: u32, ident: u16, tsval: u32, window: u16) -> Ipv4Packet {
             options: vec![TcpOption::Timestamps {
                 tsval,
                 tsecr: tsval.wrapping_sub(3),
-            }],
+            }]
+            .into(),
             payload_len: 0,
         }),
     }

@@ -29,7 +29,7 @@ pub mod time;
 pub mod timer;
 pub mod trace;
 
-pub use queue::{EventQueue, Scheduler};
+pub use queue::{CalendarQueue, EventQueue, HeapEventQueue, QueueKind, Scheduler};
 pub use rng::SimRng;
 pub use stats::{Counter, Histogram, RunStats, RunningStats, ThroughputMeter, TimeAccumulator};
 pub use time::{SimDuration, SimTime};

@@ -1,9 +1,71 @@
 //! Property-based tests for the simulation kernel's core invariants.
 
-use hack_sim::{EventQueue, Scheduler, SimDuration, SimRng, SimTime, TimerTable};
+use hack_sim::{
+    CalendarQueue, EventQueue, HeapEventQueue, QueueKind, Scheduler, SimDuration, SimRng, SimTime,
+    TimerTable,
+};
 use proptest::prelude::*;
 
 proptest! {
+    /// Differential test: the calendar queue and the binary heap pop the
+    /// *identical* (time, payload) sequence for any push order —
+    /// including same-instant FIFO bursts (the `dup` factor repeats
+    /// times so ties are common).
+    #[test]
+    fn calendar_matches_heap_total_order(
+        times in proptest::collection::vec((0u64..200_000, 1usize..5), 1..150),
+    ) {
+        let mut cal = CalendarQueue::new();
+        let mut heap = HeapEventQueue::new();
+        let mut idx = 0usize;
+        for &(t, dup) in &times {
+            for _ in 0..dup {
+                cal.push(SimTime::from_nanos(t), idx);
+                heap.push(SimTime::from_nanos(t), idx);
+                idx += 1;
+            }
+        }
+        loop {
+            prop_assert_eq!(cal.peek_time(), heap.peek_time());
+            let (a, b) = (cal.pop(), heap.pop());
+            prop_assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
+    /// Same differential test under a scheduler-like workload: pops
+    /// interleaved with pushes that are relative to the last popped
+    /// time (events never scheduled into the past), crossing many
+    /// resize and year boundaries.
+    #[test]
+    fn calendar_matches_heap_interleaved(
+        ops in proptest::collection::vec((0u64..3_000_000, 0u8..4), 1..300),
+    ) {
+        let mut cal = EventQueue::with_kind(QueueKind::Calendar);
+        let mut heap = EventQueue::with_kind(QueueKind::Heap);
+        let mut now = 0u64;
+        for (i, &(delay, pops)) in ops.iter().enumerate() {
+            cal.push(SimTime::from_nanos(now + delay), i);
+            heap.push(SimTime::from_nanos(now + delay), i);
+            for _ in 0..pops {
+                let (a, b) = (cal.pop(), heap.pop());
+                prop_assert_eq!(a, b);
+                if let Some((t, _)) = a {
+                    now = t.as_nanos();
+                }
+            }
+        }
+        loop {
+            let (a, b) = (cal.pop(), heap.pop());
+            prop_assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
     /// Events always pop in non-decreasing time order regardless of
     /// insertion order.
     #[test]

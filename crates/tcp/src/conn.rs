@@ -15,7 +15,7 @@ use hack_sim::{SimDuration, SimTime};
 use crate::cc::NewReno;
 use crate::rto::RtoEstimator;
 use crate::seq::TcpSeq;
-use crate::wire::{flags, FiveTuple, Ipv4Packet, TcpOption, TcpSegment, Transport};
+use crate::wire::{flags, FiveTuple, Ipv4Packet, TcpOption, TcpOptions, TcpSegment, Transport};
 
 /// Endpoint configuration.
 #[derive(Debug, Clone)]
@@ -304,15 +304,15 @@ impl Connection {
 
     // ---- segment construction ------------------------------------------
 
-    fn base_options(&self, now: SimTime) -> Vec<TcpOption> {
+    fn base_options(&self, now: SimTime) -> TcpOptions {
+        let mut options = TcpOptions::new();
         if self.cfg.use_timestamps && self.peer_ts {
-            vec![TcpOption::Timestamps {
+            options.push(TcpOption::Timestamps {
                 tsval: now_ms(now),
                 tsecr: self.ts_recent,
-            }]
-        } else {
-            Vec::new()
+            });
         }
+        options
     }
 
     fn window_field(&self) -> u16 {
@@ -333,10 +333,11 @@ impl Connection {
     }
 
     fn make_syn(&mut self, is_synack: bool, now: SimTime) -> Ipv4Packet {
-        let mut options = vec![
-            TcpOption::Mss(u16::try_from(self.cfg.mss).unwrap_or(u16::MAX)),
-            TcpOption::WindowScale(self.cfg.wscale),
-        ];
+        let mut options = TcpOptions::new();
+        options.push(TcpOption::Mss(
+            u16::try_from(self.cfg.mss).unwrap_or(u16::MAX),
+        ));
+        options.push(TcpOption::WindowScale(self.cfg.wscale));
         if self.cfg.use_sack {
             options.push(TcpOption::SackPermitted);
         }
@@ -1328,7 +1329,7 @@ mod tests {
                     ack: ackno,
                     flags: flags::ACK,
                     window: 1024,
-                    options,
+                    options: options.into(),
                     payload_len: 0,
                 }),
             }

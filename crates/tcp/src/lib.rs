@@ -27,5 +27,6 @@ pub use conn::{Connection, SendBudget, TcpConfig, TcpState, TcpStats};
 pub use rto::RtoEstimator;
 pub use seq::TcpSeq;
 pub use wire::{
-    flags, FiveTuple, Ipv4Addr, Ipv4Packet, ParseError, TcpOption, TcpSegment, Transport,
+    flags, FiveTuple, Ipv4Addr, Ipv4Packet, ParseError, TcpOption, TcpOptions, TcpSegment,
+    Transport,
 };

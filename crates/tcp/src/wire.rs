@@ -9,7 +9,15 @@
 
 use std::fmt;
 
+use hack_inline::InlineVec;
+
 use crate::seq::TcpSeq;
+
+/// Option list of a segment. Four slots cover every real shape (a SYN
+/// carries MSS + window scale + SACK-permitted + timestamps; everything
+/// later carries at most timestamps + SACK), so option lists never
+/// touch the heap on the hot path.
+pub type TcpOptions = InlineVec<TcpOption, 4>;
 
 /// An IPv4 address (stored as a `u32` for arithmetic convenience).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -103,6 +111,14 @@ pub enum TcpOption {
     Sack(Vec<(TcpSeq, TcpSeq)>),
 }
 
+/// Vacant-slot filler for [`TcpOptions`] inline storage; never
+/// observable through the list's public length.
+impl Default for TcpOption {
+    fn default() -> Self {
+        TcpOption::SackPermitted
+    }
+}
+
 impl TcpOption {
     /// Encoded length in bytes (excluding alignment padding).
     pub fn wire_len(&self) -> usize {
@@ -165,7 +181,7 @@ pub struct TcpSegment {
     /// On-wire (unscaled) window field.
     pub window: u16,
     /// Options.
-    pub options: Vec<TcpOption>,
+    pub options: TcpOptions,
     /// Payload length in bytes (contents are synthetic zeros).
     pub payload_len: u32,
 }
@@ -317,58 +333,68 @@ impl Ipv4Packet {
     /// # Panics
     /// Panics for UDP packets (never compressed by HACK).
     pub fn header_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.header_bytes_into(&mut out);
+        out
+    }
+
+    /// [`Ipv4Packet::header_bytes`] into a caller-provided scratch
+    /// buffer (cleared first): the hot-path form — one buffer, no
+    /// intermediate IP/TCP/pseudo-header vectors, and zero allocations
+    /// when the scratch capacity is warm.
+    ///
+    /// # Panics
+    /// Panics for UDP packets (never compressed by HACK).
+    pub fn header_bytes_into(&self, out: &mut Vec<u8>) {
         let Transport::Tcp(tcp) = &self.transport else {
             panic!("header_bytes is only defined for TCP packets");
         };
+        out.clear();
+        out.reserve(20 + tcp.header_len() as usize);
+
         let total_len = self.wire_len() as u16;
-        let mut ip = Vec::with_capacity(20);
-        ip.push(0x45); // version 4, IHL 5
-        ip.push(0); // DSCP/ECN
-        ip.extend_from_slice(&total_len.to_be_bytes());
-        ip.extend_from_slice(&self.ident.to_be_bytes());
-        ip.extend_from_slice(&[0x40, 0x00]); // DF, no fragment offset
-        ip.push(self.ttl);
-        ip.push(6); // TCP
-        ip.extend_from_slice(&[0, 0]); // checksum placeholder
-        ip.extend_from_slice(&self.src.0.to_be_bytes());
-        ip.extend_from_slice(&self.dst.0.to_be_bytes());
-        let cks = ones_complement_sum(&ip);
-        ip[10..12].copy_from_slice(&cks.to_be_bytes());
+        out.push(0x45); // version 4, IHL 5
+        out.push(0); // DSCP/ECN
+        out.extend_from_slice(&total_len.to_be_bytes());
+        out.extend_from_slice(&self.ident.to_be_bytes());
+        out.extend_from_slice(&[0x40, 0x00]); // DF, no fragment offset
+        out.push(self.ttl);
+        out.push(6); // TCP
+        out.extend_from_slice(&[0, 0]); // checksum placeholder
+        out.extend_from_slice(&self.src.0.to_be_bytes());
+        out.extend_from_slice(&self.dst.0.to_be_bytes());
+        let cks = ones_complement_sum(&out[..20]);
+        out[10..12].copy_from_slice(&cks.to_be_bytes());
 
-        // TCP header.
-        let mut t = Vec::with_capacity(tcp.header_len() as usize);
-        t.extend_from_slice(&tcp.src_port.to_be_bytes());
-        t.extend_from_slice(&tcp.dst_port.to_be_bytes());
-        t.extend_from_slice(&tcp.seq.0.to_be_bytes());
-        t.extend_from_slice(&tcp.ack.0.to_be_bytes());
+        // TCP header, in place after the IP header.
+        out.extend_from_slice(&tcp.src_port.to_be_bytes());
+        out.extend_from_slice(&tcp.dst_port.to_be_bytes());
+        out.extend_from_slice(&tcp.seq.0.to_be_bytes());
+        out.extend_from_slice(&tcp.ack.0.to_be_bytes());
         let data_offset = (tcp.header_len() / 4) as u8;
-        t.push(data_offset << 4);
-        t.push(tcp.flags);
-        t.extend_from_slice(&tcp.window.to_be_bytes());
-        t.extend_from_slice(&[0, 0]); // checksum placeholder
-        t.extend_from_slice(&[0, 0]); // urgent pointer
+        out.push(data_offset << 4);
+        out.push(tcp.flags);
+        out.extend_from_slice(&tcp.window.to_be_bytes());
+        out.extend_from_slice(&[0, 0]); // checksum placeholder
+        out.extend_from_slice(&[0, 0]); // urgent pointer
         for opt in &tcp.options {
-            opt.encode(&mut t);
+            opt.encode(out);
         }
-        while t.len() % 4 != 0 {
-            t.push(1); // NOP padding
+        while !(out.len() - 20).is_multiple_of(4) {
+            out.push(1); // NOP padding
         }
-        debug_assert_eq!(t.len() as u32, tcp.header_len());
+        debug_assert_eq!(out.len() as u32, 20 + tcp.header_len());
 
-        // TCP checksum over pseudo-header + header + zero payload.
-        let mut pseudo = Vec::with_capacity(12 + t.len());
-        pseudo.extend_from_slice(&self.src.0.to_be_bytes());
-        pseudo.extend_from_slice(&self.dst.0.to_be_bytes());
-        pseudo.push(0);
-        pseudo.push(6);
-        pseudo.extend_from_slice(&(tcp.wire_len() as u16).to_be_bytes());
-        pseudo.extend_from_slice(&t);
+        // TCP checksum over pseudo-header + header + zero payload; the
+        // pseudo-header lives on the stack, not in a Vec.
+        let mut pseudo = [0u8; 12];
+        pseudo[0..4].copy_from_slice(&self.src.0.to_be_bytes());
+        pseudo[4..8].copy_from_slice(&self.dst.0.to_be_bytes());
+        pseudo[9] = 6;
+        pseudo[10..12].copy_from_slice(&(tcp.wire_len() as u16).to_be_bytes());
         // Zero payload contributes nothing to the sum.
-        let cks = ones_complement_sum(&pseudo);
-        t[16..18].copy_from_slice(&cks.to_be_bytes());
-
-        ip.extend_from_slice(&t);
-        ip
+        let cks = ones_complement_sum_2(&pseudo, &out[20..]);
+        out[36..38].copy_from_slice(&cks.to_be_bytes());
     }
 
     /// Parse header bytes produced by [`Ipv4Packet::header_bytes`],
@@ -412,18 +438,16 @@ impl Ipv4Packet {
             .ok_or(ParseError::BadLength)?;
 
         // Validate the TCP checksum (payload is zeros by construction).
-        let mut pseudo = Vec::with_capacity(12 + data_offset);
-        pseudo.extend_from_slice(&src.0.to_be_bytes());
-        pseudo.extend_from_slice(&dst.0.to_be_bytes());
-        pseudo.push(0);
-        pseudo.push(6);
-        pseudo.extend_from_slice(&(tcp_len as u16).to_be_bytes());
-        pseudo.extend_from_slice(&t[..data_offset]);
-        if ones_complement_sum(&pseudo) != 0 {
+        let mut pseudo = [0u8; 12];
+        pseudo[0..4].copy_from_slice(&src.0.to_be_bytes());
+        pseudo[4..8].copy_from_slice(&dst.0.to_be_bytes());
+        pseudo[9] = 6;
+        pseudo[10..12].copy_from_slice(&(tcp_len as u16).to_be_bytes());
+        if ones_complement_sum_2(&pseudo, &t[..data_offset]) != 0 {
             return Err(ParseError::BadTcpChecksum);
         }
 
-        let mut options = Vec::new();
+        let mut options = TcpOptions::new();
         let mut i = 20;
         while i < data_offset {
             match t[i] {
@@ -490,6 +514,19 @@ impl Ipv4Packet {
 
 /// RFC 1071 ones-complement checksum.
 fn ones_complement_sum(bytes: &[u8]) -> u16 {
+    fold(raw_sum(bytes))
+}
+
+/// RFC 1071 checksum over the logical concatenation `a ++ b` (used so
+/// the pseudo-header never has to be copied in front of the TCP
+/// header). `a` must be even-length for the concatenation to preserve
+/// 16-bit word alignment.
+fn ones_complement_sum_2(a: &[u8], b: &[u8]) -> u16 {
+    debug_assert!(a.len().is_multiple_of(2));
+    fold(raw_sum(a) + raw_sum(b))
+}
+
+fn raw_sum(bytes: &[u8]) -> u32 {
     let mut sum = 0u32;
     let mut chunks = bytes.chunks_exact(2);
     for c in &mut chunks {
@@ -498,6 +535,10 @@ fn ones_complement_sum(bytes: &[u8]) -> u16 {
     if let Some(&b) = chunks.remainder().first() {
         sum += u32::from(u16::from_be_bytes([b, 0]));
     }
+    sum
+}
+
+fn fold(mut sum: u32) -> u16 {
     while sum > 0xFFFF {
         sum = (sum & 0xFFFF) + (sum >> 16);
     }
@@ -524,7 +565,8 @@ mod tests {
                 options: vec![TcpOption::Timestamps {
                     tsval: 111,
                     tsecr: 222,
-                }],
+                }]
+                .into(),
                 payload_len: 0,
             }),
         }
@@ -568,7 +610,8 @@ mod tests {
                         tsval: 0xDEAD_BEEF,
                         tsecr: 0,
                     },
-                ],
+                ]
+                .into(),
                 payload_len: 0,
             }),
         };
@@ -596,7 +639,8 @@ mod tests {
                         (TcpSeq(2000), TcpSeq(3460)),
                         (TcpSeq(5000), TcpSeq(6460)),
                     ]),
-                ],
+                ]
+                .into(),
                 payload_len: 0,
             }),
         };

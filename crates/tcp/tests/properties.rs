@@ -70,7 +70,9 @@ fn arb_packet() -> impl Strategy<Value = Ipv4Packet> {
                     ack: TcpSeq(ack),
                     flags: fl,
                     window,
-                    options,
+                    // Five options are possible here: exercises the
+                    // InlineVec spill path too.
+                    options: options.into(),
                     payload_len: plen,
                 }),
             },

@@ -25,7 +25,8 @@ fn ack(ackno: u32, ident: u16, ts: u32) -> Ipv4Packet {
             options: vec![TcpOption::Timestamps {
                 tsval: ts,
                 tsecr: ts - 2,
-            }],
+            }]
+            .into(),
             payload_len: 0,
         }),
     }
