@@ -13,6 +13,10 @@
 //!   fig10   802.11n aggregate goodput vs number of clients
 //!   fig11   goodput envelope vs SNR across 802.11n rates
 //!   fig12   theoretical vs simulated goodput vs 802.11n rate
+//!   loss-sweep    goodput vs loss rate, TCP vs TCP/HACK, i.i.d. vs bursty
+//!   fault-matrix  one seeded run per loss model (ideal / fixed / burst /
+//!                 corrupting); exits nonzero on zero goodput or a silent
+//!                 corrupted-delivery path (CI smoke)
 //!   ablate-timer | ablate-delack | ablate-sync | ablate-txop
 //!   all     everything above
 //! ```
@@ -27,7 +31,7 @@
 
 use hack_analysis::{CapacityModel, Protocol};
 use hack_bench::{run_seeds, set_trace_base};
-use hack_core::{HackMode, LossConfig, ScenarioConfig};
+use hack_core::{CorruptModel, GeParams, HackMode, LossConfig, ScenarioConfig};
 use hack_phy::{Channel, PhyRate, StationId, DOT11A_RATES_MBPS, DOT11N_HT40_SGI_MBPS};
 use hack_sim::SimDuration;
 
@@ -82,6 +86,8 @@ fn main() {
         "fig10" => fig10(&opts),
         "fig11" => fig11(&opts),
         "fig12" => fig12(&opts),
+        "loss-sweep" => loss_sweep(&opts),
+        "fault-matrix" => fault_matrix(&opts),
         "ablate-timer" => ablate_timer(&opts),
         "ablate-delack" => ablate_delack(&opts),
         "ablate-sync" => ablate_sync(&opts),
@@ -97,6 +103,8 @@ fn main() {
             fig10(&opts);
             fig11(&opts);
             fig12(&opts);
+            loss_sweep(&opts);
+            fault_matrix(&opts);
             ablate_timer(&opts);
             ablate_delack(&opts);
             ablate_sync(&opts);
@@ -336,6 +344,96 @@ fn xval(opts: &Opts) {
         }
         println!("{row}");
     }
+}
+
+// ----------------------------------------------------------------------
+// Fault injection: loss-rate sweep and the CI fault matrix
+// ----------------------------------------------------------------------
+
+fn loss_sweep(opts: &Opts) {
+    banner("Loss sweep: goodput (Mbps) vs loss rate, i.i.d. vs bursty (mean burst 8)");
+    println!("(same mean loss, different clustering: Gilbert–Elliott trades back-to-back");
+    println!(" losses for longer clean spells, which A-MPDU retries ride out differently)");
+    println!(
+        "{:<6} {:>16} {:>16} {:>16} {:>16}",
+        "loss", "TCP iid", "HACK iid", "TCP burst", "HACK burst"
+    );
+    for loss in [0.0, 0.02, 0.05, 0.10, 0.15, 0.20] {
+        let mut row = format!("{:>4.0}% ", loss * 100.0);
+        for burst in [false, true] {
+            for mode in [HackMode::Disabled, HackMode::MoreData] {
+                let mut cfg = ScenarioConfig::sora_testbed(1, mode);
+                cfg.loss = if burst {
+                    LossConfig::Burst(GeParams::bursty(loss, 8.0))
+                } else {
+                    LossConfig::PerClient(vec![loss])
+                };
+                cfg.duration = SimDuration::from_secs(opts.secs);
+                let mr = run_seeds(&cfg, opts.seeds);
+                row.push_str(&format!(" {:>16}", mr.aggregate_goodput().to_string()));
+            }
+        }
+        println!("{row}");
+    }
+}
+
+fn fault_matrix(opts: &Opts) {
+    banner("Fault matrix: one seeded run per loss model (CI smoke)");
+    println!("(fails the process on zero goodput, or if the corrupting row never");
+    println!(" exercises the FCS / ROHC CRC-3 corrupted-delivery path)");
+    println!(
+        "{:<12} {:>16} {:>12} {:>12}",
+        "model", "goodput", "rx_fcs_bad", "crc_fail"
+    );
+    let mut failed = false;
+    for (label, loss, corrupt) in [
+        ("ideal", LossConfig::Ideal, None),
+        ("fixed", LossConfig::PerClient(vec![0.12]), None),
+        (
+            "burst",
+            LossConfig::Burst(GeParams::bursty(0.12, 8.0)),
+            None,
+        ),
+        (
+            "corrupting",
+            LossConfig::Burst(GeParams::bursty(0.12, 8.0)),
+            Some(CorruptModel {
+                data_frac: 0.5,
+                control_per: 0.02,
+                fcs_miss: 0.25,
+            }),
+        ),
+    ] {
+        let mut cfg = ScenarioConfig::sora_testbed(1, HackMode::MoreData);
+        cfg.loss = loss;
+        cfg.corrupt = corrupt;
+        cfg.duration = SimDuration::from_secs(opts.secs);
+        let mr = run_seeds(&cfg, 1);
+        let fcs_bad: u64 = mr
+            .runs
+            .iter()
+            .flat_map(|r| r.mac.iter())
+            .map(|m| m.rx_fcs_bad.get())
+            .sum();
+        let crc: u64 = mr.runs.iter().map(|r| r.decompressor.crc_failures).sum();
+        let goodput = mr.aggregate_goodput().mean();
+        let mut verdict = "";
+        if goodput <= 0.0 {
+            verdict = "  <-- FAIL: zero goodput";
+            failed = true;
+        } else if corrupt.is_some() && (fcs_bad == 0 || crc == 0) {
+            verdict = "  <-- FAIL: corrupted-delivery path silent";
+            failed = true;
+        }
+        println!(
+            "{label:<12} {:>14.2} M {fcs_bad:>12} {crc:>12}{verdict}",
+            goodput
+        );
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!("fault matrix OK");
 }
 
 // ----------------------------------------------------------------------

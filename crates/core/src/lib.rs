@@ -35,7 +35,10 @@ pub mod sim;
 pub mod wired;
 
 pub use driver::{CompressSide, CompressSideStats, DecompressSide, DriverAction, HackMode};
+pub use hack_phy::{CorruptModel, GeParams};
 pub use packet::NetPacket;
-pub use scenario::{LossConfig, RunResult, ScenarioConfig, Standard, TrafficKind};
+pub use scenario::{
+    ChannelChange, ChannelEvent, LossConfig, RunResult, ScenarioConfig, Standard, TrafficKind,
+};
 pub use sim::{run, run_traced, World};
 pub use wired::WiredLink;

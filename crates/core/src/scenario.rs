@@ -1,6 +1,7 @@
 //! Scenario configuration and results — the experiment-facing API.
 
 use hack_mac::MacStats;
+use hack_phy::{CorruptModel, GeParams};
 use hack_rohc::{CompressStats, DecompressStats};
 use hack_sim::{QueueKind, SimDuration, SimTime};
 use hack_tcp::TcpStats;
@@ -44,6 +45,44 @@ pub enum LossConfig {
     /// SNR-driven loss with every client at the given distance from the
     /// AP (the Figure 11 sweep).
     SnrDistance(f64),
+    /// Gilbert–Elliott bursty loss, identical parameters on every link
+    /// (fading clusters losses; same mean rate as an i.i.d. model with
+    /// [`GeParams::expected_loss`]).
+    Burst(GeParams),
+}
+
+/// One scheduled mid-run change to the channel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChannelEvent {
+    /// When the change takes effect, measured from simulation start.
+    pub at: SimDuration,
+    /// What changes.
+    pub change: ChannelChange,
+}
+
+/// The kinds of mid-run channel dynamics a scenario can schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ChannelChange {
+    /// Set the global SNR offset in dB (a cell-wide fade or recovery;
+    /// only meaningful under [`LossConfig::SnrDistance`]).
+    SnrOffsetDb(f64),
+    /// Set one client's fixed per-MPDU loss rate (loss-rate step).
+    ClientLoss {
+        /// Client index (0-based).
+        client: usize,
+        /// New per-MPDU loss probability.
+        per: f64,
+    },
+    /// Move one client to new coordinates in metres (station mobility;
+    /// only meaningful when a propagation channel is modelled).
+    MoveClient {
+        /// Client index (0-based).
+        client: usize,
+        /// New x coordinate (m).
+        x: f64,
+        /// New y coordinate (m).
+        y: f64,
+    },
 }
 
 /// Full description of one simulation run.
@@ -67,6 +106,10 @@ pub struct ScenarioConfig {
     pub ap_queue_cap: usize,
     /// Loss environment.
     pub loss: LossConfig,
+    /// Corrupted-delivery fault injection (`None` = plain drops).
+    pub corrupt: Option<CorruptModel>,
+    /// Scheduled mid-run channel dynamics, applied in `at` order.
+    pub dynamics: Vec<ChannelEvent>,
     /// Host network-stack turnaround (data in → ACK out). Must exceed
     /// SIFS — that gap is the premise of the whole design (§2.2).
     pub stack_delay: SimDuration,
@@ -118,6 +161,8 @@ impl ScenarioConfig {
             server_at_ap: false,
             ap_queue_cap: 126,
             loss: LossConfig::Ideal,
+            corrupt: None,
+            dynamics: Vec::new(),
             stack_delay: SimDuration::from_micros(30),
             dma_delay: SimDuration::from_micros(15),
             duration: SimDuration::from_secs(10),
@@ -153,6 +198,8 @@ impl ScenarioConfig {
             // tail-drop-limited.
             ap_queue_cap: 1000,
             loss: LossConfig::PerClient(per),
+            corrupt: None,
+            dynamics: Vec::new(),
             stack_delay: SimDuration::from_micros(30),
             dma_delay: SimDuration::from_micros(15),
             duration: SimDuration::from_secs(10),

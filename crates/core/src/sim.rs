@@ -17,14 +17,16 @@
 use std::collections::HashMap;
 
 use hack_mac::{Action, Frame, HackBlob, MacConfig, Station, TimerKind, TxDescriptor};
-use hack_phy::{Channel, LossModel, Medium, PhyRate, PpduMeta, StationId, TxId};
+use hack_phy::{Channel, LossModel, Medium, MpduStatus, PhyRate, PpduMeta, StationId, TxId};
 use hack_sim::{Scheduler, SimRng, SimTime, ThroughputMeter, TimerTable, TimerToken};
 use hack_tcp::{Connection, FiveTuple, Ipv4Addr, Ipv4Packet, SendBudget, TcpConfig, Transport};
 use hack_trace::TraceHandle;
 
 use crate::driver::{CompressSide, DecompressSide, DriverAction, HackMode};
 use crate::packet::NetPacket;
-use crate::scenario::{LossConfig, RunResult, ScenarioConfig, Standard, TrafficKind};
+use crate::scenario::{
+    ChannelChange, LossConfig, RunResult, ScenarioConfig, Standard, TrafficKind,
+};
 use crate::wired::WiredLink;
 
 const AP: StationId = StationId(0);
@@ -75,6 +77,9 @@ enum Event {
         generation: u64,
     },
     HackFlush(StationId, StationId, TimerToken<(u32, u32)>),
+    /// Apply scheduled channel dynamics entry `i` (index into
+    /// `cfg.dynamics`).
+    ChannelDynamics(usize),
 }
 
 /// The assembled simulation.
@@ -167,8 +172,10 @@ impl World {
                 LossModel::fixed(per.iter().enumerate().map(|(i, &p)| (client_sid(i), p)))
             }
             LossConfig::SnrDistance(_) => LossModel::Snr,
+            LossConfig::Burst(params) => LossModel::Burst(*params),
         };
         let mut medium = Medium::new(station_ids.clone(), loss, Some(channel));
+        medium.set_corruption(cfg.corrupt);
         medium.set_trace(trace.clone());
 
         let stations: Vec<Station<NetPacket>> = station_ids
@@ -304,6 +311,10 @@ impl World {
         for (i, &at) in flow_start_at.iter().enumerate() {
             world.sched.schedule_at(at, Event::FlowStart(i));
         }
+        for i in 0..world.cfg.dynamics.len() {
+            let at = SimTime::ZERO + world.cfg.dynamics[i].at;
+            world.sched.schedule_at(at, Event::ChannelDynamics(i));
+        }
         world
     }
 
@@ -407,7 +418,29 @@ impl World {
                     self.apply_driver(station, peer, dacts, now);
                 }
             }
+            Event::ChannelDynamics(index) => self.apply_dynamics(index, now),
         }
+    }
+
+    /// Apply one scheduled mid-run channel change to the medium.
+    fn apply_dynamics(&mut self, index: usize, now: SimTime) {
+        match self.cfg.dynamics[index].change {
+            ChannelChange::SnrOffsetDb(db) => self.medium.set_snr_offset_db(db),
+            ChannelChange::ClientLoss { client, per } => {
+                self.medium.set_station_loss(client_sid(client), per);
+            }
+            ChannelChange::MoveClient { client, x, y } => {
+                self.medium.place_station(client_sid(client), x, y);
+            }
+        }
+        hack_trace::trace_ev!(
+            self.trace,
+            now.as_nanos(),
+            AP.0,
+            hack_trace::Event::SimChannelUpdate {
+                index: index as u32
+            }
+        );
     }
 
     fn start_flow(&mut self, flow: usize, now: SimTime) {
@@ -444,17 +477,31 @@ impl World {
         for rec in &outcome.receptions {
             let sid = rec.station;
             if rec.detected {
-                let decoded: Vec<Frame<NetPacket>> = frames
-                    .iter()
-                    .enumerate()
-                    .filter(|&(i, _)| rec.mpdu_ok.get(i).copied().unwrap_or(false))
-                    .map(|(_, f)| f.clone())
-                    .collect();
-                if decoded.is_empty() {
-                    let acts = self.stations[sid.0 as usize].on_rx_garbage(now);
+                let mut decoded: Vec<Frame<NetPacket>> = Vec::new();
+                let mut fcs_bad = 0u32;
+                for (i, f) in frames.iter().enumerate() {
+                    match rec.mpdus.get(i).copied().unwrap_or(MpduStatus::Lost) {
+                        MpduStatus::Ok => decoded.push(f.clone()),
+                        MpduStatus::Lost => {}
+                        MpduStatus::Corrupt { fcs_ok: false } => fcs_bad += 1,
+                        // The flip escaped the FCS region: deliver the
+                        // frame with one bit flipped in its blob
+                        // extension (or unchanged when there is no blob —
+                        // the flip landed in padding).
+                        MpduStatus::Corrupt { fcs_ok: true } => {
+                            decoded.push(self.corrupt_frame(f.clone()));
+                        }
+                    }
+                }
+                if fcs_bad > 0 {
+                    let acts = self.stations[sid.0 as usize].on_rx_corrupt(src, fcs_bad, now);
                     self.apply(sid, acts, now);
-                } else {
+                }
+                if !decoded.is_empty() {
                     let acts = self.stations[sid.0 as usize].on_rx_ppdu(decoded, aggregated, now);
+                    self.apply(sid, acts, now);
+                } else if fcs_bad == 0 {
+                    let acts = self.stations[sid.0 as usize].on_rx_garbage(now);
                     self.apply(sid, acts, now);
                 }
             } else {
@@ -475,6 +522,23 @@ impl World {
         // 3) Transmitter bookkeeping.
         let acts = self.stations[src.0 as usize].on_tx_end(now);
         self.apply(src, acts, now);
+    }
+
+    /// Flip one deterministic-RNG-chosen bit in the frame's HACK blob
+    /// extension, modelling a corruption the FCS check cannot see. Frames
+    /// without a blob pass through unchanged (the flip hit padding).
+    fn corrupt_frame(&mut self, mut f: Frame<NetPacket>) -> Frame<NetPacket> {
+        let blob = match &mut f {
+            Frame::Ack { hack, .. } | Frame::BlockAck { hack, .. } => hack.as_mut(),
+            _ => None,
+        };
+        if let Some(b) = blob {
+            if !b.bytes.is_empty() {
+                let bit = self.rng.uniform(b.bytes.len() as u32 * 8);
+                b.bytes[(bit / 8) as usize] ^= 1 << (bit % 8);
+            }
+        }
+        f
     }
 
     /// Materialize MAC actions for station `sid`.

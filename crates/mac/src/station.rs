@@ -317,6 +317,25 @@ impl<M: Msdu> Station<M> {
         Vec::new()
     }
 
+    /// One or more MPDUs arrived with flipped bits and failed the FCS
+    /// check. The frame bodies are discarded; like any undecodable
+    /// reception, the station defers EIFS before its next contention
+    /// round (802.11-2016 §10.3.2.3.7).
+    pub fn on_rx_corrupt(&mut self, from: StationId, mpdus: u32, now: SimTime) -> Vec<Action<M>> {
+        self.stats.rx_fcs_bad.add(u64::from(mpdus));
+        trace_ev!(
+            self.trace,
+            now.as_nanos(),
+            self.id.0,
+            Event::MacFrameCorrupted {
+                from: from.0,
+                mpdus
+            }
+        );
+        self.contention.set_eifs();
+        Vec::new()
+    }
+
     fn on_data(
         &mut self,
         src: StationId,

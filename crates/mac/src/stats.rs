@@ -36,6 +36,9 @@ pub struct MacStats {
     pub bars_exhausted: Counter,
     /// Garbage receptions (energy without a decodable frame).
     pub rx_garbage: Counter,
+    /// MPDUs delivered with flipped bits and discarded by the FCS check
+    /// (fault injection's corrupted-delivery path).
+    pub rx_fcs_bad: Counter,
     /// Time spent waiting to acquire the channel for bulk-data batches.
     pub acquire_wait_data: TimeAccumulator,
     /// Time spent waiting to acquire the channel for native

@@ -20,8 +20,8 @@ pub mod rates;
 pub mod timing;
 
 pub use channel::Channel;
-pub use error::LossModel;
-pub use medium::{Medium, PpduMeta, Reception, TxId, TxOutcome};
+pub use error::{GeParams, LossModel};
+pub use medium::{CorruptModel, Medium, MpduStatus, PpduMeta, Reception, TxId, TxOutcome};
 pub use rates::{PhyKind, PhyRate, BASIC_RATES_MBPS, DOT11A_RATES_MBPS, DOT11N_HT40_SGI_MBPS};
 pub use timing::MacTimings;
 

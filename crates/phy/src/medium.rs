@@ -20,6 +20,20 @@
 //! For non-collided PPDUs, the preamble may be missed (SNR mode only) and
 //! then each MPDU inside the aggregate is lost independently per
 //! [`LossModel::mpdu_loss_prob`], matching per-MPDU CRCs in 802.11n.
+//! [`LossModel::Burst`] instead advances a per-link Gilbert–Elliott state
+//! machine one step per MPDU, so losses cluster the way fading does.
+//!
+//! ## Fault injection
+//!
+//! With a [`CorruptModel`] installed the medium can *deliver* a faulted
+//! MPDU with flipped bits instead of silently dropping it, reported as
+//! [`MpduStatus::Corrupt`]. `fcs_ok: false` means the MAC FCS catches the
+//! damage (the receiver sees garbage and defers EIFS); `fcs_ok: true`
+//! models the rare flip the FCS check cannot see — in this codebase that
+//! is the HACK blob extension of a control frame, which is exactly the
+//! input the ROHC CRC-3 / context-repair path (§3.3.2) exists to absorb.
+
+use std::collections::HashMap;
 
 use hack_sim::{SimRng, SimTime};
 use hack_trace::{Event, TraceHandle};
@@ -55,6 +69,60 @@ pub struct PpduMeta {
     pub duration: SimDuration,
 }
 
+/// What happened to one MPDU of an aggregate at one receiver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MpduStatus {
+    /// Decoded cleanly.
+    Ok,
+    /// Channel ate it; the receiver saw nothing of this MPDU.
+    Lost,
+    /// Delivered with flipped bits (fault injection).
+    Corrupt {
+        /// `false`: the MAC FCS catches the damage — the frame body is
+        /// discarded and the receiver defers EIFS. `true`: the flip
+        /// escaped the FCS-protected region (HACK blob extension), so
+        /// the MAC accepts the frame and hands corrupted blob bytes up
+        /// to the ROHC decompressor.
+        fcs_ok: bool,
+    },
+}
+
+impl MpduStatus {
+    /// Whether the MPDU was decoded cleanly.
+    pub fn is_ok(self) -> bool {
+        self == MpduStatus::Ok
+    }
+}
+
+/// Probability knobs for corrupted delivery. All zero ⇒ identical to the
+/// plain drop model.
+///
+/// `fcs_miss` is deliberately exaggerated relative to a real CRC-32
+/// residual (~2⁻³²): it is a fault-injection knob for driving the ROHC
+/// CRC-3 repair path under load, not a claim about FCS strength.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CorruptModel {
+    /// Fraction of *lost* data MPDUs that arrive corrupted (and are
+    /// always FCS-caught) instead of vanishing.
+    pub data_frac: f64,
+    /// Independent per-MPDU corruption probability for control frames,
+    /// applied even where the loss model exempts them from drops.
+    pub control_per: f64,
+    /// Probability a corrupted control MPDU's bit flip lands beyond the
+    /// FCS-checked region, i.e. inside the HACK blob extension.
+    pub fcs_miss: f64,
+}
+
+impl Default for CorruptModel {
+    fn default() -> Self {
+        CorruptModel {
+            data_frac: 0.5,
+            control_per: 0.01,
+            fcs_miss: 0.1,
+        }
+    }
+}
+
 /// What one station heard of one PPDU.
 #[derive(Debug, Clone)]
 pub struct Reception {
@@ -64,9 +132,16 @@ pub struct Reception {
     /// When false, the station saw only energy (it still defers).
     pub detected: bool,
     /// Per-MPDU decode results (empty when `detected` is false).
-    pub mpdu_ok: Vec<bool>,
+    pub mpdus: Vec<MpduStatus>,
     /// Link SNR in dB (`f64::INFINITY` when no channel model is active).
     pub snr_db: f64,
+}
+
+impl Reception {
+    /// Whether MPDU `i` was decoded cleanly.
+    pub fn mpdu_ok(&self, i: usize) -> bool {
+        self.mpdus.get(i).copied().is_some_and(MpduStatus::is_ok)
+    }
 }
 
 /// The result of a completed transmission.
@@ -101,7 +176,24 @@ pub struct Medium {
     collisions: u64,
     /// Total transmissions completed.
     completed: u64,
+    /// Gilbert–Elliott bad-state flags, one per unordered link, advanced
+    /// one step per MPDU heard on that link.
+    ge: HashMap<(u32, u32), bool>,
+    /// Corrupted-delivery knobs (`None` = plain drops).
+    corrupt: Option<CorruptModel>,
+    /// Global SNR offset in dB applied on top of the channel model —
+    /// the handle mid-run channel dynamics use to fade the whole cell.
+    snr_offset_db: f64,
     trace: TraceHandle,
+}
+
+/// Unordered link key for per-link channel state.
+fn link_key(a: StationId, b: StationId) -> (u32, u32) {
+    if a.0 <= b.0 {
+        (a.0, b.0)
+    } else {
+        (b.0, a.0)
+    }
 }
 
 impl Medium {
@@ -125,6 +217,9 @@ impl Medium {
             next_id: 0,
             collisions: 0,
             completed: 0,
+            ge: HashMap::new(),
+            corrupt: None,
+            snr_offset_db: 0.0,
             trace: TraceHandle::off(),
         }
     }
@@ -132,6 +227,39 @@ impl Medium {
     /// Install the structured-event trace handle (off by default).
     pub fn set_trace(&mut self, trace: TraceHandle) {
         self.trace = trace;
+    }
+
+    /// Install (or clear) the corrupted-delivery model.
+    pub fn set_corruption(&mut self, corrupt: Option<CorruptModel>) {
+        self.corrupt = corrupt;
+    }
+
+    /// Set the global SNR offset in dB (mid-run fade/ramp dynamics).
+    pub fn set_snr_offset_db(&mut self, offset_db: f64) {
+        self.snr_offset_db = offset_db;
+    }
+
+    /// Move a station on the propagation channel. No-op when no channel
+    /// is modelled (the fixed-loss regimes ignore geometry).
+    pub fn place_station(&mut self, station: StationId, x: f64, y: f64) {
+        if let Some(ch) = self.channel.as_mut() {
+            ch.place(station, x, y);
+        }
+    }
+
+    /// Change one station's fixed per-MPDU loss rate mid-run. Converts an
+    /// [`LossModel::Ideal`] medium to fixed-loss on first use; ignored
+    /// under the SNR and burst models, whose loss comes from elsewhere.
+    pub fn set_station_loss(&mut self, station: StationId, per: f64) {
+        match &mut self.loss {
+            LossModel::FixedPer(map) => {
+                map.insert(station, per);
+            }
+            LossModel::Ideal => {
+                self.loss = LossModel::fixed([(station, per)]);
+            }
+            LossModel::Burst(_) | LossModel::Snr => {}
+        }
     }
 
     /// The stations on this medium.
@@ -165,7 +293,7 @@ impl Medium {
     pub fn snr_db(&self, tx: StationId, rx: StationId) -> f64 {
         self.channel
             .as_ref()
-            .map_or(f64::INFINITY, |c| c.snr_db(tx, rx))
+            .map_or(f64::INFINITY, |c| c.snr_db(tx, rx) + self.snr_offset_db)
     }
 
     /// Begin a transmission at `now`. Any overlap with an in-flight
@@ -232,12 +360,15 @@ impl Medium {
             self.collisions += 1;
         }
 
-        let receptions: Vec<Reception> = self
-            .stations
-            .iter()
-            .filter(|&&s| s != tx.meta.src)
-            .map(|&station| self.receive_at(station, &tx, rng))
-            .collect();
+        // Index loop instead of iterator chain: `receive_at` mutates the
+        // per-link Gilbert–Elliott state, so it needs `&mut self`.
+        let mut receptions: Vec<Reception> = Vec::with_capacity(self.stations.len() - 1);
+        for i in 0..self.stations.len() {
+            let station = self.stations[i];
+            if station != tx.meta.src {
+                receptions.push(self.receive_at(station, &tx, rng));
+            }
+        }
 
         if self.trace.enabled() {
             self.trace_tx_outcome(&tx, &receptions, now);
@@ -272,18 +403,30 @@ impl Medium {
                 }
                 continue;
             }
-            for (i, &ok) in r.mpdu_ok.iter().enumerate() {
-                if ok {
-                    delivered += 1;
-                } else {
-                    self.trace.emit(
-                        t,
-                        r.station.0,
-                        Event::PhyPerDrop {
-                            tx: tx.id.0,
-                            mpdu: i as u32,
-                        },
-                    );
+            for (i, &st) in r.mpdus.iter().enumerate() {
+                match st {
+                    MpduStatus::Ok => delivered += 1,
+                    MpduStatus::Lost => {
+                        self.trace.emit(
+                            t,
+                            r.station.0,
+                            Event::PhyPerDrop {
+                                tx: tx.id.0,
+                                mpdu: i as u32,
+                            },
+                        );
+                    }
+                    MpduStatus::Corrupt { fcs_ok } => {
+                        self.trace.emit(
+                            t,
+                            r.station.0,
+                            Event::PhyFaultInjected {
+                                tx: tx.id.0,
+                                mpdu: i as u32,
+                                fcs_ok,
+                            },
+                        );
+                    }
                 }
             }
         }
@@ -299,13 +442,13 @@ impl Medium {
         );
     }
 
-    fn receive_at(&self, station: StationId, tx: &ActiveTx, rng: &mut SimRng) -> Reception {
+    fn receive_at(&mut self, station: StationId, tx: &ActiveTx, rng: &mut SimRng) -> Reception {
         let snr_db = self.snr_db(tx.meta.src, station);
         if tx.collided {
             return Reception {
                 station,
                 detected: false,
-                mpdu_ok: Vec::new(),
+                mpdus: Vec::new(),
                 snr_db,
             };
         }
@@ -313,29 +456,57 @@ impl Medium {
             return Reception {
                 station,
                 detected: false,
-                mpdu_ok: Vec::new(),
+                mpdus: Vec::new(),
                 snr_db,
             };
         }
-        let exempt = tx.meta.control && matches!(self.loss, LossModel::FixedPer(_));
-        let mpdu_ok = tx
-            .meta
-            .mpdu_lens
-            .iter()
-            .map(|&len| {
-                if exempt {
-                    return true;
-                }
+        // Control-frame exemption covers both fixed-rate regimes: the
+        // measured loss rates describe data frames, and short basic-rate
+        // control frames are far more robust. Exempt frames also leave
+        // the Gilbert–Elliott link state untouched, keeping the RNG draw
+        // sequence a pure function of the data MPDU stream.
+        let exempt =
+            tx.meta.control && matches!(self.loss, LossModel::FixedPer(_) | LossModel::Burst(_));
+        let burst = match self.loss {
+            LossModel::Burst(params) => Some(params),
+            _ => None,
+        };
+        let link = link_key(tx.meta.src, station);
+        let mut mpdus = Vec::with_capacity(tx.meta.mpdu_lens.len());
+        for &len in &tx.meta.mpdu_lens {
+            // Fixed draw order per MPDU — loss first, then corruption —
+            // so the trace digest is reproducible from the seed alone.
+            let lost = if exempt {
+                false
+            } else if let Some(params) = burst {
+                let bad = self.ge.entry(link).or_insert(false);
+                params.step(bad, rng)
+            } else {
                 let p = self
                     .loss
                     .mpdu_loss_prob(tx.meta.src, station, tx.meta.rate, len, snr_db);
-                !rng.chance(p)
-            })
-            .collect();
+                rng.chance(p)
+            };
+            let status = match (self.corrupt, tx.meta.control, lost) {
+                // Control frames: an independent corruption draw, then a
+                // draw for whether the flip escapes the FCS region.
+                (Some(c), true, _) if rng.chance(c.control_per) => MpduStatus::Corrupt {
+                    fcs_ok: rng.chance(c.fcs_miss),
+                },
+                // Data frames: a faulted MPDU arrives corrupted (always
+                // FCS-caught) instead of vanishing.
+                (Some(c), false, true) if rng.chance(c.data_frac) => {
+                    MpduStatus::Corrupt { fcs_ok: false }
+                }
+                (_, _, true) => MpduStatus::Lost,
+                _ => MpduStatus::Ok,
+            };
+            mpdus.push(status);
+        }
         Reception {
             station,
             detected: true,
-            mpdu_ok,
+            mpdus,
             snr_db,
         }
     }
@@ -344,6 +515,7 @@ impl Medium {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::error::GeParams;
     use hack_sim::SimDuration;
 
     const AP: StationId = StationId(0);
@@ -378,7 +550,9 @@ mod tests {
         assert_eq!(out.receptions.len(), 2); // C1 and C2, not AP
         for r in &out.receptions {
             assert!(r.detected);
-            assert_eq!(r.mpdu_ok, vec![true, true, true]);
+            assert_eq!(r.mpdus, vec![MpduStatus::Ok; 3]);
+            assert!((0..3).all(|i| r.mpdu_ok(i)));
+            assert!(!r.mpdu_ok(3));
         }
         assert_eq!(m.completed(), 1);
         assert_eq!(m.collisions(), 0);
@@ -444,9 +618,9 @@ mod tests {
             let out = m.end_tx(id, now, &mut rng);
             let r = &out.receptions[0];
             assert!(r.detected, "fixed-loss mode never loses preambles");
-            for &ok in &r.mpdu_ok {
+            for &st in &r.mpdus {
                 total += 1;
-                if !ok {
+                if !st.is_ok() {
                     lost += 1;
                 }
             }
@@ -489,7 +663,7 @@ mod tests {
             now += d;
             let out = m.end_tx(id, now, &mut rng);
             for r in &out.receptions {
-                let ok = r.detected && r.mpdu_ok.iter().all(|&b| b);
+                let ok = r.detected && r.mpdus.iter().all(|&s| s.is_ok());
                 if r.station == C1 && ok {
                     c1_ok += 1;
                 }
@@ -510,5 +684,130 @@ mod tests {
         let mut rng = SimRng::new(1);
         let id = m.begin_tx(meta(AP, C1, 1), SimTime::ZERO);
         let _ = m.end_tx(id, SimTime::from_micros(1), &mut rng);
+    }
+
+    /// Run `rounds` single-MPDU data transmissions AP→C1 and return the
+    /// per-MPDU statuses C1 saw.
+    fn run_rounds(m: &mut Medium, rng: &mut SimRng, rounds: usize) -> Vec<MpduStatus> {
+        let d = SimDuration::from_micros(244);
+        let mut now = SimTime::ZERO;
+        let mut statuses = Vec::new();
+        for _ in 0..rounds {
+            let id = m.begin_tx(meta(AP, C1, 1), now);
+            now += d;
+            let out = m.end_tx(id, now, rng);
+            let r = out.receptions.iter().find(|r| r.station == C1).unwrap();
+            statuses.push(r.mpdus[0]);
+            now += SimDuration::from_micros(50);
+        }
+        statuses
+    }
+
+    #[test]
+    fn burst_model_clusters_losses() {
+        let ge = GeParams::bursty(0.15, 10.0);
+        let mut m = Medium::new(vec![AP, C1], LossModel::Burst(ge), None);
+        let mut rng = SimRng::new(42);
+        let statuses = run_rounds(&mut m, &mut rng, 20_000);
+        let losses = statuses.iter().filter(|s| !s.is_ok()).count();
+        let runs = statuses
+            .windows(2)
+            .filter(|w| !w[1].is_ok() && w[0].is_ok())
+            .count()
+            + usize::from(!statuses[0].is_ok());
+        let rate = losses as f64 / statuses.len() as f64;
+        assert!((rate - 0.15).abs() < 0.02, "loss rate {rate}");
+        let mean_burst = losses as f64 / runs as f64;
+        assert!(
+            mean_burst > 5.0,
+            "bursty losses should clump, mean run {mean_burst}"
+        );
+    }
+
+    #[test]
+    fn corruption_converts_data_drops_to_fcs_failures() {
+        let loss = LossModel::fixed([(C1, 0.3)]);
+        let mut m = Medium::new(vec![AP, C1], loss, None);
+        m.set_corruption(Some(CorruptModel {
+            data_frac: 1.0,
+            control_per: 0.0,
+            fcs_miss: 0.0,
+        }));
+        let mut rng = SimRng::new(9);
+        let statuses = run_rounds(&mut m, &mut rng, 2_000);
+        let corrupt = statuses
+            .iter()
+            .filter(|s| matches!(s, MpduStatus::Corrupt { fcs_ok: false }))
+            .count();
+        let lost = statuses.iter().filter(|&&s| s == MpduStatus::Lost).count();
+        assert_eq!(lost, 0, "data_frac = 1 leaves no silent drops");
+        let frac = corrupt as f64 / statuses.len() as f64;
+        assert!((frac - 0.3).abs() < 0.05, "corrupt fraction {frac}");
+        // Data corruption is always FCS-caught.
+        assert!(!statuses
+            .iter()
+            .any(|s| matches!(s, MpduStatus::Corrupt { fcs_ok: true })));
+    }
+
+    #[test]
+    fn control_corruption_sometimes_escapes_the_fcs() {
+        let mut m = Medium::new(vec![AP, C1], LossModel::fixed([(C1, 0.12)]), None);
+        m.set_corruption(Some(CorruptModel {
+            data_frac: 0.0,
+            control_per: 0.2,
+            fcs_miss: 0.25,
+        }));
+        let mut rng = SimRng::new(11);
+        let d = SimDuration::from_micros(244);
+        let mut now = SimTime::ZERO;
+        let mut caught = 0usize;
+        let mut escaped = 0usize;
+        for _ in 0..5_000 {
+            let mut pm = meta(C1, AP, 1);
+            pm.control = true;
+            let id = m.begin_tx(pm, now);
+            now += d;
+            let out = m.end_tx(id, now, &mut rng);
+            let r = out.receptions.iter().find(|r| r.station == AP).unwrap();
+            match r.mpdus[0] {
+                MpduStatus::Corrupt { fcs_ok: false } => caught += 1,
+                MpduStatus::Corrupt { fcs_ok: true } => escaped += 1,
+                MpduStatus::Lost => panic!("control frames are exempt from fixed loss"),
+                MpduStatus::Ok => {}
+            }
+            now += SimDuration::from_micros(30);
+        }
+        let corrupt_frac = (caught + escaped) as f64 / 5_000.0;
+        assert!((corrupt_frac - 0.2).abs() < 0.03, "corrupt {corrupt_frac}");
+        let escape_frac = escaped as f64 / (caught + escaped) as f64;
+        assert!((escape_frac - 0.25).abs() < 0.05, "escape {escape_frac}");
+    }
+
+    #[test]
+    fn dynamics_setters_reshape_the_channel() {
+        // set_station_loss converts an ideal medium to fixed loss.
+        let mut m = ideal_medium();
+        let mut rng = SimRng::new(3);
+        m.set_station_loss(C1, 1.0);
+        let statuses = run_rounds(&mut m, &mut rng, 50);
+        assert!(statuses.iter().all(|&s| s == MpduStatus::Lost));
+        m.set_station_loss(C1, 0.0);
+        let statuses = run_rounds(&mut m, &mut rng, 50);
+        assert!(statuses.iter().all(|s| s.is_ok()));
+
+        // A deep global fade kills an otherwise clean SNR link; moving
+        // the station close again (plus clearing the fade) restores it.
+        let mut ch = Channel::indoor();
+        ch.place(AP, 0.0, 0.0);
+        ch.place(C1, 2.0, 0.0);
+        let mut m = Medium::new(vec![AP, C1], LossModel::Snr, Some(ch));
+        assert!(m.snr_db(AP, C1) > 24.0);
+        m.set_snr_offset_db(-60.0);
+        assert!(m.snr_db(AP, C1) < 0.0);
+        m.set_snr_offset_db(0.0);
+        m.place_station(C1, 2000.0, 0.0);
+        assert!(m.snr_db(AP, C1) < 0.0);
+        m.place_station(C1, 2.0, 0.0);
+        assert!(m.snr_db(AP, C1) > 24.0);
     }
 }

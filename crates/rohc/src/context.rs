@@ -192,6 +192,12 @@ pub struct DecompContext {
     pub refs: FieldRefs,
     /// Master sequence number of the last accepted packet.
     pub msn: u8,
+    /// Whether `msn` anchors the duplicate-discard window. Cleared by
+    /// every native refresh: a corrupted segment that slips past CRC-3
+    /// can plant a bogus MSN, and without this reset the window would
+    /// discard valid segments for up to 128 MSNs. A native ACK is ground
+    /// truth, so it re-syncs MSN tracking along with the field refs.
+    pub msn_valid: bool,
 }
 
 impl DecompContext {
@@ -214,6 +220,7 @@ impl DecompContext {
             has_ts: seg.timestamps().is_some(),
             refs: FieldRefs::of(pkt, seg),
             msn: 0,
+            msn_valid: false,
         })
     }
 
@@ -226,6 +233,7 @@ impl DecompContext {
         if seg.timestamps().is_some() {
             self.has_ts = true;
         }
+        self.msn_valid = false;
     }
 }
 

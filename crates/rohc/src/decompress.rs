@@ -181,6 +181,15 @@ impl Decompressor {
                 }
             }
         }
+        // Every segment parsed cleanly yet bytes remain: the count byte
+        // undershot the payload (a corrupted count), and whatever those
+        // trailing bytes encode was never applied. Surface it instead of
+        // silently swallowing data.
+        if res.errors.is_empty() && !rest.is_empty() {
+            self.stats.malformed += 1;
+            res.errors.push(DecompressError::Malformed);
+            self.trace_fail(DecompressError::Malformed);
+        }
         res
     }
 
@@ -223,10 +232,15 @@ impl Decompressor {
             }
         };
 
-        // Duplicate discard by master sequence number.
+        // Duplicate discard by master sequence number — but only while
+        // the MSN anchor is trusted. A native refresh clears the anchor
+        // (see `DecompContext::msn_valid`), so the first segment after a
+        // native is always decoded rather than risk a corruption-planted
+        // MSN discarding valid traffic; the CRC-3 check below still
+        // gates what gets forwarded.
         let ctx = self.contexts.get_mut(&cid).expect("looked up above");
         let msn_dist = parsed.msn.wrapping_sub(ctx.msn);
-        if msn_dist == 0 || msn_dist > 128 {
+        if ctx.msn_valid && (msn_dist == 0 || msn_dist > 128) {
             self.stats.duplicates += 1;
             return Ok((None, parsed.consumed));
         }
@@ -293,6 +307,7 @@ impl Decompressor {
         let seg = compressible_ack(&pkt).expect("constructed as pure ACK");
         ctx.refs = FieldRefs::of(&pkt, seg);
         ctx.msn = parsed.msn;
+        ctx.msn_valid = true;
         self.stats.decompressed += 1;
         hack_trace::trace_ev!(
             self.trace,
@@ -466,6 +481,22 @@ mod tests {
         }
         assert_eq!(d.stats().decompressed, 50);
         assert_eq!(d.stats().crc_failures, 0);
+    }
+
+    #[test]
+    fn trailing_bytes_after_count_are_malformed() {
+        // A corrupted count byte that undershoots the payload must not
+        // silently swallow the unparsed segments.
+        let (mut c, mut d) = pair();
+        let p = ack(3920, 2, 11);
+        let seg = c.compress(&p).unwrap();
+        let mut blob = build_blob(&[seg]);
+        blob[0] = 0; // claims zero segments while one follows
+        let before = d.stats().malformed;
+        let res = d.decompress_blob(&blob);
+        assert!(res.packets.is_empty());
+        assert_eq!(res.errors, vec![DecompressError::Malformed]);
+        assert_eq!(d.stats().malformed, before + 1);
     }
 
     #[test]

@@ -123,6 +123,62 @@ proptest! {
         );
     }
 
+    /// Arbitrary garbage fed to the decompressor never panics and never
+    /// hangs — every byte string terminates with bounded work, and a
+    /// subsequent native ACK always re-syncs the context so the next
+    /// compressed ACK decodes byte-exactly.
+    #[test]
+    fn arbitrary_bytes_never_panic_and_native_resyncs(
+        garbage in proptest::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let mut c = Compressor::new();
+        let mut d = Decompressor::new();
+        let seed = ack_pkt(1000, 1, 100, 1024);
+        c.observe_native(&seed);
+        d.observe_native(&seed);
+        let _ = d.decompress_blob(&garbage); // must not panic or loop
+        // Whatever state the garbage left behind, a native ACK repairs
+        // the context (§3.3.2's last line of defense)…
+        let native = ack_pkt(500_000, 7, 200, 2048);
+        c.observe_native(&native);
+        d.observe_native(&native);
+        // …and the chain continues byte-exactly from there.
+        let next = ack_pkt(502_920, 8, 201, 2048);
+        let seg = c.compress(&next).expect("in-profile packet");
+        let res = d.decompress_blob(&build_blob(&[seg]));
+        prop_assert!(res.errors.is_empty(), "{:?}", res.errors);
+        prop_assert_eq!(res.packets, vec![next]);
+    }
+
+    /// A valid blob with any single bit flipped never panics, and the
+    /// native-ACK repair path restores byte-exact decoding afterwards.
+    #[test]
+    fn bit_flipped_blob_never_panics_and_recovers(
+        ackno in 2000u32..1_000_000,
+        flip in any::<u16>(),
+    ) {
+        let mut c = Compressor::new();
+        let mut d = Decompressor::new();
+        let seed = ack_pkt(1000, 1, 100, 1024);
+        c.observe_native(&seed);
+        d.observe_native(&seed);
+        let p = ack_pkt(ackno, 2, 101, 1024);
+        let seg = c.compress(&p).unwrap();
+        let mut blob = build_blob(&[seg]);
+        let bit = usize::from(flip) % (blob.len() * 8);
+        blob[bit / 8] ^= 1 << (bit % 8);
+        let _ = d.decompress_blob(&blob); // must not panic
+        // Native repair, then the chain resumes byte-exactly.
+        let native = ack_pkt(ackno.wrapping_add(2920), 3, 102, 1024);
+        c.observe_native(&native);
+        d.observe_native(&native);
+        let next = ack_pkt(ackno.wrapping_add(5840), 4, 103, 1024);
+        let seg = c.compress(&next).expect("in-profile packet");
+        let res = d.decompress_blob(&build_blob(&[seg]));
+        prop_assert!(res.errors.is_empty(), "{:?}", res.errors);
+        prop_assert_eq!(res.packets, vec![next]);
+    }
+
     /// Compression always shrinks a pure ACK substantially.
     #[test]
     fn always_smaller_than_original(deltas in proptest::collection::vec(0u32..10_000, 1..30)) {

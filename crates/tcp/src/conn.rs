@@ -1008,6 +1008,55 @@ mod tests {
     }
 
     #[test]
+    fn repeated_rtos_rearm_deadline_and_keep_retransmitting() {
+        // A black-holed peer: nothing the sender transmits is ever
+        // ACKed. Every RTO must re-arm `rto_deadline` (go-back-N keeps
+        // retrying), with Karn backoff doubling the gap each round.
+        let t0 = SimTime::from_millis(10);
+        let (mut c, _s) = connected(TcpConfig::default(), TcpConfig::default(), t0);
+        c.set_budget(SendBudget::Unlimited);
+        let data = c.poll_send(t0);
+        assert!(!data.is_empty());
+        let first_seq = seg(&data[0]).seq;
+
+        let mut gaps = Vec::new();
+        let mut now = t0;
+        for i in 1..=7 {
+            let dl = c
+                .next_timer()
+                .unwrap_or_else(|| panic!("deadline re-armed before RTO #{i}"));
+            assert!(dl > now, "RTO #{i} deadline is in the future");
+            gaps.push(dl - now);
+            now = dl;
+            let rtx = c.on_timer(now);
+            assert!(
+                rtx.iter()
+                    .any(|p| seg(p).seq == first_seq && seg(p).payload_len > 0),
+                "RTO #{i} retransmits from snd_una"
+            );
+        }
+        assert!(c.stats().timeouts >= 6, "{} timeouts", c.stats().timeouts);
+        assert!(
+            c.stats().retransmits >= 6,
+            "{} retransmits",
+            c.stats().retransmits
+        );
+        // Karn backoff: each successive deadline gap doubles until the
+        // 60 s max_rto clamps it — after the doubling, so the capped gap
+        // pins at exactly max_rto rather than freezing below it.
+        let max_rto = SimDuration::from_secs(60);
+        for (k, w) in gaps.windows(2).enumerate() {
+            assert_eq!(
+                w[1],
+                (w[0] * 2).min(max_rto),
+                "gap #{k} → #{} should double (or clamp at max_rto)",
+                k + 1
+            );
+        }
+        assert_eq!(*gaps.last().unwrap(), max_rto, "backoff reached the clamp");
+    }
+
+    #[test]
     fn bulk_transfer_completes_over_ideal_wire() {
         let t0 = SimTime::from_millis(10);
         let (mut c, mut s) = connected(TcpConfig::default(), TcpConfig::default(), t0);

@@ -138,6 +138,32 @@ mod tests {
     }
 
     #[test]
+    fn six_consecutive_rtos_double_then_clamp_after_doubling() {
+        let mut e = est();
+        e.on_measurement(SimDuration::from_millis(100)); // RTO 300 ms
+                                                         // Karn backoff: each timeout doubles, 300 ms · 2^k.
+        let expect_ms = [600u64, 1200, 2400, 4800, 9600, 19200];
+        for (k, &ms) in expect_ms.iter().enumerate() {
+            e.on_timeout();
+            assert_eq!(
+                e.rto(),
+                SimDuration::from_millis(ms),
+                "after RTO #{}",
+                k + 1
+            );
+        }
+        // Two more doublings would pass 60 s (76.8 s): the clamp must
+        // bite *after* the doubling, pinning exactly at max_rto rather
+        // than freezing below it.
+        e.on_timeout(); // 38.4 s
+        assert_eq!(e.rto(), SimDuration::from_millis(38_400));
+        e.on_timeout(); // 76.8 s → clamp
+        assert_eq!(e.rto(), SimDuration::from_secs(60));
+        e.on_timeout(); // stays clamped, no overflow
+        assert_eq!(e.rto(), SimDuration::from_secs(60));
+    }
+
+    #[test]
     fn variance_raises_rto() {
         let mut stable = est();
         let mut jittery = est();

@@ -190,6 +190,17 @@ define_events! {
         /// Transmission id whose preamble was missed.
         tx: u64,
     };
+    /// The fault injector corrupted one MPDU instead of silently
+    /// dropping it. Node = receiver.
+    PhyFaultInjected = 5, Phy, "fault_injected", {
+        /// Transmission id carrying the MPDU.
+        tx: u64,
+        /// Index of the corrupted MPDU within the A-MPDU.
+        mpdu: u32,
+        /// Whether the (modelled) FCS nevertheless passed, delivering
+        /// the corrupted frame to the MAC.
+        fcs_ok: bool,
+    };
 
     /// A backoff counter was (re)drawn. Node = contender.
     MacBackoff = 16, Mac, "backoff", {
@@ -249,6 +260,13 @@ define_events! {
         /// Blob size in bytes.
         bytes: u32,
     };
+    /// Corrupted MPDUs arrived and failed the FCS check. Node = receiver.
+    MacFrameCorrupted = 24, Mac, "frame_corrupted", {
+        /// Transmitting station of the corrupted PPDU.
+        from: u32,
+        /// Number of FCS-failed MPDUs in the reception.
+        mpdus: u32,
+    };
 
     /// Congestion window or slow-start threshold changed. Node = endpoint.
     TcpCwnd = 32, Tcp, "cwnd", {
@@ -300,6 +318,12 @@ define_events! {
     SimFlowStart = 64, Sim, "flow_start", {
         /// Flow index.
         flow: u32,
+    };
+    /// A scheduled mid-run channel-dynamics event was applied (SNR
+    /// step, loss-rate step, or station move). Node = the AP.
+    SimChannelUpdate = 65, Sim, "channel_update", {
+        /// Index into the scenario's dynamics schedule.
+        index: u32,
     };
 }
 
