@@ -15,14 +15,24 @@
 //!   fig12   theoretical vs simulated goodput vs 802.11n rate
 //!   loss-sweep    goodput vs loss rate, TCP vs TCP/HACK, i.i.d. vs bursty
 //!   fault-matrix  one seeded run per loss model (ideal / fixed / burst /
-//!                 corrupting); exits nonzero on zero goodput or a silent
-//!                 corrupted-delivery path (CI smoke)
+//!                 corrupting / supervised); exits nonzero on zero goodput
+//!                 or a silent corrupted-delivery path (CI smoke); rows
+//!                 include driver + supervisor counters
+//!   chaos-recovery  supervised TCP/HACK vs plain TCP under the
+//!                 corrupting/burst matrix, plus a loss storm that heals
+//!                 mid-run; exits nonzero if any flow ends stalled (zero
+//!                 goodput in the final window) or permanently degraded
+//!                 despite a healthy channel (CI smoke)
 //!   ablate-timer | ablate-delack | ablate-sync | ablate-txop
 //!   all     everything above
 //! ```
 //!
 //! `--quick` shortens runs and seed counts (for CI); defaults follow the
 //! paper's shape (5 runs per point).
+//!
+//! `--json` makes `fault-matrix` and `chaos-recovery` additionally emit
+//! one machine-readable JSON object (driver + supervisor counters
+//! included) on stdout after the human-readable table.
 //!
 //! `--trace <path>` captures a structured cross-layer event trace for
 //! every simulated run: `<path>.runR.seedS.jsonl` holds the events,
@@ -31,22 +41,38 @@
 
 use hack_analysis::{CapacityModel, Protocol};
 use hack_bench::{run_seeds, set_trace_base};
-use hack_core::{CorruptModel, GeParams, HackMode, LossConfig, ScenarioConfig};
+use hack_core::{
+    ChannelChange, ChannelEvent, CompressSideStats, CorruptModel, FlowHealth, GeParams, HackMode,
+    LossConfig, RunResult, ScenarioConfig, SupervisorConfig, SupervisorReport,
+};
 use hack_phy::{Channel, PhyRate, StationId, DOT11A_RATES_MBPS, DOT11N_HT40_SGI_MBPS};
 use hack_sim::SimDuration;
 
 struct Opts {
     seeds: u64,
     secs: u64,
+    quick: bool,
+    json: bool,
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let json = args.iter().any(|a| a == "--json");
     let opts = if quick {
-        Opts { seeds: 2, secs: 3 }
+        Opts {
+            seeds: 2,
+            secs: 3,
+            quick,
+            json,
+        }
     } else {
-        Opts { seeds: 5, secs: 10 }
+        Opts {
+            seeds: 5,
+            secs: 10,
+            quick,
+            json,
+        }
     };
     let mut trace_path = None;
     let mut positional = None;
@@ -60,7 +86,7 @@ fn main() {
                     std::process::exit(2);
                 }
             },
-            "--quick" => {}
+            "--quick" | "--json" => {}
             other if !other.starts_with("--") => {
                 positional.get_or_insert(other);
             }
@@ -88,6 +114,7 @@ fn main() {
         "fig12" => fig12(&opts),
         "loss-sweep" => loss_sweep(&opts),
         "fault-matrix" => fault_matrix(&opts),
+        "chaos-recovery" => chaos_recovery(&opts),
         "ablate-timer" => ablate_timer(&opts),
         "ablate-delack" => ablate_delack(&opts),
         "ablate-sync" => ablate_sync(&opts),
@@ -105,6 +132,7 @@ fn main() {
             fig12(&opts);
             loss_sweep(&opts);
             fault_matrix(&opts);
+            chaos_recovery(&opts);
             ablate_timer(&opts);
             ablate_delack(&opts);
             ablate_sync(&opts);
@@ -377,63 +405,308 @@ fn loss_sweep(opts: &Opts) {
     }
 }
 
+/// Hand-rolled JSON for one compress side's driver counters.
+fn driver_json(d: &CompressSideStats) -> String {
+    format!(
+        "{{\"native_acks\":{},\"hacked_acks\":{},\"timer_flushes\":{},\
+         \"noop_flushes\":{},\"dropped_on_flush\":{},\"spilled\":{},\
+         \"reenqueued\":{},\"forced_native\":{}}}",
+        d.native_acks,
+        d.hacked_acks,
+        d.timer_flushes,
+        d.noop_flushes,
+        d.dropped_on_flush,
+        d.spilled,
+        d.reenqueued,
+        d.forced_native,
+    )
+}
+
+/// Hand-rolled JSON for one flow's supervisor outcome.
+fn supervisor_json(rep: &SupervisorReport) -> String {
+    format!(
+        "{{\"final_state\":\"{}\",\"degraded\":{},\"fallbacks\":{},\
+         \"probations\":{},\"recoveries\":{},\"refreshes\":{}}}",
+        rep.final_state.name(),
+        rep.stats.degraded,
+        rep.stats.fallbacks,
+        rep.stats.probations,
+        rep.stats.recoveries,
+        rep.stats.refreshes,
+    )
+}
+
+/// One human-readable supervisor summary line (per flow).
+fn supervisor_line(rep: &SupervisorReport) -> String {
+    format!(
+        "final={} degraded={} fallbacks={} probations={} recoveries={} refreshes={}",
+        rep.final_state.name(),
+        rep.stats.degraded,
+        rep.stats.fallbacks,
+        rep.stats.probations,
+        rep.stats.recoveries,
+        rep.stats.refreshes,
+    )
+}
+
 fn fault_matrix(opts: &Opts) {
     banner("Fault matrix: one seeded run per loss model (CI smoke)");
     println!("(fails the process on zero goodput, or if the corrupting row never");
-    println!(" exercises the FCS / ROHC CRC-3 corrupted-delivery path)");
+    println!(" exercises the FCS / ROHC CRC-3 corrupted-delivery path; the last");
+    println!(" row re-runs the corrupting model with the HACK supervisor on)");
     println!(
-        "{:<12} {:>16} {:>12} {:>12}",
-        "model", "goodput", "rx_fcs_bad", "crc_fail"
+        "{:<12} {:>10} {:>10} {:>9} {:>8} {:>8} {:>6} {:>7} {:>6} {:>6}",
+        "model",
+        "goodput",
+        "fcs_bad",
+        "crc_fail",
+        "native",
+        "hacked",
+        "spill",
+        "tflush",
+        "noop",
+        "drop"
     );
+    let corrupting = Some(CorruptModel {
+        data_frac: 0.5,
+        control_per: 0.02,
+        fcs_miss: 0.25,
+    });
     let mut failed = false;
-    for (label, loss, corrupt) in [
-        ("ideal", LossConfig::Ideal, None),
-        ("fixed", LossConfig::PerClient(vec![0.12]), None),
+    let mut json_rows = Vec::new();
+    for (label, loss, corrupt, supervised) in [
+        ("ideal", LossConfig::Ideal, None, false),
+        ("fixed", LossConfig::PerClient(vec![0.12]), None, false),
         (
             "burst",
             LossConfig::Burst(GeParams::bursty(0.12, 8.0)),
             None,
+            false,
         ),
         (
             "corrupting",
             LossConfig::Burst(GeParams::bursty(0.12, 8.0)),
-            Some(CorruptModel {
-                data_frac: 0.5,
-                control_per: 0.02,
-                fcs_miss: 0.25,
-            }),
+            corrupting,
+            false,
+        ),
+        (
+            "supervised",
+            LossConfig::Burst(GeParams::bursty(0.12, 8.0)),
+            corrupting,
+            true,
         ),
     ] {
         let mut cfg = ScenarioConfig::sora_testbed(1, HackMode::MoreData);
         cfg.loss = loss;
         cfg.corrupt = corrupt;
         cfg.duration = SimDuration::from_secs(opts.secs);
+        if supervised {
+            cfg.supervisor = Some(SupervisorConfig::default());
+        }
         let mr = run_seeds(&cfg, 1);
-        let fcs_bad: u64 = mr
-            .runs
-            .iter()
-            .flat_map(|r| r.mac.iter())
-            .map(|m| m.rx_fcs_bad.get())
-            .sum();
-        let crc: u64 = mr.runs.iter().map(|r| r.decompressor.crc_failures).sum();
+        let r = &mr.runs[0];
+        let d = &r.driver[0];
+        let fcs_bad: u64 = r.mac.iter().map(|m| m.rx_fcs_bad.get()).sum();
+        let crc = r.decompressor.crc_failures;
         let goodput = mr.aggregate_goodput().mean();
         let mut verdict = "";
         if goodput <= 0.0 {
             verdict = "  <-- FAIL: zero goodput";
             failed = true;
-        } else if corrupt.is_some() && (fcs_bad == 0 || crc == 0) {
+        } else if corrupt.is_some() && !supervised && (fcs_bad == 0 || crc == 0) {
+            // The supervised row may legitimately mute the CRC path by
+            // falling back to native ACKs, so the silent-path check only
+            // gates the unsupervised corrupting row.
             verdict = "  <-- FAIL: corrupted-delivery path silent";
             failed = true;
         }
         println!(
-            "{label:<12} {:>14.2} M {fcs_bad:>12} {crc:>12}{verdict}",
-            goodput
+            "{label:<12} {goodput:>8.2} M {fcs_bad:>10} {crc:>9} {:>8} {:>8} {:>6} {:>7} {:>6} {:>6}{verdict}",
+            d.native_acks, d.hacked_acks, d.spilled, d.timer_flushes, d.noop_flushes,
+            d.dropped_on_flush
         );
+        if supervised {
+            for rep in &r.supervisor {
+                println!("             supervisor: {}", supervisor_line(rep));
+            }
+        }
+        let sup = r
+            .supervisor
+            .first()
+            .map_or_else(|| "null".into(), supervisor_json);
+        json_rows.push(format!(
+            "{{\"model\":\"{label}\",\"goodput_mbps\":{goodput:.3},\
+             \"rx_fcs_bad\":{fcs_bad},\"crc_failures\":{crc},\
+             \"driver\":{},\"supervisor\":{sup}}}",
+            driver_json(d)
+        ));
+    }
+    if opts.json {
+        println!("{{\"fault_matrix\":[{}]}}", json_rows.join(","));
     }
     if failed {
         std::process::exit(1);
     }
     println!("fault matrix OK");
+}
+
+// ----------------------------------------------------------------------
+// Chaos recovery: the supervisor's CI smoke
+// ----------------------------------------------------------------------
+
+/// The PR 3 "everything on" fault scenario (bursty loss + corrupted
+/// delivery + mid-run dynamics) — identical to the one the supervisor
+/// integration tests run.
+fn chaos_faulty(mode: HackMode, seed: u64, supervised: bool) -> ScenarioConfig {
+    let mut c = ScenarioConfig::sora_testbed(1, mode);
+    c.duration = SimDuration::from_secs(2);
+    c.seed = seed;
+    c.loss = LossConfig::Burst(GeParams::bursty(0.08, 6.0));
+    c.corrupt = Some(CorruptModel {
+        data_frac: 0.5,
+        control_per: 0.02,
+        fcs_miss: 0.25,
+    });
+    c.dynamics = vec![
+        ChannelEvent {
+            at: SimDuration::from_millis(600),
+            change: ChannelChange::ClientLoss {
+                client: 0,
+                per: 0.1,
+            },
+        },
+        ChannelEvent {
+            at: SimDuration::from_millis(1200),
+            change: ChannelChange::SnrOffsetDb(-3.0),
+        },
+    ];
+    if supervised {
+        c.supervisor = Some(SupervisorConfig::default());
+    }
+    c
+}
+
+/// A 60 % loss storm that heals to 2 % mid-run: drives the full
+/// degrade → fallback → probation → recovery arc.
+fn chaos_storm(seed: u64) -> ScenarioConfig {
+    let mut c = ScenarioConfig::sora_testbed(1, HackMode::MoreData);
+    c.duration = SimDuration::from_secs(4);
+    c.seed = seed;
+    c.loss = LossConfig::PerClient(vec![0.6]);
+    c.dynamics = vec![ChannelEvent {
+        at: SimDuration::from_millis(1500),
+        change: ChannelChange::ClientLoss {
+            client: 0,
+            per: 0.02,
+        },
+    }];
+    c.supervisor = Some(SupervisorConfig::default());
+    c
+}
+
+fn chaos_recovery(opts: &Opts) {
+    banner("Chaos recovery: supervised HACK under faults + a healing loss storm");
+    println!("(fails the process if any supervised flow ends the run stalled — zero");
+    println!(" goodput in the final window — or permanently degraded despite a");
+    println!(" healthy channel at the end of the storm scenario)");
+    let matrix_seeds: &[u64] = if opts.quick {
+        &[13, 21]
+    } else {
+        &[13, 21, 34, 89]
+    };
+    let storm_seeds: &[u64] = if opts.quick { &[5, 9] } else { &[5, 9, 17] };
+    let mut failed = false;
+    let mut json_rows = Vec::new();
+
+    println!("-- corrupting/burst matrix: plain TCP vs supervised TCP/HACK --");
+    println!(
+        "{:>6} {:>10} {:>10} {:>10}  supervisor",
+        "seed", "tcp", "hack+sup", "final-win"
+    );
+    let mut tcp_total = 0.0;
+    let mut sup_total = 0.0;
+    for &seed in matrix_seeds {
+        let tcp = run_seeds(&chaos_faulty(HackMode::Disabled, seed, false), 1);
+        let sup = run_seeds(&chaos_faulty(HackMode::MoreData, seed, true), 1);
+        let (tcp, sup) = (&tcp.runs[0], &sup.runs[0]);
+        tcp_total += tcp.aggregate_goodput_mbps;
+        sup_total += sup.aggregate_goodput_mbps;
+        let mut verdict = "";
+        if stalled(sup) {
+            verdict = "  <-- FAIL: flow ended stalled";
+            failed = true;
+        }
+        let final_win = sup.flow_goodput_final_mbps[0];
+        println!(
+            "{seed:>6} {:>8.2} M {:>8.2} M {final_win:>8.2} M  {}{verdict}",
+            tcp.aggregate_goodput_mbps,
+            sup.aggregate_goodput_mbps,
+            supervisor_line(&sup.supervisor[0]),
+        );
+        json_rows.push(format!(
+            "{{\"scenario\":\"faulty\",\"seed\":{seed},\
+             \"tcp_goodput_mbps\":{:.3},\"sup_goodput_mbps\":{:.3},\
+             \"final_window_mbps\":{final_win:.3},\
+             \"driver\":{},\"supervisor\":{}}}",
+            tcp.aggregate_goodput_mbps,
+            sup.aggregate_goodput_mbps,
+            driver_json(&sup.driver[0]),
+            supervisor_json(&sup.supervisor[0]),
+        ));
+    }
+    println!(
+        "aggregate: plain TCP {tcp_total:.2} M, supervised HACK {sup_total:.2} M ({})",
+        if sup_total >= tcp_total {
+            "supervision kept HACK's edge"
+        } else {
+            "WARNING: supervised HACK behind plain TCP on this seed set"
+        }
+    );
+
+    println!("-- loss storm (60 % -> 2 % at 1.5 s): fallback must recover --");
+    println!(
+        "{:>6} {:>10} {:>10}  supervisor",
+        "seed", "goodput", "final-win"
+    );
+    for &seed in storm_seeds {
+        let mr = run_seeds(&chaos_storm(seed), 1);
+        let r = &mr.runs[0];
+        let rep = &r.supervisor[0];
+        let mut verdict = "";
+        if stalled(r) {
+            verdict = "  <-- FAIL: flow ended stalled";
+            failed = true;
+        } else if rep.final_state != FlowHealth::Healthy {
+            verdict = "  <-- FAIL: degraded despite healthy channel";
+            failed = true;
+        }
+        let final_win = r.flow_goodput_final_mbps[0];
+        println!(
+            "{seed:>6} {:>8.2} M {final_win:>8.2} M  {}{verdict}",
+            r.aggregate_goodput_mbps,
+            supervisor_line(rep),
+        );
+        json_rows.push(format!(
+            "{{\"scenario\":\"storm_heal\",\"seed\":{seed},\
+             \"sup_goodput_mbps\":{:.3},\"final_window_mbps\":{final_win:.3},\
+             \"driver\":{},\"supervisor\":{}}}",
+            r.aggregate_goodput_mbps,
+            driver_json(&r.driver[0]),
+            supervisor_json(rep),
+        ));
+    }
+    if opts.json {
+        println!("{{\"chaos_recovery\":[{}]}}", json_rows.join(","));
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!("chaos recovery OK");
+}
+
+/// A flow is stalled if it moved no data in the run's final window.
+fn stalled(r: &RunResult) -> bool {
+    r.flow_goodput_final_mbps.iter().any(|&g| g <= 0.0)
 }
 
 // ----------------------------------------------------------------------

@@ -20,7 +20,7 @@ use hack_inline::BufPool;
 use hack_mac::RxDataInfo;
 use hack_rohc::{CompressStats, Compressor, DecompressStats, Decompressor, RohcSegment};
 use hack_sim::{SimDuration, SimTime};
-use hack_tcp::Ipv4Packet;
+use hack_tcp::{FiveTuple, Ipv4Packet};
 use hack_trace::TraceHandle;
 
 use crate::packet::NetPacket;
@@ -59,6 +59,9 @@ pub enum DriverAction {
     ClearBlob,
     /// Arm the explicit-timer flush at the given time.
     SetFlushTimer(SimTime),
+    /// Disarm a pending explicit-timer flush: the held queue drained via
+    /// §3.4 confirmation, so the timer would only fire as a no-op.
+    CancelFlushTimer,
 }
 
 /// One TCP ACK held compressed on the NIC.
@@ -70,6 +73,8 @@ struct HeldAck {
     original: Ipv4Packet,
     /// Whether this segment has ridden at least one transmitted LL ACK.
     rode_ll_ack: bool,
+    /// When this ACK was staged (staleness accounting).
+    held_at: SimTime,
 }
 
 /// Driver-level statistics (Table 2's ACK accounting).
@@ -91,6 +96,33 @@ pub struct CompressSideStats {
     pub dropped_on_flush: u64,
     /// Explicit-timer flushes fired.
     pub timer_flushes: u64,
+    /// Oldest held ACKs spilled to the native path by the held-queue
+    /// cap.
+    pub spilled: u64,
+    /// Explicit-timer flushes that fired with nothing held (should stay
+    /// zero now that confirmation cancels the timer; counted so a
+    /// regression is visible).
+    pub noop_flushes: u64,
+    /// Times the supervisor forced this driver onto the native path.
+    pub forced_native: u64,
+}
+
+/// Health observations the event loop drains from the driver and feeds
+/// to the flow's supervisor (compress-side contribution).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct DriverHealth {
+    /// Held ACKs spilled by the queue cap since the last drain.
+    pub spills: u64,
+    /// Staleness-limit violations of the oldest held ACK since the last
+    /// drain.
+    pub stale_holds: u64,
+}
+
+impl DriverHealth {
+    /// True if nothing was observed since the last drain.
+    pub fn is_empty(&self) -> bool {
+        self.spills == 0 && self.stale_holds == 0
+    }
 }
 
 /// The compress-side (client) HACK driver toward one peer.
@@ -108,12 +140,27 @@ pub struct CompressSide {
     clear_after_response: bool,
     /// Whether a flush timer is currently armed (ExplicitTimer mode).
     flush_armed: bool,
+    /// Cap on the held queue; pushing past it spills the oldest ACK to
+    /// the native path.
+    held_cap: usize,
+    /// Supervisor override: route everything native without changing
+    /// `mode` (the runtime equivalent of [`HackMode::Disabled`]).
+    forced_native: bool,
+    /// Staleness limit for the oldest held ACK (None = unchecked).
+    stale_limit: Option<SimDuration>,
+    /// Pending health observations for the supervisor.
+    health: DriverHealth,
     /// Scratch-buffer pool for blob bytes: rebuilds draw from here and
     /// the event loop returns displaced NIC blobs via
     /// [`CompressSide::recycle_blob`].
     pool: BufPool,
     stats: CompressSideStats,
 }
+
+/// Default [`CompressSide`] held-queue cap. Generous: §3.4 retention in
+/// a healthy exchange holds at most a batch or two (tens of ACKs), and
+/// the blob format itself tops out at 255 segments.
+pub const DEFAULT_HELD_CAP: usize = 64;
 
 impl CompressSide {
     /// A driver in the given mode.
@@ -126,9 +173,69 @@ impl CompressSide {
             generation: 0,
             clear_after_response: false,
             flush_armed: false,
+            held_cap: DEFAULT_HELD_CAP,
+            forced_native: false,
+            stale_limit: None,
+            health: DriverHealth::default(),
             pool: BufPool::new(),
             stats: CompressSideStats::default(),
         }
+    }
+
+    /// Set the held-queue cap (clamped to the blob format's 255-segment
+    /// ceiling; a zero cap is treated as 1).
+    pub fn set_held_cap(&mut self, cap: usize) {
+        self.held_cap = cap.clamp(1, 255);
+    }
+
+    /// Set (or clear) the staleness limit on the oldest held ACK.
+    pub fn set_stale_limit(&mut self, limit: Option<SimDuration>) {
+        self.stale_limit = limit;
+    }
+
+    /// Drain pending health observations (spills, stale holds) for the
+    /// supervisor.
+    pub fn drain_health(&mut self) -> DriverHealth {
+        std::mem::take(&mut self.health)
+    }
+
+    /// Whether the supervisor currently forces the native path.
+    pub fn is_forced_native(&self) -> bool {
+        self.forced_native
+    }
+
+    /// Supervisor override: route all subsequent ACKs natively without
+    /// changing the configured mode. Held state flushes exactly like a
+    /// MORE-DATA-off flush — unridden ACKs re-enqueue natively, ridden
+    /// ones are covered by later cumulative ACKs — and any pending
+    /// explicit flush timer is cancelled.
+    pub fn force_native(&mut self, _now: SimTime) -> Vec<DriverAction> {
+        if self.forced_native || self.mode == HackMode::Disabled {
+            return Vec::new();
+        }
+        self.forced_native = true;
+        self.stats.forced_native += 1;
+        self.clear_after_response = false;
+        let mut out = Vec::new();
+        if self.flush_armed {
+            self.flush_armed = false;
+            out.push(DriverAction::CancelFlushTimer);
+        }
+        out.extend(self.flush(FlushCause::Forced));
+        out
+    }
+
+    /// Supervisor override lifted (probation re-entry): resume the
+    /// configured HACK mode. The latch re-arms on the next MORE DATA
+    /// indication.
+    pub fn resume_hack(&mut self) {
+        self.forced_native = false;
+    }
+
+    /// Supervisor-driven ROHC refresh: drop the flow's compressor
+    /// context so the next ACK declines, goes native, and re-seeds.
+    pub fn drop_context(&mut self, tuple: &FiveTuple) -> bool {
+        self.compressor.drop_context(tuple)
     }
 
     /// The configured mode.
@@ -209,11 +316,62 @@ impl CompressSide {
         out.push(DriverAction::SendNative(pkt));
     }
 
+    /// Stage a compressed ACK, spilling the oldest entry first when the
+    /// queue sits at its cap. An unridden spill re-enqueues natively
+    /// (except in Opportunistic mode, whose native twin is already in
+    /// the MAC queue); a ridden one is covered by later cumulative ACKs.
+    fn hold(
+        &mut self,
+        segment: RohcSegment,
+        original: Ipv4Packet,
+        now: SimTime,
+        out: &mut Vec<DriverAction>,
+    ) {
+        while self.held.len() >= self.held_cap {
+            let oldest = self.held.remove(0);
+            self.stats.spilled += 1;
+            self.health.spills += 1;
+            if oldest.rode_ll_ack || self.mode == HackMode::Opportunistic {
+                self.stats.dropped_on_flush += 1;
+            } else {
+                self.stats.reenqueued += 1;
+                self.compressor.observe_native(&oldest.original);
+                self.stats.native_acks += 1;
+                self.stats.native_ack_bytes += u64::from(oldest.original.wire_len());
+                out.push(DriverAction::SendNative(oldest.original));
+            }
+        }
+        self.held.push(HeldAck {
+            segment,
+            original,
+            rode_ll_ack: false,
+            held_at: now,
+        });
+    }
+
+    /// Staleness watchdog: if the oldest held ACK has been staged longer
+    /// than the limit, record one health observation and re-arm.
+    fn check_stale(&mut self, now: SimTime) {
+        if let (Some(limit), Some(oldest)) = (self.stale_limit, self.held.first()) {
+            if now.saturating_duration_since(oldest.held_at) > limit {
+                self.health.stale_holds += 1;
+                for h in &mut self.held {
+                    h.held_at = now;
+                }
+            }
+        }
+    }
+
     /// The local TCP stack produced an ACK toward the peer. Decide its
     /// path.
     pub fn on_ack_out(&mut self, pkt: Ipv4Packet, now: SimTime) -> Vec<DriverAction> {
         self.compressor.set_trace_clock(now.as_nanos());
         let mut out = Vec::new();
+        if self.forced_native {
+            self.send_native(pkt, &mut out);
+            return out;
+        }
+        self.check_stale(now);
         match self.mode {
             HackMode::Disabled => {
                 self.stats.native_acks += 1;
@@ -224,11 +382,7 @@ impl CompressSide {
                 if self.latched {
                     match self.compressor.compress(&pkt) {
                         Some(segment) => {
-                            self.held.push(HeldAck {
-                                segment,
-                                original: pkt,
-                                rode_ll_ack: false,
-                            });
+                            self.hold(segment, pkt, now, &mut out);
                             out.push(self.rebuild_blob());
                         }
                         None => self.send_native(pkt, &mut out),
@@ -239,11 +393,7 @@ impl CompressSide {
             }
             HackMode::ExplicitTimer(delay) => match self.compressor.compress(&pkt) {
                 Some(segment) => {
-                    self.held.push(HeldAck {
-                        segment,
-                        original: pkt,
-                        rode_ll_ack: false,
-                    });
+                    self.hold(segment, pkt, now, &mut out);
                     out.push(self.rebuild_blob());
                     if !self.flush_armed {
                         self.flush_armed = true;
@@ -257,11 +407,7 @@ impl CompressSide {
                 // natively; the race decides (§3.2).
                 match self.compressor.compress(&pkt) {
                     Some(segment) => {
-                        self.held.push(HeldAck {
-                            segment,
-                            original: pkt.clone(),
-                            rode_ll_ack: false,
-                        });
+                        self.hold(segment, pkt.clone(), now, &mut out);
                         out.push(self.rebuild_blob());
                         // Native twin goes out without `observe_native`:
                         // the compressor already advanced past this ACK.
@@ -282,9 +428,10 @@ impl CompressSide {
     pub fn on_data_received(&mut self, info: &RxDataInfo, now: SimTime) -> Vec<DriverAction> {
         self.compressor.set_trace_clock(now.as_nanos());
         let mut out = Vec::new();
-        if self.mode == HackMode::Disabled {
+        if self.mode == HackMode::Disabled || self.forced_native {
             return out;
         }
+        self.check_stale(now);
 
         // §3.4 confirmation: receipt of data (not SYNC-marked) confirms
         // that our previous LL ACK — and the blob on it — reached the
@@ -301,6 +448,14 @@ impl CompressSide {
             }
             self.held.retain(|h| !h.rode_ll_ack);
             out.push(self.rebuild_blob());
+            // The confirmation may have drained the queue entirely; a
+            // still-armed explicit flush timer would only fire as a
+            // no-op, so disarm it (satellite: the stale-flush-timer
+            // fix).
+            if self.flush_armed && self.held.is_empty() {
+                self.flush_armed = false;
+                out.push(DriverAction::CancelFlushTimer);
+            }
         }
 
         if self.mode == HackMode::MoreData {
@@ -318,7 +473,7 @@ impl CompressSide {
     /// whether our blob rode on it (the NIC's interrupt status, §3.3.1).
     pub fn on_response_sent(&mut self, attached: bool, _now: SimTime) -> Vec<DriverAction> {
         let mut out = Vec::new();
-        if self.mode == HackMode::Disabled {
+        if self.mode == HackMode::Disabled || self.forced_native {
             return out;
         }
         if attached {
@@ -380,6 +535,10 @@ impl CompressSide {
         self.compressor.set_trace_clock(now.as_nanos());
         self.flush_armed = false;
         if self.held.is_empty() {
+            // Should no longer happen — confirmation drains emit
+            // `CancelFlushTimer` — but count it so a regression to the
+            // old silent-no-op behavior is visible.
+            self.stats.noop_flushes += 1;
             return Vec::new();
         }
         self.stats.timer_flushes += 1;
@@ -415,6 +574,7 @@ impl CompressSide {
 enum FlushCause {
     NoMoreData,
     Timer,
+    Forced,
 }
 
 /// The decompress-side (AP) HACK driver.
@@ -440,6 +600,12 @@ impl DecompressSide {
     /// Decompressor statistics.
     pub fn stats(&self) -> &DecompressStats {
         self.decompressor.stats()
+    }
+
+    /// Supervisor-driven ROHC refresh: drop the flow's decompressor
+    /// context; the next native ACK from the flow re-seeds it.
+    pub fn drop_context(&mut self, tuple: &FiveTuple) -> bool {
+        self.decompressor.drop_context(tuple)
     }
 
     /// A native TCP ACK arrived from the wireless side: refresh contexts.
@@ -670,6 +836,166 @@ mod tests {
         let acts = d2.on_natives_delivered(&[NetPacket(ack(2000, 2))]);
         assert_eq!(d2.held_count(), 0);
         assert!(matches!(acts[0], DriverAction::ClearBlob));
+    }
+
+    #[test]
+    fn held_cap_spills_oldest_to_native() {
+        let mut d = CompressSide::new(HackMode::MoreData);
+        d.set_held_cap(3);
+        d.on_ack_out(ack(1000, 1), t(1)); // seeds the context natively
+        d.on_data_received(&info(true, false), t(1));
+        for i in 0..3u16 {
+            d.on_ack_out(ack(2000 + u32::from(i) * 1000, 2 + i), t(2));
+        }
+        assert_eq!(d.held_count(), 3);
+        // The 4th held ACK spills the oldest (ackno 2000, never rode) to
+        // the native path.
+        let acts = d.on_ack_out(ack(5000, 5), t(3));
+        assert_eq!(d.held_count(), 3);
+        let natives: Vec<_> = acts
+            .iter()
+            .filter_map(|a| match a {
+                DriverAction::SendNative(p) => Some(p),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(natives.len(), 1);
+        assert_eq!(natives[0].ident, 2, "oldest-first spill");
+        assert_eq!(d.stats().spilled, 1);
+        assert_eq!(d.stats().reenqueued, 1);
+        let health = d.drain_health();
+        assert_eq!(health.spills, 1);
+        assert!(d.drain_health().is_empty(), "drain resets");
+        // A ridden oldest is dropped instead (cumulative ACKs cover it).
+        d.on_response_sent(true, t(4));
+        let acts = d.on_ack_out(ack(6000, 6), t(5));
+        assert!(!acts
+            .iter()
+            .any(|a| matches!(a, DriverAction::SendNative(_))));
+        assert_eq!(d.stats().spilled, 2);
+        assert_eq!(d.stats().dropped_on_flush, 1);
+    }
+
+    #[test]
+    fn held_queue_is_bounded_under_dead_peer() {
+        // Regression: before the cap, a peer that died mid-burst grew
+        // `held` without bound (and past 255 the blob build panicked).
+        let mut d = CompressSide::new(HackMode::MoreData);
+        d.on_ack_out(ack(1000, 1), t(1));
+        d.on_data_received(&info(true, false), t(1));
+        for i in 0..1000u32 {
+            d.on_ack_out(ack(2000 + i * 10, (i % 60000) as u16 + 2), t(2));
+        }
+        assert!(d.held_count() <= DEFAULT_HELD_CAP);
+        assert_eq!(d.stats().spilled as usize, 1000 - DEFAULT_HELD_CAP);
+    }
+
+    #[test]
+    fn confirmation_drain_cancels_flush_timer() {
+        // Satellite: previously the timer stayed armed after a §3.4
+        // confirmation drained `held` and fired as a silent no-op.
+        let mut d = CompressSide::new(HackMode::ExplicitTimer(SimDuration::from_millis(10)));
+        d.on_ack_out(ack(1000, 1), t(1)); // native (seeds context)
+        let acts = d.on_ack_out(ack(2000, 2), t(2));
+        assert!(acts
+            .iter()
+            .any(|a| matches!(a, DriverAction::SetFlushTimer(_))));
+        // The blob rides, then data confirms: held drains fully.
+        d.on_response_sent(true, t(3));
+        let acts = d.on_data_received(&info(true, false), t(4));
+        assert_eq!(d.held_count(), 0);
+        assert!(
+            acts.iter()
+                .any(|a| matches!(a, DriverAction::CancelFlushTimer)),
+            "drained queue must disarm the pending flush: {acts:?}"
+        );
+        // If the timer fired anyway it would be a counted no-op.
+        assert_eq!(d.stats().noop_flushes, 0);
+        d.on_flush_timer(t(12));
+        assert_eq!(d.stats().noop_flushes, 1);
+        assert_eq!(d.stats().timer_flushes, 0);
+    }
+
+    #[test]
+    fn partial_drain_keeps_flush_timer() {
+        let mut d = CompressSide::new(HackMode::ExplicitTimer(SimDuration::from_millis(10)));
+        d.on_ack_out(ack(1000, 1), t(1));
+        d.on_ack_out(ack(2000, 2), t(2));
+        d.on_response_sent(true, t(3)); // rides
+        d.on_ack_out(ack(3000, 3), t(4)); // new, unridden
+        let acts = d.on_data_received(&info(true, false), t(5));
+        assert_eq!(d.held_count(), 1, "only the ridden ACK drains");
+        assert!(!acts
+            .iter()
+            .any(|a| matches!(a, DriverAction::CancelFlushTimer)));
+        // The timer still fires for the survivor.
+        let acts = d.on_flush_timer(t(12));
+        assert!(acts
+            .iter()
+            .any(|a| matches!(a, DriverAction::SendNative(_))));
+        assert_eq!(d.stats().timer_flushes, 1);
+    }
+
+    #[test]
+    fn forced_native_flushes_and_bypasses_hack() {
+        let mut d = CompressSide::new(HackMode::MoreData);
+        d.on_ack_out(ack(1000, 1), t(1));
+        d.on_data_received(&info(true, false), t(2));
+        d.on_ack_out(ack(2000, 2), t(2));
+        assert_eq!(d.held_count(), 1);
+        let acts = d.force_native(t(3));
+        assert!(d.is_forced_native());
+        assert_eq!(d.held_count(), 0);
+        // The unridden held ACK re-enqueues natively and the NIC slot
+        // clears.
+        assert!(acts
+            .iter()
+            .any(|a| matches!(a, DriverAction::SendNative(_))));
+        assert!(acts.iter().any(|a| matches!(a, DriverAction::ClearBlob)));
+        assert_eq!(d.stats().forced_native, 1);
+        // While forced, everything is native regardless of the latch.
+        d.on_data_received(&info(true, false), t(4));
+        assert!(!d.latched(), "latch input ignored while forced");
+        let acts = d.on_ack_out(ack(3000, 3), t(4));
+        assert!(matches!(acts[0], DriverAction::SendNative(_)));
+        // Idempotent.
+        assert!(d.force_native(t(5)).is_empty());
+        // Resume: the next MORE DATA indication re-latches and holds
+        // again.
+        d.resume_hack();
+        d.on_data_received(&info(true, false), t(6));
+        let acts = d.on_ack_out(ack(4000, 4), t(6));
+        assert!(matches!(acts[0], DriverAction::InstallBlob { .. }));
+    }
+
+    #[test]
+    fn forced_native_cancels_pending_flush_timer() {
+        let mut d = CompressSide::new(HackMode::ExplicitTimer(SimDuration::from_millis(10)));
+        d.on_ack_out(ack(1000, 1), t(1));
+        d.on_ack_out(ack(2000, 2), t(2));
+        let acts = d.force_native(t(3));
+        assert!(acts
+            .iter()
+            .any(|a| matches!(a, DriverAction::CancelFlushTimer)));
+        assert!(acts
+            .iter()
+            .any(|a| matches!(a, DriverAction::SendNative(_))));
+    }
+
+    #[test]
+    fn stale_hold_reports_health() {
+        let mut d = CompressSide::new(HackMode::MoreData);
+        d.set_stale_limit(Some(SimDuration::from_millis(5)));
+        d.on_ack_out(ack(1000, 1), t(1));
+        d.on_data_received(&info(true, false), t(1));
+        d.on_ack_out(ack(2000, 2), t(1));
+        assert!(d.drain_health().is_empty());
+        // 10 ms later the held ACK is stale; the watchdog reports once
+        // and re-arms.
+        d.on_ack_out(ack(3000, 3), t(11));
+        assert_eq!(d.drain_health().stale_holds, 1);
+        d.on_ack_out(ack(4000, 4), t(12));
+        assert!(d.drain_health().is_empty(), "re-armed, not spamming");
     }
 
     #[test]

@@ -12,6 +12,8 @@
 //! * [`wired`] — the 500 Mbps / 1 ms backhaul between server and AP.
 //! * [`sim`] — the whole-network event loop (stations + medium + wired +
 //!   TCP endpoints + drivers).
+//! * [`supervisor`] — per-flow health monitoring: graceful fallback to
+//!   native ACKs under sustained faults, probation-gated re-enable.
 //! * [`scenario`] — experiment-facing configuration and results.
 //!
 //! ```no_run
@@ -32,13 +34,21 @@ pub mod driver;
 pub mod packet;
 pub mod scenario;
 pub mod sim;
+pub mod supervisor;
 pub mod wired;
 
-pub use driver::{CompressSide, CompressSideStats, DecompressSide, DriverAction, HackMode};
+pub use driver::{
+    CompressSide, CompressSideStats, DecompressSide, DriverAction, DriverHealth, HackMode,
+    DEFAULT_HELD_CAP,
+};
 pub use hack_phy::{CorruptModel, GeParams};
 pub use packet::NetPacket;
 pub use scenario::{
     ChannelChange, ChannelEvent, LossConfig, RunResult, ScenarioConfig, Standard, TrafficKind,
 };
 pub use sim::{run, run_traced, World};
+pub use supervisor::{
+    FlowHealth, FlowSupervisor, HealthSignal, SupervisorAction, SupervisorConfig, SupervisorReport,
+    SupervisorStats,
+};
 pub use wired::WiredLink;

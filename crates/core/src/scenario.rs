@@ -6,7 +6,8 @@ use hack_rohc::{CompressStats, DecompressStats};
 use hack_sim::{QueueKind, SimDuration, SimTime};
 use hack_tcp::TcpStats;
 
-use crate::driver::{CompressSideStats, HackMode};
+use crate::driver::{CompressSideStats, HackMode, DEFAULT_HELD_CAP};
+use crate::supervisor::{SupervisorConfig, SupervisorReport};
 
 /// Which 802.11 flavour the cell runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -145,6 +146,18 @@ pub struct ScenarioConfig {
     /// identical event order (same seed ⇒ byte-identical trace digest);
     /// the calendar queue is the fast default, the heap the reference.
     pub queue: QueueKind,
+    /// Per-flow HACK supervisor (health monitoring + graceful fallback
+    /// to native ACKs). `None` disables supervision entirely — the
+    /// pre-supervisor behaviour, byte-identical traces included.
+    pub supervisor: Option<SupervisorConfig>,
+    /// Per-client HACK capability advertised at association time,
+    /// indexed by client; missing entries default to capable. An
+    /// incapable client negotiates HACK off with the AP and its flow
+    /// runs native ACKs permanently.
+    pub client_hack_capable: Vec<bool>,
+    /// Bound on each compress side's held-ACK queue; the oldest held
+    /// ACK spills to the native path when a new hold would exceed it.
+    pub held_cap: usize,
 }
 
 impl ScenarioConfig {
@@ -176,6 +189,9 @@ impl ScenarioConfig {
             txop_limit: None,
             retry_limit: None,
             queue: QueueKind::Calendar,
+            supervisor: None,
+            client_hack_capable: Vec::new(),
+            held_cap: DEFAULT_HELD_CAP,
         }
     }
 
@@ -213,6 +229,9 @@ impl ScenarioConfig {
             txop_limit: None,
             retry_limit: None,
             queue: QueueKind::Calendar,
+            supervisor: None,
+            client_hack_capable: Vec::new(),
+            held_cap: DEFAULT_HELD_CAP,
         }
     }
 
@@ -259,6 +278,12 @@ pub struct RunResult {
     /// Fraction of blob-carrying LL ACKs whose blob extension fits
     /// within AIFS (the paper's 98.5 % claim, §3.3.2 fn 7).
     pub blob_within_aifs: f64,
+    /// Per-flow supervisor outcomes (empty when supervision is off).
+    pub supervisor: Vec<SupervisorReport>,
+    /// Per-flow goodput (Mbps) over the final window of the run — the
+    /// stall detector: a live flow has nonzero goodput here even under
+    /// faults, a stalled one does not.
+    pub flow_goodput_final_mbps: Vec<f64>,
 }
 
 impl RunResult {

@@ -18,7 +18,7 @@ use std::collections::HashMap;
 
 use hack_mac::{Action, Frame, HackBlob, MacConfig, Station, TimerKind, TxDescriptor};
 use hack_phy::{Channel, LossModel, Medium, MpduStatus, PhyRate, PpduMeta, StationId, TxId};
-use hack_sim::{Scheduler, SimRng, SimTime, ThroughputMeter, TimerTable, TimerToken};
+use hack_sim::{Scheduler, SimDuration, SimRng, SimTime, ThroughputMeter, TimerTable, TimerToken};
 use hack_tcp::{Connection, FiveTuple, Ipv4Addr, Ipv4Packet, SendBudget, TcpConfig, Transport};
 use hack_trace::TraceHandle;
 
@@ -27,10 +27,16 @@ use crate::packet::NetPacket;
 use crate::scenario::{
     ChannelChange, LossConfig, RunResult, ScenarioConfig, Standard, TrafficKind,
 };
+use crate::supervisor::{FlowSupervisor, HealthSignal, SupervisorAction};
 use crate::wired::WiredLink;
 
 const AP: StationId = StationId(0);
 const SERVER_IP: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
+
+/// Held-ACK age past which the compress side raises a staleness health
+/// signal (supervised runs only). Generous against ordinary flush-timer
+/// latency — only a wedged HACK path trips it.
+const HELD_STALE_LIMIT: SimDuration = SimDuration::from_millis(50);
 
 fn client_sid(i: usize) -> StationId {
     StationId(1 + i as u32)
@@ -54,6 +60,8 @@ struct Endpoint {
     tcp_cfg: TcpConfig,
     iss: u32,
     delivered_recorded: u64,
+    /// TCP timeouts already reported to the supervisor.
+    timeouts_seen: u64,
 }
 
 enum Event {
@@ -80,6 +88,8 @@ enum Event {
     /// Apply scheduled channel dynamics entry `i` (index into
     /// `cfg.dynamics`).
     ChannelDynamics(usize),
+    /// A flow supervisor's probation probe timer fired.
+    SupProbe(usize, TimerToken<u32>),
 }
 
 /// The assembled simulation.
@@ -89,6 +99,9 @@ pub struct World {
     mac_timers: TimerTable<(u32, TimerKind)>,
     tcp_timers: TimerTable<u32>,
     flush_timers: TimerTable<(u32, u32)>,
+    sup_timers: TimerTable<u32>,
+    /// One supervisor per flow; empty when supervision is off.
+    supervisors: Vec<FlowSupervisor>,
     medium: Medium,
     stations: Vec<Station<NetPacket>>,
     compress: HashMap<(u32, u32), CompressSide>,
@@ -181,7 +194,14 @@ impl World {
         let stations: Vec<Station<NetPacket>> = station_ids
             .iter()
             .map(|&sid| {
-                let mut s = Station::new(sid, mac_cfg.clone(), rng.fork(u64::from(sid.0) + 1));
+                let mut sc = mac_cfg.clone();
+                if sid != AP {
+                    // Per-client capability: a stock (non-HACK) client
+                    // advertises no HACK bit at association.
+                    let i = sid.0 as usize - 1;
+                    sc.hack_capable = cfg.client_hack_capable.get(i).copied().unwrap_or(true);
+                }
+                let mut s = Station::new(sid, sc, rng.fork(u64::from(sid.0) + 1));
                 s.set_trace(trace.clone());
                 s
             })
@@ -197,17 +217,33 @@ impl World {
                 d
             })
             .collect();
+        let supervised =
+            cfg.supervisor.is_some() && hack_on && cfg.traffic != TrafficKind::UdpDownload;
         for i in 0..n {
             let c = client_sid(i);
             // Client compresses toward the AP (downloads)…
             let mut cs = CompressSide::new(cfg.hack_mode);
             cs.set_trace(trace.clone(), c.0);
+            cs.set_held_cap(cfg.held_cap);
+            if supervised {
+                cs.set_stale_limit(Some(HELD_STALE_LIMIT));
+            }
             compress.insert((c.0, AP.0), cs);
             // …and the AP toward each client (uploads) — symmetric design.
             let mut cs = CompressSide::new(cfg.hack_mode);
             cs.set_trace(trace.clone(), AP.0);
+            cs.set_held_cap(cfg.held_cap);
+            if supervised {
+                cs.set_stale_limit(Some(HELD_STALE_LIMIT));
+            }
             compress.insert((AP.0, c.0), cs);
         }
+        let supervisors: Vec<FlowSupervisor> = if supervised {
+            let sup_cfg = cfg.supervisor.expect("checked");
+            (0..n).map(|_| FlowSupervisor::new(sup_cfg)).collect()
+        } else {
+            Vec::new()
+        };
 
         // --- endpoints ---
         let mut endpoints = Vec::new();
@@ -245,6 +281,7 @@ impl World {
                     tcp_cfg: tcp_cfg.clone(),
                     iss: 10_000 + i as u32 * 101,
                     delivered_recorded: 0,
+                    timeouts_seen: 0,
                 };
                 // Server endpoint (wired, or on the AP itself).
                 let mut server_conn = Connection::server(
@@ -267,6 +304,7 @@ impl World {
                     tcp_cfg: tcp_cfg.clone(),
                     iss: 0,
                     delivered_recorded: 0,
+                    timeouts_seen: 0,
                 };
                 let ci = endpoints.len();
                 ep_by_tuple.insert(ep_client.tuple, ci);
@@ -290,6 +328,8 @@ impl World {
             mac_timers: TimerTable::new(),
             tcp_timers: TimerTable::new(),
             flush_timers: TimerTable::new(),
+            sup_timers: TimerTable::new(),
+            supervisors,
             medium,
             stations,
             compress,
@@ -314,6 +354,33 @@ impl World {
         for i in 0..world.cfg.dynamics.len() {
             let at = SimTime::ZERO + world.cfg.dynamics[i].at;
             world.sched.schedule_at(at, Event::ChannelDynamics(i));
+        }
+        // Association-time capability negotiation, out of band: it
+        // models a handshake completed before t = 0, so it burns no air
+        // time, no randomness, and (for all-capable cells) no trace
+        // events — existing same-seed digests are untouched.
+        for i in 0..n {
+            let c = client_sid(i);
+            let req = world.stations[c.0 as usize].assoc_request();
+            let resp = world.stations[AP.0 as usize].on_assoc_request(&req);
+            world.stations[c.0 as usize].on_assoc_response(&resp);
+            if world.stations[c.0 as usize].hack_negotiated(AP) == Some(false) {
+                // Permanent clean fallback on this link: the MAC already
+                // gates blobs, but force the drivers native too so ACKs
+                // are never held against a peer that cannot decode them.
+                for key in [(c.0, AP.0), (AP.0, c.0)] {
+                    let dacts = world
+                        .compress
+                        .get_mut(&key)
+                        .expect("driver exists")
+                        .force_native(SimTime::ZERO);
+                    world.apply_driver(StationId(key.0), StationId(key.1), dacts, SimTime::ZERO);
+                }
+                if !world.supervisors.is_empty() {
+                    let acts = world.supervisors[i].mark_peer_incapable();
+                    world.apply_supervisor(i, acts, SimTime::ZERO);
+                }
+            }
         }
         world
     }
@@ -342,8 +409,21 @@ impl World {
             Event::FlowStart(flow) => self.start_flow(flow, now),
             Event::MacTimer(sid, kind, token) => {
                 if self.mac_timers.fire(token) {
+                    // A live AckTimeout token means the response really
+                    // never arrived (arrival cancels the timer) — the
+                    // supervisor's LL-ACK-loss signal. Capture the peer
+                    // before on_timer clears the exchange.
+                    let timed_out_peer = (!self.supervisors.is_empty()
+                        && kind == TimerKind::AckTimeout)
+                        .then(|| self.stations[sid.0 as usize].awaiting_response_from())
+                        .flatten();
                     let acts = self.stations[sid.0 as usize].on_timer(kind, now);
                     self.apply(sid, acts, now);
+                    if let Some(peer) = timed_out_peer {
+                        if let Some(flow) = self.sup_flow(sid, peer) {
+                            self.sup_signal(flow, HealthSignal::LlAckTimeout, now);
+                        }
+                    }
                 }
             }
             Event::TxEnd(id) => self.on_tx_end(id, now),
@@ -368,6 +448,24 @@ impl World {
                             .expect("timer on live conn");
                         conn.on_timer(now)
                     };
+                    // RTO stall: repeated established-state timeouts with
+                    // no ACK progress mean the ACK clock itself died.
+                    let mut stall_flow = None;
+                    if !self.supervisors.is_empty() {
+                        let e = &mut self.endpoints[ep];
+                        if let Some(conn) = &e.conn {
+                            let timeouts = conn.stats().timeouts;
+                            if timeouts > e.timeouts_seen {
+                                e.timeouts_seen = timeouts;
+                                if conn.rto_streak() >= 2 {
+                                    stall_flow = Some(e.flow);
+                                }
+                            }
+                        }
+                    }
+                    if let Some(flow) = stall_flow {
+                        self.sup_signal(flow, HealthSignal::RtoStall, now);
+                    }
                     self.route_out(ep, outputs, now);
                     self.record_delivery(ep, now);
                     self.resched_tcp(ep, now);
@@ -419,6 +517,12 @@ impl World {
                 }
             }
             Event::ChannelDynamics(index) => self.apply_dynamics(index, now),
+            Event::SupProbe(flow, token) => {
+                if self.sup_timers.fire(token) {
+                    let acts = self.supervisors[flow].on_probe_timer(now);
+                    self.apply_supervisor(flow, acts, now);
+                }
+            }
         }
     }
 
@@ -496,6 +600,11 @@ impl World {
                 if fcs_bad > 0 {
                     let acts = self.stations[sid.0 as usize].on_rx_corrupt(src, fcs_bad, now);
                     self.apply(sid, acts, now);
+                    if !self.supervisors.is_empty() {
+                        if let Some(flow) = self.sup_flow(sid, src) {
+                            self.sup_signal(flow, HealthSignal::FcsBad, now);
+                        }
+                    }
                 }
                 if !decoded.is_empty() {
                     let acts = self.stations[sid.0 as usize].on_rx_ppdu(decoded, aggregated, now);
@@ -569,6 +678,7 @@ impl World {
                     if let Some(side) = self.compress.get_mut(&key) {
                         let dacts = side.on_data_received(&info, now);
                         self.apply_driver(sid, info.from, dacts, now);
+                        self.drain_driver_health(sid, info.from, now);
                     }
                 }
                 Action::ResponseSent {
@@ -597,7 +707,14 @@ impl World {
                     acked: _,
                     acked_msdus,
                 } => {
+                    let sup_flow = if self.supervisors.is_empty() {
+                        None
+                    } else {
+                        self.sup_flow(sid, from)
+                    };
+                    let had_blob = blob.is_some();
                     if let Some(blob) = blob {
+                        let before = self.decompress[sid.0 as usize].stats().clone();
                         let pkts = self.decompress[sid.0 as usize].on_blob(&blob.bytes, now);
                         for pkt in pkts {
                             self.sched.schedule_at(
@@ -608,6 +725,30 @@ impl World {
                                     native: false,
                                 },
                             );
+                        }
+                        if let Some(flow) = sup_flow {
+                            // Blob post-mortem for the supervisor: CRC
+                            // hits, context damage, and clean decodes.
+                            let after = self.decompress[sid.0 as usize].stats();
+                            let crc = after.crc_failures - before.crc_failures;
+                            let repair = (after.no_context + after.malformed)
+                                - (before.no_context + before.malformed);
+                            let decoded = after.decompressed - before.decompressed;
+                            for _ in 0..crc {
+                                self.sup_signal(flow, HealthSignal::RohcCrcFailure, now);
+                            }
+                            for _ in 0..repair {
+                                self.sup_signal(flow, HealthSignal::RohcContextRepair, now);
+                            }
+                            for _ in 0..decoded {
+                                self.sup_signal(flow, HealthSignal::BlobDecoded, now);
+                            }
+                        }
+                    }
+                    if let Some(flow) = sup_flow {
+                        if !had_blob {
+                            // Plain LL ACK exchange completed fine.
+                            self.sup_signal(flow, HealthSignal::LlAckOk, now);
                         }
                     }
                     // Delivered natives advance the compressor floor (and
@@ -708,6 +849,154 @@ impl World {
                     let token = self.flush_timers.arm((sid.0, peer.0));
                     self.sched
                         .schedule_at(at.max(now), Event::HackFlush(sid, peer, token));
+                }
+                DriverAction::CancelFlushTimer => {
+                    // The scheduled HackFlush event still fires but its
+                    // token is now stale and it is dropped silently.
+                    self.flush_timers.cancel((sid.0, peer.0));
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Supervisor
+    // ------------------------------------------------------------------
+
+    /// The flow a (station, peer) pair belongs to: whichever end is a
+    /// client identifies it.
+    fn sup_flow(&self, a: StationId, b: StationId) -> Option<usize> {
+        self.flow_of_client(a).or_else(|| self.flow_of_client(b))
+    }
+
+    /// Feed one health observation to a flow's supervisor and carry out
+    /// whatever it asks for.
+    fn sup_signal(&mut self, flow: usize, sig: HealthSignal, now: SimTime) {
+        if flow >= self.supervisors.len() {
+            return;
+        }
+        let acts = self.supervisors[flow].on_signal(sig, now);
+        if !acts.is_empty() {
+            self.apply_supervisor(flow, acts, now);
+        }
+    }
+
+    /// Report any health incidents the compress side recorded since the
+    /// last drain (held-queue spills, stale holds).
+    fn drain_driver_health(&mut self, sid: StationId, peer: StationId, now: SimTime) {
+        if self.supervisors.is_empty() {
+            return;
+        }
+        let Some(flow) = self.sup_flow(sid, peer) else {
+            return;
+        };
+        let Some(side) = self.compress.get_mut(&(sid.0, peer.0)) else {
+            return;
+        };
+        let health = side.drain_health();
+        for _ in 0..health.spills {
+            self.sup_signal(flow, HealthSignal::HeldSpill, now);
+        }
+        for _ in 0..health.stale_holds {
+            self.sup_signal(flow, HealthSignal::HeldAckStale, now);
+        }
+    }
+
+    /// Materialize supervisor actions for one flow: force/resume the
+    /// native path on both compress sides, refresh ROHC contexts, arm
+    /// probe timers, and emit the transition trace events.
+    fn apply_supervisor(&mut self, flow: usize, actions: Vec<SupervisorAction>, now: SimTime) {
+        let client = client_sid(flow);
+        for act in actions {
+            match act {
+                SupervisorAction::ForceNative => {
+                    for key in [(client.0, AP.0), (AP.0, client.0)] {
+                        let dacts = self
+                            .compress
+                            .get_mut(&key)
+                            .expect("driver exists")
+                            .force_native(now);
+                        self.apply_driver(StationId(key.0), StationId(key.1), dacts, now);
+                    }
+                }
+                SupervisorAction::ReenableHack => {
+                    for key in [(client.0, AP.0), (AP.0, client.0)] {
+                        self.compress
+                            .get_mut(&key)
+                            .expect("driver exists")
+                            .resume_hack();
+                    }
+                }
+                SupervisorAction::RefreshContexts => {
+                    // Drop the flow's contexts on all four ROHC parties
+                    // (both orientations — downloads ACK on the client
+                    // tuple, uploads on its reverse) so the next native
+                    // ACK re-seeds them from scratch.
+                    let Some(ep) = self.endpoints.get(flow * 2) else {
+                        continue;
+                    };
+                    let fwd = ep.tuple;
+                    let rev = fwd.reversed();
+                    for key in [(client.0, AP.0), (AP.0, client.0)] {
+                        if let Some(side) = self.compress.get_mut(&key) {
+                            side.drop_context(&fwd);
+                            side.drop_context(&rev);
+                        }
+                    }
+                    for sid in [client.0 as usize, AP.0 as usize] {
+                        self.decompress[sid].drop_context(&fwd);
+                        self.decompress[sid].drop_context(&rev);
+                    }
+                }
+                SupervisorAction::ScheduleProbe(at) => {
+                    let token = self.sup_timers.arm(flow as u32);
+                    self.sched
+                        .schedule_at(at.max(now), Event::SupProbe(flow, token));
+                }
+                SupervisorAction::NoteDegraded { score } => {
+                    hack_trace::trace_ev!(
+                        self.trace,
+                        now.as_nanos(),
+                        client.0,
+                        hack_trace::Event::SupFlowDegraded {
+                            flow: flow as u32,
+                            score
+                        }
+                    );
+                }
+                SupervisorAction::NoteFallback { reason, backoff } => {
+                    hack_trace::trace_ev!(
+                        self.trace,
+                        now.as_nanos(),
+                        client.0,
+                        hack_trace::Event::SupFallback {
+                            flow: flow as u32,
+                            reason,
+                            backoff_us: backoff.as_micros()
+                        }
+                    );
+                }
+                SupervisorAction::NoteProbation { attempt } => {
+                    hack_trace::trace_ev!(
+                        self.trace,
+                        now.as_nanos(),
+                        client.0,
+                        hack_trace::Event::SupProbation {
+                            flow: flow as u32,
+                            attempt
+                        }
+                    );
+                }
+                SupervisorAction::NoteRecovered { from } => {
+                    hack_trace::trace_ev!(
+                        self.trace,
+                        now.as_nanos(),
+                        client.0,
+                        hack_trace::Event::SupRecovered {
+                            flow: flow as u32,
+                            from
+                        }
+                    );
                 }
             }
         }
@@ -819,6 +1108,7 @@ impl World {
                 .expect("checked")
                 .on_ack_out(pkt, now);
             self.apply_driver(sid, peer, dacts, now);
+            self.drain_driver_health(sid, peer, now);
         } else {
             let acts = self.stations[sid.0 as usize].enqueue(peer, NetPacket(pkt), now);
             self.apply(sid, acts, now);
@@ -954,6 +1244,17 @@ impl World {
             .iter()
             .map(|m| m.mbps_between(first_start, end))
             .collect();
+        // Final-window goodput: the stall detector. Short enough to
+        // catch a flow that died mid-run, long enough to span several
+        // RTTs even on short runs.
+        let final_window = SimDuration::from_millis(500).min(self.cfg.duration / 2);
+        let final_from = end.saturating_duration_since(first_start).min(final_window);
+        let final_from = end - final_from;
+        let flow_goodput_final_mbps: Vec<f64> = self
+            .meters
+            .iter()
+            .map(|m| m.mbps_between(final_from, end))
+            .collect();
 
         let mac: Vec<_> = self.stations.iter().map(|s| s.stats().clone()).collect();
         let mut driver = Vec::new();
@@ -1014,6 +1315,12 @@ impl World {
             sender_tcp,
             receiver_tcp,
             blob_within_aifs,
+            supervisor: self
+                .supervisors
+                .iter()
+                .map(FlowSupervisor::report)
+                .collect(),
+            flow_goodput_final_mbps,
         }
     }
 }

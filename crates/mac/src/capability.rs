@@ -1,0 +1,80 @@
+//! Association-time capability negotiation.
+//!
+//! HACK deploys incrementally: a BSS can mix HACK-capable and stock
+//! stations (§3.2 "To HACK or not to HACK?"). At association, client and
+//! AP exchange a capability bitmap; HACK engages toward a peer only if
+//! **both** ends advertise [`CapabilityInfo::HACK_CAPABLE`]. A peer
+//! without the bit gets plain LL ACKs — the supervisor treats it as a
+//! permanent, clean fallback to native TCP ACKs.
+//!
+//! The exchange mirrors the 802.11 association request/response
+//! handshake. Like everything else in this crate it is sans-IO: the
+//! event loop moves [`AssocRequest`]/[`AssocResponse`] values between
+//! stations (in the simulator this happens out-of-band at world
+//! construction, modeling an association that completed before the
+//! measured run).
+
+use hack_phy::StationId;
+
+/// Capability bitmap advertised at association time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CapabilityInfo {
+    /// Raw capability bits.
+    pub bits: u16,
+}
+
+impl CapabilityInfo {
+    /// The station can compress/decompress TCP ACKs onto LL ACKs.
+    pub const HACK_CAPABLE: u16 = 1 << 0;
+
+    /// A bitmap with the given bits set.
+    pub fn new(bits: u16) -> Self {
+        CapabilityInfo { bits }
+    }
+
+    /// A bitmap advertising (or not) the HACK capability.
+    pub fn hack(capable: bool) -> Self {
+        CapabilityInfo {
+            bits: if capable { Self::HACK_CAPABLE } else { 0 },
+        }
+    }
+
+    /// Whether the HACK bit is set.
+    pub fn hack_capable(self) -> bool {
+        self.bits & Self::HACK_CAPABLE != 0
+    }
+}
+
+/// A client's association request toward the AP.
+#[derive(Debug, Clone, Copy)]
+pub struct AssocRequest {
+    /// The associating station.
+    pub from: StationId,
+    /// Its advertised capabilities.
+    pub caps: CapabilityInfo,
+}
+
+/// The AP's association response.
+#[derive(Debug, Clone, Copy)]
+pub struct AssocResponse {
+    /// The responding AP.
+    pub from: StationId,
+    /// The AP's advertised capabilities.
+    pub caps: CapabilityInfo,
+    /// The negotiated outcome: HACK engages on this link only if both
+    /// ends advertised the bit.
+    pub hack_negotiated: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hack_bit_roundtrip() {
+        assert!(CapabilityInfo::hack(true).hack_capable());
+        assert!(!CapabilityInfo::hack(false).hack_capable());
+        assert!(!CapabilityInfo::default().hack_capable());
+        assert!(CapabilityInfo::new(0xFFFF).hack_capable());
+    }
+}

@@ -32,6 +32,11 @@ pub struct MacConfig {
     /// timeout on SoRa so its late LL ACKs do not cause spurious
     /// retransmissions.
     pub ack_timeout_extra: SimDuration,
+    /// Advertise the HACK capability bit at association time. Defaults
+    /// to true (HACK hardware); flip off to model a stock station
+    /// coexisting in the BSS — blobs are never attached toward a peer
+    /// that did not negotiate the bit.
+    pub hack_capable: bool,
 }
 
 impl MacConfig {
@@ -47,6 +52,7 @@ impl MacConfig {
             use_sync: false,
             response_extra_delay: SimDuration::ZERO,
             ack_timeout_extra: SimDuration::ZERO,
+            hack_capable: true,
         }
     }
 
@@ -62,6 +68,7 @@ impl MacConfig {
             use_sync: false,
             response_extra_delay: SimDuration::ZERO,
             ack_timeout_extra: SimDuration::ZERO,
+            hack_capable: true,
         }
     }
 

@@ -20,6 +20,7 @@
 
 pub mod actions;
 pub mod backoff;
+pub mod capability;
 pub mod config;
 pub mod frame;
 pub mod queue;
@@ -29,6 +30,7 @@ pub mod stats;
 
 pub use actions::{Action, RespKind, RxDataInfo, TimerKind, TxDescriptor};
 pub use backoff::Contention;
+pub use capability::{AssocRequest, AssocResponse, CapabilityInfo};
 pub use config::MacConfig;
 pub use frame::{ampdu_wire_len, AckBitmap, DataMpdu, Frame, HackBlob, Msdu, SeqNum};
 pub use queue::{BaResolution, DestQueue, Mpdu};

@@ -96,6 +96,11 @@ pub struct Station<M: Msdu> {
     /// The compressed-TCP-ACK frames the driver has made "ready", one
     /// descriptor chain per destination address (§3.3.1, Figure 3).
     hack_blobs: HashMap<StationId, HackBlob>,
+    /// Association-time negotiation outcome per peer: whether HACK
+    /// engaged on that link. Absent = never associated (pre-negotiation
+    /// links behave as HACK-capable for back-compat with direct driver
+    /// wiring).
+    peer_caps: HashMap<StationId, bool>,
 
     stats: MacStats,
     trace: TraceHandle,
@@ -125,9 +130,53 @@ impl<M: Msdu> Station<M> {
             idle_since: SimTime::ZERO,
             nav_until: SimTime::ZERO,
             hack_blobs: HashMap::new(),
+            peer_caps: HashMap::new(),
             stats: MacStats::default(),
             trace: TraceHandle::off(),
         }
+    }
+
+    /// Build this station's association request (client side of the
+    /// handshake), advertising the configured capability bits.
+    pub fn assoc_request(&self) -> crate::capability::AssocRequest {
+        crate::capability::AssocRequest {
+            from: self.id,
+            caps: crate::capability::CapabilityInfo::hack(self.cfg.hack_capable),
+        }
+    }
+
+    /// AP side: admit an associating client and answer with the
+    /// negotiated outcome (HACK engages only if both ends advertise the
+    /// bit).
+    pub fn on_assoc_request(
+        &mut self,
+        req: &crate::capability::AssocRequest,
+    ) -> crate::capability::AssocResponse {
+        let negotiated = self.cfg.hack_capable && req.caps.hack_capable();
+        self.peer_caps.insert(req.from, negotiated);
+        crate::capability::AssocResponse {
+            from: self.id,
+            caps: crate::capability::CapabilityInfo::hack(self.cfg.hack_capable),
+            hack_negotiated: negotiated,
+        }
+    }
+
+    /// Client side: record the AP's association response.
+    pub fn on_assoc_response(&mut self, resp: &crate::capability::AssocResponse) {
+        self.peer_caps.insert(resp.from, resp.hack_negotiated);
+    }
+
+    /// The negotiated HACK outcome toward `peer`: `Some(true)` =
+    /// negotiated, `Some(false)` = peer (or we) lacked the bit, `None` =
+    /// no association has happened.
+    pub fn hack_negotiated(&self, peer: StationId) -> Option<bool> {
+        self.peer_caps.get(&peer).copied()
+    }
+
+    /// The peer whose ACK / Block ACK this station is currently waiting
+    /// on, if any (the supervisor's LL-ACK-timeout attribution).
+    pub fn awaiting_response_from(&self) -> Option<StationId> {
+        self.wait_response.as_ref().map(|ex| ex.dst)
     }
 
     /// Install the structured-event trace handle (off by default).
@@ -766,8 +815,15 @@ impl<M: Msdu> Station<M> {
         };
         // Attach the HACK blob installed for this peer, if any. The blob
         // is *retained* (cloned): the driver clears it only on the §3.4
-        // confirmation signals.
-        let blob = self.hack_blobs.get(&plan.to).cloned();
+        // confirmation signals. A peer that associated *without*
+        // negotiating HACK never gets a blob — its NIC cannot parse an
+        // augmented LL ACK (a peer with no association record is treated
+        // as capable, for direct driver wiring).
+        let blob = if self.peer_caps.get(&plan.to) == Some(&false) {
+            None
+        } else {
+            self.hack_blobs.get(&plan.to).cloned()
+        };
         let attached = blob.is_some();
         let blob_wire = blob.as_ref().map_or(0, HackBlob::wire_len);
 

@@ -437,6 +437,78 @@ fn blob_only_attaches_to_the_hack_peer() {
 }
 
 #[test]
+fn negotiation_gates_blob_attachment() {
+    // The AP lacks the HACK capability bit: after association the client
+    // must never attach a blob toward it, even with one installed.
+    let mut ap_cfg = MacConfig::dot11n(PhyRate::ht(150));
+    ap_cfg.hack_capable = false;
+    let mut ap = sta(AP, ap_cfg);
+    let mut c1 = sta(C1, MacConfig::dot11n(PhyRate::ht(150)));
+
+    let resp = ap.on_assoc_request(&c1.assoc_request());
+    assert!(!resp.hack_negotiated, "AP lacks the bit");
+    c1.on_assoc_response(&resp);
+    assert_eq!(c1.hack_negotiated(AP), Some(false));
+    assert_eq!(ap.hack_negotiated(C1), Some(false));
+
+    c1.set_hack_blob(AP, HackBlob { bytes: vec![7] });
+    let data = Frame::Data(hack_mac::DataMpdu {
+        src: AP,
+        dst: C1,
+        seq: SeqNum::new(0),
+        retry: false,
+        more_data: false,
+        sync: false,
+        payload: Pkt::data(0),
+    });
+    let acts = c1.on_rx_ppdu(vec![data], true, SimTime::from_millis(1));
+    let resp_at = timer_at(&acts, TimerKind::SendResponse).unwrap();
+    let acts = c1.on_timer(TimerKind::SendResponse, resp_at);
+    assert!(acts.iter().any(|a| matches!(
+        a,
+        Action::ResponseSent {
+            attached_blob: false,
+            ..
+        }
+    )));
+    assert!(acts.iter().any(|a| matches!(
+        a,
+        Action::StartTx(d) if matches!(&d.frames[0], Frame::BlockAck { hack: None, .. })
+    )));
+}
+
+#[test]
+fn negotiation_between_capable_stations_attaches_blob() {
+    let mut ap = sta(AP, MacConfig::dot11n(PhyRate::ht(150)));
+    let mut c1 = sta(C1, MacConfig::dot11n(PhyRate::ht(150)));
+    let resp = ap.on_assoc_request(&c1.assoc_request());
+    assert!(resp.hack_negotiated);
+    c1.on_assoc_response(&resp);
+    assert_eq!(c1.hack_negotiated(AP), Some(true));
+
+    c1.set_hack_blob(AP, HackBlob { bytes: vec![7] });
+    let data = Frame::Data(hack_mac::DataMpdu {
+        src: AP,
+        dst: C1,
+        seq: SeqNum::new(0),
+        retry: false,
+        more_data: false,
+        sync: false,
+        payload: Pkt::data(0),
+    });
+    let acts = c1.on_rx_ppdu(vec![data], true, SimTime::from_millis(1));
+    let resp_at = timer_at(&acts, TimerKind::SendResponse).unwrap();
+    let acts = c1.on_timer(TimerKind::SendResponse, resp_at);
+    assert!(acts.iter().any(|a| matches!(
+        a,
+        Action::ResponseSent {
+            attached_blob: true,
+            ..
+        }
+    )));
+}
+
+#[test]
 fn busy_channel_pauses_and_resumes_backoff() {
     let cfg = MacConfig::dot11a(PhyRate::dot11a(54));
     let mut ap = sta(AP, cfg);

@@ -147,6 +147,23 @@ impl Compressor {
         cid
     }
 
+    /// Drop the flow's context entirely (supervisor-driven refresh): the
+    /// next ACK for this tuple declines compression, goes out natively,
+    /// and re-seeds a fresh context — the only refresh mechanism HACK
+    /// has, since it never sends IR packets (§3.3.2). Returns whether a
+    /// context was dropped. Other flows (including a CID-colliding one)
+    /// are untouched.
+    pub fn drop_context(&mut self, tuple: &FiveTuple) -> bool {
+        let cid = self.cid_of(tuple);
+        match self.contexts.get(&cid) {
+            Some(ctx) if &ctx.tuple == tuple => {
+                self.contexts.remove(&cid);
+                true
+            }
+            _ => false,
+        }
+    }
+
     /// A native ACK was *enqueued* for transmission: create the flow's
     /// context if needed, or register the packet as an outstanding
     /// (unconfirmed) reference.

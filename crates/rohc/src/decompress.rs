@@ -113,6 +113,25 @@ impl Decompressor {
         self.contexts.len()
     }
 
+    /// Drop the flow's context entirely (supervisor-driven refresh); the
+    /// next native ACK from the flow re-seeds it. Returns whether a
+    /// context was dropped. Other flows sharing this decompressor are
+    /// untouched.
+    pub fn drop_context(&mut self, tuple: &hack_tcp::FiveTuple) -> bool {
+        let cid = if let Some(&(_, cid)) = self.cid_cache.iter().find(|(t, _)| t == tuple) {
+            cid
+        } else {
+            crate::md5::cid_for_tuple(&tuple.bytes())
+        };
+        match self.contexts.get(&cid) {
+            Some(ctx) if &ctx.tuple == tuple => {
+                self.contexts.remove(&cid);
+                true
+            }
+            _ => false,
+        }
+    }
+
     /// A native TCP ACK arrived from the client: create or refresh its
     /// context (the AP "stores the necessary state for the new context
     /// and assigns it the correct CID", §3.3.2).
@@ -597,6 +616,55 @@ mod tests {
             res.errors.contains(&DecompressError::Malformed)
                 || res.errors.contains(&DecompressError::NoContext)
         );
+    }
+
+    #[test]
+    fn drop_context_forces_native_reseed() {
+        let (mut c, mut d) = pair();
+        let p1 = ack(3920, 2, 11);
+        let seg = c.compress(&p1).unwrap();
+        assert_eq!(d.decompress_blob(&build_blob(&[seg])).packets.len(), 1);
+        // Supervisor refresh on both sides.
+        let tuple = p1.five_tuple();
+        assert!(c.drop_context(&tuple));
+        assert!(d.drop_context(&tuple));
+        assert!(!c.drop_context(&tuple), "already dropped");
+        assert_eq!(c.context_count(), 0);
+        assert_eq!(d.context_count(), 0);
+        // Compression now declines (no context) — the driver would send
+        // natively, which re-seeds both ends.
+        let p2 = ack(6840, 3, 12);
+        assert!(c.compress(&p2).is_none());
+        c.observe_native(&p2);
+        d.observe_native(&p2);
+        let p3 = ack(9760, 4, 13);
+        let seg = c.compress(&p3).expect("re-seeded");
+        let res = d.decompress_blob(&build_blob(&[seg]));
+        assert!(res.errors.is_empty(), "{:?}", res.errors);
+        assert_eq!(res.packets, vec![p3]);
+    }
+
+    #[test]
+    fn drop_context_leaves_other_flows_alone() {
+        let (mut c, mut d) = pair();
+        // A second flow on different ports.
+        let mut other = ack(1000, 1, 10);
+        if let Transport::Tcp(t) = &mut other.transport {
+            t.src_port = 40001;
+        }
+        c.observe_native(&other);
+        d.observe_native(&other);
+        assert_eq!(d.context_count(), 2);
+        assert!(d.drop_context(&ack(1000, 1, 10).five_tuple()));
+        assert_eq!(d.context_count(), 1);
+        // The surviving flow still decodes.
+        let mut o2 = ack(3920, 2, 11);
+        if let Transport::Tcp(t) = &mut o2.transport {
+            t.src_port = 40001;
+        }
+        let seg = c.compress(&o2).unwrap();
+        let res = d.decompress_blob(&build_blob(&[seg]));
+        assert_eq!(res.packets, vec![o2]);
     }
 
     #[test]

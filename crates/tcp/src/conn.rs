@@ -136,6 +136,9 @@ pub struct Connection {
     /// (so each hole is retransmitted once per epoch).
     rtx_next: TcpSeq,
     budget: SendBudget,
+    /// Consecutive established-state RTOs with no intervening forward
+    /// ACK progress — the supervisor's ACK-clock-stall signal.
+    rto_streak: u32,
 
     // ---- receive side ----
     rcv_nxt: TcpSeq,
@@ -202,6 +205,7 @@ impl Connection {
             sacked: Vec::new(),
             rtx_next: iss,
             budget: SendBudget::None,
+            rto_streak: 0,
             rcv_nxt: TcpSeq(0),
             ooo: Vec::new(),
             delack_segments: 0,
@@ -256,6 +260,12 @@ impl Connection {
     /// Statistics.
     pub fn stats(&self) -> &TcpStats {
         &self.stats
+    }
+
+    /// Consecutive established-state RTOs since the last forward ACK
+    /// progress (0 while the ACK clock is ticking).
+    pub fn rto_streak(&self) -> u32 {
+        self.rto_streak
     }
 
     /// Current congestion window in bytes.
@@ -669,6 +679,7 @@ impl Connection {
         if ack.gt(self.snd_una) && ack.le(self.snd_max) {
             let acked = u64::from(ack - self.snd_una);
             self.snd_una = ack;
+            self.rto_streak = 0;
             if self.snd_nxt.lt(self.snd_una) {
                 self.snd_nxt = self.snd_una;
             }
@@ -895,6 +906,7 @@ impl Connection {
                     TcpState::Established => {
                         if self.snd_una.lt(self.snd_max) {
                             self.stats.timeouts += 1;
+                            self.rto_streak += 1;
                             self.rto.on_timeout();
                             let cc_prev = (self.cc.cwnd(), self.cc.ssthresh());
                             self.cc.on_timeout(self.flight());

@@ -325,6 +325,42 @@ define_events! {
         /// Index into the scenario's dynamics schedule.
         index: u32,
     };
+    /// The HACK supervisor moved a flow from `Healthy` to `Degraded`:
+    /// its fault score crossed the degrade threshold. Node = the flow's
+    /// wireless client.
+    SupFlowDegraded = 66, Sim, "sup_degraded", {
+        /// Flow index.
+        flow: u32,
+        /// Fault score at the transition.
+        score: u32,
+    };
+    /// The supervisor forced a flow onto the native-ACK path. Node = the
+    /// flow's wireless client.
+    SupFallback = 67, Sim, "sup_fallback", {
+        /// Flow index.
+        flow: u32,
+        /// Why: 0 = accumulated faults, 1 = peer not HACK-capable
+        /// (permanent).
+        reason: u32,
+        /// Probation backoff armed at this fallback, in microseconds
+        /// (0 for a permanent fallback).
+        backoff_us: u64,
+    };
+    /// The probation window opened: HACK re-enabled on trial after a
+    /// full ROHC context refresh. Node = the flow's wireless client.
+    SupProbation = 68, Sim, "sup_probation", {
+        /// Flow index.
+        flow: u32,
+        /// Probation attempt number (1-based, cumulative).
+        attempt: u64,
+    };
+    /// The flow returned to `Healthy`. Node = the flow's wireless client.
+    SupRecovered = 69, Sim, "sup_recovered", {
+        /// Flow index.
+        flow: u32,
+        /// State the flow recovered from: 0 = Degraded, 1 = Probation.
+        from: u32,
+    };
 }
 
 /// Look up the static metadata for a kind id.
