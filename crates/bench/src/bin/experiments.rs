@@ -1,105 +1,42 @@
 //! Regenerate every table and figure of the HACK paper (USENIX ATC '14).
 //!
-//! ```text
-//! experiments <subcommand> [--quick]
-//!
-//!   fig1a   theoretical goodput vs 802.11a rate (analysis)
-//!   fig1b   theoretical goodput vs 802.11n rate up to 600 Mbps
-//!   fig9    SoRa testbed goodput: UDP / HACK / TCP, 1 and 2 clients
-//!   table1  frame retry breakdown for the fig9 scenarios
-//!   table2  ACK counts/bytes and compression ratio (25 MB transfer)
-//!   table3  TCP ACK time-overhead breakdown (25 MB transfer)
-//!   xval    SoRa ↔ simulation cross-validation (§4.2)
-//!   fig10   802.11n aggregate goodput vs number of clients
-//!   fig11   goodput envelope vs SNR across 802.11n rates
-//!   fig12   theoretical vs simulated goodput vs 802.11n rate
-//!   loss-sweep    goodput vs loss rate, TCP vs TCP/HACK, i.i.d. vs bursty
-//!   fault-matrix  one seeded run per loss model (ideal / fixed / burst /
-//!                 corrupting / supervised); exits nonzero on zero goodput
-//!                 or a silent corrupted-delivery path (CI smoke); rows
-//!                 include driver + supervisor counters
-//!   chaos-recovery  supervised TCP/HACK vs plain TCP under the
-//!                 corrupting/burst matrix, plus a loss storm that heals
-//!                 mid-run; exits nonzero if any flow ends stalled (zero
-//!                 goodput in the final window) or permanently degraded
-//!                 despite a healthy channel (CI smoke)
-//!   ablate-timer | ablate-delack | ablate-sync | ablate-txop
-//!   all     everything above
-//! ```
-//!
-//! `--quick` shortens runs and seed counts (for CI); defaults follow the
-//! paper's shape (5 runs per point).
-//!
-//! `--json` makes `fault-matrix` and `chaos-recovery` additionally emit
-//! one machine-readable JSON object (driver + supervisor counters
-//! included) on stdout after the human-readable table.
-//!
-//! `--trace <path>` captures a structured cross-layer event trace for
-//! every simulated run: `<path>.runR.seedS.jsonl` holds the events,
-//! `<path>.runR.seedS.digest` the binary digest (byte-identical for the
-//! same seed — the determinism contract).
+//! Run `experiments --help` (or see [`hack_bench::USAGE`]) for the
+//! subcommand list and flags. The sweep-shaped subcommands
+//! (`loss-sweep`, `fault-matrix`, `chaos-recovery`, `campaign-smoke`)
+//! run on the `hack-campaign` engine: declarative axes over
+//! [`ScenarioConfig`], a work-stealing worker pool, and an optional
+//! content-addressed result cache (`--cache <dir>`) — with
+//! byte-identical output at any thread count.
 
 use hack_analysis::{CapacityModel, Protocol};
-use hack_bench::{run_seeds, set_trace_base};
+use hack_bench::{run_seeds, set_trace_base, CommonOpts, USAGE};
+use hack_campaign::{campaign_csv, campaign_json, run_campaign, Axis, CellReport, SweepSpec};
 use hack_core::{
     ChannelChange, ChannelEvent, CompressSideStats, CorruptModel, FlowHealth, GeParams, HackMode,
     LossConfig, RunResult, ScenarioConfig, SupervisorConfig, SupervisorReport,
 };
 use hack_phy::{Channel, PhyRate, StationId, DOT11A_RATES_MBPS, DOT11N_HT40_SGI_MBPS};
-use hack_sim::SimDuration;
+use hack_sim::{RunStats, SimDuration};
 
-struct Opts {
-    seeds: u64,
-    secs: u64,
-    quick: bool,
-    json: bool,
-}
+type Opts = CommonOpts;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    let json = args.iter().any(|a| a == "--json");
-    let opts = if quick {
-        Opts {
-            seeds: 2,
-            secs: 3,
-            quick,
-            json,
-        }
-    } else {
-        Opts {
-            seeds: 5,
-            secs: 10,
-            quick,
-            json,
+    let (opts, positional) = match CommonOpts::parse(&args) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
         }
     };
-    let mut trace_path = None;
-    let mut positional = None;
-    let mut it = args.iter();
-    while let Some(a) = it.next() {
-        match a.as_str() {
-            "--trace" => match it.next() {
-                Some(p) => trace_path = Some(std::path::PathBuf::from(p)),
-                None => {
-                    eprintln!("--trace requires a path prefix");
-                    std::process::exit(2);
-                }
-            },
-            "--quick" | "--json" => {}
-            other if !other.starts_with("--") => {
-                positional.get_or_insert(other);
-            }
-            other => {
-                eprintln!("unknown flag {other:?}; see the doc comment");
-                std::process::exit(2);
-            }
-        }
+    if opts.help {
+        print!("{USAGE}");
+        return;
     }
-    if let Some(p) = trace_path {
+    if let Some(p) = opts.trace.clone() {
         set_trace_base(p);
     }
-    let cmd = positional.unwrap_or("all");
+    let cmd = positional.as_deref().unwrap_or("all");
 
     match cmd {
         "fig1a" => fig1a(),
@@ -115,6 +52,7 @@ fn main() {
         "loss-sweep" => loss_sweep(&opts),
         "fault-matrix" => fault_matrix(&opts),
         "chaos-recovery" => chaos_recovery(&opts),
+        "campaign-smoke" => campaign_smoke(&opts),
         "ablate-timer" => ablate_timer(&opts),
         "ablate-delack" => ablate_delack(&opts),
         "ablate-sync" => ablate_sync(&opts),
@@ -133,13 +71,14 @@ fn main() {
             loss_sweep(&opts);
             fault_matrix(&opts);
             chaos_recovery(&opts);
+            campaign_smoke(&opts);
             ablate_timer(&opts);
             ablate_delack(&opts);
             ablate_sync(&opts);
             ablate_txop(&opts);
         }
         other => {
-            eprintln!("unknown subcommand {other:?}; see the doc comment");
+            eprintln!("unknown subcommand {other:?}; see --help");
             std::process::exit(2);
         }
     }
@@ -147,6 +86,16 @@ fn main() {
 
 fn banner(title: &str) {
     println!("\n===== {title} =====");
+}
+
+/// `mean ± std` goodput string for one campaign cell, matching the
+/// `RunStats` display the direct-run tables use.
+fn cell_goodput(cell: &CellReport) -> String {
+    let mut s = RunStats::new();
+    for r in &cell.runs {
+        s.push(r.aggregate_goodput_mbps);
+    }
+    s.to_string()
 }
 
 // ----------------------------------------------------------------------
@@ -378,6 +327,40 @@ fn xval(opts: &Opts) {
 // Fault injection: loss-rate sweep and the CI fault matrix
 // ----------------------------------------------------------------------
 
+const SWEEP_LOSSES: [f64; 6] = [0.0, 0.02, 0.05, 0.10, 0.15, 0.20];
+
+/// The loss sweep as a declarative campaign: loss × channel × mode.
+///
+/// The `chan` axis's "burst" point *reads* the i.i.d. rate the `loss`
+/// axis installed and rewrites it as an equal-mean Gilbert–Elliott
+/// model — axes apply in declaration order, so later axes may refine
+/// earlier ones.
+fn loss_sweep_spec(opts: &Opts) -> SweepSpec {
+    let mut base = ScenarioConfig::sora_testbed(1, HackMode::Disabled);
+    base.duration = SimDuration::from_secs(opts.secs);
+    let seed = base.seed;
+    let mut loss_axis = Axis::new("loss");
+    for loss in SWEEP_LOSSES {
+        loss_axis = loss_axis.point(format!("{:.0}%", loss * 100.0), move |c| {
+            c.loss = LossConfig::PerClient(vec![loss]);
+        });
+    }
+    SweepSpec::new("loss-sweep", base)
+        .axis(loss_axis)
+        .axis(Axis::new("chan").point("iid", |_| {}).point("burst", |c| {
+            if let LossConfig::PerClient(per) = &c.loss {
+                let mean = per.first().copied().unwrap_or(0.0);
+                c.loss = LossConfig::Burst(GeParams::bursty(mean, 8.0));
+            }
+        }))
+        .axis(
+            Axis::new("mode")
+                .point("tcp", |c| c.hack_mode = HackMode::Disabled)
+                .point("hack", |c| c.hack_mode = HackMode::MoreData),
+        )
+        .seed_bank(seed, opts.seeds)
+}
+
 fn loss_sweep(opts: &Opts) {
     banner("Loss sweep: goodput (Mbps) vs loss rate, i.i.d. vs bursty (mean burst 8)");
     println!("(same mean loss, different clustering: Gilbert–Elliott trades back-to-back");
@@ -386,22 +369,24 @@ fn loss_sweep(opts: &Opts) {
         "{:<6} {:>16} {:>16} {:>16} {:>16}",
         "loss", "TCP iid", "HACK iid", "TCP burst", "HACK burst"
     );
-    for loss in [0.0, 0.02, 0.05, 0.10, 0.15, 0.20] {
+    let report = run_campaign(&loss_sweep_spec(opts), &opts.campaign());
+    // Cells are odometer-ordered (mode fastest, then chan, then loss):
+    // cell = (loss_idx * 2 + chan_idx) * 2 + mode_idx.
+    for (li, loss) in SWEEP_LOSSES.iter().enumerate() {
         let mut row = format!("{:>4.0}% ", loss * 100.0);
-        for burst in [false, true] {
-            for mode in [HackMode::Disabled, HackMode::MoreData] {
-                let mut cfg = ScenarioConfig::sora_testbed(1, mode);
-                cfg.loss = if burst {
-                    LossConfig::Burst(GeParams::bursty(loss, 8.0))
-                } else {
-                    LossConfig::PerClient(vec![loss])
-                };
-                cfg.duration = SimDuration::from_secs(opts.secs);
-                let mr = run_seeds(&cfg, opts.seeds);
-                row.push_str(&format!(" {:>16}", mr.aggregate_goodput().to_string()));
+        for chan in 0..2 {
+            for mode in 0..2 {
+                let cell = (li * 2 + chan) * 2 + mode;
+                match report.cells.iter().find(|c| c.cell == cell) {
+                    Some(c) => row.push_str(&format!(" {:>16}", cell_goodput(c))),
+                    None => row.push_str(&format!(" {:>16}", "-")),
+                }
             }
         }
         println!("{row}");
+    }
+    if opts.json {
+        println!("{}", campaign_json(&report));
     }
 }
 
@@ -467,53 +452,48 @@ fn fault_matrix(opts: &Opts) {
         "noop",
         "drop"
     );
-    let corrupting = Some(CorruptModel {
+    const CORRUPTING: CorruptModel = CorruptModel {
         data_frac: 0.5,
         control_per: 0.02,
         fcs_miss: 0.25,
-    });
+    };
+    let mut base = ScenarioConfig::sora_testbed(1, HackMode::MoreData);
+    base.duration = SimDuration::from_secs(opts.secs);
+    // One model axis, one seed: each point is a self-contained fault
+    // scenario layered onto the shared base.
+    let spec = SweepSpec::new("fault-matrix", base).axis(
+        Axis::new("model")
+            .point("ideal", |c| c.loss = LossConfig::Ideal)
+            .point("fixed", |c| c.loss = LossConfig::PerClient(vec![0.12]))
+            .point("burst", |c| {
+                c.loss = LossConfig::Burst(GeParams::bursty(0.12, 8.0));
+            })
+            .point("corrupting", |c| {
+                c.loss = LossConfig::Burst(GeParams::bursty(0.12, 8.0));
+                c.corrupt = Some(CORRUPTING);
+            })
+            .point("supervised", |c| {
+                c.loss = LossConfig::Burst(GeParams::bursty(0.12, 8.0));
+                c.corrupt = Some(CORRUPTING);
+                c.supervisor = Some(SupervisorConfig::default());
+            }),
+    );
+    let report = run_campaign(&spec, &opts.campaign());
     let mut failed = false;
     let mut json_rows = Vec::new();
-    for (label, loss, corrupt, supervised) in [
-        ("ideal", LossConfig::Ideal, None, false),
-        ("fixed", LossConfig::PerClient(vec![0.12]), None, false),
-        (
-            "burst",
-            LossConfig::Burst(GeParams::bursty(0.12, 8.0)),
-            None,
-            false,
-        ),
-        (
-            "corrupting",
-            LossConfig::Burst(GeParams::bursty(0.12, 8.0)),
-            corrupting,
-            false,
-        ),
-        (
-            "supervised",
-            LossConfig::Burst(GeParams::bursty(0.12, 8.0)),
-            corrupting,
-            true,
-        ),
-    ] {
-        let mut cfg = ScenarioConfig::sora_testbed(1, HackMode::MoreData);
-        cfg.loss = loss;
-        cfg.corrupt = corrupt;
-        cfg.duration = SimDuration::from_secs(opts.secs);
-        if supervised {
-            cfg.supervisor = Some(SupervisorConfig::default());
-        }
-        let mr = run_seeds(&cfg, 1);
-        let r = &mr.runs[0];
+    for cell in &report.cells {
+        let label = cell.labels[0].as_str();
+        let supervised = label == "supervised";
+        let r = &cell.runs[0];
         let d = &r.driver[0];
         let fcs_bad: u64 = r.mac.iter().map(|m| m.rx_fcs_bad.get()).sum();
         let crc = r.decompressor.crc_failures;
-        let goodput = mr.aggregate_goodput().mean();
+        let goodput = cell.goodput.mean;
         let mut verdict = "";
         if goodput <= 0.0 {
             verdict = "  <-- FAIL: zero goodput";
             failed = true;
-        } else if corrupt.is_some() && !supervised && (fcs_bad == 0 || crc == 0) {
+        } else if label == "corrupting" && (fcs_bad == 0 || crc == 0) {
             // The supervised row may legitimately mute the CRC path by
             // falling back to native ACKs, so the silent-path check only
             // gates the unsupervised corrupting row.
@@ -556,11 +536,10 @@ fn fault_matrix(opts: &Opts) {
 
 /// The PR 3 "everything on" fault scenario (bursty loss + corrupted
 /// delivery + mid-run dynamics) — identical to the one the supervisor
-/// integration tests run.
-fn chaos_faulty(mode: HackMode, seed: u64, supervised: bool) -> ScenarioConfig {
+/// integration tests run. Seeds come from the campaign's seed bank.
+fn chaos_faulty(mode: HackMode, supervised: bool) -> ScenarioConfig {
     let mut c = ScenarioConfig::sora_testbed(1, mode);
     c.duration = SimDuration::from_secs(2);
-    c.seed = seed;
     c.loss = LossConfig::Burst(GeParams::bursty(0.08, 6.0));
     c.corrupt = Some(CorruptModel {
         data_frac: 0.5,
@@ -588,10 +567,9 @@ fn chaos_faulty(mode: HackMode, seed: u64, supervised: bool) -> ScenarioConfig {
 
 /// A 60 % loss storm that heals to 2 % mid-run: drives the full
 /// degrade → fallback → probation → recovery arc.
-fn chaos_storm(seed: u64) -> ScenarioConfig {
+fn chaos_storm() -> ScenarioConfig {
     let mut c = ScenarioConfig::sora_testbed(1, HackMode::MoreData);
     c.duration = SimDuration::from_secs(4);
-    c.seed = seed;
     c.loss = LossConfig::PerClient(vec![0.6]);
     c.dynamics = vec![ChannelEvent {
         at: SimDuration::from_millis(1500),
@@ -625,10 +603,25 @@ fn chaos_recovery(opts: &Opts) {
     );
     let mut tcp_total = 0.0;
     let mut sup_total = 0.0;
-    for &seed in matrix_seeds {
-        let tcp = run_seeds(&chaos_faulty(HackMode::Disabled, seed, false), 1);
-        let sup = run_seeds(&chaos_faulty(HackMode::MoreData, seed, true), 1);
-        let (tcp, sup) = (&tcp.runs[0], &sup.runs[0]);
+    // One campaign: a protocol axis (plain TCP vs supervised HACK) over
+    // the matrix seed bank. Cell 0 is TCP, cell 1 supervised HACK; runs
+    // come back in seed-bank order.
+    let faulty_spec = SweepSpec::new("chaos-faulty", chaos_faulty(HackMode::Disabled, false))
+        .axis(
+            Axis::new("proto")
+                .point("tcp", |c| {
+                    c.hack_mode = HackMode::Disabled;
+                    c.supervisor = None;
+                })
+                .point("hack+sup", |c| {
+                    c.hack_mode = HackMode::MoreData;
+                    c.supervisor = Some(SupervisorConfig::default());
+                }),
+        )
+        .seeds(matrix_seeds.to_vec());
+    let faulty = run_campaign(&faulty_spec, &opts.campaign());
+    for (i, &seed) in matrix_seeds.iter().enumerate() {
+        let (tcp, sup) = (&faulty.cells[0].runs[i], &faulty.cells[1].runs[i]);
         tcp_total += tcp.aggregate_goodput_mbps;
         sup_total += sup.aggregate_goodput_mbps;
         let mut verdict = "";
@@ -668,9 +661,10 @@ fn chaos_recovery(opts: &Opts) {
         "{:>6} {:>10} {:>10}  supervisor",
         "seed", "goodput", "final-win"
     );
-    for &seed in storm_seeds {
-        let mr = run_seeds(&chaos_storm(seed), 1);
-        let r = &mr.runs[0];
+    let storm_spec = SweepSpec::new("chaos-storm", chaos_storm()).seeds(storm_seeds.to_vec());
+    let storm = run_campaign(&storm_spec, &opts.campaign());
+    for (i, &seed) in storm_seeds.iter().enumerate() {
+        let r = &storm.cells[0].runs[i];
         let rep = &r.supervisor[0];
         let mut verdict = "";
         if stalled(r) {
@@ -707,6 +701,98 @@ fn chaos_recovery(opts: &Opts) {
 /// A flow is stalled if it moved no data in the run's final window.
 fn stalled(r: &RunResult) -> bool {
     r.flow_goodput_final_mbps.iter().any(|&g| g <= 0.0)
+}
+
+// ----------------------------------------------------------------------
+// Campaign smoke: the engine's own CI gate
+// ----------------------------------------------------------------------
+
+/// A tiny 2×2×2 sweep (loss × mode × 2 seeds) exercising the whole
+/// campaign stack: fails the process if parallel and serial execution
+/// emit different aggregates, or if a second cached run resolves fewer
+/// than 90% of its jobs from the cache.
+fn campaign_smoke(opts: &Opts) {
+    banner("Campaign smoke: 2×2×2 sweep — parallel determinism + cache hit rate");
+    let mut base = ScenarioConfig::sora_testbed(1, HackMode::Disabled);
+    if opts.quick {
+        // Keep a real steady-state window (default warmup is 1 s).
+        base.warmup = SimDuration::from_millis(200);
+        base.duration = SimDuration::from_millis(800);
+    } else {
+        base.duration = SimDuration::from_secs(2);
+    }
+    let seed = base.seed;
+    let spec = SweepSpec::new("campaign-smoke", base)
+        .axis(
+            Axis::new("loss")
+                .point("2%", |c| c.loss = LossConfig::PerClient(vec![0.02]))
+                .point("5%", |c| c.loss = LossConfig::PerClient(vec![0.05])),
+        )
+        .axis(
+            Axis::new("mode")
+                .point("tcp", |c| c.hack_mode = HackMode::Disabled)
+                .point("hack", |c| c.hack_mode = HackMode::MoreData),
+        )
+        .seed_bank(seed, 2);
+
+    // (1) Determinism: one worker vs the full pool, byte for byte.
+    let mut serial_opts = opts.campaign();
+    serial_opts.threads = 1;
+    serial_opts.cache_dir = None;
+    let mut parallel_opts = opts.campaign();
+    parallel_opts.cache_dir = None;
+    let serial = run_campaign(&spec, &serial_opts);
+    let parallel = run_campaign(&spec, &parallel_opts);
+    let serial_json = campaign_json(&serial);
+    if serial_json != campaign_json(&parallel) {
+        eprintln!("FAIL: parallel and serial campaigns emitted different reports");
+        std::process::exit(1);
+    }
+    println!(
+        "determinism: serial == parallel over {} jobs ({} cells)",
+        serial.jobs_total,
+        serial.cells.len()
+    );
+
+    // (2) Cache: run the same sweep twice through a cache directory.
+    let scratch = opts.cache_dir.clone().unwrap_or_else(|| {
+        std::env::temp_dir().join(format!("hack-campaign-smoke-{}", std::process::id()))
+    });
+    let ephemeral = opts.cache_dir.is_none();
+    if ephemeral {
+        let _ = std::fs::remove_dir_all(&scratch);
+    }
+    let mut cached_opts = opts.campaign();
+    cached_opts.cache_dir = Some(scratch.clone());
+    let first = run_campaign(&spec, &cached_opts);
+    let second = run_campaign(&spec, &cached_opts);
+    if ephemeral {
+        let _ = std::fs::remove_dir_all(&scratch);
+    }
+    let hit_rate = second.cache_hits as f64 / second.jobs_total.max(1) as f64;
+    println!(
+        "cache: first run {} executed / {} hits, second run {} executed / {} hits ({:.0}% hit rate)",
+        first.jobs_executed,
+        first.cache_hits,
+        second.jobs_executed,
+        second.cache_hits,
+        hit_rate * 100.0
+    );
+    if hit_rate < 0.9 {
+        eprintln!("FAIL: second run hit rate {:.0}% < 90%", hit_rate * 100.0);
+        std::process::exit(1);
+    }
+    // Cached results must feed the same aggregates as fresh ones.
+    let tail = |s: &str| s[s.find("\"cells\":").map_or(0, |i| i)..].to_string();
+    if tail(&campaign_json(&second)) != tail(&serial_json) {
+        eprintln!("FAIL: cache round-trip changed the aggregates");
+        std::process::exit(1);
+    }
+    print!("{}", campaign_csv(&second));
+    if opts.json {
+        println!("{}", campaign_json(&second));
+    }
+    println!("campaign smoke OK");
 }
 
 // ----------------------------------------------------------------------

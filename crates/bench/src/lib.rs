@@ -1,13 +1,15 @@
 //! # hack-bench — experiment harness for the HACK paper reproduction
 //!
 //! Helpers shared by the `experiments` binary: multi-seed scenario
-//! execution (the paper averages five runs per data point) and small
-//! table-formatting utilities. The per-figure logic lives in
-//! `src/bin/experiments.rs`.
+//! execution (the paper averages five runs per data point, run as a
+//! one-cell `hack-campaign` sweep) and the shared command-line flag
+//! parser. The per-figure logic lives in `src/bin/experiments.rs`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cli;
 pub mod runner;
 
+pub use cli::{CommonOpts, USAGE};
 pub use runner::{run_seeds, set_trace_base, MultiRun};

@@ -4,6 +4,7 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::OnceLock;
 
+use hack_campaign::{run_campaign_with, Job, SweepSpec};
 use hack_core::{run, run_traced, RunResult, ScenarioConfig};
 use hack_sim::RunStats;
 use hack_trace::{write_jsonl, TraceHandle};
@@ -74,42 +75,29 @@ impl MultiRun {
 }
 
 /// Run `cfg` under `n_seeds` consecutive seeds (base = `cfg.seed`),
-/// in parallel threads, preserving seed order.
+/// in parallel, preserving seed order.
 ///
-/// Concurrency is bounded by [`std::thread::available_parallelism`]:
-/// seeds are dispatched in chunks of at most that many worker threads,
-/// so a 100-seed sweep on a 8-way box never holds 100 simulations'
-/// event queues in memory at once. Results come back in seed order
-/// regardless of which worker finishes first.
+/// This is a thin campaign of one cell: the sweep engine's
+/// work-stealing pool (bounded by
+/// [`std::thread::available_parallelism`]) executes the seed bank, and
+/// its index-ordered reduction returns results in seed order regardless
+/// of which worker finishes first. Tracing rides in as a custom runner.
 pub fn run_seeds(cfg: &ScenarioConfig, n_seeds: u64) -> MultiRun {
     let trace_base = TRACE_BASE.get().cloned();
     let run_no = trace_base
         .is_some()
         .then(|| TRACE_RUN_COUNTER.fetch_add(1, Ordering::Relaxed));
-    let workers = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
-    let seeds: Vec<u64> = (0..n_seeds).collect();
-    let mut runs = Vec::with_capacity(seeds.len());
-    for chunk in seeds.chunks(workers) {
-        let handles: Vec<_> = chunk
-            .iter()
-            .map(|&i| {
-                let mut c = cfg.clone();
-                c.seed = cfg.seed + i;
-                let base = trace_base.clone();
-                std::thread::spawn(move || match (base, run_no) {
-                    (Some(base), Some(r)) => run_one_traced(c, &base, r, i),
-                    _ => run(c),
-                })
-            })
-            .collect();
-        // Joining the whole chunk before starting the next one keeps the
-        // chunk's results contiguous and in seed order.
-        runs.extend(
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("scenario thread panicked")),
-        );
-    }
+    let base_seed = cfg.seed;
+    let spec = SweepSpec::new("run_seeds", cfg.clone()).seed_bank(base_seed, n_seeds);
+    let runner = move |job: &Job| match (&trace_base, run_no) {
+        (Some(base), Some(r)) => run_one_traced(job.cfg.clone(), base, r, job.seed - base_seed),
+        _ => run(job.cfg.clone()),
+    };
+    let mut report = run_campaign_with(&spec, &hack_campaign::CampaignOptions::default(), &runner);
+    let runs = match report.cells.pop() {
+        Some(cell) => cell.runs,
+        None => Vec::new(),
+    };
     MultiRun { runs }
 }
 

@@ -1,0 +1,125 @@
+//! Streaming per-cell aggregation.
+//!
+//! Cells aggregate with Welford's online algorithm (via
+//! [`hack_sim::RunningStats`]) in **seed order**: the engine reduces
+//! results by job index, never by completion order, so the same sweep
+//! produces bit-identical statistics whether it ran on one thread,
+//! sixteen, or straight out of the cache.
+
+use hack_sim::RunningStats;
+
+/// Summary statistics for one metric over one cell's seed bank.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CellStats {
+    /// Number of samples.
+    pub n: u64,
+    /// Sample mean (0.0 when `n == 0`).
+    pub mean: f64,
+    /// Smallest sample (0.0 when `n == 0`).
+    pub min: f64,
+    /// Largest sample (0.0 when `n == 0`).
+    pub max: f64,
+    /// Half-width of the two-sided 95% confidence interval on the mean
+    /// (Student-t, `n - 1` degrees of freedom; 0.0 when `n < 2`).
+    pub ci95: f64,
+}
+
+impl CellStats {
+    /// Aggregate `values` in the order given (one pass, Welford).
+    pub fn from_values(values: &[f64]) -> Self {
+        let mut s = RunningStats::new();
+        for &v in values {
+            s.push(v);
+        }
+        let n = s.count();
+        if n == 0 {
+            return Self {
+                n: 0,
+                mean: 0.0,
+                min: 0.0,
+                max: 0.0,
+                ci95: 0.0,
+            };
+        }
+        let ci95 = if n < 2 {
+            0.0
+        } else {
+            t95(n - 1) * s.std_dev() / (n as f64).sqrt()
+        };
+        Self {
+            n,
+            mean: s.mean(),
+            min: s.min(),
+            max: s.max(),
+            ci95,
+        }
+    }
+}
+
+/// Two-sided 95% Student-t critical value for `df` degrees of freedom.
+///
+/// Exact table values for `df ≤ 30`, the conventional stepped table
+/// beyond (40, 60, 120, ∞ → z = 1.960). Monotonically non-increasing,
+/// so interpolation is unnecessary for reporting purposes.
+pub fn t95(df: u64) -> f64 {
+    const TABLE: [f64; 30] = [
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
+        2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+        2.052, 2.048, 2.045, 2.042,
+    ];
+    match df {
+        0 => f64::INFINITY,
+        1..=30 => TABLE[(df - 1) as usize],
+        31..=40 => 2.021,
+        41..=60 => 2.000,
+        61..=120 => 1.980,
+        _ => 1.960,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn t_table_is_monotone_and_anchored() {
+        assert_eq!(t95(1), 12.706);
+        assert_eq!(t95(30), 2.042);
+        assert_eq!(t95(1_000_000), 1.960);
+        let mut prev = f64::INFINITY;
+        for df in 1..200 {
+            let t = t95(df);
+            assert!(t <= prev, "t95 must not increase with df (df={df})");
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn cell_stats_basics() {
+        let s = CellStats::from_values(&[1.0, 2.0, 3.0]);
+        assert_eq!(s.n, 3);
+        assert_eq!(s.mean, 2.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 3.0);
+        // sd = 1, n = 3, df = 2 → ci95 = 4.303 / sqrt(3)
+        assert!((s.ci95 - 4.303 / 3f64.sqrt()).abs() < 1e-12);
+
+        let single = CellStats::from_values(&[5.0]);
+        assert_eq!(single.ci95, 0.0);
+        assert_eq!(single.mean, 5.0);
+
+        let empty = CellStats::from_values(&[]);
+        assert_eq!(empty.n, 0);
+        assert_eq!(empty.mean, 0.0);
+    }
+
+    #[test]
+    fn aggregation_is_order_sensitive_only_in_documented_ways() {
+        // Same values, same order ⇒ bit-identical stats. (The engine
+        // guarantees seed order; this guards the primitive.)
+        let vals = [3.25, 1.5, 9.75, 2.125];
+        let a = CellStats::from_values(&vals);
+        let b = CellStats::from_values(&vals);
+        assert_eq!(a, b);
+    }
+}

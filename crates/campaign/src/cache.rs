@@ -1,0 +1,80 @@
+//! Content-addressed result cache.
+//!
+//! Each completed job's [`RunResult`] is stored under
+//! `<dir>/<stable-hash-hex>.hkrr` using the versioned binary codec from
+//! `hack_core::codec`. The key is the stable hash of the fully-resolved
+//! config (seed included), so a cache hit is — by construction — the
+//! result of the *identical* simulation. Decoding round-trips every
+//! `f64` bit-exactly, which is what lets cached results feed the same
+//! byte-identical aggregates as fresh runs.
+//!
+//! Writes are atomic (write to a unique temp file, then rename), so an
+//! interrupted campaign never leaves a torn entry: the next run either
+//! sees the complete file or recomputes. Any load error — missing file,
+//! truncation, bad magic, or a [`RESULT_SCHEMA_VERSION`] mismatch from
+//! an older binary — is a plain miss, never a panic.
+//!
+//! [`RESULT_SCHEMA_VERSION`]: hack_core::RESULT_SCHEMA_VERSION
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use hack_core::{decode_run_result, encode_run_result, RunResult};
+
+/// Uniquifies temp-file names within the process (no wall clock:
+/// cache behaviour must not depend on time).
+static TMP_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// On-disk result store addressed by config content hash.
+#[derive(Debug, Clone)]
+pub struct ResultCache {
+    dir: PathBuf,
+}
+
+impl ResultCache {
+    /// Open (creating if needed) a cache rooted at `dir`.
+    pub fn new(dir: impl Into<PathBuf>) -> std::io::Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(Self { dir })
+    }
+
+    /// The file a given key lives at.
+    pub fn path(&self, key: &str) -> PathBuf {
+        self.dir.join(format!("{key}.hkrr"))
+    }
+
+    /// Fetch the cached result for `key`, or `None` on any miss:
+    /// absent file, torn write, or schema mismatch.
+    pub fn load(&self, key: &str) -> Option<RunResult> {
+        let bytes = std::fs::read(self.path(key)).ok()?;
+        decode_run_result(&bytes).ok()
+    }
+
+    /// Store `result` under `key`, atomically.
+    pub fn store(&self, key: &str, result: &RunResult) -> std::io::Result<()> {
+        let bytes = encode_run_result(result);
+        let tmp = self.dir.join(format!(
+            ".tmp-{}-{}",
+            std::process::id(),
+            TMP_COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::write(&tmp, &bytes)?;
+        std::fs::rename(&tmp, self.path(key))
+    }
+
+    /// Number of committed entries currently on disk.
+    pub fn entries(&self) -> usize {
+        std::fs::read_dir(&self.dir)
+            .map(|rd| {
+                rd.filter_map(Result::ok)
+                    .filter(|e| {
+                        Path::new(&e.file_name())
+                            .extension()
+                            .is_some_and(|x| x == "hkrr")
+                    })
+                    .count()
+            })
+            .unwrap_or(0)
+    }
+}

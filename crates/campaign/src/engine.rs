@@ -1,0 +1,227 @@
+//! Campaign execution: work-stealing pool + deterministic reduction.
+//!
+//! The engine expands a [`SweepSpec`] into its job list, executes jobs
+//! on up to [`std::thread::available_parallelism`] workers (each worker
+//! owns a deque and steals from the others when it drains), and then
+//! reduces results **by job index** — never by completion order. That
+//! single rule is the determinism argument: scheduling decides only
+//! *when* a result materializes, not *where* it lands, so one thread,
+//! sixteen threads, and an all-cache-hit re-run all produce
+//! byte-identical reports.
+
+use std::collections::VecDeque;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Mutex};
+
+use hack_core::RunResult;
+
+use crate::agg::CellStats;
+use crate::cache::ResultCache;
+use crate::spec::{Job, SweepSpec};
+
+/// Knobs controlling how a campaign executes (not *what* it computes:
+/// none of these change the report of a completed campaign).
+#[derive(Debug, Clone, Default)]
+pub struct CampaignOptions {
+    /// Worker threads; `0` means [`std::thread::available_parallelism`].
+    pub threads: usize,
+    /// Directory for the content-addressed result cache; `None`
+    /// disables caching.
+    pub cache_dir: Option<PathBuf>,
+    /// Stop after this many jobs complete (cache hits included). Used
+    /// to simulate an interrupted campaign; the report then has
+    /// `complete == false` and only fully-covered cells.
+    pub job_limit: Option<usize>,
+}
+
+/// Aggregated results for one cell of the sweep.
+#[derive(Debug)]
+pub struct CellReport {
+    /// Cell index in odometer order.
+    pub cell: usize,
+    /// One label per axis.
+    pub labels: Vec<String>,
+    /// The seeds aggregated here, in bank order.
+    pub seeds: Vec<u64>,
+    /// Steady-state aggregate goodput (Mbps) over the seed bank.
+    pub goodput: CellStats,
+    /// AP first-try delivery fraction over the seed bank (seeds whose
+    /// AP sent no data are excluded, as in `ap_first_try_fraction`).
+    pub first_try: CellStats,
+    /// The raw per-seed results, in seed-bank order.
+    pub runs: Vec<RunResult>,
+}
+
+/// The outcome of a campaign.
+#[derive(Debug)]
+pub struct CampaignReport {
+    /// Campaign name (from the spec).
+    pub name: String,
+    /// Axis names, in declaration order.
+    pub axis_names: Vec<String>,
+    /// The seed bank shared by every cell.
+    pub seeds: Vec<u64>,
+    /// Fully-covered cells, in cell order. An interrupted campaign
+    /// omits cells with missing seeds rather than reporting partial
+    /// statistics.
+    pub cells: Vec<CellReport>,
+    /// Total jobs in the expansion.
+    pub jobs_total: usize,
+    /// Jobs actually simulated (cache misses).
+    pub jobs_executed: usize,
+    /// Jobs satisfied from the result cache.
+    pub cache_hits: usize,
+    /// Whether every job completed (false under `job_limit`).
+    pub complete: bool,
+}
+
+/// Run a campaign with the default runner (`hack_core::run`).
+pub fn run_campaign(spec: &SweepSpec, opts: &CampaignOptions) -> CampaignReport {
+    run_campaign_with(spec, opts, &|job: &Job| hack_core::run(job.cfg.clone()))
+}
+
+/// Run a campaign with a caller-supplied runner (e.g. a traced run).
+///
+/// The runner must be a pure function of the job's config: the cache
+/// will happily serve a previous runner's result for an identical
+/// config, and determinism of the report is only as good as the
+/// runner's.
+pub fn run_campaign_with(
+    spec: &SweepSpec,
+    opts: &CampaignOptions,
+    runner: &(dyn Fn(&Job) -> RunResult + Sync),
+) -> CampaignReport {
+    let jobs = spec.expand();
+    let jobs_total = jobs.len();
+    let cache = opts
+        .cache_dir
+        .as_ref()
+        .map(|d| ResultCache::new(d).expect("campaign: cannot create cache dir"));
+    let threads = if opts.threads == 0 {
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    } else {
+        opts.threads
+    }
+    .max(1);
+    let limit = opts.job_limit.unwrap_or(usize::MAX);
+
+    // Deal jobs round-robin into per-worker deques.
+    let queues: Vec<Mutex<VecDeque<usize>>> = (0..threads)
+        .map(|w| {
+            Mutex::new(
+                (0..jobs_total)
+                    .filter(|i| i % threads == w)
+                    .collect::<VecDeque<_>>(),
+            )
+        })
+        .collect();
+    let budget = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, RunResult, bool)>();
+
+    let worker = |w: usize, tx: mpsc::Sender<(usize, RunResult, bool)>| {
+        loop {
+            // Own queue front first; steal from the back of the others
+            // when it drains.
+            let mut claimed = queues[w].lock().expect("queue poisoned").pop_front();
+            if claimed.is_none() {
+                for v in (0..threads).filter(|&v| v != w) {
+                    claimed = queues[v].lock().expect("queue poisoned").pop_back();
+                    if claimed.is_some() {
+                        break;
+                    }
+                }
+            }
+            let Some(idx) = claimed else { break };
+            // Atomically claim a slot of the job budget ("kill after k
+            // jobs"): once spent, workers wind down mid-campaign.
+            if budget.fetch_add(1, Ordering::SeqCst) >= limit {
+                break;
+            }
+            let job = &jobs[idx];
+            let (result, hit) = match cache.as_ref().and_then(|c| c.load(&job.key)) {
+                Some(r) => (r, true),
+                None => {
+                    let r = runner(job);
+                    if let Some(c) = &cache {
+                        if let Err(e) = c.store(&job.key, &r) {
+                            eprintln!("campaign: cache store failed for {}: {e}", job.key);
+                        }
+                    }
+                    (r, false)
+                }
+            };
+            if tx.send((idx, result, hit)).is_err() {
+                break;
+            }
+        }
+    };
+
+    if threads == 1 {
+        // Serial reference path: the caller's thread runs every job in
+        // job order. Parallel runs must match its output byte for byte.
+        worker(0, tx);
+    } else {
+        std::thread::scope(|s| {
+            for w in 0..threads {
+                let tx = tx.clone();
+                let worker = &worker;
+                s.spawn(move || worker(w, tx));
+            }
+            drop(tx);
+        });
+    }
+
+    // Deterministic reduction: results land in their job slot, then
+    // cells aggregate in seed-bank order.
+    let mut slots: Vec<Option<RunResult>> = (0..jobs_total).map(|_| None).collect();
+    let mut jobs_executed = 0;
+    let mut cache_hits = 0;
+    for (idx, result, hit) in rx {
+        slots[idx] = Some(result);
+        if hit {
+            cache_hits += 1;
+        } else {
+            jobs_executed += 1;
+        }
+    }
+
+    let n_seeds = spec.seed_list().len();
+    let n_cells = spec.n_cells();
+    let complete = slots.iter().all(Option::is_some);
+    let mut cells = Vec::new();
+    for cell in 0..n_cells {
+        let range = cell * n_seeds..(cell + 1) * n_seeds;
+        if slots[range.clone()].iter().any(Option::is_none) {
+            continue;
+        }
+        let runs: Vec<RunResult> = slots[range]
+            .iter_mut()
+            .map(|s| s.take().expect("checked above"))
+            .collect();
+        let goodput: Vec<f64> = runs.iter().map(|r| r.aggregate_goodput_mbps).collect();
+        let first_try: Vec<f64> = runs
+            .iter()
+            .filter_map(hack_core::RunResult::ap_first_try_fraction)
+            .collect();
+        cells.push(CellReport {
+            cell,
+            labels: jobs[cell * n_seeds].labels.clone(),
+            seeds: spec.seed_list().to_vec(),
+            goodput: CellStats::from_values(&goodput),
+            first_try: CellStats::from_values(&first_try),
+            runs,
+        });
+    }
+
+    CampaignReport {
+        name: spec.name().to_string(),
+        axis_names: spec.axis_names().iter().map(ToString::to_string).collect(),
+        seeds: spec.seed_list().to_vec(),
+        cells,
+        jobs_total,
+        jobs_executed,
+        cache_hits,
+        complete,
+    }
+}

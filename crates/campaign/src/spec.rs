@@ -1,0 +1,200 @@
+//! Declarative sweep specification.
+//!
+//! A [`SweepSpec`] is a base [`ScenarioConfig`] crossed with named
+//! [`Axis`] dimensions and a seed bank. [`SweepSpec::expand`] flattens
+//! the cross product into a deterministic, fully-resolved job list:
+//! cells are enumerated odometer-style (the **last** declared axis
+//! varies fastest) and seeds are innermost, so job `index` is
+//! `cell * n_seeds + seed_slot`. Axis setters are applied in
+//! declaration order, which lets a later axis read (and rewrite) the
+//! value an earlier axis installed.
+
+use std::sync::Arc;
+
+use hack_core::ScenarioConfig;
+
+/// A mutation applied to the base config for one point of an axis.
+pub type Setter = Arc<dyn Fn(&mut ScenarioConfig) + Send + Sync>;
+
+/// One labelled point along an axis.
+pub struct AxisPoint {
+    /// Human-readable label (appears in reports and emitted tables).
+    pub label: String,
+    /// The config mutation this point stands for.
+    pub setter: Setter,
+}
+
+/// One named sweep dimension: an ordered list of labelled points.
+pub struct Axis {
+    name: String,
+    points: Vec<AxisPoint>,
+}
+
+impl Axis {
+    /// New empty axis called `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Append a labelled point that applies `setter` to the config.
+    #[must_use]
+    pub fn point(
+        mut self,
+        label: impl Into<String>,
+        setter: impl Fn(&mut ScenarioConfig) + Send + Sync + 'static,
+    ) -> Self {
+        self.points.push(AxisPoint {
+            label: label.into(),
+            setter: Arc::new(setter),
+        });
+        self
+    }
+
+    /// The axis name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of points on this axis.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the axis has no points (such an axis yields zero jobs).
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The point labels, in declaration order.
+    pub fn labels(&self) -> Vec<&str> {
+        self.points.iter().map(|p| p.label.as_str()).collect()
+    }
+}
+
+/// A fully-resolved unit of work: one cell of the sweep under one seed.
+pub struct Job {
+    /// Position in expansion order (`cell * n_seeds + seed_slot`).
+    pub index: usize,
+    /// Which cell of the cross product this job belongs to.
+    pub cell: usize,
+    /// The seed this run uses (already written into `cfg.seed`).
+    pub seed: u64,
+    /// One label per axis, identifying the cell.
+    pub labels: Vec<String>,
+    /// The fully-resolved scenario.
+    pub cfg: ScenarioConfig,
+    /// Content address: stable hash of `cfg` (seed included).
+    pub key: String,
+}
+
+/// Declarative sweep: base config × axes × seed bank.
+pub struct SweepSpec {
+    name: String,
+    base: ScenarioConfig,
+    axes: Vec<Axis>,
+    seeds: Vec<u64>,
+}
+
+impl SweepSpec {
+    /// New sweep over `base`. With no axes and no explicit seed bank it
+    /// expands to a single job: `base` under its own `seed`.
+    pub fn new(name: impl Into<String>, base: ScenarioConfig) -> Self {
+        let seeds = vec![base.seed];
+        Self {
+            name: name.into(),
+            base,
+            axes: Vec::new(),
+            seeds,
+        }
+    }
+
+    /// Add a sweep dimension. Axes apply in declaration order.
+    #[must_use]
+    pub fn axis(mut self, axis: Axis) -> Self {
+        self.axes.push(axis);
+        self
+    }
+
+    /// Replace the seed bank with an explicit list.
+    #[must_use]
+    pub fn seeds(mut self, seeds: Vec<u64>) -> Self {
+        self.seeds = seeds;
+        self
+    }
+
+    /// Replace the seed bank with `base, base+1, .., base+n-1`.
+    #[must_use]
+    pub fn seed_bank(mut self, base: u64, n: u64) -> Self {
+        self.seeds = (0..n).map(|i| base + i).collect();
+        self
+    }
+
+    /// The campaign name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The seed bank.
+    pub fn seed_list(&self) -> &[u64] {
+        &self.seeds
+    }
+
+    /// Axis names, in declaration order.
+    pub fn axis_names(&self) -> Vec<&str> {
+        self.axes.iter().map(|a| a.name.as_str()).collect()
+    }
+
+    /// Number of cells in the cross product (1 when there are no axes).
+    pub fn n_cells(&self) -> usize {
+        self.axes.iter().map(Axis::len).product()
+    }
+
+    /// Total number of jobs (`n_cells × seeds`).
+    pub fn n_jobs(&self) -> usize {
+        self.n_cells() * self.seeds.len()
+    }
+
+    /// Decode cell `cell` into one point index per axis
+    /// (odometer order: last axis fastest).
+    fn cell_indices(&self, cell: usize) -> Vec<usize> {
+        let mut idx = vec![0; self.axes.len()];
+        let mut rest = cell;
+        for (slot, axis) in idx.iter_mut().zip(&self.axes).rev() {
+            *slot = rest % axis.len();
+            rest /= axis.len();
+        }
+        idx
+    }
+
+    /// Flatten the sweep into its deterministic job list.
+    pub fn expand(&self) -> Vec<Job> {
+        let n_cells = self.n_cells();
+        let mut jobs = Vec::with_capacity(self.n_jobs());
+        for cell in 0..n_cells {
+            let point_idx = self.cell_indices(cell);
+            let mut cfg = self.base.clone();
+            let mut labels = Vec::with_capacity(self.axes.len());
+            for (axis, &p) in self.axes.iter().zip(&point_idx) {
+                (axis.points[p].setter)(&mut cfg);
+                labels.push(axis.points[p].label.clone());
+            }
+            for seed in &self.seeds {
+                let mut job_cfg = cfg.clone();
+                job_cfg.seed = *seed;
+                let key = job_cfg.stable_hash_hex();
+                jobs.push(Job {
+                    index: jobs.len(),
+                    cell,
+                    seed: *seed,
+                    labels: labels.clone(),
+                    cfg: job_cfg,
+                    key,
+                });
+            }
+        }
+        jobs
+    }
+}

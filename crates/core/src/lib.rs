@@ -30,13 +30,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod codec;
 pub mod driver;
 pub mod packet;
 pub mod scenario;
 pub mod sim;
+pub mod stable;
 pub mod supervisor;
 pub mod wired;
 
+pub use codec::{decode_run_result, encode_run_result, CodecError, RESULT_SCHEMA_VERSION};
 pub use driver::{
     CompressSide, CompressSideStats, DecompressSide, DriverAction, DriverHealth, HackMode,
     DEFAULT_HELD_CAP,
@@ -44,9 +47,11 @@ pub use driver::{
 pub use hack_phy::{CorruptModel, GeParams};
 pub use packet::NetPacket;
 pub use scenario::{
-    ChannelChange, ChannelEvent, LossConfig, RunResult, ScenarioConfig, Standard, TrafficKind,
+    ChannelChange, ChannelEvent, LossConfig, RunResult, ScenarioBuilder, ScenarioConfig, Standard,
+    StandardKind, TrafficKind,
 };
-pub use sim::{run, run_traced, World};
+pub use sim::{run, run_traced, World, WorldBuilder};
+pub use stable::{StableHasher, CONFIG_ENCODING_VERSION};
 pub use supervisor::{
     FlowHealth, FlowSupervisor, HealthSignal, SupervisorAction, SupervisorConfig, SupervisorReport,
     SupervisorStats,

@@ -160,79 +160,308 @@ pub struct ScenarioConfig {
     pub held_cap: usize,
 }
 
+/// Which 802.11 flavour a [`ScenarioBuilder`] targets; the PHY rate is
+/// set separately via [`ScenarioBuilder::rate_mbps`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StandardKind {
+    /// 802.11a DCF, single MPDUs + ACKs.
+    Dot11a,
+    /// 802.11n EDCA with A-MPDU aggregation + Block ACKs.
+    Dot11n,
+}
+
+/// Typed step-by-step construction of a [`ScenarioConfig`].
+///
+/// This is the supported way to build scenarios:
+///
+/// ```
+/// use hack_core::{HackMode, ScenarioConfig, StandardKind};
+///
+/// let cfg = ScenarioConfig::builder()
+///     .standard(StandardKind::Dot11n)
+///     .rate_mbps(150)
+///     .clients(4)
+///     .hack(HackMode::MoreData)
+///     .build();
+/// assert_eq!(cfg.n_clients, 4);
+/// ```
+///
+/// Every setter has the §4.3 802.11n download defaults, so only the
+/// fields a scenario cares about need spelling out. The legacy
+/// positional constructors
+/// ([`ScenarioConfig::dot11n_download`], [`ScenarioConfig::sora_testbed`])
+/// are thin shims over this builder and are kept only for source
+/// compatibility.
+#[derive(Debug, Clone)]
+pub struct ScenarioBuilder {
+    kind: StandardKind,
+    rate_mbps: u64,
+    cfg: ScenarioConfig,
+}
+
+impl ScenarioBuilder {
+    /// 802.11 flavour (default: [`StandardKind::Dot11n`]).
+    pub fn standard(mut self, kind: StandardKind) -> Self {
+        self.kind = kind;
+        self
+    }
+
+    /// PHY rate in Mbps (default: 150).
+    pub fn rate_mbps(mut self, rate: u64) -> Self {
+        self.rate_mbps = rate;
+        self
+    }
+
+    /// Number of wireless clients (default: 1).
+    pub fn clients(mut self, n: usize) -> Self {
+        self.cfg.n_clients = n;
+        self
+    }
+
+    /// HACK variant at every compress side (default: disabled).
+    pub fn hack(mut self, mode: HackMode) -> Self {
+        self.cfg.hack_mode = mode;
+        self
+    }
+
+    /// Traffic pattern (default: bulk TCP download).
+    pub fn traffic(mut self, traffic: TrafficKind) -> Self {
+        self.cfg.traffic = traffic;
+        self
+    }
+
+    /// TCP delayed ACK at receivers (default: on).
+    pub fn delayed_ack(mut self, on: bool) -> Self {
+        self.cfg.delayed_ack = on;
+        self
+    }
+
+    /// Put the TCP sender on the AP itself instead of behind the wired
+    /// backhaul (default: behind the backhaul).
+    pub fn server_at_ap(mut self, on: bool) -> Self {
+        self.cfg.server_at_ap = on;
+        self
+    }
+
+    /// Per-client AP transmit-queue capacity in packets (default: 126).
+    pub fn ap_queue_cap(mut self, cap: usize) -> Self {
+        self.cfg.ap_queue_cap = cap;
+        self
+    }
+
+    /// Loss environment (default: ideal links).
+    pub fn loss(mut self, loss: LossConfig) -> Self {
+        self.cfg.loss = loss;
+        self
+    }
+
+    /// Corrupted-delivery fault injection (default: plain drops).
+    pub fn corrupt(mut self, model: CorruptModel) -> Self {
+        self.cfg.corrupt = Some(model);
+        self
+    }
+
+    /// Scheduled mid-run channel dynamics (default: none).
+    pub fn dynamics(mut self, dynamics: Vec<ChannelEvent>) -> Self {
+        self.cfg.dynamics = dynamics;
+        self
+    }
+
+    /// Host network-stack turnaround (default: 30 µs).
+    pub fn stack_delay(mut self, d: SimDuration) -> Self {
+        self.cfg.stack_delay = d;
+        self
+    }
+
+    /// Driver→NIC DMA latency (default: 15 µs).
+    pub fn dma_delay(mut self, d: SimDuration) -> Self {
+        self.cfg.dma_delay = d;
+        self
+    }
+
+    /// Wall-clock length of the run (default: 10 s).
+    pub fn duration(mut self, d: SimDuration) -> Self {
+        self.cfg.duration = d;
+        self
+    }
+
+    /// Fixed per-flow transfer size (default: saturating flows).
+    pub fn transfer_bytes(mut self, bytes: u64) -> Self {
+        self.cfg.transfer_bytes = Some(bytes);
+        self
+    }
+
+    /// Gap between successive clients' flow starts (default: 500 ms).
+    pub fn stagger(mut self, d: SimDuration) -> Self {
+        self.cfg.stagger = d;
+        self
+    }
+
+    /// Steady-state warmup after the last flow start (default: 1 s).
+    pub fn warmup(mut self, d: SimDuration) -> Self {
+        self.cfg.warmup = d;
+        self
+    }
+
+    /// RNG seed (default: 1).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Apply the SoRa radio quirks (default: off).
+    pub fn sora_quirks(mut self, on: bool) -> Self {
+        self.cfg.sora_quirks = on;
+        self
+    }
+
+    /// Receiver-advertised TCP window in bytes (default: 1 MB).
+    pub fn rcv_window(mut self, bytes: u32) -> Self {
+        self.cfg.rcv_window = bytes;
+        self
+    }
+
+    /// Disable the §3.4 SYNC-bit retention machinery (ablation only).
+    pub fn disable_sync(mut self, off: bool) -> Self {
+        self.cfg.disable_sync = off;
+        self
+    }
+
+    /// Override the TXOP limit (default: the standard 4 ms).
+    pub fn txop_limit(mut self, d: SimDuration) -> Self {
+        self.cfg.txop_limit = Some(d);
+        self
+    }
+
+    /// Override the MAC retry limit (default: the standard 7).
+    pub fn retry_limit(mut self, limit: u32) -> Self {
+        self.cfg.retry_limit = Some(limit);
+        self
+    }
+
+    /// Event-queue implementation (default: calendar queue).
+    pub fn queue(mut self, kind: QueueKind) -> Self {
+        self.cfg.queue = kind;
+        self
+    }
+
+    /// Enable the per-flow HACK supervisor (default: unsupervised).
+    pub fn supervisor(mut self, cfg: SupervisorConfig) -> Self {
+        self.cfg.supervisor = Some(cfg);
+        self
+    }
+
+    /// Per-client HACK capability advertised at association (default:
+    /// all capable).
+    pub fn client_hack_capable(mut self, capable: Vec<bool>) -> Self {
+        self.cfg.client_hack_capable = capable;
+        self
+    }
+
+    /// Bound on each compress side's held-ACK queue (default:
+    /// [`DEFAULT_HELD_CAP`]).
+    pub fn held_cap(mut self, cap: usize) -> Self {
+        self.cfg.held_cap = cap;
+        self
+    }
+
+    /// Resolve the builder into a [`ScenarioConfig`].
+    #[must_use]
+    pub fn build(self) -> ScenarioConfig {
+        let mut cfg = self.cfg;
+        cfg.standard = match self.kind {
+            StandardKind::Dot11a => Standard::Dot11a {
+                rate_mbps: self.rate_mbps,
+            },
+            StandardKind::Dot11n => Standard::Dot11n {
+                rate_mbps: self.rate_mbps,
+            },
+        };
+        cfg
+    }
+}
+
 impl ScenarioConfig {
+    /// Start building a scenario from the §4.3 802.11n download
+    /// defaults (wired server, ideal links, 126-packet AP queue,
+    /// 150 Mbps, one client, HACK disabled).
+    pub fn builder() -> ScenarioBuilder {
+        ScenarioBuilder {
+            kind: StandardKind::Dot11n,
+            rate_mbps: 150,
+            cfg: ScenarioConfig {
+                standard: Standard::Dot11n { rate_mbps: 150 },
+                n_clients: 1,
+                hack_mode: HackMode::Disabled,
+                traffic: TrafficKind::TcpDownload,
+                delayed_ack: true,
+                server_at_ap: false,
+                ap_queue_cap: 126,
+                loss: LossConfig::Ideal,
+                corrupt: None,
+                dynamics: Vec::new(),
+                stack_delay: SimDuration::from_micros(30),
+                dma_delay: SimDuration::from_micros(15),
+                duration: SimDuration::from_secs(10),
+                transfer_bytes: None,
+                stagger: SimDuration::from_millis(500),
+                warmup: SimDuration::from_secs(1),
+                seed: 1,
+                sora_quirks: false,
+                rcv_window: 1 << 20,
+                disable_sync: false,
+                txop_limit: None,
+                retry_limit: None,
+                queue: QueueKind::Calendar,
+                supervisor: None,
+                client_hack_capable: Vec::new(),
+                held_cap: DEFAULT_HELD_CAP,
+            },
+        }
+    }
+
     /// The paper's §4.3 802.11n download setup: wired server, MORE DATA
     /// HACK off by default (set `hack_mode`), 126-packet per-client AP
     /// queue.
+    ///
+    /// **Deprecated** (documented, not attributed, so existing callers
+    /// compile warning-free): new code should use
+    /// [`ScenarioConfig::builder`], of which this is a thin shim.
     pub fn dot11n_download(rate_mbps: u64, n_clients: usize, hack_mode: HackMode) -> Self {
-        ScenarioConfig {
-            standard: Standard::Dot11n { rate_mbps },
-            n_clients,
-            hack_mode,
-            traffic: TrafficKind::TcpDownload,
-            delayed_ack: true,
-            server_at_ap: false,
-            ap_queue_cap: 126,
-            loss: LossConfig::Ideal,
-            corrupt: None,
-            dynamics: Vec::new(),
-            stack_delay: SimDuration::from_micros(30),
-            dma_delay: SimDuration::from_micros(15),
-            duration: SimDuration::from_secs(10),
-            transfer_bytes: None,
-            stagger: SimDuration::from_millis(500),
-            warmup: SimDuration::from_secs(1),
-            seed: 1,
-            sora_quirks: false,
-            rcv_window: 1 << 20,
-            disable_sync: false,
-            txop_limit: None,
-            retry_limit: None,
-            queue: QueueKind::Calendar,
-            supervisor: None,
-            client_hack_capable: Vec::new(),
-            held_cap: DEFAULT_HELD_CAP,
-        }
+        ScenarioConfig::builder()
+            .standard(StandardKind::Dot11n)
+            .rate_mbps(rate_mbps)
+            .clients(n_clients)
+            .hack(hack_mode)
+            .build()
     }
 
     /// The SoRa testbed setup (§4.1–4.2): 802.11a at 54 Mbps, sender on
     /// the AP, SoRa's late LL ACKs, client 1 lossier than client 2.
+    ///
+    /// **Deprecated** (documented, not attributed, so existing callers
+    /// compile warning-free): new code should use
+    /// [`ScenarioConfig::builder`], of which this is a thin shim.
     pub fn sora_testbed(n_clients: usize, hack_mode: HackMode) -> Self {
         let per: Vec<f64> = (0..n_clients)
             .map(|i| if i == 0 { 0.025 } else { 0.02 })
             .collect();
-        ScenarioConfig {
-            standard: Standard::Dot11a { rate_mbps: 54 },
-            n_clients,
-            hack_mode,
-            traffic: TrafficKind::TcpDownload,
-            delayed_ack: true,
-            server_at_ap: true,
+        ScenarioConfig::builder()
+            .standard(StandardKind::Dot11a)
+            .rate_mbps(54)
+            .clients(n_clients)
+            .hack(hack_mode)
+            .server_at_ap(true)
             // The testbed's sender runs on the AP with an ordinary driver
             // queue ("Linux drivers usually use buffer sizes of 1000
             // packets", §4.3) — flows end up receive-window-limited, not
             // tail-drop-limited.
-            ap_queue_cap: 1000,
-            loss: LossConfig::PerClient(per),
-            corrupt: None,
-            dynamics: Vec::new(),
-            stack_delay: SimDuration::from_micros(30),
-            dma_delay: SimDuration::from_micros(15),
-            duration: SimDuration::from_secs(10),
-            transfer_bytes: None,
-            stagger: SimDuration::from_millis(200),
-            warmup: SimDuration::from_secs(1),
-            seed: 1,
-            sora_quirks: true,
-            rcv_window: 128 * 1024,
-            disable_sync: false,
-            txop_limit: None,
-            retry_limit: None,
-            queue: QueueKind::Calendar,
-            supervisor: None,
-            client_hack_capable: Vec::new(),
-            held_cap: DEFAULT_HELD_CAP,
-        }
+            .ap_queue_cap(1000)
+            .loss(LossConfig::PerClient(per))
+            .stagger(SimDuration::from_millis(200))
+            .sora_quirks(true)
+            .rcv_window(128 * 1024)
+            .build()
     }
 
     /// Saturating UDP baseline over the same cell.

@@ -27,7 +27,7 @@ use crate::packet::NetPacket;
 use crate::scenario::{
     ChannelChange, LossConfig, RunResult, ScenarioConfig, Standard, TrafficKind,
 };
-use crate::supervisor::{FlowSupervisor, HealthSignal, SupervisorAction};
+use crate::supervisor::{FlowSupervisor, HealthSignal, SupervisorAction, SupervisorConfig};
 use crate::wired::WiredLink;
 
 const AP: StationId = StationId(0);
@@ -120,15 +120,85 @@ pub struct World {
     trace: TraceHandle,
 }
 
+/// Step-by-step assembly of a [`World`] — the single construction path
+/// behind every entry point.
+///
+/// ```no_run
+/// use hack_core::{HackMode, ScenarioConfig, SupervisorConfig, World};
+///
+/// let cfg = ScenarioConfig::dot11n_download(150, 1, HackMode::MoreData);
+/// let result = World::builder(cfg)
+///     .supervisor(SupervisorConfig::default())
+///     .build()
+///     .run();
+/// # let _ = result;
+/// ```
+///
+/// The legacy entry points ([`World::new`], [`World::new_traced`], free
+/// [`run`] and [`run_traced`]) are thin delegations to this builder, so
+/// all five construct byte-identical worlds (equal seeds ⇒ equal trace
+/// digests).
+#[derive(Debug)]
+pub struct WorldBuilder {
+    cfg: ScenarioConfig,
+    trace: TraceHandle,
+}
+
+impl WorldBuilder {
+    /// Attach a structured-event trace sink, wired through every layer
+    /// (PHY medium, MAC stations, TCP endpoints, ROHC drivers).
+    pub fn trace(mut self, trace: TraceHandle) -> Self {
+        self.trace = trace;
+        self
+    }
+
+    /// Enable the per-flow HACK supervisor (overrides
+    /// `cfg.supervisor`).
+    pub fn supervisor(mut self, sup: SupervisorConfig) -> Self {
+        self.cfg.supervisor = Some(sup);
+        self
+    }
+
+    /// Assemble the network.
+    #[must_use]
+    pub fn build(self) -> World {
+        World::assemble(self.cfg, self.trace)
+    }
+
+    /// Convenience: assemble and run to completion.
+    pub fn run(self) -> RunResult {
+        self.build().run()
+    }
+}
+
 impl World {
+    /// Start building the network described by `cfg`.
+    pub fn builder(cfg: ScenarioConfig) -> WorldBuilder {
+        WorldBuilder {
+            cfg,
+            trace: TraceHandle::off(),
+        }
+    }
+
     /// Build the network described by `cfg` without tracing.
+    ///
+    /// Thin shim over [`World::builder`] (use that in new code).
     pub fn new(cfg: ScenarioConfig) -> Self {
-        World::new_traced(cfg, TraceHandle::off())
+        World::builder(cfg).build()
     }
 
     /// Build the network described by `cfg`, wiring `trace` through every
     /// layer (PHY medium, MAC stations, TCP endpoints, ROHC drivers).
+    ///
+    /// Thin shim over [`World::builder`]`(cfg).trace(trace).build()`
+    /// (use that in new code).
     pub fn new_traced(cfg: ScenarioConfig, trace: TraceHandle) -> Self {
+        World::builder(cfg).trace(trace).build()
+    }
+
+    /// The one true construction path (every public entry point funnels
+    /// here through [`WorldBuilder::build`]).
+    fn assemble(cfg: ScenarioConfig, trace: TraceHandle) -> Self {
         let n = cfg.n_clients;
         assert!(n >= 1, "need at least one client");
         let rng = SimRng::new(cfg.seed);
@@ -1326,12 +1396,18 @@ impl World {
 }
 
 /// Run one scenario to completion.
+///
+/// Thin shim over [`World::builder`]`(cfg).run()` (use that in new
+/// code).
 pub fn run(cfg: ScenarioConfig) -> RunResult {
-    World::new(cfg).run()
+    World::builder(cfg).run()
 }
 
 /// Run one scenario to completion with a structured-event trace sink
 /// attached to every layer.
+///
+/// Thin shim over [`World::builder`]`(cfg).trace(trace).run()` (use
+/// that in new code).
 pub fn run_traced(cfg: ScenarioConfig, trace: TraceHandle) -> RunResult {
-    World::new_traced(cfg, trace).run()
+    World::builder(cfg).trace(trace).run()
 }

@@ -71,6 +71,29 @@ impl FlowHealth {
             FlowHealth::PeerIncapable => "peer_incapable",
         }
     }
+
+    /// Stable wire code for result serialization (the campaign cache).
+    pub fn code(self) -> u8 {
+        match self {
+            FlowHealth::Healthy => 0,
+            FlowHealth::Degraded => 1,
+            FlowHealth::NativeFallback => 2,
+            FlowHealth::Probation => 3,
+            FlowHealth::PeerIncapable => 4,
+        }
+    }
+
+    /// Inverse of [`FlowHealth::code`]; `None` for unknown codes.
+    pub fn from_code(code: u8) -> Option<Self> {
+        Some(match code {
+            0 => FlowHealth::Healthy,
+            1 => FlowHealth::Degraded,
+            2 => FlowHealth::NativeFallback,
+            3 => FlowHealth::Probation,
+            4 => FlowHealth::PeerIncapable,
+            _ => return None,
+        })
+    }
 }
 
 /// One observation about a flow's HACK path, reported by the event loop

@@ -34,6 +34,12 @@ impl Counter {
     pub fn get(self) -> u64 {
         self.0
     }
+
+    /// Reconstitute a counter from a stored value (result
+    /// deserialization — the campaign cache round-trips statistics).
+    pub const fn from_value(v: u64) -> Self {
+        Counter(v)
+    }
 }
 
 impl fmt::Display for Counter {
@@ -247,6 +253,12 @@ impl TimeAccumulator {
     /// Create a zeroed accumulator.
     pub fn new() -> Self {
         TimeAccumulator::default()
+    }
+
+    /// Reconstitute an accumulator from stored totals (result
+    /// deserialization — the campaign cache round-trips statistics).
+    pub const fn from_parts(total: SimDuration, events: u64) -> Self {
+        TimeAccumulator { total, events }
     }
 
     /// Add one span.

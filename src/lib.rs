@@ -20,6 +20,7 @@
 //! | [`tcp`] | sans-IO NewReno TCP with byte-exact headers |
 //! | [`rohc`] | W-LSB header compression, MD5 CIDs, ROHC CRCs |
 //! | [`core`] | the HACK drivers and whole-network simulation |
+//! | [`campaign`] | declarative sweeps, parallel execution, result cache |
 //! | [`analysis`] | closed-form capacity models (Figure 1) |
 //!
 //! ## Quickstart
@@ -44,6 +45,7 @@
 #![warn(missing_docs)]
 
 pub use hack_analysis as analysis;
+pub use hack_campaign as campaign;
 pub use hack_core as core;
 pub use hack_mac as mac;
 pub use hack_phy as phy;
