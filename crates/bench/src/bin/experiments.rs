@@ -12,8 +12,8 @@ use hack_analysis::{CapacityModel, Protocol};
 use hack_bench::{run_seeds, set_trace_base, CommonOpts, USAGE};
 use hack_campaign::{campaign_csv, campaign_json, run_campaign, Axis, CellReport, SweepSpec};
 use hack_core::{
-    ChannelChange, ChannelEvent, CompressSideStats, CorruptModel, FlowHealth, GeParams, HackMode,
-    LossConfig, RunResult, ScenarioConfig, SupervisorConfig, SupervisorReport,
+    CcKind, ChannelChange, ChannelEvent, CompressSideStats, CorruptModel, FlowHealth, GeParams,
+    HackMode, LossConfig, RunResult, ScenarioConfig, SupervisorConfig, SupervisorReport,
 };
 use hack_phy::{Channel, PhyRate, StationId, DOT11A_RATES_MBPS, DOT11N_HT40_SGI_MBPS};
 use hack_sim::{RunStats, SimDuration};
@@ -53,6 +53,7 @@ fn main() {
         "fault-matrix" => fault_matrix(&opts),
         "chaos-recovery" => chaos_recovery(&opts),
         "campaign-smoke" => campaign_smoke(&opts),
+        "cc-matrix" => cc_matrix(&opts),
         "ablate-timer" => ablate_timer(&opts),
         "ablate-delack" => ablate_delack(&opts),
         "ablate-sync" => ablate_sync(&opts),
@@ -72,6 +73,7 @@ fn main() {
             fault_matrix(&opts);
             chaos_recovery(&opts);
             campaign_smoke(&opts);
+            cc_matrix(&opts);
             ablate_timer(&opts);
             ablate_delack(&opts);
             ablate_sync(&opts);
@@ -793,6 +795,112 @@ fn campaign_smoke(opts: &Opts) {
         println!("{}", campaign_json(&second));
     }
     println!("campaign smoke OK");
+}
+
+// ----------------------------------------------------------------------
+// CC matrix: the congestion-control suite's CI gate
+// ----------------------------------------------------------------------
+
+/// Sampler-derived mean RTT for one campaign cell, in milliseconds,
+/// aggregated over every sender flow in every seeded run.
+fn cell_mean_rtt_ms(cell: &CellReport) -> Option<f64> {
+    let (mut sum_us, mut n) = (0u64, 0u64);
+    for r in &cell.runs {
+        for t in &r.sender_tcp {
+            sum_us += t.rtt_sum_us;
+            n += t.rtt_samples;
+        }
+    }
+    (n > 0).then(|| sum_us as f64 / n as f64 / 1000.0)
+}
+
+/// Every congestion controller × HACK on/off × {ideal, burst} channel,
+/// over the common seed bank. Fails the process on zero goodput in any
+/// cell, a dead delivery-rate sampler (no RTT samples — the trait
+/// plumbing regressed), or a parallel run diverging from a serial one
+/// (a controller smuggled nondeterminism — wall-clock time, iteration
+/// order — into the sim).
+fn cc_matrix(opts: &Opts) {
+    banner("CC matrix: {reno,cubic,hstcp,bbr} × hack × channel (CI smoke)");
+    println!("(fails the process on zero goodput, a silent RTT sampler, or");
+    println!(" parallel ≠ serial campaign reports; goodput is mean over seeds,");
+    println!(" rtt is the delivery-rate sampler's mean across flows and seeds)");
+    let mut base = ScenarioConfig::sora_testbed(1, HackMode::Disabled);
+    base.duration = SimDuration::from_secs(opts.secs);
+    let seed = base.seed;
+    let mut cc_axis = Axis::new("cc");
+    for kind in CcKind::ALL {
+        cc_axis = cc_axis.point(kind.name(), move |c| c.cc = kind);
+    }
+    // Odometer-ordered (mode fastest, then chan, then cc):
+    // cell = (cc_idx * 2 + chan_idx) * 2 + mode_idx.
+    let spec = SweepSpec::new("cc-matrix", base)
+        .axis(cc_axis)
+        .axis(
+            Axis::new("chan")
+                .point("ideal", |c| c.loss = LossConfig::Ideal)
+                .point("burst", |c| {
+                    c.loss = LossConfig::Burst(GeParams::bursty(0.05, 8.0));
+                }),
+        )
+        .axis(
+            Axis::new("mode")
+                .point("tcp", |c| c.hack_mode = HackMode::Disabled)
+                .point("hack", |c| c.hack_mode = HackMode::MoreData),
+        )
+        .seed_bank(seed, opts.seeds);
+
+    let report = run_campaign(&spec, &opts.campaign());
+    // Determinism gate: one worker must reproduce the pool byte for byte.
+    let mut serial_opts = opts.campaign();
+    serial_opts.threads = 1;
+    if campaign_json(&run_campaign(&spec, &serial_opts)) != campaign_json(&report) {
+        eprintln!("FAIL: parallel and serial cc-matrix reports differ");
+        std::process::exit(1);
+    }
+
+    println!(
+        "{:<6} {:<6} {:>14} {:>9} {:>14} {:>9}",
+        "cc", "chan", "tcp", "rtt", "hack", "rtt"
+    );
+    let mut failed = false;
+    let mut json_rows = Vec::new();
+    for (cc_idx, kind) in CcKind::ALL.into_iter().enumerate() {
+        for (chan_idx, chan) in ["ideal", "burst"].into_iter().enumerate() {
+            let mut cols = String::new();
+            for mode_idx in 0..2 {
+                let cell = &report.cells[(cc_idx * 2 + chan_idx) * 2 + mode_idx];
+                debug_assert_eq!(cell.labels, [kind.name(), chan, ["tcp", "hack"][mode_idx]]);
+                let rtt = cell_mean_rtt_ms(cell);
+                let mut verdict = "";
+                if cell.goodput.mean <= 0.0 {
+                    verdict = "  <-- FAIL: zero goodput";
+                    failed = true;
+                } else if rtt.is_none() {
+                    verdict = "  <-- FAIL: RTT sampler silent";
+                    failed = true;
+                }
+                let rtt_s = rtt.map_or_else(|| "-".into(), |ms| format!("{ms:.1}"));
+                cols += &format!(" {:>14} {rtt_s:>9}{verdict}", cell_goodput(cell));
+                json_rows.push(format!(
+                    "{{\"cc\":\"{}\",\"chan\":\"{chan}\",\"mode\":\"{}\",\
+                     \"goodput_mbps\":{:.3},\"mean_rtt_ms\":{}}}",
+                    kind.name(),
+                    ["tcp", "hack"][mode_idx],
+                    cell.goodput.mean,
+                    rtt.map_or_else(|| "null".into(), |ms| format!("{ms:.3}")),
+                ));
+            }
+            println!("{:<6} {chan:<6}{cols}", kind.name());
+        }
+    }
+    if opts.json {
+        println!("{{\"cc_matrix\":[{}]}}", json_rows.join(","));
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!("cc matrix OK");
 }
 
 // ----------------------------------------------------------------------

@@ -41,6 +41,10 @@ SUBCOMMANDS:
     campaign-smoke  tiny 2x2x2 sweep run twice: fails if parallel and
                     serial aggregates differ, or if the second run gets
                     under 90% cache hits (CI smoke)
+    cc-matrix       congestion control {reno,cubic,hstcp,bbr} x hack
+                    on/off x {ideal,burst} channel; exits nonzero on zero
+                    goodput, a silent RTT sampler, or parallel != serial
+                    campaign reports (CI smoke)
     ablate-timer | ablate-delack | ablate-sync | ablate-txop
     all             everything above
 

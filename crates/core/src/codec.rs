@@ -29,7 +29,7 @@ use crate::supervisor::{FlowHealth, SupervisorReport, SupervisorStats};
 /// Version of the serialized [`RunResult`] layout. Bump on any change
 /// to the result shape; the cache rejects (and recomputes) entries
 /// written under a different version.
-pub const RESULT_SCHEMA_VERSION: u32 = 1;
+pub const RESULT_SCHEMA_VERSION: u32 = 2;
 
 /// File magic for encoded results.
 const MAGIC: &[u8; 4] = b"HKRR";
@@ -153,6 +153,8 @@ fn write_tcp(w: &mut Writer, t: &TcpStats) {
     w.u64(t.dupacks_received);
     w.u64(t.bytes_delivered);
     w.u64(t.bytes_acked);
+    w.u64(t.rtt_samples);
+    w.u64(t.rtt_sum_us);
 }
 
 /// Serialize a [`RunResult`] under [`RESULT_SCHEMA_VERSION`].
@@ -322,6 +324,8 @@ fn read_tcp(r: &mut Reader) -> Result<TcpStats, CodecError> {
         dupacks_received: r.u64()?,
         bytes_delivered: r.u64()?,
         bytes_acked: r.u64()?,
+        rtt_samples: r.u64()?,
+        rtt_sum_us: r.u64()?,
     })
 }
 

@@ -45,6 +45,7 @@ pub use driver::{
     DEFAULT_HELD_CAP,
 };
 pub use hack_phy::{CorruptModel, GeParams};
+pub use hack_tcp::CcKind;
 pub use packet::NetPacket;
 pub use scenario::{
     ChannelChange, ChannelEvent, LossConfig, RunResult, ScenarioBuilder, ScenarioConfig, Standard,

@@ -4,7 +4,7 @@ use hack_mac::MacStats;
 use hack_phy::{CorruptModel, GeParams};
 use hack_rohc::{CompressStats, DecompressStats};
 use hack_sim::{QueueKind, SimDuration, SimTime};
-use hack_tcp::TcpStats;
+use hack_tcp::{CcKind, TcpStats};
 
 use crate::driver::{CompressSideStats, HackMode, DEFAULT_HELD_CAP};
 use crate::supervisor::{SupervisorConfig, SupervisorReport};
@@ -158,6 +158,8 @@ pub struct ScenarioConfig {
     /// Bound on each compress side's held-ACK queue; the oldest held
     /// ACK spills to the native path when a new hold would exceed it.
     pub held_cap: usize,
+    /// Congestion-control algorithm at every TCP sender.
+    pub cc: CcKind,
 }
 
 /// Which 802.11 flavour a [`ScenarioBuilder`] targets; the PHY rate is
@@ -365,6 +367,13 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Congestion-control algorithm at every TCP sender (default:
+    /// NewReno, the paper's sender).
+    pub fn cc(mut self, cc: CcKind) -> Self {
+        self.cfg.cc = cc;
+        self
+    }
+
     /// Resolve the builder into a [`ScenarioConfig`].
     #[must_use]
     pub fn build(self) -> ScenarioConfig {
@@ -416,6 +425,7 @@ impl ScenarioConfig {
                 supervisor: None,
                 client_hack_capable: Vec::new(),
                 held_cap: DEFAULT_HELD_CAP,
+                cc: CcKind::Reno,
             },
         }
     }

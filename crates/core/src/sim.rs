@@ -324,6 +324,7 @@ impl World {
         let tcp_cfg = TcpConfig {
             delayed_ack: cfg.delayed_ack,
             rcv_window: cfg.rcv_window,
+            cc: cfg.cc,
             ..TcpConfig::default()
         };
         if cfg.traffic != TrafficKind::UdpDownload {

@@ -30,7 +30,7 @@ use hack_sim::QueueKind;
 /// Version of the canonical [`ScenarioConfig`] encoding. Bump whenever
 /// the struct (or the meaning of a field) changes so stale cache
 /// entries can never alias a new configuration.
-pub const CONFIG_ENCODING_VERSION: u32 = 1;
+pub const CONFIG_ENCODING_VERSION: u32 = 2;
 
 /// Streaming FNV-1a over 128 bits — small, dependency-free, and stable
 /// by construction (the offset basis and prime are spelled out by the
@@ -283,6 +283,12 @@ impl ScenarioConfig {
             h.bool(b);
         }
         h.usize(self.held_cap);
+        h.u8(match self.cc {
+            hack_tcp::CcKind::Reno => 0,
+            hack_tcp::CcKind::Cubic => 1,
+            hack_tcp::CcKind::Highspeed => 2,
+            hack_tcp::CcKind::Bbr => 3,
+        });
     }
 }
 
@@ -323,6 +329,9 @@ mod tests {
         let mut c = a.clone();
         c.loss = LossConfig::PerClient(vec![0.01, 0.02]);
         assert_ne!(a.stable_hash(), c.stable_hash());
+        let mut c = a.clone();
+        c.cc = hack_tcp::CcKind::Cubic;
+        assert_ne!(a.stable_hash(), c.stable_hash(), "cc keys the cache");
     }
 
     #[test]

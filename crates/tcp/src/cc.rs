@@ -1,10 +1,41 @@
-//! Reno/NewReno congestion control (RFC 5681 + RFC 6582), byte-counted.
+//! Pluggable congestion control behind the [`CongestionControl`] trait:
+//! NewReno (RFC 5681 + RFC 6582), CUBIC (RFC 8312), a HighSpeed-TCP
+//! style AIMD, and [`BbrLite`] — a BBR-flavoured controller driven by
+//! the delivery-rate sampler in `conn.rs`.
 //!
-//! The paper's flows are classic loss-based TCP on a shallow-buffered AP:
-//! slow start overshoot fills the AP queue, losses halve cwnd, and the
-//! ACK clock (which HACK piggybacks) drives everything. NewReno's partial
-//! ACK handling matters because an A-MPDU loss burst drops several
-//! segments from one window.
+//! The paper's flows are classic loss-based TCP on a shallow-buffered
+//! AP: slow start overshoot fills the AP queue, losses halve cwnd, and
+//! the ACK clock (which HACK piggybacks) drives everything. NewReno's
+//! partial ACK handling matters because an A-MPDU loss burst drops
+//! several segments from one window. The other algorithms exist to
+//! measure what HACK's held-ACK batching does to senders that pace or
+//! grow from the ACK *arrival process* rather than just its byte count
+//! — the ACK-clock-compression question the paper never examined.
+//!
+//! Trait contract (who calls what, in `conn.rs`):
+//!
+//! * [`CongestionControl::on_ack`] — every cumulative ACK outside
+//!   recovery, with an [`AckContext`] carrying the latest delivery-rate
+//!   sample and smoothed RTT;
+//! * [`CongestionControl::on_triple_dupack`] /
+//!   [`CongestionControl::on_recovery_dupack`] /
+//!   [`CongestionControl::on_partial_ack`] /
+//!   [`CongestionControl::on_full_ack`] — the NewReno-shaped recovery
+//!   epoch machinery (every algorithm participates so the connection's
+//!   retransmission logic stays algorithm-agnostic);
+//! * [`CongestionControl::on_timeout`] — RTO;
+//! * [`CongestionControl::cwnd`] bounds the flight;
+//!   [`CongestionControl::pacing_rate`] (when `Some`) throttles the
+//!   send loop through the connection's deterministic pacer.
+//!
+//! Every implementation honours a `cwnd_cap`
+//! ([`CongestionControl::set_cwnd_cap`]): the connection derives it
+//! from the peer's advertised receive window, which bounds the
+//! otherwise-unbounded congestion-avoidance byte counting of a
+//! receive-window-limited flow (cwnd kept growing one MSS per RTT
+//! forever while the flight stayed clamped at rwnd).
+
+use hack_sim::{SimDuration, SimTime};
 
 /// Congestion-control phases.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -17,6 +48,171 @@ pub enum Phase {
     FastRecovery,
 }
 
+/// Which congestion-control algorithm a sender runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CcKind {
+    /// Byte-counted NewReno (the paper's sender; the default).
+    Reno,
+    /// CUBIC per RFC 8312 (window curve + TCP-friendly region).
+    Cubic,
+    /// HighSpeed-TCP-style AIMD (`cwnd += cwnd^0.4 / cwnd` per ACK).
+    Highspeed,
+    /// BBR-flavoured delivery-rate controller with pacing.
+    Bbr,
+}
+
+impl CcKind {
+    /// Every selectable algorithm, in campaign-axis order.
+    pub const ALL: [CcKind; 4] = [CcKind::Reno, CcKind::Cubic, CcKind::Highspeed, CcKind::Bbr];
+
+    /// Stable lower-case name (campaign labels, CLI).
+    pub fn name(self) -> &'static str {
+        match self {
+            CcKind::Reno => "reno",
+            CcKind::Cubic => "cubic",
+            CcKind::Highspeed => "hstcp",
+            CcKind::Bbr => "bbr",
+        }
+    }
+
+    /// Parse [`CcKind::name`] back into a kind.
+    pub fn parse(s: &str) -> Option<CcKind> {
+        CcKind::ALL.into_iter().find(|k| k.name() == s)
+    }
+
+    /// Construct the algorithm with an initial window of `init_segs`
+    /// segments of `mss` bytes.
+    pub fn build(self, mss: u32, init_segs: u32) -> Box<dyn CongestionControl + Send> {
+        match self {
+            CcKind::Reno => Box::new(NewReno::new(mss, init_segs)),
+            CcKind::Cubic => Box::new(Cubic::new(mss, init_segs)),
+            CcKind::Highspeed => Box::new(Highspeed::new(mss, init_segs)),
+            CcKind::Bbr => Box::new(BbrLite::new(mss, init_segs)),
+        }
+    }
+}
+
+/// One delivery-rate measurement from the connection's per-segment
+/// `delivered` / `delivered_time` sampler.
+///
+/// The interval is `max(send_elapsed, ack_elapsed)` for the sampled
+/// segment, which is what keeps a burst of batched ACKs (HACK's held
+/// ACKs released together, or any ACK compression) from inflating the
+/// bandwidth estimate: the send side of the interval stays real even
+/// when the ACK side collapses to nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RateSample {
+    /// Bytes newly delivered over the interval.
+    pub delivered: u64,
+    /// Sampling interval (never zero).
+    pub interval: SimDuration,
+    /// Exact send→ACK round-trip of the sampled segment.
+    pub rtt: SimDuration,
+}
+
+impl RateSample {
+    /// The sampled delivery rate in bytes per second.
+    pub fn bandwidth(&self) -> u64 {
+        let ns = self.interval.as_nanos();
+        if ns == 0 {
+            return 0;
+        }
+        // delivered * 1e9 / ns, in u128 to dodge overflow.
+        u64::try_from(u128::from(self.delivered) * 1_000_000_000 / u128::from(ns))
+            .unwrap_or(u64::MAX)
+    }
+}
+
+/// Everything a cumulative ACK tells the congestion controller.
+#[derive(Debug, Clone, Copy)]
+pub struct AckContext {
+    /// Simulation time of the ACK.
+    pub now: SimTime,
+    /// Bytes newly acknowledged.
+    pub acked_bytes: u64,
+    /// Bytes still in flight after this ACK.
+    pub flight: u64,
+    /// Smoothed RTT, once the estimator has a sample.
+    pub srtt: Option<SimDuration>,
+    /// Latest delivery-rate sample, once the sampler has one.
+    pub sample: Option<RateSample>,
+}
+
+/// A rate-based controller's reportable state, traced as a
+/// `CcStateChange` event whenever it moves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CcSnapshot {
+    /// Algorithm-specific state id (for [`BbrLite`]: the mode).
+    pub state: u32,
+    /// Current pacing rate in bytes/sec (0 = unpaced).
+    pub pacing_rate: u64,
+    /// Current bandwidth estimate in bytes/sec (0 = none yet).
+    pub bw: u64,
+}
+
+/// A congestion-control algorithm, as seen by the connection.
+pub trait CongestionControl: std::fmt::Debug + Send {
+    /// Current congestion window in bytes.
+    fn cwnd(&self) -> u64;
+
+    /// Current slow-start threshold in bytes.
+    fn ssthresh(&self) -> u64;
+
+    /// Current phase.
+    fn phase(&self) -> Phase;
+
+    /// In fast recovery?
+    fn in_recovery(&self) -> bool {
+        self.phase() == Phase::FastRecovery
+    }
+
+    /// A new cumulative ACK advanced snd.una (recovery exits are
+    /// handled by [`CongestionControl::on_full_ack`] /
+    /// [`CongestionControl::on_partial_ack`]).
+    fn on_ack(&mut self, ctx: &AckContext);
+
+    /// Third duplicate ACK: enter fast recovery. `flight` is the
+    /// current FlightSize in bytes. Returns the new ssthresh.
+    fn on_triple_dupack(&mut self, flight: u64, now: SimTime) -> u64;
+
+    /// A further duplicate ACK during recovery inflates the window.
+    fn on_recovery_dupack(&mut self);
+
+    /// A partial ACK during recovery (NewReno): deflate by the bytes
+    /// acked, add back one MSS, stay in recovery.
+    fn on_partial_ack(&mut self, acked_bytes: u64);
+
+    /// The recovery point was cumulatively ACKed: exit recovery.
+    fn on_full_ack(&mut self, now: SimTime);
+
+    /// Retransmission timeout: collapse the window and restart.
+    fn on_timeout(&mut self, flight: u64, now: SimTime);
+
+    /// Pacing rate in bytes/sec, for algorithms that spread sends
+    /// across the RTT. `None` disables the connection's pacer entirely
+    /// (loss-based algorithms keep their ACK-clocked bursts).
+    fn pacing_rate(&self) -> Option<u64> {
+        None
+    }
+
+    /// Upper bound on cwnd, derived by the connection from the peer's
+    /// advertised receive window. Growth beyond this is pure state
+    /// inflation — the flight is clamped by rwnd anyway.
+    fn set_cwnd_cap(&mut self, cap: u64);
+
+    /// Reportable state for the `CcStateChange` trace event. `None`
+    /// (the default, and NewReno's answer) keeps legacy traces
+    /// byte-identical; rate-based controllers report mode moves that
+    /// are invisible in the cwnd trace.
+    fn snapshot(&self) -> Option<CcSnapshot> {
+        None
+    }
+}
+
+// ---------------------------------------------------------------------
+// NewReno
+// ---------------------------------------------------------------------
+
 /// Byte-based NewReno state.
 #[derive(Debug, Clone)]
 pub struct NewReno {
@@ -26,6 +222,7 @@ pub struct NewReno {
     /// Bytes acked since the last cwnd increment (CA byte counting).
     acked_in_ca: u64,
     phase: Phase,
+    cwnd_cap: u64,
 }
 
 impl NewReno {
@@ -37,35 +234,32 @@ impl NewReno {
             ssthresh: u64::MAX,
             acked_in_ca: 0,
             phase: Phase::SlowStart,
+            cwnd_cap: u64::MAX,
         }
     }
+}
 
-    /// Current congestion window in bytes.
-    pub fn cwnd(&self) -> u64 {
+impl CongestionControl for NewReno {
+    fn cwnd(&self) -> u64 {
         self.cwnd
     }
 
-    /// Current slow-start threshold in bytes.
-    pub fn ssthresh(&self) -> u64 {
+    fn ssthresh(&self) -> u64 {
         self.ssthresh
     }
 
-    /// Current phase.
-    pub fn phase(&self) -> Phase {
+    fn phase(&self) -> Phase {
         self.phase
     }
 
-    /// In fast recovery?
-    pub fn in_recovery(&self) -> bool {
-        self.phase == Phase::FastRecovery
-    }
-
-    /// A new cumulative ACK advanced snd.una by `acked_bytes` (recovery
-    /// exits are handled by [`NewReno::on_full_ack`] /
-    /// [`NewReno::on_partial_ack`]).
-    pub fn on_ack(&mut self, acked_bytes: u64) {
+    fn on_ack(&mut self, ctx: &AckContext) {
+        let acked_bytes = ctx.acked_bytes;
         match self.phase {
             Phase::SlowStart => {
+                // Uncapped: slow start is bounded by ssthresh in any
+                // loss-experiencing flow, and the unbounded-state bug
+                // the cap fixes lives in the CA byte counter below.
+                // (Capping here would also perturb legacy traces.)
                 self.cwnd += acked_bytes.min(u64::from(self.mss));
                 if self.cwnd >= self.ssthresh {
                     self.phase = Phase::CongestionAvoidance;
@@ -73,11 +267,12 @@ impl NewReno {
                 }
             }
             Phase::CongestionAvoidance => {
-                // cwnd += MSS per cwnd of acked bytes.
+                // cwnd += MSS per cwnd of acked bytes, up to the
+                // rwnd-derived cap (growth past it is pure inflation).
                 self.acked_in_ca += acked_bytes;
                 if self.acked_in_ca >= self.cwnd {
                     self.acked_in_ca -= self.cwnd;
-                    self.cwnd += u64::from(self.mss);
+                    self.cwnd = (self.cwnd + u64::from(self.mss)).min(self.cwnd_cap);
                 }
             }
             Phase::FastRecovery => {
@@ -86,25 +281,20 @@ impl NewReno {
         }
     }
 
-    /// Third duplicate ACK: enter fast recovery. `flight` is the current
-    /// FlightSize in bytes. Returns the new ssthresh.
-    pub fn on_triple_dupack(&mut self, flight: u64) -> u64 {
+    fn on_triple_dupack(&mut self, flight: u64, _now: SimTime) -> u64 {
         self.ssthresh = (flight / 2).max(2 * u64::from(self.mss));
         self.cwnd = self.ssthresh + 3 * u64::from(self.mss);
         self.phase = Phase::FastRecovery;
         self.ssthresh
     }
 
-    /// A further duplicate ACK during recovery inflates the window.
-    pub fn on_recovery_dupack(&mut self) {
+    fn on_recovery_dupack(&mut self) {
         if self.phase == Phase::FastRecovery {
             self.cwnd += u64::from(self.mss);
         }
     }
 
-    /// A partial ACK during recovery (NewReno): deflate by the bytes
-    /// acked, add back one MSS, stay in recovery.
-    pub fn on_partial_ack(&mut self, acked_bytes: u64) {
+    fn on_partial_ack(&mut self, acked_bytes: u64) {
         if self.phase == Phase::FastRecovery {
             self.cwnd = self
                 .cwnd
@@ -114,9 +304,7 @@ impl NewReno {
         }
     }
 
-    /// The recovery point was cumulatively ACKed: exit recovery with
-    /// cwnd = ssthresh.
-    pub fn on_full_ack(&mut self) {
+    fn on_full_ack(&mut self, _now: SimTime) {
         if self.phase == Phase::FastRecovery {
             self.cwnd = self.ssthresh.max(2 * u64::from(self.mss));
             self.phase = Phase::CongestionAvoidance;
@@ -124,13 +312,617 @@ impl NewReno {
         }
     }
 
-    /// Retransmission timeout: collapse to one segment, halve ssthresh
-    /// from FlightSize, restart slow start.
-    pub fn on_timeout(&mut self, flight: u64) {
+    fn on_timeout(&mut self, flight: u64, _now: SimTime) {
         self.ssthresh = (flight / 2).max(2 * u64::from(self.mss));
         self.cwnd = u64::from(self.mss);
         self.phase = Phase::SlowStart;
         self.acked_in_ca = 0;
+    }
+
+    fn set_cwnd_cap(&mut self, cap: u64) {
+        self.cwnd_cap = cap.max(2 * u64::from(self.mss));
+    }
+}
+
+// ---------------------------------------------------------------------
+// CUBIC (RFC 8312)
+// ---------------------------------------------------------------------
+
+/// CUBIC constant `C` (RFC 8312 §5).
+const CUBIC_C: f64 = 0.4;
+/// CUBIC multiplicative decrease factor β (RFC 8312 §4.5).
+const CUBIC_BETA: f64 = 0.7;
+
+/// CUBIC per RFC 8312: window grows along `W(t) = C(t−K)³ + W_max`,
+/// concave below the pre-loss window and convex above it, with the
+/// TCP-friendly region (`W_est`) as a floor in small-BDP regimes.
+///
+/// The window is kept as a fractional segment count internally so
+/// sub-MSS growth per ACK accumulates instead of truncating to zero.
+#[derive(Debug, Clone)]
+pub struct Cubic {
+    mss: u32,
+    /// Fractional window in segments (the master copy; `cwnd()` is
+    /// this times MSS, rounded down).
+    w: f64,
+    ssthresh: u64,
+    cwnd_cap: u64,
+    phase: Phase,
+    /// Window (segments) just before the last reduction.
+    w_max: f64,
+    /// Time from epoch start to the plateau, seconds.
+    k: f64,
+    /// Start of the current growth epoch (set on the first CA ACK
+    /// after a reduction).
+    epoch_start: Option<SimTime>,
+    /// TCP-friendly (AIMD) window estimate, segments.
+    w_est: f64,
+}
+
+impl Cubic {
+    /// Initial state: IW = `init_segs` segments, ssthresh unbounded.
+    pub fn new(mss: u32, init_segs: u32) -> Self {
+        Cubic {
+            mss,
+            w: f64::from(init_segs),
+            ssthresh: u64::MAX,
+            cwnd_cap: u64::MAX,
+            phase: Phase::SlowStart,
+            w_max: 0.0,
+            k: 0.0,
+            epoch_start: None,
+            w_est: 0.0,
+        }
+    }
+
+    fn mssf(&self) -> f64 {
+        f64::from(self.mss)
+    }
+
+    fn cap_segs(&self) -> f64 {
+        self.cwnd_cap as f64 / self.mssf()
+    }
+
+    fn clamp_w(&mut self) {
+        let cap = self.cap_segs();
+        if self.w > cap {
+            self.w = cap;
+        }
+        if self.w < 1.0 {
+            self.w = 1.0;
+        }
+    }
+
+    /// Enter a new growth epoch at `now` from the current window.
+    fn begin_epoch(&mut self, now: SimTime) {
+        self.epoch_start = Some(now);
+        if self.w < self.w_max {
+            // K = cbrt((W_max − cwnd) / C): time to climb back to the
+            // plateau (RFC 8312 §4.1).
+            self.k = ((self.w_max - self.w) / CUBIC_C).cbrt();
+        } else {
+            // Already past the old plateau: pure convex probing.
+            self.k = 0.0;
+            self.w_max = self.w;
+        }
+        self.w_est = self.w;
+    }
+
+    /// The multiplicative reduction shared by fast retransmit and RTO.
+    fn reduce(&mut self) {
+        // Fast convergence (RFC 8312 §4.6): a loss below the old
+        // plateau means capacity shrank — release the extra early.
+        self.w_max = if self.w < self.w_max {
+            self.w * (2.0 - CUBIC_BETA) / 2.0
+        } else {
+            self.w
+        };
+        self.ssthresh = ((self.w * CUBIC_BETA * self.mssf()) as u64).max(2 * u64::from(self.mss));
+        self.epoch_start = None;
+    }
+}
+
+impl CongestionControl for Cubic {
+    fn cwnd(&self) -> u64 {
+        ((self.w * self.mssf()) as u64).max(u64::from(self.mss))
+    }
+
+    fn ssthresh(&self) -> u64 {
+        self.ssthresh
+    }
+
+    fn phase(&self) -> Phase {
+        self.phase
+    }
+
+    fn on_ack(&mut self, ctx: &AckContext) {
+        let acked_segs = ctx.acked_bytes as f64 / self.mssf();
+        match self.phase {
+            Phase::SlowStart => {
+                self.w += acked_segs.min(1.0);
+                self.clamp_w();
+                if self.cwnd() >= self.ssthresh {
+                    self.phase = Phase::CongestionAvoidance;
+                    self.begin_epoch(ctx.now);
+                }
+            }
+            Phase::CongestionAvoidance => {
+                if self.epoch_start.is_none() {
+                    self.begin_epoch(ctx.now);
+                }
+                let epoch = self.epoch_start.expect("just set");
+                let rtt = ctx.srtt.unwrap_or(SimDuration::from_millis(100)).as_nanos() as f64 / 1e9;
+                // Target is the curve one RTT ahead (RFC 8312 §4.1).
+                let t = (ctx.now - epoch).as_nanos() as f64 / 1e9 + rtt;
+                let target = CUBIC_C * (t - self.k).powi(3) + self.w_max;
+                // TCP-friendly region (RFC 8312 §4.2): track what AIMD
+                // with the same β would achieve; never grow slower.
+                self.w_est += 3.0 * (1.0 - CUBIC_BETA) / (1.0 + CUBIC_BETA) * acked_segs / self.w;
+                let target = target.max(self.w_est);
+                if target > self.w {
+                    // Close the gap over roughly one RTT of ACKs.
+                    self.w += (target - self.w) / self.w * acked_segs;
+                }
+                self.clamp_w();
+            }
+            Phase::FastRecovery => {}
+        }
+    }
+
+    fn on_triple_dupack(&mut self, _flight: u64, _now: SimTime) -> u64 {
+        self.reduce();
+        self.w = (self.ssthresh / u64::from(self.mss)) as f64 + 3.0;
+        self.phase = Phase::FastRecovery;
+        self.ssthresh
+    }
+
+    fn on_recovery_dupack(&mut self) {
+        if self.phase == Phase::FastRecovery {
+            self.w += 1.0;
+        }
+    }
+
+    fn on_partial_ack(&mut self, acked_bytes: u64) {
+        if self.phase == Phase::FastRecovery {
+            self.w = (self.w - acked_bytes as f64 / self.mssf()).max(1.0) + 1.0;
+        }
+    }
+
+    fn on_full_ack(&mut self, now: SimTime) {
+        if self.phase == Phase::FastRecovery {
+            self.w = (self.ssthresh as f64 / self.mssf()).max(2.0);
+            self.phase = Phase::CongestionAvoidance;
+            self.begin_epoch(now);
+        }
+    }
+
+    fn on_timeout(&mut self, _flight: u64, _now: SimTime) {
+        self.reduce();
+        self.w = 1.0;
+        self.phase = Phase::SlowStart;
+    }
+
+    fn set_cwnd_cap(&mut self, cap: u64) {
+        self.cwnd_cap = cap.max(2 * u64::from(self.mss));
+        self.clamp_w();
+    }
+}
+
+// ---------------------------------------------------------------------
+// HighSpeed-style AIMD
+// ---------------------------------------------------------------------
+
+/// HighSpeed-TCP-style AIMD: per acked segment the window grows by
+/// `max(w^0.4, 1) / w` segments — superlinear in the window, so large
+/// windows recover from a halving in far fewer RTTs than Reno — and a
+/// loss halves it. This is the `Highspeed` controller of sosistab2
+/// rather than RFC 3649's lookup table: one smooth power law with the
+/// same qualitative shape.
+#[derive(Debug, Clone)]
+pub struct Highspeed {
+    mss: u32,
+    /// Fractional window in segments.
+    w: f64,
+    ssthresh: u64,
+    cwnd_cap: u64,
+    phase: Phase,
+    /// Growth multiplier on the `w^0.4` term.
+    multiplier: f64,
+}
+
+impl Highspeed {
+    /// Initial state: IW = `init_segs` segments, ssthresh unbounded.
+    pub fn new(mss: u32, init_segs: u32) -> Self {
+        Highspeed {
+            mss,
+            w: f64::from(init_segs),
+            ssthresh: u64::MAX,
+            cwnd_cap: u64::MAX,
+            phase: Phase::SlowStart,
+            multiplier: 1.0,
+        }
+    }
+
+    fn mssf(&self) -> f64 {
+        f64::from(self.mss)
+    }
+
+    fn clamp_w(&mut self) {
+        let cap = self.cwnd_cap as f64 / self.mssf();
+        if self.w > cap {
+            self.w = cap;
+        }
+        if self.w < 1.0 {
+            self.w = 1.0;
+        }
+    }
+}
+
+impl CongestionControl for Highspeed {
+    fn cwnd(&self) -> u64 {
+        ((self.w * self.mssf()) as u64).max(u64::from(self.mss))
+    }
+
+    fn ssthresh(&self) -> u64 {
+        self.ssthresh
+    }
+
+    fn phase(&self) -> Phase {
+        self.phase
+    }
+
+    fn on_ack(&mut self, ctx: &AckContext) {
+        let acked_segs = ctx.acked_bytes as f64 / self.mssf();
+        match self.phase {
+            Phase::SlowStart => {
+                self.w += acked_segs.min(1.0);
+                self.clamp_w();
+                if self.cwnd() >= self.ssthresh {
+                    self.phase = Phase::CongestionAvoidance;
+                }
+            }
+            Phase::CongestionAvoidance => {
+                // Per acked segment: w += mult · max(w^0.4, 1) / w.
+                self.w += self.multiplier * self.w.powf(0.4).max(1.0) / self.w * acked_segs;
+                self.clamp_w();
+            }
+            Phase::FastRecovery => {}
+        }
+    }
+
+    fn on_triple_dupack(&mut self, _flight: u64, _now: SimTime) -> u64 {
+        // Halve the window (the sosistab2 loss response).
+        self.ssthresh = ((self.w * 0.5 * self.mssf()) as u64).max(2 * u64::from(self.mss));
+        self.w = (self.ssthresh / u64::from(self.mss)) as f64 + 3.0;
+        self.phase = Phase::FastRecovery;
+        self.ssthresh
+    }
+
+    fn on_recovery_dupack(&mut self) {
+        if self.phase == Phase::FastRecovery {
+            self.w += 1.0;
+        }
+    }
+
+    fn on_partial_ack(&mut self, acked_bytes: u64) {
+        if self.phase == Phase::FastRecovery {
+            self.w = (self.w - acked_bytes as f64 / self.mssf()).max(1.0) + 1.0;
+        }
+    }
+
+    fn on_full_ack(&mut self, _now: SimTime) {
+        if self.phase == Phase::FastRecovery {
+            self.w = (self.ssthresh as f64 / self.mssf()).max(2.0);
+            self.phase = Phase::CongestionAvoidance;
+        }
+    }
+
+    fn on_timeout(&mut self, _flight: u64, _now: SimTime) {
+        self.ssthresh = ((self.w * 0.5 * self.mssf()) as u64).max(2 * u64::from(self.mss));
+        self.w = 1.0;
+        self.phase = Phase::SlowStart;
+    }
+
+    fn set_cwnd_cap(&mut self, cap: u64) {
+        self.cwnd_cap = cap.max(2 * u64::from(self.mss));
+        self.clamp_w();
+    }
+}
+
+// ---------------------------------------------------------------------
+// BbrLite
+// ---------------------------------------------------------------------
+
+/// [`BbrLite`]'s mode (the `state` field of its [`CcSnapshot`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BbrMode {
+    /// Exponential rate probing until the bandwidth plateaus.
+    Startup = 0,
+    /// Drain the startup queue down to one BDP.
+    Drain = 1,
+    /// Steady state: cycle pacing gain around 1.0.
+    ProbeBw = 2,
+}
+
+/// Startup pacing/cwnd gain, 2/ln 2 (fills the pipe in log₂(BDP)
+/// round trips).
+const BBR_STARTUP_GAIN: f64 = 2.885;
+/// ProbeBw pacing-gain cycle: probe up, drain, then cruise.
+const BBR_CYCLE: [f64; 8] = [1.25, 0.75, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0];
+/// Bandwidth growth below this ratio counts toward "pipe full".
+const BBR_FULL_BW_THRESH: f64 = 1.25;
+/// Consecutive non-growing samples that declare the pipe full.
+const BBR_FULL_BW_COUNT: u32 = 3;
+/// Bandwidth max-filter window, in min-RTTs.
+const BBR_BW_WINDOW_RTTS: u32 = 10;
+/// min-RTT filter window.
+const BBR_MIN_RTT_WINDOW: SimDuration = SimDuration::from_secs(10);
+
+/// A BBR-flavoured controller: model the path as (bottleneck
+/// bandwidth, min RTT) from the delivery-rate sampler, pace at a gain
+/// on the bandwidth estimate, and hold cwnd near a small multiple of
+/// the BDP.
+///
+/// This is deliberately a *model*, not an RFC-faithful BBR (see
+/// DESIGN.md §9): startup/drain/probe-bw gain cycling is here, but
+/// there is no ProbeRTT state, no round-trip accounting (full-pipe
+/// detection counts samples, not rounds), and loss recovery reuses the
+/// connection's NewReno-shaped epoch machinery with simple packet
+/// conservation. What it shares with real BBR is the property under
+/// test: the sender's rate comes from delivery-rate samples, so
+/// anything that distorts ACK arrival times — HACK's held-ACK batching
+/// above all — feeds straight into its bandwidth model.
+#[derive(Debug, Clone)]
+pub struct BbrLite {
+    mss: u32,
+    cwnd: u64,
+    /// Window restore point across a recovery episode.
+    prior_cwnd: u64,
+    ssthresh: u64,
+    cwnd_cap: u64,
+    mode: BbrMode,
+    in_recovery: bool,
+    /// Windowed-max bandwidth samples: (expiry-relevant stamp, bw).
+    bw_samples: Vec<(SimTime, u64)>,
+    /// Current max-filtered bandwidth estimate, bytes/sec.
+    bw: u64,
+    min_rtt: Option<SimDuration>,
+    min_rtt_stamp: SimTime,
+    /// Best bandwidth seen for full-pipe detection.
+    full_bw: u64,
+    full_bw_count: u32,
+    cycle_index: usize,
+    cycle_stamp: SimTime,
+    pacing: u64,
+}
+
+impl BbrLite {
+    /// Initial state: IW = `init_segs` segments, unpaced until the
+    /// first delivery-rate sample arrives.
+    pub fn new(mss: u32, init_segs: u32) -> Self {
+        BbrLite {
+            mss,
+            cwnd: u64::from(mss) * u64::from(init_segs),
+            prior_cwnd: 0,
+            ssthresh: u64::MAX,
+            cwnd_cap: u64::MAX,
+            mode: BbrMode::Startup,
+            in_recovery: false,
+            bw_samples: Vec::new(),
+            bw: 0,
+            min_rtt: None,
+            min_rtt_stamp: SimTime::ZERO,
+            full_bw: 0,
+            full_bw_count: 0,
+            cycle_index: 0,
+            cycle_stamp: SimTime::ZERO,
+            pacing: 0,
+        }
+    }
+
+    /// Current bandwidth estimate (bytes/sec; 0 = no sample yet).
+    pub fn bw_estimate(&self) -> u64 {
+        self.bw
+    }
+
+    /// Current min-RTT estimate.
+    pub fn min_rtt(&self) -> Option<SimDuration> {
+        self.min_rtt
+    }
+
+    /// Current mode.
+    pub fn mode(&self) -> BbrMode {
+        self.mode
+    }
+
+    fn floor(&self) -> u64 {
+        4 * u64::from(self.mss)
+    }
+
+    /// Bandwidth-delay product in bytes, if the model has both halves.
+    fn bdp(&self) -> Option<u64> {
+        let rtt = self.min_rtt?;
+        if self.bw == 0 {
+            return None;
+        }
+        Some(
+            u64::try_from(u128::from(self.bw) * u128::from(rtt.as_nanos()) / 1_000_000_000)
+                .unwrap_or(u64::MAX),
+        )
+    }
+
+    fn pacing_gain(&self) -> f64 {
+        match self.mode {
+            BbrMode::Startup => BBR_STARTUP_GAIN,
+            BbrMode::Drain => 1.0 / BBR_STARTUP_GAIN,
+            BbrMode::ProbeBw => BBR_CYCLE[self.cycle_index],
+        }
+    }
+
+    fn cwnd_gain(&self) -> f64 {
+        match self.mode {
+            BbrMode::Startup | BbrMode::Drain => BBR_STARTUP_GAIN,
+            BbrMode::ProbeBw => 2.0,
+        }
+    }
+
+    fn absorb_sample(&mut self, s: &RateSample, now: SimTime) {
+        // min-RTT windowed min: take a new floor immediately, expire
+        // the old one after the window.
+        let expired = now >= self.min_rtt_stamp + BBR_MIN_RTT_WINDOW;
+        if expired || self.min_rtt.is_none_or(|m| s.rtt <= m) {
+            self.min_rtt = Some(s.rtt);
+            self.min_rtt_stamp = now;
+        }
+        // Bandwidth windowed max over ~10 min-RTTs (1 s floor keeps
+        // the window sane before the RTT model settles).
+        let window = self
+            .min_rtt
+            .map(|m| m * BBR_BW_WINDOW_RTTS.into())
+            .unwrap_or(SimDuration::from_secs(1))
+            .max(SimDuration::from_millis(100));
+        let bw = s.bandwidth();
+        self.bw_samples.push((now, bw));
+        self.bw_samples.retain(|&(t, _)| now - t <= window);
+        self.bw = self.bw_samples.iter().map(|&(_, b)| b).max().unwrap_or(0);
+    }
+
+    fn advance_machine(&mut self, flight: u64, now: SimTime) {
+        match self.mode {
+            BbrMode::Startup => {
+                // Full-pipe detection: bandwidth stopped growing by
+                // ≥25% for three consecutive samples.
+                if self.bw as f64 >= self.full_bw as f64 * BBR_FULL_BW_THRESH {
+                    self.full_bw = self.bw;
+                    self.full_bw_count = 0;
+                } else if self.bw > 0 {
+                    self.full_bw_count += 1;
+                    if self.full_bw_count >= BBR_FULL_BW_COUNT {
+                        self.mode = BbrMode::Drain;
+                    }
+                }
+            }
+            BbrMode::Drain => {
+                if self.bdp().is_some_and(|bdp| flight <= bdp) {
+                    self.mode = BbrMode::ProbeBw;
+                    self.cycle_index = 0;
+                    self.cycle_stamp = now;
+                }
+            }
+            BbrMode::ProbeBw => {
+                let rtt = self.min_rtt.unwrap_or(SimDuration::from_millis(100));
+                if now - self.cycle_stamp >= rtt {
+                    self.cycle_index = (self.cycle_index + 1) % BBR_CYCLE.len();
+                    self.cycle_stamp = now;
+                }
+            }
+        }
+    }
+
+    fn update_rate_and_cwnd(&mut self, acked: u64) {
+        if self.bw > 0 {
+            self.pacing = (self.pacing_gain() * self.bw as f64) as u64;
+        }
+        let target = match self.bdp() {
+            Some(bdp) => ((self.cwnd_gain() * bdp as f64) as u64).max(self.floor()),
+            None => 0,
+        };
+        if target == 0 || self.mode == BbrMode::Startup {
+            // No model yet, or still probing: keep exponential growth
+            // so the pipe (and the sampler) gets fed.
+            self.cwnd = (self.cwnd + acked).max(target);
+        } else if target > self.cwnd {
+            // Approach the target smoothly, one acked chunk at a time.
+            self.cwnd = (self.cwnd + acked).min(target);
+        } else {
+            self.cwnd = target;
+        }
+        self.cwnd = self.cwnd.min(self.cwnd_cap).max(self.floor());
+    }
+}
+
+impl CongestionControl for BbrLite {
+    fn cwnd(&self) -> u64 {
+        self.cwnd
+    }
+
+    fn ssthresh(&self) -> u64 {
+        self.ssthresh
+    }
+
+    fn phase(&self) -> Phase {
+        if self.in_recovery {
+            Phase::FastRecovery
+        } else if self.mode == BbrMode::Startup {
+            Phase::SlowStart
+        } else {
+            Phase::CongestionAvoidance
+        }
+    }
+
+    fn on_ack(&mut self, ctx: &AckContext) {
+        if let Some(s) = ctx.sample {
+            self.absorb_sample(&s, ctx.now);
+            self.advance_machine(ctx.flight, ctx.now);
+        }
+        self.update_rate_and_cwnd(ctx.acked_bytes);
+    }
+
+    fn on_triple_dupack(&mut self, flight: u64, _now: SimTime) -> u64 {
+        // BBR does not treat loss as a capacity signal; enter the
+        // connection's recovery epoch with packet conservation and
+        // restore the window on exit.
+        self.prior_cwnd = self.cwnd;
+        self.ssthresh = flight.max(self.floor());
+        self.cwnd = flight.max(self.floor());
+        self.in_recovery = true;
+        self.ssthresh
+    }
+
+    fn on_recovery_dupack(&mut self) {
+        if self.in_recovery {
+            self.cwnd = (self.cwnd + u64::from(self.mss)).min(self.cwnd_cap);
+        }
+    }
+
+    fn on_partial_ack(&mut self, acked_bytes: u64) {
+        if self.in_recovery {
+            self.cwnd =
+                self.cwnd.saturating_sub(acked_bytes).max(self.floor()) + u64::from(self.mss);
+        }
+    }
+
+    fn on_full_ack(&mut self, _now: SimTime) {
+        if self.in_recovery {
+            self.in_recovery = false;
+            self.cwnd = self.prior_cwnd.max(self.floor()).min(self.cwnd_cap);
+        }
+    }
+
+    fn on_timeout(&mut self, _flight: u64, _now: SimTime) {
+        // Conservative RTO response; the path model (bw filter,
+        // min-RTT) survives — one RTO should not forget the pipe.
+        self.prior_cwnd = self.cwnd;
+        self.ssthresh = self.cwnd.max(self.floor());
+        self.cwnd = u64::from(self.mss);
+        self.in_recovery = false;
+    }
+
+    fn pacing_rate(&self) -> Option<u64> {
+        (self.pacing > 0).then_some(self.pacing)
+    }
+
+    fn set_cwnd_cap(&mut self, cap: u64) {
+        self.cwnd_cap = cap.max(2 * u64::from(self.mss));
+        self.cwnd = self.cwnd.min(self.cwnd_cap);
+    }
+
+    fn snapshot(&self) -> Option<CcSnapshot> {
+        Some(CcSnapshot {
+            state: self.mode as u32,
+            pacing_rate: self.pacing,
+            bw: self.bw,
+        })
     }
 }
 
@@ -140,6 +932,16 @@ mod tests {
 
     const MSS: u32 = 1460;
 
+    fn ack(cc: &mut dyn CongestionControl, bytes: u64) {
+        cc.on_ack(&AckContext {
+            now: SimTime::ZERO,
+            acked_bytes: bytes,
+            flight: 0,
+            srtt: None,
+            sample: None,
+        });
+    }
+
     #[test]
     fn slow_start_doubles_per_rtt() {
         let mut cc = NewReno::new(MSS, 2);
@@ -148,7 +950,7 @@ mod tests {
         // Acking a full window in MSS chunks doubles cwnd.
         let w = cc.cwnd();
         for _ in 0..(w / u64::from(MSS)) {
-            cc.on_ack(u64::from(MSS));
+            ack(&mut cc, u64::from(MSS));
         }
         assert_eq!(cc.cwnd(), 2 * w);
     }
@@ -156,14 +958,14 @@ mod tests {
     #[test]
     fn ca_adds_one_mss_per_rtt() {
         let mut cc = NewReno::new(MSS, 2);
-        cc.on_triple_dupack(100 * u64::from(MSS));
-        cc.on_full_ack(); // now in CA with cwnd = ssthresh = 50 MSS
+        cc.on_triple_dupack(100 * u64::from(MSS), SimTime::ZERO);
+        cc.on_full_ack(SimTime::ZERO); // now in CA with cwnd = ssthresh = 50 MSS
         let w = cc.cwnd();
         assert_eq!(cc.phase(), Phase::CongestionAvoidance);
         // One window's worth of ACKs adds exactly one MSS.
         let mut acked = 0;
         while acked < w {
-            cc.on_ack(u64::from(MSS));
+            ack(&mut cc, u64::from(MSS));
             acked += u64::from(MSS);
         }
         assert!(cc.cwnd() >= w + u64::from(MSS));
@@ -174,7 +976,7 @@ mod tests {
     fn triple_dupack_halves() {
         let mut cc = NewReno::new(MSS, 2);
         let flight = 64 * u64::from(MSS);
-        let ss = cc.on_triple_dupack(flight);
+        let ss = cc.on_triple_dupack(flight, SimTime::ZERO);
         assert_eq!(ss, 32 * u64::from(MSS));
         assert_eq!(cc.cwnd(), 32 * u64::from(MSS) + 3 * u64::from(MSS));
         assert!(cc.in_recovery());
@@ -183,18 +985,18 @@ mod tests {
     #[test]
     fn ssthresh_floor_is_two_mss() {
         let mut cc = NewReno::new(MSS, 2);
-        let ss = cc.on_triple_dupack(u64::from(MSS));
+        let ss = cc.on_triple_dupack(u64::from(MSS), SimTime::ZERO);
         assert_eq!(ss, 2 * u64::from(MSS));
     }
 
     #[test]
     fn recovery_inflation_and_exit() {
         let mut cc = NewReno::new(MSS, 2);
-        cc.on_triple_dupack(10 * u64::from(MSS));
+        cc.on_triple_dupack(10 * u64::from(MSS), SimTime::ZERO);
         let w = cc.cwnd();
         cc.on_recovery_dupack();
         assert_eq!(cc.cwnd(), w + u64::from(MSS));
-        cc.on_full_ack();
+        cc.on_full_ack(SimTime::ZERO);
         assert_eq!(cc.cwnd(), cc.ssthresh());
         assert_eq!(cc.phase(), Phase::CongestionAvoidance);
     }
@@ -202,7 +1004,7 @@ mod tests {
     #[test]
     fn partial_ack_deflates_and_stays_in_recovery() {
         let mut cc = NewReno::new(MSS, 2);
-        cc.on_triple_dupack(20 * u64::from(MSS));
+        cc.on_triple_dupack(20 * u64::from(MSS), SimTime::ZERO);
         let w = cc.cwnd();
         cc.on_partial_ack(2 * u64::from(MSS));
         assert!(cc.in_recovery());
@@ -212,8 +1014,8 @@ mod tests {
     #[test]
     fn timeout_collapses_to_one_mss() {
         let mut cc = NewReno::new(MSS, 10);
-        cc.on_ack(u64::from(MSS) * 5);
-        cc.on_timeout(40 * u64::from(MSS));
+        ack(&mut cc, u64::from(MSS) * 5);
+        cc.on_timeout(40 * u64::from(MSS), SimTime::ZERO);
         assert_eq!(cc.cwnd(), u64::from(MSS));
         assert_eq!(cc.ssthresh(), 20 * u64::from(MSS));
         assert_eq!(cc.phase(), Phase::SlowStart);
@@ -222,11 +1024,58 @@ mod tests {
     #[test]
     fn slow_start_transitions_to_ca_at_ssthresh() {
         let mut cc = NewReno::new(MSS, 2);
-        cc.on_timeout(16 * u64::from(MSS)); // ssthresh = 8 MSS, cwnd = 1
+        cc.on_timeout(16 * u64::from(MSS), SimTime::ZERO); // ssthresh = 8 MSS, cwnd = 1
         for _ in 0..20 {
-            cc.on_ack(u64::from(MSS));
+            ack(&mut cc, u64::from(MSS));
         }
         assert_eq!(cc.phase(), Phase::CongestionAvoidance);
         assert!(cc.cwnd() >= cc.ssthresh());
+    }
+
+    #[test]
+    fn cwnd_cap_saturates_ca_byte_counting() {
+        // The unbounded-CA-growth fix: a receive-window-limited flow
+        // must stop inflating cwnd at the rwnd-derived cap.
+        let cap = 10 * u64::from(MSS);
+        let mut cc = NewReno::new(MSS, 2);
+        cc.set_cwnd_cap(cap);
+        cc.on_triple_dupack(8 * u64::from(MSS), SimTime::ZERO);
+        cc.on_full_ack(SimTime::ZERO); // CA at 4 MSS
+        assert_eq!(cc.phase(), Phase::CongestionAvoidance);
+        // Years of ACKs: cwnd pins at the cap instead of growing an
+        // MSS per window forever.
+        for _ in 0..100_000 {
+            ack(&mut cc, u64::from(MSS));
+        }
+        assert_eq!(cc.cwnd(), cap);
+    }
+
+    #[test]
+    fn cap_applies_to_every_algorithm() {
+        let cap = 8 * u64::from(MSS);
+        for kind in CcKind::ALL {
+            let mut cc = kind.build(MSS, 2);
+            cc.set_cwnd_cap(cap);
+            // Leave slow start via a timeout (finite ssthresh), then
+            // pour ACKs in congestion avoidance.
+            cc.on_timeout(4 * u64::from(MSS), SimTime::ZERO);
+            for _ in 0..50_000 {
+                ack(cc.as_mut(), u64::from(MSS));
+            }
+            assert!(
+                cc.cwnd() <= cap,
+                "{}: cwnd {} exceeds cap {cap}",
+                kind.name(),
+                cc.cwnd()
+            );
+        }
+    }
+
+    #[test]
+    fn kind_names_round_trip() {
+        for kind in CcKind::ALL {
+            assert_eq!(CcKind::parse(kind.name()), Some(kind));
+        }
+        assert_eq!(CcKind::parse("vegas"), None);
     }
 }

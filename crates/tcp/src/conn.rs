@@ -1,4 +1,4 @@
-//! A sans-IO TCP connection endpoint: handshake, NewReno congestion
+//! A sans-IO TCP connection endpoint: handshake, pluggable congestion
 //! control, RTO retransmission, delayed ACKs, timestamps and SACK
 //! generation.
 //!
@@ -9,10 +9,20 @@
 //! recovery, and RFC 6298 timeouts. These dynamics are precisely what
 //! the HACK paper's cross-layer pathologies (§3.2, §3.4) interact with,
 //! so they are modelled faithfully.
+//!
+//! Congestion control is a [`CongestionControl`] trait object selected
+//! by [`TcpConfig::cc`]. The connection feeds it a per-segment
+//! delivery-rate sampler (the BBR draft's `delivered`/`delivered_time`
+//! algorithm) and honours its optional pacing rate through a
+//! deterministic sim-time pacer: segment release times are computed
+//! with integer arithmetic from the rate, so identical seeds still
+//! yield identical traces.
+
+use std::collections::VecDeque;
 
 use hack_sim::{SimDuration, SimTime};
 
-use crate::cc::NewReno;
+use crate::cc::{AckContext, CcKind, CcSnapshot, CongestionControl, RateSample};
 use crate::rto::RtoEstimator;
 use crate::seq::TcpSeq;
 use crate::wire::{flags, FiveTuple, Ipv4Packet, TcpOption, TcpOptions, TcpSegment, Transport};
@@ -40,6 +50,8 @@ pub struct TcpConfig {
     pub min_rto: SimDuration,
     /// Maximum retransmission timeout.
     pub max_rto: SimDuration,
+    /// Congestion-control algorithm.
+    pub cc: CcKind,
 }
 
 impl Default for TcpConfig {
@@ -55,6 +67,7 @@ impl Default for TcpConfig {
             use_sack: true,
             min_rto: SimDuration::from_millis(200),
             max_rto: SimDuration::from_secs(60),
+            cc: CcKind::Reno,
         }
     }
 }
@@ -92,6 +105,30 @@ pub struct TcpStats {
     pub bytes_delivered: u64,
     /// Payload bytes cumulatively acknowledged by the peer.
     pub bytes_acked: u64,
+    /// RTT measurements taken by the delivery-rate sampler (Karn-safe:
+    /// retransmitted segments never contribute).
+    pub rtt_samples: u64,
+    /// Sum of those RTT samples in microseconds; the mean RTT is
+    /// `rtt_sum_us / rtt_samples`.
+    pub rtt_sum_us: u64,
+}
+
+/// One sent segment's sampler bookkeeping (the BBR draft's per-packet
+/// `P.*` snapshot), kept until the segment is cumulatively ACKed.
+#[derive(Debug, Clone, Copy)]
+struct SegRecord {
+    /// One past the segment's last sequence number.
+    end: TcpSeq,
+    /// When this segment was (first) sent.
+    sent_at: SimTime,
+    /// Connection `delivered` at send time.
+    delivered_at_send: u64,
+    /// Connection `delivered_time` at send time.
+    delivered_time_at_send: SimTime,
+    /// Connection `first_sent_time` at send time.
+    first_sent_at: SimTime,
+    /// Retransmitted since: excluded from rate/RTT sampling (Karn).
+    retransmitted: bool,
 }
 
 /// How much the application wants to send.
@@ -121,9 +158,11 @@ pub struct Connection {
     snd_max: TcpSeq,
     /// Peer's advertised window (scaled to bytes).
     snd_wnd: u64,
+    /// Largest window the peer has ever advertised (cwnd-cap input).
+    max_peer_wnd: u64,
     peer_wscale: u8,
     peer_mss: u32,
-    cc: NewReno,
+    cc: Box<dyn CongestionControl + Send>,
     rto: RtoEstimator,
     rto_deadline: Option<SimTime>,
     dupacks: u32,
@@ -139,6 +178,27 @@ pub struct Connection {
     /// Consecutive established-state RTOs with no intervening forward
     /// ACK progress — the supervisor's ACK-clock-stall signal.
     rto_streak: u32,
+
+    // ---- delivery-rate sampler (BBR draft, per-segment) ----
+    /// Total payload bytes cumulatively delivered (`C.delivered`).
+    delivered: u64,
+    /// When `delivered` last advanced (`C.delivered_time`).
+    delivered_time: SimTime,
+    /// Send time anchoring the current sampling epoch
+    /// (`C.first_sent_time`).
+    first_sent_time: SimTime,
+    /// Per-segment send records awaiting cumulative acknowledgment.
+    seg_records: VecDeque<SegRecord>,
+    /// Most recent delivery-rate sample.
+    last_sample: Option<RateSample>,
+
+    // ---- pacer ----
+    /// Earliest time the pacer releases the next segment.
+    pace_next: SimTime,
+    /// Armed when pacing (not window/data) is what blocked `poll_send`.
+    pace_deadline: Option<SimTime>,
+    /// Last traced controller snapshot (change detection).
+    last_cc_snap: Option<CcSnapshot>,
 
     // ---- receive side ----
     rcv_nxt: TcpSeq,
@@ -186,7 +246,7 @@ impl Connection {
     fn new(cfg: TcpConfig, tuple: FiveTuple, iss: u32) -> Self {
         let iss = TcpSeq(iss);
         Connection {
-            cc: NewReno::new(cfg.mss, cfg.init_cwnd_segs),
+            cc: cfg.cc.build(cfg.mss, cfg.init_cwnd_segs),
             rto: RtoEstimator::new(cfg.min_rto, cfg.max_rto),
             cfg,
             state: TcpState::Listen,
@@ -197,6 +257,7 @@ impl Connection {
             snd_nxt: iss,
             snd_max: iss,
             snd_wnd: 65_535,
+            max_peer_wnd: 0,
             peer_wscale: 0,
             peer_mss: 536,
             rto_deadline: None,
@@ -206,6 +267,14 @@ impl Connection {
             rtx_next: iss,
             budget: SendBudget::None,
             rto_streak: 0,
+            delivered: 0,
+            delivered_time: SimTime::ZERO,
+            first_sent_time: SimTime::ZERO,
+            seg_records: VecDeque::new(),
+            last_sample: None,
+            pace_next: SimTime::ZERO,
+            pace_deadline: None,
+            last_cc_snap: None,
             rcv_nxt: TcpSeq(0),
             ooo: Vec::new(),
             delack_segments: 0,
@@ -228,17 +297,33 @@ impl Connection {
     }
 
     /// Emit a cwnd/ssthresh sample if congestion state moved since
-    /// `prev = (cwnd, ssthresh)`.
-    fn trace_cc(&self, prev: (u64, u64), now: SimTime) {
-        if self.trace.enabled() {
-            let cur = (self.cc.cwnd(), self.cc.ssthresh());
-            if cur != prev {
+    /// `prev = (cwnd, ssthresh)`, plus a `CcStateChange` when a
+    /// rate-based controller's reportable state moved.
+    fn trace_cc(&mut self, prev: (u64, u64), now: SimTime) {
+        if !self.trace.enabled() {
+            return;
+        }
+        let cur = (self.cc.cwnd(), self.cc.ssthresh());
+        if cur != prev {
+            self.trace.emit(
+                now.as_nanos(),
+                self.trace_node,
+                hack_trace::Event::TcpCwnd {
+                    cwnd: cur.0,
+                    ssthresh: cur.1,
+                },
+            );
+        }
+        if let Some(snap) = self.cc.snapshot() {
+            if self.last_cc_snap != Some(snap) {
+                self.last_cc_snap = Some(snap);
                 self.trace.emit(
                     now.as_nanos(),
                     self.trace_node,
-                    hack_trace::Event::TcpCwnd {
-                        cwnd: cur.0,
-                        ssthresh: cur.1,
+                    hack_trace::Event::CcStateChange {
+                        state: snap.state,
+                        pacing: snap.pacing_rate,
+                        bw: snap.bw,
                     },
                 );
             }
@@ -271,6 +356,23 @@ impl Connection {
     /// Current congestion window in bytes.
     pub fn cwnd(&self) -> u64 {
         self.cc.cwnd()
+    }
+
+    /// The congestion controller (read-only).
+    pub fn congestion_control(&self) -> &dyn CongestionControl {
+        self.cc.as_ref()
+    }
+
+    /// Total payload bytes the delivery-rate sampler has counted as
+    /// delivered (monotone non-decreasing).
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Most recent delivery-rate sample, if the sampler has produced
+    /// one.
+    pub fn last_rate_sample(&self) -> Option<RateSample> {
+        self.last_sample
     }
 
     /// Bytes in flight.
@@ -306,10 +408,100 @@ impl Connection {
 
     /// Earliest pending timer deadline, if any.
     pub fn next_timer(&self) -> Option<SimTime> {
-        match (self.rto_deadline, self.delack_deadline) {
-            (Some(a), Some(b)) => Some(a.min(b)),
-            (a, b) => a.or(b),
+        [self.rto_deadline, self.delack_deadline, self.pace_deadline]
+            .into_iter()
+            .flatten()
+            .min()
+    }
+
+    // ---- delivery-rate sampler -----------------------------------------
+
+    /// Record the peer's advertised window and refresh the controller's
+    /// cwnd cap when it grows: cwnd beyond ~2× the largest window the
+    /// peer has ever offered can never convert into flight, so letting
+    /// it grow further is pure state inflation.
+    fn note_peer_wnd(&mut self, wnd: u64) {
+        self.snd_wnd = wnd;
+        if wnd > self.max_peer_wnd {
+            self.max_peer_wnd = wnd;
+            let cap = (2 * wnd).max(4 * u64::from(self.cfg.mss));
+            self.cc.set_cwnd_cap(cap);
         }
+    }
+
+    /// Bookkeep a freshly sent (never-before-transmitted) segment.
+    fn note_sent(&mut self, seq: TcpSeq, len: u32, now: SimTime) {
+        if self.snd_una == self.snd_max {
+            // Pipe was empty: restart the delivery-rate clock so idle
+            // gaps never count as sampling interval.
+            self.first_sent_time = now;
+            self.delivered_time = now;
+        }
+        self.seg_records.push_back(SegRecord {
+            end: seq + len,
+            sent_at: now,
+            delivered_at_send: self.delivered,
+            delivered_time_at_send: self.delivered_time,
+            first_sent_at: self.first_sent_time,
+            retransmitted: false,
+        });
+    }
+
+    /// Mark sampler records overlapping `[start, end)` as retransmitted
+    /// (Karn: an eventual ACK can't be attributed to one transmission).
+    fn mark_retransmitted(&mut self, start: TcpSeq, end: TcpSeq) {
+        // Records only store their end; original sends and
+        // retransmissions share the same MSS split, so a record is
+        // covered exactly when its end falls in (start, end].
+        for r in &mut self.seg_records {
+            if r.end.gt(start) && r.end.le(end) {
+                r.retransmitted = true;
+            }
+        }
+    }
+
+    /// Advance the sampler for a cumulative ACK up to `ack` covering
+    /// `acked` new bytes; returns a delivery-rate sample when one can
+    /// be taken.
+    ///
+    /// The interval is `max(send_elapsed, ack_elapsed)` per the BBR
+    /// delivery-rate draft: when HACK (or any ACK compression) releases
+    /// a burst of held ACKs at one instant, `ack_elapsed` collapses but
+    /// `send_elapsed` still spans the real transmission times, so the
+    /// bandwidth estimate cannot inflate above the send rate.
+    fn sample_on_ack(&mut self, ack: TcpSeq, acked: u64, now: SimTime) -> Option<RateSample> {
+        self.delivered += acked;
+        self.delivered_time = now;
+        let mut best: Option<SegRecord> = None;
+        while let Some(front) = self.seg_records.front() {
+            if !front.end.le(ack) {
+                break;
+            }
+            let r = self.seg_records.pop_front().expect("front exists");
+            if !r.retransmitted {
+                // Keep the newest fully-ACKed, never-retransmitted
+                // record as the sampled segment P.
+                best = Some(r);
+            }
+        }
+        let p = best?;
+        self.first_sent_time = p.sent_at;
+        let send_elapsed = p.sent_at.saturating_duration_since(p.first_sent_at);
+        let ack_elapsed = now.saturating_duration_since(p.delivered_time_at_send);
+        let interval = send_elapsed.max(ack_elapsed);
+        if interval.is_zero() {
+            return None;
+        }
+        let rtt = now.saturating_duration_since(p.sent_at);
+        let sample = RateSample {
+            delivered: self.delivered - p.delivered_at_send,
+            interval,
+            rtt,
+        };
+        self.stats.rtt_samples += 1;
+        self.stats.rtt_sum_us += rtt.as_micros();
+        self.last_sample = Some(sample);
+        Some(sample)
     }
 
     // ---- segment construction ------------------------------------------
@@ -401,6 +593,9 @@ impl Connection {
         self.stats.data_segments_sent += 1;
         if seq.lt(self.snd_max) {
             self.stats.retransmits += 1;
+            self.mark_retransmitted(seq, seq + len);
+        } else {
+            self.note_sent(seq, len, now);
         }
         let seg = TcpSegment {
             src_port: self.tuple.src_port,
@@ -433,6 +628,7 @@ impl Connection {
         if self.state != TcpState::Established {
             return Vec::new();
         }
+        self.pace_deadline = None;
         let mut out = Vec::new();
         loop {
             let window = self.cc.cwnd().min(self.snd_wnd);
@@ -457,6 +653,21 @@ impl Connection {
                 .min(u64::from(self.cfg.mss.min(self.peer_mss))) as u32;
             if len == 0 {
                 break;
+            }
+            // Deterministic pacer: when the controller asks for a rate,
+            // no segment is released before its scheduled slot. The
+            // slot arithmetic is integer-exact, so pacing preserves
+            // trace determinism.
+            if let Some(rate) = self.cc.pacing_rate() {
+                if rate > 0 {
+                    if now < self.pace_next {
+                        self.pace_deadline = Some(self.pace_next);
+                        break;
+                    }
+                    let gap_ns = (u128::from(len) * 1_000_000_000).div_ceil(u128::from(rate));
+                    let gap = SimDuration::from_nanos(u64::try_from(gap_ns).unwrap_or(u64::MAX));
+                    self.pace_next = self.pace_next.max(now).saturating_add(gap);
+                }
             }
             let seq = self.snd_nxt;
             out.push(self.make_data(seq, len, now));
@@ -529,7 +740,7 @@ impl Connection {
         self.learn_peer_options(seg);
         self.rcv_nxt = seg.seq + 1;
         self.snd_una = seg.ack;
-        self.snd_wnd = u64::from(seg.window) << self.peer_wscale;
+        self.note_peer_wnd(u64::from(seg.window) << self.peer_wscale);
         self.state = TcpState::Established;
         self.rto_deadline = None;
         let mut out = vec![self.make_ack(now)];
@@ -542,7 +753,7 @@ impl Connection {
             return Vec::new();
         }
         self.snd_una = seg.ack;
-        self.snd_wnd = u64::from(seg.window) << self.peer_wscale;
+        self.note_peer_wnd(u64::from(seg.window) << self.peer_wscale);
         self.state = TcpState::Established;
         self.rto_deadline = None;
         if let Some((tsval, _)) = seg.timestamps() {
@@ -684,10 +895,12 @@ impl Connection {
                 self.snd_nxt = self.snd_una;
             }
             self.stats.bytes_acked += acked;
-            self.snd_wnd = new_wnd;
+            self.note_peer_wnd(new_wnd);
             self.trim_sack();
 
-            // RTT sample from the timestamp echo.
+            // RTT sample from the timestamp echo (feeds the RTO
+            // estimator; the sampler's per-segment RTT feeds the
+            // congestion controller and stats, never the RTO).
             if let Some((_, tsecr)) = seg.timestamps() {
                 if tsecr != 0 {
                     let rtt_ms = now_ms(now).wrapping_sub(tsecr);
@@ -698,10 +911,12 @@ impl Connection {
                 }
             }
 
+            let sample = self.sample_on_ack(ack, acked, now);
+
             let cc_prev = (self.cc.cwnd(), self.cc.ssthresh());
             if self.cc.in_recovery() {
                 if ack.ge(self.recover) {
-                    self.cc.on_full_ack();
+                    self.cc.on_full_ack(now);
                     self.dupacks = 0;
                     self.sacked.clear();
                 } else {
@@ -727,7 +942,14 @@ impl Connection {
                 }
             } else {
                 self.dupacks = 0;
-                self.cc.on_ack(acked);
+                let ctx = AckContext {
+                    now,
+                    acked_bytes: acked,
+                    flight: self.flight(),
+                    srtt: self.rto.srtt(),
+                    sample,
+                };
+                self.cc.on_ack(&ctx);
             }
             self.trace_cc(cc_prev, now);
 
@@ -753,7 +975,7 @@ impl Connection {
                 self.sack_retransmit(now, &mut out);
             } else if self.dupacks == 3 {
                 self.recover = self.snd_max;
-                self.cc.on_triple_dupack(self.flight());
+                self.cc.on_triple_dupack(self.flight(), now);
                 self.stats.fast_retransmits += 1;
                 let len = self
                     .cfg
@@ -775,7 +997,7 @@ impl Connection {
             self.trace_cc(cc_prev, now);
         } else {
             // Window update or stale ACK.
-            self.snd_wnd = new_wnd;
+            self.note_peer_wnd(new_wnd);
         }
 
         out.extend(self.poll_send(now));
@@ -909,7 +1131,7 @@ impl Connection {
                             self.rto_streak += 1;
                             self.rto.on_timeout();
                             let cc_prev = (self.cc.cwnd(), self.cc.ssthresh());
-                            self.cc.on_timeout(self.flight());
+                            self.cc.on_timeout(self.flight(), now);
                             if self.trace.enabled() {
                                 self.trace.emit(
                                     now.as_nanos(),
@@ -923,6 +1145,11 @@ impl Connection {
                             self.dupacks = 0;
                             self.sacked.clear();
                             self.rtx_next = self.snd_una;
+                            // The whole flight will be resent: none of
+                            // its records may produce rate/RTT samples.
+                            for r in &mut self.seg_records {
+                                r.retransmitted = true;
+                            }
                             // Go-back: rewind snd_nxt and resend from una.
                             self.snd_nxt = self.snd_una;
                             self.rto_deadline = Some(now + self.rto.rto());
@@ -935,6 +1162,14 @@ impl Connection {
                         self.rto_deadline = None;
                     }
                 }
+            }
+        }
+
+        if let Some(dl) = self.pace_deadline {
+            if dl <= now {
+                // The pacer's slot arrived: release what it allows
+                // (poll_send clears and possibly re-arms the deadline).
+                out.extend(self.poll_send(now));
             }
         }
 

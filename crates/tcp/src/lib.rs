@@ -1,11 +1,12 @@
 //! # hack-tcp — sans-IO TCP stack
 //!
 //! A from-scratch TCP sufficient to reproduce the paper's traffic
-//! dynamics: three-way handshake, NewReno congestion control ([`cc`]),
-//! RFC 6298 retransmission timeouts ([`rto`]), delayed ACKs, RFC 7323
-//! timestamps and SACK generation, with **byte-exact header
-//! serialization** ([`wire`]) so the ROHC compressor in `hack-rohc`
-//! operates on genuine wire bytes.
+//! dynamics: three-way handshake, pluggable congestion control ([`cc`]:
+//! NewReno, CUBIC, HighSpeed-style AIMD, and a BBR-flavoured
+//! delivery-rate controller), RFC 6298 retransmission timeouts
+//! ([`rto`]), delayed ACKs, RFC 7323 timestamps and SACK generation,
+//! with **byte-exact header serialization** ([`wire`]) so the ROHC
+//! compressor in `hack-rohc` operates on genuine wire bytes.
 //!
 //! Payload contents are synthetic (only lengths travel), which is
 //! exactly what a network simulator needs and lets retransmission work
@@ -22,7 +23,10 @@ pub mod rto;
 pub mod seq;
 pub mod wire;
 
-pub use cc::{NewReno, Phase};
+pub use cc::{
+    AckContext, BbrLite, BbrMode, CcKind, CcSnapshot, CongestionControl, Cubic, Highspeed, NewReno,
+    Phase, RateSample,
+};
 pub use conn::{Connection, SendBudget, TcpConfig, TcpState, TcpStats};
 pub use rto::RtoEstimator;
 pub use seq::TcpSeq;

@@ -1,0 +1,201 @@
+//! Property tests for the RFC 6298 RTO estimator, plus the connection's
+//! Karn rule: a retransmitted segment's ACK never feeds an RTT sample.
+
+use hack_sim::{SimDuration, SimTime};
+use hack_tcp::{
+    CcKind, Connection, FiveTuple, Ipv4Addr, Ipv4Packet, RtoEstimator, SendBudget, TcpConfig,
+    TcpSegment, Transport,
+};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone, Copy)]
+enum RtoOp {
+    /// An RTT measurement in microseconds.
+    Measure(u64),
+    /// The retransmission timer fired.
+    Timeout,
+}
+
+fn arb_rto_op() -> impl Strategy<Value = RtoOp> {
+    prop_oneof![
+        (1u64..120_000_000).prop_map(RtoOp::Measure), // up to 120 s
+        Just(RtoOp::Timeout),
+    ]
+}
+
+proptest! {
+    /// After any operation sequence, the effective RTO stays inside
+    /// [min_rto, max_rto] — the clamp applies *after* backoff doubling,
+    /// so it can neither undershoot the floor nor overflow past the cap.
+    #[test]
+    fn rto_always_within_clamp(
+        ops in proptest::collection::vec(arb_rto_op(), 0..200),
+        min_ms in 1u64..2_000,
+        span_ms in 1u64..120_000,
+    ) {
+        let min_rto = SimDuration::from_millis(min_ms);
+        let max_rto = SimDuration::from_millis(min_ms + span_ms);
+        let mut e = RtoEstimator::new(min_rto, max_rto);
+        prop_assert!(e.rto() >= min_rto && e.rto() <= max_rto, "initial RTO outside clamp");
+        for op in ops {
+            match op {
+                RtoOp::Measure(us) => e.on_measurement(SimDuration::from_micros(us)),
+                RtoOp::Timeout => e.on_timeout(),
+            }
+            let rto = e.rto();
+            prop_assert!(rto >= min_rto, "RTO {} below min {}", rto, min_rto);
+            prop_assert!(rto <= max_rto, "RTO {} above max {}", rto, max_rto);
+        }
+    }
+
+    /// Karn backoff: each timeout exactly doubles the effective RTO
+    /// until the max clamps it, and doubling is monotone (an RTO after
+    /// a timeout is never shorter than before it).
+    #[test]
+    fn timeouts_double_then_clamp(
+        warmup in proptest::collection::vec(1u64..5_000_000u64, 0..10),
+        timeouts in 1usize..30,
+    ) {
+        let min_rto = SimDuration::from_millis(200);
+        let max_rto = SimDuration::from_secs(60);
+        let mut e = RtoEstimator::new(min_rto, max_rto);
+        for us in warmup {
+            e.on_measurement(SimDuration::from_micros(us));
+        }
+        let mut prev = e.rto();
+        for _ in 0..timeouts {
+            e.on_timeout();
+            let cur = e.rto();
+            prop_assert!(cur >= prev, "backoff shrank the RTO: {} -> {}", prev, cur);
+            prop_assert_eq!(
+                cur,
+                (prev * 2).min(max_rto).max(min_rto),
+                "timeout must double-then-clamp"
+            );
+            prev = cur;
+        }
+    }
+
+    /// A fresh measurement clears any accumulated backoff: the RTO
+    /// returns to the RFC 6298 formula value, not a backed-off one.
+    #[test]
+    fn measurement_clears_backoff(
+        rtt_us in 1_000u64..5_000_000,
+        timeouts in 1usize..16,
+    ) {
+        let min_rto = SimDuration::from_millis(200);
+        let max_rto = SimDuration::from_secs(60);
+        let mut a = RtoEstimator::new(min_rto, max_rto);
+        let mut b = RtoEstimator::new(min_rto, max_rto);
+        let rtt = SimDuration::from_micros(rtt_us);
+        a.on_measurement(rtt);
+        b.on_measurement(rtt);
+        for _ in 0..timeouts {
+            b.on_timeout();
+        }
+        // Same second measurement on both: b's backoff must vanish.
+        a.on_measurement(rtt);
+        b.on_measurement(rtt);
+        prop_assert_eq!(a.rto(), b.rto(), "backoff leaked through a measurement");
+        prop_assert_eq!(a.srtt(), b.srtt(), "timeouts must not touch srtt");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Karn's rule at the connection sampler
+// ---------------------------------------------------------------------
+
+fn tuple() -> FiveTuple {
+    FiveTuple {
+        src_ip: Ipv4Addr::new(10, 0, 0, 1),
+        dst_ip: Ipv4Addr::new(10, 0, 0, 2),
+        src_port: 5001,
+        dst_port: 80,
+        protocol: 6,
+    }
+}
+
+fn seg(p: &Ipv4Packet) -> &TcpSegment {
+    match &p.transport {
+        Transport::Tcp(t) => t,
+        Transport::Udp { .. } => panic!("not tcp"),
+    }
+}
+
+/// RTO → go-back-N → the (late) ACK of the original flight arrives.
+/// That ACK covers segments whose records were marked retransmitted;
+/// Karn's rule says they contribute no RTT sample — an ambiguous ACK
+/// (original or retransmission?) must not poison the RTT statistics.
+#[test]
+fn retransmitted_segments_never_produce_rtt_samples() {
+    let t0 = SimTime::from_millis(10);
+    let ccfg = TcpConfig {
+        cc: CcKind::Reno,
+        ..TcpConfig::default()
+    };
+    let scfg = TcpConfig {
+        delayed_ack: false,
+        // The RTO-side measurement path uses timestamp echoes; disable
+        // timestamps so only the sampler's per-segment RTT path exists
+        // and the assertion isolates Karn at the sampler.
+        use_timestamps: false,
+        ..TcpConfig::default()
+    };
+    let (mut c, syns) = Connection::client(ccfg, tuple(), 1000, t0);
+    let mut s = Connection::server(scfg, tuple().reversed(), 9000);
+    let synack = s.on_packet(&syns[0], t0);
+    let acks = c.on_packet(&synack[0], t0);
+    s.on_packet(&acks[0], t0);
+
+    c.set_budget(SendBudget::Unlimited);
+    let flight = c.poll_send(t0);
+    assert!(!flight.is_empty());
+    let samples_before = c.stats().rtt_samples;
+
+    // The whole flight is lost; the RTO fires and go-back-N resends.
+    let rto_at = c.next_timer().expect("rto armed");
+    let resent = c.on_timer(rto_at);
+    assert!(resent.iter().any(|p| seg(p).payload_len > 0));
+
+    // The *original* flight's ACKs now limp in (the wire delayed, not
+    // dropped, them) — ambiguous: they could equally ACK the resend.
+    let ack_at = rto_at + SimDuration::from_millis(50);
+    let mut late_acks = Vec::new();
+    for p in &flight {
+        late_acks.extend(s.on_packet(p, ack_at));
+    }
+    assert!(!late_acks.is_empty());
+    // Processing the ACKs reopens the window; the returned packets are
+    // the next flight of fresh data.
+    let mut fresh = Vec::new();
+    for a in &late_acks {
+        fresh.extend(c.on_packet(a, ack_at));
+    }
+    fresh.retain(|p| seg(p).payload_len > 0);
+
+    assert!(c.bytes_acked() > 0, "the late ACKs did land");
+    assert_eq!(
+        c.stats().rtt_samples,
+        samples_before,
+        "a retransmitted segment produced an RTT sample (Karn violation)"
+    );
+    assert!(
+        c.last_rate_sample().is_none(),
+        "a retransmitted segment produced a delivery-rate sample"
+    );
+
+    // New, clean data after recovery *does* sample again.
+    assert!(!fresh.is_empty(), "sender resumed");
+    let t2 = ack_at + SimDuration::from_millis(20);
+    let mut acks2 = Vec::new();
+    for p in &fresh {
+        acks2.extend(s.on_packet(p, t2));
+    }
+    for a in &acks2 {
+        c.on_packet(a, t2);
+    }
+    assert!(
+        c.stats().rtt_samples > samples_before,
+        "clean segments must resume RTT sampling"
+    );
+}

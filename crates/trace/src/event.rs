@@ -290,6 +290,18 @@ define_events! {
         /// Cumulative ACK number sent.
         ack: u64,
     };
+    /// A rate-based congestion controller changed reportable state
+    /// (mode, pacing rate, or bandwidth estimate). Loss-based
+    /// controllers never emit this. Node = endpoint.
+    CcStateChange = 36, Tcp, "cc_state", {
+        /// Algorithm-specific state id (BbrLite: 0 = startup,
+        /// 1 = drain, 2 = probe-bw).
+        state: u32,
+        /// Pacing rate in bytes/sec (0 = unpaced).
+        pacing: u64,
+        /// Bandwidth estimate in bytes/sec (0 = none yet).
+        bw: u64,
+    };
 
     /// A compression context was initialized from a native packet.
     RohcContextInit = 48, Rohc, "ctx_init", {
