@@ -1,7 +1,7 @@
 //! Hot-path performance harness (`bench`).
 //!
 //! ```text
-//! bench [--json <path>] [--quick]
+//! bench [--quick] [--json <path>] [--check <path>] [--tolerance <pct>]
 //! ```
 //!
 //! Measures the simulation hot paths end to end and per stage:
@@ -10,8 +10,12 @@
 //!   reporting scheduler events dispatched per wall-clock second (the
 //!   number every perf PR must move),
 //! * **per-stage timings** — event-queue push/pop, ROHC
-//!   compress+confirm, blob decompression, driver blob rebuild, MD5 CID
-//!   derivation, and header serialization,
+//!   compress+confirm, zero-copy blob decode, driver blob rebuild,
+//!   steady-state CID lookup, MD5 CID derivation, and header
+//!   serialization. Stateful stages run against *persistent* endpoint
+//!   state (contexts, scratch buffers, held-ACK queues), measuring the
+//!   steady-state cost a long-lived driver pays — not per-op
+//!   construction,
 //! * **allocation counters** — a counting global allocator reports
 //!   heap allocations per event / per operation (the
 //!   allocations-proxy; `realloc` counts too).
@@ -23,7 +27,13 @@
 //! `speedup_events_per_sec` compares the fresh run against the recorded
 //! baseline.
 //!
-//! `--quick` shortens the end-to-end run for CI smoke coverage.
+//! With `--check <path>` the run is compared against the committed
+//! results at `<path>` and the process exits nonzero if any stage's
+//! `ns_per_op` regresses past the tolerance or its `allocs_per_op`
+//! grows — the CI regression gate.
+//!
+//! `--quick` shortens both the stages and the end-to-end run for CI
+//! smoke coverage (the threshold job finishes well under a minute).
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::fmt::Write as _;
@@ -33,9 +43,34 @@ use std::time::Instant;
 use hack_core::{run, CompressSide, DriverAction, HackMode, ScenarioConfig};
 use hack_mac::RxDataInfo;
 use hack_phy::StationId;
-use hack_rohc::{build_blob, Compressor, Decompressor};
+use hack_rohc::{build_blob, BlobItem, CidMap, Compressor, Decompressor};
 use hack_sim::{EventQueue, SimDuration, SimTime};
-use hack_tcp::{flags, Ipv4Addr, Ipv4Packet, TcpOption, TcpSegment, TcpSeq, Transport};
+use hack_tcp::{flags, FiveTuple, Ipv4Addr, Ipv4Packet, TcpOption, TcpSegment, TcpSeq, Transport};
+
+const USAGE: &str = "\
+bench — hot-path performance harness
+
+USAGE:
+    bench [--quick] [--json <path>] [--check <path>] [--tolerance <pct>]
+
+OPTIONS:
+    --quick            Smoke mode for CI: 10x fewer per-stage iterations and
+                       a 300 ms (instead of 3 s) end-to-end simulation, so
+                       the whole run finishes well under a minute. Per-op
+                       numbers are noisier but exercise the same code paths.
+    --json <path>      Write results as JSON. An existing file's baseline is
+                       preserved (or its previous current becomes the
+                       baseline), accumulating a before/after trajectory.
+    --check <path>     Regression gate: compare this run's stages against
+                       the committed results at <path>; exit 1 if any
+                       stage's ns_per_op regresses by more than the
+                       tolerance (plus a small absolute slack that keeps
+                       sub-microsecond stages from flapping) or its
+                       allocs_per_op grows by more than 0.5.
+    --tolerance <pct>  Relative regression tolerance for --check, in
+                       percent (default 10).
+    -h, --help         Print this help.
+";
 
 // ---------------------------------------------------------------------
 // Counting allocator: the allocations-proxy counter.
@@ -78,6 +113,15 @@ struct Stage {
     allocs_per_op: f64,
 }
 
+/// Iteration count for a stage: full, or a tenth of it in quick mode.
+fn scaled(iters: u64, quick: bool) -> u64 {
+    if quick {
+        (iters / 10).max(1)
+    } else {
+        iters
+    }
+}
+
 /// Time `op` over `iters` iterations (after one warmup batch),
 /// returning mean ns/op and allocations/op.
 fn time_stage<F: FnMut()>(iters: u64, mut op: F) -> Stage {
@@ -110,11 +154,17 @@ fn ack(ackno: u32, ident: u16, ts: u32) -> Ipv4Packet {
             ack: TcpSeq(ackno),
             flags: flags::ACK,
             window: 1024,
-            options: vec![TcpOption::Timestamps {
-                tsval: ts,
-                tsecr: ts.wrapping_sub(3),
-            }]
-            .into(),
+            options: {
+                // Built by push, not `vec![..].into()`: keeps packet
+                // construction off the heap so stage allocation counts
+                // reflect the code under test, not the harness.
+                let mut opts = hack_tcp::TcpOptions::new();
+                opts.push(TcpOption::Timestamps {
+                    tsval: ts,
+                    tsecr: ts.wrapping_sub(3),
+                });
+                opts
+            },
             payload_len: 0,
         }),
     }
@@ -124,7 +174,7 @@ fn ack(ackno: u32, ident: u16, ts: u32) -> Ipv4Packet {
 // Stages.
 // ---------------------------------------------------------------------
 
-fn stage_queue_push_pop() -> Stage {
+fn stage_queue_push_pop(quick: bool) -> Stage {
     // Steady-state scheduler pattern: each pop reschedules, queue depth
     // stays around 64 pending events (the whole-network regime).
     let mut q = EventQueue::new();
@@ -133,7 +183,7 @@ fn stage_queue_push_pop() -> Stage {
         q.push(SimTime::from_nanos(i * 531), i);
     }
     let mut step = 0u64;
-    time_stage(200_000, || {
+    time_stage(scaled(200_000, quick), || {
         let (t, v) = q.pop().expect("queue never drains");
         now = t.as_nanos();
         step = step.wrapping_add(1);
@@ -144,11 +194,11 @@ fn stage_queue_push_pop() -> Stage {
     })
 }
 
-fn stage_compress_confirm() -> Stage {
+fn stage_compress_confirm(quick: bool) -> Stage {
     let mut comp = Compressor::new();
     comp.observe_native(&ack(1000, 1, 10));
     let mut i = 0u32;
-    time_stage(100_000, || {
+    time_stage(scaled(100_000, quick), || {
         i = i.wrapping_add(1);
         let p = ack(
             1000u32.wrapping_add(i.wrapping_mul(2920)),
@@ -161,9 +211,12 @@ fn stage_compress_confirm() -> Stage {
     })
 }
 
-fn stage_decompress_blob() -> Stage {
+fn stage_decompress_blob(quick: bool) -> Stage {
     // One blob of 21 delayed ACKs (a 42-MPDU A-MPDU batch), the paper's
-    // steady-state shape. Reported per *blob*.
+    // steady-state shape. Reported per *blob*, streamed through the
+    // zero-copy cursor of a *persistent* decompressor — re-observing the
+    // seed ACK resets the MSN/field refs so every iteration decodes the
+    // same bytes fresh, the way a long-lived AP context would.
     let mut comp = Compressor::new();
     let seed = ack(1000, 1, 10);
     comp.observe_native(&seed);
@@ -175,18 +228,30 @@ fn stage_decompress_blob() -> Stage {
         .collect();
     let seg_slices: Vec<Vec<u8>> = segs.iter().map(|s| s[..].to_vec()).collect();
     let blob = build_blob(&seg_slices);
-    time_stage(20_000, || {
-        let mut d = Decompressor::new();
+    let mut d = Decompressor::new();
+    time_stage(scaled(20_000, quick), || {
         d.observe_native(&seed);
-        let res = d.decompress_blob(&blob);
-        assert_eq!(res.packets.len(), 21);
-        std::hint::black_box(&res);
+        let mut packets = 0u32;
+        for item in d.decode(&blob) {
+            match item {
+                BlobItem::Packet(p) => {
+                    std::hint::black_box(&p);
+                    packets += 1;
+                }
+                other => panic!("unexpected blob item {other:?}"),
+            }
+        }
+        assert_eq!(packets, 21);
     })
 }
 
-fn stage_blob_rebuild() -> Stage {
-    // The driver's hold-and-rebuild loop: 8 held ACKs, rebuild per ACK
-    // (the InstallBlob path). Measures `rebuild_blob` serialization.
+fn stage_blob_rebuild(quick: bool) -> Stage {
+    // One full hold-and-confirm cycle on a *persistent* driver — the
+    // simulator's actual steady state: 8 ACKs held (each append patches
+    // the incremental blob cache and re-installs), the blob rides an LL
+    // ACK, and the next data frame confirms all 8 (prefix drain +
+    // ClearBlob). Install actions hand their buffers straight back via
+    // `recycle_blob`, exactly like the MAC displacing the previous blob.
     let info = RxDataInfo {
         from: StationId(0),
         mpdus_ok: 2,
@@ -195,36 +260,83 @@ fn stage_blob_rebuild() -> Stage {
         advances_seq: true,
         is_aggregate: true,
     };
+    let mut d = CompressSide::new(HackMode::MoreData);
+    d.on_ack_out(ack(1000, 1, 10), SimTime::from_millis(1));
+    d.on_data_received(&info, SimTime::from_millis(2));
     let mut i = 0u32;
-    time_stage(50_000, || {
-        let mut d = CompressSide::new(HackMode::MoreData);
+    let t = SimTime::from_millis(2);
+    time_stage(scaled(50_000, quick), || {
         i = i.wrapping_add(1);
-        d.on_ack_out(ack(1000, 1, 10 + i), SimTime::from_millis(1));
-        d.on_data_received(&info, SimTime::from_millis(2));
-        for k in 1..=8u32 {
+        for k in 0..8u32 {
+            let n = i.wrapping_mul(8).wrapping_add(k);
             let acts = d.on_ack_out(
-                ack(1000 + k * 2920, 1 + k as u16, 10 + i + k),
-                SimTime::from_millis(2),
+                ack(
+                    1000u32.wrapping_add(n.wrapping_mul(2920)),
+                    n as u16,
+                    10u32.wrapping_add(n),
+                ),
+                t,
             );
-            assert!(acts
-                .iter()
-                .any(|a| matches!(a, DriverAction::InstallBlob { .. })));
-            std::hint::black_box(&acts);
+            let mut installed = false;
+            for a in acts {
+                if let DriverAction::InstallBlob { bytes, .. } = a {
+                    installed = true;
+                    d.recycle_blob(bytes);
+                }
+            }
+            assert!(installed, "every held ACK re-installs the blob");
         }
+        // The blob rides, then the next data frame confirms everything.
+        for a in d.on_response_sent(true, t) {
+            if let DriverAction::InstallBlob { bytes, .. } = a {
+                d.recycle_blob(bytes);
+            }
+        }
+        for a in d.on_data_received(&info, t) {
+            if let DriverAction::InstallBlob { bytes, .. } = a {
+                d.recycle_blob(bytes);
+            }
+        }
+        assert_eq!(d.held_count(), 0, "confirm drains every ridden ACK");
     })
 }
 
-fn stage_md5_cid() -> Stage {
+fn stage_cid_lookup(quick: bool) -> Stage {
+    // Steady-state CID resolution with 64 concurrent flows: the dense-AP
+    // regime where the old linear `Vec<(FiveTuple, u8)>` scan went
+    // quadratic. Reported per lookup; flat cost here is the O(1) proof.
+    let tuples: Vec<FiveTuple> = (0..64u32)
+        .map(|i| FiveTuple {
+            src_ip: Ipv4Addr::new(192, 168, 1, 10 + i as u8),
+            dst_ip: Ipv4Addr::new(10, 0, 0, 1),
+            src_port: 40_000 + i as u16,
+            dst_port: 5001,
+            protocol: 6,
+        })
+        .collect();
+    let mut m = CidMap::new();
+    for (k, t) in tuples.iter().enumerate() {
+        m.insert(*t, k as u8);
+    }
+    let mut i = 0usize;
+    time_stage(scaled(200_000, quick), || {
+        i = i.wrapping_add(1);
+        let hit = m.get(std::hint::black_box(&tuples[i & 63]));
+        assert!(std::hint::black_box(hit).is_some());
+    })
+}
+
+fn stage_md5_cid(quick: bool) -> Stage {
     let t = ack(1, 1, 1).five_tuple();
     let bytes = t.bytes();
-    time_stage(200_000, || {
+    time_stage(scaled(200_000, quick), || {
         std::hint::black_box(hack_rohc::cid_for_tuple(&bytes));
     })
 }
 
-fn stage_header_serialize() -> Stage {
+fn stage_header_serialize(quick: bool) -> Stage {
     let p = ack(123_456, 7, 99);
-    time_stage(200_000, || {
+    time_stage(scaled(200_000, quick), || {
         std::hint::black_box(p.header_bytes());
     })
 }
@@ -349,23 +461,104 @@ fn extract_number(obj: &str, key: &str) -> Option<f64> {
     rest[..end].parse().ok()
 }
 
+// ---------------------------------------------------------------------
+// The regression gate (--check).
+// ---------------------------------------------------------------------
+
+/// Compare the fresh per-stage results against the committed JSON at
+/// `path`. Returns whether every stage is within bounds.
+///
+/// A stage regresses when its `ns_per_op` exceeds the committed value by
+/// more than `tol_pct` percent *plus* a small absolute slack (timer
+/// granularity and scheduler jitter dominate sub-100ns stages — a purely
+/// relative bound would flap), or when its `allocs_per_op` grows by more
+/// than 0.5 (allocation counts are near-deterministic; half an
+/// allocation of headroom absorbs warmup-dependent `Vec` growth while
+/// still catching any real new allocation per op).
+fn run_check(path: &std::path::Path, stages: &[(&str, Stage)], tol_pct: f64) -> bool {
+    const ABS_SLACK_NS: f64 = 150.0;
+    const ALLOC_SLACK: f64 = 0.5;
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("bench: cannot read --check file {}: {e}", path.display());
+            return false;
+        }
+    };
+    let Some(committed) =
+        extract_object(&text, "current").and_then(|c| extract_object(&c, "stages"))
+    else {
+        eprintln!("bench: no \"current.stages\" object in {}", path.display());
+        return false;
+    };
+    let mut ok = true;
+    for (name, st) in stages {
+        let Some(obj) = extract_object(&committed, name) else {
+            println!("check: {name}: not in committed results (new stage), skipped");
+            continue;
+        };
+        if let Some(base) = extract_number(&obj, "ns_per_op") {
+            let limit = base * (1.0 + tol_pct / 100.0) + ABS_SLACK_NS;
+            if st.ns_per_op > limit {
+                eprintln!(
+                    "check FAIL: {name} ns_per_op {:.1} exceeds limit {:.1} \
+                     (committed {:.1}, tolerance {tol_pct}% + {ABS_SLACK_NS}ns)",
+                    st.ns_per_op, limit, base
+                );
+                ok = false;
+            }
+        }
+        if let Some(base) = extract_number(&obj, "allocs_per_op") {
+            if st.allocs_per_op > base + ALLOC_SLACK {
+                eprintln!(
+                    "check FAIL: {name} allocs_per_op {:.2} grew past committed {:.2}",
+                    st.allocs_per_op, base
+                );
+                ok = false;
+            }
+        }
+    }
+    if ok {
+        println!(
+            "check: all stages within {tol_pct}% (+{ABS_SLACK_NS}ns) of {}",
+            path.display()
+        );
+    }
+    ok
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    let mut json_path = None;
+    let mut quick = false;
+    let mut json_path: Option<std::path::PathBuf> = None;
+    let mut check_path: Option<std::path::PathBuf> = None;
+    let mut tol_pct = 10.0f64;
     let mut it = args.iter();
+    let missing = |flag: &str| -> ! {
+        eprintln!("{flag} requires a value; see --help");
+        std::process::exit(2);
+    };
     while let Some(a) = it.next() {
         match a.as_str() {
             "--json" => match it.next() {
                 Some(p) => json_path = Some(std::path::PathBuf::from(p)),
-                None => {
-                    eprintln!("--json requires a path");
-                    std::process::exit(2);
-                }
+                None => missing("--json"),
             },
-            "--quick" => {}
+            "--check" => match it.next() {
+                Some(p) => check_path = Some(std::path::PathBuf::from(p)),
+                None => missing("--check"),
+            },
+            "--tolerance" => match it.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(v) if v >= 0.0 => tol_pct = v,
+                _ => missing("--tolerance"),
+            },
+            "--quick" => quick = true,
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                return;
+            }
             other => {
-                eprintln!("unknown flag {other:?}; usage: bench [--json <path>] [--quick]");
+                eprintln!("unknown flag {other:?}; see --help");
                 std::process::exit(2);
             }
         }
@@ -373,12 +566,13 @@ fn main() {
 
     println!("== hot-path stages (ns/op, allocs/op) ==");
     let stages: Vec<(&str, Stage)> = vec![
-        ("queue_push_pop", stage_queue_push_pop()),
-        ("rohc_compress_confirm", stage_compress_confirm()),
-        ("rohc_decompress_blob21", stage_decompress_blob()),
-        ("driver_blob_rebuild_x8", stage_blob_rebuild()),
-        ("md5_cid", stage_md5_cid()),
-        ("header_serialize", stage_header_serialize()),
+        ("queue_push_pop", stage_queue_push_pop(quick)),
+        ("rohc_compress_confirm", stage_compress_confirm(quick)),
+        ("rohc_decompress_blob21", stage_decompress_blob(quick)),
+        ("driver_blob_rebuild_x8", stage_blob_rebuild(quick)),
+        ("cid_lookup_x64", stage_cid_lookup(quick)),
+        ("md5_cid", stage_md5_cid(quick)),
+        ("header_serialize", stage_header_serialize(quick)),
     ];
     for (name, st) in &stages {
         println!(
@@ -394,46 +588,53 @@ fn main() {
         e2e.events_per_sec, e2e.ns_per_event, e2e.events, e2e.allocs_per_event, e2e.goodput_mbps
     );
 
-    let Some(path) = json_path else { return };
+    if let Some(path) = &json_path {
+        // Preserve a previously recorded baseline so the file carries a
+        // before/after trajectory; the first ever run seeds the baseline
+        // from its own "current" on the *next* run.
+        let previous = std::fs::read_to_string(path).ok();
+        let baseline = previous
+            .as_deref()
+            .and_then(|t| extract_object(t, "baseline").or_else(|| extract_object(t, "current")));
+        let current = current_json(&e2e, &stages);
+        let speedup = baseline
+            .as_deref()
+            .and_then(|b| extract_number(b, "events_per_sec"))
+            .map(|b| e2e.events_per_sec / b);
 
-    // Preserve a previously recorded baseline so the file carries a
-    // before/after trajectory; the first ever run seeds the baseline
-    // from its own "current" on the *next* run.
-    let previous = std::fs::read_to_string(&path).ok();
-    let baseline = previous
-        .as_deref()
-        .and_then(|t| extract_object(t, "baseline").or_else(|| extract_object(t, "current")));
-    let current = current_json(&e2e, &stages);
-    let speedup = baseline
-        .as_deref()
-        .and_then(|b| extract_number(b, "events_per_sec"))
-        .map(|b| e2e.events_per_sec / b);
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str("  \"schema\": 1,\n");
+        out.push_str("  \"benchmark\": \"hack hot path: calendar queue + ACK pipeline\",\n");
+        let _ = writeln!(out, "  \"quick\": {quick},");
+        match &baseline {
+            Some(b) => {
+                let _ = writeln!(out, "  \"baseline\": {b},");
+            }
+            None => out.push_str("  \"baseline\": null,\n"),
+        }
+        let _ = writeln!(out, "  \"current\": {current},");
+        match speedup {
+            Some(sp) => {
+                let _ = writeln!(out, "  \"speedup_events_per_sec\": {}", fmt_f64(sp));
+            }
+            None => out.push_str("  \"speedup_events_per_sec\": null\n"),
+        }
+        out.push_str("}\n");
+        if let Err(e) = std::fs::write(path, out) {
+            eprintln!("bench: cannot write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+        println!("\nwrote {}", path.display());
+        if let Some(sp) = speedup {
+            println!("speedup vs recorded baseline: {sp:.2}x");
+        }
+    }
 
-    let mut out = String::new();
-    out.push_str("{\n");
-    out.push_str("  \"schema\": 1,\n");
-    out.push_str("  \"benchmark\": \"hack hot path: calendar queue + ACK pipeline\",\n");
-    let _ = writeln!(out, "  \"quick\": {quick},");
-    match &baseline {
-        Some(b) => {
-            let _ = writeln!(out, "  \"baseline\": {b},");
+    if let Some(path) = &check_path {
+        println!();
+        if !run_check(path, &stages, tol_pct) {
+            std::process::exit(1);
         }
-        None => out.push_str("  \"baseline\": null,\n"),
-    }
-    let _ = writeln!(out, "  \"current\": {current},");
-    match speedup {
-        Some(sp) => {
-            let _ = writeln!(out, "  \"speedup_events_per_sec\": {}", fmt_f64(sp));
-        }
-        None => out.push_str("  \"speedup_events_per_sec\": null\n"),
-    }
-    out.push_str("}\n");
-    if let Err(e) = std::fs::write(&path, out) {
-        eprintln!("bench: cannot write {}: {e}", path.display());
-        std::process::exit(1);
-    }
-    println!("\nwrote {}", path.display());
-    if let Some(sp) = speedup {
-        println!("speedup vs recorded baseline: {sp:.2}x");
     }
 }

@@ -1,0 +1,143 @@
+//! CLI contract tests for the `bench` binary: the `--help` snapshot,
+//! flag-parsing exit codes, and the `--check` regression gate's
+//! pass/fail behaviour against a freshly written JSON file.
+
+use std::process::Command;
+
+fn bench() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_bench"))
+}
+
+#[test]
+fn help_output_matches_snapshot() {
+    let out = bench().arg("--help").output().expect("spawn");
+    assert!(out.status.success(), "--help must exit 0");
+    let expected = include_str!("snapshots/bench-help.txt");
+    assert_eq!(
+        String::from_utf8_lossy(&out.stdout),
+        expected,
+        "help text drifted from the snapshot; regenerate with\n  \
+         cargo run -p hack-bench --bin bench -- --help \
+         > crates/bench/tests/snapshots/bench-help.txt"
+    );
+    assert!(out.stderr.is_empty(), "--help must not write to stderr");
+}
+
+#[test]
+fn short_help_flag_works_too() {
+    let long = bench().arg("--help").output().expect("spawn");
+    let short = bench().arg("-h").output().expect("spawn");
+    assert!(short.status.success());
+    assert_eq!(long.stdout, short.stdout);
+}
+
+#[test]
+fn unknown_flag_exits_2_with_a_pointer_to_help() {
+    let out = bench().arg("--no-such-flag").output().expect("spawn");
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--no-such-flag"), "stderr: {err}");
+    assert!(
+        err.contains("--help"),
+        "stderr should point at --help: {err}"
+    );
+}
+
+#[test]
+fn missing_flag_value_exits_2() {
+    for flag in ["--json", "--check", "--tolerance"] {
+        let out = bench().arg(flag).output().expect("spawn");
+        assert_eq!(out.status.code(), Some(2), "{flag} without a value");
+        assert!(
+            String::from_utf8_lossy(&out.stderr).contains(flag),
+            "stderr should name the offending flag {flag}"
+        );
+    }
+}
+
+/// A quick run checked against its own freshly written results must
+/// pass, and checked against an absurdly fast fabricated baseline must
+/// fail — the regression gate in both directions. One test so the
+/// (slow, debug-profile) bench binary runs only twice.
+#[test]
+fn check_gate_passes_self_and_fails_fabricated_baseline() {
+    let dir = std::env::temp_dir().join(format!("bench-check-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let json = dir.join("hotpath.json");
+
+    let out = bench()
+        .args(["--quick", "--json"])
+        .arg(&json)
+        .output()
+        .expect("spawn");
+    assert!(
+        out.status.success(),
+        "--quick --json run failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // Self-check: generous tolerance absorbs run-to-run noise.
+    let out = bench()
+        .args(["--quick", "--tolerance", "400", "--check"])
+        .arg(&json)
+        .output()
+        .expect("spawn");
+    assert!(
+        out.status.success(),
+        "self-check should pass: {}\n{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // Fabricate an impossible baseline: every stage at 0.001 ns/op and
+    // zero allocs. Any real run regresses against it.
+    let text = std::fs::read_to_string(&json).expect("read json");
+    let fabricated = rewrite_field(
+        &rewrite_field(&text, "\"ns_per_op\": ", "0.001"),
+        "\"allocs_per_op\": ",
+        "-1.0",
+    );
+    let fast = dir.join("impossible.json");
+    std::fs::write(&fast, fabricated).expect("write fabricated");
+
+    let out = bench()
+        .args(["--quick", "--check"])
+        .arg(&fast)
+        .output()
+        .expect("spawn");
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "check against an impossible baseline must exit 1; stdout:\n{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("check FAIL"),
+        "gate stderr should flag the regression: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Replace every numeric value following `key` with `value` — enough
+/// JSON surgery to fabricate a baseline without a parser dependency.
+fn rewrite_field(text: &str, key: &str, value: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    let mut rest = text;
+    while let Some(pos) = rest.find(key) {
+        let after = pos + key.len();
+        out.push_str(&rest[..after]);
+        out.push_str(value);
+        // Skip the old numeric literal (digits, sign, dot, exponent).
+        let tail = &rest[after..];
+        let skip = tail
+            .char_indices()
+            .find(|(_, c)| !matches!(c, '0'..='9' | '.' | '-' | '+' | 'e' | 'E'))
+            .map(|(i, _)| i)
+            .unwrap_or(tail.len());
+        rest = &tail[skip..];
+    }
+    out.push_str(rest);
+    out
+}

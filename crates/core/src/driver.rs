@@ -134,6 +134,11 @@ pub struct CompressSide {
     /// data, meaning held ACKs will get a ride.
     latched: bool,
     held: Vec<HeldAck>,
+    /// Incrementally maintained blob payload: the concatenation of every
+    /// held segment's bytes, kept in sync with `held` by appending on
+    /// hold and splicing on spill/confirm/flush. A rebuild is then a
+    /// single memcpy instead of re-encoding all held ACKs.
+    blob_cache: Vec<u8>,
     /// Bumped on every rebuild; stale InstallBlob events are ignored.
     generation: u64,
     /// Clear (and flush) after the response that is about to go out.
@@ -170,6 +175,7 @@ impl CompressSide {
             compressor: Compressor::new(),
             latched: false,
             held: Vec::new(),
+            blob_cache: Vec::new(),
             generation: 0,
             clear_after_response: false,
             flush_armed: false,
@@ -280,20 +286,48 @@ impl CompressSide {
         if self.held.is_empty() {
             DriverAction::ClearBlob
         } else {
-            // Serialize straight from `held` into a pooled buffer — no
-            // intermediate Vec<Vec<u8>> and, in steady state, no
-            // allocation at all.
+            debug_assert_eq!(
+                self.blob_cache.as_slice(),
+                &self.rebuild_blob_from_scratch()[1..],
+                "incremental blob diverged from a from-scratch encode"
+            );
+            // The payload is maintained incrementally (append on hold,
+            // splice on spill/confirm): a rebuild is one memcpy out of
+            // the cache into a pooled buffer.
             let mut bytes = self.pool.take();
-            bytes.reserve(1 + self.held.iter().map(|h| h.segment.len()).sum::<usize>());
+            bytes.reserve(1 + self.blob_cache.len());
             bytes.push(u8::try_from(self.held.len()).expect("≤255 held ACKs"));
-            for h in &self.held {
-                bytes.extend_from_slice(&h.segment);
-            }
+            bytes.extend_from_slice(&self.blob_cache);
             DriverAction::InstallBlob {
                 bytes,
                 generation: self.generation,
             }
         }
+    }
+
+    /// The blob a from-scratch rebuild would produce (count byte + every
+    /// held segment re-serialized). Verification hook for the
+    /// incremental `blob_cache` — `rebuild_blob` debug-asserts against
+    /// it, and the equivalence proptests compare it to the cached bytes
+    /// after arbitrary driver-op sequences.
+    pub fn rebuild_blob_from_scratch(&self) -> Vec<u8> {
+        let mut bytes =
+            Vec::with_capacity(1 + self.held.iter().map(|h| h.segment.len()).sum::<usize>());
+        bytes.push(u8::try_from(self.held.len()).expect("≤255 held ACKs"));
+        for h in &self.held {
+            bytes.extend_from_slice(&h.segment);
+        }
+        bytes
+    }
+
+    /// The incrementally maintained blob (count byte + cached payload),
+    /// as `rebuild_blob` would install it. Verification hook for the
+    /// equivalence proptests.
+    pub fn current_blob(&self) -> Vec<u8> {
+        let mut bytes = Vec::with_capacity(1 + self.blob_cache.len());
+        bytes.push(u8::try_from(self.held.len()).expect("≤255 held ACKs"));
+        bytes.extend_from_slice(&self.blob_cache);
+        bytes
     }
 
     /// Return a displaced NIC blob's byte buffer to the scratch pool.
@@ -329,6 +363,7 @@ impl CompressSide {
     ) {
         while self.held.len() >= self.held_cap {
             let oldest = self.held.remove(0);
+            self.blob_cache.drain(..oldest.segment.len());
             self.stats.spilled += 1;
             self.health.spills += 1;
             if oldest.rode_ll_ack || self.mode == HackMode::Opportunistic {
@@ -341,6 +376,7 @@ impl CompressSide {
                 out.push(DriverAction::SendNative(oldest.original));
             }
         }
+        self.blob_cache.extend_from_slice(&segment);
         self.held.push(HeldAck {
             segment,
             original,
@@ -440,13 +476,22 @@ impl CompressSide {
         // ACK was lost and the blob must ride again.
         let confirms = !info.sync && (info.is_aggregate || info.advances_seq);
         if confirms && self.held.iter().any(|h| h.rode_ll_ack) {
-            for h in &self.held {
-                if h.rode_ll_ack {
-                    // Advance the compressor floor: the peer holds this.
-                    self.compressor.confirm(&h.original);
-                }
+            // Ridden entries always form a prefix of `held`:
+            // `on_response_sent` marks everything currently held, and new
+            // holds append unridden at the tail. The confirmed prefix
+            // splices off the front of the cached blob payload in one
+            // drain.
+            let ridden = self.held.iter().take_while(|h| h.rode_ll_ack).count();
+            debug_assert!(
+                self.held[ridden..].iter().all(|h| !h.rode_ll_ack),
+                "ridden held ACKs must form a prefix"
+            );
+            let ridden_bytes: usize = self.held[..ridden].iter().map(|h| h.segment.len()).sum();
+            for h in self.held.drain(..ridden) {
+                // Advance the compressor floor: the peer holds this.
+                self.compressor.confirm(&h.original);
             }
-            self.held.retain(|h| !h.rode_ll_ack);
+            self.blob_cache.drain(..ridden_bytes);
             out.push(self.rebuild_blob());
             // The confirmation may have drained the queue entirely; a
             // still-armed explicit flush timer would only fire as a
@@ -496,22 +541,37 @@ impl CompressSide {
     /// the peer's link layer: advance the compressor floor (every mode),
     /// and in Opportunistic mode drop the corresponding held copies
     /// (identified by IP ident) so they don't ride future LL ACKs.
+    ///
+    /// Non-ACK packets in `pkts` (data MSDUs sharing the same A-MPDU)
+    /// are ignored, so callers can pass the delivered batch as-is
+    /// without filtering into a fresh allocation first.
     pub fn on_natives_delivered(&mut self, pkts: &[NetPacket]) -> Vec<DriverAction> {
         if self.mode == HackMode::Disabled {
             return Vec::new();
         }
-        for p in pkts {
+        for p in pkts.iter().filter(|p| p.is_pure_tcp_ack()) {
             self.compressor.confirm(p.ip());
         }
         if self.mode != HackMode::Opportunistic || self.held.is_empty() {
             return Vec::new();
         }
         let before = self.held.len();
-        self.held.retain(|h| {
-            !pkts
-                .iter()
-                .any(|p| p.ip().ident == h.original.ident && p.ip().src == h.original.src)
-        });
+        let mut offset = 0usize;
+        let mut i = 0;
+        while i < self.held.len() {
+            let seg_len = self.held[i].segment.len();
+            let delivered = pkts.iter().filter(|p| p.is_pure_tcp_ack()).any(|p| {
+                p.ip().ident == self.held[i].original.ident
+                    && p.ip().src == self.held[i].original.src
+            });
+            if delivered {
+                self.held.remove(i);
+                self.blob_cache.drain(offset..offset + seg_len);
+            } else {
+                offset += seg_len;
+                i += 1;
+            }
+        }
         if self.held.len() != before {
             vec![self.rebuild_blob()]
         } else {
@@ -547,6 +607,7 @@ impl CompressSide {
 
     fn flush(&mut self, _cause: FlushCause) -> Vec<DriverAction> {
         let mut out = Vec::new();
+        self.blob_cache.clear();
         for h in std::mem::take(&mut self.held) {
             if h.rode_ll_ack {
                 // Rode at least one LL ACK: if that ACK was lost, a later
@@ -618,10 +679,23 @@ impl DecompressSide {
     /// to forward upstream. Duplicates and CRC failures are absorbed
     /// (counted in stats).
     pub fn on_blob(&mut self, blob: &[u8], now: SimTime) -> Vec<Ipv4Packet> {
+        let mut pkts = Vec::new();
+        self.on_blob_with(blob, now, |p| pkts.push(p));
+        pkts
+    }
+
+    /// Zero-copy variant of [`DecompressSide::on_blob`]: each
+    /// reconstituted ACK is handed to `forward` as it decodes straight
+    /// out of the borrowed blob slice — no intermediate packet `Vec`.
+    /// The event loop uses this to schedule host-RX events directly.
+    pub fn on_blob_with(&mut self, blob: &[u8], now: SimTime, mut forward: impl FnMut(Ipv4Packet)) {
         self.decompressor.set_trace_clock(now.as_nanos());
-        let res = self.decompressor.decompress_blob(blob);
-        self.forwarded += res.packets.len() as u64;
-        res.packets
+        for item in self.decompressor.decode(blob) {
+            if let hack_rohc::BlobItem::Packet(p) = item {
+                self.forwarded += 1;
+                forward(p);
+            }
+        }
     }
 }
 

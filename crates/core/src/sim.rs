@@ -62,6 +62,10 @@ struct Endpoint {
     delivered_recorded: u64,
     /// TCP timeouts already reported to the supervisor.
     timeouts_seen: u64,
+    /// Deadline of the currently armed retransmit-timer event, so a
+    /// resched to the *same* instant skips the cancel-and-rearm (every
+    /// delivered segment reschedules; the deadline rarely moves).
+    timer_at: Option<SimTime>,
 }
 
 enum Event {
@@ -90,6 +94,37 @@ enum Event {
     ChannelDynamics(usize),
     /// A flow supervisor's probation probe timer fired.
     SupProbe(usize, TimerToken<u32>),
+}
+
+#[cfg(feature = "evprof")]
+impl Event {
+    const KIND_NAMES: [&'static str; 10] = [
+        "FlowStart",
+        "MacTimer",
+        "TxEnd",
+        "HostRx",
+        "WiredDeliver",
+        "TcpTimer",
+        "InstallBlob",
+        "HackFlush",
+        "ChannelDynamics",
+        "SupProbe",
+    ];
+
+    fn kind_index(&self) -> usize {
+        match self {
+            Event::FlowStart(_) => 0,
+            Event::MacTimer(..) => 1,
+            Event::TxEnd(_) => 2,
+            Event::HostRx { .. } => 3,
+            Event::WiredDeliver { .. } => 4,
+            Event::TcpTimer(..) => 5,
+            Event::InstallBlob { .. } => 6,
+            Event::HackFlush(..) => 7,
+            Event::ChannelDynamics(_) => 8,
+            Event::SupProbe(..) => 9,
+        }
+    }
 }
 
 /// The assembled simulation.
@@ -353,6 +388,7 @@ impl World {
                     iss: 10_000 + i as u32 * 101,
                     delivered_recorded: 0,
                     timeouts_seen: 0,
+                    timer_at: None,
                 };
                 // Server endpoint (wired, or on the AP itself).
                 let mut server_conn = Connection::server(
@@ -376,6 +412,7 @@ impl World {
                     iss: 0,
                     delivered_recorded: 0,
                     timeouts_seen: 0,
+                    timer_at: None,
                 };
                 let ci = endpoints.len();
                 ep_by_tuple.insert(ep_client.tuple, ci);
@@ -458,14 +495,35 @@ impl World {
 
     /// Run to completion and collect results.
     pub fn run(mut self) -> RunResult {
+        #[cfg(feature = "evprof")]
+        let mut prof = [(0u64, 0u64); 10];
         while let Some(at) = self.sched.peek_time() {
             if at > self.end {
                 break;
             }
             let (now, ev) = self.sched.pop().expect("peeked");
+            #[cfg(feature = "evprof")]
+            let (kind, t0) = (ev.kind_index(), std::time::Instant::now());
             self.handle(ev, now);
+            #[cfg(feature = "evprof")]
+            {
+                prof[kind].0 += 1;
+                prof[kind].1 += t0.elapsed().as_nanos() as u64;
+            }
             if self.completion.is_some() {
                 break;
+            }
+        }
+        #[cfg(feature = "evprof")]
+        for (i, (n, ns)) in prof.iter().enumerate() {
+            if *n > 0 {
+                eprintln!(
+                    "evprof {:<16} {:>9} events  {:>8.1} ns/event  {:>7.1} ms total",
+                    Event::KIND_NAMES[i],
+                    n,
+                    *ns as f64 / *n as f64,
+                    *ns as f64 / 1e6,
+                );
             }
         }
         self.collect()
@@ -512,6 +570,7 @@ impl World {
             }
             Event::TcpTimer(ep, token) => {
                 if self.tcp_timers.fire(token) {
+                    self.endpoints[ep].timer_at = None;
                     let outputs = {
                         let conn = self.endpoints[ep]
                             .conn
@@ -645,26 +704,46 @@ impl World {
     }
 
     fn on_tx_end(&mut self, id: TxId, now: SimTime) {
-        let (frames, aggregated, src) = self.tx_payloads.remove(&id).expect("tx payload");
+        let (mut frames, aggregated, src) = self.tx_payloads.remove(&id).expect("tx payload");
         let outcome = self.medium.end_tx(id, now, &mut self.rng);
 
-        // 1) Receptions (before idle edges: NAV first).
-        for rec in &outcome.receptions {
+        // 1) Receptions (before idle edges: NAV first). The last detected
+        // receiver takes ownership of the frame batch; earlier ones clone.
+        // In the common unicast case this turns every delivered MPDU's
+        // deep copy (packet + TCP options) into a move.
+        let last_detected = outcome.receptions.iter().rposition(|r| r.detected);
+        for (ri, rec) in outcome.receptions.iter().enumerate() {
             let sid = rec.station;
             if rec.detected {
-                let mut decoded: Vec<Frame<NetPacket>> = Vec::new();
+                let mut decoded: Vec<Frame<NetPacket>> = Vec::with_capacity(rec.mpdus.len());
                 let mut fcs_bad = 0u32;
-                for (i, f) in frames.iter().enumerate() {
-                    match rec.mpdus.get(i).copied().unwrap_or(MpduStatus::Lost) {
-                        MpduStatus::Ok => decoded.push(f.clone()),
-                        MpduStatus::Lost => {}
-                        MpduStatus::Corrupt { fcs_ok: false } => fcs_bad += 1,
-                        // The flip escaped the FCS region: deliver the
-                        // frame with one bit flipped in its blob
-                        // extension (or unchanged when there is no blob —
-                        // the flip landed in padding).
-                        MpduStatus::Corrupt { fcs_ok: true } => {
-                            decoded.push(self.corrupt_frame(f.clone()));
+                let status_of = |mpdus: &[MpduStatus], i: usize| {
+                    mpdus.get(i).copied().unwrap_or(MpduStatus::Lost)
+                };
+                if Some(ri) == last_detected {
+                    for (i, f) in std::mem::take(&mut frames).into_iter().enumerate() {
+                        match status_of(&rec.mpdus, i) {
+                            MpduStatus::Ok => decoded.push(f),
+                            MpduStatus::Lost => {}
+                            MpduStatus::Corrupt { fcs_ok: false } => fcs_bad += 1,
+                            // The flip escaped the FCS region: deliver the
+                            // frame with one bit flipped in its blob
+                            // extension (or unchanged when there is no blob
+                            // — the flip landed in padding).
+                            MpduStatus::Corrupt { fcs_ok: true } => {
+                                decoded.push(self.corrupt_frame(f));
+                            }
+                        }
+                    }
+                } else {
+                    for (i, f) in frames.iter().enumerate() {
+                        match status_of(&rec.mpdus, i) {
+                            MpduStatus::Ok => decoded.push(f.clone()),
+                            MpduStatus::Lost => {}
+                            MpduStatus::Corrupt { fcs_ok: false } => fcs_bad += 1,
+                            MpduStatus::Corrupt { fcs_ok: true } => {
+                                decoded.push(self.corrupt_frame(f.clone()));
+                            }
                         }
                     }
                 }
@@ -786,17 +865,22 @@ impl World {
                     let had_blob = blob.is_some();
                     if let Some(blob) = blob {
                         let before = self.decompress[sid.0 as usize].stats().clone();
-                        let pkts = self.decompress[sid.0 as usize].on_blob(&blob.bytes, now);
-                        for pkt in pkts {
-                            self.sched.schedule_at(
-                                now + self.cfg.stack_delay,
+                        // Zero-copy decode: ACKs are scheduled as they
+                        // decompress straight out of the blob bytes — no
+                        // intermediate packet Vec.
+                        let side = &mut self.decompress[sid.0 as usize];
+                        let sched = &mut self.sched;
+                        let stack_delay = self.cfg.stack_delay;
+                        side.on_blob_with(&blob.bytes, now, |pkt| {
+                            sched.schedule_at(
+                                now + stack_delay,
                                 Event::HostRx {
                                     station: sid,
                                     pkt,
                                     native: false,
                                 },
                             );
-                        }
+                        });
                         if let Some(flow) = sup_flow {
                             // Blob post-mortem for the supervisor: CRC
                             // hits, context damage, and clean decodes.
@@ -826,13 +910,10 @@ impl World {
                     // in Opportunistic mode cancel held twins).
                     let key = (sid.0, from.0);
                     if let Some(side) = self.compress.get_mut(&key) {
-                        let acked: Vec<NetPacket> = acked_msdus
-                            .iter()
-                            .filter(|m| m.is_pure_tcp_ack())
-                            .cloned()
-                            .collect();
-                        if !acked.is_empty() {
-                            let dacts = side.on_natives_delivered(&acked);
+                        // The driver ignores non-ACK MSDUs itself, so the
+                        // batch passes through without a filtered clone.
+                        if acked_msdus.iter().any(|m| m.is_pure_tcp_ack()) {
+                            let dacts = side.on_natives_delivered(&acked_msdus);
                             self.apply_driver(sid, from, dacts, now);
                         }
                     }
@@ -1265,11 +1346,21 @@ impl World {
             .and_then(Connection::next_timer);
         match next {
             Some(at) => {
+                let at = at.max(now);
+                // Same deadline as the armed event: keep it (its token is
+                // still the latest) instead of flooding the queue with a
+                // stale-token event per delivered segment.
+                if self.endpoints[ep].timer_at == Some(at) {
+                    return;
+                }
+                self.endpoints[ep].timer_at = Some(at);
                 let token = self.tcp_timers.arm(ep as u32);
-                self.sched
-                    .schedule_at(at.max(now), Event::TcpTimer(ep, token));
+                self.sched.schedule_at(at, Event::TcpTimer(ep, token));
             }
-            None => self.tcp_timers.cancel(ep as u32),
+            None => {
+                self.endpoints[ep].timer_at = None;
+                self.tcp_timers.cancel(ep as u32);
+            }
         }
     }
 

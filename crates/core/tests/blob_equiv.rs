@@ -1,0 +1,157 @@
+//! Property-based equivalence of the incremental blob cache against a
+//! from-scratch rebuild: after *any* sequence of driver operations —
+//! holds, spills past the cap, ridden/unridden response cycles, data
+//! confirmations, flush timers — `CompressSide::current_blob()` (the
+//! patched cache) must equal `rebuild_blob_from_scratch()` (re-encoding
+//! every held segment). This is the safety net under the zero-copy hot
+//! path: the simulator only ever ships the cached bytes.
+
+use hack_core::{CompressSide, HackMode};
+use hack_mac::RxDataInfo;
+use hack_phy::StationId;
+use hack_sim::{SimDuration, SimTime};
+use hack_tcp::{
+    flags as tf, Ipv4Addr, Ipv4Packet, TcpOption, TcpOptions, TcpSegment, TcpSeq, Transport,
+};
+use proptest::prelude::*;
+
+fn ack_pkt(ackno: u32, ident: u16, tsval: u32, window: u16) -> Ipv4Packet {
+    let mut options = TcpOptions::new();
+    options.push(TcpOption::Timestamps {
+        tsval,
+        tsecr: tsval.wrapping_sub(3),
+    });
+    Ipv4Packet {
+        src: Ipv4Addr::new(192, 168, 0, 2),
+        dst: Ipv4Addr::new(10, 0, 0, 1),
+        ident,
+        ttl: 64,
+        transport: Transport::Tcp(TcpSegment {
+            src_port: 40000,
+            dst_port: 5001,
+            seq: TcpSeq(7777),
+            ack: TcpSeq(ackno),
+            flags: tf::ACK,
+            window,
+            options,
+            payload_len: 0,
+        }),
+    }
+}
+
+/// One generated driver operation. Encoded as plain tuples so the
+/// vendored proptest's built-in strategies cover it.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// TCP stack emits an ACK (delta advances the ack number).
+    AckOut { delta: u32, window: u16 },
+    /// Data PPDU from the peer; may confirm ridden holds and drives the
+    /// MORE DATA latch.
+    DataReceived {
+        more_data: bool,
+        sync: bool,
+        advances_seq: bool,
+        is_aggregate: bool,
+    },
+    /// MAC sent a response; `attached` = our blob rode it.
+    ResponseSent { attached: bool },
+    /// Explicit flush timer fired.
+    FlushTimer,
+}
+
+fn decode_op(sel: u8, a: u32, b: u16, f: (bool, bool, bool, bool)) -> Op {
+    match sel % 4 {
+        0 => Op::AckOut {
+            delta: a % 100_000,
+            window: b,
+        },
+        1 => Op::DataReceived {
+            more_data: f.0,
+            sync: f.1,
+            advances_seq: f.2,
+            is_aggregate: f.3,
+        },
+        2 => Op::ResponseSent { attached: f.0 },
+        _ => Op::FlushTimer,
+    }
+}
+
+fn run_ops(mode: HackMode, held_cap: usize, ops: &[Op]) {
+    let mut d = CompressSide::new(mode);
+    d.set_held_cap(held_cap);
+    let mut ackno = 1000u32;
+    let mut ident = 1u16;
+    let mut ts = 100u32;
+    let mut now = SimTime::from_millis(1);
+    for (i, op) in ops.iter().enumerate() {
+        now += SimDuration::from_micros(137);
+        match *op {
+            Op::AckOut { delta, window } => {
+                ackno = ackno.wrapping_add(delta);
+                ident = ident.wrapping_add(1);
+                ts = ts.wrapping_add(1);
+                d.on_ack_out(ack_pkt(ackno, ident, ts, window), now);
+            }
+            Op::DataReceived {
+                more_data,
+                sync,
+                advances_seq,
+                is_aggregate,
+            } => {
+                let info = RxDataInfo {
+                    from: StationId(0),
+                    mpdus_ok: 2,
+                    more_data,
+                    sync,
+                    advances_seq,
+                    is_aggregate,
+                };
+                d.on_data_received(&info, now);
+            }
+            Op::ResponseSent { attached } => {
+                d.on_response_sent(attached, now);
+            }
+            Op::FlushTimer => {
+                d.on_flush_timer(now);
+            }
+        }
+        assert_eq!(
+            d.current_blob(),
+            d.rebuild_blob_from_scratch(),
+            "cache diverged after op {i} ({op:?}); held={}",
+            d.held_count()
+        );
+    }
+}
+
+proptest! {
+    /// MORE DATA mode: the incremental cache equals a from-scratch
+    /// rebuild after every operation of an arbitrary driver history.
+    #[test]
+    fn incremental_blob_matches_scratch_more_data(
+        held_cap in 1usize..12,
+        raw in proptest::collection::vec(
+            (any::<u8>(), any::<u32>(), any::<u16>(),
+             (any::<bool>(), any::<bool>(), any::<bool>(), any::<bool>())),
+            1..80,
+        ),
+    ) {
+        let ops: Vec<Op> = raw.iter().map(|&(s, a, b, f)| decode_op(s, a, b, f)).collect();
+        run_ops(HackMode::MoreData, held_cap, &ops);
+    }
+
+    /// Explicit-timer mode exercises the flush path (drain-all +
+    /// SendNative spill) under the same invariant.
+    #[test]
+    fn incremental_blob_matches_scratch_explicit_timer(
+        held_cap in 1usize..12,
+        raw in proptest::collection::vec(
+            (any::<u8>(), any::<u32>(), any::<u16>(),
+             (any::<bool>(), any::<bool>(), any::<bool>(), any::<bool>())),
+            1..80,
+        ),
+    ) {
+        let ops: Vec<Op> = raw.iter().map(|&(s, a, b, f)| decode_op(s, a, b, f)).collect();
+        run_ops(HackMode::ExplicitTimer(SimDuration::from_millis(5)), held_cap, &ops);
+    }
+}

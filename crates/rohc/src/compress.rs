@@ -29,12 +29,11 @@
 //! MSN implements the paper's extended master sequence number for
 //! duplicate discard after Block ACK retransmission (§3.4, Figure 6).
 
-use std::collections::HashMap;
-
 use hack_inline::InlineVec;
 use hack_tcp::{FiveTuple, Ipv4Packet};
 use hack_trace::{Event, TraceHandle};
 
+use crate::cidmap::{CidMap, CtxTable};
 use crate::context::{compressible_ack, wlsb_k, CompContext, FieldRefs};
 use crate::crc::crc3;
 use crate::varint::{write_ivarint, write_uvarint};
@@ -92,11 +91,11 @@ impl CompressStats {
 /// The client-side compressor.
 #[derive(Debug, Default)]
 pub struct Compressor {
-    contexts: HashMap<u8, CompContext>,
+    contexts: CtxTable<CompContext>,
     /// Per-flow CID cache: MD5 over the 5-tuple runs once per flow
-    /// (at first sight), not once per ACK. A linear scan beats hashing
-    /// here — a compressor sees a handful of flows at most.
-    cid_cache: Vec<(FiveTuple, u8)>,
+    /// (at first sight), not once per ACK; steady-state lookups go
+    /// through the open-addressed [`CidMap`] — O(1) at any flow count.
+    cid_cache: CidMap,
     /// Reused header-serialization buffer for the CRC-3 computation:
     /// one warm buffer per compressor instead of a fresh `Vec` per ACK.
     scratch: Vec<u8>,
@@ -139,11 +138,11 @@ impl Compressor {
     /// The flow's CID, computing the MD5 only on first sight of the
     /// 5-tuple.
     fn cid_of(&mut self, tuple: &FiveTuple) -> u8 {
-        if let Some(&(_, cid)) = self.cid_cache.iter().find(|(t, _)| t == tuple) {
+        if let Some(cid) = self.cid_cache.get(tuple) {
             return cid;
         }
         let cid = crate::md5::cid_for_tuple(&tuple.bytes());
-        self.cid_cache.push((*tuple, cid));
+        self.cid_cache.insert(*tuple, cid);
         cid
     }
 
@@ -155,9 +154,9 @@ impl Compressor {
     /// are untouched.
     pub fn drop_context(&mut self, tuple: &FiveTuple) -> bool {
         let cid = self.cid_of(tuple);
-        match self.contexts.get(&cid) {
+        match self.contexts.get(cid) {
             Some(ctx) if &ctx.tuple == tuple => {
-                self.contexts.remove(&cid);
+                self.contexts.remove(cid);
                 true
             }
             _ => false,
@@ -175,7 +174,7 @@ impl Compressor {
             return;
         };
         let cid = self.cid_of(&fresh.tuple);
-        match self.contexts.get_mut(&cid) {
+        match self.contexts.get_mut(cid) {
             Some(ctx) if ctx.tuple == pkt.five_tuple() => ctx.native_enqueued(pkt, seg),
             Some(_) => {
                 // CID collision with a different flow: the new flow stays
@@ -211,7 +210,7 @@ impl Compressor {
         };
         let tuple = pkt.five_tuple();
         let cid = self.cid_of(&tuple);
-        if let Some(ctx) = self.contexts.get_mut(&cid) {
+        if let Some(ctx) = self.contexts.get_mut(cid) {
             if ctx.tuple == tuple {
                 ctx.confirmed(&FieldRefs::of(pkt, seg));
             }
@@ -227,7 +226,7 @@ impl Compressor {
         };
         let tuple = pkt.five_tuple();
         let cid = self.cid_of(&tuple);
-        let Some(ctx) = self.contexts.get_mut(&cid) else {
+        let Some(ctx) = self.contexts.get_mut(cid) else {
             self.stats.declined += 1;
             return None;
         };

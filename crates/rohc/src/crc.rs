@@ -17,23 +17,53 @@ fn crc_generic(data: &[u8], width: u8, poly: u8, init: u8) -> u8 {
     let mask = (1u16 << width) - 1;
     let mut crc = u16::from(init) & mask;
     for &byte in data {
-        let mut b = byte;
-        for _ in 0..8 {
-            let bit = (crc ^ u16::from(b)) & 1;
-            crc >>= 1;
-            if bit != 0 {
-                crc ^= u16::from(poly);
-            }
-            b >>= 1;
-        }
+        crc = crc_byte(crc, byte, poly);
     }
     (crc & mask) as u8
 }
 
+const fn crc_byte(state: u16, byte: u8, poly: u8) -> u16 {
+    let mut crc = state;
+    let mut b = byte;
+    let mut i = 0;
+    while i < 8 {
+        let bit = (crc ^ b as u16) & 1;
+        crc >>= 1;
+        if bit != 0 {
+            crc ^= poly as u16;
+        }
+        b >>= 1;
+        i += 1;
+    }
+    crc
+}
+
+/// Full CRC-3 state-transition table: `CRC3_TABLE[state][byte]` is the
+/// 3-bit state after folding one input byte. The state space is only 8
+/// values, so the whole function fits in a 2 KiB table and the per-byte
+/// cost drops from 8 shift/xor steps to a single load.
+const CRC3_TABLE: [[u8; 256]; 8] = {
+    let mut t = [[0u8; 256]; 8];
+    let mut s = 0;
+    while s < 8 {
+        let mut b = 0;
+        while b < 256 {
+            t[s][b] = crc_byte(s as u16, b as u8, 0b110) as u8;
+            b += 1;
+        }
+        s += 1;
+    }
+    t
+};
+
 /// ROHC CRC-3 (values 0–7).
 pub fn crc3(data: &[u8]) -> u8 {
     // x³+x+1 => reversed representation 0b110 for a 3-bit LSB-first CRC.
-    crc_generic(data, 3, 0b110, 0b111)
+    let mut crc = 0b111u8;
+    for &byte in data {
+        crc = CRC3_TABLE[usize::from(crc)][usize::from(byte)];
+    }
+    crc
 }
 
 /// ROHC CRC-7 (values 0–127).
@@ -51,6 +81,26 @@ pub fn crc8(data: &[u8]) -> u8 {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn crc3_table_matches_bitwise_reference_exhaustively() {
+        // Every (state, byte) transition agrees with the bit-serial
+        // algorithm, so table-driven crc3 == the original definition.
+        for s in 0..8u16 {
+            for b in 0..=255u8 {
+                assert_eq!(
+                    u16::from(CRC3_TABLE[usize::from(s)][usize::from(b)]),
+                    crc_byte(s, b, 0b110),
+                    "state {s} byte {b}"
+                );
+            }
+        }
+        // And end-to-end on a multi-byte input.
+        for len in 0..64usize {
+            let data: Vec<u8> = (0..len as u8).map(|i| i.wrapping_mul(37)).collect();
+            assert_eq!(crc3(&data), crc_generic(&data, 3, 0b110, 0b111));
+        }
+    }
 
     #[test]
     fn empty_input_yields_init() {

@@ -14,11 +14,10 @@
 //! its floor) surfaces as a CRC failure and heals on the next native
 //! ACK, satisfying the paper's "must not be persistent" requirement.
 
-use std::collections::HashMap;
-
 use hack_tcp::{flags as tcpflags, Ipv4Packet, TcpOption, TcpSegment, TcpSeq, Transport};
 use hack_trace::{Event, TraceHandle};
 
+use crate::cidmap::{CidMap, CtxTable};
 use crate::compress::flagbits;
 use crate::context::{compressible_ack, wlsb_decode, DecompContext, FieldRefs};
 use crate::crc::crc3;
@@ -64,10 +63,15 @@ pub struct DecompressStats {
 /// The AP-side decompressor.
 #[derive(Debug, Default)]
 pub struct Decompressor {
-    contexts: HashMap<u8, DecompContext>,
+    contexts: CtxTable<DecompContext>,
     /// Per-flow CID cache — MD5 once per flow, not per native ACK (the
-    /// compressed path carries the CID on the wire already).
-    cid_cache: Vec<(hack_tcp::FiveTuple, u8)>,
+    /// compressed path carries the CID on the wire already); lookups go
+    /// through the open-addressed [`CidMap`].
+    cid_cache: CidMap,
+    /// Reused header-serialization buffer for CRC-3 validation: one
+    /// warm buffer per decompressor instead of a fresh `Vec` per
+    /// reconstructed segment.
+    scratch: Vec<u8>,
     stats: DecompressStats,
     trace: TraceHandle,
     trace_node: u32,
@@ -118,14 +122,13 @@ impl Decompressor {
     /// context was dropped. Other flows sharing this decompressor are
     /// untouched.
     pub fn drop_context(&mut self, tuple: &hack_tcp::FiveTuple) -> bool {
-        let cid = if let Some(&(_, cid)) = self.cid_cache.iter().find(|(t, _)| t == tuple) {
-            cid
-        } else {
-            crate::md5::cid_for_tuple(&tuple.bytes())
-        };
-        match self.contexts.get(&cid) {
+        let cid = self
+            .cid_cache
+            .get(tuple)
+            .unwrap_or_else(|| crate::md5::cid_for_tuple(&tuple.bytes()));
+        match self.contexts.get(cid) {
             Some(ctx) if &ctx.tuple == tuple => {
-                self.contexts.remove(&cid);
+                self.contexts.remove(cid);
                 true
             }
             _ => false,
@@ -142,14 +145,15 @@ impl Decompressor {
         let Some(fresh) = DecompContext::from_native(pkt) else {
             return;
         };
-        let cid = if let Some(&(_, cid)) = self.cid_cache.iter().find(|(t, _)| t == &fresh.tuple) {
-            cid
-        } else {
-            let cid = fresh.cid();
-            self.cid_cache.push((fresh.tuple, cid));
-            cid
+        let cid = match self.cid_cache.get(&fresh.tuple) {
+            Some(cid) => cid,
+            None => {
+                let cid = fresh.cid();
+                self.cid_cache.insert(fresh.tuple, cid);
+                cid
+            }
         };
-        match self.contexts.get_mut(&cid) {
+        match self.contexts.get_mut(cid) {
             Some(ctx) if ctx.tuple == pkt.five_tuple() => ctx.refresh_native(pkt, seg),
             Some(_) => {}
             None => {
@@ -166,50 +170,47 @@ impl Decompressor {
         }
     }
 
-    /// Decompress a full blob (`count` + segments).
+    /// Decompress a full blob (`count` + segments) into an owned
+    /// [`BlobResult`]. Convenience wrapper over [`Decompressor::decode`]
+    /// — the hot path (the simulator's AP driver) iterates the cursor
+    /// directly and never materializes the packet `Vec`.
     pub fn decompress_blob(&mut self, blob: &[u8]) -> BlobResult {
         let mut res = BlobResult::default();
-        let Some((&count, mut rest)) = blob.split_first() else {
-            self.stats.malformed += 1;
-            res.errors.push(DecompressError::Malformed);
-            self.trace_fail(DecompressError::Malformed);
-            return res;
-        };
-        for _ in 0..count {
-            if rest.is_empty() {
-                self.stats.malformed += 1;
-                res.errors.push(DecompressError::Malformed);
-                self.trace_fail(DecompressError::Malformed);
-                break;
+        for item in self.decode(blob) {
+            match item {
+                BlobItem::Packet(p) => res.packets.push(p),
+                BlobItem::Duplicate => res.duplicates += 1,
+                BlobItem::Fail(e) => res.errors.push(e),
             }
-            match self.decompress_one(rest) {
-                Ok((pkt, used)) => {
-                    rest = &rest[used..];
-                    match pkt {
-                        Some(p) => res.packets.push(p),
-                        None => res.duplicates += 1,
-                    }
-                }
-                Err((e, used)) => {
-                    res.errors.push(e);
-                    self.trace_fail(e);
-                    if used == 0 {
-                        break; // cannot even skip: stop parsing the blob
-                    }
-                    rest = &rest[used..];
-                }
-            }
-        }
-        // Every segment parsed cleanly yet bytes remain: the count byte
-        // undershot the payload (a corrupted count), and whatever those
-        // trailing bytes encode was never applied. Surface it instead of
-        // silently swallowing data.
-        if res.errors.is_empty() && !rest.is_empty() {
-            self.stats.malformed += 1;
-            res.errors.push(DecompressError::Malformed);
-            self.trace_fail(DecompressError::Malformed);
         }
         res
+    }
+
+    /// Streaming zero-copy decode: a cursor that yields one
+    /// [`BlobItem`] at a time, parsing W-LSB/varint fields straight out
+    /// of `blob` (the delivered MPDU buffer). No intermediate segment
+    /// buffers, no packet `Vec` — each reconstructed ACK is handed to
+    /// the caller as it decodes. Stats and trace events are identical
+    /// to [`Decompressor::decompress_blob`].
+    pub fn decode<'a, 'd>(&'d mut self, blob: &'a [u8]) -> BlobDecoder<'a, 'd> {
+        match blob.split_first() {
+            Some((&count, rest)) => BlobDecoder {
+                d: self,
+                rest,
+                remaining: u32::from(count),
+                start_failed: false,
+                errored: false,
+                done: false,
+            },
+            None => BlobDecoder {
+                d: self,
+                rest: blob,
+                remaining: 0,
+                start_failed: true,
+                errored: false,
+                done: false,
+            },
+        }
     }
 
     fn trace_fail(&self, e: DecompressError) {
@@ -235,7 +236,7 @@ impl Decompressor {
             return Err((DecompressError::Malformed, 0));
         }
         let cid = data[0];
-        let Some(ctx) = self.contexts.get(&cid) else {
+        let Some(ctx) = self.contexts.get(cid) else {
             // Without the context we cannot even size the segment
             // (timestamp presence is per-flow), so the rest of the blob
             // is unparseable.
@@ -257,7 +258,7 @@ impl Decompressor {
         // native is always decoded rather than risk a corruption-planted
         // MSN discarding valid traffic; the CRC-3 check below still
         // gates what gets forwarded.
-        let ctx = self.contexts.get_mut(&cid).expect("looked up above");
+        let ctx = self.contexts.get_mut(cid).expect("looked up above");
         let msn_dist = parsed.msn.wrapping_sub(ctx.msn);
         if ctx.msn_valid && (msn_dist == 0 || msn_dist > 128) {
             self.stats.duplicates += 1;
@@ -287,9 +288,9 @@ impl Decompressor {
         if let Some((tsval, tsecr)) = ts {
             options.push(TcpOption::Timestamps { tsval, tsecr });
         }
-        if let Some(blocks) = &parsed.sack {
+        if let Some((blocks, n)) = &parsed.sack {
             options.push(TcpOption::Sack(
-                blocks
+                blocks[..usize::from(*n)]
                     .iter()
                     .map(|&(start_rel, len)| {
                         let start = ack + (start_rel as u32);
@@ -316,8 +317,10 @@ impl Decompressor {
             }),
         };
 
-        // CRC validation over the reconstructed original header.
-        if crc3(&pkt.header_bytes()) & flagbits::CRC_MASK != parsed.crc {
+        // CRC validation over the reconstructed original header,
+        // serialized into the reused scratch buffer (no per-segment Vec).
+        pkt.header_bytes_into(&mut self.scratch);
+        if crc3(&self.scratch) & flagbits::CRC_MASK != parsed.crc {
             self.stats.crc_failures += 1;
             return Err((DecompressError::BadCrc, parsed.consumed));
         }
@@ -341,6 +344,89 @@ impl Decompressor {
     }
 }
 
+/// One decoded item yielded by a [`BlobDecoder`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BlobItem {
+    /// A successfully reconstituted ACK packet.
+    Packet(Ipv4Packet),
+    /// A segment discarded as a duplicate by master sequence number.
+    Duplicate,
+    /// A segment that failed to decompress.
+    Fail(DecompressError),
+}
+
+/// Streaming cursor over one blob: decodes straight out of the borrowed
+/// byte slice, one segment per [`Iterator::next`] call. Created by
+/// [`Decompressor::decode`]; item order, statistics, and trace events
+/// match the batch [`Decompressor::decompress_blob`] exactly.
+#[derive(Debug)]
+pub struct BlobDecoder<'a, 'd> {
+    d: &'d mut Decompressor,
+    rest: &'a [u8],
+    remaining: u32,
+    /// The blob had no count byte at all (empty input).
+    start_failed: bool,
+    /// Whether any segment error was emitted (suppresses the trailing-
+    /// bytes check, matching the batch decoder).
+    errored: bool,
+    done: bool,
+}
+
+impl Iterator for BlobDecoder<'_, '_> {
+    type Item = BlobItem;
+
+    fn next(&mut self) -> Option<BlobItem> {
+        if self.done {
+            return None;
+        }
+        if self.start_failed {
+            self.done = true;
+            self.d.stats.malformed += 1;
+            self.d.trace_fail(DecompressError::Malformed);
+            return Some(BlobItem::Fail(DecompressError::Malformed));
+        }
+        if self.remaining > 0 {
+            self.remaining -= 1;
+            if self.rest.is_empty() {
+                self.done = true;
+                self.d.stats.malformed += 1;
+                self.d.trace_fail(DecompressError::Malformed);
+                return Some(BlobItem::Fail(DecompressError::Malformed));
+            }
+            return Some(match self.d.decompress_one(self.rest) {
+                Ok((pkt, used)) => {
+                    self.rest = &self.rest[used..];
+                    match pkt {
+                        Some(p) => BlobItem::Packet(p),
+                        None => BlobItem::Duplicate,
+                    }
+                }
+                Err((e, used)) => {
+                    self.errored = true;
+                    self.d.trace_fail(e);
+                    if used == 0 {
+                        self.done = true; // cannot even skip: stop parsing
+                    } else {
+                        self.rest = &self.rest[used..];
+                    }
+                    BlobItem::Fail(e)
+                }
+            });
+        }
+        self.done = true;
+        // Every segment parsed cleanly yet bytes remain: the count byte
+        // undershot the payload (a corrupted count), and whatever those
+        // trailing bytes encode was never applied. Surface it instead of
+        // silently swallowing data.
+        if !self.errored && !self.rest.is_empty() {
+            self.d.stats.malformed += 1;
+            self.d.trace_fail(DecompressError::Malformed);
+            return Some(BlobItem::Fail(DecompressError::Malformed));
+        }
+        None
+    }
+}
+
 struct ParsedSegment {
     msn: u8,
     crc: u8,
@@ -350,7 +436,8 @@ struct ParsedSegment {
     window: Option<u16>,
     /// (tsval LSBs, tsecr LSBs, k)
     ts: Option<(u32, u32, u32)>,
-    sack: Option<Vec<(i64, u32)>>,
+    /// Up to four (start_rel, len) SACK blocks, inline — no heap.
+    sack: Option<([(i64, u32); 4], u8)>,
     consumed: usize,
 }
 
@@ -421,15 +508,15 @@ fn parse_segment(data: &[u8], has_ts: bool) -> Option<ParsedSegment> {
         if count > 4 {
             return None;
         }
-        let mut blocks = Vec::with_capacity(usize::from(count));
-        for _ in 0..count {
+        let mut blocks = [(0i64, 0u32); 4];
+        for b in blocks.iter_mut().take(usize::from(count)) {
             let (start_rel, n1) = read_ivarint(&data[off..])?;
             off += n1;
             let (len, n2) = read_uvarint(&data[off..])?;
             off += n2;
-            blocks.push((start_rel, u32::try_from(len).ok()?));
+            *b = (start_rel, u32::try_from(len).ok()?);
         }
-        Some(blocks)
+        Some((blocks, count))
     } else {
         None
     };

@@ -31,6 +31,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cidmap;
 pub mod compress;
 pub mod context;
 pub mod crc;
@@ -38,7 +39,10 @@ pub mod decompress;
 pub mod md5;
 pub mod varint;
 
+pub use cidmap::{CidMap, CtxTable};
 pub use compress::{build_blob, build_blob_into, CompressStats, Compressor, RohcSegment};
 pub use context::{CompContext, DecompContext, FieldRefs};
-pub use decompress::{BlobResult, DecompressError, DecompressStats, Decompressor};
+pub use decompress::{
+    BlobDecoder, BlobItem, BlobResult, DecompressError, DecompressStats, Decompressor,
+};
 pub use md5::{cid_for_tuple, md5};

@@ -25,48 +25,58 @@ const K: [u32; 64] = [
     0x6fa87e4f, 0xfe2ce6e0, 0xa3014314, 0x4e0811a1, 0xf7537e82, 0xbd3af235, 0x2ad7d2bb, 0xeb86d391,
 ];
 
+fn md5_block(state: &mut [u32; 4], chunk: &[u8]) {
+    let mut m = [0u32; 16];
+    for (i, w) in chunk.chunks_exact(4).enumerate() {
+        m[i] = u32::from_le_bytes([w[0], w[1], w[2], w[3]]);
+    }
+    let (mut a, mut b, mut c, mut d) = (state[0], state[1], state[2], state[3]);
+    for i in 0..64 {
+        let (f, g) = match i / 16 {
+            0 => ((b & c) | (!b & d), i),
+            1 => ((d & b) | (!d & c), (5 * i + 1) % 16),
+            2 => (b ^ c ^ d, (3 * i + 5) % 16),
+            _ => (c ^ (b | !d), (7 * i) % 16),
+        };
+        let tmp = d;
+        d = c;
+        c = b;
+        let sum = a.wrapping_add(f).wrapping_add(K[i]).wrapping_add(m[g]);
+        b = b.wrapping_add(sum.rotate_left(S[i]));
+        a = tmp;
+    }
+    state[0] = state[0].wrapping_add(a);
+    state[1] = state[1].wrapping_add(b);
+    state[2] = state[2].wrapping_add(c);
+    state[3] = state[3].wrapping_add(d);
+}
+
 /// Compute the MD5 digest of `data`.
+///
+/// Heap-free: full 64-byte blocks are compressed straight out of the
+/// input slice; only the tail plus padding goes through a 128-byte stack
+/// buffer (the padded tail spans at most two blocks).
 pub fn md5(data: &[u8]) -> [u8; 16] {
-    let mut a0: u32 = 0x67452301;
-    let mut b0: u32 = 0xefcdab89;
-    let mut c0: u32 = 0x98badcfe;
-    let mut d0: u32 = 0x10325476;
+    let mut state: [u32; 4] = [0x67452301, 0xefcdab89, 0x98badcfe, 0x10325476];
+
+    let full = data.len() - data.len() % 64;
+    for chunk in data[..full].chunks_exact(64) {
+        md5_block(&mut state, chunk);
+    }
 
     // Padding: 0x80, zeros, then the 64-bit little-endian bit length.
+    let tail = &data[full..];
+    let mut pad = [0u8; 128];
+    pad[..tail.len()].copy_from_slice(tail);
+    pad[tail.len()] = 0x80;
     let bit_len = (data.len() as u64).wrapping_mul(8);
-    let mut msg = data.to_vec();
-    msg.push(0x80);
-    while msg.len() % 64 != 56 {
-        msg.push(0);
-    }
-    msg.extend_from_slice(&bit_len.to_le_bytes());
-
-    for chunk in msg.chunks_exact(64) {
-        let mut m = [0u32; 16];
-        for (i, w) in chunk.chunks_exact(4).enumerate() {
-            m[i] = u32::from_le_bytes([w[0], w[1], w[2], w[3]]);
-        }
-        let (mut a, mut b, mut c, mut d) = (a0, b0, c0, d0);
-        for i in 0..64 {
-            let (f, g) = match i / 16 {
-                0 => ((b & c) | (!b & d), i),
-                1 => ((d & b) | (!d & c), (5 * i + 1) % 16),
-                2 => (b ^ c ^ d, (3 * i + 5) % 16),
-                _ => (c ^ (b | !d), (7 * i) % 16),
-            };
-            let tmp = d;
-            d = c;
-            c = b;
-            let sum = a.wrapping_add(f).wrapping_add(K[i]).wrapping_add(m[g]);
-            b = b.wrapping_add(sum.rotate_left(S[i]));
-            a = tmp;
-        }
-        a0 = a0.wrapping_add(a);
-        b0 = b0.wrapping_add(b);
-        c0 = c0.wrapping_add(c);
-        d0 = d0.wrapping_add(d);
+    let padded = if tail.len() < 56 { 64 } else { 128 };
+    pad[padded - 8..padded].copy_from_slice(&bit_len.to_le_bytes());
+    for chunk in pad[..padded].chunks_exact(64) {
+        md5_block(&mut state, chunk);
     }
 
+    let [a0, b0, c0, d0] = state;
     let mut out = [0u8; 16];
     out[0..4].copy_from_slice(&a0.to_le_bytes());
     out[4..8].copy_from_slice(&b0.to_le_bytes());

@@ -36,9 +36,15 @@ pub fn write_ivarint<B: Extend<u8>>(out: &mut B, v: i64) {
 
 /// Decode a LEB128 value from `data`, returning `(value, bytes_read)`.
 /// `None` on truncation or overlong (>10 byte) encodings.
+#[inline]
 pub fn read_uvarint(data: &[u8]) -> Option<(u64, usize)> {
-    let mut v: u64 = 0;
-    for (i, &byte) in data.iter().enumerate().take(10) {
+    // Single-byte fast path: the common case for ACK/timestamp deltas.
+    let &b0 = data.first()?;
+    if b0 & 0x80 == 0 {
+        return Some((u64::from(b0), 1));
+    }
+    let mut v = u64::from(b0 & 0x7F);
+    for (i, &byte) in data.iter().enumerate().take(10).skip(1) {
         v |= u64::from(byte & 0x7F) << (7 * i);
         if byte & 0x80 == 0 {
             return Some((v, i + 1));

@@ -1,7 +1,7 @@
 //! Property-based tests: compression roundtrips over arbitrary ACK
 //! streams, duplicate discard, and CRC coverage.
 
-use hack_rohc::{build_blob, Compressor, Decompressor};
+use hack_rohc::{build_blob, BlobItem, Compressor, Decompressor};
 use hack_tcp::{flags as tf, Ipv4Addr, Ipv4Packet, TcpOption, TcpSegment, TcpSeq, Transport};
 use proptest::prelude::*;
 
@@ -194,5 +194,101 @@ proptest! {
                 "segment {} bytes vs original {}", seg.len(), p.wire_len());
         }
         prop_assert!(c.stats().ratio() >= 4.0);
+    }
+
+    /// The zero-copy streaming cursor and the owned batch decoder are
+    /// observationally identical: two independently primed
+    /// decompressors fed the same blob — valid or bit-flipped — yield
+    /// the same packets, duplicate count, error sequence, and final
+    /// statistics.
+    #[test]
+    fn streaming_decode_matches_owned_decode(
+        deltas in proptest::collection::vec((0u32..100_000, 0u32..50, any::<u16>()), 1..40),
+        flips in proptest::collection::vec((any::<u16>(), 0u32..8), 0..4),
+    ) {
+        let mut c = Compressor::new();
+        let seed = ack_pkt(1000, 1, 100, 1024);
+        c.observe_native(&seed);
+        let mut segs = Vec::new();
+        let mut ackno = 1000u32;
+        let mut ts = 100u32;
+        for (i, &(da, dt, w)) in deltas.iter().enumerate() {
+            ackno = ackno.wrapping_add(da);
+            ts = ts.wrapping_add(dt);
+            let p = ack_pkt(ackno, 2 + i as u16, ts, w);
+            segs.push(c.compress(&p).expect("in-profile packet"));
+        }
+        let mut blob = build_blob(&segs);
+        for &(pos, bit) in &flips {
+            let i = usize::from(pos) % blob.len();
+            blob[i] ^= 1 << bit;
+        }
+
+        let mut owned = Decompressor::new();
+        let mut streaming = Decompressor::new();
+        owned.observe_native(&seed);
+        streaming.observe_native(&seed);
+
+        let batch = owned.decompress_blob(&blob);
+        let mut packets = Vec::new();
+        let mut duplicates = 0u32;
+        let mut errors = Vec::new();
+        for item in streaming.decode(&blob) {
+            match item {
+                BlobItem::Packet(p) => packets.push(p),
+                BlobItem::Duplicate => duplicates += 1,
+                BlobItem::Fail(e) => errors.push(e),
+            }
+        }
+        prop_assert_eq!(packets, batch.packets);
+        prop_assert_eq!(duplicates, batch.duplicates);
+        prop_assert_eq!(errors, batch.errors);
+        let (a, b) = (owned.stats(), streaming.stats());
+        prop_assert_eq!(a.decompressed, b.decompressed);
+        prop_assert_eq!(a.duplicates, b.duplicates);
+        prop_assert_eq!(a.crc_failures, b.crc_failures);
+        prop_assert_eq!(a.no_context, b.no_context);
+        prop_assert_eq!(a.malformed, b.malformed);
+    }
+
+    /// Abandoning the streaming cursor mid-blob (the MAC dropping the
+    /// rest of a frame) leaves the decompressor in a state a native
+    /// refresh fully repairs: the next compressed segment decodes
+    /// byte-exactly.
+    #[test]
+    fn partial_cursor_drop_then_native_resync(
+        n in 2usize..20,
+        take in 0usize..20,
+    ) {
+        let mut c = Compressor::new();
+        let mut d = Decompressor::new();
+        let seed = ack_pkt(1000, 1, 100, 1024);
+        c.observe_native(&seed);
+        d.observe_native(&seed);
+        let segs: Vec<_> = (0..n)
+            .map(|i| {
+                let p = ack_pkt(
+                    1000 + (i as u32 + 1) * 2920,
+                    2 + i as u16,
+                    100 + i as u32,
+                    1024,
+                );
+                c.compress(&p).unwrap()
+            })
+            .collect();
+        let blob = build_blob(&segs);
+        // Consume only a prefix of the cursor, then drop it.
+        for item in d.decode(&blob).take(take.min(n)) {
+            prop_assert!(matches!(item, BlobItem::Packet(_)), "{item:?}");
+        }
+        // Native repair, then the chain resumes byte-exactly.
+        let native = ack_pkt(90_000, 100, 500, 2048);
+        c.observe_native(&native);
+        d.observe_native(&native);
+        let next = ack_pkt(92_920, 101, 501, 2048);
+        let seg = c.compress(&next).expect("in-profile packet");
+        let res = d.decompress_blob(&build_blob(&[seg]));
+        prop_assert!(res.errors.is_empty(), "{:?}", res.errors);
+        prop_assert_eq!(res.packets, vec![next]);
     }
 }
