@@ -40,7 +40,9 @@ use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
-use hack_core::{run, CompressSide, DriverAction, HackMode, ScenarioConfig};
+use hack_core::{
+    run, run_dense, BssSpec, CompressSide, DenseOptions, DriverAction, HackMode, ScenarioConfig,
+};
 use hack_mac::RxDataInfo;
 use hack_phy::StationId;
 use hack_rohc::{build_blob, BlobItem, CidMap, Compressor, Decompressor};
@@ -341,6 +343,46 @@ fn stage_header_serialize(quick: bool) -> Stage {
     })
 }
 
+fn stage_dense_e2e(quick: bool) -> Stage {
+    // Multi-BSS end to end: a 9-BSS enterprise floor (18 clients, 27
+    // stations) run through the shard engine on one thread, reported as
+    // ns per dispatched event. This is the domain-scoping gate — if
+    // carrier sense or `end_tx` reception ever regress from
+    // per-interference-domain back to O(all stations on the floor),
+    // this stage moves while the single-cell end-to-end stays put.
+    let ms = if quick { 120 } else { 400 };
+    let cfg = ScenarioConfig::builder()
+        .hack(HackMode::MoreData)
+        .bss(BssSpec::enterprise_floor(9, 2))
+        .duration(SimDuration::from_millis(ms))
+        .stagger(SimDuration::from_millis(2))
+        .warmup(SimDuration::from_millis(ms / 5))
+        .build();
+    let opts = DenseOptions {
+        threads: 1,
+        epoch: SimDuration::from_millis(5),
+        digests: false,
+    };
+    let a0 = allocs_now();
+    let t0 = Instant::now();
+    let report = run_dense(&cfg, &opts);
+    let wall = t0.elapsed();
+    let allocs = allocs_now() - a0;
+    let events: u64 = report
+        .shards
+        .iter()
+        .map(|s| s.result.events_dispatched)
+        .sum();
+    assert!(
+        report.aggregate_goodput_mbps > 0.0,
+        "dense bench world moved no bytes"
+    );
+    Stage {
+        ns_per_op: wall.as_nanos() as f64 / events.max(1) as f64,
+        allocs_per_op: allocs as f64 / events.max(1) as f64,
+    }
+}
+
 // ---------------------------------------------------------------------
 // End-to-end events/sec.
 // ---------------------------------------------------------------------
@@ -573,6 +615,7 @@ fn main() {
         ("cid_lookup_x64", stage_cid_lookup(quick)),
         ("md5_cid", stage_md5_cid(quick)),
         ("header_serialize", stage_header_serialize(quick)),
+        ("dense_9bss_e2e", stage_dense_e2e(quick)),
     ];
     for (name, st) in &stages {
         println!(

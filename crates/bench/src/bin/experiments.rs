@@ -12,8 +12,9 @@ use hack_analysis::{CapacityModel, Protocol};
 use hack_bench::{run_seeds, set_trace_base, CommonOpts, USAGE};
 use hack_campaign::{campaign_csv, campaign_json, run_campaign, Axis, CellReport, SweepSpec};
 use hack_core::{
-    CcKind, ChannelChange, ChannelEvent, CompressSideStats, CorruptModel, FlowHealth, GeParams,
-    HackMode, LossConfig, RunResult, ScenarioConfig, SupervisorConfig, SupervisorReport,
+    run_dense, BssSpec, CcKind, ChannelChange, ChannelEvent, CompressSideStats, CorruptModel,
+    DenseOptions, DenseReport, FlowHealth, GeParams, HackMode, LossConfig, RunResult,
+    ScenarioConfig, SupervisorConfig, SupervisorReport,
 };
 use hack_phy::{Channel, PhyRate, StationId, DOT11A_RATES_MBPS, DOT11N_HT40_SGI_MBPS};
 use hack_sim::{RunStats, SimDuration};
@@ -54,6 +55,8 @@ fn main() {
         "chaos-recovery" => chaos_recovery(&opts),
         "campaign-smoke" => campaign_smoke(&opts),
         "cc-matrix" => cc_matrix(&opts),
+        "dense-sweep" => dense_sweep(&opts),
+        "dense-smoke" => dense_smoke(&opts),
         "ablate-timer" => ablate_timer(&opts),
         "ablate-delack" => ablate_delack(&opts),
         "ablate-sync" => ablate_sync(&opts),
@@ -74,6 +77,8 @@ fn main() {
             chaos_recovery(&opts);
             campaign_smoke(&opts);
             cc_matrix(&opts);
+            dense_sweep(&opts);
+            dense_smoke(&opts);
             ablate_timer(&opts);
             ablate_delack(&opts);
             ablate_sync(&opts);
@@ -901,6 +906,172 @@ fn cc_matrix(opts: &Opts) {
         std::process::exit(1);
     }
     println!("cc matrix OK");
+}
+
+// ----------------------------------------------------------------------
+// Dense deployments: multi-BSS sharded worlds
+// ----------------------------------------------------------------------
+
+/// An enterprise-floor scenario sized for the dense subcommands.
+fn dense_cfg(
+    n_bss: usize,
+    clients_per: usize,
+    mode: HackMode,
+    ms: u64,
+    seed: u64,
+) -> ScenarioConfig {
+    ScenarioConfig::builder()
+        .hack(mode)
+        .bss(BssSpec::enterprise_floor(n_bss, clients_per))
+        .duration(SimDuration::from_millis(ms))
+        .stagger(SimDuration::from_millis(2))
+        .warmup(SimDuration::from_millis(ms / 10))
+        .seed(seed)
+        .build()
+}
+
+/// Total medium acquisitions by *client* stations across every shard —
+/// the reverse-path channel cost (data is downstream, so client
+/// transmissions are almost entirely TCP-ACK batches, the acquisitions
+/// HACK exists to eliminate). Shard station order is per-cell blocks
+/// (AP, then its clients), which is what the index walk follows.
+fn client_acquisitions(report: &DenseReport, cfg: &ScenarioConfig) -> u64 {
+    let mut total = 0;
+    for shard in &report.shards {
+        let mut i = 0usize;
+        for &b in &shard.bss {
+            i += 1; // skip the cell's AP
+            for _ in 0..cfg.bss[b].n_clients {
+                total += shard.result.mac[i].tx_attempts.get();
+                i += 1;
+            }
+        }
+    }
+    total
+}
+
+/// Dense-deployment sweep: HACK-vs-TCP goodput and medium-acquisition
+/// savings as the floor grows in both directions — BSS count (spatial
+/// reuse; shards run in parallel) and clients per cell (contention
+/// inside each cell, where HACK's reverse-path savings compound).
+fn dense_sweep(opts: &Opts) {
+    banner("Dense sweep: HACK vs TCP across BSS count × clients per cell");
+    let ms = if opts.quick { 200 } else { 3_000 };
+    let (bss_counts, clients_per): (&[usize], &[usize]) = if opts.quick {
+        (&[1, 4], &[1, 4])
+    } else {
+        (&[1, 4, 9, 16], &[1, 2, 4, 8])
+    };
+    println!(
+        "({} ms per run, enterprise-floor grid, channels 3-coloured;",
+        ms
+    );
+    println!(" acq = client medium acquisitions, the reverse-path cost HACK removes)");
+    println!(
+        "{:>4} {:>8} {:>6} {:>12} {:>12} {:>7} {:>10} {:>10} {:>7}",
+        "bss", "cli/bss", "flows", "tcp Mbps", "hack Mbps", "ratio", "acq tcp", "acq hack", "saved"
+    );
+    let dense_opts = DenseOptions {
+        threads: if opts.threads == 0 {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        } else {
+            opts.threads
+        },
+        epoch: SimDuration::from_millis(10),
+        digests: false,
+    };
+    let mut json_rows = Vec::new();
+    for &nb in bss_counts {
+        for &cp in clients_per {
+            let tcp_cfg = dense_cfg(nb, cp, HackMode::Disabled, ms, 1);
+            let hack_cfg = dense_cfg(nb, cp, HackMode::MoreData, ms, 1);
+            let tcp = run_dense(&tcp_cfg, &dense_opts);
+            let hack = run_dense(&hack_cfg, &dense_opts);
+            let (acq_tcp, acq_hack) = (
+                client_acquisitions(&tcp, &tcp_cfg),
+                client_acquisitions(&hack, &hack_cfg),
+            );
+            let ratio = hack.aggregate_goodput_mbps / tcp.aggregate_goodput_mbps.max(1e-9);
+            let saved = 1.0 - acq_hack as f64 / acq_tcp.max(1) as f64;
+            println!(
+                "{:>4} {:>8} {:>6} {:>12.1} {:>12.1} {:>7.3} {:>10} {:>10} {:>6.1}%",
+                nb,
+                cp,
+                nb * cp,
+                tcp.aggregate_goodput_mbps,
+                hack.aggregate_goodput_mbps,
+                ratio,
+                acq_tcp,
+                acq_hack,
+                saved * 100.0
+            );
+            json_rows.push(format!(
+                "{{\"bss\":{nb},\"clients_per_bss\":{cp},\
+                 \"tcp_mbps\":{:.3},\"hack_mbps\":{:.3},\
+                 \"acq_tcp\":{acq_tcp},\"acq_hack\":{acq_hack}}}",
+                tcp.aggregate_goodput_mbps, hack.aggregate_goodput_mbps
+            ));
+        }
+    }
+    if opts.json {
+        println!("{{\"dense_sweep\":[{}]}}", json_rows.join(","));
+    }
+}
+
+/// Dense smoke (CI gate): a multi-BSS floor and an apartment corridor
+/// each run sharded at 1 and 4 worker threads; fails the process on any
+/// digest divergence (shard traces or the epoch exchange ledger), on
+/// differing merged goodputs, or on zero aggregate goodput.
+fn dense_smoke(opts: &Opts) {
+    banner("Dense smoke: sharded multi-BSS worlds — 1 vs 4 threads, byte for byte");
+    let ms = if opts.quick { 150 } else { 400 };
+    let scenarios: Vec<(&str, ScenarioConfig)> = vec![
+        (
+            "enterprise-floor 9×2",
+            dense_cfg(9, 2, HackMode::MoreData, ms, 3),
+        ),
+        ("apartment-block 6×2", {
+            let mut c = dense_cfg(6, 2, HackMode::MoreData, ms, 4);
+            c.bss = BssSpec::apartment_block(6, 2);
+            c
+        }),
+    ];
+    let at = |threads: usize| DenseOptions {
+        threads,
+        epoch: SimDuration::from_millis(5),
+        digests: true,
+    };
+    let mut failed = false;
+    for (name, cfg) in &scenarios {
+        let serial = run_dense(cfg, &at(1));
+        let parallel = run_dense(cfg, &at(4));
+        let mut verdict = "ok";
+        if serial.exchange_digest != parallel.exchange_digest {
+            verdict = "FAIL: exchange ledger diverged";
+        } else if serial
+            .shards
+            .iter()
+            .zip(&parallel.shards)
+            .any(|(s, p)| s.digest != p.digest)
+        {
+            verdict = "FAIL: shard trace digests diverged";
+        } else if serial.flow_goodput_mbps != parallel.flow_goodput_mbps {
+            verdict = "FAIL: merged goodputs diverged";
+        } else if serial.aggregate_goodput_mbps <= 0.0 {
+            verdict = "FAIL: zero goodput";
+        }
+        println!(
+            "{name}: {} shards, {} epochs, {:.1} Mbps aggregate — {verdict}",
+            serial.shards.len(),
+            serial.epochs,
+            serial.aggregate_goodput_mbps
+        );
+        failed |= verdict != "ok";
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!("dense smoke OK");
 }
 
 // ----------------------------------------------------------------------

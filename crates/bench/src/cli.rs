@@ -45,6 +45,12 @@ SUBCOMMANDS:
                     on/off x {ideal,burst} channel; exits nonzero on zero
                     goodput, a silent RTT sampler, or parallel != serial
                     campaign reports (CI smoke)
+    dense-sweep     multi-BSS enterprise floor: HACK-vs-TCP goodput and
+                    client medium-acquisition savings as BSS count and
+                    per-cell station count grow (sharded parallel worlds)
+    dense-smoke     multi-BSS worlds sharded at 1 vs 4 threads; exits
+                    nonzero on any trace/exchange digest divergence or
+                    zero goodput (CI smoke)
     ablate-timer | ablate-delack | ablate-sync | ablate-txop
     all             everything above
 

@@ -1,0 +1,484 @@
+//! Sharded execution of dense multi-BSS worlds.
+//!
+//! A dense scenario declares dozens of BSSs; its interference graph
+//! (derived from AP placement + channel assignment, see
+//! [`InterferenceGraph::derive`](hack_phy::InterferenceGraph::derive))
+//! usually splits into several connected components. Domains in
+//! different components can never affect each other — no PPDU from one
+//! reaches a listener in the other — so each component can run as its
+//! own [`World`] ("shard") and the shards can run on parallel threads.
+//!
+//! ## Determinism
+//!
+//! Parallel output is byte-identical to serial, by construction:
+//!
+//! 1. **Shard independence.** Shards are connected components of the
+//!    interference graph, so the cross-shard event set is provably
+//!    empty; each shard's trajectory depends only on its own config and
+//!    seed ([`shard_seed`], derived from the master seed and the
+//!    shard's smallest BSS index — stable under any thread schedule).
+//! 2. **Ordered reduction.** Every cross-shard observation — the
+//!    epoch-boundary exchange ledger, merged flow goodputs, shard trace
+//!    digests — is folded in shard index order *after* the epoch
+//!    barrier (`std::thread::scope` join), never in completion order.
+//!
+//! The same argument backs `hack-campaign`'s parallel==serial proof;
+//! [`run_dense`] reuses it one level down, inside a single scenario.
+//!
+//! ## Epoch boundaries
+//!
+//! Shards advance in lockstep epochs ([`DenseOptions::epoch`]): every
+//! shard runs all events `<= t`, the scope join forms a barrier, and
+//! the exchange ledger absorbs each shard's progress delta in shard
+//! order. Components exchange no simulation events (their edge set is
+//! empty), so the ledger payload is pure progress accounting — but its
+//! digest pins that serial and parallel executions dispatched the
+//! identical event schedule epoch by epoch, which is what the
+//! `dense-smoke` CI job compares across thread counts.
+
+use hack_phy::InterferenceGraph;
+use hack_sim::{SimDuration, SimTime};
+use hack_trace::TraceHandle;
+
+use crate::scenario::{ChannelChange, ChannelEvent, LossConfig, RunResult, ScenarioConfig};
+use crate::sim::World;
+use crate::stable::StableHasher;
+
+/// How to drive a dense world.
+#[derive(Debug, Clone)]
+pub struct DenseOptions {
+    /// Worker threads for shard execution. `1` runs shards serially on
+    /// the calling thread; either way the output is byte-identical.
+    pub threads: usize,
+    /// Epoch length: shards synchronize (and the exchange ledger folds
+    /// their progress) every this-much simulated time.
+    pub epoch: SimDuration,
+    /// Attach a trace ring to every shard and report per-shard digests
+    /// (the cross-thread-count comparison the CI smoke job runs).
+    pub digests: bool,
+}
+
+impl Default for DenseOptions {
+    fn default() -> Self {
+        DenseOptions {
+            threads: 1,
+            epoch: SimDuration::from_millis(100),
+            digests: false,
+        }
+    }
+}
+
+/// One shard's outcome.
+#[derive(Debug, Clone)]
+pub struct ShardReport {
+    /// Global BSS indices (into `cfg.bss`) this shard simulated,
+    /// ascending.
+    pub bss: Vec<usize>,
+    /// Global flow indices this shard simulated, in shard-local flow
+    /// order (`result.flow_goodput_mbps[j]` is global flow `flows[j]`).
+    pub flows: Vec<usize>,
+    /// The shard's seed (see [`shard_seed`]).
+    pub seed: u64,
+    /// The shard world's full result.
+    pub result: RunResult,
+    /// Hex trace digest, when [`DenseOptions::digests`] was set.
+    pub digest: Option<String>,
+}
+
+/// Outcome of a dense run: per-shard results plus the merged view.
+#[derive(Debug, Clone)]
+pub struct DenseReport {
+    /// Per-shard outcomes, in shard index order (shards are ordered by
+    /// their smallest BSS index).
+    pub shards: Vec<ShardReport>,
+    /// Epoch barriers crossed.
+    pub epochs: u64,
+    /// Hex digest of the epoch-boundary exchange ledger: an FNV-1a/128
+    /// fold of `(epoch, shard, events-dispatched-delta)` in `(epoch,
+    /// shard)` order. Identical across thread counts iff every shard
+    /// dispatched the identical event schedule.
+    pub exchange_digest: String,
+    /// Sum of shard aggregate steady-state goodputs (Mbps).
+    pub aggregate_goodput_mbps: f64,
+    /// Steady-state per-flow goodput in *global* flow order.
+    pub flow_goodput_mbps: Vec<f64>,
+}
+
+/// Deterministic seed for the shard whose smallest global BSS index is
+/// `shard_min_bss`, derived from the scenario's master seed. Stable
+/// across processes and thread schedules, and distinct per shard so
+/// co-scheduled shards never share an RNG stream.
+pub fn shard_seed(master: u64, shard_min_bss: usize) -> u64 {
+    let mut h = StableHasher::new();
+    h.write(b"hack-dense-shard");
+    h.u64(master);
+    h.usize(shard_min_bss);
+    let d = h.finish();
+    u64::from_le_bytes(d[..8].try_into().expect("16-byte digest"))
+}
+
+/// Split a dense scenario into its independent shard configurations.
+///
+/// Each returned pair is `(shard config, global flow indices)`: the
+/// config describes one connected component of the interference graph
+/// as a standalone scenario (BSS subset, flow-indexed vectors remapped
+/// to shard-local order, dynamics filtered to the shard's clients, seed
+/// from [`shard_seed`]), and the flow list maps shard-local flow `j`
+/// back to global flow `flows[j]`.
+///
+/// Running each returned config as its own [`World`] reproduces, byte
+/// for byte, what [`run_dense`] runs — that equivalence is the sharding
+/// oracle the test suite pins.
+///
+/// # Panics
+/// Panics if `cfg.bss` is empty (legacy single-cell worlds have nothing
+/// to shard; run them directly).
+pub fn shard_configs(cfg: &ScenarioConfig) -> Vec<(ScenarioConfig, Vec<usize>)> {
+    components(cfg)
+        .into_iter()
+        .map(|comp| {
+            let (sub, flows, _) = comp;
+            (sub, flows)
+        })
+        .collect()
+}
+
+/// Connected components of `cfg`'s interference graph, each projected
+/// to `(shard config, global flows, global BSS indices)`.
+fn components(cfg: &ScenarioConfig) -> Vec<(ScenarioConfig, Vec<usize>, Vec<usize>)> {
+    assert!(
+        !cfg.bss.is_empty(),
+        "sharding needs a dense (multi-BSS) scenario"
+    );
+    let placements: Vec<_> = cfg
+        .bss
+        .iter()
+        .map(|b| hack_phy::BssPlacement {
+            x: b.x,
+            y: b.y,
+            channel: b.channel,
+        })
+        .collect();
+    let graph = InterferenceGraph::derive(&placements, &cfg.interference);
+    // Global flows are numbered in cell order: cell c owns the block
+    // [offsets[c], offsets[c] + n_clients_c).
+    let mut offsets = Vec::with_capacity(cfg.bss.len());
+    let mut acc = 0usize;
+    for b in &cfg.bss {
+        offsets.push(acc);
+        acc += b.n_clients;
+    }
+    graph
+        .components()
+        .into_iter()
+        .map(|comp| {
+            let (sub, flows) = project(cfg, &comp, &offsets);
+            (sub, flows, comp)
+        })
+        .collect()
+}
+
+/// Project one connected component of `cfg` into a standalone scenario.
+fn project(
+    cfg: &ScenarioConfig,
+    comp: &[usize],
+    offsets: &[usize],
+) -> (ScenarioConfig, Vec<usize>) {
+    let flows: Vec<usize> = comp
+        .iter()
+        .flat_map(|&b| offsets[b]..offsets[b] + cfg.bss[b].n_clients)
+        .collect();
+    let mut sub = cfg.clone();
+    sub.bss = comp.iter().map(|&b| cfg.bss[b]).collect();
+    sub.n_clients = flows.len();
+    sub.seed = shard_seed(cfg.seed, comp[0]);
+    if let LossConfig::PerClient(per) = &cfg.loss {
+        sub.loss = LossConfig::PerClient(
+            flows
+                .iter()
+                .map(|&f| per.get(f).copied().unwrap_or(0.0))
+                .collect(),
+        );
+    }
+    if !cfg.client_hack_capable.is_empty() {
+        sub.client_hack_capable = flows
+            .iter()
+            .map(|&f| cfg.client_hack_capable.get(f).copied().unwrap_or(true))
+            .collect();
+    }
+    // Dynamics: global events (SNR offset) reach every shard; per-client
+    // events follow their client, with the index remapped to the
+    // shard-local flow number. Events aimed at other shards' clients
+    // are dropped here and kept by exactly one sibling shard.
+    sub.dynamics = cfg
+        .dynamics
+        .iter()
+        .filter_map(|ev| {
+            let local = |client: usize| flows.iter().position(|&f| f == client);
+            match ev.change {
+                ChannelChange::SnrOffsetDb(_) => Some(ev.clone()),
+                ChannelChange::ClientLoss { client, per } => local(client).map(|j| ChannelEvent {
+                    at: ev.at,
+                    change: ChannelChange::ClientLoss { client: j, per },
+                }),
+                ChannelChange::MoveClient { client, x, y } => local(client).map(|j| ChannelEvent {
+                    at: ev.at,
+                    change: ChannelChange::MoveClient { client: j, x, y },
+                }),
+            }
+        })
+        .collect();
+    (sub, flows)
+}
+
+/// Run a dense multi-BSS scenario, sharded by interference-graph
+/// component, on `opts.threads` worker threads.
+///
+/// Output is byte-identical for every thread count (see the module
+/// docs' determinism argument); `opts.digests` + comparing
+/// [`DenseReport::exchange_digest`] and each shard's digest across two
+/// thread counts is the cheap way to check that in CI.
+///
+/// # Panics
+/// Panics if `cfg.bss` is empty.
+pub fn run_dense(cfg: &ScenarioConfig, opts: &DenseOptions) -> DenseReport {
+    let parts = components(cfg);
+    let n_flows_total: usize = parts.iter().map(|(_, f, _)| f.len()).sum();
+
+    // Assemble every shard world up front (serial: world construction
+    // draws from the shard RNG and is cheap next to the run).
+    let mut shards: Vec<Shard> = parts
+        .into_iter()
+        .map(|(sub, flows, bss)| {
+            let seed = sub.seed;
+            let (trace, ring) = if opts.digests {
+                let (handle, ring) = TraceHandle::ring(1 << 12);
+                (handle, Some(ring))
+            } else {
+                (TraceHandle::off(), None)
+            };
+            Shard {
+                bss,
+                flows,
+                seed,
+                world: Some(World::builder(sub).trace(trace).build()),
+                ring,
+                alive: true,
+                events: 0,
+            }
+        })
+        .collect();
+
+    let threads = opts.threads.max(1);
+    let epoch = if opts.epoch > SimDuration::ZERO {
+        opts.epoch
+    } else {
+        SimDuration::from_millis(100)
+    };
+    let mut ledger = StableHasher::new();
+    ledger.write(b"hack-dense-exchange");
+    ledger.usize(shards.len());
+    let mut epochs = 0u64;
+    let mut t = SimTime::ZERO;
+
+    while shards.iter().any(|s| s.alive) {
+        t += epoch;
+        epochs += 1;
+        if threads > 1 && shards.len() > 1 {
+            let chunk = shards.len().div_ceil(threads);
+            std::thread::scope(|scope| {
+                for slab in shards.chunks_mut(chunk) {
+                    scope.spawn(move || {
+                        for s in slab {
+                            s.step(t);
+                        }
+                    });
+                }
+            }); // join = epoch barrier: no shard enters epoch k+1 early
+        } else {
+            for s in &mut shards {
+                s.step(t);
+            }
+        }
+        // Exchange ledger, folded strictly in shard index order.
+        for (i, s) in shards.iter_mut().enumerate() {
+            let now = s.world.as_ref().map_or(s.events, World::events_dispatched);
+            ledger.u64(epochs);
+            ledger.usize(i);
+            ledger.u64(now - s.events);
+            s.events = now;
+        }
+    }
+
+    let mut reports = Vec::with_capacity(shards.len());
+    let mut flow_goodput = vec![0.0; n_flows_total];
+    let mut aggregate = 0.0;
+    for s in shards {
+        let result = s.world.expect("world present until finish").finish();
+        for (j, &f) in s.flows.iter().enumerate() {
+            flow_goodput[f] = result.flow_goodput_mbps[j];
+        }
+        aggregate += result.aggregate_goodput_mbps;
+        let digest = s.ring.map(|r| {
+            r.digest()
+                .to_bytes()
+                .iter()
+                .map(|b| format!("{b:02x}"))
+                .collect()
+        });
+        reports.push(ShardReport {
+            bss: s.bss,
+            flows: s.flows,
+            seed: s.seed,
+            result,
+            digest,
+        });
+    }
+
+    DenseReport {
+        shards: reports,
+        epochs,
+        exchange_digest: ledger.finish_hex(),
+        aggregate_goodput_mbps: aggregate,
+        flow_goodput_mbps: flow_goodput,
+    }
+}
+
+/// One shard's in-flight state during the epoch loop.
+struct Shard {
+    bss: Vec<usize>,
+    flows: Vec<usize>,
+    seed: u64,
+    world: Option<World>,
+    ring: Option<std::sync::Arc<hack_trace::RingSink>>,
+    alive: bool,
+    events: u64,
+}
+
+impl Shard {
+    fn step(&mut self, until: SimTime) {
+        if self.alive {
+            let w = self.world.as_mut().expect("world present until finish");
+            self.alive = w.run_until(until);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::HackMode;
+    use crate::scenario::BssSpec;
+    use crate::StandardKind;
+
+    fn dense_cfg(bss: Vec<BssSpec>, seed: u64) -> ScenarioConfig {
+        ScenarioConfig::builder()
+            .standard(StandardKind::Dot11n)
+            .rate_mbps(150)
+            .hack(HackMode::MoreData)
+            .bss(bss)
+            .duration(SimDuration::from_millis(60))
+            .stagger(SimDuration::from_millis(2))
+            .warmup(SimDuration::from_millis(5))
+            .seed(seed)
+            .build()
+    }
+
+    #[test]
+    fn shard_seed_is_stable_and_distinct() {
+        assert_eq!(shard_seed(7, 0), shard_seed(7, 0));
+        assert_ne!(shard_seed(7, 0), shard_seed(7, 1));
+        assert_ne!(shard_seed(7, 0), shard_seed(8, 0));
+    }
+
+    #[test]
+    fn enterprise_floor_shards_fully() {
+        // The 3-colouring keeps co-channel APs ≥ ~35 m apart: every BSS
+        // is its own component.
+        let cfg = dense_cfg(BssSpec::enterprise_floor(9, 1), 1);
+        let parts = shard_configs(&cfg);
+        assert_eq!(parts.len(), 9);
+        for (i, (sub, flows)) in parts.iter().enumerate() {
+            assert_eq!(sub.bss.len(), 1);
+            assert_eq!(sub.n_clients, 1);
+            assert_eq!(flows, &vec![i]);
+            assert_eq!(sub.seed, shard_seed(cfg.seed, i));
+        }
+    }
+
+    #[test]
+    fn apartment_block_shards_by_channel_parity() {
+        // Corridor spacing 8 m, channels alternate 1/6: same-channel
+        // neighbours sit 16 m < 30 m apart, so odd and even APs form two
+        // chain components.
+        let cfg = dense_cfg(BssSpec::apartment_block(6, 2), 1);
+        let parts = shard_configs(&cfg);
+        assert_eq!(parts.len(), 2);
+        assert_eq!(parts[0].1, vec![0, 1, 4, 5, 8, 9]); // cells 0,2,4
+        assert_eq!(parts[1].1, vec![2, 3, 6, 7, 10, 11]); // cells 1,3,5
+    }
+
+    #[test]
+    fn projection_remaps_flow_indexed_vectors_and_dynamics() {
+        let mut cfg = dense_cfg(BssSpec::enterprise_floor(4, 2), 3);
+        cfg.loss = LossConfig::PerClient(vec![0.0, 0.01, 0.02, 0.03, 0.04, 0.05, 0.06, 0.07]);
+        cfg.client_hack_capable = vec![true, true, false, true, true, true, true, false];
+        cfg.dynamics = vec![
+            ChannelEvent {
+                at: SimDuration::from_millis(10),
+                change: ChannelChange::SnrOffsetDb(-3.0),
+            },
+            ChannelEvent {
+                at: SimDuration::from_millis(20),
+                change: ChannelChange::ClientLoss {
+                    client: 5,
+                    per: 0.5,
+                },
+            },
+        ];
+        let parts = shard_configs(&cfg);
+        assert_eq!(parts.len(), 4);
+        // Shard 2 owns global flows 4 and 5.
+        let (sub, flows) = &parts[2];
+        assert_eq!(flows, &vec![4, 5]);
+        assert_eq!(sub.loss, LossConfig::PerClient(vec![0.04, 0.05]));
+        assert_eq!(sub.client_hack_capable, vec![true, true]);
+        // The global SNR event survives; the client-5 event lands here
+        // remapped to local client 1 — and nowhere else.
+        assert_eq!(sub.dynamics.len(), 2);
+        assert_eq!(
+            sub.dynamics[1].change,
+            ChannelChange::ClientLoss {
+                client: 1,
+                per: 0.5
+            }
+        );
+        for (i, (other, _)) in parts.iter().enumerate() {
+            if i != 2 {
+                assert_eq!(other.dynamics.len(), 1, "shard {i} kept a foreign event");
+            }
+        }
+    }
+
+    #[test]
+    fn dense_run_merges_flows_in_global_order() {
+        let cfg = dense_cfg(BssSpec::enterprise_floor(4, 1), 11);
+        let report = run_dense(&cfg, &DenseOptions::default());
+        assert_eq!(report.flow_goodput_mbps.len(), 4);
+        assert_eq!(report.shards.len(), 4);
+        for s in &report.shards {
+            assert_eq!(s.flows.len(), 1);
+            assert_eq!(
+                report.flow_goodput_mbps[s.flows[0]],
+                s.result.flow_goodput_mbps[0]
+            );
+        }
+        let sum: f64 = report
+            .shards
+            .iter()
+            .map(|s| s.result.aggregate_goodput_mbps)
+            .sum();
+        assert!((report.aggregate_goodput_mbps - sum).abs() < 1e-12);
+        assert!(report.epochs > 0);
+    }
+}

@@ -1,7 +1,7 @@
 //! Scenario configuration and results — the experiment-facing API.
 
 use hack_mac::MacStats;
-use hack_phy::{CorruptModel, GeParams};
+use hack_phy::{CorruptModel, GeParams, InterferenceConfig};
 use hack_rohc::{CompressStats, DecompressStats};
 use hack_sim::{QueueKind, SimDuration, SimTime};
 use hack_tcp::{CcKind, TcpStats};
@@ -50,6 +50,67 @@ pub enum LossConfig {
     /// (fading clusters losses; same mean rate as an i.i.d. model with
     /// [`GeParams::expected_loss`]).
     Burst(GeParams),
+}
+
+/// One BSS in a dense multi-BSS deployment: where its AP sits, which
+/// channel it runs, and how many clients associate with it.
+///
+/// An empty `ScenarioConfig::bss` means the legacy single-cell world
+/// (one implicit AP, `n_clients` clients) — byte-identical to every
+/// pre-dense run. A non-empty list replaces it: the world gets one AP
+/// per spec, stations are numbered AP₀, its clients, AP₁, its clients, …
+/// and the interference graph is derived from the placements.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BssSpec {
+    /// AP x coordinate (m).
+    pub x: f64,
+    /// AP y coordinate (m).
+    pub y: f64,
+    /// 2.4 GHz channel number (1–11; |Δ| ≥ 5 means orthogonal).
+    pub channel: u8,
+    /// Number of clients in this BSS.
+    pub n_clients: usize,
+}
+
+impl BssSpec {
+    /// Enterprise-floor preset: a √n×√n grid of APs at 25 m spacing with
+    /// a proper 1/6/11 reuse-3 channel plan. Co-channel APs end up ≥
+    /// 35 m apart (diagonal), past the default 30 m co-channel range,
+    /// and 1/6/11 are mutually orthogonal — so the derived interference
+    /// graph has **zero** edges and every BSS shards independently.
+    pub fn enterprise_floor(n_bss: usize, clients_per_bss: usize) -> Vec<BssSpec> {
+        let cols = (n_bss as f64).sqrt().ceil().max(1.0) as usize;
+        (0..n_bss)
+            .map(|i| {
+                let (row, col) = (i / cols, i % cols);
+                BssSpec {
+                    x: col as f64 * 25.0,
+                    y: row as f64 * 25.0,
+                    // (col + 2·row) mod 3 colours every orthogonal
+                    // neighbour pair differently; the surviving
+                    // co-channel pairs sit on the long diagonal.
+                    channel: [1, 6, 11][(col + 2 * row) % 3],
+                    n_clients: clients_per_bss,
+                }
+            })
+            .collect()
+    }
+
+    /// Apartment-block preset: APs along a corridor at 8 m spacing,
+    /// channels alternating 1/6. Next-nearest neighbours share a channel
+    /// 16 m apart — inside the default 30 m co-channel range — so each
+    /// channel's APs chain into one interference component: the derived
+    /// graph has two multi-BSS shards (odd and even units).
+    pub fn apartment_block(n_bss: usize, clients_per_bss: usize) -> Vec<BssSpec> {
+        (0..n_bss)
+            .map(|i| BssSpec {
+                x: i as f64 * 8.0,
+                y: 0.0,
+                channel: if i % 2 == 0 { 1 } else { 6 },
+                n_clients: clients_per_bss,
+            })
+            .collect()
+    }
 }
 
 /// One scheduled mid-run change to the channel.
@@ -160,6 +221,12 @@ pub struct ScenarioConfig {
     pub held_cap: usize,
     /// Congestion-control algorithm at every TCP sender.
     pub cc: CcKind,
+    /// Dense multi-BSS layout; empty = the legacy single-cell world
+    /// (one implicit AP serving `n_clients` clients).
+    pub bss: Vec<BssSpec>,
+    /// Ranges deciding when two BSSs interfere (ignored when `bss` is
+    /// empty).
+    pub interference: InterferenceConfig,
 }
 
 /// Which 802.11 flavour a [`ScenarioBuilder`] targets; the PHY rate is
@@ -374,6 +441,22 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Dense multi-BSS layout (default: empty = the legacy single-cell
+    /// world). Also sets `n_clients` to the total across all BSSs, so
+    /// per-flow vectors (losses, capabilities) keep their meaning.
+    pub fn bss(mut self, bss: Vec<BssSpec>) -> Self {
+        self.cfg.n_clients = bss.iter().map(|b| b.n_clients).sum();
+        self.cfg.bss = bss;
+        self
+    }
+
+    /// Interference ranges for the dense layout (default:
+    /// [`InterferenceConfig::default`]).
+    pub fn interference(mut self, cfg: InterferenceConfig) -> Self {
+        self.cfg.interference = cfg;
+        self
+    }
+
     /// Resolve the builder into a [`ScenarioConfig`].
     #[must_use]
     pub fn build(self) -> ScenarioConfig {
@@ -426,6 +509,8 @@ impl ScenarioConfig {
                 client_hack_capable: Vec::new(),
                 held_cap: DEFAULT_HELD_CAP,
                 cc: CcKind::Reno,
+                bss: Vec::new(),
+                interference: InterferenceConfig::default(),
             },
         }
     }

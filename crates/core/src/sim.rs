@@ -17,7 +17,11 @@
 use std::collections::HashMap;
 
 use hack_mac::{Action, Frame, HackBlob, MacConfig, Station, TimerKind, TxDescriptor};
-use hack_phy::{Channel, LossModel, Medium, MpduStatus, PhyRate, PpduMeta, StationId, TxId};
+use hack_phy::{
+    BssPlacement, Channel, InterferenceGraph, LossModel, Medium, MpduStatus, PhyRate, PpduMeta,
+    StationId, TxId,
+};
+use hack_rohc::DecompressStats;
 use hack_sim::{Scheduler, SimDuration, SimRng, SimTime, ThroughputMeter, TimerTable, TimerToken};
 use hack_tcp::{Connection, FiveTuple, Ipv4Addr, Ipv4Packet, SendBudget, TcpConfig, Transport};
 use hack_trace::TraceHandle;
@@ -44,6 +48,129 @@ fn client_sid(i: usize) -> StationId {
 
 fn client_ip(i: usize) -> Ipv4Addr {
     Ipv4Addr::new(192, 168, 0, 10 + i as u8)
+}
+
+/// One BSS in the world: its AP station and the contiguous block of
+/// flows it serves.
+struct Cell {
+    ap: StationId,
+    /// Global flow index of the cell's first client.
+    flow_base: usize,
+}
+
+/// Station numbering and addressing for the world.
+///
+/// Legacy single-BSS worlds (`cfg.bss` empty) keep the historical plan —
+/// AP = station 0, client *i* = station 1+i, 192.168.0.x addressing — so
+/// every pre-dense digest is preserved bit for bit. Dense worlds get one
+/// cell per [`BssSpec`](crate::BssSpec) with stations blocked per cell
+/// (AP₀, its clients, AP₁, its clients, …) and 10.1.x.y addressing. Flow
+/// indices stay global (0..total clients) in cell order, so per-flow
+/// config vectors keep their meaning.
+struct Layout {
+    cells: Vec<Cell>,
+    /// flow → (cell index, client station).
+    flows: Vec<(usize, StationId)>,
+    /// station id → cell index.
+    cell_of: Vec<usize>,
+    legacy: bool,
+}
+
+impl Layout {
+    fn from_cfg(cfg: &ScenarioConfig) -> Layout {
+        if cfg.bss.is_empty() {
+            let n = cfg.n_clients;
+            Layout {
+                cells: vec![Cell {
+                    ap: AP,
+                    flow_base: 0,
+                }],
+                flows: (0..n).map(|i| (0, client_sid(i))).collect(),
+                cell_of: vec![0; n + 1],
+                legacy: true,
+            }
+        } else {
+            let mut cells = Vec::with_capacity(cfg.bss.len());
+            let mut flows = Vec::new();
+            let mut cell_of = Vec::new();
+            let mut next = 0u32;
+            for (b, spec) in cfg.bss.iter().enumerate() {
+                let ap = StationId(next);
+                cell_of.push(b);
+                next += 1;
+                let flow_base = flows.len();
+                for _ in 0..spec.n_clients {
+                    flows.push((b, StationId(next)));
+                    cell_of.push(b);
+                    next += 1;
+                }
+                cells.push(Cell { ap, flow_base });
+            }
+            Layout {
+                cells,
+                flows,
+                cell_of,
+                legacy: false,
+            }
+        }
+    }
+
+    fn n_flows(&self) -> usize {
+        self.flows.len()
+    }
+
+    fn station_ids(&self) -> Vec<StationId> {
+        (0..self.cell_of.len() as u32).map(StationId).collect()
+    }
+
+    /// Interference domain per station: its cell index.
+    fn domains(&self) -> Vec<u32> {
+        self.cell_of.iter().map(|&c| c as u32).collect()
+    }
+
+    fn client(&self, flow: usize) -> StationId {
+        self.flows[flow].1
+    }
+
+    fn cell_of_flow(&self, flow: usize) -> usize {
+        self.flows[flow].0
+    }
+
+    fn ap_of_flow(&self, flow: usize) -> StationId {
+        self.cells[self.flows[flow].0].ap
+    }
+
+    fn cell(&self, sid: StationId) -> usize {
+        self.cell_of[sid.0 as usize]
+    }
+
+    fn is_ap(&self, sid: StationId) -> bool {
+        self.cells[self.cell(sid)].ap == sid
+    }
+
+    /// The AP serving `sid`'s cell (identity for an AP).
+    fn ap_of(&self, sid: StationId) -> StationId {
+        self.cells[self.cell(sid)].ap
+    }
+
+    fn flow_of_client(&self, sid: StationId) -> Option<usize> {
+        if (sid.0 as usize) >= self.cell_of.len() {
+            return None;
+        }
+        let c = &self.cells[self.cell(sid)];
+        (c.ap != sid).then(|| c.flow_base + (sid.0 - c.ap.0 - 1) as usize)
+    }
+
+    /// IP address of flow `f`'s client. Legacy worlds keep the
+    /// historical 192.168.0.x plan; dense worlds use 10.1.x.y, good for
+    /// ~64k flows.
+    fn client_ip(&self, flow: usize) -> Ipv4Addr {
+        if self.legacy {
+            client_ip(flow)
+        } else {
+            Ipv4Addr::new(10, 1, (flow / 250) as u8, ((flow % 250) + 2) as u8)
+        }
+    }
 }
 
 /// One TCP endpoint living somewhere in the network.
@@ -78,6 +205,8 @@ enum Event {
         native: bool,
     },
     WiredDeliver {
+        /// Which cell's backhaul delivered the packet.
+        cell: usize,
         to_ap: bool,
         pkt: Ipv4Packet,
     },
@@ -130,6 +259,7 @@ impl Event {
 /// The assembled simulation.
 pub struct World {
     cfg: ScenarioConfig,
+    layout: Layout,
     sched: Scheduler<Event>,
     mac_timers: TimerTable<(u32, TimerKind)>,
     tcp_timers: TimerTable<u32>,
@@ -142,9 +272,12 @@ pub struct World {
     compress: HashMap<(u32, u32), CompressSide>,
     decompress: Vec<DecompressSide>,
     tx_payloads: HashMap<TxId, (Vec<Frame<NetPacket>>, bool, StationId)>,
-    wired: WiredLink,
+    /// One backhaul per cell (legacy worlds: exactly one).
+    wired: Vec<WiredLink>,
     endpoints: Vec<Endpoint>,
     ep_by_tuple: HashMap<FiveTuple, usize>,
+    /// Client IP → flow index (replaces the per-packet linear scan).
+    ip_to_flow: HashMap<Ipv4Addr, usize>,
     meters: Vec<ThroughputMeter>,
     flow_start_at: Vec<SimTime>,
     rng: SimRng,
@@ -152,6 +285,9 @@ pub struct World {
     ap_queue_drops: u64,
     udp_ident: u16,
     completion: Option<SimTime>,
+    /// Scratch for the idle-edge sweep in `on_tx_end` (avoids a per-PPDU
+    /// allocation).
+    idle_buf: Vec<StationId>,
     trace: TraceHandle,
 }
 
@@ -234,8 +370,16 @@ impl World {
     /// The one true construction path (every public entry point funnels
     /// here through [`WorldBuilder::build`]).
     fn assemble(cfg: ScenarioConfig, trace: TraceHandle) -> Self {
-        let n = cfg.n_clients;
+        let layout = Layout::from_cfg(&cfg);
+        let n = layout.n_flows();
         assert!(n >= 1, "need at least one client");
+        if !cfg.bss.is_empty() {
+            assert_eq!(
+                cfg.n_clients, n,
+                "n_clients must equal the BSS client total \
+                 (ScenarioBuilder::bss keeps them in sync)"
+            );
+        }
         let rng = SimRng::new(cfg.seed);
 
         // --- PHY rate and MAC configs ---
@@ -272,27 +416,65 @@ impl World {
         }
 
         // --- stations & medium ---
-        let station_ids: Vec<StationId> =
-            std::iter::once(AP).chain((0..n).map(client_sid)).collect();
+        let station_ids: Vec<StationId> = layout.station_ids();
         let mut channel = Channel::indoor();
-        channel.place(AP, 0.0, 0.0);
         let mut place_rng = rng.fork(0xC1AC);
-        for i in 0..n {
-            let (x, y) = match cfg.loss {
-                LossConfig::SnrDistance(d) => (d, 0.0),
-                _ => place_rng.point_in_disc(10.0),
-            };
-            channel.place(client_sid(i), x, y);
+        if cfg.bss.is_empty() {
+            // Legacy single cell: the historical placement draw order,
+            // untouched so same-seed digests stay pinned.
+            channel.place(AP, 0.0, 0.0);
+            for i in 0..n {
+                let (x, y) = match cfg.loss {
+                    LossConfig::SnrDistance(d) => (d, 0.0),
+                    _ => place_rng.point_in_disc(10.0),
+                };
+                channel.place(client_sid(i), x, y);
+            }
+        } else {
+            // Dense: APs at their declared spots, clients scattered (or
+            // at the SNR sweep distance) around their own AP, drawn in
+            // global flow order.
+            for (b, spec) in cfg.bss.iter().enumerate() {
+                channel.place(layout.cells[b].ap, spec.x, spec.y);
+            }
+            for f in 0..n {
+                let spec = &cfg.bss[layout.cell_of_flow(f)];
+                let (dx, dy) = match cfg.loss {
+                    LossConfig::SnrDistance(d) => (d, 0.0),
+                    _ => place_rng.point_in_disc(10.0),
+                };
+                channel.place(layout.client(f), spec.x + dx, spec.y + dy);
+            }
         }
         let loss = match &cfg.loss {
             LossConfig::Ideal => LossModel::Ideal,
             LossConfig::PerClient(per) => {
-                LossModel::fixed(per.iter().enumerate().map(|(i, &p)| (client_sid(i), p)))
+                LossModel::fixed(per.iter().enumerate().map(|(i, &p)| (layout.client(i), p)))
             }
             LossConfig::SnrDistance(_) => LossModel::Snr,
             LossConfig::Burst(params) => LossModel::Burst(*params),
         };
-        let mut medium = Medium::new(station_ids.clone(), loss, Some(channel));
+        let mut medium = if cfg.bss.is_empty() {
+            Medium::new(station_ids.clone(), loss, Some(channel))
+        } else {
+            let aps: Vec<BssPlacement> = cfg
+                .bss
+                .iter()
+                .map(|b| BssPlacement {
+                    x: b.x,
+                    y: b.y,
+                    channel: b.channel,
+                })
+                .collect();
+            let graph = InterferenceGraph::derive(&aps, &cfg.interference);
+            Medium::with_domains(
+                station_ids.clone(),
+                layout.domains(),
+                graph,
+                loss,
+                Some(channel),
+            )
+        };
         medium.set_corruption(cfg.corrupt);
         medium.set_trace(trace.clone());
 
@@ -300,10 +482,9 @@ impl World {
             .iter()
             .map(|&sid| {
                 let mut sc = mac_cfg.clone();
-                if sid != AP {
+                if let Some(i) = layout.flow_of_client(sid) {
                     // Per-client capability: a stock (non-HACK) client
                     // advertises no HACK bit at association.
-                    let i = sid.0 as usize - 1;
                     sc.hack_capable = cfg.client_hack_capable.get(i).copied().unwrap_or(true);
                 }
                 let mut s = Station::new(sid, sc, rng.fork(u64::from(sid.0) + 1));
@@ -325,23 +506,24 @@ impl World {
         let supervised =
             cfg.supervisor.is_some() && hack_on && cfg.traffic != TrafficKind::UdpDownload;
         for i in 0..n {
-            let c = client_sid(i);
-            // Client compresses toward the AP (downloads)…
+            let c = layout.client(i);
+            let ap = layout.ap_of_flow(i);
+            // Client compresses toward its AP (downloads)…
             let mut cs = CompressSide::new(cfg.hack_mode);
             cs.set_trace(trace.clone(), c.0);
             cs.set_held_cap(cfg.held_cap);
             if supervised {
                 cs.set_stale_limit(Some(HELD_STALE_LIMIT));
             }
-            compress.insert((c.0, AP.0), cs);
+            compress.insert((c.0, ap.0), cs);
             // …and the AP toward each client (uploads) — symmetric design.
             let mut cs = CompressSide::new(cfg.hack_mode);
-            cs.set_trace(trace.clone(), AP.0);
+            cs.set_trace(trace.clone(), ap.0);
             cs.set_held_cap(cfg.held_cap);
             if supervised {
                 cs.set_stale_limit(Some(HELD_STALE_LIMIT));
             }
-            compress.insert((AP.0, c.0), cs);
+            compress.insert((ap.0, c.0), cs);
         }
         let supervisors: Vec<FlowSupervisor> = if supervised {
             let sup_cfg = cfg.supervisor.expect("checked");
@@ -365,7 +547,7 @@ impl World {
         if cfg.traffic != TrafficKind::UdpDownload {
             for i in 0..n {
                 let client_tuple = FiveTuple {
-                    src_ip: client_ip(i),
+                    src_ip: layout.client_ip(i),
                     dst_ip: SERVER_IP,
                     src_port: 40_000 + i as u16,
                     dst_port: 5_001 + i as u16,
@@ -379,7 +561,7 @@ impl World {
                 // Wireless-client endpoint (always the TCP initiator).
                 let ep_client = Endpoint {
                     conn: None,
-                    station: Some(client_sid(i)),
+                    station: Some(layout.client(i)),
                     tuple: client_tuple,
                     flow: i,
                     is_sender: upload,
@@ -390,7 +572,7 @@ impl World {
                     timeouts_seen: 0,
                     timer_at: None,
                 };
-                // Server endpoint (wired, or on the AP itself).
+                // Server endpoint (wired, or on the flow's AP itself).
                 let mut server_conn = Connection::server(
                     tcp_cfg.clone(),
                     client_tuple.reversed(),
@@ -399,11 +581,15 @@ impl World {
                 server_conn.set_budget(if upload { SendBudget::None } else { budget });
                 server_conn.set_trace(
                     trace.clone(),
-                    if cfg.server_at_ap { AP.0 } else { u32::MAX },
+                    if cfg.server_at_ap {
+                        layout.ap_of_flow(i).0
+                    } else {
+                        u32::MAX
+                    },
                 );
                 let ep_server = Endpoint {
                     conn: Some(server_conn),
-                    station: cfg.server_at_ap.then_some(AP),
+                    station: cfg.server_at_ap.then(|| layout.ap_of_flow(i)),
                     tuple: client_tuple.reversed(),
                     flow: i,
                     is_sender: !upload,
@@ -431,6 +617,10 @@ impl World {
         }
 
         let end = SimTime::ZERO + cfg.duration;
+        let ip_to_flow = (0..n).map(|f| (layout.client_ip(f), f)).collect();
+        let wired = (0..layout.cells.len())
+            .map(|_| WiredLink::paper_backhaul())
+            .collect();
         let mut world = World {
             sched: Scheduler::with_kind(cfg.queue),
             mac_timers: TimerTable::new(),
@@ -443,9 +633,10 @@ impl World {
             compress,
             decompress,
             tx_payloads: HashMap::new(),
-            wired: WiredLink::paper_backhaul(),
+            wired,
             endpoints,
             ep_by_tuple,
+            ip_to_flow,
             meters,
             flow_start_at: flow_start_at.clone(),
             rng: rng.fork(0xF00D),
@@ -453,7 +644,9 @@ impl World {
             ap_queue_drops: 0,
             udp_ident: 0,
             completion: None,
+            idle_buf: Vec::new(),
             trace,
+            layout,
             cfg,
         };
         for (i, &at) in flow_start_at.iter().enumerate() {
@@ -468,15 +661,16 @@ impl World {
         // time, no randomness, and (for all-capable cells) no trace
         // events — existing same-seed digests are untouched.
         for i in 0..n {
-            let c = client_sid(i);
+            let c = world.layout.client(i);
+            let ap = world.layout.ap_of_flow(i);
             let req = world.stations[c.0 as usize].assoc_request();
-            let resp = world.stations[AP.0 as usize].on_assoc_request(&req);
+            let resp = world.stations[ap.0 as usize].on_assoc_request(&req);
             world.stations[c.0 as usize].on_assoc_response(&resp);
-            if world.stations[c.0 as usize].hack_negotiated(AP) == Some(false) {
+            if world.stations[c.0 as usize].hack_negotiated(ap) == Some(false) {
                 // Permanent clean fallback on this link: the MAC already
                 // gates blobs, but force the drivers native too so ACKs
                 // are never held against a peer that cannot decode them.
-                for key in [(c.0, AP.0), (AP.0, c.0)] {
+                for key in [(c.0, ap.0), (ap.0, c.0)] {
                     let dacts = world
                         .compress
                         .get_mut(&key)
@@ -529,6 +723,46 @@ impl World {
         self.collect()
     }
 
+    /// Advance the world through every event scheduled at or before
+    /// `until` (clamped to the configured end). Returns `false` once the
+    /// world has nothing left to do — queue drained past the end, or all
+    /// byte-budgeted flows completed — and `true` while more work
+    /// remains. The epoch driver for sharded dense worlds; a full run is
+    /// `while run_until(next_epoch) {}` followed by [`World::finish`].
+    pub fn run_until(&mut self, until: SimTime) -> bool {
+        let until = until.min(self.end);
+        while let Some(at) = self.sched.peek_time() {
+            if at > self.end {
+                return false;
+            }
+            if at > until {
+                return true;
+            }
+            let (now, ev) = self.sched.pop().expect("peeked");
+            self.handle(ev, now);
+            if self.completion.is_some() {
+                return false;
+            }
+        }
+        false
+    }
+
+    /// Collect results after driving the world with [`World::run_until`].
+    pub fn finish(self) -> RunResult {
+        self.collect()
+    }
+
+    /// The configured end of the run.
+    pub fn end_time(&self) -> SimTime {
+        self.end
+    }
+
+    /// Discrete events dispatched so far (monotonic across
+    /// [`World::run_until`] calls).
+    pub fn events_dispatched(&self) -> u64 {
+        self.sched.dispatched()
+    }
+
     // ------------------------------------------------------------------
     // Event handling
     // ------------------------------------------------------------------
@@ -561,9 +795,10 @@ impl World {
                 pkt,
                 native,
             } => self.on_host_rx(station, pkt, native, now),
-            Event::WiredDeliver { to_ap, pkt } => {
+            Event::WiredDeliver { cell, to_ap, pkt } => {
                 if to_ap {
-                    self.ap_downstream(pkt, now);
+                    let ap = self.layout.cells[cell].ap;
+                    self.ap_downstream(ap, pkt, now);
                 } else {
                     self.deliver_to_endpoint(pkt, now);
                 }
@@ -661,10 +896,11 @@ impl World {
         match self.cfg.dynamics[index].change {
             ChannelChange::SnrOffsetDb(db) => self.medium.set_snr_offset_db(db),
             ChannelChange::ClientLoss { client, per } => {
-                self.medium.set_station_loss(client_sid(client), per);
+                self.medium
+                    .set_station_loss(self.layout.client(client), per, now);
             }
             ChannelChange::MoveClient { client, x, y } => {
-                self.medium.place_station(client_sid(client), x, y);
+                self.medium.place_station(self.layout.client(client), x, y);
             }
         }
         hack_trace::trace_ev!(
@@ -681,7 +917,7 @@ impl World {
         hack_trace::trace_ev!(
             self.trace,
             now.as_nanos(),
-            client_sid(flow).0,
+            self.layout.client(flow).0,
             hack_trace::Event::SimFlowStart { flow: flow as u32 }
         );
         if self.cfg.traffic == TrafficKind::UdpDownload {
@@ -697,7 +933,7 @@ impl World {
         );
         let mut conn = conn;
         conn.set_budget(self.endpoints[ep].budget);
-        conn.set_trace(self.trace.clone(), client_sid(flow).0);
+        conn.set_trace(self.trace.clone(), self.layout.client(flow).0);
         self.endpoints[ep].conn = Some(conn);
         self.route_out(ep, pkts, now);
         self.resched_tcp(ep, now);
@@ -769,14 +1005,27 @@ impl World {
             }
         }
 
-        // 2) Idle edges once the medium is quiet.
-        if !self.medium.busy() {
-            for i in 0..self.stations.len() {
-                let sid = StationId(i as u32);
-                let acts = self.stations[i].on_channel_idle(now);
-                self.apply(sid, acts, now);
-            }
+        // 2) Idle edges for everyone who heard this PPDU and whose own
+        // domain is now quiet. The idle set is snapshotted before the
+        // sweep — a station resuming transmission mid-sweep does not
+        // suppress later stations' edges (they learn via the synchronous
+        // carrier-sense notification in `start_tx` instead), matching
+        // the historical once-per-PPDU busy check on legacy worlds.
+        let d = self.medium.domain_of(src);
+        let mut idle = std::mem::take(&mut self.idle_buf);
+        idle.clear();
+        idle.extend(
+            self.medium
+                .listeners(d)
+                .iter()
+                .copied()
+                .filter(|&s| !self.medium.busy_for(s)),
+        );
+        for &sid in &idle {
+            let acts = self.stations[sid.0 as usize].on_channel_idle(now);
+            self.apply(sid, acts, now);
         }
+        self.idle_buf = idle;
 
         // 3) Transmitter bookkeeping.
         let acts = self.stations[src.0 as usize].on_tx_end(now);
@@ -918,7 +1167,7 @@ impl World {
                         }
                     }
                     // UDP source refill.
-                    if sid == AP && self.cfg.traffic == TrafficKind::UdpDownload {
+                    if self.layout.is_ap(sid) && self.cfg.traffic == TrafficKind::UdpDownload {
                         if let Some(flow) = self.flow_of_client(from) {
                             self.top_up_udp(flow, now);
                         }
@@ -926,7 +1175,7 @@ impl World {
                 }
                 Action::BarReceived { .. } => {}
                 Action::MsduDropped { dst, .. } => {
-                    if sid == AP && self.cfg.traffic == TrafficKind::UdpDownload {
+                    if self.layout.is_ap(sid) && self.cfg.traffic == TrafficKind::UdpDownload {
                         if let Some(flow) = self.flow_of_client(dst) {
                             self.top_up_udp(flow, now);
                         }
@@ -955,11 +1204,13 @@ impl World {
             .insert(id, (desc.frames, desc.aggregated, sid));
         self.sched
             .schedule_at(now + desc.duration, Event::TxEnd(id));
-        // Carrier sense: everyone else hears the medium go busy.
-        for i in 0..self.stations.len() {
-            let other = StationId(i as u32);
+        // Carrier sense: everyone in an interfering domain hears the
+        // medium go busy (every station, on legacy single-domain worlds).
+        let d = self.medium.domain_of(sid);
+        for i in 0..self.medium.listeners(d).len() {
+            let other = self.medium.listeners(d)[i];
             if other != sid {
-                let acts = self.stations[i].on_channel_busy(now);
+                let acts = self.stations[other.0 as usize].on_channel_busy(now);
                 self.apply(other, acts, now);
             }
         }
@@ -1058,11 +1309,12 @@ impl World {
     /// native path on both compress sides, refresh ROHC contexts, arm
     /// probe timers, and emit the transition trace events.
     fn apply_supervisor(&mut self, flow: usize, actions: Vec<SupervisorAction>, now: SimTime) {
-        let client = client_sid(flow);
+        let client = self.layout.client(flow);
+        let ap = self.layout.ap_of_flow(flow);
         for act in actions {
             match act {
                 SupervisorAction::ForceNative => {
-                    for key in [(client.0, AP.0), (AP.0, client.0)] {
+                    for key in [(client.0, ap.0), (ap.0, client.0)] {
                         let dacts = self
                             .compress
                             .get_mut(&key)
@@ -1072,7 +1324,7 @@ impl World {
                     }
                 }
                 SupervisorAction::ReenableHack => {
-                    for key in [(client.0, AP.0), (AP.0, client.0)] {
+                    for key in [(client.0, ap.0), (ap.0, client.0)] {
                         self.compress
                             .get_mut(&key)
                             .expect("driver exists")
@@ -1089,13 +1341,13 @@ impl World {
                     };
                     let fwd = ep.tuple;
                     let rev = fwd.reversed();
-                    for key in [(client.0, AP.0), (AP.0, client.0)] {
+                    for key in [(client.0, ap.0), (ap.0, client.0)] {
                         if let Some(side) = self.compress.get_mut(&key) {
                             side.drop_context(&fwd);
                             side.drop_context(&rev);
                         }
                     }
-                    for sid in [client.0 as usize, AP.0 as usize] {
+                    for sid in [client.0 as usize, ap.0 as usize] {
                         self.decompress[sid].drop_context(&fwd);
                         self.decompress[sid].drop_context(&rev);
                     }
@@ -1160,25 +1412,34 @@ impl World {
 
     /// A packet surfaced at a wireless node's host stack.
     fn on_host_rx(&mut self, station: StationId, pkt: Ipv4Packet, native: bool, now: SimTime) {
-        if station == AP && !self.endpoint_at(&pkt, station) {
-            // Bridge upstream: native pure ACKs refresh the AP contexts.
+        let at_ap = self.layout.is_ap(station);
+        if at_ap && !self.endpoint_at(&pkt, station) {
+            // Bridge upstream: native pure ACKs refresh this AP's
+            // contexts.
             if native {
                 if let Transport::Tcp(t) = &pkt.transport {
                     if t.is_pure_ack() {
-                        self.decompress[AP.0 as usize].on_native_ack(&pkt, now);
+                        self.decompress[station.0 as usize].on_native_ack(&pkt, now);
                     }
                 }
             }
-            let arrive = self.wired.send(false, &pkt, now);
-            self.sched
-                .schedule_at(arrive, Event::WiredDeliver { to_ap: false, pkt });
+            let cell = self.layout.cell(station);
+            let arrive = self.wired[cell].send(false, &pkt, now);
+            self.sched.schedule_at(
+                arrive,
+                Event::WiredDeliver {
+                    cell,
+                    to_ap: false,
+                    pkt,
+                },
+            );
             return;
         }
-        if station == AP && native {
+        if at_ap && native {
             // Server on the AP: contexts still need refreshing.
             if let Transport::Tcp(t) = &pkt.transport {
                 if t.is_pure_ack() {
-                    self.decompress[AP.0 as usize].on_native_ack(&pkt, now);
+                    self.decompress[station.0 as usize].on_native_ack(&pkt, now);
                 }
             }
         }
@@ -1227,22 +1488,31 @@ impl World {
     /// Send an endpoint's outbound packets toward the peer.
     fn route_out(&mut self, ep: usize, pkts: Vec<Ipv4Packet>, now: SimTime) {
         let station = self.endpoints[ep].station;
+        let cell = self.layout.cell_of_flow(self.endpoints[ep].flow);
         for pkt in pkts {
             match station {
                 None => {
-                    // Wired server → AP.
-                    let arrive = self.wired.send(true, &pkt, now);
-                    self.sched
-                        .schedule_at(arrive, Event::WiredDeliver { to_ap: true, pkt });
+                    // Wired server → the flow's AP, over that cell's
+                    // backhaul.
+                    let arrive = self.wired[cell].send(true, &pkt, now);
+                    self.sched.schedule_at(
+                        arrive,
+                        Event::WiredDeliver {
+                            cell,
+                            to_ap: true,
+                            pkt,
+                        },
+                    );
                 }
-                Some(sid) if sid == AP => {
+                Some(sid) if self.layout.is_ap(sid) => {
                     // Server on the AP: straight into the downstream path.
-                    self.ap_downstream(pkt, now);
+                    self.ap_downstream(sid, pkt, now);
                 }
                 Some(sid) => {
-                    // Client → AP over the air; pure ACKs go through the
-                    // HACK driver.
-                    self.wireless_out(sid, AP, pkt, now);
+                    // Client → its AP over the air; pure ACKs go through
+                    // the HACK driver.
+                    let ap = self.layout.ap_of(sid);
+                    self.wireless_out(sid, ap, pkt, now);
                 }
             }
         }
@@ -1267,50 +1537,46 @@ impl World {
         }
     }
 
-    /// The AP forwards a packet toward its wireless client (tail-drop
+    /// An AP forwards a packet toward its wireless client (tail-drop
     /// queue for data; ACKs ride the HACK driver).
-    fn ap_downstream(&mut self, pkt: Ipv4Packet, now: SimTime) {
-        let Some(client) = self.client_by_ip(pkt.dst) else {
+    fn ap_downstream(&mut self, ap: StationId, pkt: Ipv4Packet, now: SimTime) {
+        let Some(flow) = self.flow_of_client_ip(pkt.dst) else {
             return;
         };
+        let client = self.layout.client(flow);
         let is_ack = matches!(&pkt.transport, Transport::Tcp(t) if t.is_pure_ack());
         if is_ack {
-            self.wireless_out(AP, client, pkt, now);
+            self.wireless_out(ap, client, pkt, now);
             return;
         }
-        if self.stations[AP.0 as usize].backlog(client) >= self.cfg.ap_queue_cap {
+        if self.stations[ap.0 as usize].backlog(client) >= self.cfg.ap_queue_cap {
             self.ap_queue_drops += 1;
             return;
         }
-        let acts = self.stations[AP.0 as usize].enqueue(client, NetPacket(pkt), now);
-        self.apply(AP, acts, now);
+        let acts = self.stations[ap.0 as usize].enqueue(client, NetPacket(pkt), now);
+        self.apply(ap, acts, now);
     }
 
     // ------------------------------------------------------------------
     // Helpers
     // ------------------------------------------------------------------
 
-    fn client_by_ip(&self, ip: Ipv4Addr) -> Option<StationId> {
-        (0..self.cfg.n_clients)
-            .find(|&i| client_ip(i) == ip)
-            .map(client_sid)
-    }
-
     fn flow_of_client(&self, sid: StationId) -> Option<usize> {
-        (sid.0 >= 1 && (sid.0 as usize) <= self.cfg.n_clients).then(|| sid.0 as usize - 1)
+        self.layout.flow_of_client(sid)
     }
 
     fn flow_of_client_ip(&self, ip: Ipv4Addr) -> Option<usize> {
-        (0..self.cfg.n_clients).find(|&i| client_ip(i) == ip)
+        self.ip_to_flow.get(&ip).copied()
     }
 
     fn top_up_udp(&mut self, flow: usize, now: SimTime) {
-        let client = client_sid(flow);
-        while self.stations[AP.0 as usize].backlog(client) < self.cfg.ap_queue_cap {
+        let client = self.layout.client(flow);
+        let ap = self.layout.ap_of_flow(flow);
+        while self.stations[ap.0 as usize].backlog(client) < self.cfg.ap_queue_cap {
             self.udp_ident = self.udp_ident.wrapping_add(1);
             let pkt = Ipv4Packet {
                 src: SERVER_IP,
-                dst: client_ip(flow),
+                dst: self.layout.client_ip(flow),
                 ident: self.udp_ident,
                 ttl: 64,
                 transport: Transport::Udp {
@@ -1319,8 +1585,8 @@ impl World {
                     payload_len: 1472,
                 },
             };
-            let acts = self.stations[AP.0 as usize].enqueue(client, NetPacket(pkt), now);
-            self.apply(AP, acts, now);
+            let acts = self.stations[ap.0 as usize].enqueue(client, NetPacket(pkt), now);
+            self.apply(ap, acts, now);
         }
     }
 
@@ -1385,7 +1651,7 @@ impl World {
     }
 
     fn collect(self) -> RunResult {
-        let n = self.cfg.n_clients;
+        let n = self.layout.n_flows();
         let last_start = self
             .flow_start_at
             .iter()
@@ -1422,7 +1688,7 @@ impl World {
         let mut driver = Vec::new();
         let mut compressor = Vec::new();
         for i in 0..n {
-            let key = (client_sid(i).0, AP.0);
+            let key = (self.layout.client(i).0, self.layout.ap_of_flow(i).0);
             let side = &self.compress[&key];
             driver.push(side.stats().clone());
             compressor.push(side.compressor_stats().clone());
@@ -1470,7 +1736,15 @@ impl World {
             mac,
             driver,
             compressor,
-            decompressor: self.decompress[AP.0 as usize].stats().clone(),
+            decompressor: {
+                // Aggregate across every AP's decompressor (the single
+                // AP's stats, verbatim, on legacy worlds).
+                let mut dec = DecompressStats::default();
+                for c in &self.layout.cells {
+                    dec.merge(self.decompress[c.ap.0 as usize].stats());
+                }
+                dec
+            },
             ppdus: self.medium.completed(),
             collisions: self.medium.collisions(),
             ap_queue_drops: self.ap_queue_drops,

@@ -30,7 +30,7 @@ use hack_sim::QueueKind;
 /// Version of the canonical [`ScenarioConfig`] encoding. Bump whenever
 /// the struct (or the meaning of a field) changes so stale cache
 /// entries can never alias a new configuration.
-pub const CONFIG_ENCODING_VERSION: u32 = 2;
+pub const CONFIG_ENCODING_VERSION: u32 = 3;
 
 /// Streaming FNV-1a over 128 bits — small, dependency-free, and stable
 /// by construction (the offset basis and prime are spelled out by the
@@ -289,6 +289,15 @@ impl ScenarioConfig {
             hack_tcp::CcKind::Highspeed => 2,
             hack_tcp::CcKind::Bbr => 3,
         });
+        h.usize(self.bss.len());
+        for b in &self.bss {
+            h.f64(b.x);
+            h.f64(b.y);
+            h.u8(b.channel);
+            h.usize(b.n_clients);
+        }
+        h.f64(self.interference.co_channel_range_m);
+        h.f64(self.interference.adjacent_range_m);
     }
 }
 
@@ -332,6 +341,20 @@ mod tests {
         let mut c = a.clone();
         c.cc = hack_tcp::CcKind::Cubic;
         assert_ne!(a.stable_hash(), c.stable_hash(), "cc keys the cache");
+        let mut c = a.clone();
+        c.bss = crate::scenario::BssSpec::enterprise_floor(4, 2);
+        assert_ne!(
+            a.stable_hash(),
+            c.stable_hash(),
+            "bss layout keys the cache"
+        );
+        let mut c = a.clone();
+        c.interference.co_channel_range_m += 1.0;
+        assert_ne!(
+            a.stable_hash(),
+            c.stable_hash(),
+            "interference ranges key the cache"
+        );
     }
 
     #[test]

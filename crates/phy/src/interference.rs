@@ -1,0 +1,261 @@
+//! Interference domains: which groups of stations can corrupt (or even
+//! hear) each other.
+//!
+//! A dense deployment is a set of BSSs — one AP plus its clients — laid
+//! out on a floor or across an apartment block. Two BSSs interfere when
+//! they are close enough *and* their channels overlap; everything else
+//! is spatial reuse. The [`InterferenceGraph`] captures exactly that
+//! relation: one node per domain (= BSS), an edge per pair that can
+//! corrupt each other's PPDUs. [`Medium`](crate::Medium) consults it to
+//! scope collisions and receptions, replacing the historical "any
+//! overlap anywhere corrupts everyone" rule (which survives as the
+//! single-domain graph every legacy world gets).
+//!
+//! The graph is deliberately binary — a pair of domains either
+//! interferes or it doesn't. Partial (adjacent-channel) overlap is
+//! modelled as a shorter interference range, not a lower corruption
+//! probability, which keeps the per-MPDU RNG draw sequence independent
+//! of the layout and therefore keeps single-domain digests pinned.
+
+/// Spatial/spectral placement of one BSS's AP, the inputs the
+/// interference rule needs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BssPlacement {
+    /// AP x coordinate (m).
+    pub x: f64,
+    /// AP y coordinate (m).
+    pub y: f64,
+    /// 2.4 GHz channel number (1–11; channels within 5 of each other
+    /// overlap spectrally).
+    pub channel: u8,
+}
+
+/// Ranges that decide when two BSSs interfere.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InterferenceConfig {
+    /// AP-to-AP distance (m) within which two *co-channel* BSSs corrupt
+    /// each other.
+    pub co_channel_range_m: f64,
+    /// AP-to-AP distance (m) within which two *partially overlapping*
+    /// channels (|Δchannel| < 5 in the 2.4 GHz plan) corrupt each
+    /// other. Shorter than the co-channel range: partial spectral
+    /// overlap needs more received power to do damage.
+    pub adjacent_range_m: f64,
+}
+
+impl Default for InterferenceConfig {
+    fn default() -> Self {
+        // Indoor log-distance (exponent 3) puts a co-channel AP at 30 m
+        // right at the carrier-sense floor; adjacent-channel energy
+        // needs roughly half that distance to matter.
+        InterferenceConfig {
+            co_channel_range_m: 30.0,
+            adjacent_range_m: 12.0,
+        }
+    }
+}
+
+/// Symmetric interference relation over `n` domains.
+///
+/// Every domain always interferes with itself. Construction is
+/// deterministic: adjacency lists are kept sorted, so iteration order
+/// never depends on edge insertion order.
+#[derive(Debug, Clone)]
+pub struct InterferenceGraph {
+    /// `adj[d]` holds every domain whose transmissions reach `d`,
+    /// including `d` itself, sorted ascending.
+    adj: Vec<Vec<u32>>,
+}
+
+impl InterferenceGraph {
+    /// The legacy graph: one domain, everyone interferes with everyone.
+    pub fn single() -> Self {
+        InterferenceGraph { adj: vec![vec![0]] }
+    }
+
+    /// A graph over `n` domains with the given undirected edges.
+    ///
+    /// # Panics
+    /// Panics if an edge names a domain `>= n`.
+    pub fn new(n: usize, edges: &[(usize, usize)]) -> Self {
+        let mut adj: Vec<Vec<u32>> = (0..n).map(|d| vec![d as u32]).collect();
+        for &(a, b) in edges {
+            assert!(
+                a < n && b < n,
+                "edge ({a}, {b}) out of range for {n} domains"
+            );
+            if a == b {
+                continue;
+            }
+            adj[a].push(b as u32);
+            adj[b].push(a as u32);
+        }
+        for l in &mut adj {
+            l.sort_unstable();
+            l.dedup();
+        }
+        InterferenceGraph { adj }
+    }
+
+    /// Derive the graph from AP placements: co-channel pairs interfere
+    /// within `co_channel_range_m`, partially overlapping channels
+    /// (|Δchannel| < 5) within `adjacent_range_m`, orthogonal channels
+    /// never.
+    pub fn derive(aps: &[BssPlacement], cfg: &InterferenceConfig) -> Self {
+        let mut edges = Vec::new();
+        for a in 0..aps.len() {
+            for b in (a + 1)..aps.len() {
+                let dch = aps[a].channel.abs_diff(aps[b].channel);
+                let range = if dch == 0 {
+                    cfg.co_channel_range_m
+                } else if dch < 5 {
+                    cfg.adjacent_range_m
+                } else {
+                    continue;
+                };
+                let (dx, dy) = (aps[a].x - aps[b].x, aps[a].y - aps[b].y);
+                if (dx * dx + dy * dy).sqrt() <= range {
+                    edges.push((a, b));
+                }
+            }
+        }
+        InterferenceGraph::new(aps.len().max(1), &edges)
+    }
+
+    /// Number of domains.
+    pub fn len(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Whether the graph is the trivial empty one (never constructed by
+    /// this crate, but clippy insists `len` implies `is_empty`).
+    pub fn is_empty(&self) -> bool {
+        self.adj.is_empty()
+    }
+
+    /// Whether domains `a` and `b` can corrupt each other.
+    pub fn interferes(&self, a: u32, b: u32) -> bool {
+        a == b || self.adj[a as usize].binary_search(&b).is_ok()
+    }
+
+    /// The domains whose transmissions reach `d` (including `d`),
+    /// sorted ascending.
+    pub fn reaching(&self, d: u32) -> &[u32] {
+        &self.adj[d as usize]
+    }
+
+    /// Number of undirected cross-domain edges.
+    pub fn edge_count(&self) -> usize {
+        self.adj
+            .iter()
+            .enumerate()
+            .map(|(d, l)| l.iter().filter(|&&o| (o as usize) > d).count())
+            .sum()
+    }
+
+    /// Connected components, each sorted ascending, ordered by their
+    /// smallest member — the unit of parallel sharding: domains in
+    /// different components can never affect each other.
+    pub fn components(&self) -> Vec<Vec<usize>> {
+        let n = self.adj.len();
+        let mut seen = vec![false; n];
+        let mut out = Vec::new();
+        for start in 0..n {
+            if seen[start] {
+                continue;
+            }
+            let mut comp = Vec::new();
+            let mut stack = vec![start];
+            seen[start] = true;
+            while let Some(d) = stack.pop() {
+                comp.push(d);
+                for &o in &self.adj[d] {
+                    let o = o as usize;
+                    if !seen[o] {
+                        seen[o] = true;
+                        stack.push(o);
+                    }
+                }
+            }
+            comp.sort_unstable();
+            out.push(comp);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn at(x: f64, y: f64, channel: u8) -> BssPlacement {
+        BssPlacement { x, y, channel }
+    }
+
+    #[test]
+    fn single_graph_is_reflexive_and_total() {
+        let g = InterferenceGraph::single();
+        assert_eq!(g.len(), 1);
+        assert!(g.interferes(0, 0));
+        assert_eq!(g.reaching(0), &[0]);
+        assert_eq!(g.components(), vec![vec![0]]);
+    }
+
+    #[test]
+    fn edges_are_symmetric_and_self_loops_implicit() {
+        let g = InterferenceGraph::new(4, &[(0, 2), (2, 3)]);
+        assert!(g.interferes(0, 2) && g.interferes(2, 0));
+        assert!(g.interferes(2, 3));
+        assert!(!g.interferes(0, 3), "interference is not transitive");
+        assert!(!g.interferes(0, 1));
+        assert!((0..4).all(|d| g.interferes(d, d)));
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn components_partition_by_reachability() {
+        let g = InterferenceGraph::new(5, &[(0, 2), (2, 3), (1, 4)]);
+        assert_eq!(g.components(), vec![vec![0, 2, 3], vec![1, 4]]);
+        let g = InterferenceGraph::new(3, &[]);
+        assert_eq!(g.components(), vec![vec![0], vec![1], vec![2]]);
+    }
+
+    #[test]
+    fn derive_uses_channel_overlap_and_distance() {
+        let cfg = InterferenceConfig::default();
+        // Co-channel inside range; orthogonal channels at zero distance;
+        // partial overlap inside the shorter adjacent range only.
+        let aps = [
+            at(0.0, 0.0, 1),
+            at(20.0, 0.0, 1),  // co-channel, 20 m < 30 m: edge
+            at(0.0, 5.0, 6),   // orthogonal (Δ5): never an edge
+            at(0.0, 10.0, 3),  // Δ2 partial overlap, 10 m < 12 m: edge
+            at(0.0, 100.0, 1), // co-channel but far: no edge
+        ];
+        let g = InterferenceGraph::derive(&aps, &cfg);
+        assert!(g.interferes(0, 1));
+        assert!(!g.interferes(0, 2));
+        assert!(g.interferes(0, 3));
+        assert!(!g.interferes(0, 4));
+        assert!(
+            g.interferes(2, 3),
+            "ch6 vs ch3 (Δ3) at 5 m is within the 12 m adjacent range"
+        );
+    }
+
+    #[test]
+    fn derive_adjacent_channel_edge_cases() {
+        let cfg = InterferenceConfig {
+            co_channel_range_m: 30.0,
+            adjacent_range_m: 12.0,
+        };
+        // Δ4 still overlaps; Δ5 (1 vs 6) is orthogonal even co-located.
+        let g = InterferenceGraph::derive(&[at(0.0, 0.0, 1), at(1.0, 0.0, 5)], &cfg);
+        assert!(g.interferes(0, 1));
+        let g = InterferenceGraph::derive(&[at(0.0, 0.0, 1), at(1.0, 0.0, 6)], &cfg);
+        assert!(!g.interferes(0, 1));
+        // Exactly at range counts as interfering (<=).
+        let g = InterferenceGraph::derive(&[at(0.0, 0.0, 11), at(30.0, 0.0, 11)], &cfg);
+        assert!(g.interferes(0, 1));
+    }
+}

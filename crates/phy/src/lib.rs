@@ -2,8 +2,9 @@
 //!
 //! Everything below the MAC: bit-rates and airtime arithmetic
 //! ([`rates`]), interframe-space/contention parameter sets ([`timing`]),
-//! propagation and SNR ([`channel`]), frame-error models ([`error`]), and
-//! the shared broadcast medium with its collision model ([`medium`]).
+//! propagation and SNR ([`channel`]), frame-error models ([`error`]),
+//! multi-BSS interference domains ([`interference`]), and the shared
+//! broadcast medium with its collision model ([`medium`]).
 //!
 //! The paper evaluates on ns-3's WiFi PHY and on SoRa radios; this crate
 //! is the from-scratch substitute (see DESIGN.md §1). It is entirely
@@ -15,12 +16,14 @@
 
 pub mod channel;
 pub mod error;
+pub mod interference;
 pub mod medium;
 pub mod rates;
 pub mod timing;
 
 pub use channel::Channel;
 pub use error::{GeParams, LossModel};
+pub use interference::{BssPlacement, InterferenceConfig, InterferenceGraph};
 pub use medium::{CorruptModel, Medium, MpduStatus, PpduMeta, Reception, TxId, TxOutcome};
 pub use rates::{PhyKind, PhyRate, BASIC_RATES_MBPS, DOT11A_RATES_MBPS, DOT11N_HT40_SGI_MBPS};
 pub use timing::MacTimings;

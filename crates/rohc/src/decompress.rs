@@ -60,6 +60,18 @@ pub struct DecompressStats {
     pub malformed: u64,
 }
 
+impl DecompressStats {
+    /// Fold another decompressor's counters into this one — aggregation
+    /// across the per-AP decompressors of a multi-BSS world.
+    pub fn merge(&mut self, other: &DecompressStats) {
+        self.decompressed += other.decompressed;
+        self.duplicates += other.duplicates;
+        self.crc_failures += other.crc_failures;
+        self.no_context += other.no_context;
+        self.malformed += other.malformed;
+    }
+}
+
 /// The AP-side decompressor.
 #[derive(Debug, Default)]
 pub struct Decompressor {

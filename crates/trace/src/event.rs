@@ -202,6 +202,19 @@ define_events! {
         fcs_ok: bool,
     };
 
+    /// A mid-run station loss step was applied to the medium — either
+    /// mutating the fixed-loss table or composing an override on top of
+    /// the burst/SNR models. Node = the station whose loss changed.
+    PhyLossOverride = 6, Phy, "loss_override", {
+        /// Station whose loss rate changed.
+        station: u32,
+        /// New per-MPDU loss probability, IEEE-754 bits.
+        per_bits: u64,
+        /// Whether the step *composed* with a stochastic loss model
+        /// (burst/SNR) rather than mutating the fixed-loss table.
+        composed: bool,
+    };
+
     /// A backoff counter was (re)drawn. Node = contender.
     MacBackoff = 16, Mac, "backoff", {
         /// Slots drawn.
