@@ -41,7 +41,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 use hack_core::{
-    run, run_dense, BssSpec, CompressSide, DenseOptions, DriverAction, HackMode, ScenarioConfig,
+    run, run_dense, BssSpec, CompressSide, DenseOptions, DriverAction, HackMode, RoamEvent,
+    ScenarioConfig, SupervisorConfig,
 };
 use hack_mac::RxDataInfo;
 use hack_phy::StationId;
@@ -383,6 +384,67 @@ fn stage_dense_e2e(quick: bool) -> Stage {
     }
 }
 
+fn stage_roam_handoff_e2e(quick: bool) -> Stage {
+    // Mid-flow AP handoff end to end: a supervised two-cell world whose
+    // client roams to a HACK-incapable AP and back — held-ACK flush,
+    // ROHC context teardown, the association state machine, blackout
+    // parking, and the re-association handshake all on the measured
+    // path. Reported as ns per dispatched event; if the roam machinery
+    // ever leaks cost into the per-event budget (e.g. a per-event scan
+    // of the roam runtime), this stage moves while the plain end-to-end
+    // stays put. The quick run stays long enough that the world's fixed
+    // setup allocations don't dominate the per-event count (the --check
+    // gate compares quick CI runs against the committed full-mode run).
+    let ms = if quick { 400 } else { 600 };
+    let mut cfg = ScenarioConfig::builder()
+        .hack(HackMode::MoreData)
+        .bss(vec![
+            BssSpec {
+                x: 0.0,
+                y: 0.0,
+                channel: 1,
+                n_clients: 1,
+            },
+            BssSpec {
+                x: 25.0,
+                y: 0.0,
+                channel: 6,
+                n_clients: 0,
+            },
+        ])
+        .duration(SimDuration::from_millis(ms))
+        .warmup(SimDuration::from_millis(ms / 5))
+        .build();
+    cfg.roam.ap_hack_capable = vec![true, false];
+    cfg.roam.schedule = vec![
+        RoamEvent {
+            flow: 0,
+            at: SimDuration::from_millis(ms / 3),
+            target_bss: 1,
+        },
+        RoamEvent {
+            flow: 0,
+            at: SimDuration::from_millis(2 * ms / 3),
+            target_bss: 0,
+        },
+    ];
+    cfg.supervisor = Some(SupervisorConfig::default());
+    let a0 = allocs_now();
+    let t0 = Instant::now();
+    let r = run(cfg);
+    let wall = t0.elapsed();
+    let allocs = allocs_now() - a0;
+    assert_eq!(r.roams, 2, "roam bench world must complete both handoffs");
+    assert!(
+        r.aggregate_goodput_mbps > 0.0,
+        "roam bench world moved no bytes"
+    );
+    Stage {
+        ns_per_op: wall.as_nanos() as f64 / r.events_dispatched.max(1) as f64,
+        allocs_per_op: allocs as f64 / r.events_dispatched.max(1) as f64,
+    }
+}
+
 // ---------------------------------------------------------------------
 // End-to-end events/sec.
 // ---------------------------------------------------------------------
@@ -616,6 +678,7 @@ fn main() {
         ("md5_cid", stage_md5_cid(quick)),
         ("header_serialize", stage_header_serialize(quick)),
         ("dense_9bss_e2e", stage_dense_e2e(quick)),
+        ("roam_handoff_e2e", stage_roam_handoff_e2e(quick)),
     ];
     for (name, st) in &stages {
         println!(

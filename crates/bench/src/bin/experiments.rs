@@ -12,9 +12,9 @@ use hack_analysis::{CapacityModel, Protocol};
 use hack_bench::{run_seeds, set_trace_base, CommonOpts, USAGE};
 use hack_campaign::{campaign_csv, campaign_json, run_campaign, Axis, CellReport, SweepSpec};
 use hack_core::{
-    run_dense, BssSpec, CcKind, ChannelChange, ChannelEvent, CompressSideStats, CorruptModel,
-    DenseOptions, DenseReport, FlowHealth, GeParams, HackMode, LossConfig, RunResult,
-    ScenarioConfig, SupervisorConfig, SupervisorReport,
+    run_auto, run_dense, BssSpec, CcKind, ChannelChange, ChannelEvent, CompressSideStats,
+    CorruptModel, DenseOptions, DenseReport, FlowHealth, GeParams, HackMode, LossConfig, RoamEvent,
+    RunResult, ScenarioConfig, SupervisorConfig, SupervisorReport,
 };
 use hack_phy::{Channel, PhyRate, StationId, DOT11A_RATES_MBPS, DOT11N_HT40_SGI_MBPS};
 use hack_sim::{RunStats, SimDuration};
@@ -57,6 +57,7 @@ fn main() {
         "cc-matrix" => cc_matrix(&opts),
         "dense-sweep" => dense_sweep(&opts),
         "dense-smoke" => dense_smoke(&opts),
+        "roam-chaos" => roam_chaos(&opts),
         "ablate-timer" => ablate_timer(&opts),
         "ablate-delack" => ablate_delack(&opts),
         "ablate-sync" => ablate_sync(&opts),
@@ -79,6 +80,7 @@ fn main() {
             cc_matrix(&opts);
             dense_sweep(&opts);
             dense_smoke(&opts);
+            roam_chaos(&opts);
             ablate_timer(&opts);
             ablate_delack(&opts);
             ablate_sync(&opts);
@@ -1072,6 +1074,195 @@ fn dense_smoke(opts: &Opts) {
         std::process::exit(1);
     }
     println!("dense smoke OK");
+}
+
+// ----------------------------------------------------------------------
+// Roam chaos: mid-flow AP handoffs under randomized schedules (CI gate)
+// ----------------------------------------------------------------------
+
+/// Seeded 64-bit mixer for schedule generation (splitmix64): the roam
+/// schedules are "random" but a pure function of the scenario seed, so
+/// every run of this subcommand is reproducible.
+fn mix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Three cells in a row on distinct channels — the middle one unable to
+/// decode HACK blobs — with a seeded schedule of 1–2 handoffs per flow
+/// and flaky association attempts. Every flow starts at its home AP and
+/// wanders; chained handoffs keep their per-flow time order.
+fn roam_world(seed: u64, ms: u64, mode: HackMode, supervised: bool) -> ScenarioConfig {
+    let mut c = ScenarioConfig::builder()
+        .hack(mode)
+        .bss(vec![
+            BssSpec {
+                x: 0.0,
+                y: 0.0,
+                channel: 1,
+                n_clients: 1,
+            },
+            BssSpec {
+                x: 25.0,
+                y: 0.0,
+                channel: 6,
+                n_clients: 1,
+            },
+            BssSpec {
+                x: 50.0,
+                y: 0.0,
+                channel: 11,
+                n_clients: 1,
+            },
+        ])
+        .duration(SimDuration::from_millis(ms))
+        .stagger(SimDuration::from_millis(2))
+        .warmup(SimDuration::from_millis(5))
+        .seed(seed)
+        .build();
+    c.roam.ap_hack_capable = vec![true, false, true];
+    c.roam.assoc_fail_prob = 0.3;
+    let mut s = seed ^ 0xD6E8_FEB8_6659_FD93;
+    let mut schedule = Vec::new();
+    for flow in 0..3usize {
+        let hops = 1 + (mix64(&mut s) % 2) as usize;
+        let mut ats: Vec<u64> = (0..hops)
+            .map(|_| 150 + mix64(&mut s) % ms.saturating_sub(400).max(1))
+            .collect();
+        ats.sort_unstable();
+        let mut cell = flow; // home cell: one client per BSS, in order
+        for at in ats {
+            let target = (cell + 1 + (mix64(&mut s) % 2) as usize) % 3;
+            schedule.push(RoamEvent {
+                flow,
+                at: SimDuration::from_millis(at),
+                target_bss: target,
+            });
+            cell = target;
+        }
+    }
+    c.roam.schedule = schedule;
+    if supervised {
+        c.supervisor = Some(SupervisorConfig::default());
+    }
+    c
+}
+
+/// Roam chaos (CI gate): randomized handoff schedules over a 3-BSS
+/// world, plain TCP vs supervised TCP/HACK, plus a 1-vs-4-thread
+/// sharded determinism check. Fails the process if any flow ends the
+/// run stalled, if no handoff ever completes, or if the sharded run's
+/// digests diverge between thread counts; warns (without failing) if
+/// supervised HACK falls behind plain TCP in aggregate.
+fn roam_chaos(opts: &Opts) {
+    banner("Roam chaos: mid-flow AP handoffs — plain TCP vs supervised TCP/HACK");
+    println!("(seeded random schedules, 30 % association-attempt failures, middle AP");
+    println!(" HACK-incapable; fails on a stalled flow, zero completed handoffs, or");
+    println!(" parallel != serial sharded digests)");
+    let seeds: &[u64] = if opts.quick {
+        &[13, 21]
+    } else {
+        &[13, 21, 34, 89]
+    };
+    let ms = if opts.quick { 600 } else { 1200 };
+    let mut failed = false;
+    let mut json_rows = Vec::new();
+    let mut tcp_total = 0.0;
+    let mut sup_total = 0.0;
+
+    println!(
+        "{:>6} {:>10} {:>10} {:>10} {:>6} {:>9}  supervisor (flow 0)",
+        "seed", "tcp", "hack+sup", "final-win", "roams", "handoffs"
+    );
+    for &seed in seeds {
+        let tcp = run_auto(roam_world(seed, ms, HackMode::Disabled, false));
+        let sup = run_auto(roam_world(seed, ms, HackMode::MoreData, true));
+        tcp_total += tcp.aggregate_goodput_mbps;
+        sup_total += sup.aggregate_goodput_mbps;
+        let handoffs: u64 = sup.supervisor.iter().map(|r| r.stats.handoffs).sum();
+        let mut verdict = "";
+        if stalled(&sup) || stalled(&tcp) {
+            verdict = "  <-- FAIL: flow ended stalled";
+            failed = true;
+        } else if sup.roams == 0 || tcp.roams == 0 {
+            verdict = "  <-- FAIL: no handoff completed";
+            failed = true;
+        } else if handoffs != sup.roams {
+            verdict = "  <-- FAIL: supervisor lost track of a handoff";
+            failed = true;
+        }
+        let final_min = sup
+            .flow_goodput_final_mbps
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min);
+        println!(
+            "{seed:>6} {:>8.2} M {:>8.2} M {final_min:>8.2} M {:>6} {handoffs:>9}  {}{verdict}",
+            tcp.aggregate_goodput_mbps,
+            sup.aggregate_goodput_mbps,
+            sup.roams,
+            supervisor_line(&sup.supervisor[0]),
+        );
+        json_rows.push(format!(
+            "{{\"seed\":{seed},\"tcp_goodput_mbps\":{:.3},\
+             \"sup_goodput_mbps\":{:.3},\"final_window_min_mbps\":{final_min:.3},\
+             \"roams\":{},\"handoffs\":{handoffs},\"supervisor\":{}}}",
+            tcp.aggregate_goodput_mbps,
+            sup.aggregate_goodput_mbps,
+            sup.roams,
+            supervisor_json(&sup.supervisor[0]),
+        ));
+    }
+    println!(
+        "aggregate: plain TCP {tcp_total:.2} M, supervised HACK {sup_total:.2} M ({})",
+        if sup_total >= tcp_total {
+            "HACK's edge survived the handoffs"
+        } else {
+            "WARNING: supervised HACK behind plain TCP on this seed set"
+        }
+    );
+
+    // Sharded determinism: the same roaming world (cross-cell handoffs
+    // couple all three cells into one roam-closure shard) must produce
+    // byte-identical digests at 1 and 4 worker threads.
+    let cfg = roam_world(seeds[0], ms, HackMode::MoreData, true);
+    let at = |threads: usize| DenseOptions {
+        threads,
+        epoch: SimDuration::from_millis(10),
+        digests: true,
+    };
+    let serial = run_dense(&cfg, &at(1));
+    let parallel = run_dense(&cfg, &at(4));
+    let mut verdict = "ok";
+    if serial.exchange_digest != parallel.exchange_digest {
+        verdict = "FAIL: exchange ledger diverged";
+    } else if serial
+        .shards
+        .iter()
+        .zip(&parallel.shards)
+        .any(|(s, p)| s.digest != p.digest)
+    {
+        verdict = "FAIL: shard trace digests diverged";
+    } else if serial.flow_goodput_mbps != parallel.flow_goodput_mbps {
+        verdict = "FAIL: merged goodputs diverged";
+    }
+    println!(
+        "sharded 1 vs 4 threads: {} shards, {:.1} Mbps aggregate — {verdict}",
+        serial.shards.len(),
+        serial.aggregate_goodput_mbps
+    );
+    failed |= verdict != "ok";
+
+    if opts.json {
+        println!("{{\"roam_chaos\":[{}]}}", json_rows.join(","));
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!("roam chaos OK");
 }
 
 // ----------------------------------------------------------------------

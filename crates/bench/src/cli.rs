@@ -51,6 +51,12 @@ SUBCOMMANDS:
     dense-smoke     multi-BSS worlds sharded at 1 vs 4 threads; exits
                     nonzero on any trace/exchange digest divergence or
                     zero goodput (CI smoke)
+    roam-chaos      randomized mid-flow AP handoffs (seeded schedules,
+                    flaky associations, a HACK-incapable AP) over plain
+                    TCP vs supervised TCP/HACK; exits nonzero if any
+                    flow ends stalled, no handoff completes, or a
+                    sharded run diverges between 1 and 4 threads
+                    (CI smoke)
     ablate-timer | ablate-delack | ablate-sync | ablate-txop
     all             everything above
 

@@ -76,9 +76,14 @@ pub struct CampaignReport {
     pub complete: bool,
 }
 
-/// Run a campaign with the default runner (`hack_core::run`).
+/// Run a campaign with the default runner (`hack_core::run_auto`):
+/// legacy single-cell configs run directly, dense multi-BSS configs run
+/// sharded and merged — so dense cells sweep, cache, and resume exactly
+/// like legacy ones.
 pub fn run_campaign(spec: &SweepSpec, opts: &CampaignOptions) -> CampaignReport {
-    run_campaign_with(spec, opts, &|job: &Job| hack_core::run(job.cfg.clone()))
+    run_campaign_with(spec, opts, &|job: &Job| {
+        hack_core::run_auto(job.cfg.clone())
+    })
 }
 
 /// Run a campaign with a caller-supplied runner (e.g. a traced run).

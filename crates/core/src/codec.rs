@@ -29,7 +29,7 @@ use crate::supervisor::{FlowHealth, SupervisorReport, SupervisorStats};
 /// Version of the serialized [`RunResult`] layout. Bump on any change
 /// to the result shape; the cache rejects (and recomputes) entries
 /// written under a different version.
-pub const RESULT_SCHEMA_VERSION: u32 = 2;
+pub const RESULT_SCHEMA_VERSION: u32 = 3;
 
 /// File magic for encoded results.
 const MAGIC: &[u8; 4] = b"HKRR";
@@ -215,8 +215,11 @@ pub fn encode_run_result(r: &RunResult) -> Vec<u8> {
         w.u64(s.stats.probations);
         w.u64(s.stats.recoveries);
         w.u64(s.stats.refreshes);
+        w.u64(s.stats.handoffs);
+        w.u64(s.stats.est_divergence);
     }
     w.vec_f64(&r.flow_goodput_final_mbps);
+    w.u64(r.roams);
     w.out
 }
 
@@ -397,11 +400,14 @@ pub fn decode_run_result(bytes: &[u8]) -> Result<RunResult, CodecError> {
                     probations: r.u64()?,
                     recoveries: r.u64()?,
                     refreshes: r.u64()?,
+                    handoffs: r.u64()?,
+                    est_divergence: r.u64()?,
                 },
             })
         })
         .collect::<Result<_, CodecError>>()?;
     let flow_goodput_final_mbps = r.vec_f64()?;
+    let roams = r.u64()?;
     if r.pos != bytes.len() {
         // Trailing bytes mean the shapes disagree even though the
         // version matched — treat as corruption.
@@ -425,6 +431,7 @@ pub fn decode_run_result(bytes: &[u8]) -> Result<RunResult, CodecError> {
         blob_within_aifs,
         supervisor,
         flow_goodput_final_mbps,
+        roams,
     })
 }
 

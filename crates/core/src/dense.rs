@@ -36,11 +36,16 @@
 //! identical event schedule epoch by epoch, which is what the
 //! `dense-smoke` CI job compares across thread counts.
 
+use std::collections::HashMap;
+
 use hack_phy::InterferenceGraph;
+use hack_rohc::DecompressStats;
 use hack_sim::{SimDuration, SimTime};
 use hack_trace::TraceHandle;
 
-use crate::scenario::{ChannelChange, ChannelEvent, LossConfig, RunResult, ScenarioConfig};
+use crate::scenario::{
+    ChannelChange, ChannelEvent, ClientPath, LossConfig, RoamEvent, RunResult, ScenarioConfig,
+};
 use crate::sim::World;
 use crate::stable::StableHasher;
 
@@ -128,13 +133,14 @@ pub fn shard_seed(master: u64, shard_min_bss: usize) -> u64 {
 ///
 /// Running each returned config as its own [`World`] reproduces, byte
 /// for byte, what [`run_dense`] runs — that equivalence is the sharding
-/// oracle the test suite pins.
+/// oracle the test suite pins. (Roam quantization assumes the default
+/// epoch; [`run_dense`] itself uses its configured one.)
 ///
 /// # Panics
 /// Panics if `cfg.bss` is empty (legacy single-cell worlds have nothing
 /// to shard; run them directly).
 pub fn shard_configs(cfg: &ScenarioConfig) -> Vec<(ScenarioConfig, Vec<usize>)> {
-    components(cfg)
+    components(cfg, DenseOptions::default().epoch)
         .into_iter()
         .map(|comp| {
             let (sub, flows, _) = comp;
@@ -143,9 +149,23 @@ pub fn shard_configs(cfg: &ScenarioConfig) -> Vec<(ScenarioConfig, Vec<usize>)> 
         .collect()
 }
 
-/// Connected components of `cfg`'s interference graph, each projected
-/// to `(shard config, global flows, global BSS indices)`.
-fn components(cfg: &ScenarioConfig) -> Vec<(ScenarioConfig, Vec<usize>, Vec<usize>)> {
+/// Connected components of `cfg`'s interference graph — closed under
+/// roaming — each projected to `(shard config, global flows, global BSS
+/// indices)`.
+///
+/// Roam closure: a scheduled handoff couples the flow's current cell to
+/// its target, so the two cells' interference components are merged
+/// into one shard and the roam runs live inside it. When the handoff
+/// crosses what *were* two separate domains, its `at` is additionally
+/// quantized **up** to the next `epoch` boundary — a pure config
+/// transform applied before any shard exists, hence identical for every
+/// thread count (parallel == serial stays trivially true). An SNR roam
+/// trigger can send any client anywhere, so it collapses all components
+/// into a single shard.
+fn components(
+    cfg: &ScenarioConfig,
+    epoch: SimDuration,
+) -> Vec<(ScenarioConfig, Vec<usize>, Vec<usize>)> {
     assert!(
         !cfg.bss.is_empty(),
         "sharding needs a dense (multi-BSS) scenario"
@@ -164,15 +184,92 @@ fn components(cfg: &ScenarioConfig) -> Vec<(ScenarioConfig, Vec<usize>, Vec<usiz
     // [offsets[c], offsets[c] + n_clients_c).
     let mut offsets = Vec::with_capacity(cfg.bss.len());
     let mut acc = 0usize;
-    for b in &cfg.bss {
+    let mut cell_of_flow = Vec::new();
+    for (b, spec) in cfg.bss.iter().enumerate() {
         offsets.push(acc);
-        acc += b.n_clients;
+        acc += spec.n_clients;
+        cell_of_flow.extend((0..spec.n_clients).map(|_| b));
     }
-    graph
-        .components()
+    let raw: Vec<Vec<usize>> = graph.components();
+    let mut comp_of = vec![0usize; cfg.bss.len()];
+    for (ci, comp) in raw.iter().enumerate() {
+        for &b in comp {
+            comp_of[b] = ci;
+        }
+    }
+
+    // Roam closure over the raw components (union-find).
+    let mut parent: Vec<usize> = (0..raw.len()).collect();
+    fn find(parent: &mut [usize], x: usize) -> usize {
+        let mut r = x;
+        while parent[r] != r {
+            r = parent[r];
+        }
+        let mut c = x;
+        while parent[c] != r {
+            let next = parent[c];
+            parent[c] = r;
+            c = next;
+        }
+        r
+    }
+    let mut cfg = cfg.clone();
+    if cfg.roam.trigger.is_some() {
+        for c in 1..raw.len() {
+            let (a, b) = (find(&mut parent, 0), find(&mut parent, c));
+            parent[b] = a;
+        }
+    }
+    if !cfg.roam.schedule.is_empty() {
+        // Walk each flow's roams in time order so chained handoffs
+        // (A → B → C) track the cell the flow actually leaves from.
+        let mut order: Vec<usize> = (0..cfg.roam.schedule.len()).collect();
+        order.sort_by_key(|&i| {
+            let e = &cfg.roam.schedule[i];
+            (e.flow, e.at.as_nanos(), i)
+        });
+        let mut cur: HashMap<usize, usize> = HashMap::new();
+        for &i in &order {
+            let e = cfg.roam.schedule[i];
+            if e.flow >= cell_of_flow.len() || e.target_bss >= cfg.bss.len() {
+                continue;
+            }
+            let from = cur.get(&e.flow).copied().unwrap_or(cell_of_flow[e.flow]);
+            if comp_of[from] != comp_of[e.target_bss] {
+                // Cross-domain: land the handoff exactly on an epoch
+                // boundary and merge the two shards.
+                let en = epoch.as_nanos().max(1);
+                cfg.roam.schedule[i].at =
+                    SimDuration::from_nanos(e.at.as_nanos().div_ceil(en) * en);
+                let (a, b) = (
+                    find(&mut parent, comp_of[from]),
+                    find(&mut parent, comp_of[e.target_bss]),
+                );
+                if a != b {
+                    parent[b] = a;
+                }
+            }
+            cur.insert(e.flow, e.target_bss);
+        }
+    }
+
+    // Collapse raw components into their union-find groups, each sorted
+    // by BSS index, groups ordered by their smallest BSS index.
+    let mut groups: HashMap<usize, Vec<usize>> = HashMap::new();
+    for (ci, comp) in raw.iter().enumerate() {
+        let root = find(&mut parent, ci);
+        groups.entry(root).or_default().extend(comp.iter().copied());
+    }
+    let mut merged: Vec<Vec<usize>> = groups.into_values().collect();
+    for g in &mut merged {
+        g.sort_unstable();
+    }
+    merged.sort_by_key(|g| g[0]);
+
+    merged
         .into_iter()
         .map(|comp| {
-            let (sub, flows) = project(cfg, &comp, &offsets);
+            let (sub, flows) = project(&cfg, &comp, &offsets);
             (sub, flows, comp)
         })
         .collect()
@@ -228,6 +325,41 @@ fn project(
             }
         })
         .collect();
+    // Roaming follows the same rule: entries follow their flow with
+    // flow and target indices remapped to shard-local numbering. The
+    // roam closure in `components` guarantees an in-shard flow's
+    // targets are in-shard too, so the remap never drops a live roam.
+    let local_flow = |f: usize| flows.iter().position(|&x| x == f);
+    let local_bss = |b: usize| comp.iter().position(|&x| x == b);
+    sub.roam.schedule = cfg
+        .roam
+        .schedule
+        .iter()
+        .filter_map(|e| {
+            Some(RoamEvent {
+                flow: local_flow(e.flow)?,
+                at: e.at,
+                target_bss: local_bss(e.target_bss)?,
+            })
+        })
+        .collect();
+    sub.roam.paths = cfg
+        .roam
+        .paths
+        .iter()
+        .filter_map(|p| {
+            Some(ClientPath {
+                client: local_flow(p.client)?,
+                waypoints: p.waypoints.clone(),
+            })
+        })
+        .collect();
+    if !cfg.roam.ap_hack_capable.is_empty() {
+        sub.roam.ap_hack_capable = comp
+            .iter()
+            .map(|&b| cfg.roam.ap_hack_capable.get(b).copied().unwrap_or(true))
+            .collect();
+    }
     (sub, flows)
 }
 
@@ -242,7 +374,12 @@ fn project(
 /// # Panics
 /// Panics if `cfg.bss` is empty.
 pub fn run_dense(cfg: &ScenarioConfig, opts: &DenseOptions) -> DenseReport {
-    let parts = components(cfg);
+    let epoch = if opts.epoch > SimDuration::ZERO {
+        opts.epoch
+    } else {
+        SimDuration::from_millis(100)
+    };
+    let parts = components(cfg, epoch);
     let n_flows_total: usize = parts.iter().map(|(_, f, _)| f.len()).sum();
 
     // Assemble every shard world up front (serial: world construction
@@ -270,11 +407,6 @@ pub fn run_dense(cfg: &ScenarioConfig, opts: &DenseOptions) -> DenseReport {
         .collect();
 
     let threads = opts.threads.max(1);
-    let epoch = if opts.epoch > SimDuration::ZERO {
-        opts.epoch
-    } else {
-        SimDuration::from_millis(100)
-    };
     let mut ledger = StableHasher::new();
     ledger.write(b"hack-dense-exchange");
     ledger.usize(shards.len());
@@ -341,6 +473,93 @@ pub fn run_dense(cfg: &ScenarioConfig, opts: &DenseOptions) -> DenseReport {
         exchange_digest: ledger.finish_hex(),
         aggregate_goodput_mbps: aggregate,
         flow_goodput_mbps: flow_goodput,
+    }
+}
+
+/// Run `cfg` through the right engine: legacy single-cell worlds run
+/// directly; dense multi-BSS worlds run sharded (see [`run_dense`], on
+/// every available core) and the shard results are folded back into one
+/// [`RunResult`] by [`merge_dense`]. Output is deterministic either way
+/// — sharded output is byte-identical for every thread count — which is
+/// what lets the campaign runner sweep, cache, and resume dense cells
+/// exactly like legacy ones.
+pub fn run_auto(cfg: ScenarioConfig) -> RunResult {
+    if cfg.bss.is_empty() {
+        return crate::sim::run(cfg);
+    }
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let opts = DenseOptions {
+        threads,
+        ..DenseOptions::default()
+    };
+    merge_dense(run_dense(&cfg, &opts))
+}
+
+/// Scatter one per-flow stats vector from shard-local back to global
+/// flow order. All-empty stays empty (e.g. TCP vectors on UDP runs).
+fn scatter<T: Clone>(n: usize, shards: &[ShardReport], get: impl Fn(&RunResult) -> &[T]) -> Vec<T> {
+    if shards.iter().all(|s| get(&s.result).is_empty()) {
+        return Vec::new();
+    }
+    let mut out: Vec<Option<T>> = vec![None; n];
+    for s in shards {
+        let v = get(&s.result);
+        for (j, &f) in s.flows.iter().enumerate() {
+            if let Some(x) = v.get(j) {
+                out[f] = Some(x.clone());
+            }
+        }
+    }
+    out.into_iter()
+        .map(|x| x.expect("every global flow is owned by exactly one shard"))
+        .collect()
+}
+
+/// Fold a [`DenseReport`] into one [`RunResult`]: per-flow vectors in
+/// global flow order, per-station MAC stats concatenated in shard
+/// order, scalar counters summed, and the derived ratios recomputed
+/// over the whole fleet.
+pub fn merge_dense(report: DenseReport) -> RunResult {
+    let n = report.flow_goodput_mbps.len();
+    let shards = &report.shards;
+    let mac: Vec<_> = shards
+        .iter()
+        .flat_map(|s| s.result.mac.iter().cloned())
+        .collect();
+    let within: u64 = mac.iter().map(|m| m.blob_within_aifs.get()).sum();
+    let beyond: u64 = mac.iter().map(|m| m.blob_beyond_aifs.get()).sum();
+    let blob_within_aifs = if within + beyond == 0 {
+        1.0
+    } else {
+        within as f64 / (within + beyond) as f64
+    };
+    let mut decompressor = DecompressStats::default();
+    for s in shards {
+        decompressor.merge(&s.result.decompressor);
+    }
+    let completion = shards
+        .iter()
+        .map(|s| s.result.completion)
+        .try_fold(SimTime::ZERO, |acc, c| c.map(|t| acc.max(t)));
+    RunResult {
+        flow_goodput_mbps: report.flow_goodput_mbps.clone(),
+        aggregate_goodput_mbps: report.aggregate_goodput_mbps,
+        flow_goodput_full_mbps: scatter(n, shards, |r| &r.flow_goodput_full_mbps),
+        completion,
+        mac,
+        driver: scatter(n, shards, |r| &r.driver),
+        compressor: scatter(n, shards, |r| &r.compressor),
+        decompressor,
+        ppdus: shards.iter().map(|s| s.result.ppdus).sum(),
+        events_dispatched: shards.iter().map(|s| s.result.events_dispatched).sum(),
+        collisions: shards.iter().map(|s| s.result.collisions).sum(),
+        ap_queue_drops: shards.iter().map(|s| s.result.ap_queue_drops).sum(),
+        sender_tcp: scatter(n, shards, |r| &r.sender_tcp),
+        receiver_tcp: scatter(n, shards, |r| &r.receiver_tcp),
+        blob_within_aifs,
+        supervisor: scatter(n, shards, |r| &r.supervisor),
+        flow_goodput_final_mbps: scatter(n, shards, |r| &r.flow_goodput_final_mbps),
+        roams: shards.iter().map(|s| s.result.roams).sum(),
     }
 }
 

@@ -41,17 +41,22 @@ pub mod supervisor;
 pub mod wired;
 
 pub use codec::{decode_run_result, encode_run_result, CodecError, RESULT_SCHEMA_VERSION};
-pub use dense::{run_dense, shard_configs, shard_seed, DenseOptions, DenseReport, ShardReport};
+pub use dense::{
+    merge_dense, run_auto, run_dense, shard_configs, shard_seed, DenseOptions, DenseReport,
+    ShardReport,
+};
 pub use driver::{
     CompressSide, CompressSideStats, DecompressSide, DriverAction, DriverHealth, HackMode,
     DEFAULT_HELD_CAP,
 };
+pub use hack_mac::AssocConfig;
 pub use hack_phy::{BssPlacement, CorruptModel, GeParams, InterferenceConfig, InterferenceGraph};
+pub use hack_phy::{RoamTrigger, Waypoint};
 pub use hack_tcp::CcKind;
 pub use packet::NetPacket;
 pub use scenario::{
-    BssSpec, ChannelChange, ChannelEvent, LossConfig, RunResult, ScenarioBuilder, ScenarioConfig,
-    Standard, StandardKind, TrafficKind,
+    BssSpec, ChannelChange, ChannelEvent, ClientPath, LossConfig, RoamConfig, RoamEvent, RunResult,
+    ScenarioBuilder, ScenarioConfig, Standard, StandardKind, TrafficKind,
 };
 pub use sim::{run, run_traced, World, WorldBuilder};
 pub use stable::{StableHasher, CONFIG_ENCODING_VERSION};

@@ -1,7 +1,7 @@
 //! Scenario configuration and results — the experiment-facing API.
 
-use hack_mac::MacStats;
-use hack_phy::{CorruptModel, GeParams, InterferenceConfig};
+use hack_mac::{AssocConfig, MacStats};
+use hack_phy::{CorruptModel, GeParams, InterferenceConfig, RoamTrigger, Waypoint};
 use hack_rohc::{CompressStats, DecompressStats};
 use hack_sim::{QueueKind, SimDuration, SimTime};
 use hack_tcp::{CcKind, TcpStats};
@@ -147,6 +147,91 @@ pub enum ChannelChange {
     },
 }
 
+/// One scheduled roam: hand `flow`'s client off to the AP of
+/// `target_bss` starting at `at`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RoamEvent {
+    /// Flow (= client) index, in global numbering.
+    pub flow: usize,
+    /// When the roam triggers, measured from simulation start.
+    pub at: SimDuration,
+    /// Target BSS index in `ScenarioConfig::bss`.
+    pub target_bss: usize,
+}
+
+/// A waypoint trajectory for one client; the mobility tick samples it
+/// and drives `place_station`, and (with a [`RoamTrigger`] configured)
+/// moves can trip SNR-based roams.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClientPath {
+    /// Client index (0-based, global numbering).
+    pub client: usize,
+    /// The path; see [`hack_phy::mobility::Trajectory`].
+    pub waypoints: Vec<Waypoint>,
+}
+
+/// Station mobility and AP-roaming configuration. The default is
+/// entirely inert: no schedule, no trigger, no paths — and an inert
+/// roam config adds **zero** events, RNG draws, or trace records, so
+/// every roam-free scenario keeps its byte-identical trace digest.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoamConfig {
+    /// Scheduled roams, applied in `at` order. Requires a multi-BSS
+    /// layout (`bss` non-empty) — the legacy single-cell world has
+    /// nowhere to roam to.
+    pub schedule: Vec<RoamEvent>,
+    /// SNR/hysteresis roam trigger, evaluated after every station move
+    /// (scheduled dynamics or waypoint ticks). `None` = never.
+    pub trigger: Option<RoamTrigger>,
+    /// Waypoint trajectories driving client positions.
+    pub paths: Vec<ClientPath>,
+    /// Sampling period for waypoint paths (and trigger evaluation along
+    /// them).
+    pub mobility_tick: SimDuration,
+    /// Per-BSS HACK capability of the APs, indexed like `bss`; missing
+    /// entries default to capable. A roam onto an incapable AP
+    /// renegotiates HACK *off* for the flow until it roams again.
+    pub ap_hack_capable: Vec<bool>,
+    /// Association state-machine timing (scan delay, retry backoff,
+    /// retry budget).
+    pub assoc: AssocConfig,
+    /// Probability an association attempt fails (drawn from the
+    /// dedicated roam RNG fork; exercises the retry/give-up path).
+    pub assoc_fail_prob: f64,
+    /// RTO backoff clamp pinned on the flow's endpoints for the
+    /// blackout's duration: at most this many doublings.
+    pub rto_clamp_shift: u32,
+    /// Per-flow bound on packets parked during a blackout; beyond it
+    /// the oldest parked packet is dropped (counted as an AP queue
+    /// drop).
+    pub park_cap: usize,
+}
+
+impl Default for RoamConfig {
+    fn default() -> Self {
+        RoamConfig {
+            schedule: Vec::new(),
+            trigger: None,
+            paths: Vec::new(),
+            mobility_tick: SimDuration::from_millis(100),
+            ap_hack_capable: Vec::new(),
+            assoc: AssocConfig::default(),
+            assoc_fail_prob: 0.0,
+            rto_clamp_shift: 1,
+            park_cap: 126,
+        }
+    }
+}
+
+impl RoamConfig {
+    /// Whether this config can cause any roaming or mobility at all.
+    /// Inactive configs must leave runs byte-identical to pre-roam
+    /// builds.
+    pub fn is_active(&self) -> bool {
+        !self.schedule.is_empty() || self.trigger.is_some() || !self.paths.is_empty()
+    }
+}
+
 /// Full description of one simulation run.
 #[derive(Debug, Clone)]
 pub struct ScenarioConfig {
@@ -227,6 +312,8 @@ pub struct ScenarioConfig {
     /// Ranges deciding when two BSSs interfere (ignored when `bss` is
     /// empty).
     pub interference: InterferenceConfig,
+    /// Station mobility and AP roaming (default: inert).
+    pub roam: RoamConfig,
 }
 
 /// Which 802.11 flavour a [`ScenarioBuilder`] targets; the PHY rate is
@@ -457,6 +544,20 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Station mobility and AP roaming (default: inert — no schedule,
+    /// trigger, or paths).
+    pub fn roam(mut self, roam: RoamConfig) -> Self {
+        self.cfg.roam = roam;
+        self
+    }
+
+    /// Convenience: just a scheduled roam list, with every other roam
+    /// knob at its default.
+    pub fn roam_schedule(mut self, schedule: Vec<RoamEvent>) -> Self {
+        self.cfg.roam.schedule = schedule;
+        self
+    }
+
     /// Resolve the builder into a [`ScenarioConfig`].
     #[must_use]
     pub fn build(self) -> ScenarioConfig {
@@ -511,6 +612,7 @@ impl ScenarioConfig {
                 cc: CcKind::Reno,
                 bss: Vec::new(),
                 interference: InterferenceConfig::default(),
+                roam: RoamConfig::default(),
             },
         }
     }
@@ -608,6 +710,9 @@ pub struct RunResult {
     /// stall detector: a live flow has nonzero goodput here even under
     /// faults, a stalled one does not.
     pub flow_goodput_final_mbps: Vec<f64>,
+    /// Completed AP handoffs (re-associations, including give-up
+    /// returns to the previous AP). Zero in roam-free runs.
+    pub roams: u64,
 }
 
 impl RunResult {

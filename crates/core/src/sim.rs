@@ -16,10 +16,13 @@
 
 use std::collections::HashMap;
 
-use hack_mac::{Action, Frame, HackBlob, MacConfig, Station, TimerKind, TxDescriptor};
+use hack_mac::{
+    Action, AssocMachine, AssocState, AssocStep, Frame, HackBlob, MacConfig, Station, TimerKind,
+    TxDescriptor,
+};
 use hack_phy::{
     BssPlacement, Channel, InterferenceGraph, LossModel, Medium, MpduStatus, PhyRate, PpduMeta,
-    StationId, TxId,
+    RoamMonitor, StationId, Trajectory, TxId,
 };
 use hack_rohc::DecompressStats;
 use hack_sim::{Scheduler, SimDuration, SimRng, SimTime, ThroughputMeter, TimerTable, TimerToken};
@@ -148,11 +151,6 @@ impl Layout {
         self.cells[self.cell(sid)].ap == sid
     }
 
-    /// The AP serving `sid`'s cell (identity for an AP).
-    fn ap_of(&self, sid: StationId) -> StationId {
-        self.cells[self.cell(sid)].ap
-    }
-
     fn flow_of_client(&self, sid: StationId) -> Option<usize> {
         if (sid.0 as usize) >= self.cell_of.len() {
             return None;
@@ -193,6 +191,12 @@ struct Endpoint {
     /// resched to the *same* instant skips the cancel-and-rearm (every
     /// delivered segment reschedules; the deadline rarely moves).
     timer_at: Option<SimTime>,
+    /// Estimator-divergence window (supervised senders only): window
+    /// start plus the sampler-delivered and cumulative-acked byte
+    /// counters at that instant.
+    est_win: Option<(SimTime, u64, u64)>,
+    /// Consecutive divergent windows seen so far.
+    est_bad_windows: u32,
 }
 
 enum Event {
@@ -223,11 +227,22 @@ enum Event {
     ChannelDynamics(usize),
     /// A flow supervisor's probation probe timer fired.
     SupProbe(usize, TimerToken<u32>),
+    /// Advance waypoint trajectories and evaluate the SNR roam trigger
+    /// (roam-active worlds only).
+    MobilityTick,
+    /// Execute roam-schedule entry `i` (index into `cfg.roam.schedule`).
+    RoamCmd(usize),
+    /// A roaming flow's association machine timer fired (scan end or
+    /// retry backoff); stale tokens are dropped.
+    RoamStep {
+        flow: usize,
+        token: u32,
+    },
 }
 
 #[cfg(feature = "evprof")]
 impl Event {
-    const KIND_NAMES: [&'static str; 10] = [
+    const KIND_NAMES: [&'static str; 13] = [
         "FlowStart",
         "MacTimer",
         "TxEnd",
@@ -238,6 +253,9 @@ impl Event {
         "HackFlush",
         "ChannelDynamics",
         "SupProbe",
+        "MobilityTick",
+        "RoamCmd",
+        "RoamStep",
     ];
 
     fn kind_index(&self) -> usize {
@@ -252,8 +270,35 @@ impl Event {
             Event::HackFlush(..) => 7,
             Event::ChannelDynamics(_) => 8,
             Event::SupProbe(..) => 9,
+            Event::MobilityTick => 10,
+            Event::RoamCmd(_) => 11,
+            Event::RoamStep { .. } => 12,
         }
     }
+}
+
+/// Per-world roaming state. Present only when `cfg.roam.is_active()`, so
+/// roam-free worlds allocate nothing, draw nothing, and keep their
+/// same-seed trace digests bit for bit.
+struct RoamRuntime {
+    /// flow → cell currently serving it (starts at the layout cell).
+    cur_cell: Vec<usize>,
+    /// Association machine per flow, instantiated on its first roam.
+    machines: Vec<Option<AssocMachine>>,
+    /// SNR roam monitor per flow (present when a trigger is configured).
+    monitors: Vec<Option<RoamMonitor>>,
+    /// Waypoint trajectory per flow's client, if one was scheduled.
+    trajectories: Vec<Option<Trajectory>>,
+    /// Packets parked while their flow is between associations:
+    /// `(upstream, packet)` where upstream = client → AP.
+    parked: Vec<Vec<(bool, Ipv4Packet)>>,
+    /// Stale-token guard for [`Event::RoamStep`].
+    step_token: Vec<u32>,
+    /// Association-attempt randomness, forked off the world seed so
+    /// roam-free draws are untouched.
+    rng: SimRng,
+    /// Completed re-associations (including give-up returns).
+    roams: u64,
 }
 
 /// The assembled simulation.
@@ -285,6 +330,8 @@ pub struct World {
     ap_queue_drops: u64,
     udp_ident: u16,
     completion: Option<SimTime>,
+    /// Mobility/handoff machinery (`None` unless `cfg.roam.is_active()`).
+    roam: Option<RoamRuntime>,
     /// Scratch for the idle-edge sweep in `on_tx_end` (avoids a per-PPDU
     /// allocation).
     idle_buf: Vec<StationId>,
@@ -486,6 +533,10 @@ impl World {
                     // Per-client capability: a stock (non-HACK) client
                     // advertises no HACK bit at association.
                     sc.hack_capable = cfg.client_hack_capable.get(i).copied().unwrap_or(true);
+                } else if let Some(&cap) = cfg.roam.ap_hack_capable.get(layout.cell(sid)) {
+                    // Per-AP capability (roam worlds): a flow can legally
+                    // hand off to an AP that cannot decode HACK blobs.
+                    sc.hack_capable = cap;
                 }
                 let mut s = Station::new(sid, sc, rng.fork(u64::from(sid.0) + 1));
                 s.set_trace(trace.clone());
@@ -571,6 +622,8 @@ impl World {
                     delivered_recorded: 0,
                     timeouts_seen: 0,
                     timer_at: None,
+                    est_win: None,
+                    est_bad_windows: 0,
                 };
                 // Server endpoint (wired, or on the flow's AP itself).
                 let mut server_conn = Connection::server(
@@ -599,6 +652,8 @@ impl World {
                     delivered_recorded: 0,
                     timeouts_seen: 0,
                     timer_at: None,
+                    est_win: None,
+                    est_bad_windows: 0,
                 };
                 let ci = endpoints.len();
                 ep_by_tuple.insert(ep_client.tuple, ci);
@@ -644,11 +699,42 @@ impl World {
             ap_queue_drops: 0,
             udp_ident: 0,
             completion: None,
+            roam: None,
             idle_buf: Vec::new(),
             trace,
             layout,
             cfg,
         };
+        if world.cfg.roam.is_active() {
+            let trigger = world.cfg.roam.trigger;
+            let mut trajectories: Vec<Option<Trajectory>> = vec![None; n];
+            for p in &world.cfg.roam.paths {
+                if p.client < n {
+                    trajectories[p.client] = Some(Trajectory::new(p.waypoints.clone()));
+                }
+            }
+            world.roam = Some(RoamRuntime {
+                cur_cell: (0..n).map(|f| world.layout.cell_of_flow(f)).collect(),
+                machines: vec![None; n],
+                monitors: (0..n)
+                    .map(|_| trigger.map(|t| RoamMonitor::new(t, SimTime::ZERO)))
+                    .collect(),
+                trajectories,
+                parked: vec![Vec::new(); n],
+                step_token: vec![0; n],
+                rng: rng.fork(0x0A11),
+                roams: 0,
+            });
+            for i in 0..world.cfg.roam.schedule.len() {
+                let at = SimTime::ZERO + world.cfg.roam.schedule[i].at;
+                world.sched.schedule_at(at, Event::RoamCmd(i));
+            }
+            let moving = world.cfg.roam.paths.iter().any(|p| !p.waypoints.is_empty());
+            if moving || trigger.is_some() {
+                let at = SimTime::ZERO + world.cfg.roam.mobility_tick;
+                world.sched.schedule_at(at, Event::MobilityTick);
+            }
+        }
         for (i, &at) in flow_start_at.iter().enumerate() {
             world.sched.schedule_at(at, Event::FlowStart(i));
         }
@@ -690,7 +776,7 @@ impl World {
     /// Run to completion and collect results.
     pub fn run(mut self) -> RunResult {
         #[cfg(feature = "evprof")]
-        let mut prof = [(0u64, 0u64); 10];
+        let mut prof = [(0u64, 0u64); 13];
         while let Some(at) = self.sched.peek_time() {
             if at > self.end {
                 break;
@@ -833,6 +919,7 @@ impl World {
                     }
                     self.route_out(ep, outputs, now);
                     self.record_delivery(ep, now);
+                    self.check_estimator(ep, now);
                     self.resched_tcp(ep, now);
                 }
             }
@@ -842,10 +929,11 @@ impl World {
                 bytes,
                 generation,
             } => {
-                let side = self
-                    .compress
-                    .get_mut(&(station.0, peer.0))
-                    .expect("driver exists");
+                // No driver for this key: the association was re-keyed to
+                // a new AP while the install waited out the DMA delay.
+                let Some(side) = self.compress.get_mut(&(station.0, peer.0)) else {
+                    return;
+                };
                 if side.generation() == generation {
                     hack_trace::trace_ev!(
                         self.trace,
@@ -873,12 +961,12 @@ impl World {
             }
             Event::HackFlush(station, peer, token) => {
                 if self.flush_timers.fire(token) {
-                    let dacts = self
-                        .compress
-                        .get_mut(&(station.0, peer.0))
-                        .expect("driver exists")
-                        .on_flush_timer(now);
-                    self.apply_driver(station, peer, dacts, now);
+                    // The key may have moved to a new AP mid-roam; the
+                    // force-native flush already emptied the hold queue.
+                    if let Some(side) = self.compress.get_mut(&(station.0, peer.0)) {
+                        let dacts = side.on_flush_timer(now);
+                        self.apply_driver(station, peer, dacts, now);
+                    }
                 }
             }
             Event::ChannelDynamics(index) => self.apply_dynamics(index, now),
@@ -888,6 +976,15 @@ impl World {
                     self.apply_supervisor(flow, acts, now);
                 }
             }
+            Event::MobilityTick => self.on_mobility_tick(now),
+            Event::RoamCmd(i) => {
+                let (flow, target) = {
+                    let e = &self.cfg.roam.schedule[i];
+                    (e.flow, e.target_bss)
+                };
+                self.start_roam(flow, target, now);
+            }
+            Event::RoamStep { flow, token } => self.on_roam_step(flow, token, now),
         }
     }
 
@@ -901,6 +998,12 @@ impl World {
             }
             ChannelChange::MoveClient { client, x, y } => {
                 self.medium.place_station(self.layout.client(client), x, y);
+                // A scripted move is as real as a waypoint one: if it
+                // drags the client across the roam threshold, the roam
+                // path must fire, not just the Gilbert–Elliott reset.
+                if self.cfg.roam.trigger.is_some() {
+                    self.maybe_roam_on_snr(client, now);
+                }
             }
         }
         hack_trace::trace_ev!(
@@ -911,6 +1014,355 @@ impl World {
                 index: index as u32
             }
         );
+    }
+
+    // ------------------------------------------------------------------
+    // Roaming
+    // ------------------------------------------------------------------
+
+    /// The cell currently serving `flow` (roam-aware).
+    fn cur_cell_of_flow(&self, flow: usize) -> usize {
+        match &self.roam {
+            Some(r) => r.cur_cell[flow],
+            None => self.layout.cell_of_flow(flow),
+        }
+    }
+
+    /// The AP currently serving `flow` (roam-aware).
+    fn cur_ap_of_flow(&self, flow: usize) -> StationId {
+        self.layout.cells[self.cur_cell_of_flow(flow)].ap
+    }
+
+    /// Is `flow` between associations (scanning or reassociating)?
+    fn flow_in_blackout(&self, flow: usize) -> bool {
+        self.roam
+            .as_ref()
+            .is_some_and(|r| r.machines[flow].as_ref().is_some_and(AssocMachine::roaming))
+    }
+
+    /// Hold a packet for a flow in handoff blackout; re-injected through
+    /// the new association, tail-dropped past the cap (TCP retransmits).
+    fn park(&mut self, flow: usize, upstream: bool, pkt: Ipv4Packet) {
+        let cap = self.cfg.roam.park_cap;
+        let r = self.roam.as_mut().expect("blackout implies runtime");
+        if r.parked[flow].len() >= cap {
+            self.ap_queue_drops += 1;
+            return;
+        }
+        r.parked[flow].push((upstream, pkt));
+    }
+
+    /// Advance every scheduled trajectory and re-evaluate the SNR roam
+    /// trigger. Self-rescheduling while any client is still moving or a
+    /// trigger is configured.
+    fn on_mobility_tick(&mut self, now: SimTime) {
+        let t = SimDuration::from_nanos(now.as_nanos());
+        let n = self.layout.n_flows();
+        let mut still_moving = false;
+        for flow in 0..n {
+            let pos = {
+                let Some(traj) = self
+                    .roam
+                    .as_ref()
+                    .and_then(|r| r.trajectories[flow].as_ref())
+                else {
+                    continue;
+                };
+                if traj.end().is_some_and(|e| e > t) {
+                    still_moving = true;
+                }
+                traj.position_at(t)
+            };
+            if let Some((x, y)) = pos {
+                self.medium.place_station(self.layout.client(flow), x, y);
+            }
+        }
+        if self.cfg.roam.trigger.is_some() {
+            for flow in 0..n {
+                self.maybe_roam_on_snr(flow, now);
+            }
+            // Triggered roams stay possible as long as the clock runs.
+            still_moving = true;
+        }
+        if still_moving {
+            let at = now + self.cfg.roam.mobility_tick;
+            if at <= self.end {
+                self.sched.schedule_at(at, Event::MobilityTick);
+            }
+        }
+    }
+
+    /// Evaluate the SNR roam trigger for `flow` (mobility ticks and
+    /// mid-run `MoveClient` dynamics both land here).
+    fn maybe_roam_on_snr(&mut self, flow: usize, now: SimTime) {
+        if flow >= self.layout.n_flows() || self.flow_in_blackout(flow) {
+            return;
+        }
+        let target = {
+            let Some(r) = self.roam.as_ref() else { return };
+            let Some(mon) = r.monitors[flow].as_ref() else {
+                return;
+            };
+            let client = self.layout.client(flow);
+            let cur = r.cur_cell[flow];
+            let serving = self.medium.snr_db(self.layout.cells[cur].ap, client);
+            let candidates: Vec<(usize, f64)> = (0..self.layout.cells.len())
+                .filter(|&c| c != cur)
+                .map(|c| (c, self.medium.snr_db(self.layout.cells[c].ap, client)))
+                .collect();
+            mon.evaluate(serving, &candidates, now)
+        };
+        if let Some(target) = target {
+            self.start_roam(flow, target, now);
+        }
+    }
+
+    /// Begin a handoff: flush and tear down the old association, enter
+    /// the blackout, and hand control to the association machine.
+    fn start_roam(&mut self, flow: usize, target: usize, now: SimTime) {
+        if self.roam.is_none() || flow >= self.layout.n_flows() || target >= self.layout.cells.len()
+        {
+            return;
+        }
+        let from_cell = self.cur_cell_of_flow(flow);
+        if self.flow_in_blackout(flow) || target == from_cell {
+            return;
+        }
+        let client = self.layout.client(flow);
+        let old_ap = self.layout.cells[from_cell].ap;
+        hack_trace::trace_ev!(
+            self.trace,
+            now.as_nanos(),
+            client.0,
+            hack_trace::Event::MacRoamTriggered {
+                flow: flow as u32,
+                from_cell: from_cell as u32,
+                to_cell: target as u32
+            }
+        );
+        // 1) Flush held ACKs on both driver sides before the link dies:
+        //    unridden holds are released as native sends (parked below,
+        //    re-injected post-roam) — never silently dropped, and holds
+        //    that already rode a response were delivered, so no ACK is
+        //    ever delivered twice either.
+        for key in [(client.0, old_ap.0), (old_ap.0, client.0)] {
+            if let Some(side) = self.compress.get_mut(&key) {
+                let dacts = side.force_native(now);
+                self.apply_driver(StationId(key.0), StationId(key.1), dacts, now);
+            }
+        }
+        // 2) The old association's ROHC contexts die with it: decoding
+        //    against a stale context across a handoff is never legal, so
+        //    every party forgets the flow and the first post-roam native
+        //    ACK re-seeds from scratch.
+        if let Some(ep) = self.endpoints.get(flow * 2) {
+            let fwd = ep.tuple;
+            let rev = fwd.reversed();
+            let new_ap = self.layout.cells[target].ap;
+            for key in [(client.0, old_ap.0), (old_ap.0, client.0)] {
+                if let Some(side) = self.compress.get_mut(&key) {
+                    side.drop_context(&fwd);
+                    side.drop_context(&rev);
+                }
+            }
+            for sid in [client.0 as usize, old_ap.0 as usize, new_ap.0 as usize] {
+                self.decompress[sid].drop_context(&fwd);
+                self.decompress[sid].drop_context(&rev);
+            }
+        }
+        // 3) MAC teardown: negotiated capability and blob state toward
+        //    the old peer go away; unsent MSDUs are parked for the new
+        //    association. Frames already committed to the air finish
+        //    through the old path.
+        let up = self.stations[client.0 as usize].disassociate(old_ap);
+        let down = self.stations[old_ap.0 as usize].disassociate(client);
+        for m in up {
+            self.park(flow, true, m.0);
+        }
+        for m in down {
+            self.park(flow, false, m.0);
+        }
+        hack_trace::trace_ev!(
+            self.trace,
+            now.as_nanos(),
+            client.0,
+            hack_trace::Event::MacDisassociated {
+                flow: flow as u32,
+                ap: old_ap.0
+            }
+        );
+        // 4) Supervisor blackout + RTO clamp: HACK drops to native for
+        //    the handoff, probes are suppressed, and Karn doubling is
+        //    pinned so the transport neither probes a dead link nor
+        //    backs off into next week while the link is simply absent.
+        if flow < self.supervisors.len() {
+            let acts = self.supervisors[flow].on_handoff(now);
+            self.apply_supervisor(flow, acts, now);
+            hack_trace::trace_ev!(
+                self.trace,
+                now.as_nanos(),
+                client.0,
+                hack_trace::Event::SupHandoffBlackout {
+                    flow: flow as u32,
+                    to_cell: target as u32
+                }
+            );
+        }
+        let shift = self.cfg.roam.rto_clamp_shift;
+        for ep in [flow * 2, flow * 2 + 1] {
+            if let Some(conn) = self.endpoints.get_mut(ep).and_then(|e| e.conn.as_mut()) {
+                conn.clamp_rto_backoff(shift);
+            }
+        }
+        // 5) The association machine takes over.
+        let assoc_cfg = self.cfg.roam.assoc;
+        let step = {
+            let r = self.roam.as_mut().expect("checked");
+            let m = r.machines[flow].get_or_insert_with(|| AssocMachine::new(assoc_cfg, from_cell));
+            m.start_roam(target, now)
+        };
+        if let Some(step) = step {
+            self.exec_assoc_step(flow, step, now);
+        }
+    }
+
+    /// A [`Event::RoamStep`] timer fired: advance the flow's association
+    /// machine past its current wait.
+    fn on_roam_step(&mut self, flow: usize, token: u32, now: SimTime) {
+        let step = {
+            let Some(r) = self.roam.as_mut() else { return };
+            if r.step_token[flow] != token {
+                return;
+            }
+            let Some(m) = r.machines[flow].as_mut() else {
+                return;
+            };
+            match m.state() {
+                AssocState::Associated => return,
+                AssocState::Scanning => m.on_scan_done(),
+                AssocState::Reassociating => m.on_retry_timer(),
+            }
+        };
+        self.exec_assoc_step(flow, step, now);
+    }
+
+    /// Carry out association-machine steps until the machine wants to
+    /// wait or settles back into `Associated`.
+    fn exec_assoc_step(&mut self, flow: usize, mut step: AssocStep, now: SimTime) {
+        loop {
+            match step {
+                AssocStep::Wait(at) => {
+                    let r = self.roam.as_mut().expect("roaming");
+                    r.step_token[flow] = r.step_token[flow].wrapping_add(1);
+                    let token = r.step_token[flow];
+                    self.sched
+                        .schedule_at(at.max(now), Event::RoamStep { flow, token });
+                    return;
+                }
+                AssocStep::Attempt { cell, .. } => {
+                    let p = self.cfg.roam.assoc_fail_prob;
+                    let ok = p <= 0.0 || !self.roam.as_mut().expect("roaming").rng.chance(p);
+                    let next = self.roam.as_mut().expect("roaming").machines[flow]
+                        .as_mut()
+                        .expect("roaming")
+                        .on_assoc_result(ok, now);
+                    match next {
+                        None => {
+                            self.complete_reassociation(flow, cell, now);
+                            return;
+                        }
+                        Some(s) => step = s,
+                    }
+                }
+                AssocStep::GiveUp { back_to } => {
+                    self.roam.as_mut().expect("roaming").machines[flow]
+                        .as_mut()
+                        .expect("roaming")
+                        .on_gave_up();
+                    self.complete_reassociation(flow, back_to, now);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Finish a handoff onto `cell`: re-key the drivers, renegotiate the
+    /// HACK capability with the new AP, lift the blackout, and re-inject
+    /// parked traffic.
+    fn complete_reassociation(&mut self, flow: usize, cell: usize, now: SimTime) {
+        let client = self.layout.client(flow);
+        let old_cell = self.cur_cell_of_flow(flow);
+        let old_ap = self.layout.cells[old_cell].ap;
+        let new_ap = self.layout.cells[cell].ap;
+        // Driver state follows the association: the flow's compress
+        // sides are re-keyed to the new AP. Stats survive the move; the
+        // ROHC contexts were already dropped at disassociation.
+        if new_ap != old_ap {
+            if let Some(side) = self.compress.remove(&(client.0, old_ap.0)) {
+                self.compress.insert((client.0, new_ap.0), side);
+            }
+            if let Some(mut side) = self.compress.remove(&(old_ap.0, client.0)) {
+                side.set_trace(self.trace.clone(), new_ap.0);
+                self.compress.insert((new_ap.0, client.0), side);
+            }
+        }
+        // Retune the radio: the client joins the new cell's interference
+        // domain (channel) — without this, the new AP's frames would
+        // never reach it.
+        self.medium.retune_station(client, cell as u32);
+        // Fresh capability handshake, in band with the re-association:
+        // HACK may legally flip off (incapable AP) and back on here.
+        let req = self.stations[client.0 as usize].assoc_request();
+        let resp = self.stations[new_ap.0 as usize].on_assoc_request(&req);
+        self.stations[client.0 as usize].on_assoc_response(&resp);
+        let negotiated = self.stations[client.0 as usize].hack_negotiated(new_ap) == Some(true);
+        {
+            let r = self.roam.as_mut().expect("roaming");
+            r.cur_cell[flow] = cell;
+            r.roams += 1;
+            if let Some(mon) = r.monitors[flow].as_mut() {
+                mon.on_associated(now);
+            }
+        }
+        hack_trace::trace_ev!(
+            self.trace,
+            now.as_nanos(),
+            client.0,
+            hack_trace::Event::MacReassociated {
+                flow: flow as u32,
+                ap: new_ap.0,
+                hack: negotiated
+            }
+        );
+        if !negotiated {
+            // Incapable new AP: the drivers must never hold an ACK
+            // against a peer that cannot decode it.
+            for key in [(client.0, new_ap.0), (new_ap.0, client.0)] {
+                if let Some(side) = self.compress.get_mut(&key) {
+                    let dacts = side.force_native(now);
+                    self.apply_driver(StationId(key.0), StationId(key.1), dacts, now);
+                }
+            }
+        }
+        if flow < self.supervisors.len() {
+            let acts = self.supervisors[flow].on_reassociated(negotiated, now);
+            self.apply_supervisor(flow, acts, now);
+        }
+        for ep in [flow * 2, flow * 2 + 1] {
+            if let Some(conn) = self.endpoints.get_mut(ep).and_then(|e| e.conn.as_mut()) {
+                conn.unclamp_rto_backoff();
+            }
+        }
+        // Lift the blackout: parked traffic flows through the new
+        // association (ACKs back through the re-keyed drivers).
+        let parked = std::mem::take(&mut self.roam.as_mut().expect("roaming").parked[flow]);
+        for (upstream, pkt) in parked {
+            if upstream {
+                self.wireless_out(client, new_ap, pkt, now);
+            } else {
+                self.ap_downstream(new_ap, pkt, now);
+            }
+        }
     }
 
     fn start_flow(&mut self, flow: usize, now: SimTime) {
@@ -1310,7 +1762,7 @@ impl World {
     /// probe timers, and emit the transition trace events.
     fn apply_supervisor(&mut self, flow: usize, actions: Vec<SupervisorAction>, now: SimTime) {
         let client = self.layout.client(flow);
-        let ap = self.layout.ap_of_flow(flow);
+        let ap = self.cur_ap_of_flow(flow);
         for act in actions {
             match act {
                 SupervisorAction::ForceNative => {
@@ -1481,6 +1933,7 @@ impl World {
         };
         self.route_out(ep, outputs, now);
         self.record_delivery(ep, now);
+        self.check_estimator(ep, now);
         self.resched_tcp(ep, now);
         self.check_completion(now);
     }
@@ -1488,7 +1941,8 @@ impl World {
     /// Send an endpoint's outbound packets toward the peer.
     fn route_out(&mut self, ep: usize, pkts: Vec<Ipv4Packet>, now: SimTime) {
         let station = self.endpoints[ep].station;
-        let cell = self.layout.cell_of_flow(self.endpoints[ep].flow);
+        let flow = self.endpoints[ep].flow;
+        let cell = self.cur_cell_of_flow(flow);
         for pkt in pkts {
             match station {
                 None => {
@@ -1510,9 +1964,14 @@ impl World {
                 }
                 Some(sid) => {
                     // Client → its AP over the air; pure ACKs go through
-                    // the HACK driver.
-                    let ap = self.layout.ap_of(sid);
-                    self.wireless_out(sid, ap, pkt, now);
+                    // the HACK driver. Mid-handoff the radio is off the
+                    // serving channel — packets park until re-association.
+                    if self.flow_in_blackout(flow) {
+                        self.park(flow, true, pkt);
+                    } else {
+                        let ap = self.cur_ap_of_flow(flow);
+                        self.wireless_out(sid, ap, pkt, now);
+                    }
                 }
             }
         }
@@ -1543,6 +2002,10 @@ impl World {
         let Some(flow) = self.flow_of_client_ip(pkt.dst) else {
             return;
         };
+        if self.flow_in_blackout(flow) {
+            self.park(flow, false, pkt);
+            return;
+        }
         let client = self.layout.client(flow);
         let is_ack = matches!(&pkt.transport, Transport::Tcp(t) if t.is_pure_ack());
         if is_ack {
@@ -1571,7 +2034,7 @@ impl World {
 
     fn top_up_udp(&mut self, flow: usize, now: SimTime) {
         let client = self.layout.client(flow);
-        let ap = self.layout.ap_of_flow(flow);
+        let ap = self.cur_ap_of_flow(flow);
         while self.stations[ap.0 as usize].backlog(client) < self.cfg.ap_queue_cap {
             self.udp_ident = self.udp_ident.wrapping_add(1);
             let pkt = Ipv4Packet {
@@ -1602,6 +2065,58 @@ impl World {
             e.delivered_recorded = delivered;
             let flow = e.flow;
             self.meters[flow].record(now, delta);
+        }
+    }
+
+    /// Window length for the estimator-divergence check.
+    const EST_WINDOW: SimDuration = SimDuration::from_millis(250);
+    /// Minimum per-window byte volume before divergence is judged.
+    const EST_MIN_BYTES: u64 = 64 * 1024;
+    /// Ratio between acked and sampler-delivered bytes that counts as
+    /// divergent (either direction).
+    const EST_RATIO: u64 = 4;
+    /// Consecutive divergent windows before the supervisor hears it.
+    const EST_STRIKES: u32 = 2;
+
+    /// The congestion controller's delivery-rate sampler and the ACK
+    /// clock must agree about how many bytes the network delivered.
+    /// Sustained disagreement means the estimator feeding cwnd decisions
+    /// has come unglued — surfaced as a health signal, and required to
+    /// stay silent across the ordinary fault matrix.
+    fn check_estimator(&mut self, ep: usize, now: SimTime) {
+        if self.supervisors.is_empty() || !self.endpoints[ep].is_sender {
+            return;
+        }
+        let (delivered, acked) = {
+            let Some(conn) = self.endpoints[ep].conn.as_ref() else {
+                return;
+            };
+            (conn.delivered(), conn.bytes_acked())
+        };
+        let e = &mut self.endpoints[ep];
+        let Some((start, d0, a0)) = e.est_win else {
+            e.est_win = Some((now, delivered, acked));
+            return;
+        };
+        if now < start + Self::EST_WINDOW {
+            return;
+        }
+        let d_delta = delivered.saturating_sub(d0);
+        let a_delta = acked.saturating_sub(a0);
+        e.est_win = Some((now, delivered, acked));
+        let divergent = (a_delta >= Self::EST_MIN_BYTES
+            && d_delta.saturating_mul(Self::EST_RATIO) < a_delta)
+            || (d_delta >= Self::EST_MIN_BYTES
+                && a_delta.saturating_mul(Self::EST_RATIO) < d_delta);
+        if divergent {
+            e.est_bad_windows += 1;
+            if e.est_bad_windows >= Self::EST_STRIKES {
+                e.est_bad_windows = 0;
+                let flow = e.flow;
+                self.sup_signal(flow, HealthSignal::EstimatorDivergence, now);
+            }
+        } else {
+            e.est_bad_windows = 0;
         }
     }
 
@@ -1688,7 +2203,9 @@ impl World {
         let mut driver = Vec::new();
         let mut compressor = Vec::new();
         for i in 0..n {
-            let key = (self.layout.client(i).0, self.layout.ap_of_flow(i).0);
+            // Roam-aware: the flow's driver is keyed to whichever AP it
+            // ended the run associated with.
+            let key = (self.layout.client(i).0, self.cur_ap_of_flow(i).0);
             let side = &self.compress[&key];
             driver.push(side.stats().clone());
             compressor.push(side.compressor_stats().clone());
@@ -1757,6 +2274,7 @@ impl World {
                 .map(FlowSupervisor::report)
                 .collect(),
             flow_goodput_final_mbps,
+            roams: self.roam.as_ref().map_or(0, |r| r.roams),
         }
     }
 }

@@ -30,7 +30,7 @@ use hack_sim::QueueKind;
 /// Version of the canonical [`ScenarioConfig`] encoding. Bump whenever
 /// the struct (or the meaning of a field) changes so stale cache
 /// entries can never alias a new configuration.
-pub const CONFIG_ENCODING_VERSION: u32 = 3;
+pub const CONFIG_ENCODING_VERSION: u32 = 4;
 
 /// Streaming FNV-1a over 128 bits — small, dependency-free, and stable
 /// by construction (the offset basis and prime are spelled out by the
@@ -163,6 +163,45 @@ fn hash_dynamics(h: &mut StableHasher, dynamics: &[crate::scenario::ChannelEvent
             }
         }
     }
+}
+
+fn hash_roam(h: &mut StableHasher, r: &crate::scenario::RoamConfig) {
+    h.usize(r.schedule.len());
+    for ev in &r.schedule {
+        h.usize(ev.flow);
+        h.duration(ev.at);
+        h.usize(ev.target_bss);
+    }
+    match &r.trigger {
+        None => h.u8(0),
+        Some(t) => {
+            h.u8(1);
+            h.f64(t.threshold_db);
+            h.f64(t.hysteresis_db);
+            h.duration(t.min_dwell);
+        }
+    }
+    h.usize(r.paths.len());
+    for p in &r.paths {
+        h.usize(p.client);
+        h.usize(p.waypoints.len());
+        for w in &p.waypoints {
+            h.duration(w.at);
+            h.f64(w.x);
+            h.f64(w.y);
+        }
+    }
+    h.duration(r.mobility_tick);
+    h.usize(r.ap_hack_capable.len());
+    for &b in &r.ap_hack_capable {
+        h.bool(b);
+    }
+    h.duration(r.assoc.scan_delay);
+    h.duration(r.assoc.retry_backoff);
+    h.u32(r.assoc.max_retries);
+    h.f64(r.assoc_fail_prob);
+    h.u32(r.rto_clamp_shift);
+    h.usize(r.park_cap);
 }
 
 fn hash_supervisor(h: &mut StableHasher, s: &SupervisorConfig) {
@@ -298,6 +337,7 @@ impl ScenarioConfig {
         }
         h.f64(self.interference.co_channel_range_m);
         h.f64(self.interference.adjacent_range_m);
+        hash_roam(h, &self.roam);
     }
 }
 
@@ -354,6 +394,20 @@ mod tests {
             a.stable_hash(),
             c.stable_hash(),
             "interference ranges key the cache"
+        );
+        let mut c = a.clone();
+        c.roam.schedule.push(crate::scenario::RoamEvent {
+            flow: 0,
+            at: SimDuration::from_millis(500),
+            target_bss: 1,
+        });
+        assert_ne!(a.stable_hash(), c.stable_hash(), "roams key the cache");
+        let mut c = a.clone();
+        c.roam.assoc_fail_prob = 0.25;
+        assert_ne!(
+            a.stable_hash(),
+            c.stable_hash(),
+            "roam knobs key the cache even with an empty schedule"
         );
     }
 

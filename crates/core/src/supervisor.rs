@@ -38,8 +38,11 @@ pub mod fallback_reason {
     /// Accumulated fault score crossed the fallback threshold.
     pub const FAULTS: u32 = 0;
     /// The peer never negotiated the HACK capability bit; the fallback
-    /// is permanent.
+    /// is permanent (until a roam lands on a capable AP).
     pub const PEER_INCAPABLE: u32 = 1;
+    /// An AP handoff blacked out the link: forced native for the
+    /// blackout, probation on the new association.
+    pub const HANDOFF: u32 = 2;
 }
 
 /// Health state of one flow's HACK path.
@@ -116,6 +119,10 @@ pub enum HealthSignal {
     /// The TCP sender's retransmission timer fired with the connection
     /// established — the ACK clock stalled.
     RtoStall,
+    /// The CC delivery-rate sampler and the actually observed goodput
+    /// disagreed for a sustained window: the estimator the controller
+    /// steers by has diverged from reality (ROADMAP item 3).
+    EstimatorDivergence,
     /// A blob decoded cleanly end to end (good signal).
     BlobDecoded,
     /// An LL ACK exchange with the peer completed normally (good
@@ -134,6 +141,7 @@ impl HealthSignal {
             HealthSignal::HeldSpill => 1,
             HealthSignal::FcsBad => 1,
             HealthSignal::RtoStall => 4,
+            HealthSignal::EstimatorDivergence => 2,
             HealthSignal::BlobDecoded | HealthSignal::LlAckOk => 0,
         }
     }
@@ -233,6 +241,11 @@ pub struct SupervisorStats {
     pub recoveries: u64,
     /// Full ROHC context refreshes requested.
     pub refreshes: u64,
+    /// AP-handoff blackouts reported.
+    pub handoffs: u64,
+    /// Estimator-divergence signals received (any state). Zero on the
+    /// whole PR 3 fault matrix — pinned by a regression test.
+    pub est_divergence: u64,
 }
 
 /// Final per-flow supervisor outcome, surfaced in
@@ -261,6 +274,9 @@ pub struct FlowSupervisor {
     attempts: u64,
     /// Whether a probe timer is currently outstanding.
     probe_armed: bool,
+    /// A handoff blackout is in progress: probes are suppressed until
+    /// re-association (which always arms a fresh one).
+    blackout: bool,
     stats: SupervisorStats,
 }
 
@@ -275,6 +291,7 @@ impl FlowSupervisor {
             backoff: cfg.probation_initial,
             attempts: 0,
             probe_armed: false,
+            blackout: false,
             stats: SupervisorStats::default(),
         }
     }
@@ -298,6 +315,12 @@ impl FlowSupervisor {
     /// rest state must have one — pinned by the liveness proptest).
     pub fn probe_armed(&self) -> bool {
         self.probe_armed
+    }
+
+    /// Whether a handoff blackout is in progress (disassociated, not
+    /// yet re-associated).
+    pub fn in_blackout(&self) -> bool {
+        self.blackout
     }
 
     /// Final report for [`RunResult`](crate::RunResult).
@@ -326,8 +349,78 @@ impl FlowSupervisor {
         ]
     }
 
+    /// The station disassociated for a roam: the link is black until
+    /// re-association. Forces native (held ACKs were already flushed by
+    /// the driver) and suppresses probes for the blackout's duration;
+    /// [`FlowSupervisor::on_reassociated`] re-arms them. The flow will
+    /// pass through probation on the new association rather than
+    /// resuming HACK blind.
+    pub fn on_handoff(&mut self, _now: SimTime) -> Vec<SupervisorAction> {
+        self.stats.handoffs += 1;
+        self.blackout = true;
+        self.probe_armed = false;
+        if self.state == FlowHealth::PeerIncapable {
+            // Already native and permanent; re-association decides
+            // whether the new peer lifts it.
+            return Vec::new();
+        }
+        let was_fallback = self.state == FlowHealth::NativeFallback;
+        self.state = FlowHealth::NativeFallback;
+        self.score = 0;
+        self.successes = 0;
+        if was_fallback {
+            // Already on the native path; no new fallback to report.
+            return Vec::new();
+        }
+        self.stats.fallbacks += 1;
+        vec![
+            SupervisorAction::ForceNative,
+            SupervisorAction::NoteFallback {
+                reason: fallback_reason::HANDOFF,
+                backoff: self.backoff,
+            },
+        ]
+    }
+
+    /// Re-association completed; `capable` is the freshly negotiated
+    /// HACK capability bit. A capable AP ends even a
+    /// [`FlowHealth::PeerIncapable`] rest (the peer changed!) and arms
+    /// the probation probe; an incapable one parks the flow in the
+    /// permanent fallback until the next roam.
+    pub fn on_reassociated(&mut self, capable: bool, now: SimTime) -> Vec<SupervisorAction> {
+        self.blackout = false;
+        if !capable {
+            if self.state == FlowHealth::PeerIncapable {
+                return Vec::new();
+            }
+            self.state = FlowHealth::PeerIncapable;
+            self.probe_armed = false;
+            self.stats.fallbacks += 1;
+            return vec![
+                SupervisorAction::ForceNative,
+                SupervisorAction::NoteFallback {
+                    reason: fallback_reason::PEER_INCAPABLE,
+                    backoff: SimDuration::ZERO,
+                },
+            ];
+        }
+        // Capable AP: leave the absorbing state if we were in it, and
+        // always arm a fresh probe — any pre-blackout timer was
+        // suppressed, so this is the only way back to probation. The
+        // backoff ladder is NOT doubled here: a roam is topology, not
+        // evidence of HACK pathology.
+        self.state = FlowHealth::NativeFallback;
+        self.score = 0;
+        self.successes = 0;
+        self.probe_armed = true;
+        vec![SupervisorAction::ScheduleProbe(now + self.backoff)]
+    }
+
     /// Feed one observation; returns the actions it provokes.
     pub fn on_signal(&mut self, sig: HealthSignal, now: SimTime) -> Vec<SupervisorAction> {
+        if sig == HealthSignal::EstimatorDivergence {
+            self.stats.est_divergence += 1;
+        }
         let mut out = Vec::new();
         match self.state {
             FlowHealth::PeerIncapable | FlowHealth::NativeFallback => {
@@ -384,9 +477,11 @@ impl FlowSupervisor {
 
     /// The probation probe timer fired.
     pub fn on_probe_timer(&mut self, _now: SimTime) -> Vec<SupervisorAction> {
-        if self.state != FlowHealth::NativeFallback {
+        if self.state != FlowHealth::NativeFallback || self.blackout {
             // A stale probe (the flow was marked peer-incapable after
-            // scheduling, or the timer raced a transition): ignore.
+            // scheduling, the timer raced a transition, or a handoff
+            // blackout is in progress — re-association will arm a fresh
+            // probe): ignore.
             return Vec::new();
         }
         self.probe_armed = false;
@@ -611,6 +706,82 @@ mod tests {
     }
 
     #[test]
+    fn handoff_blackout_then_capable_reassociation_probes() {
+        let mut s = FlowSupervisor::new(cfg());
+        let acts = s.on_handoff(t(10));
+        assert_eq!(s.state(), FlowHealth::NativeFallback);
+        assert!(s.in_blackout());
+        assert!(!s.probe_armed());
+        assert!(acts.contains(&SupervisorAction::ForceNative));
+        assert!(acts.contains(&SupervisorAction::NoteFallback {
+            reason: fallback_reason::HANDOFF,
+            backoff: cfg().probation_initial,
+        }));
+        assert_eq!(s.stats().handoffs, 1);
+        // Probes are suppressed during the blackout, even stale ones.
+        assert!(s.on_probe_timer(t(20)).is_empty());
+        assert_eq!(s.state(), FlowHealth::NativeFallback);
+        // Re-association with a capable AP arms a fresh probe (backoff
+        // ladder NOT doubled — a roam is not HACK pathology).
+        let acts = s.on_reassociated(true, t(30));
+        assert!(!s.in_blackout());
+        assert!(s.probe_armed());
+        assert_eq!(
+            acts,
+            vec![SupervisorAction::ScheduleProbe(
+                t(30) + cfg().probation_initial
+            )]
+        );
+        // The probe then opens probation and recovery proceeds normally.
+        let acts = s.on_probe_timer(t(30) + cfg().probation_initial);
+        assert!(acts.contains(&SupervisorAction::ReenableHack));
+        assert_eq!(s.state(), FlowHealth::Probation);
+    }
+
+    #[test]
+    fn handoff_to_incapable_ap_parks_until_capable_roam() {
+        let mut s = FlowSupervisor::new(cfg());
+        s.on_handoff(t(10));
+        let acts = s.on_reassociated(false, t(30));
+        assert_eq!(s.state(), FlowHealth::PeerIncapable);
+        assert!(acts.contains(&SupervisorAction::NoteFallback {
+            reason: fallback_reason::PEER_INCAPABLE,
+            backoff: SimDuration::ZERO,
+        }));
+        // Parked: no probes, signals ignored.
+        assert!(s.on_probe_timer(t(40)).is_empty());
+        // A later roam to a *capable* AP lifts the permanent fallback —
+        // the absorbing state is only absorbing per-association.
+        s.on_handoff(t(50));
+        let acts = s.on_reassociated(true, t(60));
+        assert_eq!(s.state(), FlowHealth::NativeFallback);
+        assert!(matches!(acts[0], SupervisorAction::ScheduleProbe(_)));
+        assert_eq!(s.stats().handoffs, 2);
+    }
+
+    #[test]
+    fn handoff_while_already_fallen_back_reports_no_new_fallback() {
+        let mut s = FlowSupervisor::new(cfg());
+        stall_into_fallback(&mut s, 0);
+        assert_eq!(s.stats().fallbacks, 1);
+        let acts = s.on_handoff(t(100));
+        assert!(acts.is_empty(), "already native: {acts:?}");
+        assert_eq!(s.stats().fallbacks, 1);
+        assert!(!s.on_reassociated(true, t(120)).is_empty());
+    }
+
+    #[test]
+    fn estimator_divergence_scores_and_counts() {
+        let mut s = FlowSupervisor::new(cfg());
+        let n = cfg().fallback_score.div_ceil(2);
+        for i in 0..u64::from(n) {
+            s.on_signal(HealthSignal::EstimatorDivergence, t(i));
+        }
+        assert_eq!(s.state(), FlowHealth::NativeFallback);
+        assert_eq!(s.stats().est_divergence, u64::from(n));
+    }
+
+    #[test]
     fn fallback_ignores_signals_until_probe() {
         let mut s = FlowSupervisor::new(cfg());
         stall_into_fallback(&mut s, 0);
@@ -621,12 +792,15 @@ mod tests {
 
     // ---- liveness proptest (satellite 4) -------------------------------
 
-    /// One step of an arbitrary history: either a signal or (when due) a
-    /// probe firing.
+    /// One step of an arbitrary history: a signal, (when due) a probe
+    /// firing, or a handoff blackout / re-association pair interleaved
+    /// arbitrarily.
     #[derive(Debug, Clone, Copy)]
     enum Step {
         Sig(HealthSignal),
         Probe,
+        Handoff,
+        Reassoc(bool),
     }
 
     fn arb_signal() -> impl Strategy<Value = HealthSignal> {
@@ -638,6 +812,7 @@ mod tests {
             Just(HealthSignal::HeldSpill),
             Just(HealthSignal::FcsBad),
             Just(HealthSignal::RtoStall),
+            Just(HealthSignal::EstimatorDivergence),
             Just(HealthSignal::BlobDecoded),
             Just(HealthSignal::LlAckOk),
         ]
@@ -650,6 +825,9 @@ mod tests {
             arb_signal().prop_map(Step::Sig),
             arb_signal().prop_map(Step::Sig),
             Just(Step::Probe),
+            Just(Step::Handoff),
+            Just(Step::Reassoc(true)),
+            Just(Step::Reassoc(false)),
         ]
     }
 
@@ -674,19 +852,30 @@ mod tests {
                 match step {
                     Step::Sig(sig) => { s.on_signal(*sig, now); }
                     Step::Probe => { s.on_probe_timer(now); }
+                    Step::Handoff => if !s.in_blackout() { let _ = s.on_handoff(now); }
+                    Step::Reassoc(cap) => if s.in_blackout() {
+                        let _ = s.on_reassociated(*cap, now);
+                    }
                 }
-                // Invariant: a fault-driven fallback always has a probe
-                // outstanding — it can never sleep forever.
-                if s.state() == FlowHealth::NativeFallback {
+                // Invariant: outside a handoff blackout, a fault-driven
+                // fallback always has a probe outstanding — it can
+                // never sleep forever. During a blackout probes are
+                // deliberately suppressed; re-association re-arms.
+                if s.state() == FlowHealth::NativeFallback && !s.in_blackout() {
                     prop_assert!(s.probe_armed());
                 }
+            }
+            // Healthy tail: complete any in-flight handoff onto a
+            // capable AP, fire due probes, then feed clean decodes.
+            // Bounded steps must suffice — that's the liveness claim.
+            if s.in_blackout() {
+                now += tick;
+                s.on_reassociated(true, now);
             }
             if s.state() == FlowHealth::PeerIncapable {
                 prop_assert!(!s.probe_armed());
                 return Ok(());
             }
-            // Healthy tail: fire any due probe, then feed clean decodes.
-            // Bounded steps must suffice — that's the liveness claim.
             let mut budget = 4 * (cfg().fallback_score + cfg().probation_success);
             while s.state() != FlowHealth::Healthy {
                 prop_assert!(budget > 0, "no convergence; stuck in {:?}", s.state());

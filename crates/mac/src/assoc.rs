@@ -1,0 +1,279 @@
+//! The association state machine driving AP handoff.
+//!
+//! 802.11 stations are only ever useful while *associated*: the
+//! capability negotiation (including the HACK bit, [`crate::capability`]),
+//! Block ACK agreements, and — in this codebase — the driver's ROHC
+//! contexts and held-ACK queue are all per-association state. Roaming is
+//! therefore modelled as a first-class state machine, not a teleport:
+//!
+//! ```text
+//!             roam trigger                 scan done
+//! Associated ─────────────▶ Scanning ─────────────────▶ Reassociating
+//!     ▲                                                   │       │
+//!     │            association response OK                │       │ attempt failed
+//!     ├───────────────────────────────────────────────────┘       ▼
+//!     │                                              retry (exponential backoff)
+//!     │            retries exhausted: fall back to the      │
+//!     └──────────── previous (known-good) AP ◀──────────────┘
+//! ```
+//!
+//! The give-up path re-targets the *previous* AP, which by construction
+//! accepted us before — so the machine always terminates back in
+//! `Associated` and no flow can stall forever behind a flapping AP.
+//! Like the rest of `hack-mac` this is sans-IO: the machine only
+//! transitions and reports; the event loop owns timers and the actual
+//! (re)association exchange.
+
+use hack_sim::{SimDuration, SimTime};
+
+/// Where a station stands with respect to its AP.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AssocState {
+    /// Associated with the cell index carried by the machine.
+    Associated,
+    /// Disassociated; scanning for the target AP (fixed scan delay).
+    Scanning,
+    /// Scan complete; an association attempt is in flight (attempt
+    /// counter for backoff).
+    Reassociating,
+}
+
+/// Tunables for re-association retries.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AssocConfig {
+    /// Time spent in `Scanning` before the first association attempt.
+    pub scan_delay: SimDuration,
+    /// Backoff before the first retry; doubles per failure.
+    pub retry_backoff: SimDuration,
+    /// Attempts against the target before giving up and returning to
+    /// the previous AP.
+    pub max_retries: u32,
+}
+
+impl Default for AssocConfig {
+    fn default() -> Self {
+        AssocConfig {
+            scan_delay: SimDuration::from_millis(20),
+            retry_backoff: SimDuration::from_millis(10),
+            max_retries: 3,
+        }
+    }
+}
+
+/// What the machine wants the event loop to do next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AssocStep {
+    /// Wait until the given time, then call the matching `on_*` hook.
+    Wait(SimTime),
+    /// Send an association request to the cell now (attempt number for
+    /// telemetry).
+    Attempt {
+        /// Target cell (BSS index) to associate with.
+        cell: usize,
+        /// 1-based attempt number, for telemetry.
+        attempt: u32,
+    },
+    /// Retries exhausted: associate back with the previous AP (always
+    /// succeeds — it accepted us before).
+    GiveUp {
+        /// The previous home cell to fall back to.
+        back_to: usize,
+    },
+}
+
+/// Per-station association machine. One per roaming client; stationary
+/// clients never leave `Associated` and pay nothing.
+#[derive(Debug, Clone)]
+pub struct AssocMachine {
+    cfg: AssocConfig,
+    state: AssocState,
+    /// Cell currently associated with (valid in `Associated`) or the
+    /// cell we came from (valid while roaming).
+    home: usize,
+    /// Roam target (valid while roaming).
+    target: usize,
+    attempt: u32,
+}
+
+impl AssocMachine {
+    /// A machine for a station associated with `home`.
+    pub fn new(cfg: AssocConfig, home: usize) -> Self {
+        AssocMachine {
+            cfg,
+            state: AssocState::Associated,
+            home,
+            target: home,
+            attempt: 0,
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> AssocState {
+        self.state
+    }
+
+    /// The associated cell (or, mid-roam, the cell we left).
+    pub fn home(&self) -> usize {
+        self.home
+    }
+
+    /// The roam target (equals `home` when associated).
+    pub fn target(&self) -> usize {
+        self.target
+    }
+
+    /// Attempts made against the current target.
+    pub fn attempt(&self) -> u32 {
+        self.attempt
+    }
+
+    /// True while disassociated (scanning or reassociating).
+    pub fn roaming(&self) -> bool {
+        self.state != AssocState::Associated
+    }
+
+    /// Leave the current AP for `target`. Returns the wait step for the
+    /// scan period, or `None` if already roaming or `target` is the
+    /// current cell (no-op).
+    pub fn start_roam(&mut self, target: usize, now: SimTime) -> Option<AssocStep> {
+        if self.roaming() || target == self.home {
+            return None;
+        }
+        self.state = AssocState::Scanning;
+        self.target = target;
+        self.attempt = 0;
+        Some(AssocStep::Wait(now + self.cfg.scan_delay))
+    }
+
+    /// Scan period elapsed: move to `Reassociating` and attempt.
+    pub fn on_scan_done(&mut self) -> AssocStep {
+        debug_assert_eq!(self.state, AssocState::Scanning);
+        self.state = AssocState::Reassociating;
+        self.attempt = 1;
+        AssocStep::Attempt {
+            cell: self.target,
+            attempt: 1,
+        }
+    }
+
+    /// Outcome of the in-flight association attempt. On success the
+    /// machine is `Associated` with the target and returns `None`; on
+    /// failure it either schedules a backed-off retry or gives up back
+    /// to the previous AP.
+    pub fn on_assoc_result(&mut self, ok: bool, now: SimTime) -> Option<AssocStep> {
+        debug_assert_eq!(self.state, AssocState::Reassociating);
+        if ok {
+            self.home = self.target;
+            self.state = AssocState::Associated;
+            return None;
+        }
+        if self.attempt > self.cfg.max_retries {
+            // Exhausted: return home. The caller re-associates us with
+            // `back_to` unconditionally via `on_gave_up`.
+            return Some(AssocStep::GiveUp { back_to: self.home });
+        }
+        // Exponential backoff: retry_backoff × 2^(attempt-1).
+        let shift = (self.attempt - 1).min(16);
+        let wait = SimDuration::from_nanos(
+            self.cfg
+                .retry_backoff
+                .as_nanos()
+                .saturating_mul(1u64 << shift),
+        );
+        self.attempt += 1;
+        Some(AssocStep::Wait(now + wait))
+    }
+
+    /// Backoff elapsed: fire the next attempt.
+    pub fn on_retry_timer(&mut self) -> AssocStep {
+        debug_assert_eq!(self.state, AssocState::Reassociating);
+        AssocStep::Attempt {
+            cell: self.target,
+            attempt: self.attempt,
+        }
+    }
+
+    /// The give-up re-association with the previous AP completed; the
+    /// machine is `Associated` with `home` again.
+    pub fn on_gave_up(&mut self) {
+        self.target = self.home;
+        self.state = AssocState::Associated;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_millis(ms)
+    }
+
+    #[test]
+    fn happy_path_roam() {
+        let mut m = AssocMachine::new(AssocConfig::default(), 0);
+        assert!(!m.roaming());
+        let step = m.start_roam(2, t(100)).unwrap();
+        assert_eq!(step, AssocStep::Wait(t(120)));
+        assert_eq!(m.state(), AssocState::Scanning);
+        assert_eq!(
+            m.on_scan_done(),
+            AssocStep::Attempt {
+                cell: 2,
+                attempt: 1
+            }
+        );
+        assert_eq!(m.on_assoc_result(true, t(125)), None);
+        assert_eq!(m.state(), AssocState::Associated);
+        assert_eq!(m.home(), 2);
+    }
+
+    #[test]
+    fn noop_roams_are_rejected() {
+        let mut m = AssocMachine::new(AssocConfig::default(), 1);
+        assert_eq!(m.start_roam(1, t(0)), None, "same cell");
+        m.start_roam(0, t(0)).unwrap();
+        assert_eq!(m.start_roam(2, t(1)), None, "already roaming");
+    }
+
+    #[test]
+    fn retries_back_off_exponentially_then_give_up() {
+        let cfg = AssocConfig {
+            scan_delay: SimDuration::from_millis(20),
+            retry_backoff: SimDuration::from_millis(10),
+            max_retries: 2,
+        };
+        let mut m = AssocMachine::new(cfg, 0);
+        m.start_roam(1, t(0)).unwrap();
+        m.on_scan_done();
+        // Attempt 1 fails: retry after 10 ms.
+        assert_eq!(
+            m.on_assoc_result(false, t(20)),
+            Some(AssocStep::Wait(t(30)))
+        );
+        assert_eq!(
+            m.on_retry_timer(),
+            AssocStep::Attempt {
+                cell: 1,
+                attempt: 2
+            }
+        );
+        // Attempt 2 fails: retry after 20 ms (doubled).
+        assert_eq!(
+            m.on_assoc_result(false, t(30)),
+            Some(AssocStep::Wait(t(50)))
+        );
+        m.on_retry_timer();
+        // Attempt 3 fails: max_retries=2 exhausted, go home.
+        assert_eq!(
+            m.on_assoc_result(false, t(50)),
+            Some(AssocStep::GiveUp { back_to: 0 })
+        );
+        m.on_gave_up();
+        assert_eq!(m.state(), AssocState::Associated);
+        assert_eq!(m.home(), 0);
+        assert_eq!(m.target(), 0);
+        // A later roam works again.
+        assert!(m.start_roam(1, t(100)).is_some());
+    }
+}

@@ -19,6 +19,7 @@
 #![warn(missing_docs)]
 
 pub mod actions;
+pub mod assoc;
 pub mod backoff;
 pub mod capability;
 pub mod config;
@@ -29,6 +30,7 @@ pub mod station;
 pub mod stats;
 
 pub use actions::{Action, RespKind, RxDataInfo, TimerKind, TxDescriptor};
+pub use assoc::{AssocConfig, AssocMachine, AssocState, AssocStep};
 pub use backoff::Contention;
 pub use capability::{AssocRequest, AssocResponse, CapabilityInfo};
 pub use config::MacConfig;

@@ -252,6 +252,20 @@ impl<M: Msdu> Station<M> {
         }
     }
 
+    /// Tear down the per-association state toward `peer` for an AP
+    /// handoff: the negotiated capability record and any installed HACK
+    /// blob are dropped, and every not-yet-transmitted MSDU toward
+    /// `peer` is withdrawn and returned so the caller can re-route it
+    /// through the new association. Frames already in flight (or in the
+    /// retransmit window) are left to finish over the air — packets
+    /// committed to the old path drain through it, they are not
+    /// silently dropped.
+    pub fn disassociate(&mut self, peer: StationId) -> Vec<M> {
+        self.peer_caps.remove(&peer);
+        self.hack_blobs.remove(&peer);
+        self.withdraw_unsent(peer, |_| true)
+    }
+
     /// Enqueue an MSDU for transmission to `dst`.
     pub fn enqueue(&mut self, dst: StationId, msdu: M, now: SimTime) -> Vec<Action<M>> {
         self.queue_mut(dst).enqueue(msdu);

@@ -18,6 +18,7 @@ pub mod channel;
 pub mod error;
 pub mod interference;
 pub mod medium;
+pub mod mobility;
 pub mod rates;
 pub mod timing;
 
@@ -25,6 +26,7 @@ pub use channel::Channel;
 pub use error::{GeParams, LossModel};
 pub use interference::{BssPlacement, InterferenceConfig, InterferenceGraph};
 pub use medium::{CorruptModel, Medium, MpduStatus, PpduMeta, Reception, TxId, TxOutcome};
+pub use mobility::{RoamMonitor, RoamTrigger, Trajectory, Waypoint};
 pub use rates::{PhyKind, PhyRate, BASIC_RATES_MBPS, DOT11A_RATES_MBPS, DOT11N_HT40_SGI_MBPS};
 pub use timing::MacTimings;
 

@@ -341,6 +341,43 @@ impl Medium {
             .retain(|&(a, b), _| a != station.0 && b != station.0);
     }
 
+    /// Re-home a station to a new interference `domain` mid-run — the
+    /// PHY half of an AP handoff. Carrier sense, reception audience,
+    /// and collision accounting all follow the new cell's channel from
+    /// the next transmission on; per-link Gilbert–Elliott state for the
+    /// station is reset like a move, since the burst fade belonged to
+    /// the links of the old cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `station` was never registered or `domain` is out of
+    /// range for the interference graph.
+    pub fn retune_station(&mut self, station: StationId, domain: u32) {
+        assert!(
+            (domain as usize) < self.graph.len(),
+            "station domain out of range for the interference graph"
+        );
+        let i = self.index[&station.0];
+        if self.domains[i] == domain {
+            return;
+        }
+        self.domains[i] = domain;
+        self.ge
+            .retain(|&(a, b), _| a != station.0 && b != station.0);
+        // Audience lists are precomputed per domain; rebuild them all in
+        // registration order (handoffs are rare, fleets are small).
+        self.listeners = (0..self.graph.len() as u32)
+            .map(|d| {
+                self.stations
+                    .iter()
+                    .zip(&self.domains)
+                    .filter(|&(_, &sd)| self.graph.interferes(sd, d))
+                    .map(|(&s, _)| s)
+                    .collect()
+            })
+            .collect();
+    }
+
     /// Change one station's per-MPDU loss rate mid-run.
     ///
     /// Under the fixed regimes this mutates the loss table ([`LossModel::Ideal`]

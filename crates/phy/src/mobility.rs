@@ -1,0 +1,243 @@
+//! Station mobility: waypoint trajectories and the SNR roam trigger.
+//!
+//! The paper evaluates stationary clients; mobility is what breaks the
+//! per-association state HACK depends on (ROHC contexts, held-ACK
+//! queues, the negotiated capability bit). This module supplies the two
+//! passive pieces the event loop composes into roaming:
+//!
+//! * [`Trajectory`] — a piecewise-linear waypoint path, sampled by the
+//!   simulation at its mobility tick and fed into `place_station`.
+//! * [`RoamMonitor`] — the hysteresis rule deciding *when* a station
+//!   should abandon its current AP for a better one. It is a pure
+//!   decision function over SNR observations: no clocks, no RNG, no
+//!   side effects, in keeping with the sans-IO layering (DESIGN.md §1).
+
+use hack_sim::{SimDuration, SimTime};
+
+/// One waypoint on a trajectory: be at `(x, y)` at offset `at` from the
+/// start of the run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Waypoint {
+    /// Time offset from simulation start.
+    pub at: SimDuration,
+    /// X coordinate in metres.
+    pub x: f64,
+    /// Y coordinate in metres.
+    pub y: f64,
+}
+
+/// A piecewise-linear path through a sequence of [`Waypoint`]s.
+///
+/// Before the first waypoint the station sits at the first position;
+/// after the last it parks at the final position. Between adjacent
+/// waypoints the position interpolates linearly in time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trajectory {
+    points: Vec<Waypoint>,
+}
+
+impl Trajectory {
+    /// Build a trajectory from waypoints. Points are sorted by time;
+    /// an empty list is allowed (the trajectory then has no opinion and
+    /// [`Trajectory::position_at`] returns `None`).
+    pub fn new(mut points: Vec<Waypoint>) -> Self {
+        points.sort_by_key(|p| p.at);
+        Trajectory { points }
+    }
+
+    /// The waypoints, sorted by time.
+    pub fn points(&self) -> &[Waypoint] {
+        &self.points
+    }
+
+    /// Time of the final waypoint (when motion stops), if any.
+    pub fn end(&self) -> Option<SimDuration> {
+        self.points.last().map(|w| w.at)
+    }
+
+    /// The interpolated position at offset `t` from simulation start,
+    /// or `None` for an empty trajectory.
+    pub fn position_at(&self, t: SimDuration) -> Option<(f64, f64)> {
+        let first = self.points.first()?;
+        if t <= first.at {
+            return Some((first.x, first.y));
+        }
+        for pair in self.points.windows(2) {
+            let (a, b) = (pair[0], pair[1]);
+            if t <= b.at {
+                let span = (b.at - a.at).as_nanos();
+                if span == 0 {
+                    return Some((b.x, b.y));
+                }
+                let frac = (t - a.at).as_nanos() as f64 / span as f64;
+                return Some((a.x + (b.x - a.x) * frac, a.y + (b.y - a.y) * frac));
+            }
+        }
+        let last = self.points.last()?;
+        Some((last.x, last.y))
+    }
+}
+
+/// Hysteresis parameters for the SNR roam trigger.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RoamTrigger {
+    /// Roam only once the serving link drops below this SNR (dB).
+    pub threshold_db: f64,
+    /// A candidate AP must beat the serving AP by at least this margin
+    /// (dB) — suppresses ping-pong between near-equal APs.
+    pub hysteresis_db: f64,
+    /// Minimum dwell time on an association before the next roam may
+    /// trigger.
+    pub min_dwell: SimDuration,
+}
+
+impl Default for RoamTrigger {
+    fn default() -> Self {
+        RoamTrigger {
+            threshold_db: 18.0,
+            hysteresis_db: 4.0,
+            min_dwell: SimDuration::from_millis(200),
+        }
+    }
+}
+
+/// The roam decision: pure function of the trigger parameters and a set
+/// of SNR observations, tracked per station.
+///
+/// The caller samples `snr_db(client, ap)` for the serving AP and every
+/// candidate and asks [`RoamMonitor::evaluate`]; a `Some(index)` answer
+/// means "hand off to candidate `index` now". The monitor only records
+/// the association epoch (for min-dwell); it never mutates the radio
+/// state itself.
+#[derive(Debug, Clone)]
+pub struct RoamMonitor {
+    trigger: RoamTrigger,
+    associated_at: SimTime,
+}
+
+impl RoamMonitor {
+    /// A monitor for a station associated at `now`.
+    pub fn new(trigger: RoamTrigger, now: SimTime) -> Self {
+        RoamMonitor {
+            trigger,
+            associated_at: now,
+        }
+    }
+
+    /// Record a (re-)association, restarting the dwell clock.
+    pub fn on_associated(&mut self, now: SimTime) {
+        self.associated_at = now;
+    }
+
+    /// The trigger parameters.
+    pub fn trigger(&self) -> RoamTrigger {
+        self.trigger
+    }
+
+    /// Decide whether to roam. `serving_snr_db` is the SNR of the
+    /// current association; `candidates` are `(index, snr_db)` pairs for
+    /// every other AP in range. Returns the index of the best candidate
+    /// when all three conditions hold: the serving link is below the
+    /// threshold, the best candidate clears the hysteresis margin, and
+    /// the minimum dwell has elapsed. Ties break toward the lowest
+    /// index so the decision is deterministic.
+    pub fn evaluate(
+        &self,
+        serving_snr_db: f64,
+        candidates: &[(usize, f64)],
+        now: SimTime,
+    ) -> Option<usize> {
+        if serving_snr_db >= self.trigger.threshold_db {
+            return None;
+        }
+        if now < self.associated_at + self.trigger.min_dwell {
+            return None;
+        }
+        let mut best: Option<(usize, f64)> = None;
+        for &(idx, snr) in candidates {
+            match best {
+                Some((_, b)) if snr <= b => {}
+                _ => best = Some((idx, snr)),
+            }
+        }
+        let (idx, snr) = best?;
+        if snr >= serving_snr_db + self.trigger.hysteresis_db {
+            Some(idx)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wp(ms: u64, x: f64, y: f64) -> Waypoint {
+        Waypoint {
+            at: SimDuration::from_millis(ms),
+            x,
+            y,
+        }
+    }
+
+    #[test]
+    fn trajectory_interpolates_linearly() {
+        let t = Trajectory::new(vec![wp(0, 0.0, 0.0), wp(1000, 10.0, 0.0)]);
+        let p = t.position_at(SimDuration::from_millis(500)).unwrap();
+        assert!((p.0 - 5.0).abs() < 1e-9 && p.1.abs() < 1e-9);
+    }
+
+    #[test]
+    fn trajectory_clamps_at_ends() {
+        let t = Trajectory::new(vec![wp(100, 1.0, 2.0), wp(200, 3.0, 4.0)]);
+        assert_eq!(t.position_at(SimDuration::ZERO), Some((1.0, 2.0)));
+        assert_eq!(t.position_at(SimDuration::from_secs(9)), Some((3.0, 4.0)));
+        assert_eq!(t.end(), Some(SimDuration::from_millis(200)));
+    }
+
+    #[test]
+    fn trajectory_sorts_waypoints_and_handles_empty() {
+        let t = Trajectory::new(vec![wp(200, 2.0, 0.0), wp(100, 1.0, 0.0)]);
+        assert_eq!(t.points()[0].at, SimDuration::from_millis(100));
+        assert_eq!(Trajectory::new(vec![]).position_at(SimDuration::ZERO), None);
+    }
+
+    #[test]
+    fn monitor_requires_threshold_margin_and_dwell() {
+        let trig = RoamTrigger {
+            threshold_db: 20.0,
+            hysteresis_db: 5.0,
+            min_dwell: SimDuration::from_millis(100),
+        };
+        let late = SimTime::ZERO + SimDuration::from_secs(1);
+        let m = RoamMonitor::new(trig, SimTime::ZERO);
+        // Serving link still healthy: no roam even with a better AP.
+        assert_eq!(m.evaluate(25.0, &[(1, 40.0)], late), None);
+        // Below threshold but margin not met.
+        assert_eq!(m.evaluate(15.0, &[(1, 18.0)], late), None);
+        // All conditions met.
+        assert_eq!(m.evaluate(15.0, &[(1, 21.0), (2, 30.0)], late), Some(2));
+        // Dwell not yet elapsed.
+        let mut m2 = m.clone();
+        m2.on_associated(late);
+        assert_eq!(
+            m2.evaluate(15.0, &[(2, 30.0)], late + SimDuration::from_millis(50)),
+            None
+        );
+        assert_eq!(
+            m2.evaluate(15.0, &[(2, 30.0)], late + SimDuration::from_millis(100)),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn monitor_ties_break_low_index() {
+        let m = RoamMonitor::new(RoamTrigger::default(), SimTime::ZERO);
+        let now = SimTime::ZERO + SimDuration::from_secs(1);
+        assert_eq!(m.evaluate(10.0, &[(3, 30.0), (1, 30.0)], now), Some(3));
+        // First-seen wins on exact ties; order is caller-controlled and
+        // the caller enumerates cells in index order.
+        assert_eq!(m.evaluate(10.0, &[(1, 30.0), (3, 30.0)], now), Some(1));
+    }
+}

@@ -406,6 +406,21 @@ impl Connection {
         self.budget = budget;
     }
 
+    /// Pin the RTO's exponential backoff at no more than `shift`
+    /// doublings for the duration of a link blackout with a known,
+    /// bounded cause (an AP handoff). Without the clamp, every timeout
+    /// during the blackout doubles the RTO, so the first retransmission
+    /// after re-association can be tens of seconds out; with it, the
+    /// flow probes again promptly once the new association is up.
+    pub fn clamp_rto_backoff(&mut self, shift: u32) {
+        self.rto.clamp_backoff(shift);
+    }
+
+    /// Release the handoff RTO clamp; Karn backoff resumes normally.
+    pub fn unclamp_rto_backoff(&mut self) {
+        self.rto.unclamp_backoff();
+    }
+
     /// Earliest pending timer deadline, if any.
     pub fn next_timer(&self) -> Option<SimTime> {
         [self.rto_deadline, self.delack_deadline, self.pace_deadline]

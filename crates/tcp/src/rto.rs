@@ -9,6 +9,7 @@ pub struct RtoEstimator {
     rttvar: SimDuration,
     rto: SimDuration,
     backoff_shift: u32,
+    backoff_clamp: Option<u32>,
     min_rto: SimDuration,
     max_rto: SimDuration,
 }
@@ -22,6 +23,7 @@ impl RtoEstimator {
             rttvar: SimDuration::ZERO,
             rto: SimDuration::from_secs(1).max(min_rto).min(max_rto),
             backoff_shift: 0,
+            backoff_clamp: None,
             min_rto,
             max_rto,
         }
@@ -63,9 +65,32 @@ impl RtoEstimator {
         self.backoff_shift = 0;
     }
 
-    /// The retransmission timer fired: double the RTO (Karn).
+    /// The retransmission timer fired: double the RTO (Karn). While a
+    /// handoff clamp is pinned the shift stops growing past it, so a
+    /// connectivity blackout of known, bounded cause (an AP handoff)
+    /// does not push the retry cadence out to `max_rto` — the first
+    /// retransmission after re-association lands promptly.
     pub fn on_timeout(&mut self) {
-        self.backoff_shift = (self.backoff_shift + 1).min(16);
+        let cap = self.backoff_clamp.unwrap_or(16).min(16);
+        self.backoff_shift = (self.backoff_shift + 1).min(cap);
+    }
+
+    /// Pin the exponential backoff at no more than `shift` doublings.
+    /// Idempotent; cleared by [`RtoEstimator::unclamp_backoff`] or any
+    /// new RTT measurement's natural reset.
+    pub fn clamp_backoff(&mut self, shift: u32) {
+        self.backoff_clamp = Some(shift);
+        self.backoff_shift = self.backoff_shift.min(shift);
+    }
+
+    /// Remove the handoff clamp; Karn backoff resumes normally.
+    pub fn unclamp_backoff(&mut self) {
+        self.backoff_clamp = None;
+    }
+
+    /// The clamp currently pinned, if any.
+    pub fn backoff_clamp(&self) -> Option<u32> {
+        self.backoff_clamp
     }
 }
 
@@ -161,6 +186,34 @@ mod tests {
         assert_eq!(e.rto(), SimDuration::from_secs(60));
         e.on_timeout(); // stays clamped, no overflow
         assert_eq!(e.rto(), SimDuration::from_secs(60));
+    }
+
+    #[test]
+    fn handoff_clamp_pins_backoff() {
+        let mut e = est();
+        e.on_measurement(SimDuration::from_millis(100)); // RTO 300 ms
+        e.on_timeout();
+        e.on_timeout(); // shift 2 → 1200 ms
+        assert_eq!(e.rto(), SimDuration::from_millis(1200));
+        // Clamp at one doubling: shift retracts to 1 and stays there
+        // through further timeouts.
+        e.clamp_backoff(1);
+        assert_eq!(e.rto(), SimDuration::from_millis(600));
+        for _ in 0..10 {
+            e.on_timeout();
+        }
+        assert_eq!(e.rto(), SimDuration::from_millis(600));
+        assert_eq!(e.backoff_clamp(), Some(1));
+        // Unclamp: Karn doubling resumes from the pinned shift.
+        e.unclamp_backoff();
+        e.on_timeout();
+        assert_eq!(e.rto(), SimDuration::from_millis(1200));
+        // A measurement clears backoff as usual even while clamped.
+        e.clamp_backoff(0);
+        e.on_measurement(SimDuration::from_millis(100));
+        assert_eq!(e.backoff_clamp(), Some(0));
+        e.on_timeout(); // shift pinned at 0: no doubling at all
+        assert_eq!(e.rto(), SimDuration::from_millis(250));
     }
 
     #[test]

@@ -280,6 +280,35 @@ define_events! {
         /// Number of FCS-failed MPDUs in the reception.
         mpdus: u32,
     };
+    /// A roam decision fired (scheduled, or SNR trigger after a station
+    /// move): the client will leave its AP. Node = the roaming client.
+    MacRoamTriggered = 25, Mac, "roam_triggered", {
+        /// Flow index of the roaming client.
+        flow: u32,
+        /// BSS (cell) index being left.
+        from_cell: u32,
+        /// Target BSS (cell) index.
+        to_cell: u32,
+    };
+    /// The client disassociated from its AP: held ACKs flushed, ROHC
+    /// contexts torn down, per-association MAC state cleared. Node = the
+    /// roaming client.
+    MacDisassociated = 26, Mac, "disassociated", {
+        /// Flow index of the roaming client.
+        flow: u32,
+        /// AP station id the client left.
+        ap: u32,
+    };
+    /// A (re-)association completed and the HACK capability bit was
+    /// renegotiated with the new AP. Node = the roaming client.
+    MacReassociated = 27, Mac, "reassociated", {
+        /// Flow index of the roaming client.
+        flow: u32,
+        /// AP station id of the new association.
+        ap: u32,
+        /// Whether HACK was negotiated on the new association.
+        hack: bool,
+    };
 
     /// Congestion window or slow-start threshold changed. Node = endpoint.
     TcpCwnd = 32, Tcp, "cwnd", {
@@ -385,6 +414,15 @@ define_events! {
         flow: u32,
         /// State the flow recovered from: 0 = Degraded, 1 = Probation.
         from: u32,
+    };
+    /// A handoff blackout was reported to the supervisor: the flow is
+    /// forced native and will pass through probation on the new
+    /// association. Node = the flow's wireless client.
+    SupHandoffBlackout = 70, Sim, "sup_handoff", {
+        /// Flow index.
+        flow: u32,
+        /// BSS (cell) index the flow is roaming toward.
+        to_cell: u32,
     };
 }
 
