@@ -2,7 +2,7 @@
 //! seconds per wall-clock second) for the paper's main scenarios.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use hack_core::{run, HackMode, ScenarioConfig};
+use hack_core::{run, HackMode, ScenarioBuilder};
 use hack_sim::SimDuration;
 
 fn bench_end_to_end(c: &mut Criterion) {
@@ -11,7 +11,7 @@ fn bench_end_to_end(c: &mut Criterion) {
 
     g.bench_function("dot11n_1client_stock_500ms", |b| {
         b.iter(|| {
-            let mut cfg = ScenarioConfig::dot11n_download(150, 1, HackMode::Disabled);
+            let mut cfg = ScenarioBuilder::dot11n_download(150, 1, HackMode::Disabled).build();
             cfg.duration = SimDuration::from_millis(500);
             run(cfg).ppdus
         });
@@ -19,7 +19,7 @@ fn bench_end_to_end(c: &mut Criterion) {
 
     g.bench_function("dot11n_1client_hack_500ms", |b| {
         b.iter(|| {
-            let mut cfg = ScenarioConfig::dot11n_download(150, 1, HackMode::MoreData);
+            let mut cfg = ScenarioBuilder::dot11n_download(150, 1, HackMode::MoreData).build();
             cfg.duration = SimDuration::from_millis(500);
             run(cfg).ppdus
         });
@@ -27,7 +27,7 @@ fn bench_end_to_end(c: &mut Criterion) {
 
     g.bench_function("dot11n_10clients_hack_500ms", |b| {
         b.iter(|| {
-            let mut cfg = ScenarioConfig::dot11n_download(150, 10, HackMode::MoreData);
+            let mut cfg = ScenarioBuilder::dot11n_download(150, 10, HackMode::MoreData).build();
             cfg.duration = SimDuration::from_millis(500);
             run(cfg).ppdus
         });
@@ -35,7 +35,7 @@ fn bench_end_to_end(c: &mut Criterion) {
 
     g.bench_function("sora_dot11a_hack_500ms", |b| {
         b.iter(|| {
-            let mut cfg = ScenarioConfig::sora_testbed(1, HackMode::MoreData);
+            let mut cfg = ScenarioBuilder::sora_testbed(1, HackMode::MoreData).build();
             cfg.duration = SimDuration::from_millis(500);
             run(cfg).ppdus
         });

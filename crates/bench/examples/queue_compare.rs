@@ -10,14 +10,14 @@
 //! differ. Useful when touching `hack-sim::queue` to see whether the
 //! calendar queue still beats the reference heap on the real workload.
 
-use hack_core::{run, HackMode, ScenarioConfig};
+use hack_core::{run, HackMode, ScenarioBuilder};
 use hack_sim::{QueueKind, SimDuration};
 use std::time::Instant;
 
 fn main() {
     for kind in [QueueKind::Heap, QueueKind::Calendar] {
         for rep in 0..2u64 {
-            let mut cfg = ScenarioConfig::dot11n_download(150, 1, HackMode::MoreData);
+            let mut cfg = ScenarioBuilder::dot11n_download(150, 1, HackMode::MoreData).build();
             cfg.duration = SimDuration::from_millis(1000);
             cfg.warmup = SimDuration::from_millis(200);
             cfg.seed = 1 + rep;

@@ -41,8 +41,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 use hack_core::{
-    run, run_dense, BssSpec, CompressSide, DenseOptions, DriverAction, HackMode, RoamEvent,
-    ScenarioConfig, SupervisorConfig,
+    run, run_dense, ArrivalDist, BssSpec, CompressSide, DenseOptions, DriverAction, HackMode,
+    RoamEvent, ScenarioBuilder, ScenarioConfig, ShortFlowConfig, SizeDist, SupervisorConfig,
+    TrafficClass, TrafficModel,
 };
 use hack_mac::RxDataInfo;
 use hack_phy::StationId;
@@ -445,6 +446,44 @@ fn stage_roam_handoff_e2e(quick: bool) -> Stage {
     }
 }
 
+fn stage_short_flow_churn(quick: bool) -> Stage {
+    // Short-flow connection churn end to end: one client running
+    // web-like transfers on *fresh* five-tuples (reuse off), so every
+    // transfer pays the handshake, the tuple re-key, ROHC context
+    // teardown on both stations, and a fresh slow start. Small fixed
+    // sizes and a tiny think gap maximize lifecycle events per
+    // simulated second. Reported as ns per dispatched event; if the
+    // restart path ever leaks cost into steady state (e.g. a per-event
+    // scan of flow runtimes or an O(contexts) teardown), this stage
+    // moves while the plain bulk end-to-end stays put.
+    let ms = if quick { 300 } else { 1_000 };
+    let cfg = ScenarioBuilder::dot11n_download(150, 1, HackMode::MoreData)
+        .duration(SimDuration::from_millis(ms))
+        .warmup(SimDuration::from_millis(ms / 5))
+        .traffic(TrafficModel::ShortFlows(ShortFlowConfig {
+            sizes: SizeDist::Fixed(64 * 1024),
+            think: ArrivalDist::Fixed(SimDuration::from_millis(1)),
+            reuse: false,
+        }))
+        .build();
+    let a0 = allocs_now();
+    let t0 = Instant::now();
+    let r = run(cfg);
+    let wall = t0.elapsed();
+    let allocs = allocs_now() - a0;
+    let transfers = r
+        .class(TrafficClass::Short)
+        .map_or(0, |c| c.transfers);
+    assert!(
+        transfers >= 10,
+        "short-flow churn bench world completed only {transfers} transfers"
+    );
+    Stage {
+        ns_per_op: wall.as_nanos() as f64 / r.events_dispatched.max(1) as f64,
+        allocs_per_op: allocs as f64 / r.events_dispatched.max(1) as f64,
+    }
+}
+
 // ---------------------------------------------------------------------
 // End-to-end events/sec.
 // ---------------------------------------------------------------------
@@ -464,7 +503,7 @@ fn end_to_end(quick: bool) -> EndToEnd {
     let (sim_ms, reps) = if quick { (300, 2) } else { (3000, 3) };
     let mut best: Option<EndToEnd> = None;
     for rep in 0..reps {
-        let mut cfg = ScenarioConfig::dot11n_download(150, 1, HackMode::MoreData);
+        let mut cfg = ScenarioBuilder::dot11n_download(150, 1, HackMode::MoreData).build();
         cfg.duration = SimDuration::from_millis(sim_ms);
         cfg.warmup = SimDuration::from_millis(sim_ms / 5);
         cfg.seed = 1 + rep; // identical work profile, fresh RNG stream
@@ -679,6 +718,7 @@ fn main() {
         ("header_serialize", stage_header_serialize(quick)),
         ("dense_9bss_e2e", stage_dense_e2e(quick)),
         ("roam_handoff_e2e", stage_roam_handoff_e2e(quick)),
+        ("short_flow_churn_e2e", stage_short_flow_churn(quick)),
     ];
     for (name, st) in &stages {
         println!(

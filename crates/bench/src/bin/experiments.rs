@@ -12,12 +12,13 @@ use hack_analysis::{CapacityModel, Protocol};
 use hack_bench::{run_seeds, set_trace_base, CommonOpts, USAGE};
 use hack_campaign::{campaign_csv, campaign_json, run_campaign, Axis, CellReport, SweepSpec};
 use hack_core::{
-    run_auto, run_dense, BssSpec, CcKind, ChannelChange, ChannelEvent, CompressSideStats,
-    CorruptModel, DenseOptions, DenseReport, FlowHealth, GeParams, HackMode, LossConfig, RoamEvent,
-    RunResult, ScenarioConfig, SupervisorConfig, SupervisorReport,
+    run_auto, run_dense, BssSpec, CbrConfig, CcKind, ChannelChange, ChannelEvent,
+    CompressSideStats, CorruptModel, DenseOptions, DenseReport, FlowHealth, GeParams, HackMode,
+    LossConfig, OnOffConfig, RoamEvent, RunResult, ScenarioBuilder, ScenarioConfig,
+    ShortFlowConfig, SupervisorConfig, SupervisorReport, TrafficClass, TrafficModel,
 };
 use hack_phy::{Channel, PhyRate, StationId, DOT11A_RATES_MBPS, DOT11N_HT40_SGI_MBPS};
-use hack_sim::{RunStats, SimDuration};
+use hack_sim::{QuantileSketch, RunStats, SimDuration};
 
 type Opts = CommonOpts;
 
@@ -55,6 +56,7 @@ fn main() {
         "chaos-recovery" => chaos_recovery(&opts),
         "campaign-smoke" => campaign_smoke(&opts),
         "cc-matrix" => cc_matrix(&opts),
+        "traffic-matrix" => traffic_matrix(&opts),
         "dense-sweep" => dense_sweep(&opts),
         "dense-smoke" => dense_smoke(&opts),
         "roam-chaos" => roam_chaos(&opts),
@@ -78,6 +80,7 @@ fn main() {
             chaos_recovery(&opts);
             campaign_smoke(&opts);
             cc_matrix(&opts);
+            traffic_matrix(&opts);
             dense_sweep(&opts);
             dense_smoke(&opts);
             roam_chaos(&opts);
@@ -164,13 +167,13 @@ fn fig1b() {
 
 fn sora_cfg(clients: &str, mode: HackMode, udp: bool, opts: &Opts) -> ScenarioConfig {
     let mut cfg = match clients {
-        "c1" => ScenarioConfig::sora_testbed(1, mode),
+        "c1" => ScenarioBuilder::sora_testbed(1, mode).build(),
         "c2" => {
-            let mut c = ScenarioConfig::sora_testbed(1, mode);
+            let mut c = ScenarioBuilder::sora_testbed(1, mode).build();
             c.loss = LossConfig::PerClient(vec![0.02]);
             c
         }
-        _ => ScenarioConfig::sora_testbed(2, mode),
+        _ => ScenarioBuilder::sora_testbed(2, mode).build(),
     };
     cfg.duration = SimDuration::from_secs(opts.secs);
     if udp {
@@ -243,7 +246,7 @@ fn table1(opts: &Opts) {
 // ----------------------------------------------------------------------
 
 fn transfer_cfg(mode: HackMode) -> ScenarioConfig {
-    let mut cfg = ScenarioConfig::sora_testbed(1, mode);
+    let mut cfg = ScenarioBuilder::sora_testbed(1, mode).build();
     cfg.transfer_bytes = Some(25_000_000);
     cfg.duration = SimDuration::from_secs(60);
     cfg
@@ -268,7 +271,7 @@ fn table2(_opts: &Opts) {
             "{label:<14} {:>10} {:>12} {:>10} {:>12} {:>8.1}",
             d.native_acks, d.native_ack_bytes, d.hacked_acks, d.hacked_ack_bytes, ratio,
         );
-        if let Some(t) = r.completion {
+        if let Some(t) = r.completion() {
             println!("  (transfer completed in {:.2} s)", t.as_secs_f64());
         }
     }
@@ -321,7 +324,7 @@ fn xval(opts: &Opts) {
     ] {
         let mut row = format!("{label:<12} {:>5.0}%", loss * 100.0);
         for sora in [false, true] {
-            let mut cfg = ScenarioConfig::sora_testbed(1, mode);
+            let mut cfg = ScenarioBuilder::sora_testbed(1, mode).build();
             cfg.loss = LossConfig::PerClient(vec![loss]);
             cfg.sora_quirks = sora;
             cfg.duration = SimDuration::from_secs(opts.secs);
@@ -345,7 +348,7 @@ const SWEEP_LOSSES: [f64; 6] = [0.0, 0.02, 0.05, 0.10, 0.15, 0.20];
 /// model — axes apply in declaration order, so later axes may refine
 /// earlier ones.
 fn loss_sweep_spec(opts: &Opts) -> SweepSpec {
-    let mut base = ScenarioConfig::sora_testbed(1, HackMode::Disabled);
+    let mut base = ScenarioBuilder::sora_testbed(1, HackMode::Disabled).build();
     base.duration = SimDuration::from_secs(opts.secs);
     let seed = base.seed;
     let mut loss_axis = Axis::new("loss");
@@ -466,7 +469,7 @@ fn fault_matrix(opts: &Opts) {
         control_per: 0.02,
         fcs_miss: 0.25,
     };
-    let mut base = ScenarioConfig::sora_testbed(1, HackMode::MoreData);
+    let mut base = ScenarioBuilder::sora_testbed(1, HackMode::MoreData).build();
     base.duration = SimDuration::from_secs(opts.secs);
     // One model axis, one seed: each point is a self-contained fault
     // scenario layered onto the shared base.
@@ -547,7 +550,7 @@ fn fault_matrix(opts: &Opts) {
 /// delivery + mid-run dynamics) — identical to the one the supervisor
 /// integration tests run. Seeds come from the campaign's seed bank.
 fn chaos_faulty(mode: HackMode, supervised: bool) -> ScenarioConfig {
-    let mut c = ScenarioConfig::sora_testbed(1, mode);
+    let mut c = ScenarioBuilder::sora_testbed(1, mode).build();
     c.duration = SimDuration::from_secs(2);
     c.loss = LossConfig::Burst(GeParams::bursty(0.08, 6.0));
     c.corrupt = Some(CorruptModel {
@@ -577,7 +580,7 @@ fn chaos_faulty(mode: HackMode, supervised: bool) -> ScenarioConfig {
 /// A 60 % loss storm that heals to 2 % mid-run: drives the full
 /// degrade → fallback → probation → recovery arc.
 fn chaos_storm() -> ScenarioConfig {
-    let mut c = ScenarioConfig::sora_testbed(1, HackMode::MoreData);
+    let mut c = ScenarioBuilder::sora_testbed(1, HackMode::MoreData).build();
     c.duration = SimDuration::from_secs(4);
     c.loss = LossConfig::PerClient(vec![0.6]);
     c.dynamics = vec![ChannelEvent {
@@ -722,7 +725,7 @@ fn stalled(r: &RunResult) -> bool {
 /// than 90% of its jobs from the cache.
 fn campaign_smoke(opts: &Opts) {
     banner("Campaign smoke: 2×2×2 sweep — parallel determinism + cache hit rate");
-    let mut base = ScenarioConfig::sora_testbed(1, HackMode::Disabled);
+    let mut base = ScenarioBuilder::sora_testbed(1, HackMode::Disabled).build();
     if opts.quick {
         // Keep a real steady-state window (default warmup is 1 s).
         base.warmup = SimDuration::from_millis(200);
@@ -832,7 +835,7 @@ fn cc_matrix(opts: &Opts) {
     println!("(fails the process on zero goodput, a silent RTT sampler, or");
     println!(" parallel ≠ serial campaign reports; goodput is mean over seeds,");
     println!(" rtt is the delivery-rate sampler's mean across flows and seeds)");
-    let mut base = ScenarioConfig::sora_testbed(1, HackMode::Disabled);
+    let mut base = ScenarioBuilder::sora_testbed(1, HackMode::Disabled).build();
     base.duration = SimDuration::from_secs(opts.secs);
     let seed = base.seed;
     let mut cc_axis = Axis::new("cc");
@@ -908,6 +911,192 @@ fn cc_matrix(opts: &Opts) {
         std::process::exit(1);
     }
     println!("cc matrix OK");
+}
+
+/// Merge one class's report across every seeded run of a campaign cell.
+/// Returns `(transfers, fct, latency, jitter)` — sketches merged with
+/// [`QuantileSketch::merge`], which is order-insensitive, so the result
+/// is identical at any worker-thread count.
+fn merged_class(
+    cell: &CellReport,
+    class: TrafficClass,
+) -> (u64, QuantileSketch, QuantileSketch, QuantileSketch) {
+    let mut transfers = 0;
+    let mut fct = QuantileSketch::new();
+    let mut latency = QuantileSketch::new();
+    let mut jitter = QuantileSketch::new();
+    for r in &cell.runs {
+        if let Some(c) = r.class(class) {
+            transfers += c.transfers;
+            fct.merge(&c.fct);
+            latency.merge(&c.latency);
+            jitter.merge(&c.jitter);
+        }
+    }
+    (transfers, fct, latency, jitter)
+}
+
+/// Every traffic model × HACK on/off × {ideal, burst} channel, over the
+/// common seed bank — the scenario-diversity counterpart of
+/// [`cc_matrix`]. Fails the process on zero goodput in any cell, on a
+/// short-flow cell that completes no transfers, on a paced-UDP cell
+/// whose latency sampler stays silent, on a bidirectional HACK cell
+/// where either side's held-ACK counter is zero, or on a parallel run
+/// diverging from a serial one.
+fn traffic_matrix(opts: &Opts) {
+    banner("Traffic matrix: {bulk,short,bidir,cbr,onoff} × hack × channel (CI smoke)");
+    println!("(fails the process on zero goodput, a stalled short-flow loop,");
+    println!(" a silent one-way-latency sampler, a one-sided bidirectional");
+    println!(" HACK cell, or parallel ≠ serial campaign reports; percentiles");
+    println!(" are FCT for TCP classes and one-way latency for paced UDP,");
+    println!(" merged across seeds)");
+    let mut base = ScenarioBuilder::dot11n_download(150, 1, HackMode::Disabled).build();
+    base.duration = SimDuration::from_secs(opts.secs);
+    let seed = base.seed;
+    // Odometer-ordered (mode fastest, then chan, then model):
+    // cell = (model_idx * 2 + chan_idx) * 2 + mode_idx.
+    const MODELS: [&str; 5] = ["bulk", "short", "bidir", "cbr", "onoff"];
+    let model_of = |label: &str| -> TrafficModel {
+        match label {
+            "bulk" => TrafficModel::BulkDownload,
+            "short" => TrafficModel::ShortFlows(ShortFlowConfig::default()),
+            "bidir" => TrafficModel::Bidirectional,
+            "cbr" => TrafficModel::Cbr(CbrConfig::default()),
+            "onoff" => TrafficModel::OnOff(OnOffConfig::default()),
+            other => unreachable!("unknown model label {other}"),
+        }
+    };
+    let class_of = |label: &str| -> TrafficClass {
+        match label {
+            "bulk" => TrafficClass::Bulk,
+            "short" => TrafficClass::Short,
+            "bidir" => TrafficClass::Bidir,
+            "cbr" => TrafficClass::Cbr,
+            "onoff" => TrafficClass::OnOff,
+            other => unreachable!("unknown model label {other}"),
+        }
+    };
+    let mut model_axis = Axis::new("model");
+    for label in MODELS {
+        model_axis = model_axis.point(label, move |c| c.traffic = model_of(label));
+    }
+    let spec = SweepSpec::new("traffic-matrix", base)
+        .axis(model_axis)
+        .axis(
+            Axis::new("chan")
+                .point("ideal", |c| c.loss = LossConfig::Ideal)
+                .point("burst", |c| {
+                    c.loss = LossConfig::Burst(GeParams::bursty(0.05, 8.0));
+                }),
+        )
+        .axis(
+            Axis::new("mode")
+                .point("tcp", |c| c.hack_mode = HackMode::Disabled)
+                .point("hack", |c| c.hack_mode = HackMode::MoreData),
+        )
+        .seed_bank(seed, opts.seeds);
+
+    let report = run_campaign(&spec, &opts.campaign());
+    // Determinism gate: one worker must reproduce the pool byte for
+    // byte. The jobs header of `campaign_json` counts cache hits, so
+    // the comparison runs bypass the cache (a warm-cache report could
+    // never byte-match a cold one even with identical physics).
+    let mut serial_opts = opts.campaign();
+    serial_opts.threads = 1;
+    serial_opts.cache_dir = None;
+    let serial_json = campaign_json(&run_campaign(&spec, &serial_opts));
+    let parallel_json = if opts.cache_dir.is_some() {
+        let mut parallel_opts = opts.campaign();
+        parallel_opts.cache_dir = None;
+        campaign_json(&run_campaign(&spec, &parallel_opts))
+    } else {
+        campaign_json(&report)
+    };
+    if serial_json != parallel_json {
+        eprintln!("FAIL: parallel and serial traffic-matrix reports differ");
+        std::process::exit(1);
+    }
+
+    let q_ms = |s: &QuantileSketch, q: f64| s.quantile(q).map(|ns| ns as f64 / 1e6);
+    let fmt_q = |v: Option<f64>| v.map_or_else(|| "-".into(), |ms| format!("{ms:.1}"));
+    println!(
+        "{:<6} {:<6} {:<5} {:>14} {:>9} {:<4} {:>8} {:>8} {:>8} {:>8}",
+        "model", "chan", "mode", "goodput", "transfers", "of", "p50ms", "p95ms", "p99ms", "jit95"
+    );
+    let mut failed = false;
+    let mut json_rows = Vec::new();
+    for (model_idx, model) in MODELS.into_iter().enumerate() {
+        let class = class_of(model);
+        let paced = matches!(class, TrafficClass::Cbr | TrafficClass::OnOff);
+        for (chan_idx, chan) in ["ideal", "burst"].into_iter().enumerate() {
+            for (mode_idx, mode) in ["tcp", "hack"].into_iter().enumerate() {
+                let cell = &report.cells[(model_idx * 2 + chan_idx) * 2 + mode_idx];
+                debug_assert_eq!(cell.labels, [model, chan, mode]);
+                let (transfers, fct, latency, jitter) = merged_class(cell, class);
+                // TCP classes report FCT percentiles; paced UDP reports
+                // one-way delivery latency instead (a CBR stream never
+                // "completes", so FCT is meaningless there).
+                let (metric, sketch) = if paced { ("lat", &latency) } else { ("fct", &fct) };
+                let mut verdict = String::new();
+                if cell.goodput.mean <= 0.0 {
+                    verdict = "  <-- FAIL: zero goodput".into();
+                    failed = true;
+                } else if class == TrafficClass::Short && (transfers == 0 || fct.count() == 0) {
+                    verdict = "  <-- FAIL: short-flow loop stalled".into();
+                    failed = true;
+                } else if paced && latency.count() == 0 {
+                    verdict = "  <-- FAIL: latency sampler silent".into();
+                    failed = true;
+                }
+                if class == TrafficClass::Bidir && mode == "hack" {
+                    // The acceptance bar for bidirectional HACK: the
+                    // client driver (upload ACKs) and the AP driver
+                    // (download ACKs) must both have held ACKs.
+                    let (cli, ap) = cell.runs.iter().fold((0u64, 0u64), |(c, a), r| {
+                        (
+                            c + r.driver.iter().map(|d| d.hacked_acks).sum::<u64>(),
+                            a + r.driver_ap.iter().map(|d| d.hacked_acks).sum::<u64>(),
+                        )
+                    });
+                    if cli == 0 || ap == 0 {
+                        verdict = format!(
+                            "  <-- FAIL: one-sided bidir HACK (client {cli}, ap {ap} held)"
+                        );
+                        failed = true;
+                    }
+                }
+                let jit = if paced { q_ms(&jitter, 0.95) } else { None };
+                println!(
+                    "{model:<6} {chan:<6} {mode:<5} {:>14} {transfers:>9} {metric:<4} {:>8} {:>8} {:>8} {:>8}{verdict}",
+                    cell_goodput(cell),
+                    fmt_q(q_ms(sketch, 0.5)),
+                    fmt_q(q_ms(sketch, 0.95)),
+                    fmt_q(q_ms(sketch, 0.99)),
+                    fmt_q(jit),
+                );
+                let jnum = |v: Option<f64>| {
+                    v.map_or_else(|| "null".into(), |ms| format!("{ms:.3}"))
+                };
+                json_rows.push(format!(
+                    "{{\"model\":\"{model}\",\"chan\":\"{chan}\",\"mode\":\"{mode}\",\
+                     \"goodput_mbps\":{:.3},\"transfers\":{transfers},\"metric\":\"{metric}\",\
+                     \"p50_ms\":{},\"p95_ms\":{},\"p99_ms\":{},\"jitter_p95_ms\":{}}}",
+                    cell.goodput.mean,
+                    jnum(q_ms(sketch, 0.5)),
+                    jnum(q_ms(sketch, 0.95)),
+                    jnum(q_ms(sketch, 0.99)),
+                    jnum(jit),
+                ));
+            }
+        }
+    }
+    if opts.json {
+        println!("{{\"traffic_matrix\":[{}]}}", json_rows.join(","));
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!("traffic matrix OK");
 }
 
 // ----------------------------------------------------------------------
@@ -1284,7 +1473,7 @@ fn fig10(opts: &Opts) {
             (HackMode::Opportunistic, false),
             (HackMode::Disabled, false),
         ] {
-            let mut cfg = ScenarioConfig::dot11n_download(150, n, mode);
+            let mut cfg = ScenarioBuilder::dot11n_download(150, n, mode).build();
             // Duration = staggered starts + warmup + a full measurement
             // window, so the steady-state window is the same length for
             // every client count.
@@ -1323,7 +1512,7 @@ fn snr_run(rate: u64, snr_db: f64, mode: HackMode, opts: &Opts) -> f64 {
     let mut ch = Channel::indoor();
     ch.place(StationId(0), 0.0, 0.0);
     let d = ch.distance_for_snr(snr_db);
-    let mut cfg = ScenarioConfig::dot11n_download(rate, 1, mode);
+    let mut cfg = ScenarioBuilder::dot11n_download(rate, 1, mode).build();
     cfg.loss = LossConfig::SnrDistance(d);
     cfg.duration = SimDuration::from_secs(opts.secs.min(6));
     let mr = run_seeds(&cfg, opts.seeds.min(3));
@@ -1383,8 +1572,8 @@ fn fig12(opts: &Opts) {
         let r = PhyRate::ht(rate);
         let tt = m.goodput_dot11n(r, Protocol::Tcp);
         let th = m.goodput_dot11n(r, Protocol::TcpHack);
-        let mut cfg_t = ScenarioConfig::dot11n_download(rate, 1, HackMode::Disabled);
-        let mut cfg_h = ScenarioConfig::dot11n_download(rate, 1, HackMode::MoreData);
+        let mut cfg_t = ScenarioBuilder::dot11n_download(rate, 1, HackMode::Disabled).build();
+        let mut cfg_h = ScenarioBuilder::dot11n_download(rate, 1, HackMode::MoreData).build();
         cfg_t.duration = SimDuration::from_secs(opts.secs.min(6));
         cfg_h.duration = SimDuration::from_secs(opts.secs.min(6));
         let st = run_seeds(&cfg_t, opts.seeds.min(3))
@@ -1427,7 +1616,7 @@ fn ablate_timer(opts: &Opts) {
         ),
         ("MoreData", HackMode::MoreData),
     ] {
-        let mut cfg = ScenarioConfig::dot11n_download(150, 1, mode);
+        let mut cfg = ScenarioBuilder::dot11n_download(150, 1, mode).build();
         cfg.duration = SimDuration::from_secs(opts.secs);
         let backhaul = run_seeds(&cfg, opts.seeds.min(3));
         let mut stall = cfg.clone();
@@ -1449,7 +1638,7 @@ fn ablate_delack(opts: &Opts) {
         ("TCP/HACK", HackMode::MoreData),
     ] {
         for delack in [true, false] {
-            let mut cfg = ScenarioConfig::dot11n_download(150, 1, mode);
+            let mut cfg = ScenarioBuilder::dot11n_download(150, 1, mode).build();
             cfg.delayed_ack = delack;
             cfg.duration = SimDuration::from_secs(opts.secs);
             let mr = run_seeds(&cfg, opts.seeds.min(3));
@@ -1469,7 +1658,7 @@ fn ablate_sync(opts: &Opts) {
     ch.place(StationId(0), 0.0, 0.0);
     let d = ch.distance_for_snr(PhyRate::ht(rate).min_snr_db() + 2.2);
     for disable in [false, true] {
-        let mut cfg = ScenarioConfig::dot11n_download(rate, 1, HackMode::MoreData);
+        let mut cfg = ScenarioBuilder::dot11n_download(rate, 1, HackMode::MoreData).build();
         cfg.loss = LossConfig::SnrDistance(d);
         cfg.disable_sync = disable;
         // A tight retry budget makes BAR exhaustion (the SYNC trigger)
@@ -1501,7 +1690,7 @@ fn ablate_txop(opts: &Opts) {
     for ms in [1u64, 2, 4, 8] {
         let mut row = format!("TXOP {ms:>2} ms ");
         for (label, mode) in [("TCP", HackMode::Disabled), ("HACK", HackMode::MoreData)] {
-            let mut cfg = ScenarioConfig::dot11n_download(150, 1, mode);
+            let mut cfg = ScenarioBuilder::dot11n_download(150, 1, mode).build();
             cfg.txop_limit = Some(SimDuration::from_millis(ms));
             cfg.duration = SimDuration::from_secs(opts.secs);
             let mr = run_seeds(&cfg, opts.seeds.min(3));

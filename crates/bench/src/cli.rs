@@ -45,6 +45,12 @@ SUBCOMMANDS:
                     on/off x {ideal,burst} channel; exits nonzero on zero
                     goodput, a silent RTT sampler, or parallel != serial
                     campaign reports (CI smoke)
+    traffic-matrix  traffic model {bulk,short,bidir,cbr,onoff} x hack
+                    on/off x {ideal,burst} channel with per-class FCT /
+                    latency percentiles; exits nonzero on zero goodput,
+                    a stalled short-flow loop, a silent latency sampler,
+                    a one-sided bidirectional HACK cell, or parallel !=
+                    serial campaign reports (CI smoke)
     dense-sweep     multi-BSS enterprise floor: HACK-vs-TCP goodput and
                     client medium-acquisition savings as BSS count and
                     per-cell station count grow (sharded parallel worlds)

@@ -135,12 +135,12 @@ fn run_one_traced(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hack_core::HackMode;
+    use hack_core::{HackMode, ScenarioBuilder};
     use hack_sim::SimDuration;
 
     #[test]
     fn seeds_vary_but_reproduce() {
-        let mut cfg = ScenarioConfig::dot11n_download(150, 1, HackMode::Disabled);
+        let mut cfg = ScenarioBuilder::dot11n_download(150, 1, HackMode::Disabled).build();
         cfg.duration = SimDuration::from_secs(2);
         let a = run_seeds(&cfg, 2);
         let b = run_seeds(&cfg, 2);
@@ -159,7 +159,7 @@ mod tests {
 
     #[test]
     fn results_stay_in_seed_order() {
-        let mut cfg = ScenarioConfig::dot11n_download(150, 1, HackMode::Disabled);
+        let mut cfg = ScenarioBuilder::dot11n_download(150, 1, HackMode::Disabled).build();
         cfg.duration = SimDuration::from_millis(1500);
         let multi = run_seeds(&cfg, 3);
         assert_eq!(multi.runs.len(), 3);

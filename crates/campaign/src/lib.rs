@@ -17,9 +17,9 @@
 //!
 //! ```no_run
 //! use hack_campaign::{run_campaign, Axis, CampaignOptions, SweepSpec};
-//! use hack_core::{HackMode, ScenarioConfig};
+//! use hack_core::{HackMode, ScenarioBuilder, ScenarioConfig};
 //!
-//! let spec = SweepSpec::new("demo", ScenarioConfig::sora_testbed(1, HackMode::Disabled))
+//! let spec = SweepSpec::new("demo", ScenarioBuilder::sora_testbed(1, HackMode::Disabled).build())
 //!     .axis(
 //!         Axis::new("mode")
 //!             .point("tcp", |c| c.hack_mode = HackMode::Disabled)

@@ -8,7 +8,7 @@ use hack_campaign::{
     campaign_csv, campaign_json, run_campaign, Axis, CampaignOptions, ResultCache, SweepSpec,
 };
 use hack_core::{
-    encode_run_result, run, HackMode, LossConfig, ScenarioConfig, RESULT_SCHEMA_VERSION,
+    encode_run_result, run, HackMode, LossConfig, ScenarioBuilder, ScenarioConfig, RESULT_SCHEMA_VERSION,
 };
 use hack_sim::SimDuration;
 
@@ -22,7 +22,7 @@ fn scratch(test: &str) -> PathBuf {
 }
 
 fn base_cfg() -> ScenarioConfig {
-    let mut c = ScenarioConfig::sora_testbed(1, HackMode::Disabled);
+    let mut c = ScenarioBuilder::sora_testbed(1, HackMode::Disabled).build();
     // Short runs, but with a real steady-state window (default warmup
     // is 1 s, which would leave these sweeps measuring nothing).
     c.warmup = SimDuration::from_millis(200);

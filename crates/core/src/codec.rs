@@ -19,17 +19,22 @@
 
 use hack_mac::MacStats;
 use hack_rohc::{CompressStats, DecompressStats};
-use hack_sim::{Counter, SimDuration, SimTime, TimeAccumulator};
+use hack_sim::{Counter, QuantileSketch, SimDuration, SimTime, TimeAccumulator};
 use hack_tcp::TcpStats;
 
 use crate::driver::CompressSideStats;
-use crate::scenario::RunResult;
+use crate::scenario::{ClassReport, RunResult};
 use crate::supervisor::{FlowHealth, SupervisorReport, SupervisorStats};
+use crate::traffic::TrafficClass;
 
 /// Version of the serialized [`RunResult`] layout. Bump on any change
 /// to the result shape; the cache rejects (and recomputes) entries
 /// written under a different version.
-pub const RESULT_SCHEMA_VERSION: u32 = 3;
+///
+/// v4: `completion` became per-flow `flow_completion`, plus the
+/// AP-side driver stats (`driver_ap`) and per-class traffic reports
+/// (`classes`, with sparse quantile sketches).
+pub const RESULT_SCHEMA_VERSION: u32 = 4;
 
 /// File magic for encoded results.
 const MAGIC: &[u8; 4] = b"HKRR";
@@ -144,6 +149,19 @@ fn write_driver(w: &mut Writer, d: &CompressSideStats) {
     w.u64(d.forced_native);
 }
 
+fn write_sketch(w: &mut Writer, s: &QuantileSketch) {
+    let (count, sum, min, max, entries) = s.to_sparse();
+    w.u64(count);
+    w.u64(sum);
+    w.u64(min);
+    w.u64(max);
+    w.len(entries.len());
+    for (i, c) in entries {
+        w.u32(u32::from(i));
+        w.u64(c);
+    }
+}
+
 fn write_tcp(w: &mut Writer, t: &TcpStats) {
     w.u64(t.data_segments_sent);
     w.u64(t.retransmits);
@@ -167,11 +185,14 @@ pub fn encode_run_result(r: &RunResult) -> Vec<u8> {
     w.vec_f64(&r.flow_goodput_mbps);
     w.f64(r.aggregate_goodput_mbps);
     w.vec_f64(&r.flow_goodput_full_mbps);
-    match r.completion {
-        None => w.u8(0),
-        Some(t) => {
-            w.u8(1);
-            w.u64(t.as_nanos());
+    w.len(r.flow_completion.len());
+    for c in &r.flow_completion {
+        match c {
+            None => w.u8(0),
+            Some(t) => {
+                w.u8(1);
+                w.u64(t.as_nanos());
+            }
         }
     }
     w.len(r.mac.len());
@@ -180,6 +201,10 @@ pub fn encode_run_result(r: &RunResult) -> Vec<u8> {
     }
     w.len(r.driver.len());
     for d in &r.driver {
+        write_driver(&mut w, d);
+    }
+    w.len(r.driver_ap.len());
+    for d in &r.driver_ap {
         write_driver(&mut w, d);
     }
     w.len(r.compressor.len());
@@ -220,6 +245,16 @@ pub fn encode_run_result(r: &RunResult) -> Vec<u8> {
     }
     w.vec_f64(&r.flow_goodput_final_mbps);
     w.u64(r.roams);
+    w.len(r.classes.len());
+    for c in &r.classes {
+        w.u8(c.class.code());
+        w.u64(c.flows as u64);
+        w.u64(c.transfers);
+        w.f64(c.goodput_mbps);
+        write_sketch(&mut w, &c.fct);
+        write_sketch(&mut w, &c.latency);
+        write_sketch(&mut w, &c.jitter);
+    }
     w.out
 }
 
@@ -317,6 +352,21 @@ fn read_driver(r: &mut Reader) -> Result<CompressSideStats, CodecError> {
     })
 }
 
+fn read_sketch(r: &mut Reader) -> Result<QuantileSketch, CodecError> {
+    let count = r.u64()?;
+    let sum = r.u64()?;
+    let min = r.u64()?;
+    let max = r.u64()?;
+    let n = r.len()?;
+    let entries = (0..n)
+        .map(|_| {
+            let i = u16::try_from(r.u32()?).map_err(|_| CodecError::BadValue)?;
+            Ok((i, r.u64()?))
+        })
+        .collect::<Result<Vec<_>, CodecError>>()?;
+    QuantileSketch::from_sparse(count, sum, min, max, &entries).ok_or(CodecError::BadValue)
+}
+
 fn read_tcp(r: &mut Reader) -> Result<TcpStats, CodecError> {
     Ok(TcpStats {
         data_segments_sent: r.u64()?,
@@ -350,15 +400,22 @@ pub fn decode_run_result(bytes: &[u8]) -> Result<RunResult, CodecError> {
     let flow_goodput_mbps = r.vec_f64()?;
     let aggregate_goodput_mbps = r.f64()?;
     let flow_goodput_full_mbps = r.vec_f64()?;
-    let completion = match r.u8()? {
-        0 => None,
-        1 => Some(SimTime::from_nanos(r.u64()?)),
-        _ => return Err(CodecError::BadValue),
-    };
+    let n = r.len()?;
+    let flow_completion = (0..n)
+        .map(|_| match r.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(SimTime::from_nanos(r.u64()?))),
+            _ => Err(CodecError::BadValue),
+        })
+        .collect::<Result<Vec<_>, _>>()?;
     let n = r.len()?;
     let mac = (0..n).map(|_| read_mac(&mut r)).collect::<Result<_, _>>()?;
     let n = r.len()?;
     let driver = (0..n)
+        .map(|_| read_driver(&mut r))
+        .collect::<Result<_, _>>()?;
+    let n = r.len()?;
+    let driver_ap = (0..n)
         .map(|_| read_driver(&mut r))
         .collect::<Result<_, _>>()?;
     let n = r.len()?;
@@ -408,6 +465,21 @@ pub fn decode_run_result(bytes: &[u8]) -> Result<RunResult, CodecError> {
         .collect::<Result<_, CodecError>>()?;
     let flow_goodput_final_mbps = r.vec_f64()?;
     let roams = r.u64()?;
+    let n = r.len()?;
+    let classes = (0..n)
+        .map(|_| {
+            let class = TrafficClass::from_code(r.u8()?).ok_or(CodecError::BadValue)?;
+            Ok(ClassReport {
+                class,
+                flows: usize::try_from(r.u64()?).map_err(|_| CodecError::BadValue)?,
+                transfers: r.u64()?,
+                goodput_mbps: r.f64()?,
+                fct: read_sketch(&mut r)?,
+                latency: read_sketch(&mut r)?,
+                jitter: read_sketch(&mut r)?,
+            })
+        })
+        .collect::<Result<Vec<_>, CodecError>>()?;
     if r.pos != bytes.len() {
         // Trailing bytes mean the shapes disagree even though the
         // version matched — treat as corruption.
@@ -417,9 +489,11 @@ pub fn decode_run_result(bytes: &[u8]) -> Result<RunResult, CodecError> {
         flow_goodput_mbps,
         aggregate_goodput_mbps,
         flow_goodput_full_mbps,
-        completion,
+        flow_completion,
+        classes,
         mac,
         driver,
+        driver_ap,
         compressor,
         decompressor,
         ppdus,
@@ -443,13 +517,14 @@ pub const SCHEMA_VERSION_OFFSET: usize = MAGIC.len();
 mod tests {
     use super::*;
     use crate::driver::HackMode;
-    use crate::scenario::ScenarioConfig;
+    use crate::scenario::ScenarioBuilder;
     use crate::sim::run;
     use hack_sim::SimDuration;
 
     fn small_result() -> RunResult {
-        let mut cfg = ScenarioConfig::dot11n_download(150, 1, HackMode::MoreData);
-        cfg.duration = SimDuration::from_millis(400);
+        let cfg = ScenarioBuilder::dot11n_download(150, 1, HackMode::MoreData)
+            .duration(SimDuration::from_millis(400))
+            .build();
         run(cfg)
     }
 

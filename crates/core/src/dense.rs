@@ -44,7 +44,8 @@ use hack_sim::{SimDuration, SimTime};
 use hack_trace::TraceHandle;
 
 use crate::scenario::{
-    ChannelChange, ChannelEvent, ClientPath, LossConfig, RoamEvent, RunResult, ScenarioConfig,
+    ChannelChange, ChannelEvent, ClassReport, ClientPath, LossConfig, RoamEvent, RunResult,
+    ScenarioConfig,
 };
 use crate::sim::World;
 use crate::stable::StableHasher;
@@ -303,6 +304,11 @@ fn project(
             .map(|&f| cfg.client_hack_capable.get(f).copied().unwrap_or(true))
             .collect();
     }
+    // Per-flow traffic models follow their flow into the shard (the
+    // scalar default in `sub.traffic` covers flows past the mix).
+    if !cfg.traffic_mix.is_empty() {
+        sub.traffic_mix = flows.iter().map(|&f| cfg.model_of(f)).collect();
+    }
     // Dynamics: global events (SNR offset) reach every shard; per-client
     // events follow their client, with the index remapped to the
     // shard-local flow number. Events aimed at other shards' clients
@@ -537,17 +543,34 @@ pub fn merge_dense(report: DenseReport) -> RunResult {
     for s in shards {
         decompressor.merge(&s.result.decompressor);
     }
-    let completion = shards
-        .iter()
-        .map(|s| s.result.completion)
-        .try_fold(SimTime::ZERO, |acc, c| c.map(|t| acc.max(t)));
+    // Per-class reports: same class across shards merges (sketches are
+    // order-independent); sorted by class code for determinism.
+    let mut classes: Vec<ClassReport> = Vec::new();
+    for s in shards {
+        for c in &s.result.classes {
+            match classes.iter_mut().find(|x| x.class == c.class) {
+                Some(agg) => {
+                    agg.flows += c.flows;
+                    agg.transfers += c.transfers;
+                    agg.goodput_mbps += c.goodput_mbps;
+                    agg.fct.merge(&c.fct);
+                    agg.latency.merge(&c.latency);
+                    agg.jitter.merge(&c.jitter);
+                }
+                None => classes.push(c.clone()),
+            }
+        }
+    }
+    classes.sort_by_key(|c| c.class.code());
     RunResult {
         flow_goodput_mbps: report.flow_goodput_mbps.clone(),
         aggregate_goodput_mbps: report.aggregate_goodput_mbps,
         flow_goodput_full_mbps: scatter(n, shards, |r| &r.flow_goodput_full_mbps),
-        completion,
+        flow_completion: scatter(n, shards, |r| &r.flow_completion),
+        classes,
         mac,
         driver: scatter(n, shards, |r| &r.driver),
+        driver_ap: scatter(n, shards, |r| &r.driver_ap),
         compressor: scatter(n, shards, |r| &r.compressor),
         decompressor,
         ppdus: shards.iter().map(|s| s.result.ppdus).sum(),

@@ -17,10 +17,10 @@
 //! * [`scenario`] — experiment-facing configuration and results.
 //!
 //! ```no_run
-//! use hack_core::{run, HackMode, ScenarioConfig};
+//! use hack_core::{run, HackMode, ScenarioBuilder};
 //!
-//! let stock = run(ScenarioConfig::dot11n_download(150, 1, HackMode::Disabled));
-//! let hack = run(ScenarioConfig::dot11n_download(150, 1, HackMode::MoreData));
+//! let stock = run(ScenarioBuilder::dot11n_download(150, 1, HackMode::Disabled).build());
+//! let hack = run(ScenarioBuilder::dot11n_download(150, 1, HackMode::MoreData).build());
 //! println!(
 //!     "TCP/802.11n: {:.1} Mbps, TCP/HACK: {:.1} Mbps",
 //!     stock.aggregate_goodput_mbps, hack.aggregate_goodput_mbps
@@ -38,6 +38,7 @@ pub mod scenario;
 pub mod sim;
 pub mod stable;
 pub mod supervisor;
+pub mod traffic;
 pub mod wired;
 
 pub use codec::{decode_run_result, encode_run_result, CodecError, RESULT_SCHEMA_VERSION};
@@ -55,10 +56,13 @@ pub use hack_phy::{RoamTrigger, Waypoint};
 pub use hack_tcp::CcKind;
 pub use packet::NetPacket;
 pub use scenario::{
-    BssSpec, ChannelChange, ChannelEvent, ClientPath, LossConfig, RoamConfig, RoamEvent, RunResult,
-    ScenarioBuilder, ScenarioConfig, Standard, StandardKind, TrafficKind,
+    BssSpec, ChannelChange, ChannelEvent, ClassReport, ClientPath, LossConfig, RoamConfig,
+    RoamEvent, RunResult, ScenarioBuilder, ScenarioConfig, Standard, StandardKind, TrafficKind,
 };
 pub use sim::{run, run_traced, World, WorldBuilder};
+pub use traffic::{
+    ArrivalDist, CbrConfig, OnOffConfig, ShortFlowConfig, SizeDist, TrafficClass, TrafficModel,
+};
 pub use stable::{StableHasher, CONFIG_ENCODING_VERSION};
 pub use supervisor::{
     FlowHealth, FlowSupervisor, HealthSignal, SupervisorAction, SupervisorConfig, SupervisorReport,

@@ -3,11 +3,12 @@
 use hack_mac::{AssocConfig, MacStats};
 use hack_phy::{CorruptModel, GeParams, InterferenceConfig, RoamTrigger, Waypoint};
 use hack_rohc::{CompressStats, DecompressStats};
-use hack_sim::{QueueKind, SimDuration, SimTime};
+use hack_sim::{QuantileSketch, QueueKind, SimDuration, SimTime};
 use hack_tcp::{CcKind, TcpStats};
 
 use crate::driver::{CompressSideStats, HackMode, DEFAULT_HELD_CAP};
 use crate::supervisor::{SupervisorConfig, SupervisorReport};
+use crate::traffic::{TrafficClass, TrafficModel};
 
 /// Which 802.11 flavour the cell runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -24,7 +25,14 @@ pub enum Standard {
     },
 }
 
-/// The offered traffic.
+/// The offered traffic — the closed pre-model enum.
+///
+/// **Deprecated** (documented, not attributed, so existing callers
+/// compile warning-free — attribute lands next cycle, see DESIGN.md
+/// §8): new code should use [`TrafficModel`], which every
+/// `TrafficKind` converts into losslessly via `From`. Scenarios built
+/// from a `TrafficKind` keep their stable hashes and trace digests
+/// byte-for-byte.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TrafficKind {
     /// Bulk TCP download (server/AP → clients) — the paper's main case.
@@ -241,8 +249,14 @@ pub struct ScenarioConfig {
     pub n_clients: usize,
     /// HACK variant at every compress side.
     pub hack_mode: HackMode,
-    /// Traffic pattern.
-    pub traffic: TrafficKind,
+    /// Default traffic model for every flow (see `traffic_mix` for
+    /// per-flow overrides).
+    pub traffic: TrafficModel,
+    /// Per-flow traffic-model overrides, indexed by flow; flows past
+    /// the end of the list (and an empty list — the default) use
+    /// `traffic`. This is what makes mixed workloads first-class: a
+    /// cell can run bulk HACK flows next to VoIP CBR and short flows.
+    pub traffic_mix: Vec<TrafficModel>,
     /// TCP delayed ACK at receivers.
     pub delayed_ack: bool,
     /// TCP sender lives on the AP itself (the SoRa testbed) instead of
@@ -356,6 +370,42 @@ pub struct ScenarioBuilder {
 }
 
 impl ScenarioBuilder {
+    /// Builder preset: the paper's §4.3 802.11n download setup (wired
+    /// server, 126-packet per-client AP queue). The returned builder
+    /// can be refined further before `build()`.
+    pub fn dot11n_download(rate_mbps: u64, n_clients: usize, hack_mode: HackMode) -> Self {
+        ScenarioConfig::builder()
+            .standard(StandardKind::Dot11n)
+            .rate_mbps(rate_mbps)
+            .clients(n_clients)
+            .hack(hack_mode)
+    }
+
+    /// Builder preset: the SoRa testbed setup (§4.1–4.2) — 802.11a at
+    /// 54 Mbps, sender on the AP, SoRa's late LL ACKs, client 1
+    /// lossier than client 2, 128 KB receive window. The returned
+    /// builder can be refined further before `build()`.
+    pub fn sora_testbed(n_clients: usize, hack_mode: HackMode) -> Self {
+        let per: Vec<f64> = (0..n_clients)
+            .map(|i| if i == 0 { 0.025 } else { 0.02 })
+            .collect();
+        ScenarioConfig::builder()
+            .standard(StandardKind::Dot11a)
+            .rate_mbps(54)
+            .clients(n_clients)
+            .hack(hack_mode)
+            .server_at_ap(true)
+            // The testbed's sender runs on the AP with an ordinary driver
+            // queue ("Linux drivers usually use buffer sizes of 1000
+            // packets", §4.3) — flows end up receive-window-limited, not
+            // tail-drop-limited.
+            .ap_queue_cap(1000)
+            .loss(LossConfig::PerClient(per))
+            .stagger(SimDuration::from_millis(200))
+            .sora_quirks(true)
+            .rcv_window(128 * 1024)
+    }
+
     /// 802.11 flavour (default: [`StandardKind::Dot11n`]).
     pub fn standard(mut self, kind: StandardKind) -> Self {
         self.kind = kind;
@@ -380,9 +430,19 @@ impl ScenarioBuilder {
         self
     }
 
-    /// Traffic pattern (default: bulk TCP download).
-    pub fn traffic(mut self, traffic: TrafficKind) -> Self {
-        self.cfg.traffic = traffic;
+    /// Default traffic model for every flow (default: bulk TCP
+    /// download). Accepts a [`TrafficModel`] or, for source compat, a
+    /// legacy [`TrafficKind`].
+    pub fn traffic(mut self, traffic: impl Into<TrafficModel>) -> Self {
+        self.cfg.traffic = traffic.into();
+        self
+    }
+
+    /// Per-flow traffic-model overrides, indexed by flow; flows past
+    /// the end of the list fall back to the default model (default:
+    /// empty — every flow runs the default).
+    pub fn traffic_mix(mut self, mix: Vec<TrafficModel>) -> Self {
+        self.cfg.traffic_mix = mix;
         self
     }
 
@@ -586,7 +646,8 @@ impl ScenarioConfig {
                 standard: Standard::Dot11n { rate_mbps: 150 },
                 n_clients: 1,
                 hack_mode: HackMode::Disabled,
-                traffic: TrafficKind::TcpDownload,
+                traffic: TrafficModel::BulkDownload,
+                traffic_mix: Vec::new(),
                 delayed_ack: true,
                 server_at_ap: false,
                 ap_queue_cap: 126,
@@ -617,55 +678,72 @@ impl ScenarioConfig {
         }
     }
 
-    /// The paper's §4.3 802.11n download setup: wired server, MORE DATA
-    /// HACK off by default (set `hack_mode`), 126-packet per-client AP
-    /// queue.
-    ///
-    /// **Deprecated** (documented, not attributed, so existing callers
-    /// compile warning-free): new code should use
-    /// [`ScenarioConfig::builder`], of which this is a thin shim.
+    /// The paper's §4.3 802.11n download setup.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use ScenarioBuilder::dot11n_download(...).build() — the builder is the only supported path (DESIGN.md §8 deprecation cycle)"
+    )]
     pub fn dot11n_download(rate_mbps: u64, n_clients: usize, hack_mode: HackMode) -> Self {
-        ScenarioConfig::builder()
-            .standard(StandardKind::Dot11n)
-            .rate_mbps(rate_mbps)
-            .clients(n_clients)
-            .hack(hack_mode)
-            .build()
+        ScenarioBuilder::dot11n_download(rate_mbps, n_clients, hack_mode).build()
     }
 
-    /// The SoRa testbed setup (§4.1–4.2): 802.11a at 54 Mbps, sender on
-    /// the AP, SoRa's late LL ACKs, client 1 lossier than client 2.
-    ///
-    /// **Deprecated** (documented, not attributed, so existing callers
-    /// compile warning-free): new code should use
-    /// [`ScenarioConfig::builder`], of which this is a thin shim.
+    /// The SoRa testbed setup (§4.1–4.2).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use ScenarioBuilder::sora_testbed(...).build() — the builder is the only supported path (DESIGN.md §8 deprecation cycle)"
+    )]
     pub fn sora_testbed(n_clients: usize, hack_mode: HackMode) -> Self {
-        let per: Vec<f64> = (0..n_clients)
-            .map(|i| if i == 0 { 0.025 } else { 0.02 })
-            .collect();
-        ScenarioConfig::builder()
-            .standard(StandardKind::Dot11a)
-            .rate_mbps(54)
-            .clients(n_clients)
-            .hack(hack_mode)
-            .server_at_ap(true)
-            // The testbed's sender runs on the AP with an ordinary driver
-            // queue ("Linux drivers usually use buffer sizes of 1000
-            // packets", §4.3) — flows end up receive-window-limited, not
-            // tail-drop-limited.
-            .ap_queue_cap(1000)
-            .loss(LossConfig::PerClient(per))
-            .stagger(SimDuration::from_millis(200))
-            .sora_quirks(true)
-            .rcv_window(128 * 1024)
-            .build()
+        ScenarioBuilder::sora_testbed(n_clients, hack_mode).build()
     }
 
     /// Saturating UDP baseline over the same cell.
     pub fn with_udp(mut self) -> Self {
-        self.traffic = TrafficKind::UdpDownload;
+        self.traffic = TrafficModel::UdpDownload;
         self
     }
+
+    /// The traffic model of flow `flow`: its `traffic_mix` override if
+    /// one exists, else the scenario default.
+    pub fn model_of(&self, flow: usize) -> TrafficModel {
+        self.traffic_mix.get(flow).copied().unwrap_or(self.traffic)
+    }
+
+    /// Whether every flow's model is expressible as a legacy
+    /// [`TrafficKind`] under one scenario-wide kind — exactly the
+    /// scenarios that existed before the traffic-model layer. These
+    /// keep their pre-model stable hashes (and cache keys).
+    pub fn legacy_traffic(&self) -> Option<TrafficKind> {
+        if !self.traffic_mix.is_empty() {
+            return None;
+        }
+        self.traffic.legacy_kind()
+    }
+}
+
+/// Per-traffic-class metrics: flow-completion-time, latency, and
+/// jitter percentiles from streaming [`QuantileSketch`]es, plus the
+/// class's share of goodput. One entry per class with ≥ 1 flow,
+/// ordered by class code.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassReport {
+    /// The flow class.
+    pub class: TrafficClass,
+    /// Number of flows in the class.
+    pub flows: usize,
+    /// Completed transfers across the class's flows (short flows
+    /// complete many; a bulk flow with a byte budget completes once).
+    pub transfers: u64,
+    /// Aggregate steady-state goodput of the class (Mbps).
+    pub goodput_mbps: f64,
+    /// Flow/transfer completion times (ns). For short flows, one
+    /// sample per transfer; for byte-budgeted bulk flows, one per
+    /// flow.
+    pub fct: QuantileSketch,
+    /// Per-packet one-way latency (ns) — paced UDP classes only.
+    pub latency: QuantileSketch,
+    /// Per-packet latency jitter (|Δ latency|, ns) — paced UDP
+    /// classes only.
+    pub jitter: QuantileSketch,
 }
 
 /// Everything measured in one run.
@@ -678,12 +756,22 @@ pub struct RunResult {
     /// Per-flow goodput (Mbps) over the whole run including slow start
     /// (what Figure 11 averages).
     pub flow_goodput_full_mbps: Vec<f64>,
-    /// Time at which every byte-budgeted flow completed, if applicable.
-    pub completion: Option<SimTime>,
+    /// Per-flow completion time: when the flow's byte budget (or its
+    /// short-flow transfer sequence's first budget) finished, `None`
+    /// for saturating flows that run to the end of the scenario.
+    pub flow_completion: Vec<Option<SimTime>>,
+    /// Per-class metrics (FCT/latency/jitter sketches); empty only for
+    /// zero-flow worlds.
+    pub classes: Vec<ClassReport>,
     /// Per-station MAC statistics (index 0 = AP, then clients).
     pub mac: Vec<MacStats>,
     /// Per-client compress-side driver statistics.
     pub driver: Vec<CompressSideStats>,
+    /// Per-client AP-side (AP → client direction) compress-side driver
+    /// statistics — nonzero `hacked_acks` here means the *AP* held and
+    /// compressed ACKs for a client-bound data stream (bidirectional
+    /// traffic).
+    pub driver_ap: Vec<CompressSideStats>,
     /// Per-client compressor statistics.
     pub compressor: Vec<CompressStats>,
     /// Decompressor statistics at the AP.
@@ -720,5 +808,20 @@ impl RunResult {
     /// the AP's transmissions (the AP sends the data in downloads).
     pub fn ap_first_try_fraction(&self) -> Option<f64> {
         self.mac.first().and_then(MacStats::first_try_fraction)
+    }
+
+    /// Derived aggregate completion: the time at which every
+    /// byte-budgeted flow completed — `Some(max)` when all flows
+    /// completed, `None` otherwise (the old `completion` field).
+    pub fn completion(&self) -> Option<SimTime> {
+        self.flow_completion
+            .iter()
+            .copied()
+            .try_fold(SimTime::ZERO, |acc, c| c.map(|t| acc.max(t)))
+    }
+
+    /// The [`ClassReport`] for `class`, if the run had such flows.
+    pub fn class(&self, class: TrafficClass) -> Option<&ClassReport> {
+        self.classes.iter().find(|c| c.class == class)
     }
 }

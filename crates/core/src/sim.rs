@@ -14,7 +14,7 @@
 //!   `stack_delay`; blob installs cost `dma_delay`. Both exceed SIFS,
 //!   which is why TCP ACKs must ride a *later* frame's LL ACK (§2.2).
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 
 use hack_mac::{
     Action, AssocMachine, AssocState, AssocStep, Frame, HackBlob, MacConfig, Station, TimerKind,
@@ -25,16 +25,18 @@ use hack_phy::{
     RoamMonitor, StationId, Trajectory, TxId,
 };
 use hack_rohc::DecompressStats;
-use hack_sim::{Scheduler, SimDuration, SimRng, SimTime, ThroughputMeter, TimerTable, TimerToken};
+use hack_sim::{
+    QuantileSketch, Scheduler, SimDuration, SimRng, SimTime, ThroughputMeter, TimerTable,
+    TimerToken,
+};
 use hack_tcp::{Connection, FiveTuple, Ipv4Addr, Ipv4Packet, SendBudget, TcpConfig, Transport};
 use hack_trace::TraceHandle;
 
 use crate::driver::{CompressSide, DecompressSide, DriverAction, HackMode};
 use crate::packet::NetPacket;
-use crate::scenario::{
-    ChannelChange, LossConfig, RunResult, ScenarioConfig, Standard, TrafficKind,
-};
+use crate::scenario::{ChannelChange, ClassReport, LossConfig, RunResult, ScenarioConfig, Standard};
 use crate::supervisor::{FlowSupervisor, HealthSignal, SupervisorAction, SupervisorConfig};
+use crate::traffic::{ShortFlowConfig, TrafficClass, TrafficModel};
 use crate::wired::WiredLink;
 
 const AP: StationId = StationId(0);
@@ -199,6 +201,34 @@ struct Endpoint {
     est_bad_windows: u32,
 }
 
+impl Endpoint {
+    fn new(
+        tuple: FiveTuple,
+        station: Option<StationId>,
+        flow: usize,
+        is_sender: bool,
+        budget: SendBudget,
+        tcp_cfg: TcpConfig,
+        iss: u32,
+    ) -> Endpoint {
+        Endpoint {
+            conn: None,
+            station,
+            tuple,
+            flow,
+            is_sender,
+            budget,
+            tcp_cfg,
+            iss,
+            delivered_recorded: 0,
+            timeouts_seen: 0,
+            timer_at: None,
+            est_win: None,
+            est_bad_windows: 0,
+        }
+    }
+}
+
 enum Event {
     FlowStart(usize),
     MacTimer(StationId, TimerKind, TimerToken<(u32, TimerKind)>),
@@ -238,11 +268,22 @@ enum Event {
         flow: usize,
         token: u32,
     },
+    /// A short-flow think gap elapsed: begin the flow's next transfer
+    /// (reusing the connection or opening a fresh one per its model).
+    FlowRestart(usize),
+    /// Emit the next paced UDP datagram for a CBR/on-off flow; stale
+    /// tokens (from a superseded on-period) are dropped.
+    PaceTick {
+        flow: usize,
+        token: u32,
+    },
+    /// Flip an on/off source between its on and off periods.
+    PaceToggle(usize),
 }
 
 #[cfg(feature = "evprof")]
 impl Event {
-    const KIND_NAMES: [&'static str; 13] = [
+    const KIND_NAMES: [&'static str; 16] = [
         "FlowStart",
         "MacTimer",
         "TxEnd",
@@ -256,6 +297,9 @@ impl Event {
         "MobilityTick",
         "RoamCmd",
         "RoamStep",
+        "FlowRestart",
+        "PaceTick",
+        "PaceToggle",
     ];
 
     fn kind_index(&self) -> usize {
@@ -273,7 +317,89 @@ impl Event {
             Event::MobilityTick => 10,
             Event::RoamCmd(_) => 11,
             Event::RoamStep { .. } => 12,
+            Event::FlowRestart(_) => 13,
+            Event::PaceTick { .. } => 14,
+            Event::PaceToggle(_) => 15,
         }
+    }
+}
+
+/// Mid-run state of one short-flow ([`TrafficModel::ShortFlows`]) flow.
+struct ShortState {
+    cfg: ShortFlowConfig,
+    /// Cumulative receiver-delivered byte count that ends the current
+    /// transfer (each new transfer adds its drawn size).
+    target: u64,
+    /// Is a transfer in flight right now (vs. sitting in a think gap)?
+    in_transfer: bool,
+    /// Start instant of the in-flight transfer, for FCT.
+    started: SimTime,
+    /// Connection generation (no-reuse mode re-keys ports and ISS per
+    /// transfer so every generation is a distinct five-tuple).
+    generation: u32,
+}
+
+/// Mid-run state of one paced-UDP (CBR / on-off) flow.
+struct PaceState {
+    /// Inter-packet gap at the configured rate.
+    interval: SimDuration,
+    payload: u32,
+    /// Currently in an on-period? (CBR sources are always on.)
+    on: bool,
+    /// Per-flow IP ident counter — doubles as the packet sequence
+    /// number for one-way latency bookkeeping.
+    ident: u16,
+    /// Stale-token guard for [`Event::PaceTick`]: bumped at each
+    /// on-period start so a superseded tick chain dies quietly.
+    tick_token: u32,
+    /// Send timestamps of in-flight datagrams, keyed by ident.
+    sent_at: HashMap<u16, SimTime>,
+    /// Send order, so lost datagrams age out of `sent_at` (bounded).
+    order: VecDeque<u16>,
+    /// Previous delivered datagram's one-way latency (ns), for jitter.
+    last_latency: Option<u64>,
+}
+
+impl PaceState {
+    fn new(payload_bytes: u32, rate_kbps: u64, on: bool) -> PaceState {
+        // payload_bytes * 8 bits at rate_kbps kilobits/s, in ns.
+        let ns = (u64::from(payload_bytes) * 8_000_000 / rate_kbps.max(1)).max(1);
+        PaceState {
+            interval: SimDuration::from_nanos(ns),
+            // Clamp to one MTU-sized MSDU payload.
+            payload: payload_bytes.clamp(1, 1472),
+            on,
+            ident: 0,
+            tick_token: 0,
+            sent_at: HashMap::new(),
+            order: VecDeque::new(),
+            last_latency: None,
+        }
+    }
+}
+
+/// Per-flow runtime state: which traffic model drives the flow, where
+/// its endpoints live in `World::endpoints`, and the model-specific
+/// machinery (short-flow restarts, UDP pacing).
+struct FlowRt {
+    model: TrafficModel,
+    /// First index of this flow's endpoints in `World::endpoints`.
+    ep_base: usize,
+    /// Endpoint count: 2 (bulk/short), 4 (bidirectional), 0 (UDP-class).
+    ep_count: usize,
+    /// Completion instant, for byte-budgeted (bulk/bidirectional) flows
+    /// that have delivered `cfg.transfer_bytes` on every receiver.
+    done_at: Option<SimTime>,
+    /// Per-flow traffic randomness, forked off the world seed (only for
+    /// models that draw: short flows and on/off sources).
+    rng: Option<SimRng>,
+    short: Option<ShortState>,
+    pace: Option<PaceState>,
+}
+
+impl FlowRt {
+    fn ep_range(&self) -> std::ops::Range<usize> {
+        self.ep_base..self.ep_base + self.ep_count
     }
 }
 
@@ -325,6 +451,18 @@ pub struct World {
     ip_to_flow: HashMap<Ipv4Addr, usize>,
     meters: Vec<ThroughputMeter>,
     flow_start_at: Vec<SimTime>,
+    /// Per-flow traffic runtime (model, endpoint range, restart/pacing
+    /// state). Indexed by flow.
+    flows: Vec<FlowRt>,
+    /// Per-class flow-completion-time sketch (ns samples), indexed by
+    /// [`TrafficClass::code`].
+    class_fct: Vec<QuantileSketch>,
+    /// Per-class one-way datagram latency sketch (paced-UDP classes).
+    class_latency: Vec<QuantileSketch>,
+    /// Per-class latency-delta (jitter) sketch (paced-UDP classes).
+    class_jitter: Vec<QuantileSketch>,
+    /// Completed transfers per class (short flows count every transfer).
+    class_transfers: Vec<u64>,
     rng: SimRng,
     end: SimTime,
     ap_queue_drops: u64,
@@ -342,9 +480,9 @@ pub struct World {
 /// behind every entry point.
 ///
 /// ```no_run
-/// use hack_core::{HackMode, ScenarioConfig, SupervisorConfig, World};
+/// use hack_core::{HackMode, ScenarioBuilder, SupervisorConfig, World};
 ///
-/// let cfg = ScenarioConfig::dot11n_download(150, 1, HackMode::MoreData);
+/// let cfg = ScenarioBuilder::dot11n_download(150, 1, HackMode::MoreData).build();
 /// let result = World::builder(cfg)
 ///     .supervisor(SupervisorConfig::default())
 ///     .build()
@@ -554,8 +692,9 @@ impl World {
                 d
             })
             .collect();
-        let supervised =
-            cfg.supervisor.is_some() && hack_on && cfg.traffic != TrafficKind::UdpDownload;
+        let supervised = cfg.supervisor.is_some()
+            && hack_on
+            && (0..n).any(|i| cfg.model_of(i).is_tcp());
         for i in 0..n {
             let c = layout.client(i);
             let ap = layout.ap_of_flow(i);
@@ -595,80 +734,188 @@ impl World {
             cc: cfg.cc,
             ..TcpConfig::default()
         };
-        if cfg.traffic != TrafficKind::UdpDownload {
-            for i in 0..n {
-                let client_tuple = FiveTuple {
-                    src_ip: layout.client_ip(i),
-                    dst_ip: SERVER_IP,
-                    src_port: 40_000 + i as u16,
-                    dst_port: 5_001 + i as u16,
-                    protocol: 6,
-                };
-                let upload = cfg.traffic == TrafficKind::TcpUpload;
-                let budget = match cfg.transfer_bytes {
-                    Some(b) => SendBudget::Bytes(b),
-                    None => SendBudget::Unlimited,
-                };
-                // Wireless-client endpoint (always the TCP initiator).
-                let ep_client = Endpoint {
-                    conn: None,
-                    station: Some(layout.client(i)),
-                    tuple: client_tuple,
-                    flow: i,
-                    is_sender: upload,
-                    budget: if upload { budget } else { SendBudget::None },
-                    tcp_cfg: tcp_cfg.clone(),
-                    iss: 10_000 + i as u32 * 101,
-                    delivered_recorded: 0,
-                    timeouts_seen: 0,
-                    timer_at: None,
-                    est_win: None,
-                    est_bad_windows: 0,
-                };
-                // Server endpoint (wired, or on the flow's AP itself).
-                let mut server_conn = Connection::server(
-                    tcp_cfg.clone(),
-                    client_tuple.reversed(),
-                    90_000 + i as u32 * 103,
-                );
-                server_conn.set_budget(if upload { SendBudget::None } else { budget });
-                server_conn.set_trace(
-                    trace.clone(),
-                    if cfg.server_at_ap {
-                        layout.ap_of_flow(i).0
-                    } else {
-                        u32::MAX
-                    },
-                );
-                let ep_server = Endpoint {
-                    conn: Some(server_conn),
-                    station: cfg.server_at_ap.then(|| layout.ap_of_flow(i)),
-                    tuple: client_tuple.reversed(),
-                    flow: i,
-                    is_sender: !upload,
-                    budget: SendBudget::None, // already set on conn
-                    tcp_cfg: tcp_cfg.clone(),
-                    iss: 0,
-                    delivered_recorded: 0,
-                    timeouts_seen: 0,
-                    timer_at: None,
-                    est_win: None,
-                    est_bad_windows: 0,
-                };
-                let ci = endpoints.len();
-                ep_by_tuple.insert(ep_client.tuple, ci);
-                endpoints.push(ep_client);
-                let si = endpoints.len();
-                ep_by_tuple.insert(ep_server.tuple, si);
-                endpoints.push(ep_server);
-                meters.push(ThroughputMeter::new());
-                flow_start_at.push(base_start + cfg.stagger * i as u64);
+        // One client/server endpoint pair per TCP direction. `upload`
+        // marks the wireless client (always the TCP initiator) as the
+        // data sender for the pair.
+        #[allow(clippy::too_many_arguments)]
+        fn push_pair(
+            endpoints: &mut Vec<Endpoint>,
+            ep_by_tuple: &mut HashMap<FiveTuple, usize>,
+            trace: &TraceHandle,
+            tcp_cfg: &TcpConfig,
+            layout: &Layout,
+            server_at_ap: bool,
+            i: usize,
+            tuple: FiveTuple,
+            upload: bool,
+            client_budget: SendBudget,
+            server_budget: SendBudget,
+            client_iss: u32,
+            server_iss: u32,
+        ) {
+            // Wireless-client endpoint (always the TCP initiator).
+            let ep_client = Endpoint::new(
+                tuple,
+                Some(layout.client(i)),
+                i,
+                upload,
+                client_budget,
+                tcp_cfg.clone(),
+                client_iss,
+            );
+            // Server endpoint (wired, or on the flow's AP itself).
+            let mut server_conn = Connection::server(tcp_cfg.clone(), tuple.reversed(), server_iss);
+            server_conn.set_budget(server_budget);
+            server_conn.set_trace(
+                trace.clone(),
+                if server_at_ap {
+                    layout.ap_of_flow(i).0
+                } else {
+                    u32::MAX
+                },
+            );
+            let mut ep_server = Endpoint::new(
+                tuple.reversed(),
+                server_at_ap.then(|| layout.ap_of_flow(i)),
+                i,
+                !upload,
+                SendBudget::None, // already set on conn
+                tcp_cfg.clone(),
+                0,
+            );
+            ep_server.conn = Some(server_conn);
+            let ci = endpoints.len();
+            ep_by_tuple.insert(ep_client.tuple, ci);
+            endpoints.push(ep_client);
+            let si = endpoints.len();
+            ep_by_tuple.insert(ep_server.tuple, si);
+            endpoints.push(ep_server);
+        }
+        let mut flows_rt: Vec<FlowRt> = Vec::with_capacity(n);
+        for i in 0..n {
+            let model = cfg.model_of(i);
+            let ep_base = endpoints.len();
+            let budget = match cfg.transfer_bytes {
+                Some(b) => SendBudget::Bytes(b),
+                None => SendBudget::Unlimited,
+            };
+            let primary = FiveTuple {
+                src_ip: layout.client_ip(i),
+                dst_ip: SERVER_IP,
+                src_port: 40_000 + i as u16,
+                dst_port: 5_001 + i as u16,
+                protocol: 6,
+            };
+            match model {
+                TrafficModel::BulkDownload | TrafficModel::BulkUpload => {
+                    let upload = matches!(model, TrafficModel::BulkUpload);
+                    push_pair(
+                        &mut endpoints,
+                        &mut ep_by_tuple,
+                        &trace,
+                        &tcp_cfg,
+                        &layout,
+                        cfg.server_at_ap,
+                        i,
+                        primary,
+                        upload,
+                        if upload { budget } else { SendBudget::None },
+                        if upload { SendBudget::None } else { budget },
+                        10_000 + i as u32 * 101,
+                        90_000 + i as u32 * 103,
+                    );
+                }
+                TrafficModel::ShortFlows(_) => {
+                    // Server is the responder/sender; its budget is armed
+                    // per transfer at flow (re)start.
+                    push_pair(
+                        &mut endpoints,
+                        &mut ep_by_tuple,
+                        &trace,
+                        &tcp_cfg,
+                        &layout,
+                        cfg.server_at_ap,
+                        i,
+                        primary,
+                        false,
+                        SendBudget::None,
+                        SendBudget::None,
+                        10_000 + i as u32 * 101,
+                        90_000 + i as u32 * 103,
+                    );
+                }
+                TrafficModel::Bidirectional => {
+                    // Download direction on the historical tuple plan…
+                    push_pair(
+                        &mut endpoints,
+                        &mut ep_by_tuple,
+                        &trace,
+                        &tcp_cfg,
+                        &layout,
+                        cfg.server_at_ap,
+                        i,
+                        primary,
+                        false,
+                        SendBudget::None,
+                        budget,
+                        10_000 + i as u32 * 101,
+                        90_000 + i as u32 * 103,
+                    );
+                    // …plus a second pair where the client is the data
+                    // sender, so both ends hold and compress ACKs.
+                    let up_tuple = FiveTuple {
+                        src_ip: layout.client_ip(i),
+                        dst_ip: SERVER_IP,
+                        src_port: 50_000 + i as u16,
+                        dst_port: 6_001 + i as u16,
+                        protocol: 6,
+                    };
+                    push_pair(
+                        &mut endpoints,
+                        &mut ep_by_tuple,
+                        &trace,
+                        &tcp_cfg,
+                        &layout,
+                        cfg.server_at_ap,
+                        i,
+                        up_tuple,
+                        true,
+                        budget,
+                        SendBudget::None,
+                        20_000 + i as u32 * 101,
+                        80_000 + i as u32 * 103,
+                    );
+                }
+                TrafficModel::UdpDownload | TrafficModel::Cbr(_) | TrafficModel::OnOff(_) => {}
             }
-        } else {
-            for i in 0..n {
-                meters.push(ThroughputMeter::new());
-                flow_start_at.push(base_start + cfg.stagger * i as u64);
-            }
+            meters.push(ThroughputMeter::new());
+            flow_start_at.push(base_start + cfg.stagger * i as u64);
+            let needs_rng =
+                matches!(model, TrafficModel::ShortFlows(_) | TrafficModel::OnOff(_));
+            flows_rt.push(FlowRt {
+                model,
+                ep_base,
+                ep_count: endpoints.len() - ep_base,
+                done_at: None,
+                rng: needs_rng.then(|| rng.fork(0x7AFF_0000 + i as u64)),
+                short: match model {
+                    TrafficModel::ShortFlows(c) => Some(ShortState {
+                        cfg: c,
+                        target: 0,
+                        in_transfer: false,
+                        started: SimTime::ZERO,
+                        generation: 0,
+                    }),
+                    _ => None,
+                },
+                pace: match model {
+                    TrafficModel::Cbr(c) => Some(PaceState::new(c.payload_bytes, c.rate_kbps, true)),
+                    TrafficModel::OnOff(o) => {
+                        Some(PaceState::new(o.payload_bytes, o.rate_kbps, false))
+                    }
+                    _ => None,
+                },
+            });
         }
 
         let end = SimTime::ZERO + cfg.duration;
@@ -694,6 +941,11 @@ impl World {
             ip_to_flow,
             meters,
             flow_start_at: flow_start_at.clone(),
+            flows: flows_rt,
+            class_fct: vec![QuantileSketch::default(); TrafficClass::ALL.len()],
+            class_latency: vec![QuantileSketch::default(); TrafficClass::ALL.len()],
+            class_jitter: vec![QuantileSketch::default(); TrafficClass::ALL.len()],
+            class_transfers: vec![0; TrafficClass::ALL.len()],
             rng: rng.fork(0xF00D),
             end,
             ap_queue_drops: 0,
@@ -776,7 +1028,7 @@ impl World {
     /// Run to completion and collect results.
     pub fn run(mut self) -> RunResult {
         #[cfg(feature = "evprof")]
-        let mut prof = [(0u64, 0u64); 13];
+        let mut prof = [(0u64, 0u64); 16];
         while let Some(at) = self.sched.peek_time() {
             if at > self.end {
                 break;
@@ -985,6 +1237,9 @@ impl World {
                 self.start_roam(flow, target, now);
             }
             Event::RoamStep { flow, token } => self.on_roam_step(flow, token, now),
+            Event::FlowRestart(flow) => self.on_flow_restart(flow, now),
+            Event::PaceTick { flow, token } => self.on_pace_tick(flow, token, now),
+            Event::PaceToggle(flow) => self.on_pace_toggle(flow, now),
         }
     }
 
@@ -1155,10 +1410,9 @@ impl World {
         //    against a stale context across a handoff is never legal, so
         //    every party forgets the flow and the first post-roam native
         //    ACK re-seeds from scratch.
-        if let Some(ep) = self.endpoints.get(flow * 2) {
-            let fwd = ep.tuple;
+        let new_ap = self.layout.cells[target].ap;
+        for fwd in self.client_tuples(flow) {
             let rev = fwd.reversed();
-            let new_ap = self.layout.cells[target].ap;
             for key in [(client.0, old_ap.0), (old_ap.0, client.0)] {
                 if let Some(side) = self.compress.get_mut(&key) {
                     side.drop_context(&fwd);
@@ -1209,7 +1463,7 @@ impl World {
             );
         }
         let shift = self.cfg.roam.rto_clamp_shift;
-        for ep in [flow * 2, flow * 2 + 1] {
+        for ep in self.flows[flow].ep_range() {
             if let Some(conn) = self.endpoints.get_mut(ep).and_then(|e| e.conn.as_mut()) {
                 conn.clamp_rto_backoff(shift);
             }
@@ -1348,7 +1602,7 @@ impl World {
             let acts = self.supervisors[flow].on_reassociated(negotiated, now);
             self.apply_supervisor(flow, acts, now);
         }
-        for ep in [flow * 2, flow * 2 + 1] {
+        for ep in self.flows[flow].ep_range() {
             if let Some(conn) = self.endpoints.get_mut(ep).and_then(|e| e.conn.as_mut()) {
                 conn.unclamp_rto_backoff();
             }
@@ -1372,11 +1626,26 @@ impl World {
             self.layout.client(flow).0,
             hack_trace::Event::SimFlowStart { flow: flow as u32 }
         );
-        if self.cfg.traffic == TrafficKind::UdpDownload {
-            self.top_up_udp(flow, now);
-            return;
+        match self.flows[flow].model {
+            TrafficModel::UdpDownload => self.top_up_udp(flow, now),
+            TrafficModel::Cbr(_) => self.pace_on(flow, now),
+            TrafficModel::OnOff(_) => self.on_pace_toggle(flow, now),
+            TrafficModel::ShortFlows(_) => self.start_short_transfer(flow, true, now),
+            TrafficModel::BulkDownload | TrafficModel::BulkUpload => {
+                self.open_initiator(self.flows[flow].ep_base, now);
+            }
+            TrafficModel::Bidirectional => {
+                let base = self.flows[flow].ep_base;
+                self.open_initiator(base, now);
+                self.open_initiator(base + 2, now);
+            }
         }
-        let ep = flow * 2; // client endpoint index
+    }
+
+    /// Open the client-side (initiator) connection at endpoint `ep` and
+    /// route its SYN.
+    fn open_initiator(&mut self, ep: usize, now: SimTime) {
+        let flow = self.endpoints[ep].flow;
         let (conn, pkts) = Connection::client(
             self.endpoints[ep].tcp_cfg.clone(),
             self.endpoints[ep].tuple,
@@ -1389,6 +1658,293 @@ impl World {
         self.endpoints[ep].conn = Some(conn);
         self.route_out(ep, pkts, now);
         self.resched_tcp(ep, now);
+    }
+
+    // ------------------------------------------------------------------
+    // Short-flow lifecycle
+    // ------------------------------------------------------------------
+
+    /// Begin a short-flow transfer. `first` opens the initial
+    /// connection; later transfers either reuse it (persistent mode) or
+    /// re-key onto a fresh five-tuple.
+    fn start_short_transfer(&mut self, flow: usize, first: bool, now: SimTime) {
+        let base = self.flows[flow].ep_base;
+        let server = base + 1;
+        let (size, reuse) = {
+            let f = &mut self.flows[flow];
+            let cfg = f.short.as_ref().expect("short state").cfg;
+            let rng = f.rng.as_mut().expect("short flows draw");
+            (cfg.sizes.sample(rng), cfg.reuse)
+        };
+        if first {
+            // Arm the server with the first response, then open the
+            // client connection whose SYN starts the exchange.
+            {
+                let conn = self.endpoints[server].conn.as_mut().expect("server conn");
+                conn.set_budget(SendBudget::Bytes(size));
+            }
+            let st = self.flows[flow].short.as_mut().expect("short state");
+            st.target = size;
+            st.in_transfer = true;
+            st.started = now;
+            self.open_initiator(base, now);
+        } else if reuse {
+            // Persistent connection: extend the server's cumulative
+            // budget and kick its send path.
+            let (total, outputs) = {
+                let conn = self.endpoints[server].conn.as_mut().expect("server conn");
+                let total = conn.extend_budget(size);
+                (total, conn.poll_send(now))
+            };
+            let st = self.flows[flow].short.as_mut().expect("short state");
+            st.target = total;
+            st.in_transfer = true;
+            st.started = now;
+            self.route_out(server, outputs, now);
+            self.resched_tcp(server, now);
+        } else {
+            self.reopen_short(flow, size, now);
+        }
+        // A degenerate (zero-byte) target is satisfied the moment it is
+        // armed: no packet will ever arrive to drive the progress check,
+        // so run it eagerly or the flow wedges with `in_transfer` set.
+        self.check_short_progress(flow, now);
+    }
+
+    /// Re-key a short flow onto a fresh five-tuple (no-reuse mode): the
+    /// previous connection pair, its timers, its routing entries, and
+    /// its ROHC contexts all go away; the next transfer starts with a
+    /// brand-new handshake and fresh ISNs.
+    fn reopen_short(&mut self, flow: usize, size: u64, now: SimTime) {
+        let base = self.flows[flow].ep_base;
+        let server = base + 1;
+        let client_sid = self.layout.client(flow);
+        let cur_ap = self.cur_ap_of_flow(flow);
+        let old = self.endpoints[base].tuple;
+        let old_rev = old.reversed();
+        self.ep_by_tuple.remove(&old);
+        self.ep_by_tuple.remove(&old_rev);
+        for ep in [base, server] {
+            self.endpoints[ep].timer_at = None;
+            self.tcp_timers.cancel(ep as u32);
+        }
+        for key in [(client_sid.0, cur_ap.0), (cur_ap.0, client_sid.0)] {
+            if let Some(side) = self.compress.get_mut(&key) {
+                side.drop_context(&old);
+                side.drop_context(&old_rev);
+            }
+        }
+        for sid in [client_sid.0 as usize, cur_ap.0 as usize] {
+            self.decompress[sid].drop_context(&old);
+            self.decompress[sid].drop_context(&old_rev);
+        }
+        let generation = {
+            let st = self.flows[flow].short.as_mut().expect("short state");
+            st.generation += 1;
+            st.generation
+        };
+        // Same client IP and server port (they identify the flow); a
+        // per-generation source port keeps every five-tuple distinct.
+        let tuple = FiveTuple {
+            src_port: 40_000u16
+                .wrapping_add(flow as u16)
+                .wrapping_add((generation as u16).wrapping_mul(613)),
+            ..old
+        };
+        let iss_c = (10_000 + flow as u32 * 101).wrapping_add(generation.wrapping_mul(1009));
+        let iss_s = (90_000 + flow as u32 * 103).wrapping_add(generation.wrapping_mul(1013));
+        {
+            let e = &mut self.endpoints[base];
+            e.tuple = tuple;
+            e.iss = iss_c;
+            e.conn = None;
+            e.delivered_recorded = 0;
+            e.timeouts_seen = 0;
+            e.est_win = None;
+            e.est_bad_windows = 0;
+        }
+        let mut server_conn =
+            Connection::server(self.endpoints[server].tcp_cfg.clone(), tuple.reversed(), iss_s);
+        server_conn.set_budget(SendBudget::Bytes(size));
+        server_conn.set_trace(
+            self.trace.clone(),
+            if self.cfg.server_at_ap {
+                cur_ap.0
+            } else {
+                u32::MAX
+            },
+        );
+        {
+            let e = &mut self.endpoints[server];
+            e.tuple = tuple.reversed();
+            e.conn = Some(server_conn);
+            e.delivered_recorded = 0;
+            e.timeouts_seen = 0;
+        }
+        self.ep_by_tuple.insert(tuple, base);
+        self.ep_by_tuple.insert(tuple.reversed(), server);
+        {
+            let st = self.flows[flow].short.as_mut().expect("short state");
+            st.target = size;
+            st.in_transfer = true;
+            st.started = now;
+        }
+        self.open_initiator(base, now);
+    }
+
+    /// A short flow's receiver made progress: when the in-flight
+    /// transfer has fully arrived, log its FCT and schedule the next
+    /// one after a think gap.
+    fn check_short_progress(&mut self, flow: usize, now: SimTime) {
+        let base = self.flows[flow].ep_base;
+        let delivered = self.endpoints[base]
+            .conn
+            .as_ref()
+            .map_or(0, |c| c.bytes_delivered());
+        let fct_ns = {
+            let st = match self.flows[flow].short.as_mut() {
+                Some(s) => s,
+                None => return,
+            };
+            if !st.in_transfer || delivered < st.target {
+                return;
+            }
+            st.in_transfer = false;
+            now.saturating_duration_since(st.started).as_nanos()
+        };
+        let class = self.flows[flow].model.class().code() as usize;
+        self.class_fct[class].record(fct_ns);
+        self.class_transfers[class] += 1;
+        let gap = {
+            let f = &mut self.flows[flow];
+            let st = f.short.as_ref().expect("short state");
+            let rng = f.rng.as_mut().expect("short flows draw");
+            st.cfg.think.sample(rng)
+        };
+        let at = now + gap;
+        if at <= self.end {
+            self.sched.schedule_at(at, Event::FlowRestart(flow));
+        }
+    }
+
+    /// A short flow's think gap elapsed: begin the next transfer.
+    fn on_flow_restart(&mut self, flow: usize, now: SimTime) {
+        let idle = self.flows[flow]
+            .short
+            .as_ref()
+            .is_some_and(|st| !st.in_transfer);
+        if idle {
+            self.start_short_transfer(flow, false, now);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Paced UDP (CBR / on-off) sources
+    // ------------------------------------------------------------------
+
+    /// Begin (or resume) a paced on-period: bump the tick token and emit
+    /// the first datagram immediately.
+    fn pace_on(&mut self, flow: usize, now: SimTime) {
+        let token = {
+            let pace = self.flows[flow].pace.as_mut().expect("paced flow");
+            pace.on = true;
+            pace.tick_token = pace.tick_token.wrapping_add(1);
+            pace.tick_token
+        };
+        self.on_pace_tick(flow, token, now);
+    }
+
+    /// Emit one paced datagram and schedule the next tick.
+    fn on_pace_tick(&mut self, flow: usize, token: u32, now: SimTime) {
+        let (ident, payload, interval) = {
+            let Some(pace) = self.flows[flow].pace.as_mut() else {
+                return;
+            };
+            if pace.tick_token != token || !pace.on {
+                return;
+            }
+            pace.ident = pace.ident.wrapping_add(1);
+            pace.sent_at.insert(pace.ident, now);
+            pace.order.push_back(pace.ident);
+            // Bound the in-flight table: datagrams lost in the air never
+            // come back for their timestamp.
+            if pace.order.len() > 4096 {
+                if let Some(oldest) = pace.order.pop_front() {
+                    pace.sent_at.remove(&oldest);
+                }
+            }
+            (pace.ident, pace.payload, pace.interval)
+        };
+        let pkt = Ipv4Packet {
+            src: SERVER_IP,
+            dst: self.layout.client_ip(flow),
+            ident,
+            ttl: 64,
+            transport: Transport::Udp {
+                src_port: 5_002,
+                dst_port: 41_000 + flow as u16,
+                payload_len: payload,
+            },
+        };
+        let cell = self.cur_cell_of_flow(flow);
+        let arrive = self.wired[cell].send(true, &pkt, now);
+        self.sched.schedule_at(
+            arrive,
+            Event::WiredDeliver {
+                cell,
+                to_ap: true,
+                pkt,
+            },
+        );
+        let next = now + interval;
+        if next <= self.end {
+            self.sched.schedule_at(next, Event::PaceTick { flow, token });
+        }
+    }
+
+    /// Flip an on/off source between its periods (also primes the first
+    /// on-period at flow start).
+    fn on_pace_toggle(&mut self, flow: usize, now: SimTime) {
+        let TrafficModel::OnOff(o) = self.flows[flow].model else {
+            return;
+        };
+        let (turn_on, dur) = {
+            let f = &mut self.flows[flow];
+            let rng = f.rng.as_mut().expect("on/off draws");
+            let pace = f.pace.as_mut().expect("paced flow");
+            if pace.on {
+                pace.on = false;
+                (false, o.off.sample(rng))
+            } else {
+                (true, o.on.sample(rng))
+            }
+        };
+        if turn_on {
+            self.pace_on(flow, now);
+        }
+        let at = now + dur;
+        if at <= self.end {
+            self.sched.schedule_at(at, Event::PaceToggle(flow));
+        }
+    }
+
+    /// One paced datagram arrived at its client: account one-way latency
+    /// and jitter into the flow's class sketches.
+    fn note_pace_delivery(&mut self, flow: usize, ident: u16, now: SimTime) {
+        let class = self.flows[flow].model.class().code() as usize;
+        let Some(pace) = self.flows[flow].pace.as_mut() else {
+            return;
+        };
+        let Some(sent) = pace.sent_at.remove(&ident) else {
+            return;
+        };
+        let lat = now.saturating_duration_since(sent).as_nanos();
+        let jitter = pace.last_latency.map(|p| p.abs_diff(lat));
+        pace.last_latency = Some(lat);
+        self.class_latency[class].record(lat);
+        if let Some(j) = jitter {
+            self.class_jitter[class].record(j);
+        }
     }
 
     fn on_tx_end(&mut self, id: TxId, now: SimTime) {
@@ -1618,18 +2174,23 @@ impl World {
                             self.apply_driver(sid, from, dacts, now);
                         }
                     }
-                    // UDP source refill.
-                    if self.layout.is_ap(sid) && self.cfg.traffic == TrafficKind::UdpDownload {
+                    // UDP source refill (backlog-fed flows only — paced
+                    // sources keep their own clock).
+                    if self.layout.is_ap(sid) {
                         if let Some(flow) = self.flow_of_client(from) {
-                            self.top_up_udp(flow, now);
+                            if matches!(self.flows[flow].model, TrafficModel::UdpDownload) {
+                                self.top_up_udp(flow, now);
+                            }
                         }
                     }
                 }
                 Action::BarReceived { .. } => {}
                 Action::MsduDropped { dst, .. } => {
-                    if self.layout.is_ap(sid) && self.cfg.traffic == TrafficKind::UdpDownload {
+                    if self.layout.is_ap(sid) {
                         if let Some(flow) = self.flow_of_client(dst) {
-                            self.top_up_udp(flow, now);
+                            if matches!(self.flows[flow].model, TrafficModel::UdpDownload) {
+                                self.top_up_udp(flow, now);
+                            }
                         }
                     }
                 }
@@ -1788,20 +2349,18 @@ impl World {
                     // (both orientations — downloads ACK on the client
                     // tuple, uploads on its reverse) so the next native
                     // ACK re-seeds them from scratch.
-                    let Some(ep) = self.endpoints.get(flow * 2) else {
-                        continue;
-                    };
-                    let fwd = ep.tuple;
-                    let rev = fwd.reversed();
-                    for key in [(client.0, ap.0), (ap.0, client.0)] {
-                        if let Some(side) = self.compress.get_mut(&key) {
-                            side.drop_context(&fwd);
-                            side.drop_context(&rev);
+                    for fwd in self.client_tuples(flow) {
+                        let rev = fwd.reversed();
+                        for key in [(client.0, ap.0), (ap.0, client.0)] {
+                            if let Some(side) = self.compress.get_mut(&key) {
+                                side.drop_context(&fwd);
+                                side.drop_context(&rev);
+                            }
                         }
-                    }
-                    for sid in [client.0 as usize, ap.0 as usize] {
-                        self.decompress[sid].drop_context(&fwd);
-                        self.decompress[sid].drop_context(&rev);
+                        for sid in [client.0 as usize, ap.0 as usize] {
+                            self.decompress[sid].drop_context(&fwd);
+                            self.decompress[sid].drop_context(&rev);
+                        }
                     }
                 }
                 SupervisorAction::ScheduleProbe(at) => {
@@ -1912,12 +2471,11 @@ impl World {
 
     /// Hand `pkt` to its destination endpoint (server or local stack).
     fn deliver_to_endpoint(&mut self, pkt: Ipv4Packet, now: SimTime) {
-        if self.cfg.traffic == TrafficKind::UdpDownload {
-            // UDP sink: record goodput directly.
-            if let Transport::Udp { payload_len, .. } = pkt.transport {
-                if let Some(flow) = self.flow_of_client_ip(pkt.dst) {
-                    self.meters[flow].record(now, u64::from(payload_len));
-                }
+        if let Transport::Udp { payload_len, .. } = pkt.transport {
+            // UDP sink: record goodput (and pacing latency) directly.
+            if let Some(flow) = self.flow_of_client_ip(pkt.dst) {
+                self.meters[flow].record(now, u64::from(payload_len));
+                self.note_pace_delivery(flow, pkt.ident, now);
             }
             return;
         }
@@ -1935,7 +2493,9 @@ impl World {
         self.record_delivery(ep, now);
         self.check_estimator(ep, now);
         self.resched_tcp(ep, now);
-        self.check_completion(now);
+        let flow = self.endpoints[ep].flow;
+        self.check_completion(flow, now);
+        self.check_short_progress(flow, now);
     }
 
     /// Send an endpoint's outbound packets toward the peer.
@@ -2030,6 +2590,17 @@ impl World {
 
     fn flow_of_client_ip(&self, ip: Ipv4Addr) -> Option<usize> {
         self.ip_to_flow.get(&ip).copied()
+    }
+
+    /// Five-tuples of `flow`'s client-side endpoints (the TCP
+    /// initiators), one per direction pair. Empty for UDP-class flows.
+    fn client_tuples(&self, flow: usize) -> Vec<FiveTuple> {
+        let client = self.layout.client(flow);
+        self.flows[flow]
+            .ep_range()
+            .filter(|&e| self.endpoints[e].station == Some(client))
+            .map(|e| self.endpoints[e].tuple)
+            .collect()
     }
 
     fn top_up_udp(&mut self, flow: usize, now: SimTime) {
@@ -2145,22 +2716,41 @@ impl World {
         }
     }
 
-    fn check_completion(&mut self, now: SimTime) {
+    /// Is this model's transfer bounded by `cfg.transfer_bytes`?
+    fn budgeted(model: TrafficModel) -> bool {
+        matches!(
+            model,
+            TrafficModel::BulkDownload | TrafficModel::BulkUpload | TrafficModel::Bidirectional
+        )
+    }
+
+    fn check_completion(&mut self, flow: usize, now: SimTime) {
         let Some(target) = self.cfg.transfer_bytes else {
             return;
         };
-        let done = (0..self.cfg.n_clients).all(|flow| {
-            let receiver = if self.cfg.traffic == TrafficKind::TcpUpload {
-                flow * 2 + 1
-            } else {
-                flow * 2
-            };
-            self.endpoints[receiver]
-                .conn
-                .as_ref()
-                .is_some_and(|c| c.bytes_delivered() >= target)
-        });
-        if done {
+        if Self::budgeted(self.flows[flow].model) && self.flows[flow].done_at.is_none() {
+            let range = self.flows[flow].ep_range();
+            let done = range.filter(|&e| !self.endpoints[e].is_sender).all(|e| {
+                self.endpoints[e]
+                    .conn
+                    .as_ref()
+                    .is_some_and(|c| c.bytes_delivered() >= target)
+            });
+            if done {
+                self.flows[flow].done_at = Some(now);
+                let fct = now.saturating_duration_since(self.flow_start_at[flow]);
+                let class = self.flows[flow].model.class().code() as usize;
+                self.class_fct[class].record(fct.as_nanos());
+                self.class_transfers[class] += 1;
+            }
+        }
+        // The run ends early only when every flow is byte-budgeted and
+        // every one has finished (the historical all-bulk semantics).
+        let all_done = self
+            .flows
+            .iter()
+            .all(|f| Self::budgeted(f.model) && f.done_at.is_some());
+        if all_done {
             self.completion = Some(now);
         }
     }
@@ -2201,14 +2791,19 @@ impl World {
 
         let mac: Vec<_> = self.stations.iter().map(|s| s.stats().clone()).collect();
         let mut driver = Vec::new();
+        let mut driver_ap = Vec::new();
         let mut compressor = Vec::new();
         for i in 0..n {
             // Roam-aware: the flow's driver is keyed to whichever AP it
             // ended the run associated with.
-            let key = (self.layout.client(i).0, self.cur_ap_of_flow(i).0);
-            let side = &self.compress[&key];
+            let client = self.layout.client(i).0;
+            let ap = self.cur_ap_of_flow(i).0;
+            let side = &self.compress[&(client, ap)];
             driver.push(side.stats().clone());
             compressor.push(side.compressor_stats().clone());
+            // The AP-side driver of the same association — the holder of
+            // upload/bidirectional reverse-path ACKs.
+            driver_ap.push(self.compress[&(ap, client)].stats().clone());
         }
         let within: u64 = mac.iter().map(|m| m.blob_within_aifs.get()).sum();
         let beyond: u64 = mac.iter().map(|m| m.blob_beyond_aifs.get()).sum();
@@ -2220,38 +2815,56 @@ impl World {
 
         let mut sender_tcp = Vec::new();
         let mut receiver_tcp = Vec::new();
-        if self.cfg.traffic != TrafficKind::UdpDownload {
+        if !self.endpoints.is_empty() {
+            // Per-flow primary-direction TCP stats: the first sender /
+            // receiver endpoint of the flow's range (defaults for
+            // endpoint-less UDP-class flows in mixed worlds).
             for flow in 0..n {
-                let (s, r) = if self.cfg.traffic == TrafficKind::TcpUpload {
-                    (flow * 2, flow * 2 + 1)
-                } else {
-                    (flow * 2 + 1, flow * 2)
+                let stats_of = |sender: bool| {
+                    self.flows[flow]
+                        .ep_range()
+                        .find(|&e| self.endpoints[e].is_sender == sender)
+                        .and_then(|e| self.endpoints[e].conn.as_ref())
+                        .map(|c| c.stats().clone())
+                        .unwrap_or_default()
                 };
-                sender_tcp.push(
-                    self.endpoints[s]
-                        .conn
-                        .as_ref()
-                        .map(|c| c.stats().clone())
-                        .unwrap_or_default(),
-                );
-                receiver_tcp.push(
-                    self.endpoints[r]
-                        .conn
-                        .as_ref()
-                        .map(|c| c.stats().clone())
-                        .unwrap_or_default(),
-                );
+                sender_tcp.push(stats_of(true));
+                receiver_tcp.push(stats_of(false));
             }
         }
+
+        let mut classes = Vec::new();
+        for class in TrafficClass::ALL {
+            let idx: Vec<usize> = (0..n)
+                .filter(|&i| self.flows[i].model.class() == class)
+                .collect();
+            if idx.is_empty() {
+                continue;
+            }
+            let c = class.code() as usize;
+            classes.push(ClassReport {
+                class,
+                flows: idx.len(),
+                transfers: self.class_transfers[c],
+                goodput_mbps: idx.iter().map(|&i| flow_goodput_mbps[i]).sum(),
+                fct: self.class_fct[c].clone(),
+                latency: self.class_latency[c].clone(),
+                jitter: self.class_jitter[c].clone(),
+            });
+        }
+        let flow_completion: Vec<Option<SimTime>> =
+            self.flows.iter().map(|f| f.done_at).collect();
 
         RunResult {
             events_dispatched: self.sched.dispatched(),
             aggregate_goodput_mbps: flow_goodput_mbps.iter().sum(),
             flow_goodput_mbps,
             flow_goodput_full_mbps,
-            completion: self.completion,
+            flow_completion,
+            classes,
             mac,
             driver,
+            driver_ap,
             compressor,
             decompressor: {
                 // Aggregate across every AP's decompressor (the single

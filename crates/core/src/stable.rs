@@ -25,12 +25,25 @@ use hack_sim::SimDuration;
 use crate::driver::HackMode;
 use crate::scenario::{ChannelChange, LossConfig, ScenarioConfig, Standard, TrafficKind};
 use crate::supervisor::SupervisorConfig;
+use crate::traffic::{ArrivalDist, SizeDist, TrafficModel};
 use hack_sim::QueueKind;
 
 /// Version of the canonical [`ScenarioConfig`] encoding. Bump whenever
 /// the struct (or the meaning of a field) changes so stale cache
 /// entries can never alias a new configuration.
-pub const CONFIG_ENCODING_VERSION: u32 = 4;
+///
+/// Version 5 added the traffic-model layer. Configurations whose
+/// every flow is expressible as a legacy [`TrafficKind`] (the only
+/// configurations that could exist before v5) still encode under
+/// [`LEGACY_ENCODING_VERSION`] with the old one-byte traffic tag, so
+/// their hashes — and therefore the campaign cache keys and pinned
+/// digest names — are byte-identical to pre-model builds.
+pub const CONFIG_ENCODING_VERSION: u32 = 5;
+
+/// The pre-traffic-model encoding version still used for
+/// legacy-expressible configurations (see
+/// [`CONFIG_ENCODING_VERSION`]).
+pub const LEGACY_ENCODING_VERSION: u32 = 4;
 
 /// Streaming FNV-1a over 128 bits — small, dependency-free, and stable
 /// by construction (the offset basis and prime are spelled out by the
@@ -204,6 +217,72 @@ fn hash_roam(h: &mut StableHasher, r: &crate::scenario::RoamConfig) {
     h.usize(r.park_cap);
 }
 
+fn hash_size_dist(h: &mut StableHasher, d: &SizeDist) {
+    match *d {
+        SizeDist::Fixed(n) => {
+            h.u8(0);
+            h.u64(n);
+        }
+        SizeDist::BoundedPareto { alpha, min, max } => {
+            h.u8(1);
+            h.f64(alpha);
+            h.u64(min);
+            h.u64(max);
+        }
+        SizeDist::LogNormal { mu, sigma, max } => {
+            h.u8(2);
+            h.f64(mu);
+            h.f64(sigma);
+            h.u64(max);
+        }
+    }
+}
+
+fn hash_arrival(h: &mut StableHasher, d: &ArrivalDist) {
+    match *d {
+        ArrivalDist::Fixed(gap) => {
+            h.u8(0);
+            h.duration(gap);
+        }
+        ArrivalDist::Exponential { mean } => {
+            h.u8(1);
+            h.duration(mean);
+        }
+        ArrivalDist::Uniform { lo, hi } => {
+            h.u8(2);
+            h.duration(lo);
+            h.duration(hi);
+        }
+    }
+}
+
+fn hash_model(h: &mut StableHasher, m: &TrafficModel) {
+    match m {
+        TrafficModel::BulkDownload => h.u8(0),
+        TrafficModel::BulkUpload => h.u8(1),
+        TrafficModel::UdpDownload => h.u8(2),
+        TrafficModel::ShortFlows(s) => {
+            h.u8(3);
+            hash_size_dist(h, &s.sizes);
+            hash_arrival(h, &s.think);
+            h.bool(s.reuse);
+        }
+        TrafficModel::Bidirectional => h.u8(4),
+        TrafficModel::Cbr(c) => {
+            h.u8(5);
+            h.u64(c.rate_kbps);
+            h.u32(c.payload_bytes);
+        }
+        TrafficModel::OnOff(o) => {
+            h.u8(6);
+            hash_arrival(h, &o.on);
+            hash_arrival(h, &o.off);
+            h.u64(o.rate_kbps);
+            h.u32(o.payload_bytes);
+        }
+    }
+}
+
 fn hash_supervisor(h: &mut StableHasher, s: &SupervisorConfig) {
     h.u32(s.degrade_score);
     h.u32(s.fallback_score);
@@ -233,7 +312,16 @@ impl ScenarioConfig {
 
     /// Feed the canonical field encoding into an existing hasher.
     pub fn stable_hash_into(&self, h: &mut StableHasher) {
-        h.u32(CONFIG_ENCODING_VERSION);
+        // Legacy-expressible configs (every flow a TrafficKind, no
+        // mix) are exactly the configs that predate the traffic-model
+        // layer: they keep the v4 encoding byte-for-byte so cache
+        // keys and pinned digest names survive the API redesign.
+        let legacy = self.legacy_traffic();
+        h.u32(if legacy.is_some() {
+            LEGACY_ENCODING_VERSION
+        } else {
+            CONFIG_ENCODING_VERSION
+        });
         match self.standard {
             Standard::Dot11a { rate_mbps } => {
                 h.u8(0);
@@ -254,11 +342,20 @@ impl ScenarioConfig {
                 h.duration(d);
             }
         }
-        h.u8(match self.traffic {
-            TrafficKind::TcpDownload => 0,
-            TrafficKind::TcpUpload => 1,
-            TrafficKind::UdpDownload => 2,
-        });
+        match legacy {
+            Some(kind) => h.u8(match kind {
+                TrafficKind::TcpDownload => 0,
+                TrafficKind::TcpUpload => 1,
+                TrafficKind::UdpDownload => 2,
+            }),
+            None => {
+                hash_model(h, &self.traffic);
+                h.usize(self.traffic_mix.len());
+                for m in &self.traffic_mix {
+                    hash_model(h, m);
+                }
+            }
+        }
         h.bool(self.delayed_ack);
         h.bool(self.server_at_ap);
         h.usize(self.ap_queue_cap);
@@ -344,6 +441,8 @@ impl ScenarioConfig {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::scenario::ScenarioBuilder;
+    use crate::traffic::{CbrConfig, ShortFlowConfig};
 
     #[test]
     fn fnv_vectors() {
@@ -364,8 +463,8 @@ mod tests {
 
     #[test]
     fn hash_is_stable_and_field_sensitive() {
-        let a = ScenarioConfig::dot11n_download(150, 2, HackMode::MoreData);
-        let b = ScenarioConfig::dot11n_download(150, 2, HackMode::MoreData);
+        let a = ScenarioBuilder::dot11n_download(150, 2, HackMode::MoreData).build();
+        let b = ScenarioBuilder::dot11n_download(150, 2, HackMode::MoreData).build();
         assert_eq!(a.stable_hash(), b.stable_hash());
         assert_eq!(a.stable_hash_hex().len(), 32);
 
@@ -413,10 +512,115 @@ mod tests {
 
     #[test]
     fn hash_distinguishes_adjacent_variants() {
-        let mut a = ScenarioConfig::dot11n_download(150, 1, HackMode::Disabled);
+        let mut a = ScenarioBuilder::dot11n_download(150, 1, HackMode::Disabled).build();
         let mut b = a.clone();
         a.loss = LossConfig::SnrDistance(8.0);
         b.loss = LossConfig::PerClient(vec![8.0]);
         assert_ne!(a.stable_hash(), b.stable_hash(), "variant tags matter");
+    }
+
+    /// Legacy-expressible configs must hash exactly as they did before
+    /// the traffic-model layer: these hex digests were captured on the
+    /// pre-model build. A mismatch means every campaign cache key (and
+    /// pinned digest name) silently changed.
+    #[test]
+    fn legacy_hashes_pinned_to_pre_model_build() {
+        let pins = [
+            (
+                ScenarioBuilder::dot11n_download(150, 1, HackMode::MoreData).build(),
+                "343798e123392706d53a4b7634e6dc23",
+            ),
+            (
+                ScenarioBuilder::dot11n_download(300, 4, HackMode::Disabled).build(),
+                "0629496930e28ddd8ba5403f4346c911",
+            ),
+            (
+                ScenarioBuilder::sora_testbed(2, HackMode::Opportunistic).build(),
+                "82e82139413a4ba202a8dbb04d7e3392",
+            ),
+            (
+                ScenarioBuilder::dot11n_download(150, 2, HackMode::MoreData)
+                    .traffic(TrafficKind::TcpUpload)
+                    .build(),
+                "937f6d57102869d2f7078aad25cf8667",
+            ),
+            (
+                ScenarioBuilder::dot11n_download(150, 2, HackMode::MoreData)
+                    .traffic(TrafficKind::UdpDownload)
+                    .build(),
+                "34f7f9765791aaff01aa82278152b038",
+            ),
+        ];
+        for (cfg, want) in pins {
+            assert_eq!(cfg.stable_hash_hex(), want, "{:?}", cfg.traffic);
+        }
+    }
+
+    /// The `From<TrafficKind>` shim routes through the same encoding:
+    /// building with a kind or with its converted model is
+    /// hash-identical, and the deprecated positional constructors
+    /// still produce the same config as the builder presets.
+    #[test]
+    fn shimmed_kind_hashes_equal_model() {
+        for (kind, model) in [
+            (TrafficKind::TcpDownload, TrafficModel::BulkDownload),
+            (TrafficKind::TcpUpload, TrafficModel::BulkUpload),
+            (TrafficKind::UdpDownload, TrafficModel::UdpDownload),
+        ] {
+            let via_kind = ScenarioBuilder::dot11n_download(150, 2, HackMode::MoreData)
+                .traffic(kind)
+                .build();
+            let via_model = ScenarioBuilder::dot11n_download(150, 2, HackMode::MoreData)
+                .traffic(model)
+                .build();
+            assert_eq!(via_kind.stable_hash(), via_model.stable_hash());
+            assert_eq!(via_kind.legacy_traffic(), Some(kind));
+        }
+        #[allow(deprecated)]
+        let shim = ScenarioConfig::dot11n_download(150, 1, HackMode::MoreData);
+        let builder = ScenarioBuilder::dot11n_download(150, 1, HackMode::MoreData).build();
+        assert_eq!(shim.stable_hash(), builder.stable_hash());
+        #[allow(deprecated)]
+        let shim = ScenarioConfig::sora_testbed(2, HackMode::MoreData);
+        let builder = ScenarioBuilder::sora_testbed(2, HackMode::MoreData).build();
+        assert_eq!(shim.stable_hash(), builder.stable_hash());
+    }
+
+    /// Non-legacy models leave the legacy hash space entirely (version
+    /// tag differs) and are sensitive to their own parameters.
+    #[test]
+    fn model_hashes_keyed_by_parameters() {
+        let base = ScenarioBuilder::dot11n_download(150, 2, HackMode::MoreData)
+            .traffic(TrafficModel::ShortFlows(ShortFlowConfig::default()))
+            .build();
+        assert_eq!(base.legacy_traffic(), None);
+
+        let mut tweaked = base.clone();
+        tweaked.traffic = TrafficModel::ShortFlows(ShortFlowConfig {
+            reuse: false,
+            ..ShortFlowConfig::default()
+        });
+        assert_ne!(base.stable_hash(), tweaked.stable_hash());
+
+        let mut cbr = base.clone();
+        cbr.traffic = TrafficModel::Cbr(CbrConfig::default());
+        assert_ne!(base.stable_hash(), cbr.stable_hash());
+        let mut cbr2 = cbr.clone();
+        cbr2.traffic = TrafficModel::Cbr(CbrConfig {
+            rate_kbps: 128,
+            ..CbrConfig::default()
+        });
+        assert_ne!(cbr.stable_hash(), cbr2.stable_hash());
+
+        // A mix keys the cache even when the default model is legacy.
+        let mut mixed = ScenarioBuilder::dot11n_download(150, 2, HackMode::MoreData).build();
+        mixed.traffic_mix = vec![TrafficModel::BulkDownload, TrafficModel::Bidirectional];
+        assert_eq!(mixed.legacy_traffic(), None);
+        assert_ne!(
+            mixed.stable_hash(),
+            ScenarioBuilder::dot11n_download(150, 2, HackMode::MoreData)
+                .build()
+                .stable_hash()
+        );
     }
 }

@@ -4,7 +4,8 @@
 //! they replace.
 
 use hack_core::{
-    run_traced, HackMode, LossConfig, ScenarioConfig, StandardKind, SupervisorConfig, World,
+    run_traced, HackMode, LossConfig, ScenarioBuilder, ScenarioConfig, StandardKind,
+    SupervisorConfig, World,
 };
 use hack_sim::SimDuration;
 use hack_trace::TraceHandle;
@@ -22,13 +23,16 @@ fn traced_builder(cfg: ScenarioConfig) -> (f64, [u8; 62]) {
 }
 
 fn short(mode: HackMode) -> ScenarioConfig {
-    let mut c = ScenarioConfig::sora_testbed(1, mode);
-    c.duration = SimDuration::from_millis(1500);
-    c
+    ScenarioBuilder::sora_testbed(1, mode)
+        .duration(SimDuration::from_millis(1500))
+        .build()
 }
 
 #[test]
 fn scenario_builder_reproduces_dot11n_download() {
+    // Deliberately exercises the deprecated shim: it must stay
+    // hash-identical to the builder for the rest of its cycle.
+    #[allow(deprecated)]
     let shim = ScenarioConfig::dot11n_download(150, 4, HackMode::MoreData);
     let built = ScenarioConfig::builder()
         .standard(StandardKind::Dot11n)
@@ -45,6 +49,7 @@ fn scenario_builder_reproduces_dot11n_download() {
 
 #[test]
 fn scenario_builder_reproduces_sora_testbed() {
+    #[allow(deprecated)]
     let shim = ScenarioConfig::sora_testbed(2, HackMode::Disabled);
     let built = ScenarioConfig::builder()
         .standard(StandardKind::Dot11a)

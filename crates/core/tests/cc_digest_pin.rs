@@ -13,7 +13,7 @@
 //! The companion test proves the knob is *live*: a non-Reno controller
 //! on the same cell must produce a different trace.
 
-use hack_core::{run_traced, CcKind, HackMode, ScenarioConfig};
+use hack_core::{run_traced, CcKind, HackMode, ScenarioBuilder};
 use hack_sim::SimDuration;
 use hack_trace::TraceHandle;
 
@@ -41,8 +41,8 @@ fn cell(scenario: &str, mode: &str, seed: u64, cc: CcKind) -> String {
         _ => unreachable!(),
     };
     let mut cfg = match scenario {
-        "sora" => ScenarioConfig::sora_testbed(1, mode),
-        "11n" => ScenarioConfig::dot11n_download(150, 2, mode),
+        "sora" => ScenarioBuilder::sora_testbed(1, mode).build(),
+        "11n" => ScenarioBuilder::dot11n_download(150, 2, mode).build(),
         _ => unreachable!(),
     };
     cfg.duration = SimDuration::from_millis(1500);

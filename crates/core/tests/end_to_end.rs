@@ -1,7 +1,7 @@
 //! End-to-end simulation tests: whole-network runs must produce sane,
 //! paper-shaped results.
 
-use hack_core::{run, HackMode, LossConfig, ScenarioConfig, TrafficKind};
+use hack_core::{run, HackMode, LossConfig, ScenarioBuilder, ScenarioConfig, TrafficModel};
 use hack_sim::SimDuration;
 
 fn short(mut cfg: ScenarioConfig) -> ScenarioConfig {
@@ -11,7 +11,7 @@ fn short(mut cfg: ScenarioConfig) -> ScenarioConfig {
 
 #[test]
 fn udp_download_approaches_capacity_dot11a() {
-    let cfg = short(ScenarioConfig::sora_testbed(1, HackMode::Disabled).with_udp());
+    let cfg = short(ScenarioBuilder::sora_testbed(1, HackMode::Disabled).build().with_udp());
     let mut cfg = cfg;
     cfg.sora_quirks = false;
     cfg.loss = LossConfig::Ideal;
@@ -27,7 +27,7 @@ fn udp_download_approaches_capacity_dot11a() {
 
 #[test]
 fn tcp_download_dot11a_works_and_hack_beats_stock() {
-    let mut stock = short(ScenarioConfig::sora_testbed(1, HackMode::Disabled));
+    let mut stock = short(ScenarioBuilder::sora_testbed(1, HackMode::Disabled).build());
     stock.loss = LossConfig::Ideal;
     stock.sora_quirks = false;
     let mut hack = stock.clone();
@@ -58,7 +58,7 @@ fn tcp_download_dot11a_works_and_hack_beats_stock() {
 
 #[test]
 fn tcp_download_dot11n_aggregation() {
-    let stock = short(ScenarioConfig::dot11n_download(150, 1, HackMode::Disabled));
+    let stock = short(ScenarioBuilder::dot11n_download(150, 1, HackMode::Disabled).build());
     let res = run(stock);
     // Theoretical TCP/802.11n at 150 Mbps is ~110-125 Mbps; with
     // collisions and TCP dynamics, expect a healthy fraction.
@@ -76,8 +76,8 @@ fn tcp_download_dot11n_aggregation() {
 
 #[test]
 fn hack_more_data_beats_stock_dot11n() {
-    let stock = short(ScenarioConfig::dot11n_download(150, 1, HackMode::Disabled));
-    let hack = short(ScenarioConfig::dot11n_download(150, 1, HackMode::MoreData));
+    let stock = short(ScenarioBuilder::dot11n_download(150, 1, HackMode::Disabled).build());
+    let hack = short(ScenarioBuilder::dot11n_download(150, 1, HackMode::MoreData).build());
     let rs = run(stock);
     let rh = run(hack);
     assert!(
@@ -91,7 +91,7 @@ fn hack_more_data_beats_stock_dot11n() {
 
 #[test]
 fn determinism_same_seed_same_result() {
-    let cfg = short(ScenarioConfig::dot11n_download(150, 2, HackMode::MoreData));
+    let cfg = short(ScenarioBuilder::dot11n_download(150, 2, HackMode::MoreData).build());
     let a = run(cfg.clone());
     let b = run(cfg);
     assert_eq!(a.aggregate_goodput_mbps, b.aggregate_goodput_mbps);
@@ -101,8 +101,8 @@ fn determinism_same_seed_same_result() {
 
 #[test]
 fn upload_is_symmetric() {
-    let mut cfg = short(ScenarioConfig::dot11n_download(150, 1, HackMode::MoreData));
-    cfg.traffic = TrafficKind::TcpUpload;
+    let mut cfg = short(ScenarioBuilder::dot11n_download(150, 1, HackMode::MoreData).build());
+    cfg.traffic = TrafficModel::BulkUpload;
     let res = run(cfg);
     assert!(
         res.aggregate_goodput_mbps > 50.0,
@@ -113,12 +113,12 @@ fn upload_is_symmetric() {
 
 #[test]
 fn byte_limited_transfer_completes() {
-    let mut cfg = ScenarioConfig::dot11n_download(150, 1, HackMode::Disabled);
+    let mut cfg = ScenarioBuilder::dot11n_download(150, 1, HackMode::Disabled).build();
     cfg.transfer_bytes = Some(2_000_000);
     cfg.duration = SimDuration::from_secs(20);
     let res = run(cfg);
-    assert!(res.completion.is_some(), "2 MB transfer must complete");
-    let t = res.completion.unwrap().as_secs_f64();
+    assert!(res.completion().is_some(), "2 MB transfer must complete");
+    let t = res.completion().unwrap().as_secs_f64();
     assert!(
         t < 2.0,
         "2 MB at >70 Mbps should take well under 2 s, took {t:.2}"
@@ -127,7 +127,7 @@ fn byte_limited_transfer_completes() {
 
 #[test]
 fn lossy_environment_recovers() {
-    let mut cfg = short(ScenarioConfig::dot11n_download(150, 1, HackMode::MoreData));
+    let mut cfg = short(ScenarioBuilder::dot11n_download(150, 1, HackMode::MoreData).build());
     cfg.loss = LossConfig::PerClient(vec![0.10]);
     let res = run(cfg);
     assert!(
@@ -144,16 +144,16 @@ fn lossy_environment_recovers() {
 
 #[test]
 fn opportunistic_mode_rides_some_acks_without_regressing() {
-    let stock = run(short(ScenarioConfig::dot11n_download(
+    let stock = run(short(ScenarioBuilder::dot11n_download(
         150,
         1,
         HackMode::Disabled,
-    )));
-    let opp = run(short(ScenarioConfig::dot11n_download(
+    ).build()));
+    let opp = run(short(ScenarioBuilder::dot11n_download(
         150,
         1,
         HackMode::Opportunistic,
-    )));
+    ).build()));
     // The paper's observation: Opportunistic HACK is NOT a big win, but
     // it must not be a loss either, and it does ride some ACKs.
     assert!(opp.aggregate_goodput_mbps > stock.aggregate_goodput_mbps * 0.97);
@@ -170,16 +170,14 @@ fn opportunistic_mode_rides_some_acks_without_regressing() {
 #[test]
 fn explicit_timer_mode_works_but_underperforms_more_data() {
     use hack_sim::SimDuration as D;
-    let timer = run(short(ScenarioConfig::dot11n_download(
-        150,
-        1,
-        HackMode::ExplicitTimer(D::from_millis(5)),
-    )));
-    let more_data = run(short(ScenarioConfig::dot11n_download(
+    let timer = run(short(
+        ScenarioBuilder::dot11n_download(150, 1, HackMode::ExplicitTimer(D::from_millis(5))).build(),
+    ));
+    let more_data = run(short(ScenarioBuilder::dot11n_download(
         150,
         1,
         HackMode::MoreData,
-    )));
+    ).build()));
     assert!(timer.aggregate_goodput_mbps > 50.0);
     assert!(timer.driver[0].hacked_acks > 100);
     assert!(timer.driver[0].timer_flushes > 0, "the timer must fire");
@@ -200,11 +198,10 @@ fn long_explicit_timer_stalls_the_ack_clock() {
     // A small receive window makes the queue-drain condition systematic
     // (with large windows the failure is bimodal across seeds — see the
     // ablate-timer experiment).
-    let mut cfg = short(ScenarioConfig::dot11n_download(
-        150,
-        1,
-        HackMode::ExplicitTimer(D::from_millis(100)),
-    ));
+    let mut cfg = short(
+        ScenarioBuilder::dot11n_download(150, 1, HackMode::ExplicitTimer(D::from_millis(100)))
+            .build(),
+    );
     // 32 KB ≈ 22 segments with the sender on the AP: the whole window
     // lands in the AP queue at once and goes out as a single A-MPDU,
     // after which the queue is empty and the sender is ACK-starved —
@@ -215,7 +212,7 @@ fn long_explicit_timer_stalls_the_ack_clock() {
     cfg.rcv_window = 32 * 1024;
     cfg.server_at_ap = true;
     let r = run(cfg);
-    let mut baseline = short(ScenarioConfig::dot11n_download(150, 1, HackMode::MoreData));
+    let mut baseline = short(ScenarioBuilder::dot11n_download(150, 1, HackMode::MoreData).build());
     baseline.rcv_window = 32 * 1024;
     baseline.server_at_ap = true;
     let b = run(baseline);
@@ -234,11 +231,11 @@ fn long_explicit_timer_stalls_the_ack_clock() {
 fn more_data_latch_tracks_queue_state() {
     // With a byte-limited transfer the final batches carry MORE DATA = 0
     // and the driver flushes: no ACKs may remain held at the end.
-    let mut cfg = ScenarioConfig::dot11n_download(150, 1, HackMode::MoreData);
+    let mut cfg = ScenarioBuilder::dot11n_download(150, 1, HackMode::MoreData).build();
     cfg.transfer_bytes = Some(3_000_000);
     cfg.duration = SimDuration::from_secs(20);
     let r = run(cfg);
-    assert!(r.completion.is_some());
+    assert!(r.completion().is_some());
     // Everything the receiver generated was either ridden or sent
     // natively (held-and-confirmed or flushed).
     let d = &r.driver[0];

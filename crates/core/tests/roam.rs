@@ -7,7 +7,7 @@
 use hack_core::{
     run, run_auto, run_dense, run_traced, shard_configs, BssSpec, ChannelChange, ChannelEvent,
     CorruptModel, DenseOptions, GeParams, HackMode, LossConfig, RoamEvent, RoamTrigger, RunResult,
-    ScenarioConfig, StandardKind, SupervisorConfig,
+    ScenarioBuilder, ScenarioConfig, StandardKind, SupervisorConfig,
 };
 use hack_sim::SimDuration;
 use hack_trace::{Digest, TraceHandle};
@@ -181,7 +181,7 @@ fn move_client_without_trigger_stays_inert() {
 #[test]
 fn estimator_divergence_is_quiet_on_fault_matrix() {
     for seed in [13, 21, 34, 89] {
-        let mut c = ScenarioConfig::sora_testbed(1, HackMode::MoreData);
+        let mut c = ScenarioBuilder::sora_testbed(1, HackMode::MoreData).build();
         c.duration = SimDuration::from_secs(2);
         c.seed = seed;
         c.loss = LossConfig::Burst(GeParams::bursty(0.08, 6.0));
@@ -333,7 +333,7 @@ fn run_auto_merges_dense_results() {
     assert_eq!(merged.driver.len(), 3);
     assert_eq!(merged.roams, 1);
     // Legacy configs pass through the direct engine untouched.
-    let legacy = ScenarioConfig::dot11n_download(150, 1, HackMode::MoreData);
+    let legacy = ScenarioBuilder::dot11n_download(150, 1, HackMode::MoreData).build();
     let a = run_auto(legacy.clone());
     let b = run(legacy);
     assert_eq!(a.aggregate_goodput_mbps, b.aggregate_goodput_mbps);

@@ -5,7 +5,7 @@
 
 use hack_core::{
     run_traced, ChannelChange, ChannelEvent, CorruptModel, FlowHealth, GeParams, HackMode,
-    LossConfig, RunResult, ScenarioConfig, SupervisorConfig,
+    LossConfig, RunResult, ScenarioBuilder, ScenarioConfig, SupervisorConfig,
 };
 use hack_sim::SimDuration;
 use hack_trace::{Digest, TraceHandle};
@@ -22,7 +22,7 @@ fn traced(c: ScenarioConfig) -> (RunResult, Digest) {
 /// dynamics — the environment the supervisor must ride out without
 /// giving up HACK's edge.
 fn faulty_cfg(mode: HackMode, seed: u64) -> ScenarioConfig {
-    let mut c = ScenarioConfig::sora_testbed(1, mode);
+    let mut c = ScenarioBuilder::sora_testbed(1, mode).build();
     c.duration = SimDuration::from_secs(2);
     c.seed = seed;
     c.loss = LossConfig::Burst(GeParams::bursty(0.08, 6.0));
@@ -51,7 +51,7 @@ fn faulty_cfg(mode: HackMode, seed: u64) -> ScenarioConfig {
 /// (LL-ACK timeouts dominate, blob decodes dry up), healing mid-run —
 /// the degrade → fallback → probation → recovery arc end to end.
 fn storm_then_heal(seed: u64) -> ScenarioConfig {
-    let mut c = ScenarioConfig::sora_testbed(1, HackMode::MoreData);
+    let mut c = ScenarioBuilder::sora_testbed(1, HackMode::MoreData).build();
     c.duration = SimDuration::from_secs(4);
     c.seed = seed;
     c.loss = LossConfig::PerClient(vec![0.6]);
@@ -122,7 +122,7 @@ fn supervised_hack_matches_plain_tcp_under_faults() {
 /// `PeerIncapable`, and the flow still runs at full native speed.
 #[test]
 fn incapable_peer_is_permanent_clean_fallback() {
-    let mut c = ScenarioConfig::sora_testbed(1, HackMode::MoreData);
+    let mut c = ScenarioBuilder::sora_testbed(1, HackMode::MoreData).build();
     c.duration = SimDuration::from_secs(2);
     c.seed = 7;
     c.client_hack_capable = vec![false];

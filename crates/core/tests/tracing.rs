@@ -4,13 +4,13 @@
 
 use hack_core::{
     run_traced, ChannelChange, ChannelEvent, CorruptModel, GeParams, HackMode, LossConfig,
-    RunResult, ScenarioConfig,
+    RunResult, ScenarioBuilder, ScenarioConfig,
 };
 use hack_sim::{QueueKind, SimDuration};
 use hack_trace::{Digest, Layer, TraceHandle};
 
 fn cfg(mode: HackMode, seed: u64) -> ScenarioConfig {
-    let mut c = ScenarioConfig::sora_testbed(1, mode);
+    let mut c = ScenarioBuilder::sora_testbed(1, mode).build();
     c.duration = SimDuration::from_secs(2);
     c.seed = seed;
     c

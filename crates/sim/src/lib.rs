@@ -31,7 +31,10 @@ pub mod trace;
 
 pub use queue::{CalendarQueue, EventQueue, HeapEventQueue, QueueKind, Scheduler};
 pub use rng::SimRng;
-pub use stats::{Counter, Histogram, RunStats, RunningStats, ThroughputMeter, TimeAccumulator};
+pub use stats::{
+    Counter, Histogram, QuantileSketch, RunStats, RunningStats, ThroughputMeter, TimeAccumulator,
+    SKETCH_BUCKETS,
+};
 pub use time::{SimDuration, SimTime};
 pub use timer::{TimerTable, TimerToken};
 pub use trace::{Level, Tracer};

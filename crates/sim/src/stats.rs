@@ -353,6 +353,184 @@ impl Histogram {
     }
 }
 
+/// Number of buckets in a [`QuantileSketch`]: 8 exact small-value
+/// buckets plus 61 octaves × 8 sub-bins of logarithmic buckets.
+pub const SKETCH_BUCKETS: usize = 496;
+
+/// Deterministic, mergeable streaming quantile sketch over `u64`
+/// samples (nanoseconds, bytes, ...).
+///
+/// Values 0–7 get exact buckets; larger values land in log-spaced
+/// buckets with 8 sub-bins per octave, bounding the relative error of
+/// any reported quantile to ~6.7%. Recording, merging, and querying
+/// are all integer-only and order-insensitive with respect to merge,
+/// so parallel shards reduce to the same bytes as a serial run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuantileSketch {
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+    buckets: Vec<u64>,
+}
+
+impl Default for QuantileSketch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl QuantileSketch {
+    /// Empty sketch.
+    pub fn new() -> Self {
+        QuantileSketch {
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+            buckets: vec![0; SKETCH_BUCKETS],
+        }
+    }
+
+    fn bucket_of(v: u64) -> usize {
+        if v < 8 {
+            v as usize
+        } else {
+            let exp = 63 - v.leading_zeros() as usize; // 3..=63
+            let sub = ((v >> (exp - 3)) & 0x7) as usize;
+            8 + (exp - 3) * 8 + sub
+        }
+    }
+
+    /// Midpoint of bucket `i`'s value range (its representative).
+    fn bucket_mid(i: usize) -> u64 {
+        if i < 8 {
+            i as u64
+        } else {
+            let exp = 3 + (i - 8) / 8;
+            let sub = ((i - 8) % 8) as u64;
+            let lo = (8 + sub) << (exp - 3);
+            let width = 1u64 << (exp - 3);
+            lo + (width - 1) / 2
+        }
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, v: u64) {
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        self.buckets[Self::bucket_of(v)] += 1;
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// True if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Exact minimum recorded sample, if any.
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Exact maximum recorded sample, if any.
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Mean of all samples (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Approximate quantile `q` in `[0, 1]`; `None` when empty.
+    ///
+    /// Returns the representative (bucket midpoint) of the bucket
+    /// containing the rank-`⌊q·(n−1)⌋` sample, clamped to the exact
+    /// observed `[min, max]`.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = (q * (self.count - 1) as f64).floor() as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if c > 0 && seen > rank {
+                return Some(Self::bucket_mid(i).clamp(self.min, self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Fold another sketch into this one.
+    pub fn merge(&mut self, other: &QuantileSketch) {
+        if other.count == 0 {
+            return;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += *b;
+        }
+    }
+
+    /// Sparse view for serialization: `(count, sum, min, max, pairs)`
+    /// where pairs are `(bucket_index, bucket_count)` for non-empty
+    /// buckets in ascending index order.
+    pub fn to_sparse(&self) -> (u64, u64, u64, u64, Vec<(u16, u64)>) {
+        let pairs = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (i as u16, c))
+            .collect();
+        (self.count, self.sum, self.min, self.max, pairs)
+    }
+
+    /// Rebuild from a sparse view produced by [`Self::to_sparse`].
+    ///
+    /// Returns `None` if a bucket index is out of range or the bucket
+    /// counts do not sum to `count`.
+    pub fn from_sparse(
+        count: u64,
+        sum: u64,
+        min: u64,
+        max: u64,
+        pairs: &[(u16, u64)],
+    ) -> Option<Self> {
+        let mut s = QuantileSketch::new();
+        let mut total = 0u64;
+        for &(i, c) in pairs {
+            let slot = s.buckets.get_mut(i as usize)?;
+            *slot = slot.checked_add(c)?;
+            total = total.checked_add(c)?;
+        }
+        if total != count {
+            return None;
+        }
+        s.count = count;
+        s.sum = sum;
+        s.min = if count == 0 { u64::MAX } else { min };
+        s.max = max;
+        Some(s)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -441,5 +619,76 @@ mod tests {
     #[should_panic(expected = "strictly ascending")]
     fn histogram_rejects_unsorted_bounds() {
         let _ = Histogram::new(vec![10.0, 5.0]);
+    }
+
+    #[test]
+    fn sketch_small_values_exact() {
+        let mut s = QuantileSketch::new();
+        for v in 0..8u64 {
+            s.record(v);
+        }
+        assert_eq!(s.count(), 8);
+        assert_eq!(s.min(), Some(0));
+        assert_eq!(s.max(), Some(7));
+        assert_eq!(s.quantile(0.0), Some(0));
+        assert_eq!(s.quantile(1.0), Some(7));
+        // Rank 3 (q=0.5 over 8 samples, 0-based floor) is exactly 3.
+        assert_eq!(s.quantile(0.5), Some(3));
+    }
+
+    #[test]
+    fn sketch_relative_error_bounded() {
+        let mut s = QuantileSketch::new();
+        for i in 1..=10_000u64 {
+            s.record(i * 1_000); // 1µs .. 10ms in ns
+        }
+        for q in [0.5, 0.95, 0.99] {
+            let est = s.quantile(q).unwrap() as f64;
+            let exact = ((q * 9_999.0).floor() as u64 + 1) as f64 * 1_000.0;
+            assert!(
+                (est - exact).abs() / exact < 0.07,
+                "q={q}: est {est} vs exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn sketch_merge_equals_sequential() {
+        let mut a = QuantileSketch::new();
+        let mut b = QuantileSketch::new();
+        let mut all = QuantileSketch::new();
+        for i in 0..1000u64 {
+            let v = i * 37 + 5;
+            if i % 2 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+            all.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, all);
+    }
+
+    #[test]
+    fn sketch_sparse_round_trip() {
+        let mut s = QuantileSketch::new();
+        for v in [0u64, 1, 900, 1_000_000, u64::MAX] {
+            s.record(v);
+        }
+        let (count, sum, min, max, pairs) = s.to_sparse();
+        let back = QuantileSketch::from_sparse(count, sum, min, max, &pairs).unwrap();
+        assert_eq!(back, s);
+
+        let empty = QuantileSketch::new();
+        let (c, su, mn, mx, p) = empty.to_sparse();
+        assert_eq!(
+            QuantileSketch::from_sparse(c, su, mn, mx, &p).unwrap(),
+            empty
+        );
+        // Corrupt: count mismatch rejected.
+        assert!(QuantileSketch::from_sparse(7, sum, min, max, &pairs).is_none());
+        // Corrupt: out-of-range bucket rejected.
+        assert!(QuantileSketch::from_sparse(1, 0, 0, 0, &[(u16::MAX, 1)]).is_none());
     }
 }

@@ -406,6 +406,33 @@ impl Connection {
         self.budget = budget;
     }
 
+    /// Grow the send budget by `extra` bytes on an established
+    /// connection — the persistent-connection path for short-flow
+    /// workloads: the next application "request" rides the same
+    /// connection (and ROHC context) instead of a fresh handshake.
+    ///
+    /// The budget becomes cumulative [`SendBudget::Bytes`]: a `None`
+    /// budget is re-anchored at the bytes already sent, `Unlimited`
+    /// is left alone (there is nothing to extend). Returns the new
+    /// cumulative byte total (0 when unlimited). Call `poll_send`
+    /// afterwards to start the new data moving.
+    pub fn extend_budget(&mut self, extra: u64) -> u64 {
+        let sent = u64::from(self.snd_nxt - self.iss).saturating_sub(1);
+        match self.budget {
+            SendBudget::Bytes(total) => {
+                let new = total.saturating_add(extra);
+                self.budget = SendBudget::Bytes(new);
+                new
+            }
+            SendBudget::None => {
+                let new = sent.saturating_add(extra);
+                self.budget = SendBudget::Bytes(new);
+                new
+            }
+            SendBudget::Unlimited => 0,
+        }
+    }
+
     /// Pin the RTO's exponential backoff at no more than `shift`
     /// doublings for the duration of a link blackout with a known,
     /// bounded cause (an AP handoff). Without the clamp, every timeout
@@ -1257,6 +1284,58 @@ mod tests {
         assert!(!data.is_empty());
         // Timestamps negotiated => data carries the option.
         assert!(seg(&data[0]).timestamps().is_some());
+    }
+
+    #[test]
+    fn extend_budget_restarts_completed_transfer() {
+        let t0 = SimTime::from_millis(10);
+        let (mut c, mut s) = connected(TcpConfig::default(), TcpConfig::default(), t0);
+        c.set_budget(SendBudget::Bytes(1000));
+
+        // Drive the 1000-byte transfer to completion.
+        let mut now = t0;
+        let mut pending = c.poll_send(now);
+        while !pending.is_empty() {
+            now = now + SimDuration::from_millis(1);
+            let acks = deliver(&mut s, &pending, now);
+            pending = deliver(&mut c, &acks, now);
+            pending.extend(c.poll_send(now));
+            if let Some(dl) = s.next_timer().filter(|&dl| dl <= now) {
+                pending.extend(s.on_timer(dl));
+            }
+        }
+        // Flush the server's delayed ACK if the last segment is parked
+        // behind it.
+        while !c.send_complete() {
+            let dl = s.next_timer().expect("delayed ACK pending");
+            now = dl;
+            let acks = s.on_timer(now);
+            assert!(acks.iter().all(|p| seg(p).payload_len == 0));
+            deliver(&mut c, &acks, now);
+        }
+        assert_eq!(c.bytes_acked(), 1000);
+
+        // Same connection, next "request": the budget grows in place
+        // and poll_send starts the new data without a handshake.
+        assert_eq!(c.extend_budget(2000), 3000);
+        assert!(!c.send_complete());
+        let more = c.poll_send(now);
+        assert!(!more.is_empty(), "extended budget emits data");
+        assert!(seg(&more[0]).payload_len > 0);
+    }
+
+    #[test]
+    fn extend_budget_anchors_none_and_ignores_unlimited() {
+        let t0 = SimTime::from_millis(10);
+        let (mut c, _s) = connected(TcpConfig::default(), TcpConfig::default(), t0);
+        // `None` budget: nothing sent yet, so the new budget is just
+        // the extension.
+        assert_eq!(c.extend_budget(500), 500);
+        assert_eq!(c.unsent_bytes(), 500);
+        // Unlimited is left alone.
+        c.set_budget(SendBudget::Unlimited);
+        assert_eq!(c.extend_budget(500), 0);
+        assert!(!c.send_complete());
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! cargo run --release --example lossy_link [rate_mbps]
 //! ```
 
-use tcp_hack::core::{run, HackMode, LossConfig, ScenarioConfig};
+use tcp_hack::core::{run, HackMode, LossConfig, ScenarioBuilder};
 use tcp_hack::phy::{Channel, PhyRate, StationId};
 use tcp_hack::sim::SimDuration;
 
@@ -32,9 +32,10 @@ fn main() {
         let mut crc = 0;
         let mut dups = 0;
         for mode in [HackMode::Disabled, HackMode::MoreData] {
-            let mut cfg = ScenarioConfig::dot11n_download(rate, 1, mode);
+            let mut cfg = ScenarioBuilder::dot11n_download(rate, 1, mode)
+                .duration(SimDuration::from_secs(4))
+                .build();
             cfg.loss = LossConfig::SnrDistance(d);
-            cfg.duration = SimDuration::from_secs(4);
             let r = run(cfg);
             goodputs.push(r.flow_goodput_full_mbps[0]);
             if mode == HackMode::MoreData {

@@ -6,7 +6,7 @@
 //! cargo run --release --example multi_client_download [n_clients]
 //! ```
 
-use tcp_hack::core::{run, HackMode, ScenarioConfig};
+use tcp_hack::core::{run, HackMode, ScenarioBuilder};
 use tcp_hack::sim::SimDuration;
 
 fn main() {
@@ -26,7 +26,7 @@ fn main() {
         ("TCP / Opportunistic HACK", HackMode::Opportunistic, false),
         ("TCP / HACK (MORE DATA)", HackMode::MoreData, false),
     ] {
-        let mut cfg = ScenarioConfig::dot11n_download(150, n, mode);
+        let mut cfg = ScenarioBuilder::dot11n_download(150, n, mode).build();
         cfg.stagger = SimDuration::from_millis(200);
         cfg.duration = cfg.stagger * n as u64 + cfg.warmup + SimDuration::from_secs(5);
         if udp {

@@ -5,7 +5,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use tcp_hack::core::{run, HackMode, ScenarioConfig};
+use tcp_hack::core::{run, HackMode, ScenarioBuilder};
 use tcp_hack::sim::SimDuration;
 
 fn main() {
@@ -16,8 +16,9 @@ fn main() {
         ("TCP over stock 802.11n", HackMode::Disabled),
         ("TCP over HACK (MORE DATA)", HackMode::MoreData),
     ] {
-        let mut cfg = ScenarioConfig::dot11n_download(150, 1, mode);
-        cfg.duration = SimDuration::from_secs(5);
+        let cfg = ScenarioBuilder::dot11n_download(150, 1, mode)
+            .duration(SimDuration::from_secs(5))
+            .build();
         let r = run(cfg);
         println!(
             "{label:<28} {:6.1} Mbps   (collisions: {:4}, TCP ACKs riding LL ACKs: {})",

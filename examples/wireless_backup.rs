@@ -8,7 +8,7 @@
 //! cargo run --release --example wireless_backup [megabytes]
 //! ```
 
-use tcp_hack::core::{run, HackMode, ScenarioConfig, TrafficKind};
+use tcp_hack::core::{run, HackMode, ScenarioBuilder, TrafficModel};
 use tcp_hack::sim::SimDuration;
 
 fn main() {
@@ -22,12 +22,13 @@ fn main() {
         ("TCP / stock 802.11n", HackMode::Disabled),
         ("TCP / HACK (MORE DATA)", HackMode::MoreData),
     ] {
-        let mut cfg = ScenarioConfig::dot11n_download(150, 1, mode);
-        cfg.traffic = TrafficKind::TcpUpload;
-        cfg.transfer_bytes = Some(mb * 1_000_000);
-        cfg.duration = SimDuration::from_secs(600);
+        let cfg = ScenarioBuilder::dot11n_download(150, 1, mode)
+            .traffic(TrafficModel::BulkUpload)
+            .transfer_bytes(mb * 1_000_000)
+            .duration(SimDuration::from_secs(600))
+            .build();
         let r = run(cfg);
-        match r.completion {
+        match r.completion() {
             Some(t) => {
                 let secs = t.as_secs_f64();
                 println!(

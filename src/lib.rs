@@ -26,10 +26,10 @@
 //! ## Quickstart
 //!
 //! ```no_run
-//! use tcp_hack::core::{run, HackMode, ScenarioConfig};
+//! use tcp_hack::core::{run, HackMode, ScenarioBuilder, ScenarioConfig};
 //!
-//! let stock = run(ScenarioConfig::dot11n_download(150, 1, HackMode::Disabled));
-//! let hack = run(ScenarioConfig::dot11n_download(150, 1, HackMode::MoreData));
+//! let stock = run(ScenarioBuilder::dot11n_download(150, 1, HackMode::Disabled).build());
+//! let hack = run(ScenarioBuilder::dot11n_download(150, 1, HackMode::MoreData).build());
 //! println!(
 //!     "TCP/802.11n {:.1} Mbps → TCP/HACK {:.1} Mbps ({:+.1}%)",
 //!     stock.aggregate_goodput_mbps,
